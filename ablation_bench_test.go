@@ -1,0 +1,158 @@
+package mvkv
+
+// Ablation benchmarks: quantify the individual design choices of the paper
+// (Section IV-A) by toggling or sweeping them. Run with
+// `go test -bench Ablation -benchtime 3x .`
+//
+//   - version filter (future-work extension): snapshot extraction at an old
+//     version with and without skipping late-born keys;
+//   - persist latency: how the emulated PM write cost drives the
+//     ESkipList-to-PSkipList gap the paper reports (~12x at T=1);
+//   - key-chain block capacity: reconstruction and insert trade-off the
+//     block chain was designed to solve (array vs linked list);
+//   - merge parallelism: the multi-threaded two-way merge speedup that
+//     makes OptMerge beat NaiveMerge.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"mvkv/internal/core"
+	"mvkv/internal/harness"
+	"mvkv/internal/kv"
+	"mvkv/internal/merge"
+	"mvkv/internal/mt19937"
+	"mvkv/internal/pmem"
+	"mvkv/internal/workload"
+)
+
+// BenchmarkAblationVersionFilter: 10k keys exist at v0; 90k more are born
+// later. A snapshot at v0 only needs the first 10k, but the paper's base
+// design still walks every key.
+func BenchmarkAblationVersionFilter(b *testing.B) {
+	build := func(b *testing.B, disable bool) (*core.Store, uint64) {
+		s, err := core.Create(core.Options{ArenaBytes: 512 << 20, DisableVersionFilter: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := workload.Generate(100000, 0xF117E4)
+		for i, k := range w.Keys {
+			if err := s.Insert(k, w.Values[i]); err != nil {
+				b.Fatal(err)
+			}
+			if i == 9999 {
+				s.Tag()
+			}
+		}
+		early := uint64(0)
+		s.Tag()
+		return s, early
+	}
+	for _, disable := range []bool{true, false} {
+		name := "filter=on"
+		if disable {
+			name = "filter=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, early := build(b, disable)
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := s.ExtractSnapshot(early)
+				if len(snap) != 10000 {
+					b.Fatalf("snapshot has %d pairs", len(snap))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPersistLatency sweeps the emulated PM write cost and
+// reports insert throughput — the knob behind the paper's persistence gap.
+func BenchmarkAblationPersistLatency(b *testing.B) {
+	w := workload.Generate(20000, 0xAB1A7E)
+	for _, lat := range []time.Duration{0, 200 * time.Nanosecond, 1 * time.Microsecond, 5 * time.Microsecond} {
+		b.Run(fmt.Sprintf("latency=%v", lat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := core.Create(core.Options{ArenaBytes: 256 << 20, PersistLatency: lat})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := harness.RunInsert(s, w, 1); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(w.Keys)*b.N)/b.Elapsed().Seconds(), "inserts/sec")
+		})
+	}
+}
+
+// BenchmarkAblationBlockCapacity sweeps the key-chain block size: tiny
+// blocks approximate a linked list (cheap growth, scattered pairs), huge
+// blocks approximate an array (block allocation rarely, but the paper's
+// concern was reallocation, which the chain avoids at any capacity). The
+// reported metric is reconstruction time.
+func BenchmarkAblationBlockCapacity(b *testing.B) {
+	const n = 20000
+	for _, capBlocks := range []int{16, 256, 1024, 8192} {
+		b.Run(fmt.Sprintf("capacity=%d", capBlocks), func(b *testing.B) {
+			arena, err := pmem.New(256 << 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer arena.Close()
+			s, err := core.CreateInArena(arena, core.Options{BlockCapacity: capBlocks})
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := workload.Generate(n, 1)
+			if _, err := harness.RunInsert(s, w, 4); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, err := core.OpenArena(arena, core.Options{BlockCapacity: capBlocks, RebuildThreads: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s2.Len() != n {
+					b.Fatalf("rebuilt %d keys", s2.Len())
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "keys/sec")
+		})
+	}
+}
+
+// BenchmarkAblationMergeThreads sweeps the multi-threaded merge width.
+func BenchmarkAblationMergeThreads(b *testing.B) {
+	rng := mt19937.New(2)
+	mk := func(n int) []kv.KV {
+		out := make([]kv.KV, n)
+		for i := range out {
+			out[i] = kv.KV{Key: rng.Uint64(), Value: 1}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		return out
+	}
+	x, y := mk(1<<19), mk(1<<19)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := merge.TwoParallel(x, y, threads)
+				if len(out) != len(x)+len(y) {
+					b.Fatal("merge lost elements")
+				}
+			}
+			b.ReportMetric(float64((len(x)+len(y))*b.N)/b.Elapsed().Seconds(), "pairs/sec")
+		})
+	}
+}

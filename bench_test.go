@@ -1,0 +1,319 @@
+package mvkv
+
+// One testing.B benchmark per figure of the paper's evaluation (Section V).
+// These are scaled-down smoke versions of the full sweeps — the real
+// regeneration tool is cmd/benchkv, which runs the complete thread/node
+// sweeps and prints the figures' rows (see EXPERIMENTS.md). Sizes can be
+// raised with MVKV_BENCH_N / MVKV_BENCH_NODES.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/harness"
+	"mvkv/internal/workload"
+)
+
+func envInt(name string, def int) int {
+	if v, err := strconv.Atoi(os.Getenv(name)); err == nil && v > 0 {
+		return v
+	}
+	return def
+}
+
+var (
+	benchN     = envInt("MVKV_BENCH_N", 20000)
+	benchNodes = envInt("MVKV_BENCH_NODES", 8)
+	benchPM    = 200 * time.Nanosecond
+)
+
+var benchThreads = []int{1, 8}
+
+func latencyFor(a harness.Approach) time.Duration {
+	if a.Persistent() {
+		return benchPM
+	}
+	return 0
+}
+
+// BenchmarkFig2Insert — Figure 2a: concurrent inserts of N unique keys,
+// tag after each operation, strong scaling over threads.
+func BenchmarkFig2Insert(b *testing.B) {
+	w := workload.Generate(benchN, 0xC0FFEE)
+	for _, a := range harness.All() {
+		for _, t := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", a, t), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s, err := harness.Build(harness.StoreSpec{Approach: a, N: benchN, PersistLatency: latencyFor(a)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := harness.RunInsert(s, w, t); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					s.Close()
+				}
+				b.ReportMetric(float64(benchN*b.N)/b.Elapsed().Seconds(), "inserts/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Remove — Figure 2b: concurrent removes of a shuffled
+// permutation of the inserted keys.
+func BenchmarkFig2Remove(b *testing.B) {
+	w := workload.Generate(benchN, 0xC0FFEE)
+	shuffled := w.Shuffled(0xC0FFEF)
+	for _, a := range harness.All() {
+		for _, t := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", a, t), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s, err := harness.Build(harness.StoreSpec{Approach: a, N: benchN, PersistLatency: latencyFor(a)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := harness.RunInsert(s, w, t); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := harness.RunRemove(s, shuffled, t); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					s.Close()
+				}
+				b.ReportMetric(float64(benchN*b.N)/b.Elapsed().Seconds(), "removes/sec")
+			})
+		}
+	}
+}
+
+// fig3Cache shares the expensive Figure-3 state (N ins + N rem + N ins)
+// across the query benchmarks of one approach.
+var fig3Cache = struct {
+	sync.Mutex
+	stores map[harness.Approach]Store
+	keys   map[harness.Approach][]uint64
+}{stores: map[harness.Approach]Store{}, keys: map[harness.Approach][]uint64{}}
+
+func fig3State(b *testing.B, a harness.Approach) (Store, []uint64) {
+	b.Helper()
+	fig3Cache.Lock()
+	defer fig3Cache.Unlock()
+	if s, ok := fig3Cache.stores[a]; ok {
+		return s, fig3Cache.keys[a]
+	}
+	s, err := harness.Build(harness.StoreSpec{Approach: a, N: benchN, PersistLatency: latencyFor(a)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys, err := harness.Fig3State(s, benchN, 8, 0xBEEF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fig3Cache.stores[a] = s
+	fig3Cache.keys[a] = keys
+	return s, keys
+}
+
+// BenchmarkFig3History — Figure 3a: concurrent extract-history queries over
+// P = 2N keys.
+func BenchmarkFig3History(b *testing.B) {
+	for _, a := range harness.All() {
+		for _, t := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", a, t), func(b *testing.B) {
+				s, keys := fig3State(b, a)
+				q := benchN / 4
+				for i := 0; i < b.N; i++ {
+					harness.RunHistory(s, keys, q, t)
+				}
+				b.ReportMetric(float64(q*b.N)/b.Elapsed().Seconds(), "queries/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Find — Figure 3b: concurrent find queries, random key and
+// version.
+func BenchmarkFig3Find(b *testing.B) {
+	for _, a := range harness.All() {
+		for _, t := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", a, t), func(b *testing.B) {
+				s, keys := fig3State(b, a)
+				q := benchN / 4
+				maxVer := s.CurrentVersion()
+				for i := 0; i < b.N; i++ {
+					harness.RunFind(s, keys, q, t, maxVer)
+				}
+				b.ReportMetric(float64(q*b.N)/b.Elapsed().Seconds(), "queries/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4Snapshot — Figure 4: T concurrent extract-snapshot queries,
+// one per thread, random versions (weak scaling).
+func BenchmarkFig4Snapshot(b *testing.B) {
+	for _, a := range harness.All() {
+		for _, t := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", a, t), func(b *testing.B) {
+				s, _ := fig3State(b, a)
+				maxVer := s.CurrentVersion()
+				for i := 0; i < b.N; i++ {
+					harness.RunSnapshot(s, t, maxVer)
+				}
+				b.ReportMetric(float64(t*b.N)/b.Elapsed().Seconds(), "snapshots/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Rebuild — Figure 5a: parallel skip-list reconstruction from
+// the persisted image.
+func BenchmarkFig5Rebuild(b *testing.B) {
+	env, err := harness.PrepareRestartPSkipList(benchN, 8, benchPM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	for _, t := range benchThreads {
+		b.Run(fmt.Sprintf("threads=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := env.Reopen(t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(2*benchN*b.N)/b.Elapsed().Seconds(), "keys/sec")
+		})
+	}
+}
+
+// BenchmarkFig5RestartFind — Figure 5b: find throughput right after a
+// restart (cold caches) vs SQLiteReg reopened from its persisted file.
+func BenchmarkFig5RestartFind(b *testing.B) {
+	q := benchN / 4
+	b.Run("PSkipList-cold/threads=8", func(b *testing.B) {
+		env, err := harness.PrepareRestartPSkipList(benchN, 8, benchPM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer env.Close()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := env.Reopen(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxVer := s.CurrentVersion()
+			b.StartTimer()
+			harness.RunFind(s, env.Keys, q, 8, maxVer)
+			b.StopTimer()
+			s.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(q*b.N)/b.Elapsed().Seconds(), "queries/sec")
+	})
+	b.Run("SQLiteReg-cold/threads=8", func(b *testing.B) {
+		dir := b.TempDir()
+		path := filepath.Join(dir, "restart.db")
+		keys, err := harness.PrepareRestartSQLiteReg(benchN, 8, benchPM, path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, err := harness.ReopenSQLiteReg(path, benchPM)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxVer := db.CurrentVersion()
+			b.StartTimer()
+			harness.RunFind(db, keys, q, 8, maxVer)
+			b.StopTimer()
+			db.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(q*b.N)/b.Elapsed().Seconds(), "queries/sec")
+	})
+}
+
+func distSpec(a harness.Approach) harness.DistSpec {
+	return harness.DistSpec{
+		Approach:     a,
+		Nodes:        benchNodes,
+		NPerNode:     2000,
+		Queries:      100,
+		MergeThreads: 4,
+		Model:        cluster.NetModel{Latency: 10 * time.Microsecond, Bandwidth: 4e9},
+	}
+}
+
+// BenchmarkFig6DistFind — Figure 6: distributed find throughput.
+func BenchmarkFig6DistFind(b *testing.B) {
+	for _, a := range []harness.Approach{harness.SQLiteReg, harness.PSkipList} {
+		b.Run(fmt.Sprintf("%s/nodes=%d", a, benchNodes), func(b *testing.B) {
+			spec := distSpec(a)
+			spec.PersistLatency = latencyFor(a)
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunDistFind(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Throughput(), "queries/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7DistGather — Figure 7: distributed snapshot gather.
+func BenchmarkFig7DistGather(b *testing.B) {
+	for _, a := range []harness.Approach{harness.SQLiteReg, harness.PSkipList} {
+		b.Run(fmt.Sprintf("%s/nodes=%d", a, benchNodes), func(b *testing.B) {
+			spec := distSpec(a)
+			spec.PersistLatency = latencyFor(a)
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunDistGather(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Elapsed.Seconds()*1000, "ms/gather")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8DistMerge — Figure 8: NaiveMerge vs OptMerge for the
+// globally sorted distributed snapshot.
+func BenchmarkFig8DistMerge(b *testing.B) {
+	for _, naive := range []bool{true, false} {
+		name := "OptMerge"
+		if naive {
+			name = "NaiveMerge"
+		}
+		b.Run(fmt.Sprintf("%s/nodes=%d", name, benchNodes), func(b *testing.B) {
+			spec := distSpec(harness.PSkipList)
+			spec.PersistLatency = benchPM
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunDistMerge(spec, naive)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Elapsed.Seconds()*1000, "ms/merge")
+			}
+		})
+	}
+}

@@ -1,0 +1,395 @@
+// Command benchkv regenerates the paper's evaluation (Section V): one
+// subcommand per figure, each printing rows of the corresponding plot.
+//
+// Usage:
+//
+//	benchkv [flags] <command>
+//
+// Commands (paper experiment in parentheses):
+//
+//	insert       concurrent inserts, strong scaling over threads   (Fig 2a)
+//	remove       concurrent removes, strong scaling                (Fig 2b)
+//	history      concurrent extract-history queries                (Fig 3a)
+//	find         concurrent find queries                           (Fig 3b)
+//	snapshot     concurrent extract-snapshot, weak scaling         (Fig 4)
+//	rebuild      index reconstruction time vs threads on restart   (Fig 5a)
+//	restartfind  find throughput after restart (cold caches)       (Fig 5b)
+//	distfind     distributed find throughput vs node count         (Fig 6)
+//	distgather   distributed snapshot gather vs node count         (Fig 7)
+//	distmerge    NaiveMerge vs OptMerge snapshot merge             (Fig 8)
+//	all          every experiment at the configured scale
+//
+// Defaults are scaled down from the paper (N=1e6 on 64-core KNL; 512
+// nodes) so a laptop run finishes in minutes; raise -n / -threads / -nodes
+// to approach paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/harness"
+	"mvkv/internal/workload"
+)
+
+var (
+	flagN        = flag.Int("n", 100000, "workload size N (paper: 1000000)")
+	flagThreads  = flag.String("threads", "1,2,4,8,16,32,64", "thread counts to sweep")
+	flagNodes    = flag.String("nodes", "2,4,8,16,32,64,128", "node counts to sweep (paper: up to 512)")
+	flagStores   = flag.String("approaches", "", "comma-separated approaches (default: all five)")
+	flagQueries  = flag.Int("queries", 0, "query count for find/history/distfind (default N, or 200 for distfind)")
+	flagLatency  = flag.Duration("pmlatency", 200*time.Nanosecond, "emulated persist latency per cache line (PSkipList) / fsync (SQLiteReg)")
+	flagNPerNode = flag.Int("npernode", 10000, "pairs per node for distributed runs (paper: 100000)")
+	flagMergeT   = flag.Int("mergethreads", 4, "merge threads per rank for OptMerge")
+	flagAlpha    = flag.Duration("netalpha", 30*time.Microsecond, "modeled per-message network latency")
+	flagBeta     = flag.Float64("netbeta", 4e9, "modeled network bandwidth, bytes/sec (0 = infinite)")
+	flagCSV      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flagSummary  = flag.Bool("summary", false, "append PSkipList-vs-baseline speedups and scaling factors")
+	flagReps     = flag.Int("reps", 3, "repetitions of each distributed query phase (fastest wins)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	rows, err := run(cmd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchkv %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	if *flagCSV {
+		harness.WriteCSV(os.Stdout, rows)
+	} else {
+		harness.WriteTable(os.Stdout, rows)
+	}
+	if *flagSummary {
+		fmt.Println()
+		for _, baseline := range []string{"SQLiteReg", "SQLiteMem", "LockedMap", "ESkipList"} {
+			harness.WriteSpeedups(os.Stdout, harness.Speedups(rows, "PSkipList", baseline))
+		}
+		figs := map[string]bool{}
+		for _, r := range rows {
+			figs[r.Figure] = true
+		}
+		for fig := range figs {
+			for _, a := range harness.All() {
+				if f, ok := harness.ScalingFactor(rows, fig, string(a)); ok {
+					fmt.Printf("%-10s %-10s scaling low->high: %.2fx\n", fig, a, f)
+				}
+			}
+		}
+	}
+}
+
+func run(cmd string) ([]harness.Result, error) {
+	switch cmd {
+	case "insert":
+		return runInsertRemove(false)
+	case "remove":
+		return runInsertRemove(true)
+	case "history":
+		return runQueries("fig3a")
+	case "find":
+		return runQueries("fig3b")
+	case "snapshot":
+		return runQueries("fig4")
+	case "rebuild":
+		return runRebuild()
+	case "restartfind":
+		return runRestartFind()
+	case "distfind":
+		return runDist("fig6")
+	case "distgather":
+		return runDist("fig7")
+	case "distmerge":
+		return runDist("fig8")
+	case "all":
+		var all []harness.Result
+		for _, c := range []string{"insert", "remove", "history", "find", "snapshot",
+			"rebuild", "restartfind", "distfind", "distgather", "distmerge"} {
+			rows, err := run(c)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c, err)
+			}
+			all = append(all, rows...)
+		}
+		return all, nil
+	default:
+		return nil, fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func approaches() ([]harness.Approach, error) {
+	if *flagStores == "" {
+		return harness.All(), nil
+	}
+	var out []harness.Approach
+	for _, s := range strings.Split(*flagStores, ",") {
+		a := harness.Approach(strings.TrimSpace(s))
+		found := false
+		for _, known := range harness.All() {
+			if a == known {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown approach %q", s)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func intList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func latencyFor(a harness.Approach) time.Duration {
+	if a.Persistent() {
+		return *flagLatency
+	}
+	return 0
+}
+
+// runInsertRemove regenerates Figure 2: strong scaling of inserts (and
+// removes) over the thread sweep, one fresh store per (approach, T).
+func runInsertRemove(remove bool) ([]harness.Result, error) {
+	apps, err := approaches()
+	if err != nil {
+		return nil, err
+	}
+	threads, err := intList(*flagThreads)
+	if err != nil {
+		return nil, err
+	}
+	n := *flagN
+	w := workload.Generate(n, 0xC0FFEE)
+	shuffled := w.Shuffled(0xC0FFEF)
+	var rows []harness.Result
+	for _, a := range apps {
+		for _, t := range threads {
+			s, err := harness.Build(harness.StoreSpec{Approach: a, N: n, PersistLatency: latencyFor(a)})
+			if err != nil {
+				return nil, err
+			}
+			insD, err := harness.RunInsert(s, w, t)
+			if err != nil {
+				return nil, fmt.Errorf("%s T=%d insert: %w", a, t, err)
+			}
+			if !remove {
+				rows = append(rows, harness.Result{Figure: "fig2a", Approach: string(a), Threads: t, N: n, Ops: n, Elapsed: insD})
+			} else {
+				remD, err := harness.RunRemove(s, shuffled, t)
+				if err != nil {
+					return nil, fmt.Errorf("%s T=%d remove: %w", a, t, err)
+				}
+				rows = append(rows, harness.Result{Figure: "fig2b", Approach: string(a), Threads: t, N: n, Ops: n, Elapsed: remD})
+			}
+			if err := s.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runQueries regenerates Figures 3 and 4: the Fig3 state is built once per
+// approach, then the query phase sweeps the thread counts.
+func runQueries(fig string) ([]harness.Result, error) {
+	apps, err := approaches()
+	if err != nil {
+		return nil, err
+	}
+	threads, err := intList(*flagThreads)
+	if err != nil {
+		return nil, err
+	}
+	n := *flagN
+	queries := *flagQueries
+	if queries == 0 {
+		queries = n
+	}
+	var rows []harness.Result
+	for _, a := range apps {
+		s, err := harness.Build(harness.StoreSpec{Approach: a, N: n, PersistLatency: latencyFor(a)})
+		if err != nil {
+			return nil, err
+		}
+		keys, err := harness.Fig3State(s, n, 8, 0xBEEF)
+		if err != nil {
+			return nil, fmt.Errorf("%s state: %w", a, err)
+		}
+		maxVer := s.CurrentVersion()
+		for _, t := range threads {
+			var d time.Duration
+			ops := queries
+			switch fig {
+			case "fig3a":
+				d = harness.RunHistory(s, keys, queries, t)
+			case "fig3b":
+				d = harness.RunFind(s, keys, queries, t, maxVer)
+			case "fig4":
+				d = harness.RunSnapshot(s, t, maxVer)
+				ops = t // one snapshot per thread (weak scaling)
+			}
+			rows = append(rows, harness.Result{Figure: fig, Approach: string(a), Threads: t, N: n, Ops: ops, Elapsed: d})
+		}
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// runRebuild regenerates Figure 5a.
+func runRebuild() ([]harness.Result, error) {
+	threads, err := intList(*flagThreads)
+	if err != nil {
+		return nil, err
+	}
+	env, err := harness.PrepareRestartPSkipList(*flagN, 8, *flagLatency)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	return harness.RunRebuildSweep(env, threads)
+}
+
+// runRestartFind regenerates Figure 5b: find throughput right after a
+// restart (cold history caches for PSkipList; persisted index for
+// SQLiteReg), plus the warm PSkipList reference.
+func runRestartFind() ([]harness.Result, error) {
+	threads, err := intList(*flagThreads)
+	if err != nil {
+		return nil, err
+	}
+	n := *flagN
+	queries := *flagQueries
+	if queries == 0 {
+		queries = n
+	}
+	var rows []harness.Result
+
+	env, err := harness.PrepareRestartPSkipList(n, 8, *flagLatency)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	for _, t := range threads {
+		s, err := env.Reopen(8)
+		if err != nil {
+			return nil, err
+		}
+		maxVer := s.CurrentVersion()
+		cold := harness.RunFind(s, env.Keys, queries, t, maxVer)
+		warm := harness.RunFind(s, env.Keys, queries, t, maxVer)
+		rows = append(rows,
+			harness.Result{Figure: "fig5b", Approach: "PSkipList/cold", Threads: t, N: n, Ops: queries, Elapsed: cold},
+			harness.Result{Figure: "fig5b", Approach: "PSkipList/warm", Threads: t, N: n, Ops: queries, Elapsed: warm})
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "benchkv-sql")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "restart.db")
+	keys, err := harness.PrepareRestartSQLiteReg(n, 8, *flagLatency, path)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range threads {
+		db, err := harness.ReopenSQLiteReg(path, *flagLatency)
+		if err != nil {
+			return nil, err
+		}
+		maxVer := db.CurrentVersion()
+		d := harness.RunFind(db, keys, queries, t, maxVer)
+		rows = append(rows, harness.Result{Figure: "fig5b", Approach: "SQLiteReg/cold", Threads: t, N: n, Ops: queries, Elapsed: d})
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// runDist regenerates Figures 6-8 over the node sweep.
+func runDist(fig string) ([]harness.Result, error) {
+	nodes, err := intList(*flagNodes)
+	if err != nil {
+		return nil, err
+	}
+	queries := *flagQueries
+	if queries == 0 {
+		queries = 200
+	}
+	model := cluster.NetModel{Latency: *flagAlpha, Bandwidth: *flagBeta}
+	var rows []harness.Result
+	for _, k := range nodes {
+		base := harness.DistSpec{
+			Nodes: k, NPerNode: *flagNPerNode, Queries: queries,
+			MergeThreads: *flagMergeT, Model: model, PersistLatency: *flagLatency,
+			Reps: *flagReps,
+		}
+		switch fig {
+		case "fig6", "fig7":
+			for _, a := range []harness.Approach{harness.SQLiteReg, harness.PSkipList} {
+				spec := base
+				spec.Approach = a
+				if a == harness.SQLiteReg {
+					spec.PersistLatency = *flagLatency
+				}
+				var r harness.Result
+				var err error
+				if fig == "fig6" {
+					r, err = harness.RunDistFind(spec)
+				} else {
+					r, err = harness.RunDistGather(spec)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("%s K=%d %s: %w", fig, k, a, err)
+				}
+				rows = append(rows, r)
+			}
+		case "fig8":
+			spec := base
+			spec.Approach = harness.PSkipList
+			for _, naive := range []bool{true, false} {
+				r, err := harness.RunDistMerge(spec, naive)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 K=%d naive=%v: %w", k, naive, err)
+				}
+				rows = append(rows, r)
+			}
+			// the paper also reports SQLiteReg with the optimized merge
+			spec.Approach = harness.SQLiteReg
+			r, err := harness.RunDistMerge(spec, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,236 @@
+// Command mvkvctl operates file-backed PSkipList pools from the shell:
+// initialize a pool, write and read versioned pairs, seal snapshots,
+// inspect histories and statistics, and compact old versions away.
+//
+// Usage:
+//
+//	mvkvctl init   <pool> [-size bytes]
+//	mvkvctl put    <pool> <key> <value> [<key> <value>...]
+//	mvkvctl rm     <pool> <key>...
+//	mvkvctl tag    <pool>
+//	mvkvctl get    <pool> <key> [-version v]
+//	mvkvctl history <pool> <key>
+//	mvkvctl snapshot <pool> [-version v] [-lo k] [-hi k]
+//	mvkvctl stat   <pool>
+//	mvkvctl verify <pool>
+//	mvkvctl compact <pool> <dstpool> -keep v [-size bytes]
+//
+// Every invocation reopens the pool, which exercises the full recovery and
+// parallel index-reconstruction path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"mvkv/internal/core"
+	"mvkv/internal/kv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mvkvctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: mvkvctl <init|put|rm|tag|get|history|snapshot|stat|verify|compact> <pool> [args] [flags]")
+}
+
+// run executes one command; separated from main for testing.
+func run(args []string, out io.Writer) error {
+	if len(args) < 2 {
+		return usage()
+	}
+	cmd, pool, rest := args[0], args[1], args[2:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	size := fs.Int64("size", 256<<20, "pool capacity in bytes (init/compact)")
+	version := fs.Uint64("version", ^uint64(0)-1, "snapshot version to query")
+	keep := fs.Uint64("keep", 0, "oldest version to keep (compact)")
+	lo := fs.Uint64("lo", 0, "range lower bound (inclusive)")
+	hi := fs.Uint64("hi", ^uint64(0), "range upper bound (exclusive)")
+
+	// positional arguments come before flags: split them off
+	pos := rest
+	for i, a := range rest {
+		if len(a) > 0 && a[0] == '-' {
+			pos = rest[:i]
+			if err := fs.Parse(rest[i:]); err != nil {
+				return err
+			}
+			break
+		}
+	}
+
+	switch cmd {
+	case "init":
+		s, err := core.Create(core.Options{Path: pool, ArenaBytes: *size})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "initialized %s (%d bytes)\n", pool, *size)
+		return s.Close()
+
+	case "put":
+		if len(pos)%2 != 0 || len(pos) == 0 {
+			return fmt.Errorf("put needs <key> <value> pairs")
+		}
+		return withPool(pool, func(s *core.Store) error {
+			for i := 0; i < len(pos); i += 2 {
+				k, err := parseU64(pos[i])
+				if err != nil {
+					return err
+				}
+				v, err := parseU64(pos[i+1])
+				if err != nil {
+					return err
+				}
+				if err := s.Insert(k, v); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(out, "put %d pairs into version %d\n", len(pos)/2, s.CurrentVersion())
+			return nil
+		})
+
+	case "rm":
+		if len(pos) == 0 {
+			return fmt.Errorf("rm needs at least one key")
+		}
+		return withPool(pool, func(s *core.Store) error {
+			for _, a := range pos {
+				k, err := parseU64(a)
+				if err != nil {
+					return err
+				}
+				if err := s.Remove(k); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(out, "removed %d keys in version %d\n", len(pos), s.CurrentVersion())
+			return nil
+		})
+
+	case "tag":
+		return withPool(pool, func(s *core.Store) error {
+			fmt.Fprintf(out, "sealed snapshot %d\n", s.Tag())
+			return nil
+		})
+
+	case "get":
+		if len(pos) != 1 {
+			return fmt.Errorf("get needs exactly one key")
+		}
+		k, err := parseU64(pos[0])
+		if err != nil {
+			return err
+		}
+		return withPool(pool, func(s *core.Store) error {
+			if v, ok := s.Find(k, *version); ok {
+				fmt.Fprintf(out, "%d\n", v)
+				return nil
+			}
+			return fmt.Errorf("key %d absent at version %d", k, *version)
+		})
+
+	case "history":
+		if len(pos) != 1 {
+			return fmt.Errorf("history needs exactly one key")
+		}
+		k, err := parseU64(pos[0])
+		if err != nil {
+			return err
+		}
+		return withPool(pool, func(s *core.Store) error {
+			for _, e := range s.ExtractHistory(k) {
+				if e.Removed() {
+					fmt.Fprintf(out, "v%d\tremoved\n", e.Version)
+				} else {
+					fmt.Fprintf(out, "v%d\t%d\n", e.Version, e.Value)
+				}
+			}
+			return nil
+		})
+
+	case "snapshot":
+		return withPool(pool, func(s *core.Store) error {
+			var pairs []kv.KV
+			if *lo != 0 || *hi != ^uint64(0) {
+				pairs = s.ExtractRange(*lo, *hi, *version)
+			} else {
+				pairs = s.ExtractSnapshot(*version)
+			}
+			for _, p := range pairs {
+				fmt.Fprintf(out, "%d\t%d\n", p.Key, p.Value)
+			}
+			return nil
+		})
+
+	case "stat":
+		return withPool(pool, func(s *core.Store) error {
+			st := s.RecoveryStats()
+			fmt.Fprintf(out, "keys:            %d\n", s.Len())
+			fmt.Fprintf(out, "current version: %d\n", s.CurrentVersion())
+			fmt.Fprintf(out, "pool size:       %d\n", s.Arena().Size())
+			fmt.Fprintf(out, "pool used:       %d\n", s.Arena().HeapUsed())
+			fmt.Fprintf(out, "recovered:       %d entries (%d pruned) with %d threads in %v\n",
+				st.Entries, st.PrunedEntries, st.Threads, st.Elapsed)
+			return nil
+		})
+
+	case "verify":
+		return withPool(pool, func(s *core.Store) error {
+			rep, err := s.CheckIntegrity()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "ok: %d keys, %d entries, %d chain blocks\n",
+				rep.Keys, rep.Entries, rep.Blocks)
+			return nil
+		})
+
+	case "compact":
+		if len(pos) != 1 {
+			return fmt.Errorf("compact needs a destination pool path")
+		}
+		dstPath := pos[0]
+		return withPool(pool, func(s *core.Store) error {
+			dst, err := s.CompactTo(core.Options{Path: dstPath, ArenaBytes: *size}, *keep)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "compacted %s -> %s keeping versions >= %d (%d keys, %d bytes used)\n",
+				pool, dstPath, *keep, dst.Len(), dst.Arena().HeapUsed())
+			return dst.Close()
+		})
+
+	default:
+		return usage()
+	}
+}
+
+func withPool(path string, fn func(*core.Store) error) error {
+	s, err := core.Open(core.Options{Path: path})
+	if err != nil {
+		return err
+	}
+	if ferr := fn(s); ferr != nil {
+		s.Close()
+		return ferr
+	}
+	return s.Close()
+}
+
+func parseU64(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}

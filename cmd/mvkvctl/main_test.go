@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func ctl(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func mustCtl(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := ctl(t, args...)
+	if err != nil {
+		t.Fatalf("mvkvctl %s: %v", strings.Join(args, " "), err)
+	}
+	return out
+}
+
+func TestCLILifecycle(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("file-backed pools are linux-only")
+	}
+	pool := filepath.Join(t.TempDir(), "cli.pool")
+
+	mustCtl(t, "init", pool, "-size", "33554432")
+	mustCtl(t, "put", pool, "10", "100", "20", "200")
+	mustCtl(t, "tag", pool) // seals version 0
+	mustCtl(t, "put", pool, "10", "111")
+	mustCtl(t, "rm", pool, "20")
+	mustCtl(t, "tag", pool) // seals version 1
+
+	if out := mustCtl(t, "get", pool, "10", "-version", "0"); strings.TrimSpace(out) != "100" {
+		t.Fatalf("get@0 = %q", out)
+	}
+	if out := mustCtl(t, "get", pool, "10", "-version", "1"); strings.TrimSpace(out) != "111" {
+		t.Fatalf("get@1 = %q", out)
+	}
+	if _, err := ctl(t, "get", pool, "20", "-version", "1"); err == nil {
+		t.Fatal("get of removed key succeeded")
+	}
+
+	snap := mustCtl(t, "snapshot", pool, "-version", "0")
+	if !strings.Contains(snap, "10\t100") || !strings.Contains(snap, "20\t200") {
+		t.Fatalf("snapshot@0 = %q", snap)
+	}
+	ranged := mustCtl(t, "snapshot", pool, "-version", "0", "-lo", "15", "-hi", "25")
+	if strings.Contains(ranged, "10\t") || !strings.Contains(ranged, "20\t200") {
+		t.Fatalf("ranged snapshot = %q", ranged)
+	}
+
+	hist := mustCtl(t, "history", pool, "20")
+	if !strings.Contains(hist, "v0\t200") || !strings.Contains(hist, "v1\tremoved") {
+		t.Fatalf("history = %q", hist)
+	}
+
+	stat := mustCtl(t, "stat", pool)
+	if !strings.Contains(stat, "keys:            2") {
+		t.Fatalf("stat = %q", stat)
+	}
+
+	verify := mustCtl(t, "verify", pool)
+	if !strings.Contains(verify, "ok: 2 keys") {
+		t.Fatalf("verify = %q", verify)
+	}
+
+	dst := filepath.Join(t.TempDir(), "compacted.pool")
+	mustCtl(t, "compact", pool, dst, "-keep", "1", "-size", "33554432")
+	if out := mustCtl(t, "get", dst, "10", "-version", "1"); strings.TrimSpace(out) != "111" {
+		t.Fatalf("compacted get = %q", out)
+	}
+	// key 20 was removed before the cut: gone entirely
+	if _, err := ctl(t, "get", dst, "20", "-version", "5"); err == nil {
+		t.Fatal("removed key present after compaction")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, err := ctl(t); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if _, err := ctl(t, "bogus", "x"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, err := ctl(t, "get", "/nonexistent/pool", "1"); err == nil {
+		t.Fatal("missing pool accepted")
+	}
+	if runtime.GOOS == "linux" {
+		pool := filepath.Join(t.TempDir(), "err.pool")
+		mustCtl(t, "init", pool, "-size", "16777216")
+		if _, err := ctl(t, "put", pool, "1"); err == nil {
+			t.Fatal("odd put args accepted")
+		}
+		if _, err := ctl(t, "put", pool, "abc", "1"); err == nil {
+			t.Fatal("non-numeric key accepted")
+		}
+		if _, err := ctl(t, "get", pool); err == nil {
+			t.Fatal("get without key accepted")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package mvkv_test
+
+import (
+	"fmt"
+	"log"
+
+	"mvkv"
+)
+
+// The canonical tour: versioned writes, time travel, snapshots, history.
+func ExampleNewPSkipList() {
+	s, err := mvkv.NewPSkipList(mvkv.Options{PoolBytes: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	s.Insert(42, 1000)
+	v0 := s.Tag()
+	s.Insert(42, 2000)
+	s.Insert(7, 70)
+	v1 := s.Tag()
+
+	old, _ := s.Find(42, v0)
+	cur, _ := s.Find(42, v1)
+	fmt.Println("at v0:", old)
+	fmt.Println("at v1:", cur)
+	fmt.Println("snapshot v1:", s.ExtractSnapshot(v1))
+	for _, e := range s.ExtractHistory(42) {
+		fmt.Printf("history: v%d = %d\n", e.Version, e.Value)
+	}
+	// Output:
+	// at v0: 1000
+	// at v1: 2000
+	// snapshot v1: [{7 70} {42 2000}]
+	// history: v0 = 1000
+	// history: v1 = 2000
+}
+
+// Range extraction pages through a snapshot in key order.
+func ExampleStore_ranges() {
+	s, _ := mvkv.NewPSkipList(mvkv.Options{PoolBytes: 16 << 20})
+	defer s.Close()
+	for k := uint64(10); k <= 50; k += 10 {
+		s.Insert(k, k*k)
+	}
+	v := s.Tag()
+	fmt.Println(s.ExtractRange(20, 45, v))
+	// Output: [{20 400} {30 900} {40 1600}]
+}
+
+// Blob stores attach real byte payloads to ordered keys.
+func ExampleNewBlobStore() {
+	b, err := mvkv.NewBlobStore(mvkv.Options{PoolBytes: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	b.Insert(1, []byte("layer-one weights"))
+	v := b.Tag()
+	data, _ := b.Find(1, v)
+	fmt.Println(string(data))
+	// Output: layer-one weights
+}
+
+// A store served over TCP is used through the same Store interface.
+func ExampleServeStore() {
+	backing := mvkv.NewESkipList()
+	defer backing.Close()
+	srv, err := mvkv.ServeStore(backing, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	remote, err := mvkv.DialStore(srv.Addr(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	remote.Insert(5, 55)
+	v := remote.Tag()
+	val, ok := remote.Find(5, v)
+	fmt.Println(val, ok)
+	// Output: 55 true
+}

@@ -1,0 +1,160 @@
+// distributed demonstrates horizontal scalability (Section V-H): the
+// collection is hash-partitioned across K ranks (goroutines standing in
+// for MPI ranks, with a modeled interconnect), rank 0 drives distributed
+// find queries and extracts globally sorted snapshots, comparing the naive
+// gather+K-way merge against the paper's recursive-doubling merge with
+// multi-threaded two-way merges (OptMerge).
+//
+// It also shows the same protocol running over real TCP sockets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mvkv"
+	"mvkv/internal/cluster"
+	"mvkv/internal/mt19937"
+)
+
+const (
+	ranks   = 8
+	perRank = 20000
+	queries = 200
+)
+
+func loadPartition(s mvkv.Store, rank int) []uint64 {
+	rng := mt19937.New(uint64(rank) + 1)
+	keys := make([]uint64, 0, perRank)
+	for len(keys) < perRank {
+		k := rng.Uint64()
+		if k == 0 || k == ^uint64(0) || mvkv.PartitionOwner(k, ranks) != rank {
+			continue
+		}
+		if err := s.Insert(k, k^0xFEED); err != nil {
+			log.Fatal(err)
+		}
+		s.Tag()
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func main() {
+	model := mvkv.NetModel{Latency: 30 * time.Microsecond, Bandwidth: 4e9}
+	err := mvkv.RunLocalCluster(ranks, model, func(c *mvkv.Comm) error {
+		local, err := mvkv.NewPSkipList(mvkv.Options{PoolBytes: 128 << 20})
+		if err != nil {
+			return err
+		}
+		defer local.Close()
+		keys := loadPartition(local, c.Rank())
+		svc := mvkv.NewDistService(c, local, 4)
+		if c.Rank() != 0 {
+			return svc.Serve()
+		}
+		defer svc.Shutdown()
+
+		fmt.Printf("cluster of %d ranks, %d pairs each (%d total)\n",
+			ranks, perRank, ranks*perRank)
+
+		// Distributed finds: broadcast + reduce per query.
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			key := keys[q%len(keys)]
+			v, ok, err := svc.Find(key, ^uint64(0)-1)
+			if err != nil {
+				return err
+			}
+			if !ok || v != key^0xFEED {
+				return fmt.Errorf("find %d returned %d,%v", key, v, ok)
+			}
+		}
+		d := time.Since(start)
+		fmt.Printf("distributed find: %d queries in %v (%.0f q/s)\n",
+			queries, d.Round(time.Millisecond), float64(queries)/d.Seconds())
+
+		// Globally sorted snapshot: naive vs optimized merge.
+		start = time.Now()
+		naive, err := svc.ExtractSnapshotNaive(^uint64(0) - 1)
+		if err != nil {
+			return err
+		}
+		dNaive := time.Since(start)
+		start = time.Now()
+		opt, err := svc.ExtractSnapshotOpt(^uint64(0) - 1)
+		if err != nil {
+			return err
+		}
+		dOpt := time.Since(start)
+		if len(naive) != ranks*perRank || len(opt) != len(naive) {
+			return fmt.Errorf("merge sizes differ: %d vs %d", len(naive), len(opt))
+		}
+		for i := range naive {
+			if naive[i] != opt[i] {
+				return fmt.Errorf("merge results differ at %d", i)
+			}
+		}
+		fmt.Printf("extract snapshot (%d pairs): NaiveMerge %v, OptMerge %v (%.1fx)\n",
+			len(opt), dNaive.Round(time.Millisecond), dOpt.Round(time.Millisecond),
+			dNaive.Seconds()/dOpt.Seconds())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same protocol over real TCP sockets (2 ranks on loopback).
+	fmt.Println("--- TCP deployment (2 ranks on loopback) ---")
+	if err := runTCP(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runTCP() error {
+	const n = 2
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	trs := make([]*cluster.TCPTransport, n)
+	for r := 0; r < n; r++ {
+		tr, err := cluster.NewTCPTransport(r, addrs)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		trs[r] = tr
+		addrs[r] = tr.Addr()
+	}
+	errCh := make(chan error, n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			c := cluster.NewComm(r, n, trs[r])
+			local := mvkv.NewESkipList()
+			defer local.Close()
+			for k := uint64(1); k <= 100; k++ {
+				if mvkv.PartitionOwner(k, n) == r {
+					local.Insert(k, k*7)
+					local.Tag()
+				}
+			}
+			svc := mvkv.NewDistService(c, local, 2)
+			if r != 0 {
+				errCh <- svc.Serve()
+				return
+			}
+			defer svc.Shutdown()
+			snap, err := svc.ExtractSnapshotOpt(^uint64(0) - 1)
+			if err == nil {
+				fmt.Printf("TCP cluster merged %d pairs; first=%v last=%v\n",
+					len(snap), snap[0], snap[len(snap)-1])
+			}
+			errCh <- err
+		}(r)
+	}
+	for r := 0; r < n; r++ {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	return nil
+}

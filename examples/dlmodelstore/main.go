@@ -1,0 +1,116 @@
+// dlmodelstore reproduces the paper's motivating deep-learning scenario
+// (Section I): a learning model is a set of ordered (layer id, tensor)
+// pairs; training checkpoints are snapshot tags; model-evolution questions
+// ("what changed between epochs?", "how long is the common prefix of these
+// two checkpoints?" — the transfer-learning comparison) become multi-
+// version store queries.
+//
+// Layer tensors are stored as real byte payloads through the blob layer:
+// every checkpoint is a virtual snapshot sharing all unchanged tensors
+// with its predecessors in the persistent pool.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"mvkv"
+	"mvkv/internal/core"
+	"mvkv/internal/mt19937"
+)
+
+const (
+	layers     = 12
+	tensorSize = 4096 // bytes per layer tensor
+)
+
+// trainEpoch mutates the model: early layers stabilize quickly (transfer
+// learning freezes them), later layers keep changing.
+func trainEpoch(s *mvkv.BlobStore, rng *mt19937.Source, epoch int) {
+	tensor := make([]byte, tensorSize)
+	for l := uint64(0); l < layers; l++ {
+		stableAfter := int(l) // layer l stops changing after epoch l
+		if epoch <= stableAfter {
+			for i := range tensor {
+				tensor[i] = byte(rng.Uint64())
+			}
+			if err := s.Insert(l, tensor); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+// commonPrefix compares two checkpoints: the number of leading layers with
+// identical tensors — the paper's longest-common-prefix comparison used
+// "to facilitate transfer learning".
+func commonPrefix(s *mvkv.BlobStore, va, vb uint64) int {
+	a, b := s.ExtractSnapshot(va), s.ExtractSnapshot(vb)
+	n := 0
+	for n < len(a) && n < len(b) && a[n].Key == b[n].Key && bytes.Equal(a[n].Value, b[n].Value) {
+		n++
+	}
+	return n
+}
+
+func main() {
+	s, err := mvkv.NewBlobStore(mvkv.Options{PoolBytes: 256 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	rng := mt19937.New(7)
+
+	// Train 10 epochs, checkpointing (tagging) after each.
+	checkpoints := make([]uint64, 0, 10)
+	for epoch := 0; epoch < 10; epoch++ {
+		trainEpoch(s, rng, epoch)
+		checkpoints = append(checkpoints, s.Tag())
+	}
+	fmt.Printf("trained %d epochs; %d checkpoints of %d x %dB tensors, pool used: %d KiB\n",
+		len(checkpoints), len(checkpoints), layers, tensorSize,
+		s.Inner().Arena().HeapUsed()/1024)
+
+	// The ordered property: a checkpoint is the model's layers in order.
+	final := s.ExtractSnapshot(checkpoints[9])
+	fmt.Printf("checkpoint 9 has %d ordered layers: first=layer %d (%dB), last=layer %d (%dB)\n",
+		len(final), final[0].Key, len(final[0].Value),
+		final[len(final)-1].Key, len(final[len(final)-1].Value))
+
+	// Transfer-learning comparison: frozen prefix length between epochs.
+	for _, pair := range [][2]int{{0, 9}, {3, 9}, {8, 9}} {
+		n := commonPrefix(s, checkpoints[pair[0]], checkpoints[pair[1]])
+		fmt.Printf("checkpoints %d vs %d share a frozen prefix of %d layers\n",
+			pair[0], pair[1], n)
+	}
+
+	// Provenance: when did layer 5 last change?
+	hist := s.ExtractHistory(5)
+	fmt.Printf("layer 5 changed %d times; last at checkpoint %d\n",
+		len(hist), hist[len(hist)-1].Version)
+
+	// Roll back: branch a new experiment from checkpoint 4 by reading the
+	// old tensors (the snapshot is immutable; the current state moves on).
+	base := s.ExtractSnapshot(checkpoints[4])
+	fmt.Printf("branching from checkpoint 4: seeding %d layers into a new run\n", len(base))
+	branch, err := mvkv.NewBlobStore(mvkv.Options{PoolBytes: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer branch.Close()
+	for _, p := range base {
+		branch.Insert(p.Key, p.Value)
+	}
+	branch.Tag()
+	fmt.Printf("branch store initialized with %d layers\n", branch.Len())
+
+	// Age out early training: keep only checkpoints >= 8 (compaction).
+	compacted, err := s.CompactTo(core.Options{ArenaBytes: 128 << 20}, checkpoints[8])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer compacted.Close()
+	fmt.Printf("compacted pool keeps checkpoints >= 8: %d KiB (was %d KiB)\n",
+		compacted.Inner().Arena().HeapUsed()/1024, s.Inner().Arena().HeapUsed()/1024)
+}

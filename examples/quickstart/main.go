@@ -1,0 +1,63 @@
+// Quickstart: a tour of the multi-version ordered key-value store API
+// (Table 1 of the paper) — insert, remove, tag, time-travel find, snapshot
+// extraction and per-key history.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mvkv"
+)
+
+func main() {
+	// PSkipList: the paper's persistent store. An in-memory pool is used
+	// here; pass Options.Path to survive process restarts.
+	s, err := mvkv.NewPSkipList(mvkv.Options{PoolBytes: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	// Build version 0: three ordered keys.
+	must(s.Insert(100, 1))
+	must(s.Insert(200, 2))
+	must(s.Insert(300, 3))
+	v0 := s.Tag()
+	fmt.Printf("sealed snapshot %d with %d keys\n", v0, s.Len())
+
+	// Version 1: update one key, remove another, add a fourth.
+	must(s.Insert(200, 22))
+	must(s.Remove(300))
+	must(s.Insert(400, 4))
+	v1 := s.Tag()
+
+	// Time travel: find at any sealed version.
+	for _, key := range []uint64{200, 300, 400} {
+		x0, ok0 := s.Find(key, v0)
+		x1, ok1 := s.Find(key, v1)
+		fmt.Printf("key %d: at v%d -> (%d, present=%v), at v%d -> (%d, present=%v)\n",
+			key, v0, x0, ok0, v1, x1, ok1)
+	}
+
+	// Virtual snapshots: each version is exposed as an immutable, sorted
+	// copy, while the store physically shares all unchanged pairs.
+	fmt.Printf("snapshot v%d: %v\n", v0, s.ExtractSnapshot(v0))
+	fmt.Printf("snapshot v%d: %v\n", v1, s.ExtractSnapshot(v1))
+
+	// Per-key history: the full evolution of one key.
+	fmt.Printf("history of key 300:\n")
+	for _, e := range s.ExtractHistory(300) {
+		if e.Removed() {
+			fmt.Printf("  v%d: removed\n", e.Version)
+		} else {
+			fmt.Printf("  v%d: = %d\n", e.Version, e.Value)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

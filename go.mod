@@ -1,0 +1,3 @@
+module mvkv
+
+go 1.22

@@ -1,0 +1,181 @@
+// Package blob layers byte-string values over the PSkipList store: the
+// paper's motivating workloads attach real payloads to ordered keys —
+// "(id, tensor)" pairs of learning models, metadata attributes — while the
+// core store's compact representation holds fixed-width words.
+//
+// A blob value is stored once in the persistent pool as [length | bytes]
+// and the history records its offset, so snapshots share unchanged blobs
+// exactly like unchanged words. Blobs are immutable; durability ordering
+// follows the store's rule (a blob is persisted before the history entry
+// referencing it can finish), so crash recovery can never expose a torn
+// blob — a crash before the entry's commit prunes the entry and merely
+// leaks the blob, like a non-transactional PMDK allocation.
+package blob
+
+import (
+	"fmt"
+
+	"mvkv/internal/core"
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+// Store wraps a PSkipList store with []byte values.
+type Store struct {
+	inner *core.Store
+	arena *pmem.Arena
+}
+
+// Wrap layers blob semantics over s. The caller should perform all writes
+// through the wrapper (word-valued Insert calls on the inner store would
+// be indistinguishable from blob offsets).
+func Wrap(s *core.Store) *Store {
+	return &Store{inner: s, arena: s.Arena()}
+}
+
+// Inner exposes the wrapped store (snapshots, tagging, distribution).
+func (b *Store) Inner() *core.Store { return b.inner }
+
+// Tag seals the current version.
+func (b *Store) Tag() uint64 { return b.inner.Tag() }
+
+// CurrentVersion returns the unsealed version.
+func (b *Store) CurrentVersion() uint64 { return b.inner.CurrentVersion() }
+
+// Len returns the number of distinct keys.
+func (b *Store) Len() int { return b.inner.Len() }
+
+// Close closes the wrapped store.
+func (b *Store) Close() error { return b.inner.Close() }
+
+// write persists value as a blob and returns its offset.
+func (b *Store) write(value []byte) (pmem.Ptr, error) {
+	n := int64(8 + (len(value)+7)/8*8)
+	p, err := b.arena.Alloc(n)
+	if err != nil {
+		return pmem.NullPtr, err
+	}
+	b.arena.StoreUint64(p, uint64(len(value)))
+	b.arena.WriteBytes(p+8, value)
+	b.arena.Persist(p, n)
+	return p, nil
+}
+
+// read fetches the blob at offset p.
+func (b *Store) read(p pmem.Ptr) []byte {
+	n := b.arena.LoadUint64(p)
+	return b.arena.ReadBytes(p+8, int(n))
+}
+
+// Insert records key=value in the current version.
+func (b *Store) Insert(key uint64, value []byte) error {
+	p, err := b.write(value)
+	if err != nil {
+		return err
+	}
+	return b.inner.Insert(key, uint64(p))
+}
+
+// Remove records key's removal in the current version.
+func (b *Store) Remove(key uint64) error { return b.inner.Remove(key) }
+
+// Find returns key's blob at the given snapshot version. The returned
+// slice is a copy; callers own it.
+func (b *Store) Find(key, version uint64) ([]byte, bool) {
+	p, ok := b.inner.Find(key, version)
+	if !ok {
+		return nil, false
+	}
+	return b.read(pmem.Ptr(p)), true
+}
+
+// Pair is one key-blob pair of a snapshot.
+type Pair struct {
+	Key   uint64
+	Value []byte
+}
+
+// ExtractSnapshot returns every pair present at version, sorted by key.
+func (b *Store) ExtractSnapshot(version uint64) []Pair {
+	raw := b.inner.ExtractSnapshot(version)
+	out := make([]Pair, len(raw))
+	for i, p := range raw {
+		out[i] = Pair{Key: p.Key, Value: b.read(pmem.Ptr(p.Value))}
+	}
+	return out
+}
+
+// ExtractRange returns pairs with lo <= key < hi at version.
+func (b *Store) ExtractRange(lo, hi, version uint64) []Pair {
+	raw := b.inner.ExtractRange(lo, hi, version)
+	out := make([]Pair, len(raw))
+	for i, p := range raw {
+		out[i] = Pair{Key: p.Key, Value: b.read(pmem.Ptr(p.Value))}
+	}
+	return out
+}
+
+// Event is one change of a key: the blob it took at Version, or a removal.
+type Event struct {
+	Version Version
+	Value   []byte
+	Removed bool
+}
+
+// Version aliases the store version type for readability.
+type Version = uint64
+
+// ExtractHistory returns key's change log with decoded blobs.
+func (b *Store) ExtractHistory(key uint64) []Event {
+	raw := b.inner.ExtractHistory(key)
+	out := make([]Event, len(raw))
+	for i, e := range raw {
+		out[i] = Event{Version: e.Version, Removed: e.Removed()}
+		if !e.Removed() {
+			out[i].Value = b.read(pmem.Ptr(e.Value))
+		}
+	}
+	return out
+}
+
+// CompactTo writes a compacted copy into a fresh pool (see
+// core.Store.CompactTo), rewriting every surviving blob into the new pool
+// so nothing dangles. keepSince semantics match the core method. The
+// source must be quiescent.
+func (b *Store) CompactTo(opts core.Options, keepSince uint64) (*Store, error) {
+	dstInner, err := core.Create(opts)
+	if err != nil {
+		return nil, err
+	}
+	dst := Wrap(dstInner)
+	ok := false
+	defer func() {
+		if !ok {
+			dst.Close()
+		}
+	}()
+
+	var keys []uint64
+	b.inner.Keys(func(k uint64) bool { keys = append(keys, k); return true })
+	for _, k := range keys {
+		events := b.inner.ExtractHistory(k)
+		for _, e := range core.CompactEvents(events, keepSince) {
+			if e.Removed() {
+				if err := dstInner.AppendAt(k, e.Version, kv.Marker); err != nil {
+					return nil, fmt.Errorf("blob: compact key %d: %w", k, err)
+				}
+				continue
+			}
+			p, err := dst.write(b.read(pmem.Ptr(e.Value)))
+			if err != nil {
+				return nil, fmt.Errorf("blob: compact key %d: %w", k, err)
+			}
+			if err := dstInner.AppendAt(k, e.Version, uint64(p)); err != nil {
+				return nil, fmt.Errorf("blob: compact key %d: %w", k, err)
+			}
+		}
+	}
+	dstInner.SetCurrentVersion(b.inner.CurrentVersion())
+	ok = true
+	return dst, nil
+}

@@ -1,0 +1,206 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/core"
+	"mvkv/internal/mt19937"
+	"mvkv/internal/pmem"
+)
+
+func newBlobStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := core.Create(core.Options{ArenaBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Wrap(s)
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func TestBlobBasics(t *testing.T) {
+	b := newBlobStore(t)
+	if err := b.Insert(1, []byte("hello, persistent world")); err != nil {
+		t.Fatal(err)
+	}
+	v0 := b.Tag()
+	if err := b.Insert(1, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	b.Remove(2)
+	v1 := b.Tag()
+
+	if got, ok := b.Find(1, v0); !ok || string(got) != "hello, persistent world" {
+		t.Fatalf("Find@v0 = %q,%v", got, ok)
+	}
+	if got, ok := b.Find(1, v1); !ok || string(got) != "v2" {
+		t.Fatalf("Find@v1 = %q,%v", got, ok)
+	}
+	if _, ok := b.Find(2, v1); ok {
+		t.Fatal("removed key found")
+	}
+	h := b.ExtractHistory(1)
+	if len(h) != 2 || string(h[0].Value) != "hello, persistent world" || string(h[1].Value) != "v2" {
+		t.Fatalf("history: %+v", h)
+	}
+	h2 := b.ExtractHistory(2)
+	if len(h2) != 1 || !h2[0].Removed || h2[0].Value != nil {
+		t.Fatalf("removal history: %+v", h2)
+	}
+}
+
+func TestBlobSizesIncludingEmpty(t *testing.T) {
+	b := newBlobStore(t)
+	rng := mt19937.New(5)
+	sizes := []int{0, 1, 7, 8, 9, 63, 64, 65, 4096, 100000}
+	want := make(map[uint64][]byte)
+	for i, n := range sizes {
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		key := uint64(i)
+		want[key] = data
+		if err := b.Insert(key, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := b.Tag()
+	for k, w := range want {
+		got, ok := b.Find(k, v)
+		if !ok || !bytes.Equal(got, w) {
+			t.Fatalf("key %d: %d bytes vs %d, ok=%v", k, len(got), len(w), ok)
+		}
+	}
+	snap := b.ExtractSnapshot(v)
+	if len(snap) != len(sizes) {
+		t.Fatalf("snapshot: %d pairs", len(snap))
+	}
+	for _, p := range snap {
+		if !bytes.Equal(p.Value, want[p.Key]) {
+			t.Fatalf("snapshot blob mismatch for key %d", p.Key)
+		}
+	}
+	if rg := b.ExtractRange(2, 5, v); len(rg) != 3 {
+		t.Fatalf("range: %d pairs", len(rg))
+	}
+}
+
+func TestBlobQuickRoundTrip(t *testing.T) {
+	b := newBlobStore(t)
+	key := uint64(0)
+	f := func(data []byte) bool {
+		key++
+		if err := b.Insert(key, data); err != nil {
+			return false
+		}
+		got, ok := b.Find(key, b.Tag())
+		return ok && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlobSnapshotSharing: unchanged blobs are shared across snapshots
+// (same underlying offsets), changed blobs are not.
+func TestBlobSnapshotSharing(t *testing.T) {
+	b := newBlobStore(t)
+	big := bytes.Repeat([]byte("x"), 1<<20)
+	b.Insert(1, big)
+	b.Tag()
+	used := b.Inner().Arena().HeapUsed()
+	// 100 tags without rewriting the blob: no growth proportional to it
+	for i := 0; i < 100; i++ {
+		b.Insert(2, []byte("tiny"))
+		b.Tag()
+	}
+	grown := b.Inner().Arena().HeapUsed() - used
+	if grown > 1<<19 {
+		t.Fatalf("unchanged 1MiB blob not shared: %d bytes grown", grown)
+	}
+}
+
+// TestBlobCrashConsistency: blobs referenced by recovered entries are
+// intact after a crash (durability ordering).
+func TestBlobCrashConsistency(t *testing.T) {
+	a, err := pmem.New(64<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	inner, err := core.CreateInArena(a, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Wrap(inner)
+	want := make(map[uint64][]byte)
+	rng := mt19937.New(9)
+	for k := uint64(0); k < 200; k++ {
+		data := make([]byte, int(rng.Uint64n(500)))
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		want[k] = data
+		if err := b.Insert(k, data); err != nil {
+			t.Fatal(err)
+		}
+		b.Tag()
+	}
+	inner.Clock().Quiesce()
+	a.CrashEvict(0.4, rng.Float64)
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	inner2, err := core.OpenArena(a, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := Wrap(inner2)
+	v := b2.CurrentVersion()
+	for k, w := range want {
+		got, ok := b2.Find(k, v)
+		if !ok || !bytes.Equal(got, w) {
+			t.Fatalf("key %d corrupted after crash (%d vs %d bytes, ok=%v)",
+				k, len(got), len(w), ok)
+		}
+	}
+}
+
+// TestBlobCompactTo: compaction rewrites blobs into the new pool and old
+// versions disappear.
+func TestBlobCompactTo(t *testing.T) {
+	b := newBlobStore(t)
+	for v := 0; v < 20; v++ {
+		if err := b.Insert(7, []byte(fmt.Sprintf("version-%d", v))); err != nil {
+			t.Fatal(err)
+		}
+		b.Insert(8, bytes.Repeat([]byte("z"), 10000)) // bulk to shrink
+		b.Tag()
+	}
+	dst, err := b.CompactTo(core.Options{ArenaBytes: 64 << 20}, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if got, ok := dst.Find(7, 18); !ok || string(got) != "version-18" {
+		t.Fatalf("compacted find@18: %q,%v", got, ok)
+	}
+	if got, ok := dst.Find(7, 19); !ok || string(got) != "version-19" {
+		t.Fatalf("compacted find@19: %q,%v", got, ok)
+	}
+	if len(dst.ExtractHistory(7)) != 2 {
+		t.Fatalf("compacted history: %+v", dst.ExtractHistory(7))
+	}
+	if dst.CurrentVersion() != b.CurrentVersion() {
+		t.Fatal("version clock not preserved")
+	}
+	if dst.Inner().Arena().HeapUsed() >= b.Inner().Arena().HeapUsed() {
+		t.Fatalf("compaction did not shrink the pool: %d vs %d",
+			dst.Inner().Arena().HeapUsed(), b.Inner().Arena().HeapUsed())
+	}
+}

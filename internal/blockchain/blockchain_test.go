@@ -1,0 +1,241 @@
+package blockchain
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"mvkv/internal/pmem"
+)
+
+func newArena(t *testing.T, opts ...pmem.Option) *pmem.Arena {
+	t.Helper()
+	a, err := pmem.New(64<<20, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+// headWord allocates a persistent word to hold the chain head.
+func headWord(t *testing.T, a *pmem.Arena) pmem.Ptr {
+	t.Helper()
+	p, err := a.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAppendWalkSingleBlock(t *testing.T) {
+	a := newArena(t)
+	hw := headWord(t, a)
+	c, err := New(a, hw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := c.Append(i, pmem.Ptr(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Pair
+	c.Walk(func(p Pair) bool { got = append(got, p); return true })
+	if len(got) != 5 {
+		t.Fatalf("walked %d pairs", len(got))
+	}
+	for i, p := range got {
+		if p.Key != uint64(i+1) || p.Hist != pmem.Ptr((i+1)*100) {
+			t.Fatalf("pair %d = %+v", i, p)
+		}
+	}
+	if c.Len() != 5 || c.NumBlocks() != 1 {
+		t.Fatalf("Len=%d blocks=%d", c.Len(), c.NumBlocks())
+	}
+}
+
+func TestGrowthAcrossBlocks(t *testing.T) {
+	a := newArena(t)
+	hw := headWord(t, a)
+	c, _ := New(a, hw, 4)
+	const n = 50
+	for i := uint64(0); i < n; i++ {
+		if err := c.Append(i, pmem.Ptr(8+i*8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	wantBlocks := (n + 3) / 4
+	if got := c.NumBlocks(); got != int(wantBlocks) {
+		t.Fatalf("blocks = %d, want %d", got, wantBlocks)
+	}
+}
+
+func TestAppendRejectsNullHist(t *testing.T) {
+	a := newArena(t)
+	c, _ := New(a, headWord(t, a), 4)
+	if err := c.Append(1, pmem.NullPtr); err == nil {
+		t.Fatal("expected error for null history pointer")
+	}
+}
+
+func TestOpenFindsTail(t *testing.T) {
+	a := newArena(t)
+	hw := headWord(t, a)
+	c, _ := New(a, hw, 4)
+	for i := uint64(0); i < 10; i++ {
+		c.Append(i, pmem.Ptr(8))
+	}
+	c2, err := Open(a, hw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// appends continue into the tail block, not a fresh one
+	before := c2.NumBlocks()
+	c2.Append(100, pmem.Ptr(16))
+	if c2.Len() != 11 {
+		t.Fatalf("Len after reopen append = %d", c2.Len())
+	}
+	if c2.NumBlocks() > before+1 {
+		t.Fatalf("reopen lost the tail: %d -> %d blocks", before, c2.NumBlocks())
+	}
+}
+
+func TestOpenMissingChain(t *testing.T) {
+	a := newArena(t)
+	hw := headWord(t, a)
+	if _, err := Open(a, hw, 4); err == nil {
+		t.Fatal("expected error opening empty head word")
+	}
+}
+
+// TestConcurrentAppend: all appended pairs are present exactly once.
+func TestConcurrentAppend(t *testing.T) {
+	a := newArena(t)
+	c, _ := New(a, headWord(t, a), 32)
+	workers := runtime.GOMAXPROCS(0)
+	const per = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := uint64(w*per + i)
+				if err := c.Append(k, pmem.Ptr(8+k*8)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var keys []uint64
+	c.Walk(func(p Pair) bool {
+		if p.Hist != pmem.Ptr(8+p.Key*8) {
+			t.Errorf("pair mismatch: %+v", p)
+		}
+		keys = append(keys, p.Key)
+		return true
+	})
+	if len(keys) != workers*per {
+		t.Fatalf("walked %d pairs, want %d", len(keys), workers*per)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, k := range keys {
+		if k != uint64(i) {
+			t.Fatalf("missing or duplicate key at %d: %d", i, k)
+		}
+	}
+}
+
+// TestWalkShardPartition: shards cover all pairs exactly once and shard
+// assignment follows block index mod shards.
+func TestWalkShardPartition(t *testing.T) {
+	a := newArena(t)
+	c, _ := New(a, headWord(t, a), 4)
+	const n = 40 // 10 blocks
+	for i := uint64(0); i < n; i++ {
+		c.Append(i, pmem.Ptr(8))
+	}
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		seen := map[uint64]int{}
+		for s := 0; s < shards; s++ {
+			c.WalkShard(s, shards, func(p Pair) bool {
+				seen[p.Key]++
+				return true
+			})
+		}
+		if len(seen) != n {
+			t.Fatalf("shards=%d covered %d keys", shards, len(seen))
+		}
+		for k, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("shards=%d key %d visited %d times", shards, k, cnt)
+			}
+		}
+	}
+}
+
+// TestCrashRecovery: pairs persisted before the crash survive; the claim
+// counter being stale must not hide them.
+func TestCrashRecovery(t *testing.T) {
+	a := newArena(t, pmem.WithShadow())
+	hw := headWord(t, a)
+	c, _ := New(a, hw, 4)
+	for i := uint64(0); i < 10; i++ {
+		c.Append(i, pmem.Ptr(8+i*8))
+	}
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(a, hw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Len(); got != 10 {
+		t.Fatalf("recovered %d pairs, want 10", got)
+	}
+	// appends keep working after recovery
+	if err := c2.Append(99, pmem.Ptr(8)); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 11 {
+		t.Fatalf("Len after recovery append = %d", c2.Len())
+	}
+}
+
+// TestWalkEarlyStop verifies fn returning false stops the walk.
+func TestWalkEarlyStop(t *testing.T) {
+	a := newArena(t)
+	c, _ := New(a, headWord(t, a), 4)
+	for i := uint64(0); i < 10; i++ {
+		c.Append(i, pmem.Ptr(8))
+	}
+	n := 0
+	c.Walk(func(Pair) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	a, _ := pmem.New(1 << 30)
+	defer a.Close()
+	hw, _ := a.Alloc(8)
+	c, _ := New(a, hw, DefaultBlockCapacity)
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			if err := c.Append(i, pmem.Ptr(8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPointToPointLocal(t *testing.T) {
+	err := RunLocal(2, NetModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, []byte("hello")); err != nil {
+				return err
+			}
+			p, err := c.Recv(1)
+			if err != nil {
+				return err
+			}
+			if string(p) != "world" {
+				return fmt.Errorf("got %q", p)
+			}
+			return nil
+		}
+		p, err := c.Recv(0)
+		if err != nil {
+			return err
+		}
+		if string(p) != "hello" {
+			return fmt.Errorf("got %q", p)
+		}
+		return c.Send(0, []byte("world"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	err := RunLocal(2, NetModel{}, func(c *Comm) error {
+		const n = 1000
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, PutUint64s(uint64(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			p, err := c.Recv(0)
+			if err != nil {
+				return err
+			}
+			if got := GetUint64s(p)[0]; got != uint64(i) {
+				return fmt.Errorf("message %d arrived as %d", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testBcast(t *testing.T, sizes []int, mk func(size int, fn func(*Comm) error) error) {
+	t.Helper()
+	for _, size := range sizes {
+		for root := 0; root < size; root += 1 + size/3 {
+			want := []byte(fmt.Sprintf("payload-from-%d", root))
+			err := mk(size, func(c *Comm) error {
+				var in []byte
+				if c.Rank() == root {
+					in = want
+				}
+				got, err := c.Bcast(root, in)
+				if err != nil {
+					return err
+				}
+				if string(got) != string(want) {
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size=%d root=%d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestBcastLocal(t *testing.T) {
+	testBcast(t, []int{1, 2, 3, 4, 7, 8, 16, 33}, func(size int, fn func(*Comm) error) error {
+		return RunLocal(size, NetModel{}, fn)
+	})
+}
+
+func TestGather(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 16} {
+		err := RunLocal(size, NetModel{}, func(c *Comm) error {
+			mine := PutUint64s(uint64(c.Rank() * 10))
+			got, err := c.Gather(0, mine)
+			if err != nil {
+				return err
+			}
+			if c.Rank() != 0 {
+				if got != nil {
+					return fmt.Errorf("non-root got data")
+				}
+				return nil
+			}
+			if len(got) != size {
+				return fmt.Errorf("gathered %d parts", len(got))
+			}
+			for r, p := range got {
+				if v := GetUint64s(p)[0]; v != uint64(r*10) {
+					return fmt.Errorf("part %d = %d", r, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size=%d: %v", size, err)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	sum := func(a, b []byte) []byte {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		return PutUint64s(GetUint64s(a)[0] + GetUint64s(b)[0])
+	}
+	for _, size := range []int{1, 2, 3, 8, 21} {
+		err := RunLocal(size, NetModel{}, func(c *Comm) error {
+			got, err := c.Reduce(0, PutUint64s(uint64(c.Rank())), sum)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				want := uint64(size * (size - 1) / 2)
+				if GetUint64s(got)[0] != want {
+					return fmt.Errorf("reduce = %d, want %d", GetUint64s(got)[0], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size=%d: %v", size, err)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const size = 9
+	var phase [size]int
+	var mu sync.Mutex
+	err := RunLocal(size, NetModel{}, func(c *Comm) error {
+		for p := 0; p < 3; p++ {
+			mu.Lock()
+			phase[c.Rank()] = p
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			mu.Lock()
+			for r := 0; r < size; r++ {
+				if phase[r] < p {
+					mu.Unlock()
+					return fmt.Errorf("rank %d saw rank %d at phase %d during %d", c.Rank(), r, phase[r], p)
+				}
+			}
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesInterleaved(t *testing.T) {
+	// back-to-back collectives must not cross-talk thanks to sequence tags
+	err := RunLocal(8, NetModel{}, func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			want := uint64(i * 3)
+			var in []byte
+			if c.Rank() == 0 {
+				in = PutUint64s(want)
+			}
+			got, err := c.Bcast(0, in)
+			if err != nil {
+				return err
+			}
+			if GetUint64s(got)[0] != want {
+				return fmt.Errorf("iter %d: got %d", i, GetUint64s(got)[0])
+			}
+			if _, err := c.Gather(0, PutUint64s(uint64(c.Rank()))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargePayloads moves megabyte frames through collectives.
+func TestLargePayloads(t *testing.T) {
+	const size = 4
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	err := RunLocal(size, NetModel{}, func(c *Comm) error {
+		var in []byte
+		if c.Rank() == 0 {
+			in = big
+		}
+		got, err := c.Bcast(0, in)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(big) {
+			return fmt.Errorf("rank %d got %d bytes", c.Rank(), len(got))
+		}
+		for i := 0; i < len(big); i += 997 {
+			if got[i] != big[i] {
+				return fmt.Errorf("rank %d corrupted at %d", c.Rank(), i)
+			}
+		}
+		parts, err := c.Gather(0, got[:1<<18])
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r, p := range parts {
+				if len(p) != 1<<18 {
+					return fmt.Errorf("gather part %d has %d bytes", r, len(p))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetModelCharges(t *testing.T) {
+	model := NetModel{Latency: 2 * time.Millisecond}
+	start := time.Now()
+	err := RunLocal(2, model, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				if err := c.Send(1, []byte("x")); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := c.Recv(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("5 messages at 2ms latency took only %v", elapsed)
+	}
+}
+
+func TestNetModelCost(t *testing.T) {
+	m := NetModel{Latency: time.Microsecond, Bandwidth: 1e9}
+	if got := m.cost(0); got != time.Microsecond {
+		t.Fatalf("cost(0) = %v", got)
+	}
+	if got := m.cost(1e6); got < time.Millisecond {
+		t.Fatalf("cost(1MB at 1GB/s) = %v, want ~1ms+", got)
+	}
+	var zero NetModel
+	if zero.cost(1<<20) != 0 {
+		t.Fatal("zero model should be free")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	const size = 4
+	// Bind ephemeral ports first, then exchange addresses.
+	trs := make([]*TCPTransport, size)
+	addrs := make([]string, size)
+	for r := 0; r < size; r++ {
+		addrs[r] = "127.0.0.1:0"
+	}
+	for r := 0; r < size; r++ {
+		tr, err := NewTCPTransport(r, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[r] = tr
+		addrs[r] = tr.Addr()
+	}
+	// Update dial addresses now that real ports are known.
+	for r := 0; r < size; r++ {
+		trs[r].addrs = addrs
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := NewComm(r, size, trs[r])
+			var in []byte
+			if r == 2 {
+				in = []byte("over-tcp")
+			}
+			got, err := c.Bcast(2, in)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if string(got) != "over-tcp" {
+				errs[r] = fmt.Errorf("rank %d got %q", r, got)
+				return
+			}
+			parts, err := c.Gather(0, PutUint64s(uint64(r)))
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if r == 0 {
+				for i, p := range parts {
+					if GetUint64s(p)[0] != uint64(i) {
+						errs[r] = fmt.Errorf("gather part %d wrong", i)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for _, tr := range trs {
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUint64Helpers(t *testing.T) {
+	in := []uint64{1, 1 << 40, ^uint64(0)}
+	got := GetUint64s(PutUint64s(in...))
+	if len(got) != 3 || got[0] != 1 || got[1] != 1<<40 || got[2] != ^uint64(0) {
+		t.Fatalf("roundtrip = %v", got)
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Tag layout: the high byte distinguishes message classes so collectives,
+// their sequence numbers, and user point-to-point traffic never collide.
+const (
+	tagUser uint64 = iota + 1
+	tagBcast
+	tagGather
+	tagReduce
+	tagBarrier
+)
+
+func mkTag(class, seq uint64) uint64 { return class<<56 | seq&((1<<56)-1) }
+
+// Comm is one rank's communicator, in the MPI sense. Collective operations
+// must be called by every rank of the communicator in the same order (as
+// with MPI); point-to-point Send/Recv may be used freely alongside.
+type Comm struct {
+	rank int
+	size int
+	tr   Transport
+	seq  atomic.Uint64 // collective sequence number (same order on all ranks)
+}
+
+// NewComm wraps a transport endpoint as rank `rank` of `size`.
+func NewComm(rank, size int, tr Transport) *Comm {
+	return &Comm{rank: rank, size: size, tr: tr}
+}
+
+// Rank returns this process's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Send delivers a user message.
+func (c *Comm) Send(to int, payload []byte) error {
+	return c.tr.Send(to, mkTag(tagUser, 0), payload)
+}
+
+// Recv receives a user message from the given rank.
+func (c *Comm) Recv(from int) ([]byte, error) {
+	return c.tr.Recv(from, mkTag(tagUser, 0))
+}
+
+// Close releases the endpoint.
+func (c *Comm) Close() error { return c.tr.Close() }
+
+// vrank maps rank into the tree rooted at root.
+func (c *Comm) vrank(root int) int { return (c.rank - root + c.size) % c.size }
+
+// unvrank inverts vrank.
+func (c *Comm) unvrank(v, root int) int { return (v + root) % c.size }
+
+// Bcast distributes data from root to every rank along a binomial tree
+// (log2(size) rounds) and returns it. Non-root ranks pass nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	seq := c.seq.Add(1)
+	tag := mkTag(tagBcast, seq)
+	v := c.vrank(root)
+	// Receive from the parent (vrank with its lowest set bit cleared),
+	// then forward to children — the classic MPICH binomial schedule.
+	mask := 1
+	for mask < c.size {
+		if v&mask != 0 {
+			p, err := c.tr.Recv(c.unvrank(v-mask, root), tag)
+			if err != nil {
+				return nil, err
+			}
+			data = p
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if v+mask < c.size {
+			if err := c.tr.Send(c.unvrank(v+mask, root), tag, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Gather collects each rank's data at root (returned slice indexed by
+// rank); other ranks get nil. Gathering is linear at the root: every rank
+// sends directly, the root pays the aggregated ingress cost — the behaviour
+// the paper's gather experiment (Figure 7) measures.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	seq := c.seq.Add(1)
+	tag := mkTag(tagGather, seq)
+	if c.rank != root {
+		return nil, c.tr.Send(root, tag, data)
+	}
+	out := make([][]byte, c.size)
+	out[root] = data
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			continue
+		}
+		p, err := c.tr.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = p
+	}
+	return out, nil
+}
+
+// Reduce combines every rank's data at root with op along a binomial tree:
+// op(acc, incoming) must be associative. Non-root ranks get nil.
+func (c *Comm) Reduce(root int, data []byte, op func(a, b []byte) []byte) ([]byte, error) {
+	seq := c.seq.Add(1)
+	tag := mkTag(tagReduce, seq)
+	v := c.vrank(root)
+	acc := data
+	for step := 1; step < c.size; step <<= 1 {
+		if v&step != 0 {
+			// send to partner and exit
+			return nil, c.tr.Send(c.unvrank(v-step, root), tag, acc)
+		}
+		if v+step < c.size {
+			p, err := c.tr.Recv(c.unvrank(v+step, root), tag)
+			if err != nil {
+				return nil, err
+			}
+			acc = op(acc, p)
+		}
+	}
+	return acc, nil
+}
+
+// Barrier blocks until every rank reached it (reduce-then-broadcast).
+func (c *Comm) Barrier() error {
+	if _, err := c.Reduce(0, nil, func(a, b []byte) []byte { return nil }); err != nil {
+		return err
+	}
+	_, err := c.Bcast(0, nil)
+	return err
+}
+
+// ---- helpers for uint64 payloads ----
+
+// PutUint64s encodes values little-endian.
+func PutUint64s(vals ...uint64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], v)
+	}
+	return out
+}
+
+// GetUint64s decodes an encoded payload.
+func GetUint64s(p []byte) []uint64 {
+	out := make([]uint64, len(p)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(p[i*8:])
+	}
+	return out
+}
+
+// RunLocal spawns size ranks as goroutines over a local fabric and runs fn
+// in each; it returns the first error. The fabric is closed afterwards.
+func RunLocal(size int, model NetModel, fn func(c *Comm) error) error {
+	f := NewLocalFabric(size, model)
+	defer f.Close()
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(NewComm(r, size, f.Transport(r)))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}

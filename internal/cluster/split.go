@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Split partitions a communicator into disjoint sub-communicators, like
+// MPI_Comm_split: every rank calls Split with a color; ranks sharing a
+// color form a new communicator, ordered by (key, old rank). The paper
+// notes that distributed queries "can run in parallel by different ranks
+// (by using different communicators)" — Split is what makes that possible.
+//
+// Implementation: colors are exchanged with an Allgather-style pattern
+// (gather at rank 0 + broadcast), then each rank derives its group and a
+// translating transport so sub-communicator traffic cannot collide with
+// the parent's (tags are salted with the group's identity).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Exchange (color, key) pairs.
+	mine := PutUint64s(uint64(int64(color)), uint64(int64(key)))
+	parts, err := c.Gather(0, mine)
+	if err != nil {
+		return nil, err
+	}
+	var all []byte
+	if c.rank == 0 {
+		all = make([]byte, 0, 16*c.size)
+		for _, p := range parts {
+			all = append(all, p...)
+		}
+	}
+	all, err = c.Bcast(0, all)
+	if err != nil {
+		return nil, err
+	}
+	w := GetUint64s(all)
+	if len(w) != 2*c.size {
+		return nil, fmt.Errorf("cluster: split exchange returned %d words", len(w))
+	}
+
+	type member struct{ color, key, rank int }
+	var group []member
+	for r := 0; r < c.size; r++ {
+		mcolor, mkey := int(int64(w[2*r])), int(int64(w[2*r+1]))
+		if mcolor == color {
+			group = append(group, member{mcolor, mkey, r})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	newToOld := make([]int, len(group))
+	newRank := -1
+	for i, m := range group {
+		newToOld[i] = m.rank
+		if m.rank == c.rank {
+			newRank = i
+		}
+	}
+	if newRank < 0 {
+		return nil, fmt.Errorf("cluster: rank %d missing from its own split group", c.rank)
+	}
+	// Salt sub-communicator tags with the group's smallest parent rank —
+	// unique per group, identical across its members.
+	salt := uint64(group[0].rank + 1)
+	return NewComm(newRank, len(group), &splitTransport{
+		parent:   c.tr,
+		newToOld: newToOld,
+		salt:     salt,
+	}), nil
+}
+
+// splitTransport translates sub-communicator ranks to parent ranks and
+// salts tags so groups and parent traffic never collide.
+type splitTransport struct {
+	parent   Transport
+	newToOld []int
+	salt     uint64
+}
+
+// saltTag folds the group salt into the tag's sequence bits (the class
+// byte is preserved so debugging stays sane).
+func (t *splitTransport) saltTag(tag uint64) uint64 {
+	return tag ^ (t.salt << 36)
+}
+
+func (t *splitTransport) Send(to int, tag uint64, payload []byte) error {
+	if to < 0 || to >= len(t.newToOld) {
+		return fmt.Errorf("cluster: split send to invalid rank %d", to)
+	}
+	return t.parent.Send(t.newToOld[to], t.saltTag(tag), payload)
+}
+
+func (t *splitTransport) Recv(from int, tag uint64) ([]byte, error) {
+	if from < 0 || from >= len(t.newToOld) {
+		return nil, fmt.Errorf("cluster: split recv from invalid rank %d", from)
+	}
+	return t.parent.Recv(t.newToOld[from], t.saltTag(tag))
+}
+
+// Close of a sub-communicator is a no-op: the parent owns the endpoint.
+func (t *splitTransport) Close() error { return nil }

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSplitGroups: 9 ranks split into 3 color groups; each group runs its
+// own collectives independently and concurrently.
+func TestSplitGroups(t *testing.T) {
+	const size = 9
+	err := RunLocal(size, NetModel{}, func(c *Comm) error {
+		color := c.Rank() % 3
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("rank %d: group size %d", c.Rank(), sub.Size())
+		}
+		// key = old rank, so new ranks follow old-rank order
+		wantNew := c.Rank() / 3
+		if sub.Rank() != wantNew {
+			return fmt.Errorf("rank %d: new rank %d, want %d", c.Rank(), sub.Rank(), wantNew)
+		}
+		// independent collectives per group: reduce the member old-ranks
+		sum := func(a, b []byte) []byte {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			return PutUint64s(GetUint64s(a)[0] + GetUint64s(b)[0])
+		}
+		got, err := sub.Reduce(0, PutUint64s(uint64(c.Rank())), sum)
+		if err != nil {
+			return err
+		}
+		if sub.Rank() == 0 {
+			want := uint64(color + (color + 3) + (color + 6))
+			if GetUint64s(got)[0] != want {
+				return fmt.Errorf("group %d: reduce %d, want %d", color, GetUint64s(got)[0], want)
+			}
+		}
+		// broadcasts inside groups must not cross-talk
+		var in []byte
+		if sub.Rank() == 0 {
+			in = PutUint64s(uint64(1000 + color))
+		}
+		out, err := sub.Bcast(0, in)
+		if err != nil {
+			return err
+		}
+		if GetUint64s(out)[0] != uint64(1000+color) {
+			return fmt.Errorf("rank %d got foreign broadcast %d", c.Rank(), GetUint64s(out)[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitSingletons: every rank its own color.
+func TestSplitSingletons(t *testing.T) {
+	err := RunLocal(4, NetModel{}, func(c *Comm) error {
+		sub, err := c.Split(c.Rank(), 0)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			return fmt.Errorf("singleton group wrong: rank %d size %d", sub.Rank(), sub.Size())
+		}
+		// collectives on a singleton are trivial but must work
+		out, err := sub.Bcast(0, []byte("self"))
+		if err != nil || string(out) != "self" {
+			return fmt.Errorf("singleton bcast: %q %v", out, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitThenParentStillWorks: parent collectives continue after a split.
+func TestSplitThenParentStillWorks(t *testing.T) {
+	err := RunLocal(6, NetModel{}, func(c *Comm) error {
+		if _, err := c.Split(c.Rank()%2, 0); err != nil {
+			return err
+		}
+		var in []byte
+		if c.Rank() == 0 {
+			in = PutUint64s(77)
+		}
+		out, err := c.Bcast(0, in)
+		if err != nil {
+			return err
+		}
+		if GetUint64s(out)[0] != 77 {
+			return fmt.Errorf("parent bcast after split got %d", GetUint64s(out)[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport is a Transport over real TCP sockets, one listener per rank.
+// It demonstrates that the distributed layer runs across genuine process
+// boundaries (the in-process fabric is used for the large-scale benchmark
+// sweeps). An optional NetModel injects additional cost at the receiver.
+//
+// Wire format per message: from(4) tag(8) len(4) payload(len), little
+// endian.
+type TCPTransport struct {
+	rank  int
+	addrs []string
+	model NetModel
+
+	box      *mailbox
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[int]*tcpConn
+	inbound []net.Conn
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// NewTCPTransport starts rank's listener at addrs[rank] and returns the
+// endpoint. addrs must list every rank's dialable address. Peers are dialed
+// lazily on first send.
+func NewTCPTransport(rank int, addrs []string) (*TCPTransport, error) {
+	return NewTCPTransportModel(rank, addrs, NetModel{})
+}
+
+// NewTCPTransportModel is NewTCPTransport with an injected cost model.
+func NewTCPTransportModel(rank int, addrs []string, model NetModel) (*TCPTransport, error) {
+	l, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	t := &TCPTransport{
+		rank:     rank,
+		addrs:    addrs,
+		model:    model,
+		box:      newMailbox(),
+		listener: l,
+		conns:    make(map[int]*tcpConn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener address (useful with ":0" ephemeral ports).
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.inbound = append(t.inbound, c)
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	hdr := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return
+		}
+		from := int(binary.LittleEndian.Uint32(hdr[0:]))
+		tag := binary.LittleEndian.Uint64(hdr[4:])
+		n := binary.LittleEndian.Uint32(hdr[12:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		if t.box.put(msgKey{from: from, tag: tag}, payload) != nil {
+			return
+		}
+	}
+}
+
+func (t *TCPTransport) conn(to int) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	nc, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rank %d dial rank %d (%s): %w", t.rank, to, t.addrs[to], err)
+	}
+	c := &tcpConn{c: nc}
+	t.conns[to] = c
+	return c, nil
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to int, tag uint64, payload []byte) error {
+	c, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(t.rank))
+	binary.LittleEndian.PutUint64(buf[4:], tag)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
+	copy(buf[16:], payload)
+	c.mu.Lock()
+	_, err = c.c.Write(buf)
+	c.mu.Unlock()
+	return err
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(from int, tag uint64) ([]byte, error) {
+	p, err := t.box.take(msgKey{from: from, tag: tag})
+	if err != nil {
+		return nil, err
+	}
+	charge(t.model.cost(len(p)))
+	return p, nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[int]*tcpConn{}
+	inbound := t.inbound
+	t.inbound = nil
+	t.mu.Unlock()
+
+	t.listener.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.box.close()
+	t.wg.Wait()
+	return nil
+}

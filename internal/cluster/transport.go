@@ -1,0 +1,190 @@
+// Package cluster provides the distributed substrate for the horizontal-
+// scalability experiments: an MPI-like rank/communicator abstraction with
+// point-to-point messaging and tree-based collectives (Bcast, Gather,
+// Reduce, Barrier), over pluggable transports.
+//
+// The paper runs one MPI rank per Theta node. Here ranks are goroutines
+// connected either by an in-process transport or by TCP sockets. Because an
+// in-process "network" is unrealistically fast, the local transport charges
+// a configurable alpha/beta cost (per-message latency plus per-byte
+// bandwidth) at the receiver, restoring the collective-communication term
+// that dominates the paper's Figures 6-8 at large rank counts.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NetModel is the alpha/beta communication cost model: receiving an m-byte
+// message costs Latency + m/Bandwidth. The zero value models an infinitely
+// fast network (no injected cost).
+type NetModel struct {
+	// Latency is the per-message cost (MPI alpha term).
+	Latency time.Duration
+	// Bandwidth is in bytes per second (MPI 1/beta term); 0 = infinite.
+	Bandwidth float64
+}
+
+// cost returns the modeled transfer time of an n-byte message.
+func (m NetModel) cost(n int) time.Duration {
+	d := m.Latency
+	if m.Bandwidth > 0 {
+		d += time.Duration(float64(n) / m.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Theta is a network model loosely calibrated to the paper's testbed scale:
+// a few tens of microseconds per MPI message plus multi-GB/s links.
+var Theta = NetModel{Latency: 30 * time.Microsecond, Bandwidth: 4e9}
+
+// charge models the transfer time. Short costs busy-wait: timer granularity
+// (about a millisecond on a containerized kernel) would inflate them by
+// orders of magnitude, and the latency-bound messages they model sit on
+// sequential critical paths (collective tree hops) where occupying the host
+// core is faithful. Long costs sleep: they model bandwidth-bound transfers
+// that genuinely overlap on independent physical links, and a parked
+// goroutine lets concurrent transfers overlap the same way.
+func charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= 200*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// ErrClosed is returned on use of a closed transport.
+var ErrClosed = errors.New("cluster: transport closed")
+
+// Transport moves byte payloads between ranks. Implementations must allow
+// concurrent Send/Recv and match messages by (from, tag) in FIFO order.
+type Transport interface {
+	// Send delivers payload to rank `to` with the given tag. It is
+	// buffered (eager): it does not wait for the receiver.
+	Send(to int, tag uint64, payload []byte) error
+	// Recv blocks until a message with the given source and tag arrives
+	// and returns its payload.
+	Recv(from int, tag uint64) ([]byte, error)
+	Close() error
+}
+
+// ---- In-process transport ----
+
+type msgKey struct {
+	from int
+	tag  uint64
+}
+
+// mailbox holds undelivered messages for one rank.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][][]byte
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[msgKey][][]byte)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(k msgKey, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queues[k] = append(m.queues[k], payload)
+	m.cond.Broadcast()
+	return nil
+}
+
+func (m *mailbox) take(k msgKey) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			p := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return p, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// LocalFabric connects n in-process ranks.
+type LocalFabric struct {
+	model NetModel
+	boxes []*mailbox
+}
+
+// NewLocalFabric builds a fabric of n ranks with the given cost model.
+func NewLocalFabric(n int, model NetModel) *LocalFabric {
+	f := &LocalFabric{model: model, boxes: make([]*mailbox, n)}
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	return f
+}
+
+// Transport returns rank's endpoint.
+func (f *LocalFabric) Transport(rank int) Transport {
+	return &localTransport{fabric: f, rank: rank}
+}
+
+// Close shuts down every rank's mailbox.
+func (f *LocalFabric) Close() {
+	for _, b := range f.boxes {
+		b.close()
+	}
+}
+
+type localTransport struct {
+	fabric *LocalFabric
+	rank   int
+}
+
+func (t *localTransport) Send(to int, tag uint64, payload []byte) error {
+	if to < 0 || to >= len(t.fabric.boxes) {
+		return fmt.Errorf("cluster: send to invalid rank %d", to)
+	}
+	return t.fabric.boxes[to].put(msgKey{from: t.rank, tag: tag}, payload)
+}
+
+func (t *localTransport) Recv(from int, tag uint64) ([]byte, error) {
+	p, err := t.fabric.boxes[t.rank].take(msgKey{from: from, tag: tag})
+	if err != nil {
+		return nil, err
+	}
+	// The receiver pays the modeled wire cost: latency + bytes/bandwidth.
+	charge(t.fabric.model.cost(len(p)))
+	return p, nil
+}
+
+func (t *localTransport) Close() error {
+	t.fabric.boxes[t.rank].close()
+	return nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/vhistory"
+)
+
+// CompactTo writes a compacted copy of the store into a fresh pool and
+// returns the new store. Versions older than keepSince are forgotten: each
+// key keeps its state *as of* keepSince (one baseline entry) plus every
+// later change, so Find/ExtractSnapshot/ExtractRange agree with the
+// original for every version >= keepSince, while queries below keepSince
+// resolve as if keepSince were the beginning of time.
+//
+// This implements the aging/garbage-collection direction the paper leaves
+// as future work (Section IV-B: "keys that are only valid in certain
+// versions that are rarely accessed... garbage collection and/or aging
+// mechanisms"), in the crash-safe copying style of an LSM compaction: the
+// destination pool is complete and internally consistent before anything
+// references it, so a crash mid-compaction leaves the source untouched.
+// With file-backed pools, swap the files (rename) after CompactTo returns.
+//
+// The source must be quiescent: no concurrent writers during compaction
+// (readers are unaffected).
+func (s *Store) CompactTo(opts Options, keepSince uint64) (*Store, error) {
+	dst, err := Create(opts)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			dst.Close()
+		}
+	}()
+
+	var walkErr error
+	s.index.All(func(key uint64, h *vhistory.PHistory) bool {
+		events := h.Entries(s.arena, s.clock)
+		for _, e := range compactEvents(events, keepSince) {
+			if err := dst.appendAt(key, e.Version, e.Value); err != nil {
+				walkErr = fmt.Errorf("core: compact key %d: %w", key, err)
+				return false
+			}
+		}
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	// Preserve the version clock so tags keep advancing seamlessly.
+	cur := s.CurrentVersion()
+	dst.arena.StoreUint64(dst.super+supVerOff, cur)
+	dst.arena.Persist(dst.super+supVerOff, 8)
+	ok = true
+	return dst, nil
+}
+
+// CompactEvents is the compaction retention rule, exported for layers that
+// rebuild stores with transformed values (the blob layer rewrites its
+// payloads into the destination pool and cannot reuse this package's
+// CompactTo directly).
+func CompactEvents(events []kv.Event, cut uint64) []kv.Event {
+	return compactEvents(events, cut)
+}
+
+// SetCurrentVersion forces the version counter, durably. For replay-style
+// tooling only (compaction destinations); the version must not regress
+// below any recorded entry's version.
+func (s *Store) SetCurrentVersion(v uint64) {
+	s.arena.StoreUint64(s.super+supVerOff, v)
+	s.arena.Persist(s.super+supVerOff, 8)
+}
+
+// compactEvents returns the events to retain: the last event at or below
+// the cut (the baseline — dropped if it is a removal, since "absent" needs
+// no entry) followed by every event above the cut.
+func compactEvents(events []kv.Event, cut uint64) []kv.Event {
+	// index of first event with Version > cut
+	first := len(events)
+	for i, e := range events {
+		if e.Version > cut {
+			first = i
+			break
+		}
+	}
+	out := make([]kv.Event, 0, len(events)-first+1)
+	if first > 0 {
+		if base := events[first-1]; !base.Removed() {
+			// Collapse the pre-cut history into one baseline entry pinned
+			// at the cut version.
+			out = append(out, kv.Event{Version: cut, Value: base.Value})
+		}
+	}
+	return append(out, events[first:]...)
+}
+
+// appendAt is the version-explicit write used by compaction: it routes
+// through the normal insert path but records the caller's version rather
+// than the store's current one. Values may be the removal marker.
+func (s *Store) appendAt(key, version, value uint64) error {
+	if s.wedged.Load() {
+		return ErrWedged
+	}
+	h, ok := s.index.Get(key)
+	if !ok {
+		nh, err := vhistory.NewPHistory(s.arena, key)
+		if err != nil {
+			s.wedged.Store(true)
+			return err
+		}
+		var created bool
+		h, created = s.index.GetOrCreate(key,
+			func() *vhistory.PHistory { return nh },
+			func(loser *vhistory.PHistory) { loser.FreeUnpublished(s.arena) },
+		)
+		if created {
+			if err := s.chain.Append(key, h.Head); err != nil {
+				s.wedged.Store(true)
+				h.SetPublished()
+				return err
+			}
+			h.SetPublished()
+		}
+	}
+	if err := h.Append(s.arena, version, value, s.clock); err != nil {
+		s.wedged.Store(true)
+		return err
+	}
+	return nil
+}

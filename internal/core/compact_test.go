@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+func newStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.ArenaBytes == 0 {
+		opts.ArenaBytes = 64 << 20
+	}
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCompactEvents(t *testing.T) {
+	ev := func(v, val uint64) kv.Event { return kv.Event{Version: v, Value: val} }
+	cases := []struct {
+		name string
+		in   []kv.Event
+		cut  uint64
+		want []kv.Event
+	}{
+		{"empty", nil, 5, nil},
+		{"all-after-cut", []kv.Event{ev(6, 1), ev(7, 2)}, 5, []kv.Event{ev(6, 1), ev(7, 2)}},
+		{"all-before-cut", []kv.Event{ev(1, 1), ev(2, 2)}, 5, []kv.Event{ev(5, 2)}},
+		{"straddle", []kv.Event{ev(1, 1), ev(4, 4), ev(8, 8)}, 5, []kv.Event{ev(5, 4), ev(8, 8)}},
+		{"baseline-is-marker", []kv.Event{ev(1, 1), ev(3, kv.Marker), ev(9, 9)}, 5, []kv.Event{ev(9, 9)}},
+		{"marker-after-cut-kept", []kv.Event{ev(1, 1), ev(7, kv.Marker)}, 5, []kv.Event{ev(5, 1), ev(7, kv.Marker)}},
+		{"exactly-at-cut", []kv.Event{ev(5, 50)}, 5, []kv.Event{ev(5, 50)}},
+	}
+	for _, c := range cases {
+		got := compactEvents(c.in, c.cut)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: got %v want %v", c.name, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: got %v want %v", c.name, got, c.want)
+			}
+		}
+	}
+}
+
+// TestCompactToEquivalence: after compaction at cut, every query at
+// version >= cut matches the original store.
+func TestCompactToEquivalence(t *testing.T) {
+	src := newStore(t, Options{})
+	// Build a story: 100 keys with updates and removals over 10 versions.
+	for ver := uint64(0); ver < 10; ver++ {
+		for k := uint64(0); k < 100; k++ {
+			switch (k + ver) % 5 {
+			case 0:
+				src.Insert(k, k*1000+ver)
+			case 1:
+				if ver > 2 {
+					src.Remove(k)
+				}
+			}
+		}
+		src.Tag()
+	}
+	cut := uint64(6)
+	dst, err := src.CompactTo(Options{ArenaBytes: 64 << 20}, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	if dst.CurrentVersion() != src.CurrentVersion() {
+		t.Fatalf("version clock: %d != %d", dst.CurrentVersion(), src.CurrentVersion())
+	}
+	for ver := cut; ver < 11; ver++ {
+		sSnap, dSnap := src.ExtractSnapshot(ver), dst.ExtractSnapshot(ver)
+		if len(sSnap) != len(dSnap) {
+			t.Fatalf("v%d: snapshot sizes %d vs %d", ver, len(sSnap), len(dSnap))
+		}
+		for i := range sSnap {
+			if sSnap[i] != dSnap[i] {
+				t.Fatalf("v%d: pair %d differs: %+v vs %+v", ver, i, sSnap[i], dSnap[i])
+			}
+		}
+		for k := uint64(0); k < 100; k++ {
+			sv, sok := src.Find(k, ver)
+			dv, dok := dst.Find(k, ver)
+			if sok != dok || (sok && sv != dv) {
+				t.Fatalf("v%d key %d: src=(%d,%v) dst=(%d,%v)", ver, k, sv, sok, dv, dok)
+			}
+		}
+	}
+	// Histories must have shrunk overall (that is the point).
+	srcEntries, dstEntries := 0, 0
+	for k := uint64(0); k < 100; k++ {
+		srcEntries += len(src.ExtractHistory(k))
+		dstEntries += len(dst.ExtractHistory(k))
+	}
+	if dstEntries >= srcEntries {
+		t.Fatalf("compaction did not shrink: %d -> %d entries", srcEntries, dstEntries)
+	}
+	// The compacted store remains fully functional and durable-prefix
+	// recoverable (clean reopen path).
+	dst.Insert(5, 42)
+	v := dst.Tag()
+	if got, ok := dst.Find(5, v); !ok || got != 42 {
+		t.Fatalf("post-compaction write: %d,%v", got, ok)
+	}
+}
+
+// TestCompactToQuick: random histories, equivalence above the cut.
+func TestCompactToQuick(t *testing.T) {
+	f := func(ops []uint16, cutSeed uint8) bool {
+		src, err := Create(Options{ArenaBytes: 32 << 20})
+		if err != nil {
+			return false
+		}
+		defer src.Close()
+		for _, op := range ops {
+			k := uint64(op % 8)
+			switch op % 4 {
+			case 0, 1:
+				src.Insert(k, uint64(op)+1)
+			case 2:
+				src.Remove(k)
+			case 3:
+				src.Tag()
+			}
+		}
+		last := src.Tag()
+		cut := uint64(cutSeed) % (last + 1)
+		dst, err := src.CompactTo(Options{ArenaBytes: 32 << 20}, cut)
+		if err != nil {
+			return false
+		}
+		defer dst.Close()
+		for v := cut; v <= last; v++ {
+			for k := uint64(0); k < 8; k++ {
+				sv, sok := src.Find(k, v)
+				dv, dok := dst.Find(k, v)
+				if sok != dok || (sok && sv != dv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactedStoreSurvivesCrash: compact into a shadow arena, crash it,
+// recover, verify.
+func TestCompactedStoreSurvivesCrash(t *testing.T) {
+	src := newStore(t, Options{})
+	for k := uint64(0); k < 50; k++ {
+		src.Insert(k, k+1)
+		src.Tag()
+	}
+	arena, err := pmem.New(32<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arena.Close()
+	// CompactTo needs a caller-owned arena: route through CreateInArena by
+	// compacting manually via appendAt.
+	dst, err := CreateInArena(arena, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		for _, e := range compactEvents(src.ExtractHistory(k), 25) {
+			if err := dst.appendAt(k, e.Version, e.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dst.Clock().Quiesce()
+	arena.Crash()
+	if err := arena.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	dst2, err := OpenArena(arena, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50; k++ {
+		if got, ok := dst2.Find(k, 60); !ok || got != k+1 {
+			t.Fatalf("after crash: Find(%d) = %d,%v", k, got, ok)
+		}
+	}
+}
+
+// TestVersionFilterCorrectness: snapshots with and without the filter are
+// identical; the filter must never hide a key wrongly.
+func TestVersionFilterCorrectness(t *testing.T) {
+	plain := newStore(t, Options{DisableVersionFilter: true})
+	filtered := newStore(t, Options{})
+	for ver := uint64(0); ver < 20; ver++ {
+		// a new cohort of keys is born each version
+		for k := ver * 10; k < ver*10+10; k++ {
+			plain.Insert(k, k)
+			filtered.Insert(k, k)
+		}
+		plain.Tag()
+		filtered.Tag()
+	}
+	for ver := uint64(0); ver < 20; ver++ {
+		a, b := plain.ExtractSnapshot(ver), filtered.ExtractSnapshot(ver)
+		if len(a) != len(b) {
+			t.Fatalf("v%d: %d vs %d pairs", ver, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("v%d: pair %d differs", ver, i)
+			}
+		}
+		ra := plain.ExtractRange(0, ^uint64(0), ver)
+		rb := filtered.ExtractRange(0, ^uint64(0), ver)
+		if len(ra) != len(rb) {
+			t.Fatalf("v%d: range %d vs %d pairs", ver, len(ra), len(rb))
+		}
+	}
+}

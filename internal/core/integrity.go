@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"mvkv/internal/blockchain"
+	"mvkv/internal/vhistory"
+)
+
+// IntegrityReport summarizes a CheckIntegrity pass.
+type IntegrityReport struct {
+	Keys    int
+	Entries uint64
+	Blocks  int
+}
+
+// CheckIntegrity validates the store's persistent and ephemeral invariants:
+//
+//   - every key block chain pair references a history whose recorded key
+//     matches the pair's key, and exactly one pair exists per key;
+//   - the ephemeral index and the chain agree on the key set;
+//   - every exposed history is sorted by version with strictly increasing
+//     commit numbers, all covered by the global finished counter;
+//   - index iteration is strictly key-ordered.
+//
+// It is an operational audit (surfaced as `mvkvctl verify`), intended to
+// run on a quiesced store; concurrent writers may cause spurious
+// complaints about keys mid-publication.
+func (s *Store) CheckIntegrity() (IntegrityReport, error) {
+	var rep IntegrityReport
+	rep.Blocks = s.chain.NumBlocks()
+
+	// Chain ↔ index agreement, no duplicate chain pairs.
+	seen := make(map[uint64]bool, s.index.Len())
+	var chainErr error
+	s.chain.Walk(func(p blockchain.Pair) bool {
+		if seen[p.Key] {
+			chainErr = fmt.Errorf("core: key %d appears twice in the block chain", p.Key)
+			return false
+		}
+		seen[p.Key] = true
+		h, ok := s.index.Get(p.Key)
+		if !ok {
+			chainErr = fmt.Errorf("core: chain key %d missing from the index", p.Key)
+			return false
+		}
+		if h.Head != p.Hist {
+			chainErr = fmt.Errorf("core: chain key %d points at history %d, index at %d",
+				p.Key, p.Hist, h.Head)
+			return false
+		}
+		if got := h.Key(s.arena); got != p.Key {
+			chainErr = fmt.Errorf("core: history of key %d records key %d", p.Key, got)
+			return false
+		}
+		return true
+	})
+	if chainErr != nil {
+		return rep, chainErr
+	}
+
+	// Index-side validation: ordering, chain membership, history health.
+	prevKey := uint64(0)
+	first := true
+	var idxErr error
+	fc := s.clock.Fc()
+	s.index.All(func(k uint64, h *vhistory.PHistory) bool {
+		if !first && k <= prevKey {
+			idxErr = fmt.Errorf("core: index out of order at key %d", k)
+			return false
+		}
+		prevKey, first = k, false
+		if !seen[k] {
+			idxErr = fmt.Errorf("core: index key %d missing from the block chain", k)
+			return false
+		}
+		rep.Keys++
+		if err := h.CheckIntegrity(s.arena, fc); err != nil {
+			idxErr = fmt.Errorf("core: key %d: %w", k, err)
+			return false
+		}
+		rep.Entries += uint64(h.Len(s.arena, s.clock))
+		return true
+	})
+	if idxErr != nil {
+		return rep, idxErr
+	}
+	if rep.Keys != len(seen) {
+		return rep, fmt.Errorf("core: index has %d keys, chain has %d", rep.Keys, len(seen))
+	}
+	return rep, nil
+}

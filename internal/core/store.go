@@ -1,0 +1,344 @@
+// Package core implements PSkipList, the paper's proposed ordered key-value
+// store with native multi-versioning, persistence on (emulated) persistent
+// memory, and lock-free scalability under concurrent access.
+//
+// The design combines the paper's five principles (Section IV-A):
+//
+//   - Compact persistent representation: each key owns a persistent version
+//     history (vhistory.PHistory) — appends for insert/remove, binary search
+//     for find — so snapshots share all unchanged pairs.
+//   - Hybrid ephemeral indexing: a lock-free skip list (skiplist.Map) maps
+//     keys to history handles; it lives in DRAM and is rebuilt on restart.
+//   - Persistent key block chain (blockchain.Chain): the durable registry of
+//     (key, history) pairs, partitionable across reconstruction threads.
+//   - Lazy tail: per-key tails are extended only by queries, gated by the
+//     global pc/fc commit clock (vhistory.Clock).
+//   - Hierarchic multi-threaded merge lives in internal/merge and
+//     internal/cluster; this package provides the per-node store.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mvkv/internal/blockchain"
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+	"mvkv/internal/skiplist"
+	"mvkv/internal/vhistory"
+)
+
+// Superblock layout (the arena root object).
+const (
+	superMagic  = 0x50534B4C53543031 // "PSKLST01"
+	superBytes  = 8 * 8
+	supMagicOff = 0  // magic
+	supVerOff   = 8  // current (unsealed) version number
+	supChainOff = 16 // chain head block pointer
+	// words 3..7 reserved
+)
+
+// ErrMarkerValue is returned by Insert when the value collides with the
+// reserved removal marker.
+var ErrMarkerValue = errors.New("core: value is the reserved removal marker")
+
+// ErrWedged is returned once the store hit an unrecoverable arena error
+// (exhaustion); reads keep working, writes are refused.
+var ErrWedged = errors.New("core: store is wedged after an arena error (likely out of space)")
+
+// Options configures a PSkipList store.
+type Options struct {
+	// ArenaBytes is the persistent pool capacity for Create*. Default 256 MiB.
+	ArenaBytes int64
+	// Path makes the arena file-backed (Linux mmap). Empty = memory-backed.
+	Path string
+	// PersistLatency injects per-cache-line flush latency (PM emulation).
+	PersistLatency time.Duration
+	// Shadow enables crash simulation (memory-backed arenas only).
+	Shadow bool
+	// BlockCapacity is the key chain block capacity (pairs per block).
+	BlockCapacity int
+	// RebuildThreads is the parallelism of index reconstruction on open.
+	// Default runtime.GOMAXPROCS(0).
+	RebuildThreads int
+	// DisableVersionFilter turns off the snapshot version filter (the
+	// future-work extension that skips keys whose first version exceeds
+	// the queried one). For ablation benchmarks.
+	DisableVersionFilter bool
+}
+
+func (o *Options) fill() {
+	if o.ArenaBytes == 0 {
+		o.ArenaBytes = 256 << 20
+	}
+	if o.BlockCapacity == 0 {
+		o.BlockCapacity = blockchain.DefaultBlockCapacity
+	}
+	if o.RebuildThreads <= 0 {
+		o.RebuildThreads = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Store is a PSkipList instance. All methods are safe for concurrent use.
+type Store struct {
+	arena    *pmem.Arena
+	ownArena bool
+	opts     Options
+
+	super pmem.Ptr
+	chain *blockchain.Chain
+	clock *vhistory.Clock
+	index *skiplist.Map[*vhistory.PHistory]
+
+	wedged atomic.Bool
+	stats  RecoveryStats
+}
+
+// RecoveryStats describes what the last Open recovered.
+type RecoveryStats struct {
+	Keys          int    // keys reinserted into the index
+	Entries       uint64 // history entries kept
+	PrunedEntries uint64 // history entries discarded (not durably finished)
+	Fc            uint64 // recovered global finished counter
+	Threads       int    // reconstruction threads used
+	Elapsed       time.Duration
+}
+
+// Create builds a fresh store. With Options.Path set the arena is
+// file-backed and survives process restarts; otherwise it is memory-backed
+// (optionally with crash simulation via Options.Shadow).
+func Create(opts Options) (*Store, error) {
+	opts.fill()
+	a, err := newArena(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	s, err := CreateInArena(a, opts)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	s.ownArena = true
+	return s, nil
+}
+
+// Open reopens the file-backed store at Options.Path, running recovery and
+// parallel index reconstruction.
+func Open(opts Options) (*Store, error) {
+	opts.fill()
+	if opts.Path == "" {
+		return nil, fmt.Errorf("core: Open requires Options.Path")
+	}
+	a, err := pmem.OpenFile(opts.Path, pmem.WithPersistLatency(opts.PersistLatency))
+	if err != nil {
+		return nil, err
+	}
+	s, err := OpenArena(a, opts)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	s.ownArena = true
+	return s, nil
+}
+
+func newArena(opts Options, fresh bool) (*pmem.Arena, error) {
+	var aOpts []pmem.Option
+	if opts.PersistLatency > 0 {
+		aOpts = append(aOpts, pmem.WithPersistLatency(opts.PersistLatency))
+	}
+	if opts.Path != "" {
+		return pmem.CreateFile(opts.Path, opts.ArenaBytes, aOpts...)
+	}
+	if opts.Shadow {
+		aOpts = append(aOpts, pmem.WithShadow())
+	}
+	return pmem.New(opts.ArenaBytes, aOpts...)
+}
+
+// CreateInArena formats a fresh store inside a caller-owned arena.
+func CreateInArena(a *pmem.Arena, opts Options) (*Store, error) {
+	opts.fill()
+	super, err := a.Alloc(superBytes)
+	if err != nil {
+		return nil, err
+	}
+	a.StoreUint64(super+supMagicOff, superMagic)
+	a.StoreUint64(super+supVerOff, 0)
+	a.Persist(super, superBytes)
+	s := &Store{
+		arena: a,
+		opts:  opts,
+		super: super,
+		clock: vhistory.NewClock(),
+		index: skiplist.New[*vhistory.PHistory](),
+	}
+	chain, err := blockchain.New(a, super+supChainOff, opts.BlockCapacity)
+	if err != nil {
+		return nil, err
+	}
+	s.chain = chain
+	a.SetRoot(super)
+	return s, nil
+}
+
+// OpenArena recovers a store previously created in a caller-owned arena
+// (after pmem.Arena.Crash or a process restart). See recover.go.
+func OpenArena(a *pmem.Arena, opts Options) (*Store, error) {
+	opts.fill()
+	super := a.Root()
+	if super == pmem.NullPtr || a.LoadUint64(super+supMagicOff) != superMagic {
+		return nil, fmt.Errorf("core: arena does not contain a PSkipList store")
+	}
+	s := &Store{
+		arena: a,
+		opts:  opts,
+		super: super,
+		clock: vhistory.NewClock(),
+		index: skiplist.New[*vhistory.PHistory](),
+	}
+	chain, err := blockchain.Open(a, super+supChainOff, opts.BlockCapacity)
+	if err != nil {
+		return nil, err
+	}
+	s.chain = chain
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Arena exposes the underlying pool (benchmarks and tests).
+func (s *Store) Arena() *pmem.Arena { return s.arena }
+
+// RecoveryStats returns the statistics of the last recovery (zero for a
+// freshly created store).
+func (s *Store) RecoveryStats() RecoveryStats { return s.stats }
+
+// CurrentVersion returns the unsealed version operations currently land in.
+func (s *Store) CurrentVersion() uint64 { return s.arena.LoadUint64(s.super + supVerOff) }
+
+// Tag seals the current version and returns its number (Table 1 tag). The
+// seal is durable before Tag returns.
+func (s *Store) Tag() uint64 {
+	sealed := s.arena.AddUint64(s.super+supVerOff, 1) - 1
+	s.arena.Persist(s.super+supVerOff, 8)
+	return sealed
+}
+
+// Insert records key=value in the current version.
+func (s *Store) Insert(key, value uint64) error {
+	if value == kv.Marker {
+		return ErrMarkerValue
+	}
+	return s.append(key, value)
+}
+
+// Remove records key's removal in the current version. Removing an absent
+// key is recorded too (the history then starts with a marker), keeping
+// Remove idempotent and order-tolerant under concurrency.
+func (s *Store) Remove(key uint64) error {
+	return s.append(key, kv.Marker)
+}
+
+// append records the change in the current version. The underlying
+// version-explicit path (appendAt, in compact.go) durably publishes brand
+// new keys in the block chain before their first commit can claim a global
+// sequence number; otherwise a crash could leave a committed sequence
+// number with no reachable history, capping the recoverable prefix (see
+// DESIGN.md).
+func (s *Store) append(key, value uint64) error {
+	return s.appendAt(key, s.CurrentVersion(), value)
+}
+
+// Find returns key's value in snapshot version (Table 1 find).
+func (s *Store) Find(key, version uint64) (uint64, bool) {
+	h, ok := s.index.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return h.Find(s.arena, version, s.clock)
+}
+
+// ExtractSnapshot returns every pair present in snapshot version, sorted by
+// key (Table 1 extract_snapshot).
+func (s *Store) ExtractSnapshot(version uint64) []kv.KV {
+	filter := !s.opts.DisableVersionFilter
+	out := make([]kv.KV, 0, s.index.Len())
+	s.index.All(func(k uint64, h *vhistory.PHistory) bool {
+		if filter {
+			if fv, ok := h.FirstVersion(s.arena, s.clock); ok && fv > version {
+				return true // key born after the queried snapshot
+			}
+		}
+		if v, ok := h.Find(s.arena, version, s.clock); ok {
+			out = append(out, kv.KV{Key: k, Value: v})
+		}
+		return true
+	})
+	return out
+}
+
+// ExtractRange returns the pairs with lo <= key < hi present in snapshot
+// version, sorted by key. Combined with the ordered index this makes
+// snapshot access pageable: iterate in key chunks instead of materializing
+// the whole snapshot.
+func (s *Store) ExtractRange(lo, hi, version uint64) []kv.KV {
+	filter := !s.opts.DisableVersionFilter
+	var out []kv.KV
+	s.index.Range(lo, hi, func(k uint64, h *vhistory.PHistory) bool {
+		if filter {
+			if fv, ok := h.FirstVersion(s.arena, s.clock); ok && fv > version {
+				return true
+			}
+		}
+		if v, ok := h.Find(s.arena, version, s.clock); ok {
+			out = append(out, kv.KV{Key: k, Value: v})
+		}
+		return true
+	})
+	return out
+}
+
+// ExtractHistory returns key's change log (Table 1 extract_history).
+func (s *Store) ExtractHistory(key uint64) []kv.Event {
+	h, ok := s.index.Get(key)
+	if !ok {
+		return nil
+	}
+	return h.Entries(s.arena, s.clock)
+}
+
+// Len returns the number of distinct keys ever inserted.
+func (s *Store) Len() int { return s.index.Len() }
+
+// Keys visits every key in ascending order until fn returns false. Used by
+// tooling layered on the store (compaction, replication, the blob layer).
+func (s *Store) Keys(fn func(key uint64) bool) {
+	s.index.All(func(k uint64, _ *vhistory.PHistory) bool { return fn(k) })
+}
+
+// AppendAt records key=value under an explicit version instead of the
+// current one. It exists for replay-style tooling — compaction rewrites and
+// replication — that must preserve original version numbers; value may be
+// the removal Marker. Versions appended to one key must be non-decreasing.
+func (s *Store) AppendAt(key, version, value uint64) error {
+	return s.appendAt(key, version, value)
+}
+
+// Clock exposes the commit clock (tests and benchmarks).
+func (s *Store) Clock() *vhistory.Clock { return s.clock }
+
+// Close makes the state durable and releases the arena if owned.
+func (s *Store) Close() error {
+	s.clock.Quiesce()
+	if s.ownArena {
+		return s.arena.Close()
+	}
+	return nil
+}
+
+var _ kv.Store = (*Store)(nil)

@@ -1,0 +1,325 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/kv"
+)
+
+// This file adds the write path the paper describes as embarrassingly
+// parallel ("most operations except extract snapshot can be implemented
+// ... by redirecting them to the compute node responsible for their
+// keys"): rank 0 routes each insert/remove point-to-point to the owner
+// rank, and ClusterStore packages the whole protocol as a kv.Store — the
+// entire cluster behaves as one multi-version ordered store and passes the
+// same conformance suite as the local ones.
+
+// write frame opcodes (point-to-point, rank 0 -> owner).
+const (
+	wInsert uint64 = iota + 1
+	wRemove
+	wStop
+)
+
+// additional broadcast opcodes for store-wide operations.
+const (
+	opTagAll uint64 = iota + 100
+	opLenSum
+	opHistoryAny
+)
+
+// ServeWrites processes routed writes on a worker rank until wStop.
+// Run it alongside Serve (see ServeAll).
+func (s *Service) ServeWrites() error {
+	for {
+		req, err := s.comm.Recv(0)
+		if err != nil {
+			return err
+		}
+		w := cluster.GetUint64s(req)
+		var reply string
+		switch w[0] {
+		case wInsert:
+			if err := s.store.Insert(w[1], w[2]); err != nil {
+				reply = err.Error()
+			}
+		case wRemove:
+			if err := s.store.Remove(w[1]); err != nil {
+				reply = err.Error()
+			}
+		case wStop:
+			return s.comm.Send(0, nil)
+		default:
+			reply = fmt.Sprintf("dist: unknown write opcode %d", w[0])
+		}
+		if err := s.comm.Send(0, []byte(reply)); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeAll runs the query loop and the write loop concurrently; it returns
+// after Shutdown (which also stops the write loop).
+func (s *Service) ServeAll() error {
+	errCh := make(chan error, 2)
+	go func() { errCh <- s.ServeWrites() }()
+	go func() { errCh <- s.Serve() }()
+	err1 := <-errCh
+	err2 := <-errCh
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// routeWrite sends a write to its owner (or applies it locally on rank 0)
+// and waits for the acknowledgement. Caller must serialize (ClusterStore
+// does).
+func (s *Service) routeWrite(op, key, value uint64) error {
+	owner := Owner(key, s.comm.Size())
+	if owner == s.comm.Rank() {
+		if op == wInsert {
+			return s.store.Insert(key, value)
+		}
+		return s.store.Remove(key)
+	}
+	if err := s.comm.Send(owner, cluster.PutUint64s(op, key, value)); err != nil {
+		return err
+	}
+	ack, err := s.comm.Recv(owner)
+	if err != nil {
+		return err
+	}
+	if len(ack) > 0 {
+		return fmt.Errorf("%s", ack)
+	}
+	return nil
+}
+
+// stopWrites terminates every rank's write loop (rank 0 only).
+func (s *Service) stopWrites() error {
+	for r := 1; r < s.comm.Size(); r++ {
+		if err := s.comm.Send(r, cluster.PutUint64s(wStop, 0, 0)); err != nil {
+			return err
+		}
+		if _, err := s.comm.Recv(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TagAll seals the current version on every rank (they stay in lockstep
+// because all mutations flow through rank 0) and returns its number.
+func (s *Service) TagAll() (uint64, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opTagAll)); err != nil {
+		return 0, err
+	}
+	v := s.store.Tag()
+	// Confirm every rank sealed the same version number.
+	rep, err := s.comm.Reduce(0, cluster.PutUint64s(v, v), combineMinMax)
+	if err != nil {
+		return 0, err
+	}
+	w := cluster.GetUint64s(rep)
+	if w[0] != w[1] {
+		return 0, fmt.Errorf("dist: version skew across ranks: %d..%d", w[0], w[1])
+	}
+	return v, nil
+}
+
+func combineMinMax(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	av, bv := cluster.GetUint64s(a), cluster.GetUint64s(b)
+	lo, hi := av[0], av[1]
+	if bv[0] < lo {
+		lo = bv[0]
+	}
+	if bv[1] > hi {
+		hi = bv[1]
+	}
+	return cluster.PutUint64s(lo, hi)
+}
+
+// LenSum returns the total number of distinct keys across all partitions.
+func (s *Service) LenSum() (int, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opLenSum)); err != nil {
+		return 0, err
+	}
+	rep, err := s.comm.Reduce(0, cluster.PutUint64s(uint64(s.store.Len())), combineSum)
+	if err != nil {
+		return 0, err
+	}
+	return int(cluster.GetUint64s(rep)[0]), nil
+}
+
+func combineSum(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return cluster.PutUint64s(cluster.GetUint64s(a)[0] + cluster.GetUint64s(b)[0])
+}
+
+// HistoryAny returns the key's change log from its owner.
+func (s *Service) HistoryAny(key uint64) ([]kv.Event, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opHistoryAny, key)); err != nil {
+		return nil, err
+	}
+	rep, err := s.comm.Reduce(0, s.historyReply(key), combineFind)
+	if err != nil {
+		return nil, err
+	}
+	w := cluster.GetUint64s(rep)
+	if w[0] == 0 {
+		return nil, nil
+	}
+	n := int(w[1])
+	out := make([]kv.Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, kv.Event{Version: w[2+2*i], Value: w[3+2*i]})
+	}
+	return out, nil
+}
+
+// historyReply encodes (present, n, events...) — present only on the owner
+// so combineFind picks it.
+func (s *Service) historyReply(key uint64) []byte {
+	if Owner(key, s.comm.Size()) != s.comm.Rank() {
+		return cluster.PutUint64s(0, 0)
+	}
+	evs := s.store.ExtractHistory(key)
+	vals := make([]uint64, 0, 2+2*len(evs))
+	vals = append(vals, 1, uint64(len(evs)))
+	for _, e := range evs {
+		vals = append(vals, e.Version, e.Value)
+	}
+	return cluster.PutUint64s(vals...)
+}
+
+// ClusterStore drives a whole partitioned cluster through the kv.Store
+// interface from rank 0. Operations are serialized internally (collective
+// protocols require a single well-ordered initiator stream); worker ranks
+// must be inside ServeAll.
+type ClusterStore struct {
+	mu  sync.Mutex
+	svc *Service
+}
+
+// NewClusterStore wraps rank 0's service. Close shuts the cluster down.
+func NewClusterStore(svc *Service) *ClusterStore {
+	return &ClusterStore{svc: svc}
+}
+
+// Insert implements kv.Store (routed to the owner rank).
+func (c *ClusterStore) Insert(key, value uint64) error {
+	if value == kv.Marker {
+		return fmt.Errorf("dist: value is the reserved removal marker")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.routeWrite(wInsert, key, value)
+}
+
+// Remove implements kv.Store.
+func (c *ClusterStore) Remove(key uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.routeWrite(wRemove, key, 0)
+}
+
+// Find implements kv.Store.
+func (c *ClusterStore) Find(key, version uint64) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok, err := c.svc.Find(key, version)
+	if err != nil {
+		return 0, false
+	}
+	return v, ok
+}
+
+// Tag implements kv.Store.
+func (c *ClusterStore) Tag() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.svc.TagAll()
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// CurrentVersion implements kv.Store (all ranks are in lockstep; rank 0's
+// counter is authoritative).
+func (c *ClusterStore) CurrentVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.store.CurrentVersion()
+}
+
+// ExtractSnapshot implements kv.Store (OptMerge).
+func (c *ClusterStore) ExtractSnapshot(version uint64) []kv.KV {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := c.svc.ExtractSnapshotOpt(version)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ExtractRange implements kv.Store.
+func (c *ClusterStore) ExtractRange(lo, hi, version uint64) []kv.KV {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := c.svc.ExtractRange(lo, hi, version)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ExtractHistory implements kv.Store.
+func (c *ClusterStore) ExtractHistory(key uint64) []kv.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := c.svc.HistoryAny(key)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Len implements kv.Store (sum across partitions).
+func (c *ClusterStore) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, err := c.svc.LenSum()
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Close implements kv.Store: it shuts down the worker ranks (their local
+// stores are closed by their owners after ServeAll returns).
+func (c *ClusterStore) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.svc.stopWrites(); err != nil {
+		return err
+	}
+	return c.svc.Shutdown()
+}
+
+var _ kv.Store = (*ClusterStore)(nil)

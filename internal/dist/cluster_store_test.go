@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"testing"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/storetest"
+)
+
+// clusterHandle adapts a running cluster's rank-0 store so that Close also
+// releases the rank goroutines.
+type clusterHandle struct {
+	*ClusterStore
+	done chan error
+}
+
+func (h *clusterHandle) Close() error {
+	if err := h.ClusterStore.Close(); err != nil {
+		return err
+	}
+	return <-h.done
+}
+
+// launchCluster starts a size-rank cluster of local stores and returns the
+// rank-0 ClusterStore.
+func launchCluster(t *testing.T, size int) kv.Store {
+	t.Helper()
+	ready := make(chan *ClusterStore, 1)
+	released := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- cluster.RunLocal(size, cluster.NetModel{}, func(c *cluster.Comm) error {
+			st := eskiplist.New()
+			defer st.Close()
+			svc := New(c, st, 2)
+			if c.Rank() != 0 {
+				return svc.ServeAll()
+			}
+			ready <- NewClusterStore(svc)
+			<-released // rank 0 stays alive until the store is closed
+			return nil
+		})
+	}()
+	cs := <-ready
+	return &clusterHandle{ClusterStore: cs, done: func() chan error {
+		// closing the store must also release rank 0's goroutine
+		ch := make(chan error, 1)
+		go func() {
+			err := <-done
+			ch <- err
+		}()
+		close(released)
+		return ch
+	}()}
+}
+
+// TestClusterStoreConformance runs the full store conformance suite with a
+// 4-rank cluster standing behind the Store interface: routed writes,
+// collective finds, recursive-doubling snapshots, owner-resolved histories.
+func TestClusterStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		return launchCluster(t, 4)
+	})
+}
+
+func TestClusterStoreSnapshotConsistency(t *testing.T) {
+	storetest.RunSnapshotConsistency(t, func(t *testing.T) kv.Store {
+		return launchCluster(t, 3)
+	})
+}
+
+// TestClusterStoreRouting verifies writes land on their owner rank.
+func TestClusterStoreRouting(t *testing.T) {
+	const size = 5
+	err := cluster.RunLocal(size, cluster.NetModel{}, func(c *cluster.Comm) error {
+		st := eskiplist.New()
+		defer st.Close()
+		svc := New(c, st, 1)
+		if c.Rank() != 0 {
+			if err := svc.ServeAll(); err != nil {
+				return err
+			}
+			// after shutdown: this rank must hold exactly its owned keys
+			for k := uint64(0); k < 100; k++ {
+				_, ok := st.Find(k, 1000)
+				if want := Owner(k, size) == c.Rank(); ok != want {
+					t.Errorf("rank %d: key %d present=%v want %v", c.Rank(), k, ok, want)
+				}
+			}
+			return nil
+		}
+		cs := NewClusterStore(svc)
+		for k := uint64(0); k < 100; k++ {
+			if err := cs.Insert(k, k+1); err != nil {
+				return err
+			}
+		}
+		v := cs.Tag()
+		if got := cs.Len(); got != 100 {
+			t.Errorf("cluster Len = %d", got)
+		}
+		snap := cs.ExtractSnapshot(v)
+		if len(snap) != 100 {
+			t.Errorf("cluster snapshot has %d pairs", len(snap))
+		}
+		// rank 0's own partition check happens here before Close
+		for k := uint64(0); k < 100; k++ {
+			_, ok := st.Find(k, v)
+			if want := Owner(k, size) == 0; ok != want {
+				t.Errorf("rank 0: key %d present=%v want %v", k, ok, want)
+			}
+		}
+		return cs.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package dist implements the paper's horizontal-scalability layer
+// (Section V-H): the key-value collection is partitioned across K ranks,
+// each owning a local multi-version store; rank 0 initiates queries that
+// run as MPI-style collectives over the cluster substrate.
+//
+//   - Find: broadcast (key, version), every rank probes its partition, the
+//     replies reduce back to rank 0 along a binomial tree.
+//   - Snapshot gather: broadcast version, each rank extracts its local
+//     sorted run, runs are gathered at rank 0 (Figure 7's lower bound).
+//   - NaiveMerge: gather + a K-way heap merge at rank 0.
+//   - OptMerge: recursive doubling — in each of log2(K) rounds the "odd"
+//     survivor sends its run to its partner, which merges it in with the
+//     multi-threaded two-way merge and survives (Section IV-A).
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/kv"
+	"mvkv/internal/merge"
+)
+
+// Owner maps a key to its owning rank. The paper partitions keys across
+// nodes; with uniformly random integer keys, Fibonacci hashing spreads any
+// key distribution evenly while keeping the mapping stateless.
+func Owner(key uint64, size int) int {
+	return int((key * 0x9E3779B97F4A7C15) >> 32 % uint64(size))
+}
+
+// Command opcodes broadcast by rank 0.
+const (
+	opFind uint64 = iota + 1
+	opHistory
+	opGather
+	opNaiveMerge
+	opOptMerge
+	opBulkFind
+	opRangeMerge
+	opShutdown
+)
+
+// Service runs the distributed protocol on one rank. Rank 0 drives queries
+// through the exported methods; every other rank must be inside Serve.
+type Service struct {
+	comm    *cluster.Comm
+	store   kv.Store
+	threads int // merge threads per rank (the paper's OpenMP threads)
+}
+
+// New wraps a communicator and this rank's local store. threads configures
+// the multi-threaded merge parallelism (<=1 means sequential merges).
+func New(comm *cluster.Comm, store kv.Store, threads int) *Service {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Service{comm: comm, store: store, threads: threads}
+}
+
+// Comm returns the underlying communicator.
+func (s *Service) Comm() *cluster.Comm { return s.comm }
+
+// Store returns the local partition store.
+func (s *Service) Store() kv.Store { return s.store }
+
+// ---- serialization ----
+
+// EncodeKVs serializes a sorted run (16 bytes per pair).
+func EncodeKVs(run []kv.KV) []byte {
+	out := make([]byte, 16*len(run))
+	for i, p := range run {
+		binary.LittleEndian.PutUint64(out[i*16:], p.Key)
+		binary.LittleEndian.PutUint64(out[i*16+8:], p.Value)
+	}
+	return out
+}
+
+// DecodeKVs deserializes a run.
+func DecodeKVs(p []byte) []kv.KV {
+	out := make([]kv.KV, len(p)/16)
+	for i := range out {
+		out[i].Key = binary.LittleEndian.Uint64(p[i*16:])
+		out[i].Value = binary.LittleEndian.Uint64(p[i*16+8:])
+	}
+	return out
+}
+
+// findReply encodes a Find probe result.
+func findReply(v uint64, ok bool) []byte {
+	f := uint64(0)
+	if ok {
+		f = 1
+	}
+	return cluster.PutUint64s(f, v)
+}
+
+// combineFind is the Reduce operator for Find: at most one rank owns the
+// key, so pick the found reply if any.
+func combineFind(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if cluster.GetUint64s(a)[0] != 0 {
+		return a
+	}
+	return b
+}
+
+// ---- rank 0 (initiator) API ----
+
+// Find resolves key at version across the cluster. Must be called on rank
+// 0 while every other rank is in Serve.
+func (s *Service) Find(key, version uint64) (uint64, bool, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opFind, key, version)); err != nil {
+		return 0, false, err
+	}
+	v, ok := s.store.Find(key, version)
+	rep, err := s.comm.Reduce(0, findReply(v, ok), combineFind)
+	if err != nil {
+		return 0, false, err
+	}
+	w := cluster.GetUint64s(rep)
+	return w[1], w[0] != 0, nil
+}
+
+// BulkFind resolves a batch of (key, version) queries in one collective
+// round-trip — the "bulk mode" the paper mentions as complementary to its
+// one-at-a-time study.
+func (s *Service) BulkFind(keys, versions []uint64) ([]uint64, []bool, error) {
+	if len(keys) != len(versions) {
+		return nil, nil, fmt.Errorf("dist: %d keys but %d versions", len(keys), len(versions))
+	}
+	payload := make([]uint64, 0, 1+2*len(keys))
+	payload = append(payload, opBulkFind)
+	payload = append(payload, keys...)
+	payload = append(payload, versions...)
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(payload...)); err != nil {
+		return nil, nil, err
+	}
+	rep, err := s.comm.Reduce(0, s.bulkProbe(keys, versions), combineBulk)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := cluster.GetUint64s(rep)
+	n := len(keys)
+	vals := make([]uint64, n)
+	oks := make([]bool, n)
+	for i := 0; i < n; i++ {
+		oks[i] = w[i] != 0
+		vals[i] = w[n+i]
+	}
+	return vals, oks, nil
+}
+
+// bulkProbe answers the local portion of a bulk query: flags then values.
+func (s *Service) bulkProbe(keys, versions []uint64) []byte {
+	n := len(keys)
+	out := make([]uint64, 2*n)
+	size := s.comm.Size()
+	for i := range keys {
+		if Owner(keys[i], size) != s.comm.Rank() {
+			continue
+		}
+		if v, ok := s.store.Find(keys[i], versions[i]); ok {
+			out[i] = 1
+			out[n+i] = v
+		}
+	}
+	return cluster.PutUint64s(out...)
+}
+
+func combineBulk(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	av, bv := cluster.GetUint64s(a), cluster.GetUint64s(b)
+	n := len(av) / 2
+	for i := 0; i < n; i++ {
+		if av[i] == 0 && bv[i] != 0 {
+			av[i] = 1
+			av[n+i] = bv[n+i]
+		}
+	}
+	return cluster.PutUint64s(av...)
+}
+
+// GatherSnapshot broadcasts the query and gathers every rank's local sorted
+// run at rank 0 without merging — the paper's gather experiment (Figure 7),
+// the lower bound for accessing a whole snapshot.
+func (s *Service) GatherSnapshot(version uint64) ([][]kv.KV, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opGather, version)); err != nil {
+		return nil, err
+	}
+	local := s.store.ExtractSnapshot(version)
+	parts, err := s.comm.Gather(0, EncodeKVs(local))
+	if err != nil {
+		return nil, err
+	}
+	runs := make([][]kv.KV, len(parts))
+	for i, p := range parts {
+		if i == 0 {
+			runs[0] = local
+			continue
+		}
+		runs[i] = DecodeKVs(p)
+	}
+	return runs, nil
+}
+
+// ExtractSnapshotNaive is NaiveMerge: gather all runs at rank 0, then a
+// K-way heap merge there.
+func (s *Service) ExtractSnapshotNaive(version uint64) ([]kv.KV, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opNaiveMerge, version)); err != nil {
+		return nil, err
+	}
+	local := s.store.ExtractSnapshot(version)
+	parts, err := s.comm.Gather(0, EncodeKVs(local))
+	if err != nil {
+		return nil, err
+	}
+	runs := make([][]kv.KV, len(parts))
+	for i, p := range parts {
+		if i == 0 {
+			runs[0] = local
+			continue
+		}
+		runs[i] = DecodeKVs(p)
+	}
+	return merge.KWay(runs), nil
+}
+
+// ExtractSnapshotOpt is OptMerge: recursive doubling with the
+// multi-threaded two-way merge at every surviving rank.
+func (s *Service) ExtractSnapshotOpt(version uint64) ([]kv.KV, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opOptMerge, version)); err != nil {
+		return nil, err
+	}
+	return s.optMergeRounds(s.store.ExtractSnapshot(version))
+}
+
+// ExtractRange returns the globally sorted pairs with lo <= key < hi at
+// the given version, merged with recursive doubling. Hash partitioning
+// scatters every key range across all ranks, so a range query still fans
+// out to the full cluster but each rank extracts only its slice.
+func (s *Service) ExtractRange(lo, hi, version uint64) ([]kv.KV, error) {
+	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opRangeMerge, lo, hi, version)); err != nil {
+		return nil, err
+	}
+	return s.optMergeRounds(s.store.ExtractRange(lo, hi, version))
+}
+
+// optMergeRounds runs the recursive-doubling merge on every rank; only rank
+// 0 returns the merged snapshot.
+func (s *Service) optMergeRounds(run []kv.KV) ([]kv.KV, error) {
+	rank, size := s.comm.Rank(), s.comm.Size()
+	for step := 1; step < size; step <<= 1 {
+		if rank&step != 0 {
+			// "Odd" survivor: ship the run to the partner and drop out.
+			return nil, s.comm.Send(rank-step, EncodeKVs(run))
+		}
+		if rank+step < size {
+			p, err := s.comm.Recv(rank + step)
+			if err != nil {
+				return nil, err
+			}
+			run = merge.TwoParallel(run, DecodeKVs(p), s.threads)
+		}
+	}
+	if rank == 0 {
+		return run, nil
+	}
+	return nil, nil
+}
+
+// Shutdown releases the worker ranks out of Serve. Rank 0 only.
+func (s *Service) Shutdown() error {
+	_, err := s.comm.Bcast(0, cluster.PutUint64s(opShutdown))
+	return err
+}
+
+// ---- worker ranks ----
+
+// Serve processes broadcast commands until Shutdown. Every rank except the
+// initiator must be inside Serve while rank 0 issues queries.
+func (s *Service) Serve() error {
+	for {
+		cmd, err := s.comm.Bcast(0, nil)
+		if err != nil {
+			return err
+		}
+		w := cluster.GetUint64s(cmd)
+		switch w[0] {
+		case opFind:
+			v, ok := s.store.Find(w[1], w[2])
+			if _, err := s.comm.Reduce(0, findReply(v, ok), combineFind); err != nil {
+				return err
+			}
+		case opBulkFind:
+			n := (len(w) - 1) / 2
+			keys, versions := w[1:1+n], w[1+n:1+2*n]
+			if _, err := s.comm.Reduce(0, s.bulkProbe(keys, versions), combineBulk); err != nil {
+				return err
+			}
+		case opGather, opNaiveMerge:
+			local := s.store.ExtractSnapshot(w[1])
+			if _, err := s.comm.Gather(0, EncodeKVs(local)); err != nil {
+				return err
+			}
+		case opOptMerge:
+			if _, err := s.optMergeRounds(s.store.ExtractSnapshot(w[1])); err != nil {
+				return err
+			}
+		case opRangeMerge:
+			if _, err := s.optMergeRounds(s.store.ExtractRange(w[1], w[2], w[3])); err != nil {
+				return err
+			}
+		case opTagAll:
+			v := s.store.Tag()
+			if _, err := s.comm.Reduce(0, cluster.PutUint64s(v, v), combineMinMax); err != nil {
+				return err
+			}
+		case opLenSum:
+			if _, err := s.comm.Reduce(0, cluster.PutUint64s(uint64(s.store.Len())), combineSum); err != nil {
+				return err
+			}
+		case opHistoryAny:
+			if _, err := s.comm.Reduce(0, s.historyReply(w[1]), combineFind); err != nil {
+				return err
+			}
+		case opShutdown:
+			return nil
+		default:
+			return fmt.Errorf("dist: rank %d got unknown opcode %d", s.comm.Rank(), w[0])
+		}
+	}
+}

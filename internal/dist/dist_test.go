@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/core"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/merge"
+	"mvkv/internal/mt19937"
+)
+
+// buildPartitioned loads n unique keys into the rank's partition (only keys
+// it owns), mirroring the paper's pre-partitioned setup. Returns the global
+// expected content.
+func globalData(n int) []kv.KV {
+	rng := mt19937.New(2022)
+	seen := map[uint64]bool{}
+	out := make([]kv.KV, 0, n)
+	for len(out) < n {
+		k := rng.Uint64()
+		if k == 0 || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, kv.KV{Key: k, Value: k ^ 0xABCD})
+	}
+	return out
+}
+
+func loadPartition(t testing.TB, s kv.Store, all []kv.KV, rank, size int) {
+	for _, p := range all {
+		if Owner(p.Key, size) != rank {
+			continue
+		}
+		if err := s.Insert(p.Key, p.Value); err != nil {
+			t.Error(err)
+			return
+		}
+		s.Tag()
+	}
+}
+
+// runCluster executes a driver function on rank 0 with workers serving.
+func runCluster(t *testing.T, size int, mkStore func() kv.Store, driver func(s *Service, all []kv.KV) error) {
+	t.Helper()
+	all := globalData(500)
+	err := cluster.RunLocal(size, cluster.NetModel{}, func(c *cluster.Comm) error {
+		st := mkStore()
+		defer st.Close()
+		loadPartition(t, st, all, c.Rank(), size)
+		svc := New(c, st, 2)
+		if c.Rank() != 0 {
+			return svc.Serve()
+		}
+		defer svc.Shutdown()
+		return driver(svc, all)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stores(t *testing.T) map[string]func() kv.Store {
+	return map[string]func() kv.Store{
+		"eskiplist": func() kv.Store { return eskiplist.New() },
+		"pskiplist": func() kv.Store {
+			s, err := core.Create(core.Options{ArenaBytes: 32 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+func TestDistributedFind(t *testing.T) {
+	for name, mk := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			runCluster(t, 7, mk, func(s *Service, all []kv.KV) error {
+				for _, p := range all[:100] {
+					v, ok, err := s.Find(p.Key, ^uint64(0)-1)
+					if err != nil {
+						return err
+					}
+					if !ok || v != p.Value {
+						return fmt.Errorf("Find(%d) = %d,%v want %d", p.Key, v, ok, p.Value)
+					}
+				}
+				// absent key
+				if _, ok, err := s.Find(0, 1); err != nil || ok {
+					return fmt.Errorf("absent key: ok=%v err=%v", ok, err)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestDistributedBulkFind(t *testing.T) {
+	runCluster(t, 5, func() kv.Store { return eskiplist.New() }, func(s *Service, all []kv.KV) error {
+		keys := make([]uint64, 50)
+		vers := make([]uint64, 50)
+		for i := range keys {
+			keys[i] = all[i].Key
+			vers[i] = ^uint64(0) - 1
+		}
+		keys[49] = 0 // absent
+		vals, oks, err := s.BulkFind(keys, vers)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 49; i++ {
+			if !oks[i] || vals[i] != all[i].Value {
+				return fmt.Errorf("bulk entry %d: %d,%v", i, vals[i], oks[i])
+			}
+		}
+		if oks[49] {
+			return fmt.Errorf("absent key found")
+		}
+		return nil
+	})
+}
+
+func TestDistributedSnapshotMerges(t *testing.T) {
+	sizes := []int{1, 2, 4, 8, 13}
+	for _, size := range sizes {
+		t.Run(fmt.Sprintf("K=%d", size), func(t *testing.T) {
+			runCluster(t, size, func() kv.Store { return eskiplist.New() }, func(s *Service, all []kv.KV) error {
+				want := append([]kv.KV(nil), all...)
+				sort.Slice(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+
+				naive, err := s.ExtractSnapshotNaive(^uint64(0) - 1)
+				if err != nil {
+					return err
+				}
+				opt, err := s.ExtractSnapshotOpt(^uint64(0) - 1)
+				if err != nil {
+					return err
+				}
+				for name, got := range map[string][]kv.KV{"naive": naive, "opt": opt} {
+					if len(got) != len(want) {
+						return fmt.Errorf("%s: %d pairs, want %d", name, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							return fmt.Errorf("%s: pair %d = %+v want %+v", name, i, got[i], want[i])
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestDistributedRange(t *testing.T) {
+	runCluster(t, 5, func() kv.Store { return eskiplist.New() }, func(s *Service, all []kv.KV) error {
+		sorted := append([]kv.KV(nil), all...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+		lo, hi := sorted[100].Key, sorted[300].Key
+		got, err := s.ExtractRange(lo, hi, ^uint64(0)-1)
+		if err != nil {
+			return err
+		}
+		want := sorted[100:300]
+		if len(got) != len(want) {
+			return fmt.Errorf("range returned %d pairs, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("range pair %d = %+v want %+v", i, got[i], want[i])
+			}
+		}
+		// empty range
+		empty, err := s.ExtractRange(5, 5, 0)
+		if err != nil || len(empty) != 0 {
+			return fmt.Errorf("empty range: %v %v", empty, err)
+		}
+		return nil
+	})
+}
+
+func TestDistributedGather(t *testing.T) {
+	runCluster(t, 6, func() kv.Store { return eskiplist.New() }, func(s *Service, all []kv.KV) error {
+		runs, err := s.GatherSnapshot(^uint64(0) - 1)
+		if err != nil {
+			return err
+		}
+		if len(runs) != 6 {
+			return fmt.Errorf("gathered %d runs", len(runs))
+		}
+		total := 0
+		for r, run := range runs {
+			if !merge.IsSorted(run) {
+				return fmt.Errorf("run %d unsorted", r)
+			}
+			for _, p := range run {
+				if Owner(p.Key, 6) != r {
+					return fmt.Errorf("run %d holds foreign key %d", r, p.Key)
+				}
+			}
+			total += len(run)
+		}
+		if total != len(all) {
+			return fmt.Errorf("gathered %d pairs, want %d", total, len(all))
+		}
+		return nil
+	})
+}
+
+// TestParallelServicesViaSplit exercises the paper's remark that queries
+// "can run in parallel by different ranks (by using different
+// communicators)": the cluster splits into two halves, each running an
+// independent partitioned store with its own initiator, concurrently.
+func TestParallelServicesViaSplit(t *testing.T) {
+	const size = 8
+	all := globalData(400)
+	err := cluster.RunLocal(size, cluster.NetModel{}, func(c *cluster.Comm) error {
+		color := c.Rank() % 2
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return err
+		}
+		st := eskiplist.New()
+		defer st.Close()
+		// each half stores the same logical data, partitioned over its 4 ranks
+		loadPartition(t, st, all, sub.Rank(), sub.Size())
+		svc := New(sub, st, 2)
+		if sub.Rank() != 0 {
+			return svc.Serve()
+		}
+		defer svc.Shutdown()
+		// both initiators drive queries concurrently
+		for _, p := range all[:50] {
+			v, ok, err := svc.Find(p.Key, ^uint64(0)-1)
+			if err != nil {
+				return err
+			}
+			if !ok || v != p.Value {
+				return fmt.Errorf("group %d: Find(%d) = %d,%v", color, p.Key, v, ok)
+			}
+		}
+		snap, err := svc.ExtractSnapshotOpt(^uint64(0) - 1)
+		if err != nil {
+			return err
+		}
+		if len(snap) != len(all) {
+			return fmt.Errorf("group %d: snapshot %d pairs, want %d", color, len(snap), len(all))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerBalance(t *testing.T) {
+	rng := mt19937.New(3)
+	const size = 16
+	counts := make([]int, size)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		o := Owner(rng.Uint64(), size)
+		if o < 0 || o >= size {
+			t.Fatalf("Owner out of range: %d", o)
+		}
+		counts[o]++
+	}
+	for r, c := range counts {
+		if c < n/size/2 || c > n/size*2 {
+			t.Fatalf("rank %d owns %d of %d (unbalanced)", r, c, n)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []kv.KV{{Key: 1, Value: 2}, {Key: ^uint64(0), Value: 0}}
+	got := DecodeKVs(EncodeKVs(in))
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+		t.Fatalf("roundtrip = %v", got)
+	}
+	if len(DecodeKVs(nil)) != 0 {
+		t.Fatal("decode nil")
+	}
+}

@@ -1,0 +1,117 @@
+// Package eskiplist implements the paper's ESkipList baseline: a
+// multi-version ordered key-value store combining every PSkipList
+// optimization — lock-free skip-list index, lock-free version-history
+// vectors, lazy tails, the pc/fc commit clock — but with purely ephemeral
+// (DRAM, garbage-collected) storage and no persistence.
+//
+// The paper uses ESkipList as the upper bound in all comparisons: the gap
+// between ESkipList and PSkipList is the price of durability.
+package eskiplist
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/skiplist"
+	"mvkv/internal/vhistory"
+)
+
+// ErrMarkerValue is returned by Insert when the value collides with the
+// reserved removal marker.
+var ErrMarkerValue = errors.New("eskiplist: value is the reserved removal marker")
+
+// Store is an ESkipList instance. All methods are safe for concurrent use.
+type Store struct {
+	version atomic.Uint64
+	clock   *vhistory.Clock
+	index   *skiplist.Map[*vhistory.EHistory]
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		clock: vhistory.NewClock(),
+		index: skiplist.New[*vhistory.EHistory](),
+	}
+}
+
+// Insert records key=value in the current version.
+func (s *Store) Insert(key, value uint64) error {
+	if value == kv.Marker {
+		return ErrMarkerValue
+	}
+	s.history(key).Append(s.version.Load(), value, s.clock)
+	return nil
+}
+
+// Remove records key's removal in the current version.
+func (s *Store) Remove(key uint64) error {
+	s.history(key).Remove(s.version.Load(), s.clock)
+	return nil
+}
+
+func (s *Store) history(key uint64) *vhistory.EHistory {
+	if h, ok := s.index.Get(key); ok {
+		return h
+	}
+	h, _ := s.index.GetOrCreate(key, func() *vhistory.EHistory { return &vhistory.EHistory{} }, nil)
+	return h
+}
+
+// Find returns key's value in snapshot version.
+func (s *Store) Find(key, version uint64) (uint64, bool) {
+	h, ok := s.index.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return h.Find(version, s.clock)
+}
+
+// Tag seals the current version and returns its number.
+func (s *Store) Tag() uint64 { return s.version.Add(1) - 1 }
+
+// CurrentVersion returns the unsealed version.
+func (s *Store) CurrentVersion() uint64 { return s.version.Load() }
+
+// ExtractSnapshot returns every pair present in snapshot version, sorted.
+func (s *Store) ExtractSnapshot(version uint64) []kv.KV {
+	out := make([]kv.KV, 0, s.index.Len())
+	s.index.All(func(k uint64, h *vhistory.EHistory) bool {
+		if v, ok := h.Find(version, s.clock); ok {
+			out = append(out, kv.KV{Key: k, Value: v})
+		}
+		return true
+	})
+	return out
+}
+
+// ExtractRange returns the pairs with lo <= key < hi present in snapshot
+// version, sorted by key.
+func (s *Store) ExtractRange(lo, hi, version uint64) []kv.KV {
+	var out []kv.KV
+	s.index.Range(lo, hi, func(k uint64, h *vhistory.EHistory) bool {
+		if v, ok := h.Find(version, s.clock); ok {
+			out = append(out, kv.KV{Key: k, Value: v})
+		}
+		return true
+	})
+	return out
+}
+
+// ExtractHistory returns key's change log.
+func (s *Store) ExtractHistory(key uint64) []kv.Event {
+	h, ok := s.index.Get(key)
+	if !ok {
+		return nil
+	}
+	return h.Entries(s.clock)
+}
+
+// Len returns the number of distinct keys ever inserted.
+func (s *Store) Len() int { return s.index.Len() }
+
+// Close is a no-op for the ephemeral store.
+func (s *Store) Close() error { return nil }
+
+var _ kv.Store = (*Store)(nil)

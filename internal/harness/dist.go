@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/dist"
+	"mvkv/internal/kv"
+	"mvkv/internal/mt19937"
+)
+
+// DistSpec configures a horizontal-scalability experiment (Section V-H):
+// K ranks, each owning a pre-generated partition of NPerNode pairs, one
+// query-serving thread per rank, with the network cost model applied to
+// every received message.
+type DistSpec struct {
+	Approach       Approach
+	Nodes          int
+	NPerNode       int
+	Queries        int
+	MergeThreads   int
+	Model          cluster.NetModel
+	PersistLatency time.Duration
+	// Reps repeats the timed query phase and reports the fastest run
+	// (load happens once); 0 means 1.
+	Reps int
+}
+
+func (s DistSpec) reps() int {
+	if s.Reps < 1 {
+		return 1
+	}
+	return s.Reps
+}
+
+// loadRankPartition fills a rank's local store with NPerNode pairs it owns,
+// deterministically per rank ("each partition was pre-generated and its
+// entries were inserted in a local key-value store").
+func loadRankPartition(s kv.Store, rank, nodes, n int) ([]uint64, error) {
+	rng := mt19937.New(0xD157 + uint64(rank))
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := rng.Uint64()
+		if k == 0 || k == ^uint64(0) || dist.Owner(k, nodes) != rank {
+			continue
+		}
+		if err := s.Insert(k, k^0x5555); err != nil {
+			return nil, err
+		}
+		s.Tag()
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// runDist executes driver on rank 0 of a K-rank local cluster with every
+// partition pre-loaded; it returns the duration measured by the driver.
+func runDist(spec DistSpec, driver func(svc *dist.Service, localKeys []uint64) (time.Duration, int, error)) (Result, error) {
+	var elapsed time.Duration
+	var ops int
+	err := cluster.RunLocal(spec.Nodes, spec.Model, func(c *cluster.Comm) error {
+		st, err := Build(StoreSpec{
+			Approach:       spec.Approach,
+			N:              spec.NPerNode * 2,
+			PersistLatency: spec.PersistLatency,
+			// Hundreds of ranks live in one process here; size pools
+			// tightly (~600 B per single-entry key, 1.5x headroom) so a
+			// 512-rank sweep fits in host memory.
+			ArenaBytes: int64(spec.NPerNode)*600 + (8 << 20),
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		keys, err := loadRankPartition(st, c.Rank(), spec.Nodes, spec.NPerNode)
+		if err != nil {
+			return err
+		}
+		svc := dist.New(c, st, spec.MergeThreads)
+		if c.Rank() != 0 {
+			return svc.Serve()
+		}
+		defer svc.Shutdown()
+		elapsed, ops, err = driver(svc, keys)
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Approach: string(spec.Approach), Nodes: spec.Nodes,
+		N: spec.NPerNode, Ops: ops, Elapsed: elapsed,
+	}, nil
+}
+
+// RunDistFind measures Figure 6: rank 0 issues Queries random find queries
+// one at a time (broadcast + reduce each) and the throughput is reported.
+func RunDistFind(spec DistSpec) (Result, error) {
+	r, err := runDist(spec, func(svc *dist.Service, localKeys []uint64) (time.Duration, int, error) {
+		maxVer := uint64(spec.NPerNode)
+		best := time.Duration(0)
+		for rep := 0; rep < spec.reps(); rep++ {
+			rng := mt19937.New(0xF16)
+			start := time.Now()
+			for q := 0; q < spec.Queries; q++ {
+				key := localKeys[rng.Uint64n(uint64(len(localKeys)))]
+				if _, _, err := svc.Find(key, rng.Uint64n(maxVer)); err != nil {
+					return 0, 0, err
+				}
+			}
+			if d := time.Since(start); rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best, spec.Queries, nil
+	})
+	r.Figure = "fig6"
+	return r, err
+}
+
+// RunDistGather measures Figure 7: extract the full snapshot on every rank
+// and gather the runs at rank 0 without a global merge.
+func RunDistGather(spec DistSpec) (Result, error) {
+	r, err := runDist(spec, func(svc *dist.Service, _ []uint64) (time.Duration, int, error) {
+		best := time.Duration(0)
+		total := 0
+		for rep := 0; rep < spec.reps(); rep++ {
+			start := time.Now()
+			runs, err := svc.GatherSnapshot(kv.Marker - 1)
+			if err != nil {
+				return 0, 0, err
+			}
+			d := time.Since(start)
+			total = 0
+			for _, run := range runs {
+				total += len(run)
+			}
+			if total != spec.Nodes*spec.NPerNode {
+				return 0, 0, fmt.Errorf("gathered %d pairs, want %d", total, spec.Nodes*spec.NPerNode)
+			}
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best, total, nil
+	})
+	r.Figure = "fig7"
+	return r, err
+}
+
+// RunDistMerge measures Figure 8: the full globally sorted snapshot at rank
+// 0, via NaiveMerge (gather + K-way) or OptMerge (recursive doubling +
+// multi-threaded merges).
+func RunDistMerge(spec DistSpec, naive bool) (Result, error) {
+	r, err := runDist(spec, func(svc *dist.Service, _ []uint64) (time.Duration, int, error) {
+		best := time.Duration(0)
+		n := 0
+		for rep := 0; rep < spec.reps(); rep++ {
+			start := time.Now()
+			var snap []kv.KV
+			var err error
+			if naive {
+				snap, err = svc.ExtractSnapshotNaive(kv.Marker - 1)
+			} else {
+				snap, err = svc.ExtractSnapshotOpt(kv.Marker - 1)
+			}
+			if err != nil {
+				return 0, 0, err
+			}
+			d := time.Since(start)
+			if len(snap) != spec.Nodes*spec.NPerNode {
+				return 0, 0, fmt.Errorf("merged %d pairs, want %d", len(snap), spec.Nodes*spec.NPerNode)
+			}
+			for i := 1; i < len(snap); i++ {
+				if snap[i-1].Key >= snap[i].Key {
+					return 0, 0, fmt.Errorf("merged snapshot unsorted at %d", i)
+				}
+			}
+			n = len(snap)
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best, n, nil
+	})
+	if naive {
+		r.Figure = "fig8-naive"
+		r.Approach += "/NaiveMerge"
+	} else {
+		r.Figure = "fig8-opt"
+		r.Approach += "/OptMerge"
+	}
+	return r, err
+}

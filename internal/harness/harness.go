@@ -1,0 +1,258 @@
+// Package harness runs the paper's experiments (Section V): it builds each
+// compared approach, loads the prescribed state, runs the timed phase under
+// the prescribed concurrency, and reports rows matching the paper's
+// figures. Both cmd/benchkv (full sweeps) and the repository-level
+// bench_test.go (testing.B entry points) drive this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"mvkv/internal/core"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/lockedmap"
+	"mvkv/internal/sqlkv"
+	"mvkv/internal/workload"
+)
+
+// Approach names one of the five compared stores (Section V-B).
+type Approach string
+
+const (
+	PSkipList Approach = "PSkipList" // the paper's proposal (persistent)
+	ESkipList Approach = "ESkipList" // ephemeral upper bound
+	LockedMap Approach = "LockedMap" // locked red-black tree baseline
+	SQLiteReg Approach = "SQLiteReg" // DB engine, persistent (WAL + file)
+	SQLiteMem Approach = "SQLiteMem" // DB engine, in-memory shared cache
+)
+
+// All returns the approaches in the paper's presentation order.
+func All() []Approach {
+	return []Approach{SQLiteReg, SQLiteMem, LockedMap, ESkipList, PSkipList}
+}
+
+// Persistent reports whether the approach provides durability.
+func (a Approach) Persistent() bool { return a == PSkipList || a == SQLiteReg }
+
+// StoreSpec sizes and tunes a store for an experiment.
+type StoreSpec struct {
+	Approach Approach
+	// N is the workload scale; persistent stores size their pools from it.
+	N int
+	// PersistLatency emulates the persistent-memory write penalty for
+	// PSkipList and the fsync cost for SQLiteReg.
+	PersistLatency time.Duration
+	// ArenaBytes overrides the computed PSkipList pool size.
+	ArenaBytes int64
+}
+
+// Build constructs the store.
+func Build(spec StoreSpec) (kv.Store, error) {
+	switch spec.Approach {
+	case ESkipList:
+		return eskiplist.New(), nil
+	case LockedMap:
+		return lockedmap.New(), nil
+	case SQLiteReg:
+		return sqlkv.Open(sqlkv.Options{Mode: sqlkv.ModeReg, SyncLatency: spec.PersistLatency})
+	case SQLiteMem:
+		return sqlkv.Open(sqlkv.Options{Mode: sqlkv.ModeMem})
+	case PSkipList:
+		bytes := spec.ArenaBytes
+		if bytes == 0 {
+			// ~700B of pool per key (header + first segment + chain pair)
+			// plus entry growth across the three phases, with headroom.
+			bytes = int64(spec.N)*2800 + (64 << 20)
+		}
+		return core.Create(core.Options{ArenaBytes: bytes, PersistLatency: spec.PersistLatency})
+	default:
+		return nil, fmt.Errorf("harness: unknown approach %q", spec.Approach)
+	}
+}
+
+// Result is one measured row of a figure.
+type Result struct {
+	Figure   string
+	Approach string
+	Threads  int
+	Nodes    int
+	N        int
+	Elapsed  time.Duration
+	// Ops is the number of timed operations; Throughput = Ops/Elapsed.
+	Ops int
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// parallel runs fn(t) on threads goroutines and returns the wall time for
+// all to finish ("we record the total time taken by all threads to
+// finish").
+func parallel(threads int, fn func(t int)) time.Duration {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			fn(t)
+		}(t)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// ---- single-node phases (Figures 2-4) ----
+
+// RunInsert times the concurrent-insert phase (Figure 2a): the
+// pre-generated unique pairs are split across T threads, each inserting and
+// tagging after every operation.
+func RunInsert(s kv.Store, w *workload.Workload, threads int) (time.Duration, error) {
+	keyParts := workload.Split(w.Keys, threads)
+	valParts := workload.Split(w.Values, threads)
+	var mu sync.Mutex
+	var firstErr error
+	d := parallel(threads, func(t int) {
+		keys, vals := keyParts[t], valParts[t]
+		for i := range keys {
+			if err := s.Insert(keys[i], vals[i]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			s.Tag()
+		}
+	})
+	return d, firstErr
+}
+
+// RunRemove times the concurrent-remove phase (Figure 2b): a shuffled
+// permutation of the inserted keys is removed, tagging after each.
+func RunRemove(s kv.Store, shuffled []uint64, threads int) (time.Duration, error) {
+	parts := workload.Split(shuffled, threads)
+	var mu sync.Mutex
+	var firstErr error
+	d := parallel(threads, func(t int) {
+		for _, k := range parts[t] {
+			if err := s.Remove(k); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			s.Tag()
+		}
+	})
+	return d, firstErr
+}
+
+// Fig3State loads the state shared by Figures 3-5: N inserts, N removes, N
+// inserts of fresh keys — so P = 2N distinct keys, each holding one insert
+// or an insert followed by a remove. It returns all P keys.
+func Fig3State(s kv.Store, n, threads int, seed uint64) ([]uint64, error) {
+	w1 := workload.Generate(n, seed)
+	if _, err := RunInsert(s, w1, threads); err != nil {
+		return nil, err
+	}
+	if _, err := RunRemove(s, w1.Shuffled(seed+1), threads); err != nil {
+		return nil, err
+	}
+	w2 := workload.Generate(n, seed+2)
+	// The two workloads may share keys with vanishing probability over a
+	// 64-bit space; dedupe defensively so P is exact.
+	seen := make(map[uint64]struct{}, n)
+	for _, k := range w1.Keys {
+		seen[k] = struct{}{}
+	}
+	fresh := w2
+	for i, k := range fresh.Keys {
+		for {
+			if _, dup := seen[k]; !dup {
+				break
+			}
+			k++
+			fresh.Keys[i] = k
+		}
+		seen[k] = struct{}{}
+	}
+	if _, err := RunInsert(s, fresh, threads); err != nil {
+		return nil, err
+	}
+	all := make([]uint64, 0, 2*n)
+	all = append(all, w1.Keys...)
+	all = append(all, fresh.Keys...)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, nil
+}
+
+// RunFind times N random find queries split over T threads (Figure 3b):
+// random key out of the P known keys, random version.
+func RunFind(s kv.Store, keys []uint64, queries, threads int, maxVer uint64) time.Duration {
+	return parallel(threads, func(t int) {
+		idx, vers := workload.QueryMix(queries/threads, len(keys), maxVer, 0xF1D0+uint64(t))
+		for i := range idx {
+			s.Find(keys[idx[i]], vers[i])
+		}
+	})
+}
+
+// RunHistory times N random extract-history queries (Figure 3a).
+func RunHistory(s kv.Store, keys []uint64, queries, threads int) time.Duration {
+	return parallel(threads, func(t int) {
+		idx, _ := workload.QueryMix(queries/threads, len(keys), 0, 0xA11CE+uint64(t))
+		for i := range idx {
+			s.ExtractHistory(keys[idx[i]])
+		}
+	})
+}
+
+// RunSnapshot times T concurrent extract-snapshot queries, one per thread,
+// each at a random version (Figure 4 — weak scaling: work grows with T).
+func RunSnapshot(s kv.Store, threads int, maxVer uint64) time.Duration {
+	return parallel(threads, func(t int) {
+		_, vers := workload.QueryMix(1, 1, maxVer, 0x5A+uint64(t))
+		s.ExtractSnapshot(vers[0])
+	})
+}
+
+// ---- output helpers ----
+
+// WriteTable renders results as an aligned text table.
+func WriteTable(w io.Writer, rows []Result) {
+	fmt.Fprintf(w, "%-10s %-10s %8s %6s %9s %12s %14s\n",
+		"figure", "approach", "N", "T/K", "ops", "elapsed", "ops/sec")
+	for _, r := range rows {
+		tk := r.Threads
+		if r.Nodes > 0 {
+			tk = r.Nodes
+		}
+		fmt.Fprintf(w, "%-10s %-10s %8d %6d %9d %12s %14.0f\n",
+			r.Figure, r.Approach, r.N, tk, r.Ops,
+			r.Elapsed.Round(time.Microsecond), r.Throughput())
+	}
+}
+
+// WriteCSV renders results as CSV.
+func WriteCSV(w io.Writer, rows []Result) {
+	fmt.Fprintln(w, "figure,approach,n,threads,nodes,ops,elapsed_ns,ops_per_sec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.1f\n",
+			r.Figure, r.Approach, r.N, r.Threads, r.Nodes, r.Ops,
+			r.Elapsed.Nanoseconds(), r.Throughput())
+	}
+}

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/workload"
+)
+
+func TestBuildAllApproaches(t *testing.T) {
+	for _, a := range All() {
+		s, err := Build(StoreSpec{Approach: a, N: 1000})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if err := s.Insert(1, 2); err != nil {
+			t.Fatalf("%s insert: %v", a, err)
+		}
+		v := s.Tag()
+		if got, ok := s.Find(1, v); !ok || got != 2 {
+			t.Fatalf("%s find: %d,%v", a, got, ok)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s close: %v", a, err)
+		}
+	}
+	if _, err := Build(StoreSpec{Approach: "bogus"}); err == nil {
+		t.Fatal("bogus approach accepted")
+	}
+}
+
+func TestPersistentFlag(t *testing.T) {
+	if !PSkipList.Persistent() || !SQLiteReg.Persistent() {
+		t.Fatal("persistent approaches misflagged")
+	}
+	if ESkipList.Persistent() || LockedMap.Persistent() || SQLiteMem.Persistent() {
+		t.Fatal("ephemeral approaches misflagged")
+	}
+}
+
+// TestPhasesProduceCorrectState runs the full Figure 2/3 pipeline at small
+// scale against every approach and checks the resulting store contents.
+func TestPhasesProduceCorrectState(t *testing.T) {
+	const n = 300
+	for _, a := range All() {
+		t.Run(string(a), func(t *testing.T) {
+			s, err := Build(StoreSpec{Approach: a, N: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			keys, err := Fig3State(s, n, 4, 0x1234)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 2*n {
+				t.Fatalf("Fig3State returned %d keys, want %d", len(keys), 2*n)
+			}
+			// final snapshot: exactly the n fresh keys (first n removed)
+			snap := s.ExtractSnapshot(s.CurrentVersion())
+			if len(snap) != n {
+				t.Fatalf("final snapshot has %d keys, want %d", len(snap), n)
+			}
+			// each key's history is 1 or 2 events
+			for _, k := range keys[:20] {
+				h := s.ExtractHistory(k)
+				if len(h) != 1 && len(h) != 2 {
+					t.Fatalf("history of %d has %d events", k, len(h))
+				}
+			}
+			// timed query phases run without issue
+			if d := RunFind(s, keys, 200, 4, s.CurrentVersion()); d <= 0 {
+				t.Fatal("RunFind returned non-positive duration")
+			}
+			if d := RunHistory(s, keys, 200, 4); d <= 0 {
+				t.Fatal("RunHistory returned non-positive duration")
+			}
+			if d := RunSnapshot(s, 4, s.CurrentVersion()); d <= 0 {
+				t.Fatal("RunSnapshot returned non-positive duration")
+			}
+		})
+	}
+}
+
+func TestRestartHarness(t *testing.T) {
+	env, err := PrepareRestartPSkipList(200, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	rows, err := RunRebuildSweep(env, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Ops != 400 {
+		t.Fatalf("rebuild rows: %+v", rows)
+	}
+	// cold store answers correctly after the sweep's last reopen
+	s, err := env.Reopen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	found := 0
+	for _, k := range env.Keys {
+		if _, ok := s.Find(k, s.CurrentVersion()); ok {
+			found++
+		}
+	}
+	if found != 200 { // the n fresh keys are live; the removed ones are not
+		t.Fatalf("found %d live keys, want 200", found)
+	}
+
+	path := filepath.Join(t.TempDir(), "sql.db")
+	keys, err := PrepareRestartSQLiteReg(200, 4, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReopenSQLiteReg(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	found = 0
+	for _, k := range keys {
+		if _, ok := db.Find(k, db.CurrentVersion()); ok {
+			found++
+		}
+	}
+	if found != 200 {
+		t.Fatalf("SQLiteReg found %d live keys, want 200", found)
+	}
+}
+
+func TestDistHarness(t *testing.T) {
+	spec := DistSpec{
+		Approach: ESkipList, Nodes: 4, NPerNode: 200,
+		Queries: 50, MergeThreads: 2, Model: cluster.NetModel{},
+	}
+	r, err := RunDistFind(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 50 || r.Figure != "fig6" || r.Nodes != 4 {
+		t.Fatalf("dist find result: %+v", r)
+	}
+	if r, err = RunDistGather(spec); err != nil || r.Ops != 800 {
+		t.Fatalf("dist gather: %+v, %v", r, err)
+	}
+	if r, err = RunDistMerge(spec, true); err != nil || r.Ops != 800 {
+		t.Fatalf("naive merge: %+v, %v", r, err)
+	}
+	if r, err = RunDistMerge(spec, false); err != nil || r.Ops != 800 {
+		t.Fatalf("opt merge: %+v, %v", r, err)
+	}
+}
+
+func TestDistHarnessPSkipList(t *testing.T) {
+	spec := DistSpec{
+		Approach: PSkipList, Nodes: 3, NPerNode: 100,
+		Queries: 20, MergeThreads: 2,
+	}
+	if _, err := RunDistFind(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDistMerge(spec, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputFormats(t *testing.T) {
+	rows := []Result{{Figure: "fig2a", Approach: "PSkipList", Threads: 8, N: 100, Ops: 100, Elapsed: time.Second}}
+	var tbl, csv bytes.Buffer
+	WriteTable(&tbl, rows)
+	WriteCSV(&csv, rows)
+	if !strings.Contains(tbl.String(), "PSkipList") || !strings.Contains(tbl.String(), "100") {
+		t.Fatalf("table output: %s", tbl.String())
+	}
+	if !strings.Contains(csv.String(), "fig2a,PSkipList,100,8,0,100,1000000000,100.0") {
+		t.Fatalf("csv output: %s", csv.String())
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a := workload.Generate(1000, 7)
+	b := workload.Generate(1000, 7)
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.Values[i] != b.Values[i] {
+			t.Fatal("workload generation is not deterministic")
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, k := range a.Keys {
+		if seen[k] {
+			t.Fatal("duplicate key in workload")
+		}
+		seen[k] = true
+	}
+	s1 := a.Shuffled(9)
+	s2 := a.Shuffled(9)
+	diff := false
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+		if s1[i] != a.Keys[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("shuffle did not permute")
+	}
+}

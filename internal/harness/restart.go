@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mvkv/internal/core"
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+	"mvkv/internal/sqlkv"
+)
+
+// RestartEnv is a prepared "before restart" persistent state for the
+// Figure 5 experiments.
+type RestartEnv struct {
+	Keys  []uint64 // the P = 2N keys of the persisted state
+	N     int
+	arena *pmem.Arena // PSkipList pool (memory-backed; survives reopen)
+	spec  StoreSpec
+	path  string // SQLiteReg database path
+}
+
+// PrepareRestartPSkipList builds the paper's Figure 5 state (Fig3State)
+// inside a reusable arena and shuts the store down cleanly.
+func PrepareRestartPSkipList(n, loadThreads int, latency time.Duration) (*RestartEnv, error) {
+	spec := StoreSpec{Approach: PSkipList, N: n, PersistLatency: latency}
+	bytes := spec.ArenaBytes
+	if bytes == 0 {
+		bytes = int64(n)*2800 + (64 << 20)
+	}
+	var aOpts []pmem.Option
+	if latency > 0 {
+		aOpts = append(aOpts, pmem.WithPersistLatency(latency))
+	}
+	arena, err := pmem.New(bytes, aOpts...)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.CreateInArena(arena, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	keys, err := Fig3State(s, n, loadThreads, 0xBEEF)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return &RestartEnv{Keys: keys, N: n, arena: arena, spec: spec}, nil
+}
+
+// Reopen performs the restart: parallel index reconstruction with the given
+// thread count (Figure 5a measures RecoveryStats().Elapsed).
+func (e *RestartEnv) Reopen(rebuildThreads int) (*core.Store, error) {
+	return core.OpenArena(e.arena, core.Options{RebuildThreads: rebuildThreads})
+}
+
+// Close releases the arena.
+func (e *RestartEnv) Close() error { return e.arena.Close() }
+
+// PrepareRestartSQLiteReg builds the same Figure 5 state in a file-backed
+// SQLiteReg database and closes it ("SQLiteReg persists both the table and
+// indices after shutdown").
+func PrepareRestartSQLiteReg(n, loadThreads int, latency time.Duration, path string) ([]uint64, error) {
+	db, err := sqlkv.Open(sqlkv.Options{Mode: sqlkv.ModeReg, Path: path, SyncLatency: latency})
+	if err != nil {
+		return nil, err
+	}
+	keys, err := Fig3State(db, n, loadThreads, 0xBEEF)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// ReopenSQLiteReg reopens the persisted database.
+func ReopenSQLiteReg(path string, latency time.Duration) (kv.Store, error) {
+	return sqlkv.Open(sqlkv.Options{Mode: sqlkv.ModeReg, Path: path, SyncLatency: latency})
+}
+
+// RunRebuildSweep measures Figure 5a: reconstruction time against thread
+// count over the same persisted image.
+func RunRebuildSweep(env *RestartEnv, threadCounts []int) ([]Result, error) {
+	var out []Result
+	for _, t := range threadCounts {
+		s, err := env.Reopen(t)
+		if err != nil {
+			return nil, err
+		}
+		st := s.RecoveryStats()
+		if st.Keys != len(env.Keys) {
+			return nil, fmt.Errorf("rebuild with %d threads recovered %d keys, want %d",
+				t, st.Keys, len(env.Keys))
+		}
+		out = append(out, Result{
+			Figure: "fig5a", Approach: string(PSkipList),
+			Threads: t, N: env.N, Ops: st.Keys, Elapsed: st.Elapsed,
+		})
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

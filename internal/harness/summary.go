@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Speedup compares two approaches at matching (figure, threads/nodes, N)
+// points: factor = throughput(a) / throughput(b).
+type Speedup struct {
+	Figure  string
+	A, B    string
+	Threads int
+	Nodes   int
+	Factor  float64
+}
+
+// Speedups computes, for every (figure, T/K) point present for both
+// approaches, how much faster a is than b — the form of the paper's
+// headline claims ("30x faster than SQLiteReg at 64 threads").
+func Speedups(rows []Result, a, b string) []Speedup {
+	type key struct {
+		fig     string
+		threads int
+		nodes   int
+	}
+	byKey := map[key]map[string]Result{}
+	for _, r := range rows {
+		k := key{r.Figure, r.Threads, r.Nodes}
+		if byKey[k] == nil {
+			byKey[k] = map[string]Result{}
+		}
+		byKey[k][r.Approach] = r
+	}
+	var out []Speedup
+	for k, m := range byKey {
+		ra, okA := m[a]
+		rb, okB := m[b]
+		if !okA || !okB || rb.Throughput() == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Figure: k.fig, A: a, B: b, Threads: k.threads, Nodes: k.nodes,
+			Factor: ra.Throughput() / rb.Throughput(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Figure != out[j].Figure {
+			return out[i].Figure < out[j].Figure
+		}
+		if out[i].Nodes != out[j].Nodes {
+			return out[i].Nodes < out[j].Nodes
+		}
+		return out[i].Threads < out[j].Threads
+	})
+	return out
+}
+
+// WriteSpeedups renders speedups as text.
+func WriteSpeedups(w io.Writer, sp []Speedup) {
+	for _, s := range sp {
+		tk := s.Threads
+		unit := "T"
+		if s.Nodes > 0 {
+			tk, unit = s.Nodes, "K"
+		}
+		fmt.Fprintf(w, "%-10s %s=%-4d %s is %.2fx vs %s\n",
+			s.Figure, unit, tk, s.A, s.Factor, s.B)
+	}
+}
+
+// ScalingFactor reports how much faster (or slower) an approach runs at
+// the highest measured thread/node count relative to the lowest, within
+// one figure — the paper's strong-scaling statements ("64 threads are 20x
+// faster than one").
+func ScalingFactor(rows []Result, figure, approach string) (float64, bool) {
+	var sel []Result
+	for _, r := range rows {
+		if r.Figure == figure && r.Approach == approach {
+			sel = append(sel, r)
+		}
+	}
+	if len(sel) < 2 {
+		return 0, false
+	}
+	sort.Slice(sel, func(i, j int) bool {
+		if sel[i].Nodes != sel[j].Nodes {
+			return sel[i].Nodes < sel[j].Nodes
+		}
+		return sel[i].Threads < sel[j].Threads
+	})
+	lo, hi := sel[0], sel[len(sel)-1]
+	if lo.Throughput() == 0 {
+		return 0, false
+	}
+	return hi.Throughput() / lo.Throughput(), true
+}

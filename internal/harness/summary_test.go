@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkRows() []Result {
+	return []Result{
+		{Figure: "fig2a", Approach: "PSkipList", Threads: 1, Ops: 1000, Elapsed: time.Second},
+		{Figure: "fig2a", Approach: "PSkipList", Threads: 64, Ops: 1000, Elapsed: 50 * time.Millisecond},
+		{Figure: "fig2a", Approach: "SQLiteReg", Threads: 1, Ops: 1000, Elapsed: 2 * time.Second},
+		{Figure: "fig2a", Approach: "SQLiteReg", Threads: 64, Ops: 1000, Elapsed: 3 * time.Second},
+		{Figure: "fig6", Approach: "PSkipList", Nodes: 8, Ops: 100, Elapsed: time.Second},
+		{Figure: "fig6", Approach: "SQLiteReg", Nodes: 8, Ops: 80, Elapsed: time.Second},
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	sp := Speedups(mkRows(), "PSkipList", "SQLiteReg")
+	if len(sp) != 3 {
+		t.Fatalf("got %d speedups: %+v", len(sp), sp)
+	}
+	// ordering: fig2a T=1, fig2a T=64, fig6 K=8
+	if sp[0].Threads != 1 || sp[0].Factor < 1.99 || sp[0].Factor > 2.01 {
+		t.Fatalf("T=1 speedup: %+v", sp[0])
+	}
+	if sp[1].Threads != 64 || sp[1].Factor < 59 || sp[1].Factor > 61 {
+		t.Fatalf("T=64 speedup: %+v", sp[1])
+	}
+	if sp[2].Nodes != 8 || sp[2].Factor < 1.24 || sp[2].Factor > 1.26 {
+		t.Fatalf("K=8 speedup: %+v", sp[2])
+	}
+	var buf bytes.Buffer
+	WriteSpeedups(&buf, sp)
+	if !strings.Contains(buf.String(), "K=8") || !strings.Contains(buf.String(), "T=64") {
+		t.Fatalf("rendered: %s", buf.String())
+	}
+}
+
+func TestScalingFactor(t *testing.T) {
+	f, ok := ScalingFactor(mkRows(), "fig2a", "PSkipList")
+	if !ok || f < 19.9 || f > 20.1 {
+		t.Fatalf("scaling factor: %v %v", f, ok)
+	}
+	f, ok = ScalingFactor(mkRows(), "fig2a", "SQLiteReg")
+	if !ok || f > 1 {
+		t.Fatalf("negative scaling not detected: %v", f)
+	}
+	if _, ok := ScalingFactor(mkRows(), "fig9", "PSkipList"); ok {
+		t.Fatal("missing figure reported ok")
+	}
+}

@@ -1,0 +1,62 @@
+// Package kv defines the multi-version ordered key-value store contract
+// shared by the paper's five compared approaches (Table 1), plus the small
+// value types that flow between stores, the merge machinery, and the
+// distributed layer.
+package kv
+
+import "mvkv/internal/vhistory"
+
+// KV is one key-value pair of a snapshot, with keys and values being 64-bit
+// integers as in the paper's evaluation ("a large number of tiny key-value
+// pairs, where each key and value are represented by integers").
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// Event is one change in a key's history: at Version the key took Value, or
+// was removed. It aliases the history entry type so stores can return their
+// internal representation without copying.
+type Event = vhistory.Entry
+
+// Marker is the reserved value denoting a removal; it is not a legal value
+// for Insert.
+const Marker = vhistory.Marker
+
+// Store is the multi-version ordered dictionary API of Table 1. All methods
+// are safe for concurrent use unless an implementation documents otherwise
+// (the paper's LockedMap baseline serializes internally; it still satisfies
+// this interface).
+type Store interface {
+	// Insert records that key holds value in the current (unsealed)
+	// version. value must not be the removal Marker.
+	Insert(key, value uint64) error
+	// Remove records that key is absent from the current version onwards.
+	Remove(key uint64) error
+	// Find returns the value key held in the given snapshot version, or
+	// ok=false if the key was absent at that version.
+	Find(key, version uint64) (value uint64, ok bool)
+	// Tag seals the current version as an immutable snapshot and returns
+	// its version number; subsequent operations land in the next version.
+	Tag() uint64
+	// CurrentVersion returns the number of the version currently being
+	// built (the next Tag will seal and return it).
+	CurrentVersion() uint64
+	// ExtractSnapshot returns all key-value pairs present in the given
+	// snapshot version, sorted by key.
+	ExtractSnapshot(version uint64) []KV
+	// ExtractHistory returns key's change log in version order (empty if
+	// the key was never touched).
+	ExtractHistory(key uint64) []Event
+	// ExtractRange returns the pairs with lo <= key < hi present in the
+	// given snapshot version, sorted by key — the ordered-dictionary
+	// property that distinguishes these stores from hash maps, exposed as
+	// a pageable query (extension; the paper's API iterates all keys).
+	ExtractRange(lo, hi, version uint64) []KV
+	// Len returns the number of distinct keys ever inserted (removals do
+	// not shrink it: histories are retained for versioning).
+	Len() int
+	// Close releases resources; for persistent stores it makes the state
+	// durable for a later reopen.
+	Close() error
+}

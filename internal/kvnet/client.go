@@ -1,0 +1,255 @@
+package kvnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mvkv/internal/kv"
+)
+
+// Client is a kv.Store backed by a remote Server. Methods are safe for
+// concurrent use: each in-flight request borrows a pooled connection, so
+// concurrent callers get the same parallelism they would against a local
+// store (bounded by MaxConns).
+type Client struct {
+	addr     string
+	maxConns int
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	nconns int
+	cond   *sync.Cond
+	closed bool
+}
+
+// Dial connects to a server. maxConns bounds the connection pool
+// (0 = default 16).
+func Dial(addr string, maxConns int) (*Client, error) {
+	if maxConns <= 0 {
+		maxConns = 16
+	}
+	c := &Client{addr: addr, maxConns: maxConns}
+	c.cond = sync.NewCond(&c.mu)
+	// Validate reachability eagerly.
+	conn, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.roundTrip(conn, opPing, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.release(conn)
+	return c, nil
+}
+
+func (c *Client) acquire() (net.Conn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("kvnet: client closed")
+		}
+		if n := len(c.idle); n > 0 {
+			conn := c.idle[n-1]
+			c.idle = c.idle[:n-1]
+			c.mu.Unlock()
+			return conn, nil
+		}
+		if c.nconns < c.maxConns {
+			c.nconns++
+			c.mu.Unlock()
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				c.mu.Lock()
+				c.nconns--
+				c.cond.Signal()
+				c.mu.Unlock()
+				return nil, fmt.Errorf("kvnet: dial %s: %w", c.addr, err)
+			}
+			return conn, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *Client) release(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+// discard drops a connection whose stream state is unknown (I/O error).
+func (c *Client) discard(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	c.nconns--
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+func (c *Client) roundTrip(conn net.Conn, op byte, payload []byte) ([]byte, error) {
+	if err := writeFrame(conn, op, payload); err != nil {
+		return nil, err
+	}
+	status, resp, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if status == statusErr {
+		return nil, &serverError{msg: fmt.Sprintf("kvnet: server: %s", resp)}
+	}
+	return resp, nil
+}
+
+// call runs one request on a pooled connection.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	conn, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(conn, op, payload)
+	if err != nil {
+		// Distinguish server-reported errors (stream still healthy) from
+		// transport failures: roundTrip only returns the former as
+		// "kvnet: server:" errors, which keep the connection usable.
+		if _, isServerErr := err.(*serverError); isServerErr {
+			c.release(conn)
+		} else {
+			c.discard(conn)
+		}
+		return nil, err
+	}
+	c.release(conn)
+	return resp, nil
+}
+
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return e.msg }
+
+// ---- kv.Store implementation ----
+
+// Insert implements kv.Store.
+func (c *Client) Insert(key, value uint64) error {
+	_, err := c.call(opInsert, putU64s(nil, key, value))
+	return err
+}
+
+// Remove implements kv.Store.
+func (c *Client) Remove(key uint64) error {
+	_, err := c.call(opRemove, putU64s(nil, key))
+	return err
+}
+
+// Find implements kv.Store. Transport errors surface as "absent"; use
+// FindErr when the distinction matters.
+func (c *Client) Find(key, version uint64) (uint64, bool) {
+	v, ok, _ := c.FindErr(key, version)
+	return v, ok
+}
+
+// FindErr is Find with transport errors reported.
+func (c *Client) FindErr(key, version uint64) (uint64, bool, error) {
+	resp, err := c.call(opFind, putU64s(nil, key, version))
+	if err != nil {
+		return 0, false, err
+	}
+	return u64at(resp, 1), u64at(resp, 0) != 0, nil
+}
+
+// Tag implements kv.Store.
+func (c *Client) Tag() uint64 {
+	resp, err := c.call(opTag, nil)
+	if err != nil {
+		return 0
+	}
+	return u64at(resp, 0)
+}
+
+// CurrentVersion implements kv.Store.
+func (c *Client) CurrentVersion() uint64 {
+	resp, err := c.call(opCurrentVersion, nil)
+	if err != nil {
+		return 0
+	}
+	return u64at(resp, 0)
+}
+
+// ExtractSnapshot implements kv.Store.
+func (c *Client) ExtractSnapshot(version uint64) []kv.KV {
+	resp, err := c.call(opSnapshot, putU64s(nil, version))
+	if err != nil {
+		return nil
+	}
+	return decodePairs(resp)
+}
+
+// ExtractRange implements kv.Store.
+func (c *Client) ExtractRange(lo, hi, version uint64) []kv.KV {
+	resp, err := c.call(opRange, putU64s(nil, lo, hi, version))
+	if err != nil {
+		return nil
+	}
+	return decodePairs(resp)
+}
+
+// ExtractHistory implements kv.Store.
+func (c *Client) ExtractHistory(key uint64) []kv.Event {
+	resp, err := c.call(opHistory, putU64s(nil, key))
+	if err != nil {
+		return nil
+	}
+	n := int(u64at(resp, 0))
+	out := make([]kv.Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, kv.Event{Version: u64at(resp, 1+2*i), Value: u64at(resp, 2+2*i)})
+	}
+	return out
+}
+
+// Len implements kv.Store.
+func (c *Client) Len() int {
+	resp, err := c.call(opLen, nil)
+	if err != nil {
+		return 0
+	}
+	return int(u64at(resp, 0))
+}
+
+// Close implements kv.Store: it closes the client's connections; the
+// remote store is unaffected.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("kvnet: client already closed")
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+func decodePairs(p []byte) []kv.KV {
+	n := int(u64at(p, 0))
+	out := make([]kv.KV, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, kv.KV{Key: u64at(p, 1+2*i), Value: u64at(p, 2+2*i)})
+	}
+	return out
+}
+
+var _ kv.Store = (*Client)(nil)

@@ -1,0 +1,166 @@
+package kvnet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mvkv/internal/core"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/storetest"
+)
+
+// startServer spins up a server over a fresh backing store and returns a
+// connected client.
+func startServer(t *testing.T, backing kv.Store) *Client {
+	t.Helper()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		backing.Close()
+	})
+	cl, err := Dial(srv.Addr(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestConformanceOverTCP runs the full store conformance suite against a
+// remote ESkipList — the client is a kv.Store, so the same contract must
+// hold across the wire.
+func TestConformanceOverTCP(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		return startServer(t, eskiplist.New())
+	})
+}
+
+// TestRemotePSkipList smoke-tests the persistent store behind the server.
+func TestRemotePSkipList(t *testing.T) {
+	backing, err := core.Create(core.Options{ArenaBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := startServer(t, backing)
+	for i := uint64(0); i < 500; i++ {
+		if err := cl.Insert(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := cl.Tag()
+	if got, ok := cl.Find(250, v); !ok || got != 750 {
+		t.Fatalf("remote find: %d,%v", got, ok)
+	}
+	snap := cl.ExtractSnapshot(v)
+	if len(snap) != 500 {
+		t.Fatalf("remote snapshot: %d pairs", len(snap))
+	}
+	if got := cl.ExtractRange(100, 110, v); len(got) != 10 {
+		t.Fatalf("remote range: %d pairs", len(got))
+	}
+	if cl.Len() != 500 {
+		t.Fatalf("remote len: %d", cl.Len())
+	}
+	// The data lives in the backing store, not the client.
+	if backing.Len() != 500 {
+		t.Fatal("backing store missing data")
+	}
+}
+
+// TestServerErrorsPropagate: inserting the reserved marker must fail with
+// the server's message and leave the connection usable.
+func TestServerErrorsPropagate(t *testing.T) {
+	cl := startServer(t, eskiplist.New())
+	err := cl.Insert(1, kv.Marker)
+	if err == nil || !strings.Contains(err.Error(), "marker") {
+		t.Fatalf("marker insert error: %v", err)
+	}
+	// connection still healthy after the server-side error
+	if err := cl.Insert(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cl.Find(1, cl.Tag()); !ok || got != 5 {
+		t.Fatalf("post-error find: %d,%v", got, ok)
+	}
+}
+
+// TestConcurrentClients hammers one server from many goroutines over the
+// connection pool.
+func TestConcurrentClients(t *testing.T) {
+	cl := startServer(t, eskiplist.New())
+	var wg sync.WaitGroup
+	const workers, per = 8, 300
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := uint64(w)<<32 | uint64(i)
+				if err := cl.Insert(k, k+1); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	v := cl.Tag()
+	if got := len(cl.ExtractSnapshot(v)); got != workers*per {
+		t.Fatalf("snapshot has %d pairs, want %d", got, workers*per)
+	}
+}
+
+// TestDialFailure: dialing a dead address errors eagerly.
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 2); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+// TestClientCloseThenUse: calls after Close fail cleanly.
+func TestClientCloseThenUse(t *testing.T) {
+	cl := startServer(t, eskiplist.New())
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(1, 1); err == nil {
+		t.Fatal("insert after close succeeded")
+	}
+	if err := cl.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+// TestMultipleClientsShareStore: two clients see each other's writes and
+// version tags through the shared backing store.
+func TestMultipleClientsShareStore(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	a, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.Insert(7, 70)
+	v := b.Tag() // b seals the version a wrote into
+	if got, ok := b.Find(7, v); !ok || got != 70 {
+		t.Fatalf("cross-client find: %d,%v", got, ok)
+	}
+	if h := b.ExtractHistory(7); len(h) != 1 || h[0].Version != v {
+		t.Fatalf("cross-client history: %v", h)
+	}
+}

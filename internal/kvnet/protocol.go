@@ -1,0 +1,91 @@
+// Package kvnet serves a multi-version ordered key-value store over TCP
+// and provides a client that itself satisfies kv.Store — so a remote
+// PSkipList node is a drop-in replacement for a local store (and passes
+// the same conformance suite over the wire).
+//
+// This is the deployment shape the paper's introduction motivates: compute
+// nodes keep versioned state in (persistent) memory instead of serializing
+// it to external storage; peers and workflow components reach it through a
+// thin service. The protocol is deliberately minimal: length-prefixed
+// binary frames, one request/response per frame, no external dependencies.
+//
+// Wire format (little endian):
+//
+//	request:  len(u32) op(u8) payload
+//	response: len(u32) status(u8) payload      status 0=ok, 1=error(payload=message)
+//
+// Payloads are sequences of u64 words except where noted.
+package kvnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Operation codes.
+const (
+	opInsert         = 1  // key, value -> ()
+	opRemove         = 2  // key -> ()
+	opFind           = 3  // key, version -> found, value
+	opTag            = 4  // () -> version
+	opCurrentVersion = 5  // () -> version
+	opSnapshot       = 6  // version -> n, then n*(key,value)
+	opRange          = 7  // lo, hi, version -> n, then n*(key,value)
+	opHistory        = 8  // key -> n, then n*(version,value)
+	opLen            = 9  // () -> n
+	opPing           = 10 // () -> ()
+)
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxFrame bounds a frame (16 MiB of payload covers ~1M pairs).
+const maxFrame = 64 << 20
+
+// writeFrame sends one tagged frame.
+func writeFrame(w io.Writer, tag byte, payload []byte) error {
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = tag
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		_, err := w.Write(payload)
+		return err
+	}
+	return nil
+}
+
+// readFrame receives one tagged frame.
+func readFrame(r io.Reader) (tag byte, payload []byte, err error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("kvnet: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+func putU64s(dst []byte, vals ...uint64) []byte {
+	for _, v := range vals {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+func u64at(p []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(p[8*i:])
+}

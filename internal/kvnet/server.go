@@ -1,0 +1,173 @@
+package kvnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mvkv/internal/kv"
+)
+
+// Server exposes a kv.Store over TCP. Requests on one connection are
+// handled sequentially; clients open several connections for parallelism
+// (the client in this package does so transparently).
+type Server struct {
+	store    kv.Store
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server for store on addr (e.g. "127.0.0.1:0") and returns
+// once the listener is ready. Close stops it; the store itself is not
+// closed (the caller owns it).
+func Serve(store kv.Store, addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvnet: listen %s: %w", addr, err)
+	}
+	s := &Server{store: store, listener: l, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	for {
+		op, req, err := readFrame(c)
+		if err != nil {
+			return // connection closed or broken
+		}
+		resp, err := s.handle(op, req)
+		if err != nil {
+			if werr := writeFrame(c, statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(c, statusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+var errBadRequest = errors.New("kvnet: malformed request")
+
+func (s *Server) handle(op byte, req []byte) ([]byte, error) {
+	switch op {
+	case opInsert:
+		if len(req) != 16 {
+			return nil, errBadRequest
+		}
+		return nil, s.store.Insert(u64at(req, 0), u64at(req, 1))
+	case opRemove:
+		if len(req) != 8 {
+			return nil, errBadRequest
+		}
+		return nil, s.store.Remove(u64at(req, 0))
+	case opFind:
+		if len(req) != 16 {
+			return nil, errBadRequest
+		}
+		v, ok := s.store.Find(u64at(req, 0), u64at(req, 1))
+		f := uint64(0)
+		if ok {
+			f = 1
+		}
+		return putU64s(nil, f, v), nil
+	case opTag:
+		return putU64s(nil, s.store.Tag()), nil
+	case opCurrentVersion:
+		return putU64s(nil, s.store.CurrentVersion()), nil
+	case opSnapshot:
+		if len(req) != 8 {
+			return nil, errBadRequest
+		}
+		return encodePairs(s.store.ExtractSnapshot(u64at(req, 0))), nil
+	case opRange:
+		if len(req) != 24 {
+			return nil, errBadRequest
+		}
+		return encodePairs(s.store.ExtractRange(u64at(req, 0), u64at(req, 1), u64at(req, 2))), nil
+	case opHistory:
+		if len(req) != 8 {
+			return nil, errBadRequest
+		}
+		evs := s.store.ExtractHistory(u64at(req, 0))
+		out := putU64s(make([]byte, 0, 8+16*len(evs)), uint64(len(evs)))
+		for _, e := range evs {
+			out = putU64s(out, e.Version, e.Value)
+		}
+		return out, nil
+	case opLen:
+		return putU64s(nil, uint64(s.store.Len())), nil
+	case opPing:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("kvnet: unknown opcode %d", op)
+	}
+}
+
+func encodePairs(pairs []kv.KV) []byte {
+	out := putU64s(make([]byte, 0, 8+16*len(pairs)), uint64(len(pairs)))
+	for _, p := range pairs {
+		out = putU64s(out, p.Key, p.Value)
+	}
+	return out
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("kvnet: server already closed")
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,16 @@
+package lockedmap
+
+import (
+	"testing"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store { return New() })
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	storetest.RunSnapshotConsistency(t, func(t *testing.T) kv.Store { return New() })
+}

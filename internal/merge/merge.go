@@ -1,0 +1,227 @@
+// Package merge implements the sorted-run merging machinery behind the
+// paper's distributed extract_snapshot: the multi-threaded two-way merge
+// with binary-search partitioning (Section IV-A, last design principle) and
+// the naive K-way merge it is compared against (NaiveMerge in Section V-H).
+//
+// All merges are stable and keep duplicates (ties take the left/earlier
+// input first), so output positions are computable up front — the property
+// the parallel partitioning relies on. Distributed partitions have disjoint
+// key sets, so duplicates do not arise there; Dedupe is provided for other
+// callers.
+package merge
+
+import (
+	"sort"
+	"sync"
+
+	"mvkv/internal/kv"
+)
+
+// Two merges two key-sorted slices into a new key-sorted slice
+// (sequential reference implementation).
+func Two(a, b []kv.KV) []kv.KV {
+	out := make([]kv.KV, len(a)+len(b))
+	mergeInto(out, a, b)
+	return out
+}
+
+// mergeInto merges a and b into out, which must have exactly
+// len(a)+len(b) elements.
+func mergeInto(out, a, b []kv.KV) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Key <= b[j].Key {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}
+
+// upperBound returns the number of elements in b with Key <= key.
+func upperBound(b []kv.KV, key uint64) int {
+	return sort.Search(len(b), func(i int) bool { return b[i].Key > key })
+}
+
+// TwoParallel merges two key-sorted slices using the paper's multi-threaded
+// scheme: a is split evenly into per-thread partitions; each thread
+// binary-searches the position in b just past its partition's maximum key;
+// consecutive positions bound disjoint b-ranges, so every thread merges its
+// (a-partition, b-range) pair into a precomputed output window fully in
+// parallel.
+func TwoParallel(a, b []kv.KV, threads int) []kv.KV {
+	if threads <= 1 || len(a)+len(b) < 4096 {
+		return Two(a, b)
+	}
+	if len(a) == 0 {
+		return append([]kv.KV(nil), b...)
+	}
+	if threads > len(a) {
+		threads = len(a)
+	}
+	out := make([]kv.KV, len(a)+len(b))
+
+	// Partition bounds: aEnd[i] is the end of thread i's a-partition,
+	// bEnd[i] the matching split point in b.
+	aEnd := make([]int, threads)
+	bEnd := make([]int, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		aEnd[t] = (t + 1) * len(a) / threads
+	}
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			if aEnd[t] == 0 {
+				bEnd[t] = 0
+				return
+			}
+			// Ties go left (stable): b-elements equal to the boundary key
+			// merge after it, i.e. belong to this thread's range.
+			bEnd[t] = upperBound(b, a[aEnd[t]-1].Key)
+		}(t)
+	}
+	wg.Wait()
+	if bEnd[threads-1] != len(b) {
+		bEnd[threads-1] = len(b) // tail of b beyond a's max key
+	}
+
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			aLo, bLo := 0, 0
+			if t > 0 {
+				aLo, bLo = aEnd[t-1], bEnd[t-1]
+			}
+			mergeInto(out[aLo+bLo:aEnd[t]+bEnd[t]], a[aLo:aEnd[t]], b[bLo:bEnd[t]])
+		}(t)
+	}
+	wg.Wait()
+	return out
+}
+
+// KWay merges K key-sorted runs with a binary min-heap — the paper's
+// NaiveMerge gathers all runs on one rank and runs exactly this.
+func KWay(parts [][]kv.KV) []kv.KV {
+	total := 0
+	nonEmpty := 0
+	for _, p := range parts {
+		total += len(p)
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	out := make([]kv.KV, 0, total)
+	if nonEmpty == 0 {
+		return out
+	}
+
+	type head struct {
+		key uint64
+		src int // index into parts
+		pos int // next element within parts[src]
+	}
+	h := make([]head, 0, nonEmpty)
+	push := func(x head) {
+		h = append(h, x)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			// Tie-break on src to keep the merge stable across runs.
+			if h[p].key < h[i].key || (h[p].key == h[i].key && h[p].src <= h[i].src) {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	pop := func() head {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && (h[l].key < h[small].key || (h[l].key == h[small].key && h[l].src < h[small].src)) {
+				small = l
+			}
+			if r < len(h) && (h[r].key < h[small].key || (h[r].key == h[small].key && h[r].src < h[small].src)) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+		return top
+	}
+
+	for src, p := range parts {
+		if len(p) > 0 {
+			push(head{key: p[0].Key, src: src, pos: 0})
+		}
+	}
+	for len(h) > 0 {
+		top := pop()
+		out = append(out, parts[top.src][top.pos])
+		if next := top.pos + 1; next < len(parts[top.src]) {
+			push(head{key: parts[top.src][next].Key, src: top.src, pos: next})
+		}
+	}
+	return out
+}
+
+// Tree merges K sorted runs by pairwise (tournament) merging with the
+// parallel two-way merge — the single-node analogue of the distributed
+// recursive-doubling OptMerge, and the fallback used when all runs already
+// sit on one node.
+func Tree(parts [][]kv.KV, threads int) []kv.KV {
+	runs := make([][]kv.KV, 0, len(parts))
+	for _, p := range parts {
+		runs = append(runs, p)
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	for len(runs) > 1 {
+		next := make([][]kv.KV, 0, (len(runs)+1)/2)
+		for i := 0; i+1 < len(runs); i += 2 {
+			next = append(next, TwoParallel(runs[i], runs[i+1], threads))
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// Dedupe removes duplicate keys from a sorted slice in place, keeping the
+// first occurrence (which, after a stable merge, is the leftmost input's).
+func Dedupe(s []kv.KV) []kv.KV {
+	out := s[:0]
+	for i, p := range s {
+		if i == 0 || p.Key != s[i-1].Key {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IsSorted reports whether s is sorted by key (duplicates allowed).
+func IsSorted(s []kv.KV) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Key > s[i].Key {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,220 @@
+package merge
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/mt19937"
+)
+
+func sortedRun(rng *mt19937.Source, n int, keySpace uint64) []kv.KV {
+	out := make([]kv.KV, n)
+	for i := range out {
+		k := rng.Uint64n(keySpace)
+		out[i] = kv.KV{Key: k, Value: k * 2}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func equal(a, b []kv.KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTwoBasics(t *testing.T) {
+	a := []kv.KV{{Key: 1, Value: 10}, {Key: 3, Value: 30}}
+	b := []kv.KV{{Key: 2, Value: 20}, {Key: 4, Value: 40}}
+	got := Two(a, b)
+	want := []kv.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 3, Value: 30}, {Key: 4, Value: 40}}
+	if !equal(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	if !equal(Two(nil, b), b) || !equal(Two(a, nil), a) {
+		t.Fatal("merge with empty side broken")
+	}
+	if len(Two(nil, nil)) != 0 {
+		t.Fatal("merge of empties not empty")
+	}
+}
+
+func TestTwoStability(t *testing.T) {
+	a := []kv.KV{{Key: 5, Value: 1}}
+	b := []kv.KV{{Key: 5, Value: 2}}
+	got := Two(a, b)
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 2 {
+		t.Fatalf("not stable: %v", got)
+	}
+	if d := Dedupe(got); len(d) != 1 || d[0].Value != 1 {
+		t.Fatalf("Dedupe kept wrong element: %v", d)
+	}
+}
+
+// TestTwoParallelMatchesSequential across sizes, thread counts, overlap.
+func TestTwoParallelMatchesSequential(t *testing.T) {
+	rng := mt19937.New(5)
+	for _, na := range []int{0, 1, 100, 5000, 50000} {
+		for _, nb := range []int{0, 1, 3333, 50000} {
+			a := sortedRun(rng, na, 1<<20)
+			b := sortedRun(rng, nb, 1<<20)
+			want := Two(a, b)
+			for _, threads := range []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)} {
+				got := TwoParallel(a, b, threads)
+				if !equal(got, want) {
+					t.Fatalf("na=%d nb=%d threads=%d mismatch", na, nb, threads)
+				}
+			}
+		}
+	}
+}
+
+func TestTwoParallelQuick(t *testing.T) {
+	f := func(ak, bk []uint16, threads uint8) bool {
+		a := make([]kv.KV, len(ak))
+		for i, k := range ak {
+			a[i] = kv.KV{Key: uint64(k), Value: uint64(i)}
+		}
+		b := make([]kv.KV, len(bk))
+		for i, k := range bk {
+			b[i] = kv.KV{Key: uint64(k), Value: uint64(i) | 1<<32}
+		}
+		sort.SliceStable(a, func(i, j int) bool { return a[i].Key < a[j].Key })
+		sort.SliceStable(b, func(i, j int) bool { return b[i].Key < b[j].Key })
+		th := int(threads%16) + 1
+		return equal(TwoParallel(a, b, th), Two(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWay(t *testing.T) {
+	rng := mt19937.New(7)
+	var parts [][]kv.KV
+	var all []kv.KV
+	for i := 0; i < 9; i++ {
+		p := sortedRun(rng, 1000+i*137, 1<<18)
+		parts = append(parts, p)
+		all = append(all, p...)
+	}
+	parts = append(parts, nil) // empty run tolerated
+	got := KWay(parts)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	if len(got) != len(all) {
+		t.Fatalf("KWay lost elements: %d vs %d", len(got), len(all))
+	}
+	if !IsSorted(got) {
+		t.Fatal("KWay output unsorted")
+	}
+	// multiset equality: same keys in same positions after stable sort
+	for i := range got {
+		if got[i].Key != all[i].Key {
+			t.Fatalf("key mismatch at %d", i)
+		}
+	}
+}
+
+func TestKWayEmpty(t *testing.T) {
+	if got := KWay(nil); len(got) != 0 {
+		t.Fatal("KWay(nil) not empty")
+	}
+	if got := KWay([][]kv.KV{nil, {}}); len(got) != 0 {
+		t.Fatal("KWay of empties not empty")
+	}
+}
+
+func TestTreeMatchesKWay(t *testing.T) {
+	rng := mt19937.New(11)
+	for _, k := range []int{1, 2, 3, 8, 17} {
+		var parts [][]kv.KV
+		for i := 0; i < k; i++ {
+			parts = append(parts, sortedRun(rng, 2000, 1<<16))
+		}
+		a := Tree(parts, 4)
+		b := KWay(parts)
+		if len(a) != len(b) || !IsSorted(a) {
+			t.Fatalf("k=%d: Tree len=%d KWay len=%d", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Key != b[i].Key {
+				t.Fatalf("k=%d: key mismatch at %d", k, i)
+			}
+		}
+	}
+	if Tree(nil, 4) != nil {
+		t.Fatal("Tree(nil) != nil")
+	}
+}
+
+// TestDisjointPartitionsRoundTrip models the distributed case: hash-
+// partitioned (disjoint) runs merge into exactly the global sorted set.
+func TestDisjointPartitionsRoundTrip(t *testing.T) {
+	rng := mt19937.New(13)
+	const ranks = 16
+	parts := make([][]kv.KV, ranks)
+	var all []kv.KV
+	seen := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r := int(k % ranks)
+		parts[r] = append(parts[r], kv.KV{Key: k, Value: k})
+		all = append(all, kv.KV{Key: k, Value: k})
+	}
+	for r := range parts {
+		sort.Slice(parts[r], func(i, j int) bool { return parts[r][i].Key < parts[r][j].Key })
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	if got := Tree(parts, 8); !equal(got, all) {
+		t.Fatal("Tree over disjoint partitions != global sort")
+	}
+	if got := KWay(parts); !equal(got, all) {
+		t.Fatal("KWay over disjoint partitions != global sort")
+	}
+}
+
+func BenchmarkTwoSequential(b *testing.B) {
+	rng := mt19937.New(1)
+	x := sortedRun(rng, 1<<20, 1<<40)
+	y := sortedRun(rng, 1<<20, 1<<40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Two(x, y)
+	}
+}
+
+func BenchmarkTwoParallel(b *testing.B) {
+	rng := mt19937.New(1)
+	x := sortedRun(rng, 1<<20, 1<<40)
+	y := sortedRun(rng, 1<<20, 1<<40)
+	threads := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TwoParallel(x, y, threads)
+	}
+}
+
+func BenchmarkKWay16(b *testing.B) {
+	rng := mt19937.New(1)
+	parts := make([][]kv.KV, 16)
+	for i := range parts {
+		parts[i] = sortedRun(rng, 1<<16, 1<<40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KWay(parts)
+	}
+}

@@ -1,0 +1,149 @@
+// Package mt19937 implements the 64-bit Mersenne Twister pseudo-random
+// number generator (MT19937-64) of Matsumoto and Nishimura.
+//
+// The paper pre-generates all workloads with a Mersenne Twister seeded
+// deterministically per thread so that every run is reproducible; this
+// package provides the identical generator. The implementation follows the
+// 2004 reference code (mt19937-64.c) and is validated against its published
+// output vectors in the package tests.
+package mt19937
+
+const (
+	nn        = 312
+	mm        = 156
+	matrixA   = 0xB5026F5AA96619E9
+	upperMask = 0xFFFFFFFF80000000 // most significant 33 bits
+	lowerMask = 0x7FFFFFFF         // least significant 31 bits
+)
+
+// Source is a 64-bit Mersenne Twister. It implements rand.Source64-style
+// methods but is deliberately self-contained so its sequence is stable
+// across Go releases. Source is not safe for concurrent use; the workload
+// generator allocates one Source per thread, as the paper does.
+type Source struct {
+	mt  [nn]uint64
+	mti int
+}
+
+// New returns a Source seeded with seed, equivalent to
+// init_genrand64(seed) in the reference implementation.
+func New(seed uint64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed reinitializes the generator state from a single 64-bit seed.
+func (s *Source) Seed(seed uint64) {
+	s.mt[0] = seed
+	for i := 1; i < nn; i++ {
+		s.mt[i] = 6364136223846793005*(s.mt[i-1]^(s.mt[i-1]>>62)) + uint64(i)
+	}
+	s.mti = nn
+}
+
+// SeedArray reinitializes the state from a key array, equivalent to
+// init_by_array64 in the reference implementation.
+func (s *Source) SeedArray(key []uint64) {
+	s.Seed(19650218)
+	i, j := 1, 0
+	k := len(key)
+	if nn > k {
+		k = nn
+	}
+	for ; k > 0; k-- {
+		s.mt[i] = (s.mt[i] ^ ((s.mt[i-1] ^ (s.mt[i-1] >> 62)) * 3935559000370003845)) + key[j] + uint64(j)
+		i++
+		j++
+		if i >= nn {
+			s.mt[0] = s.mt[nn-1]
+			i = 1
+		}
+		if j >= len(key) {
+			j = 0
+		}
+	}
+	for k = nn - 1; k > 0; k-- {
+		s.mt[i] = (s.mt[i] ^ ((s.mt[i-1] ^ (s.mt[i-1] >> 62)) * 2862933555777941757)) - uint64(i)
+		i++
+		if i >= nn {
+			s.mt[0] = s.mt[nn-1]
+			i = 1
+		}
+	}
+	s.mt[0] = 1 << 63 // MSB is 1, assuring a non-zero initial state
+	s.mti = nn
+}
+
+// Uint64 returns the next number in the sequence on [0, 2^64-1].
+func (s *Source) Uint64() uint64 {
+	if s.mti >= nn {
+		s.generate()
+	}
+	x := s.mt[s.mti]
+	s.mti++
+
+	x ^= (x >> 29) & 0x5555555555555555
+	x ^= (x << 17) & 0x71D67FFFEDA60000
+	x ^= (x << 37) & 0xFFF7EEE000000000
+	x ^= x >> 43
+	return x
+}
+
+// generate refills the state array with nn words at a time.
+func (s *Source) generate() {
+	var x uint64
+	for i := 0; i < nn-mm; i++ {
+		x = (s.mt[i] & upperMask) | (s.mt[i+1] & lowerMask)
+		s.mt[i] = s.mt[i+mm] ^ (x >> 1) ^ ((x & 1) * matrixA)
+	}
+	for i := nn - mm; i < nn-1; i++ {
+		x = (s.mt[i] & upperMask) | (s.mt[i+1] & lowerMask)
+		s.mt[i] = s.mt[i+mm-nn] ^ (x >> 1) ^ ((x & 1) * matrixA)
+	}
+	x = (s.mt[nn-1] & upperMask) | (s.mt[0] & lowerMask)
+	s.mt[nn-1] = s.mt[mm-1] ^ (x >> 1) ^ ((x & 1) * matrixA)
+	s.mti = 0
+}
+
+// Int63 returns a non-negative 63-bit integer, for compatibility with
+// math/rand.Source consumers.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Uint64n returns a uniform value on [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("mt19937: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return s.Uint64() & (n - 1)
+	}
+	// Classic modulo rejection: unbiased and simple. The threshold is the
+	// largest multiple of n that fits in 64 bits.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := s.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value on [0,1) with 53-bit resolution,
+// equivalent to genrand64_real2.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / 9007199254740992.0
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the
+// Fisher-Yates algorithm, calling swap(i,j) for each exchange.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := int(s.Uint64n(uint64(i + 1)))
+		swap(i, j)
+	}
+}

@@ -1,0 +1,140 @@
+package mt19937
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestReferenceVectors checks the generator against the published output of
+// the reference implementation (mt19937-64.c, init_by_array64 with the key
+// {0x12345, 0x23456, 0x34567, 0x45678}).
+func TestReferenceVectors(t *testing.T) {
+	s := &Source{}
+	s.SeedArray([]uint64{0x12345, 0x23456, 0x34567, 0x45678})
+	want := []uint64{
+		7266447313870364031,
+		4946485549665804864,
+		16945909448695747420,
+		16394063075524226720,
+		4873882236456199058,
+		14877448043947020171,
+		6740343660852211943,
+		13857871200353263164,
+		5249110015610582907,
+		10205081126064480383,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("output %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestSeedDeterminism verifies that identical seeds yield identical streams
+// and different seeds yield different streams.
+func TestSeedDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	b.Seed(42)
+	for i := 0; i < 1000; i++ {
+		if b.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(7)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		for i := 0; i < 32; i++ {
+			if s.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(123)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+// TestShuffleIsPermutation verifies Shuffle produces a permutation and that
+// it is deterministic for a fixed seed.
+func TestShuffleIsPermutation(t *testing.T) {
+	const n = 1000
+	mk := func(seed uint64) []int {
+		v := make([]int, n)
+		for i := range v {
+			v[i] = i
+		}
+		New(seed).Shuffle(n, func(i, j int) { v[i], v[j] = v[j], v[i] })
+		return v
+	}
+	a, b := mk(99), mk(99)
+	seen := make([]bool, n)
+	moved := 0
+	for i, x := range a {
+		if x < 0 || x >= n || seen[x] {
+			t.Fatalf("not a permutation at %d: %d", i, x)
+		}
+		seen[x] = true
+		if x != i {
+			moved++
+		}
+		if a[i] != b[i] {
+			t.Fatalf("shuffle not deterministic at %d", i)
+		}
+	}
+	if moved < n/2 {
+		t.Fatalf("shuffle barely moved anything: %d of %d", moved, n)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		if s.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,519 @@
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ptr is a persistent pointer: a byte offset into an Arena. Offsets handed
+// out by Alloc are always 8-byte aligned. The zero Ptr is the null pointer;
+// offset 0 is occupied by the arena header, so no valid allocation ever has
+// Ptr == 0.
+type Ptr uint64
+
+// NullPtr is the persistent null pointer.
+const NullPtr Ptr = 0
+
+// CacheLine is the persistence granularity in bytes: Persist rounds ranges
+// out to this boundary, like CLWB on real hardware.
+const CacheLine = 64
+
+const (
+	wordSize      = 8
+	lineWords     = CacheLine / wordSize
+	headerWords   = 64                 // reserved words at the start of the arena
+	magicWord     = 0x504D4B56322D3234 // "PMKV2-24"
+	formatVersion = 1
+
+	offMagic    = 0 // word index of the magic number
+	offVersion  = 1 // format version
+	offCapacity = 2 // usable capacity in bytes
+	offHeapTail = 3 // bump-allocator tail (byte offset)
+	offRoot     = 4 // user root object pointer
+)
+
+// Errors returned by arena operations.
+var (
+	ErrOutOfMemory = errors.New("pmem: arena out of memory")
+	ErrBadImage    = errors.New("pmem: image is not a valid arena")
+	ErrClosed      = errors.New("pmem: arena is closed")
+)
+
+// Config carries tunables for an Arena; use Options to set it up.
+type config struct {
+	shadow         bool
+	persistLatency time.Duration
+}
+
+// Option configures an Arena at creation or open time.
+type Option func(*config)
+
+// WithShadow enables crash simulation: a second "stable" image is kept, only
+// Persist propagates data to it, and Crash reverts the working image to it.
+func WithShadow() Option {
+	return func(c *config) { c.shadow = true }
+}
+
+// WithPersistLatency injects the given latency per 64-byte cache line into
+// every Persist call, modeling persistent-memory write cost. Zero (the
+// default) disables injection.
+func WithPersistLatency(d time.Duration) Option {
+	return func(c *config) { c.persistLatency = d }
+}
+
+// Arena is an emulated persistent-memory pool. All methods are safe for
+// concurrent use. See the package documentation for the model.
+type Arena struct {
+	words  []uint64 // working image (what code reads and writes)
+	stable []uint64 // shadow mode only: what survives Crash
+	cfg    config
+
+	file   *os.File // file-backed arenas
+	closed atomic.Bool
+
+	persistCount  atomic.Int64
+	persistBudget atomic.Int64 // <0 = unlimited (shadow crash-point testing)
+
+	free freeLists
+}
+
+// New creates a memory-backed arena with the given capacity in bytes
+// (rounded up to a whole cache line). The arena is formatted and empty.
+func New(capacity int64, opts ...Option) (*Arena, error) {
+	a, err := newArena(capacity, opts...)
+	if err != nil {
+		return nil, err
+	}
+	a.format()
+	return a, nil
+}
+
+func newArena(capacity int64, opts ...Option) (*Arena, error) {
+	if capacity < headerWords*wordSize {
+		return nil, fmt.Errorf("pmem: capacity %d below minimum %d", capacity, headerWords*wordSize)
+	}
+	nw := (capacity + CacheLine - 1) / CacheLine * lineWords
+	a := &Arena{words: make([]uint64, nw)}
+	for _, o := range opts {
+		o(&a.cfg)
+	}
+	if a.cfg.shadow {
+		a.stable = make([]uint64, nw)
+	}
+	a.persistBudget.Store(-1)
+	a.free.init()
+	return a, nil
+}
+
+// format writes a fresh header. Called on creation only.
+func (a *Arena) format() {
+	a.words[offMagic] = magicWord
+	a.words[offVersion] = formatVersion
+	a.words[offCapacity] = uint64(len(a.words) * wordSize)
+	a.words[offHeapTail] = headerWords * wordSize
+	a.words[offRoot] = 0
+	a.Persist(0, headerWords*wordSize)
+}
+
+// validate checks the header of an opened image.
+func (a *Arena) validate() error {
+	if len(a.words) < headerWords {
+		return ErrBadImage
+	}
+	if a.words[offMagic] != magicWord {
+		return fmt.Errorf("%w: bad magic %#x", ErrBadImage, a.words[offMagic])
+	}
+	if a.words[offVersion] != formatVersion {
+		return fmt.Errorf("%w: unsupported format version %d", ErrBadImage, a.words[offVersion])
+	}
+	if got, want := a.words[offCapacity], uint64(len(a.words)*wordSize); got != want {
+		return fmt.Errorf("%w: capacity %d does not match image size %d", ErrBadImage, got, want)
+	}
+	tail := a.words[offHeapTail]
+	if tail < headerWords*wordSize || tail > a.words[offCapacity] {
+		return fmt.Errorf("%w: heap tail %d out of range", ErrBadImage, tail)
+	}
+	return nil
+}
+
+// Size returns the arena capacity in bytes.
+func (a *Arena) Size() int64 { return int64(len(a.words) * wordSize) }
+
+// HeapUsed returns the number of bytes consumed by the bump allocator
+// (including any blocks since returned to the free lists).
+func (a *Arena) HeapUsed() int64 {
+	return int64(a.LoadUint64(Ptr(offHeapTail*wordSize))) - headerWords*wordSize
+}
+
+// Root returns the user root object pointer, or NullPtr if unset.
+func (a *Arena) Root() Ptr { return Ptr(a.LoadUint64(Ptr(offRoot * wordSize))) }
+
+// SetRoot durably stores the user root object pointer.
+func (a *Arena) SetRoot(p Ptr) {
+	a.StoreUint64(Ptr(offRoot*wordSize), uint64(p))
+	a.Persist(Ptr(offRoot*wordSize), wordSize)
+}
+
+// index converts a byte offset to a word index, panicking on misalignment or
+// out-of-range access (programming errors, like dereferencing a wild pointer
+// on real PM).
+func (a *Arena) index(p Ptr) int {
+	if p%wordSize != 0 {
+		panic(fmt.Sprintf("pmem: misaligned access at offset %d", p))
+	}
+	i := int(p / wordSize)
+	if i < 0 || i >= len(a.words) {
+		panic(fmt.Sprintf("pmem: access at offset %d outside arena of %d bytes", p, len(a.words)*wordSize))
+	}
+	return i
+}
+
+// LoadUint64 atomically loads the word at p.
+func (a *Arena) LoadUint64(p Ptr) uint64 {
+	return atomic.LoadUint64(&a.words[a.index(p)])
+}
+
+// StoreUint64 atomically stores v at p. The store is not durable until a
+// Persist covering p completes.
+func (a *Arena) StoreUint64(p Ptr, v uint64) {
+	atomic.StoreUint64(&a.words[a.index(p)], v)
+}
+
+// CompareAndSwapUint64 atomically CASes the word at p.
+func (a *Arena) CompareAndSwapUint64(p Ptr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&a.words[a.index(p)], old, new)
+}
+
+// AddUint64 atomically adds delta to the word at p and returns the new value.
+func (a *Arena) AddUint64(p Ptr, delta uint64) uint64 {
+	return atomic.AddUint64(&a.words[a.index(p)], delta)
+}
+
+// LoadPtr and StorePtr are typed conveniences over the word accessors.
+func (a *Arena) LoadPtr(p Ptr) Ptr     { return Ptr(a.LoadUint64(p)) }
+func (a *Arena) StorePtr(p Ptr, v Ptr) { a.StoreUint64(p, uint64(v)) }
+func (a *Arena) CompareAndSwapPtr(p Ptr, old, new Ptr) bool {
+	return a.CompareAndSwapUint64(p, uint64(old), uint64(new))
+}
+
+// ReadWords copies len(dst) words starting at p into dst.
+func (a *Arena) ReadWords(p Ptr, dst []uint64) {
+	i := a.index(p)
+	if i+len(dst) > len(a.words) {
+		panic("pmem: ReadWords out of range")
+	}
+	for k := range dst {
+		dst[k] = atomic.LoadUint64(&a.words[i+k])
+	}
+}
+
+// WriteWords copies src into the arena starting at p. Not durable until
+// persisted.
+func (a *Arena) WriteWords(p Ptr, src []uint64) {
+	i := a.index(p)
+	if i+len(src) > len(a.words) {
+		panic("pmem: WriteWords out of range")
+	}
+	for k, v := range src {
+		atomic.StoreUint64(&a.words[i+k], v)
+	}
+}
+
+// WriteBytes copies b into the arena starting at the word-aligned offset
+// p, padding the final partial word with zeroes. Byte payloads (blob
+// values) are packed through the word-atomic accessors so the arena stays
+// race-clean.
+func (a *Arena) WriteBytes(p Ptr, b []byte) {
+	i := a.index(p)
+	nWords := (len(b) + wordSize - 1) / wordSize
+	if i+nWords > len(a.words) {
+		panic("pmem: WriteBytes out of range")
+	}
+	for w := 0; w < nWords; w++ {
+		var word uint64
+		for k := 0; k < wordSize; k++ {
+			idx := w*wordSize + k
+			if idx < len(b) {
+				word |= uint64(b[idx]) << (8 * uint(k))
+			}
+		}
+		atomic.StoreUint64(&a.words[i+w], word)
+	}
+}
+
+// ReadBytes copies n bytes starting at the word-aligned offset p.
+func (a *Arena) ReadBytes(p Ptr, n int) []byte {
+	i := a.index(p)
+	nWords := (n + wordSize - 1) / wordSize
+	if i+nWords > len(a.words) {
+		panic("pmem: ReadBytes out of range")
+	}
+	out := make([]byte, n)
+	for w := 0; w < nWords; w++ {
+		word := atomic.LoadUint64(&a.words[i+w])
+		for k := 0; k < wordSize; k++ {
+			idx := w*wordSize + k
+			if idx < n {
+				out[idx] = byte(word >> (8 * uint(k)))
+			}
+		}
+	}
+	return out
+}
+
+// ZeroWords stores zero into n words starting at p.
+func (a *Arena) ZeroWords(p Ptr, n int) {
+	i := a.index(p)
+	if i+n > len(a.words) {
+		panic("pmem: ZeroWords out of range")
+	}
+	for k := 0; k < n; k++ {
+		atomic.StoreUint64(&a.words[i+k], 0)
+	}
+}
+
+// Persist guarantees that the n bytes starting at p are durable. The range
+// is rounded out to cache-line boundaries, so neighboring data on shared
+// lines may become durable too (exactly as on real hardware, where this is
+// always safe). In shadow mode this copies the lines to the stable image; in
+// direct mode durability is implicit and only the latency model applies.
+func (a *Arena) Persist(p Ptr, n int64) {
+	if n <= 0 {
+		return
+	}
+	first := int(p) / CacheLine
+	last := (int(p) + int(n) - 1) / CacheLine
+	lines := last - first + 1
+	effective := true
+	if a.stable != nil {
+		// Crash-point testing: once the armed persist budget is used up,
+		// further Persist calls silently stop reaching the stable image,
+		// simulating a crash at exactly that boundary.
+		c := a.persistCount.Add(1)
+		if budget := a.persistBudget.Load(); budget >= 0 && c > budget {
+			effective = false
+		}
+	}
+	if a.stable != nil && effective {
+		lo := first * lineWords
+		hi := (last + 1) * lineWords
+		if hi > len(a.words) {
+			hi = len(a.words)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.StoreUint64(&a.stable[i], atomic.LoadUint64(&a.words[i]))
+		}
+	}
+	if d := a.cfg.persistLatency; d > 0 {
+		spinWait(time.Duration(lines) * d)
+	}
+}
+
+// PersistLatency reports the configured per-line persist latency.
+func (a *Arena) PersistLatency() time.Duration { return a.cfg.persistLatency }
+
+// PersistCount reports how many Persist calls have executed (shadow mode
+// only; zero otherwise). Used to enumerate crash points.
+func (a *Arena) PersistCount() int64 { return a.persistCount.Load() }
+
+// LimitPersists arms crash-point testing (shadow mode): only the next n
+// Persist calls take effect, after which persistence silently stops —
+// exactly as if power failed at that boundary with everything later still
+// in the volatile cache. Pass a negative n to disarm.
+func (a *Arena) LimitPersists(n int64) {
+	if a.stable == nil {
+		panic("pmem: LimitPersists requires WithShadow")
+	}
+	a.persistCount.Store(0)
+	a.persistBudget.Store(n)
+}
+
+// spinWait busy-waits for approximately d. Short persist latencies are far
+// below time.Sleep granularity, and the busy CPU models the stalled store
+// buffer of a real flush.
+func spinWait(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// Crash simulates a power failure (shadow mode only): the working image is
+// replaced by the stable image, losing every store that was not covered by a
+// Persist. Callers must guarantee no concurrent arena access during Crash.
+// After Crash the arena behaves like a freshly opened pool; run the data
+// structure's recovery procedure before using it.
+func (a *Arena) Crash() {
+	if a.stable == nil {
+		panic("pmem: Crash on an arena without WithShadow")
+	}
+	for i := range a.words {
+		a.words[i] = a.stable[i]
+	}
+	a.persistBudget.Store(-1) // a restarted machine persists normally again
+	a.free.reset()            // free lists are ephemeral; they do not survive restart
+}
+
+// CrashEvict behaves like Crash, but first persists each un-flushed word
+// with probability prob (using the caller's deterministic random source),
+// modeling arbitrary cache-line eviction before the failure. rnd must return
+// uniform values on [0,1).
+func (a *Arena) CrashEvict(prob float64, rnd func() float64) {
+	if a.stable == nil {
+		panic("pmem: CrashEvict on an arena without WithShadow")
+	}
+	for line := 0; line*lineWords < len(a.words); line++ {
+		if rnd() < prob {
+			lo := line * lineWords
+			hi := lo + lineWords
+			if hi > len(a.words) {
+				hi = len(a.words)
+			}
+			for i := lo; i < hi; i++ {
+				a.stable[i] = a.words[i]
+			}
+		}
+	}
+	a.Crash()
+}
+
+// Recover re-validates the header after a Crash (or when reusing a
+// memory-backed image) and resets ephemeral allocator state. Data-structure
+// recovery (e.g. recomputing commit counters) is the caller's job.
+func (a *Arena) Recover() error {
+	a.free.reset()
+	return a.validate()
+}
+
+// Close releases the arena. File-backed arenas are flushed to disk first.
+func (a *Arena) Close() error {
+	if !a.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	return a.closeFile()
+}
+
+// ---- Allocation ----
+
+// Alloc returns a zeroed, 8-byte-aligned block of n bytes. Small blocks are
+// served from per-size free lists when available, otherwise from the lock-
+// free bump pointer. Alloc is safe for concurrent use.
+func (a *Arena) Alloc(n int64) (Ptr, error) {
+	if n <= 0 {
+		return NullPtr, fmt.Errorf("pmem: Alloc of %d bytes", n)
+	}
+	n = (n + wordSize - 1) / wordSize * wordSize
+	if p := a.free.take(n); p != NullPtr {
+		// Reused blocks may hold durable garbage from their previous life;
+		// persist the zeroing so a crash cannot resurrect it.
+		a.ZeroWords(p, int(n/wordSize))
+		a.Persist(p, n)
+		return p, nil
+	}
+	end := a.AddUint64(Ptr(offHeapTail*wordSize), uint64(n))
+	if end > uint64(a.Size()) {
+		// Roll back our reservation so later, smaller allocations can
+		// still succeed.
+		a.AddUint64(Ptr(offHeapTail*wordSize), ^uint64(n-1))
+		return NullPtr, fmt.Errorf("%w: need %d bytes, %d in use of %d",
+			ErrOutOfMemory, n, a.HeapUsed(), a.Size())
+	}
+	// Persist the tail so that, after a crash, the persisted tail is >= any
+	// allocation that was handed out before this Persist completed. Space
+	// between a stale persisted tail and the true tail leaks, never
+	// corrupts: recovery only trusts reachable pointers.
+	a.Persist(Ptr(offHeapTail*wordSize), wordSize)
+	// Fresh bump memory was zeroed at arena creation, but in shadow mode a
+	// crash may have reverted this region to stale persisted garbage from a
+	// previous leaked allocation; zero defensively.
+	start := Ptr(end - uint64(n))
+	a.ZeroWords(start, int(n/wordSize))
+	return start, nil
+}
+
+// AllocAligned returns a zeroed block of n bytes whose address is a
+// multiple of align (a power of two >= 8). Aligned blocks cannot be Freed
+// (the padding base is not retained); they are used for long-lived
+// structures such as key-chain blocks that are never released.
+func (a *Arena) AllocAligned(n, align int64) (Ptr, error) {
+	if align <= wordSize {
+		return a.Alloc(n)
+	}
+	if align&(align-1) != 0 {
+		return NullPtr, fmt.Errorf("pmem: alignment %d is not a power of two", align)
+	}
+	p, err := a.Alloc(n + align - wordSize)
+	if err != nil {
+		return NullPtr, err
+	}
+	return (p + Ptr(align) - 1) &^ (Ptr(align) - 1), nil
+}
+
+// Free returns a block obtained from Alloc to the (ephemeral) free lists.
+// The block must no longer be reachable from any persistent structure.
+func (a *Arena) Free(p Ptr, n int64) {
+	if p == NullPtr {
+		return
+	}
+	n = (n + wordSize - 1) / wordSize * wordSize
+	a.free.put(p, n)
+}
+
+// freeLists is a sharded, size-bucketed free list. It is ephemeral: like a
+// PMDK pool's volatile runtime state, it is rebuilt (empty) on restart, so a
+// crash leaks whatever was on it. Shards reduce contention between threads.
+type freeLists struct {
+	shards [freeShards]freeShard
+	next   atomic.Uint64
+}
+
+const freeShards = 16
+
+type freeShard struct {
+	mu     sync.Mutex
+	bySize map[int64][]Ptr
+}
+
+func (f *freeLists) init() {
+	for i := range f.shards {
+		f.shards[i].bySize = make(map[int64][]Ptr)
+	}
+}
+
+func (f *freeLists) reset() {
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		s.bySize = make(map[int64][]Ptr)
+		s.mu.Unlock()
+	}
+}
+
+func (f *freeLists) put(p Ptr, n int64) {
+	s := &f.shards[f.next.Add(1)%freeShards]
+	s.mu.Lock()
+	s.bySize[n] = append(s.bySize[n], p)
+	s.mu.Unlock()
+}
+
+// take scans all shards starting at a rotating position for an exact-size
+// block. Exact-size matching is sufficient here: the store's allocation
+// sizes are a small fixed set (history segments, blocks, headers).
+func (f *freeLists) take(n int64) Ptr {
+	start := int(f.next.Add(1) % freeShards)
+	for k := 0; k < freeShards; k++ {
+		s := &f.shards[(start+k)%freeShards]
+		s.mu.Lock()
+		if lst := s.bySize[n]; len(lst) > 0 {
+			p := lst[len(lst)-1]
+			s.bySize[n] = lst[:len(lst)-1]
+			s.mu.Unlock()
+			return p
+		}
+		s.mu.Unlock()
+	}
+	return NullPtr
+}

@@ -1,0 +1,507 @@
+package pmem
+
+import (
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/mt19937"
+)
+
+func TestNewAndHeader(t *testing.T) {
+	a, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Size() != 1<<20 {
+		t.Fatalf("size = %d", a.Size())
+	}
+	if a.Root() != NullPtr {
+		t.Fatalf("fresh root = %d", a.Root())
+	}
+	a.SetRoot(Ptr(512))
+	if a.Root() != Ptr(512) {
+		t.Fatalf("root = %d, want 512", a.Root())
+	}
+	if err := a.Recover(); err != nil {
+		t.Fatalf("validate after ops: %v", err)
+	}
+}
+
+func TestNewRejectsTinyCapacity(t *testing.T) {
+	if _, err := New(8); err == nil {
+		t.Fatal("expected error for tiny arena")
+	}
+}
+
+func TestAllocAlignmentAndZeroing(t *testing.T) {
+	a, _ := New(1 << 20)
+	defer a.Close()
+	p, err := a.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%8 != 0 || p == NullPtr {
+		t.Fatalf("bad pointer %d", p)
+	}
+	for i := 0; i < 3; i++ {
+		if v := a.LoadUint64(p + Ptr(8*i)); v != 0 {
+			t.Fatalf("block not zeroed at word %d: %d", i, v)
+		}
+	}
+	// Odd sizes round up.
+	q, err := a.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q%8 != 0 {
+		t.Fatalf("odd-size alloc misaligned: %d", q)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a, _ := New(4096)
+	defer a.Close()
+	if _, err := a.Alloc(1 << 20); err == nil {
+		t.Fatal("expected out-of-memory")
+	}
+	// The failed reservation must have been rolled back.
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatalf("small alloc after failed big alloc: %v", err)
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	a, _ := New(1 << 20)
+	defer a.Close()
+	p, _ := a.Alloc(128)
+	a.StoreUint64(p, 0xDEAD)
+	a.Free(p, 128)
+	q, _ := a.Alloc(128)
+	if q != p {
+		t.Fatalf("free block not reused: got %d want %d", q, p)
+	}
+	if v := a.LoadUint64(q); v != 0 {
+		t.Fatalf("reused block not rezeroed: %#x", v)
+	}
+}
+
+// TestAllocNoOverlap is the allocator's core property: concurrently
+// allocated blocks never overlap.
+func TestAllocNoOverlap(t *testing.T) {
+	a, _ := New(16 << 20)
+	defer a.Close()
+	workers := runtime.GOMAXPROCS(0)
+	perWorker := 200
+	type block struct{ p, n uint64 }
+	out := make([][]block, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mt19937.New(uint64(w))
+			for i := 0; i < perWorker; i++ {
+				n := 8 + rng.Uint64n(512)
+				p, err := a.Alloc(int64(n))
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				out[w] = append(out[w], block{uint64(p), n})
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []block
+	for _, l := range out {
+		all = append(all, l...)
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			x, y := all[i], all[j]
+			if x.p < y.p+y.n && y.p < x.p+x.n {
+				t.Fatalf("blocks overlap: [%d,%d) and [%d,%d)", x.p, x.p+x.n, y.p, y.p+y.n)
+			}
+		}
+	}
+}
+
+func TestWordAccessors(t *testing.T) {
+	a, _ := New(1 << 16)
+	defer a.Close()
+	p, _ := a.Alloc(64)
+	a.StoreUint64(p, 41)
+	if !a.CompareAndSwapUint64(p, 41, 42) {
+		t.Fatal("CAS failed")
+	}
+	if a.CompareAndSwapUint64(p, 41, 43) {
+		t.Fatal("CAS succeeded with stale old value")
+	}
+	if got := a.AddUint64(p, 8); got != 50 {
+		t.Fatalf("Add = %d", got)
+	}
+	a.StorePtr(p+8, Ptr(1024))
+	if a.LoadPtr(p+8) != Ptr(1024) {
+		t.Fatal("Ptr roundtrip failed")
+	}
+	src := []uint64{1, 2, 3, 4}
+	a.WriteWords(p+16, src)
+	dst := make([]uint64, 4)
+	a.ReadWords(p+16, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("words roundtrip at %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+	a.ZeroWords(p+16, 4)
+	a.ReadWords(p+16, dst)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("ZeroWords left data")
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	a, _ := New(1 << 20)
+	defer a.Close()
+	rng := mt19937.New(4)
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 1000} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		p, err := a.Alloc(int64((n + 7) / 8 * 8))
+		if err != nil && n > 0 {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			continue
+		}
+		a.WriteBytes(p, data)
+		got := a.ReadBytes(p, n)
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("n=%d: byte %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestBytesSurviveShadowPersist(t *testing.T) {
+	a, _ := New(1<<20, WithShadow())
+	defer a.Close()
+	p, _ := a.Alloc(128)
+	msg := []byte("durable payload, padded oddly!")
+	a.WriteBytes(p, msg)
+	a.Persist(p, int64(len(msg)))
+	a.Crash()
+	got := a.ReadBytes(p, len(msg))
+	if string(got) != string(msg) {
+		t.Fatalf("after crash: %q", got)
+	}
+}
+
+func TestMisalignedAccessPanics(t *testing.T) {
+	a, _ := New(1 << 16)
+	defer a.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned access did not panic")
+		}
+	}()
+	a.LoadUint64(Ptr(3))
+}
+
+func TestOutOfRangeAccessPanics(t *testing.T) {
+	a, _ := New(1 << 16)
+	defer a.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	a.LoadUint64(Ptr(1 << 20))
+}
+
+// TestShadowCrashDropsUnpersisted is the heart of the crash model: stores
+// without a covering Persist vanish at Crash; persisted stores survive.
+func TestShadowCrashDropsUnpersisted(t *testing.T) {
+	a, _ := New(1<<16, WithShadow())
+	defer a.Close()
+	p, _ := a.Alloc(256)
+	a.StoreUint64(p, 100)
+	a.Persist(p, 8)
+	a.StoreUint64(p+128, 200) // same alloc, different cache line, not persisted
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := a.LoadUint64(p); got != 100 {
+		t.Fatalf("persisted word lost: %d", got)
+	}
+	if got := a.LoadUint64(p + 128); got != 0 {
+		t.Fatalf("unpersisted word survived crash: %d", got)
+	}
+}
+
+// TestShadowPersistLineGranularity: persisting one byte makes the whole
+// cache line durable (safe over-persistence).
+func TestShadowPersistLineGranularity(t *testing.T) {
+	a, _ := New(1<<16, WithShadow())
+	defer a.Close()
+	p, _ := a.Alloc(64) // one cache line, line-aligned allocations not guaranteed, so locate line
+	a.StoreUint64(p, 7)
+	a.StoreUint64(p+8, 8)
+	a.Persist(p, 1) // covers at least the line holding p, and p+8 shares it iff same line
+	a.Crash()
+	if got := a.LoadUint64(p); got != 7 {
+		t.Fatalf("persisted word lost: %d", got)
+	}
+	sameLine := uint64(p)/CacheLine == uint64(p+8)/CacheLine
+	got := a.LoadUint64(p + 8)
+	if sameLine && got != 8 {
+		t.Fatalf("same-line neighbor not persisted: %d", got)
+	}
+	if !sameLine && got != 0 {
+		t.Fatalf("different-line word persisted unexpectedly: %d", got)
+	}
+}
+
+func TestCrashWithoutShadowPanics(t *testing.T) {
+	a, _ := New(1 << 16)
+	defer a.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Crash without shadow did not panic")
+		}
+	}()
+	a.Crash()
+}
+
+// TestCrashEvict: with prob=1 everything becomes durable; with prob=0 it is
+// identical to Crash.
+func TestCrashEvict(t *testing.T) {
+	a, _ := New(1<<16, WithShadow())
+	defer a.Close()
+	p, _ := a.Alloc(64)
+	a.StoreUint64(p, 55)
+	rng := mt19937.New(1)
+	a.CrashEvict(1.0, rng.Float64)
+	if got := a.LoadUint64(p); got != 55 {
+		t.Fatalf("full eviction lost data: %d", got)
+	}
+	q, _ := a.Alloc(64)
+	a.StoreUint64(q, 66)
+	a.CrashEvict(0.0, rng.Float64)
+	if got := a.LoadUint64(q); got != 0 {
+		t.Fatalf("zero-probability eviction persisted data: %d", got)
+	}
+}
+
+// TestShadowQuickProperty: arbitrary interleavings of stores and persists;
+// after a crash, every persisted store is present and every store on a line
+// never persisted is absent.
+func TestShadowQuickProperty(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		a, _ := New(1<<16, WithShadow())
+		defer a.Close()
+		base, _ := a.Alloc(4096)
+		persistedLine := make(map[int]bool)
+		val := make(map[int]uint64) // word index -> last value
+		persistedVal := make(map[int]uint64)
+		rng := mt19937.New(seed)
+		for _, op := range ops {
+			word := int(op % 512)
+			p := base + Ptr(word*8)
+			if op%3 == 0 {
+				// persist this word's line
+				a.Persist(p, 8)
+				line := int(uint64(p) / CacheLine)
+				persistedLine[line] = true
+				// snapshot all words currently on that line
+				for w := range val {
+					wp := base + Ptr(w*8)
+					if int(uint64(wp)/CacheLine) == line {
+						persistedVal[w] = val[w]
+					}
+				}
+			} else {
+				v := rng.Uint64()
+				a.StoreUint64(p, v)
+				val[word] = v
+			}
+		}
+		a.Crash()
+		for w := range val {
+			wp := base + Ptr(w*8)
+			line := int(uint64(wp) / CacheLine)
+			got := a.LoadUint64(wp)
+			if persistedLine[line] {
+				if got != persistedVal[w] {
+					return false
+				}
+			} else if got != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLimitPersists: once the budget is exhausted, Persist stops reaching
+// the stable image; Crash disarms the budget.
+func TestLimitPersists(t *testing.T) {
+	a, _ := New(1<<16, WithShadow())
+	defer a.Close()
+	p, _ := a.Alloc(256)
+	a.LimitPersists(1)
+	a.StoreUint64(p, 1)
+	a.Persist(p, 8) // 1st persist: effective
+	a.StoreUint64(p+128, 2)
+	a.Persist(p+128, 8) // 2nd persist: dropped
+	if a.PersistCount() != 2 {
+		t.Fatalf("PersistCount = %d", a.PersistCount())
+	}
+	a.Crash()
+	if got := a.LoadUint64(p); got != 1 {
+		t.Fatalf("budgeted persist lost: %d", got)
+	}
+	if got := a.LoadUint64(p + 128); got != 0 {
+		t.Fatalf("over-budget persist survived: %d", got)
+	}
+	// after Crash the budget is disarmed: persistence works again
+	a.StoreUint64(p+192, 3)
+	a.Persist(p+192, 8)
+	a.Crash()
+	if got := a.LoadUint64(p + 192); got != 3 {
+		t.Fatalf("post-crash persist lost: %d", got)
+	}
+}
+
+func TestLimitPersistsRequiresShadow(t *testing.T) {
+	a, _ := New(1 << 16)
+	defer a.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LimitPersists without shadow did not panic")
+		}
+	}()
+	a.LimitPersists(1)
+}
+
+func TestAllocAligned(t *testing.T) {
+	a, _ := New(1 << 20)
+	defer a.Close()
+	for _, align := range []int64{8, 64, 256, 4096} {
+		p, err := a.AllocAligned(100, align)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(p)%uint64(align) != 0 {
+			t.Fatalf("align %d: pointer %d misaligned", align, p)
+		}
+		// usable: write the full requested size
+		a.StoreUint64(p, 1)
+		a.StoreUint64(p+96, 2)
+	}
+	if _, err := a.AllocAligned(8, 24); err == nil {
+		t.Fatal("non-power-of-two alignment accepted")
+	}
+}
+
+func TestFileBackedRoundTrip(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("file-backed arenas are linux-only")
+	}
+	path := filepath.Join(t.TempDir(), "pool.img")
+	a, err := CreateFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StoreUint64(p, 777)
+	a.Persist(p, 8)
+	a.SetRoot(p)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Root() != p {
+		t.Fatalf("root after reopen: %d, want %d", b.Root(), p)
+	}
+	if got := b.LoadUint64(p); got != 777 {
+		t.Fatalf("data after reopen: %d", got)
+	}
+	// allocations continue after the old tail
+	q, err := b.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < p+128 {
+		t.Fatalf("reopened allocator handed out overlapping block %d", q)
+	}
+}
+
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("linux-only")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.img")
+	a, err := CreateFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StoreUint64(Ptr(0), 0x1234) // clobber magic
+	a.Close()
+	if _, err := OpenFile(path); err == nil {
+		t.Fatal("expected bad-image error")
+	}
+}
+
+func TestDoubleCloseReturnsErrClosed(t *testing.T) {
+	a, _ := New(1 << 16)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != ErrClosed {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func BenchmarkAlloc(b *testing.B) {
+	a, _ := New(1 << 30)
+	defer a.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := a.Alloc(64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPersistShadow(b *testing.B) {
+	a, _ := New(1<<20, WithShadow())
+	defer a.Close()
+	p, _ := a.Alloc(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Persist(p, 64)
+	}
+}

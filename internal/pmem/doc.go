@@ -1,0 +1,42 @@
+// Package pmem emulates byte-addressable persistent memory for the
+// multi-versioning key-value store.
+//
+// The paper builds on Intel PMDK (libpmemobj) over a /dev/shm mount:
+// applications allocate objects inside a persistent pool, refer to them by
+// persistent pointers (pool offsets), and make stores durable with explicit
+// flush ("persist") primitives. Go has no PMDK bindings and no real PM is
+// available here, so this package provides the closest synthetic equivalent
+// with the same programming model:
+//
+//   - An Arena is a fixed-size pool of 8-byte words. Persistent pointers
+//     (type Ptr) are byte offsets into the arena, so the image is
+//     position-independent and invisible to the Go garbage collector —
+//     mirroring PMDK's PMEMoid discipline and sidestepping Go GC/moving
+//     concerns for persistent state.
+//   - Alloc/Free provide a concurrent allocator (lock-free bump pointer plus
+//     sharded free lists). As with non-transactional PMDK allocation, blocks
+//     that were allocated but not yet linked into a reachable structure at
+//     crash time leak; the data structures in this repository are designed so
+//     such leaks are bounded and harmless.
+//   - Persist(p, n) is the CLWB/SFENCE (or msync) analogue: it guarantees the
+//     given range is durable. In direct mode it optionally injects a
+//     configurable latency per 64-byte line, modeling the extra cost of
+//     persistent-memory writes relative to DRAM (the effect behind the
+//     paper's ESkipList-vs-PSkipList gap).
+//   - Shadow mode (WithShadow) maintains a second, "stable" image that only
+//     Persist updates. Crash() discards everything not persisted, exactly
+//     like power failure with a volatile CPU cache; CrashEvict additionally
+//     persists a random subset of un-flushed words first, modeling arbitrary
+//     cache-line eviction order. Recovery code can then be tested against
+//     genuinely lost writes.
+//
+// All word access goes through atomic load/store/CAS/add accessors. This
+// keeps the package data-race-free under the Go race detector even while a
+// Persist concurrently snapshots words that other goroutines are writing —
+// the moral equivalent of the CPU persisting cache lines asynchronously.
+//
+// Arenas can be memory-backed (New) or file-backed (CreateFile/OpenFile).
+// File-backed arenas survive process restarts; memory-backed arenas with
+// shadow mode are used to exercise crash/recovery paths deterministically in
+// tests and benchmarks.
+package pmem

@@ -1,0 +1,118 @@
+//go:build linux
+
+package pmem
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// CreateFile creates a new file-backed arena at path with the given capacity
+// (rounded up to a whole page). The file is memory-mapped MAP_SHARED, so the
+// arena image survives process restarts — the stand-in for a persistent
+// memory DAX mount. Shadow mode is not supported for file-backed arenas.
+func CreateFile(path string, capacity int64, opts ...Option) (*Arena, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shadow {
+		return nil, fmt.Errorf("pmem: shadow mode is unsupported for file-backed arenas")
+	}
+	capacity = roundUpPage(capacity)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: create %s: %w", path, err)
+	}
+	if err := f.Truncate(capacity); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("pmem: size %s: %w", path, err)
+	}
+	a, err := mapFile(f, capacity, cfg)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	a.format()
+	return a, nil
+}
+
+// OpenFile opens an existing file-backed arena for recovery or reuse.
+func OpenFile(path string, opts ...Option) (*Arena, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shadow {
+		return nil, fmt.Errorf("pmem: shadow mode is unsupported for file-backed arenas")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	a, err := mapFile(f, st.Size(), cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := a.validate(); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+func mapFile(f *os.File, size int64, cfg config) (*Arena, error) {
+	if size < headerWords*wordSize || size%wordSize != 0 {
+		return nil, fmt.Errorf("pmem: file size %d is not a valid arena", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: mmap: %w", err)
+	}
+	// Reinterpret the page-aligned mapping as words. The mapping is page
+	// aligned, so 8-byte alignment for atomics holds.
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), size/wordSize)
+	a := &Arena{words: words, cfg: cfg, file: f}
+	a.free.init()
+	return a, nil
+}
+
+func (a *Arena) closeFile() error {
+	if a.file == nil {
+		return nil
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&a.words[0])), len(a.words)*wordSize)
+	// msync makes the whole image durable on close; during operation,
+	// durability ordering is enforced by the algorithms via Persist.
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	var syncErr error
+	if errno != 0 {
+		syncErr = errno
+	}
+	if err := syscall.Munmap(b); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	a.words = nil
+	if err := a.file.Close(); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	a.file = nil
+	return syncErr
+}
+
+func roundUpPage(n int64) int64 {
+	page := int64(os.Getpagesize())
+	return (n + page - 1) / page * page
+}

@@ -1,0 +1,27 @@
+//go:build !linux
+
+package pmem
+
+import (
+	"fmt"
+	"os"
+)
+
+// CreateFile is available on Linux only; other platforms fall back to
+// memory-backed arenas. The benchmark suite targets Linux.
+func CreateFile(path string, capacity int64, opts ...Option) (*Arena, error) {
+	return nil, fmt.Errorf("pmem: file-backed arenas require linux (got %s)", osName())
+}
+
+// OpenFile is available on Linux only.
+func OpenFile(path string, opts ...Option) (*Arena, error) {
+	return nil, fmt.Errorf("pmem: file-backed arenas require linux (got %s)", osName())
+}
+
+func (a *Arena) closeFile() error { return nil }
+
+func osName() string {
+	h, _ := os.Hostname()
+	_ = h
+	return "non-linux"
+}

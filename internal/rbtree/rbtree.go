@@ -1,0 +1,289 @@
+// Package rbtree implements an ordered map as a left-leaning red-black
+// tree, the stand-in for the C++ std::map (whose "underlying implementation
+// is typically a red-black tree", as the paper notes) used by the LockedMap
+// baseline.
+//
+// The tree is NOT safe for concurrent use; LockedMap wraps it in a
+// read-write mutex, which is exactly the baseline behaviour the paper
+// studies ("the overall concurrency control is enforced by means of
+// locking").
+package rbtree
+
+// Tree is an ordered map from uint64 keys to values of type V. The zero
+// value is an empty tree.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	key         uint64
+	value       V
+	left, right *node[V]
+	red         bool
+}
+
+func isRed[V any](n *node[V]) bool { return n != nil && n.red }
+
+// Len returns the number of keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores value under key, replacing any existing value.
+func (t *Tree[V]) Put(key uint64, value V) {
+	t.root = t.put(t.root, key, value)
+	t.root.red = false
+}
+
+func (t *Tree[V]) put(n *node[V], key uint64, value V) *node[V] {
+	if n == nil {
+		t.size++
+		return &node[V]{key: key, value: value, red: true}
+	}
+	switch {
+	case key < n.key:
+		n.left = t.put(n.left, key, value)
+	case key > n.key:
+		n.right = t.put(n.right, key, value)
+	default:
+		n.value = value
+	}
+	return fixUp(n)
+}
+
+// GetOrCreate returns the value under key, inserting mk() if absent.
+func (t *Tree[V]) GetOrCreate(key uint64, mk func() V) (V, bool) {
+	if v, ok := t.Get(key); ok {
+		return v, false
+	}
+	v := mk()
+	t.Put(key, v)
+	return v, true
+}
+
+// Delete removes key from the tree and reports whether it was present.
+// (The multi-versioning stores never delete — removals append history
+// markers — but a complete ordered-map substrate supports it.)
+func (t *Tree[V]) Delete(key uint64) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.red = true
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[V]) delete(n *node[V], key uint64) *node[V] {
+	if key < n.key {
+		if !isRed(n.left) && n.left != nil && !isRed(n.left.left) {
+			n = moveRedLeft(n)
+		}
+		n.left = t.delete(n.left, key)
+	} else {
+		if isRed(n.left) {
+			n = rotateRight(n)
+		}
+		if key == n.key && n.right == nil {
+			return nil
+		}
+		if !isRed(n.right) && n.right != nil && !isRed(n.right.left) {
+			n = moveRedRight(n)
+		}
+		if key == n.key {
+			m := min(n.right)
+			n.key, n.value = m.key, m.value
+			n.right = deleteMin(n.right)
+		} else {
+			n.right = t.delete(n.right, key)
+		}
+	}
+	return fixUp(n)
+}
+
+func min[V any](n *node[V]) *node[V] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func deleteMin[V any](n *node[V]) *node[V] {
+	if n.left == nil {
+		return nil
+	}
+	if !isRed(n.left) && !isRed(n.left.left) {
+		n = moveRedLeft(n)
+	}
+	n.left = deleteMin(n.left)
+	return fixUp(n)
+}
+
+func rotateLeft[V any](n *node[V]) *node[V] {
+	x := n.right
+	n.right = x.left
+	x.left = n
+	x.red = n.red
+	n.red = true
+	return x
+}
+
+func rotateRight[V any](n *node[V]) *node[V] {
+	x := n.left
+	n.left = x.right
+	x.right = n
+	x.red = n.red
+	n.red = true
+	return x
+}
+
+func flipColors[V any](n *node[V]) {
+	n.red = !n.red
+	n.left.red = !n.left.red
+	n.right.red = !n.right.red
+}
+
+func moveRedLeft[V any](n *node[V]) *node[V] {
+	flipColors(n)
+	if isRed(n.right.left) {
+		n.right = rotateRight(n.right)
+		n = rotateLeft(n)
+		flipColors(n)
+	}
+	return n
+}
+
+func moveRedRight[V any](n *node[V]) *node[V] {
+	flipColors(n)
+	if isRed(n.left.left) {
+		n = rotateRight(n)
+		flipColors(n)
+	}
+	return n
+}
+
+func fixUp[V any](n *node[V]) *node[V] {
+	if isRed(n.right) && !isRed(n.left) {
+		n = rotateLeft(n)
+	}
+	if isRed(n.left) && isRed(n.left.left) {
+		n = rotateRight(n)
+	}
+	if isRed(n.left) && isRed(n.right) {
+		flipColors(n)
+	}
+	return n
+}
+
+// All visits every pair in ascending key order until fn returns false.
+func (t *Tree[V]) All(fn func(key uint64, v V) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Tree[V]) walk(n *node[V], fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	return t.walk(n.left, fn) && fn(n.key, n.value) && t.walk(n.right, fn)
+}
+
+// Range visits every pair with lo <= key < hi in ascending order until fn
+// returns false.
+func (t *Tree[V]) Range(lo, hi uint64, fn func(key uint64, v V) bool) {
+	t.rangeWalk(t.root, lo, hi, fn)
+}
+
+func (t *Tree[V]) rangeWalk(n *node[V], lo, hi uint64, fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key >= lo {
+		if !t.rangeWalk(n.left, lo, hi, fn) {
+			return false
+		}
+	}
+	if n.key >= lo && n.key < hi {
+		if !fn(n.key, n.value) {
+			return false
+		}
+	}
+	if n.key < hi {
+		return t.rangeWalk(n.right, lo, hi, fn)
+	}
+	return true
+}
+
+// Min returns the smallest key, if any.
+func (t *Tree[V]) Min() (uint64, V, bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	m := min(t.root)
+	return m.key, m.value, true
+}
+
+// Max returns the largest key, if any.
+func (t *Tree[V]) Max() (uint64, V, bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.value, true
+}
+
+// checkInvariants verifies red-black properties; exported for tests via
+// Validate.
+func (t *Tree[V]) Validate() bool {
+	if isRed(t.root) {
+		return false
+	}
+	_, ok := blackHeight(t.root)
+	return ok
+}
+
+func blackHeight[V any](n *node[V]) (int, bool) {
+	if n == nil {
+		return 1, true
+	}
+	if isRed(n) && (isRed(n.left) || isRed(n.right)) {
+		return 0, false // no two reds in a row
+	}
+	if isRed(n.right) && !isRed(n.left) {
+		return 0, false // left-leaning violated
+	}
+	lh, lok := blackHeight(n.left)
+	rh, rok := blackHeight(n.right)
+	if !lok || !rok || lh != rh {
+		return 0, false
+	}
+	if !isRed(n) {
+		lh++
+	}
+	return lh, true
+}

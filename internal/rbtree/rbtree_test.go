@@ -1,0 +1,262 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/mt19937"
+)
+
+func TestEmpty(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree")
+	}
+	if !tr.Validate() {
+		t.Fatal("empty tree invalid")
+	}
+}
+
+func TestPutGetReplace(t *testing.T) {
+	var tr Tree[string]
+	tr.Put(5, "five")
+	tr.Put(3, "three")
+	tr.Put(8, "eight")
+	tr.Put(5, "FIVE")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, _ := tr.Get(5); v != "FIVE" {
+		t.Fatalf("Get(5) = %q", v)
+	}
+	if k, _, _ := tr.Min(); k != 3 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 8 {
+		t.Fatalf("Max = %d", k)
+	}
+}
+
+func TestGetOrCreate(t *testing.T) {
+	var tr Tree[int]
+	calls := 0
+	v, created := tr.GetOrCreate(1, func() int { calls++; return 10 })
+	if !created || v != 10 || calls != 1 {
+		t.Fatalf("first: %d %v %d", v, created, calls)
+	}
+	v, created = tr.GetOrCreate(1, func() int { calls++; return 20 })
+	if created || v != 10 || calls != 1 {
+		t.Fatalf("second: %d %v %d", v, created, calls)
+	}
+}
+
+func TestOrderedIterationLarge(t *testing.T) {
+	var tr Tree[uint64]
+	rng := mt19937.New(9)
+	keys := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64n(1 << 40)
+		keys[k] = true
+		tr.Put(k, k*2)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d want %d", tr.Len(), len(keys))
+	}
+	if !tr.Validate() {
+		t.Fatal("invariants violated after inserts")
+	}
+	var got []uint64
+	tr.All(func(k uint64, v uint64) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("iteration not sorted")
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("iterated %d keys", len(got))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree[int]
+	for k := uint64(0); k < 100; k++ {
+		tr.Put(k, int(k))
+	}
+	for k := uint64(0); k < 100; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+		if !tr.Validate() {
+			t.Fatalf("invariants violated after deleting %d", k)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		_, ok := tr.Get(k)
+		if want := k%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v", k, ok)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestQuickModel compares random put/delete/get sequences against a map.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var tr Tree[uint64]
+		model := map[uint64]uint64{}
+		for i, op := range ops {
+			k := uint64(op % 64)
+			switch op % 3 {
+			case 0, 1:
+				tr.Put(k, uint64(i))
+				model[k] = uint64(i)
+			case 2:
+				got := tr.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			}
+			if !tr.Validate() {
+				return false
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	var tr Tree[int]
+	for k := uint64(0); k < 100; k += 10 {
+		tr.Put(k, int(k))
+	}
+	var got []uint64
+	tr.Range(15, 65, func(k uint64, v int) bool { got = append(got, k); return true })
+	want := []uint64{20, 30, 40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// inclusive lower bound, exclusive upper
+	got = nil
+	tr.Range(20, 30, func(k uint64, v int) bool { got = append(got, k); return true })
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("Range[20,30) = %v", got)
+	}
+	// early stop
+	n := 0
+	tr.Range(0, 100, func(uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// empty ranges
+	tr.Range(35, 35, func(uint64, int) bool { t.Fatal("empty range visited"); return false })
+	tr.Range(200, 300, func(uint64, int) bool { t.Fatal("out-of-bounds range visited"); return false })
+}
+
+// TestRangeQuickAgainstSort compares Range against sorted-slice filtering.
+func TestRangeQuickAgainstSort(t *testing.T) {
+	f := func(keys []uint16, lo, hi uint16) bool {
+		var tr Tree[struct{}]
+		set := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Put(uint64(k), struct{}{})
+			set[uint64(k)] = true
+		}
+		var want []uint64
+		for k := range set {
+			if k >= uint64(lo) && k < uint64(hi) {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []uint64
+		tr.Range(uint64(lo), uint64(hi), func(k uint64, _ struct{}) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyStopIteration(t *testing.T) {
+	var tr Tree[int]
+	for k := uint64(0); k < 10; k++ {
+		tr.Put(k, int(k))
+	}
+	n := 0
+	tr.All(func(uint64, int) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	var tr Tree[uint64]
+	rng := mt19937.New(1)
+	for i := 0; i < b.N; i++ {
+		tr.Put(rng.Uint64(), 1)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr Tree[uint64]
+	for i := uint64(0); i < 1<<20; i++ {
+		tr.Put(i*0x9E3779B97F4A7C15, i)
+	}
+	rng := mt19937.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(rng.Uint64n(1<<20) * 0x9E3779B97F4A7C15)
+	}
+}

@@ -1,0 +1,238 @@
+// Package skiplist provides a lock-free, insert-only concurrent skip list
+// keyed by uint64, the ephemeral index at the heart of the paper's ESkipList
+// and PSkipList stores.
+//
+// The paper observes that a multi-versioning store never physically deletes
+// keys from the index — removals append a marker to the key's version
+// history instead — so the skip list can omit deletion support entirely.
+// That makes a simple compare-and-swap design correct without node marking
+// or pointer tagging: a node is published by a single CAS of its level-0
+// predecessor's next pointer, and upper levels are linked best-effort
+// afterwards (Algorithm 2 / Section IV-B of the paper).
+//
+// Concurrent inserts of the same key are resolved at the level-0 CAS: the
+// loser detects the winner during its retry scan and discards its own
+// speculative value (the "slower thread cleans up and reuses the pointer of
+// the faster thread" rule from the paper, used by PSkipList to return the
+// loser's persistent allocation to the arena free list).
+package skiplist
+
+import (
+	"sync/atomic"
+)
+
+// MaxLevel bounds the tower height. With p = 1/2, 32 levels comfortably
+// index billions of keys.
+const MaxLevel = 32
+
+type node[V any] struct {
+	key  uint64
+	v    V
+	next []atomic.Pointer[node[V]] // len == tower height
+}
+
+// Map is a concurrent ordered map from uint64 to V. The zero value is not
+// usable; call New.
+type Map[V any] struct {
+	head   *node[V]
+	count  atomic.Int64
+	seed   atomic.Uint64
+	levels atomic.Int64 // highest tower height in use; searches start here
+}
+
+// New returns an empty map.
+func New[V any]() *Map[V] {
+	h := &node[V]{next: make([]atomic.Pointer[node[V]], MaxLevel)}
+	m := &Map[V]{head: h}
+	m.seed.Store(0x9E3779B97F4A7C15)
+	m.levels.Store(1)
+	return m
+}
+
+// topLevel returns the level searches start from: the highest level any
+// node occupies. Starting at MaxLevel-1 would walk ~14 empty levels for
+// every operation.
+func (m *Map[V]) topLevel() int {
+	return int(m.levels.Load()) - 1
+}
+
+// raiseLevel records that a tower of the given height now exists.
+func (m *Map[V]) raiseLevel(h int) {
+	for {
+		cur := m.levels.Load()
+		if int64(h) <= cur || m.levels.CompareAndSwap(cur, int64(h)) {
+			return
+		}
+	}
+}
+
+// Len returns the number of distinct keys in the map.
+func (m *Map[V]) Len() int { return int(m.count.Load()) }
+
+// randomLevel draws a geometric(1/2) tower height in [1, MaxLevel]. It uses
+// a shared splitmix64 counter: one uncontended atomic add per insert, and a
+// sequence that is independent of scheduling for reproducible structure
+// under single-threaded use.
+func (m *Map[V]) randomLevel() int {
+	z := m.seed.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	lvl := 1
+	for z&1 == 1 && lvl < MaxLevel {
+		lvl++
+		z >>= 1
+	}
+	return lvl
+}
+
+// findSkip walks the list from the top level down, filling the predecessor
+// and successor at every level (Algorithm 2). It returns the node with the
+// exact key if present.
+func (m *Map[V]) findSkip(key uint64, preds, succs *[MaxLevel]*node[V]) *node[V] {
+	pred := m.head
+	var found *node[V]
+	top := m.topLevel()
+	for level := MaxLevel - 1; level > top; level-- {
+		preds[level] = pred
+		succs[level] = nil
+	}
+	for level := top; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < key {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+		preds[level] = pred
+		succs[level] = curr
+		if found == nil && curr != nil && curr.key == key {
+			found = curr
+		}
+	}
+	return found
+}
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	pred := m.head
+	for level := m.topLevel(); level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < key {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+		if curr != nil && curr.key == key {
+			return curr.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrCreate returns the value under key, creating it with mk if absent.
+// created reports whether this call inserted the key. If mk was invoked but
+// another goroutine won the race to insert the same key, discard (if
+// non-nil) is called with the speculative value so the caller can release
+// resources (PSkipList frees the persistent allocation), and the winner's
+// value is returned.
+func (m *Map[V]) GetOrCreate(key uint64, mk func() V, discard func(V)) (v V, created bool) {
+	var preds, succs [MaxLevel]*node[V]
+	var nn *node[V]
+	for {
+		if f := m.findSkip(key, &preds, &succs); f != nil {
+			if nn != nil && discard != nil {
+				discard(nn.v)
+			}
+			return f.v, false
+		}
+		if nn == nil {
+			nn = &node[V]{
+				key:  key,
+				v:    mk(),
+				next: make([]atomic.Pointer[node[V]], m.randomLevel()),
+			}
+			// Publish the height before linking so concurrent searches
+			// descend through every level this tower will occupy.
+			m.raiseLevel(len(nn.next))
+		}
+		// Publish at level 0.
+		nn.next[0].Store(succs[0])
+		if !preds[0].next[0].CompareAndSwap(succs[0], nn) {
+			continue // a racing insert changed the neighborhood; rescan
+		}
+		m.count.Add(1)
+		// Link upper levels best-effort. A failed CAS means the
+		// neighborhood changed; rescan and retry that level.
+		for level := 1; level < len(nn.next); level++ {
+			for {
+				succ := succs[level]
+				nn.next[level].Store(succ)
+				if preds[level].next[level].CompareAndSwap(succ, nn) {
+					break
+				}
+				m.findSkip(key, &preds, &succs)
+				if succs[level] == nn {
+					// Another helper already linked us here (cannot
+					// happen in this insert-only design, but cheap to
+					// tolerate).
+					break
+				}
+			}
+		}
+		return nn.v, true
+	}
+}
+
+// Insert stores v under key if absent and reports whether it inserted.
+// Present keys keep their existing value (histories are append-only; the
+// caller appends to the existing history instead).
+func (m *Map[V]) Insert(key uint64, v V) bool {
+	_, created := m.GetOrCreate(key, func() V { return v }, nil)
+	return created
+}
+
+// Ceiling returns the smallest key >= key and its value.
+func (m *Map[V]) Ceiling(key uint64) (uint64, V, bool) {
+	pred := m.head
+	for level := m.topLevel(); level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < key {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+	}
+	curr := pred.next[0].Load()
+	if curr == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return curr.key, curr.v, true
+}
+
+// All iterates the map in ascending key order, calling fn for each pair
+// until fn returns false. Iteration is safe under concurrent inserts and
+// observes some subset of them.
+func (m *Map[V]) All(fn func(key uint64, v V) bool) {
+	for n := m.head.next[0].Load(); n != nil; n = n.next[0].Load() {
+		if !fn(n.key, n.v) {
+			return
+		}
+	}
+}
+
+// Range iterates keys in [lo, hi) in ascending order.
+func (m *Map[V]) Range(lo, hi uint64, fn func(key uint64, v V) bool) {
+	pred := m.head
+	for level := m.topLevel(); level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < lo {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+	}
+	for n := pred.next[0].Load(); n != nil && n.key < hi; n = n.next[0].Load() {
+		if !fn(n.key, n.v) {
+			return
+		}
+	}
+}

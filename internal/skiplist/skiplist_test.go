@@ -1,0 +1,356 @@
+package skiplist
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/mt19937"
+)
+
+func TestEmpty(t *testing.T) {
+	m := New[int]()
+	if m.Len() != 0 {
+		t.Fatal("empty map has nonzero length")
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("Get on empty map returned ok")
+	}
+	if _, _, ok := m.Ceiling(0); ok {
+		t.Fatal("Ceiling on empty map returned ok")
+	}
+	m.All(func(uint64, int) bool { t.Fatal("All visited on empty map"); return false })
+}
+
+func TestInsertGet(t *testing.T) {
+	m := New[string]()
+	if !m.Insert(10, "ten") {
+		t.Fatal("first insert reported not created")
+	}
+	if m.Insert(10, "TEN") {
+		t.Fatal("duplicate insert reported created")
+	}
+	v, ok := m.Get(10)
+	if !ok || v != "ten" {
+		t.Fatalf("Get(10) = %q, %v", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestGetOrCreateDiscard(t *testing.T) {
+	m := New[int]()
+	mkCalls, discards := 0, 0
+	v, created := m.GetOrCreate(7, func() int { mkCalls++; return 70 }, func(int) { discards++ })
+	if !created || v != 70 || mkCalls != 1 || discards != 0 {
+		t.Fatalf("first GetOrCreate: v=%d created=%v mk=%d discard=%d", v, created, mkCalls, discards)
+	}
+	v, created = m.GetOrCreate(7, func() int { mkCalls++; return 71 }, func(int) { discards++ })
+	if created || v != 70 || mkCalls != 1 {
+		t.Fatalf("second GetOrCreate: v=%d created=%v mk=%d", v, created, mkCalls)
+	}
+}
+
+// TestOrderedIteration inserts shuffled keys and verifies ascending
+// iteration over exactly the inserted set.
+func TestOrderedIteration(t *testing.T) {
+	const n = 10000
+	keys := make([]uint64, n)
+	rng := mt19937.New(11)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	m := New[uint64]()
+	for _, k := range keys {
+		m.Insert(k, k*2)
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	// dedupe (rng may collide, though unlikely)
+	want = dedupe(want)
+
+	var got []uint64
+	m.All(func(k uint64, v uint64) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at key %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func dedupe(s []uint64) []uint64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestCeiling(t *testing.T) {
+	m := New[int]()
+	for _, k := range []uint64{10, 20, 30} {
+		m.Insert(k, int(k))
+	}
+	cases := []struct {
+		in   uint64
+		want uint64
+		ok   bool
+	}{
+		{0, 10, true}, {10, 10, true}, {11, 20, true},
+		{20, 20, true}, {25, 30, true}, {30, 30, true}, {31, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := m.Ceiling(c.in)
+		if ok != c.ok || (ok && k != c.want) {
+			t.Fatalf("Ceiling(%d) = %d,%v want %d,%v", c.in, k, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New[int]()
+	for k := uint64(0); k < 100; k += 10 {
+		m.Insert(k, int(k))
+	}
+	var got []uint64
+	m.Range(15, 55, func(k uint64, v int) bool { got = append(got, k); return true })
+	want := []uint64{20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("Range returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range returned %v, want %v", got, want)
+		}
+	}
+	// early stop
+	n := 0
+	m.Range(0, 100, func(uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestQuickAgainstModel drives the skip list with random operations and
+// compares against a Go map + sort model.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := New[uint64]()
+		model := map[uint64]uint64{}
+		for i, op := range ops {
+			k := uint64(op % 256)
+			switch op % 3 {
+			case 0, 1:
+				if _, exists := model[k]; !exists {
+					model[k] = uint64(i)
+				}
+				m.GetOrCreate(k, func() uint64 { return uint64(i) }, nil)
+			case 2:
+				v, ok := m.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		var prev uint64
+		first := true
+		n := 0
+		bad := false
+		m.All(func(k uint64, v uint64) bool {
+			if !first && k <= prev {
+				bad = true
+				return false
+			}
+			if mv, ok := model[k]; !ok || mv != v {
+				bad = true
+				return false
+			}
+			prev, first = k, false
+			n++
+			return true
+		})
+		return !bad && n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDistinctKeys: T goroutines insert disjoint key sets; all
+// keys must be present, ordered, with correct values.
+func TestConcurrentDistinctKeys(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 5000
+	m := New[uint64]()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mt19937.New(uint64(w) + 1)
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w)<<32 | uint64(rng.Uint64n(1<<31))
+				m.GetOrCreate(k, func() uint64 { return k + 1 }, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var prev uint64
+	first := true
+	count := 0
+	m.All(func(k uint64, v uint64) bool {
+		if !first && k <= prev {
+			t.Errorf("out of order: %d after %d", k, prev)
+			return false
+		}
+		if v != k+1 {
+			t.Errorf("bad value for %d", k)
+			return false
+		}
+		prev, first = k, false
+		count++
+		return true
+	})
+	if count != m.Len() {
+		t.Fatalf("iterated %d, Len() = %d", count, m.Len())
+	}
+}
+
+// TestConcurrentSameKeys: all goroutines fight over the same small key
+// space; exactly one creation must win per key and all losers must observe
+// the winner's value. Discarded speculative values must be accounted for.
+func TestConcurrentSameKeys(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0) * 2
+	const keySpace = 64
+	const iters = 2000
+	m := New[*uint64]()
+	var created, discarded atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := uint64((i + w) % keySpace)
+				v, _ := m.GetOrCreate(k,
+					func() *uint64 { x := k; created.Add(1); return &x },
+					func(*uint64) { discarded.Add(1) })
+				if *v != k {
+					t.Errorf("key %d observed wrong value %d", k, *v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != keySpace {
+		t.Fatalf("Len = %d, want %d", m.Len(), keySpace)
+	}
+	if created.Load()-discarded.Load() != keySpace {
+		t.Fatalf("created %d - discarded %d != %d keys",
+			created.Load(), discarded.Load(), keySpace)
+	}
+}
+
+// TestConcurrentReadersDuringInserts runs readers and iterators while
+// writers insert; readers must only ever see fully initialized values.
+func TestConcurrentReadersDuringInserts(t *testing.T) {
+	m := New[*uint64]()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mt19937.New(uint64(w) + 100)
+			for i := 0; i < 20000; i++ {
+				k := rng.Uint64n(100000)
+				m.GetOrCreate(k, func() *uint64 { x := k * 3; return &x }, nil)
+			}
+		}(w)
+	}
+	var readerWg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				m.All(func(k uint64, v *uint64) bool {
+					if v == nil || *v != k*3 {
+						t.Errorf("reader saw uninitialized value for %d", k)
+						return false
+					}
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readerWg.Wait()
+}
+
+func TestRandomLevelDistribution(t *testing.T) {
+	m := New[int]()
+	counts := make([]int, MaxLevel+1)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[m.randomLevel()]++
+	}
+	if counts[1] < n/3 || counts[1] > 2*n/3 {
+		t.Fatalf("level-1 frequency %d of %d is far from 1/2", counts[1], n)
+	}
+	if counts[2] < n/8 || counts[2] > n/2 {
+		t.Fatalf("level-2 frequency %d of %d is far from 1/4", counts[2], n)
+	}
+}
+
+func BenchmarkInsertParallel(b *testing.B) {
+	m := New[uint64]()
+	var ctr atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := ctr.Add(1) * 0x9E3779B97F4A7C15
+			m.Insert(k, k)
+		}
+	})
+}
+
+func BenchmarkGetParallel(b *testing.B) {
+	m := New[uint64]()
+	const n = 1 << 20
+	for i := uint64(0); i < n; i++ {
+		m.Insert(i*0x9E3779B97F4A7C15, i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := mt19937.New(1)
+		for pb.Next() {
+			m.Get(rng.Uint64n(n) * 0x9E3779B97F4A7C15)
+		}
+	})
+}

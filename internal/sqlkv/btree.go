@@ -1,0 +1,408 @@
+package sqlkv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The table is a clustered B+-tree on the composite index
+// (key, version, rowid): exactly the multi-column index of the paper's
+// SQLite schema, with a rowid tiebreaker so several updates of one key
+// within one version coexist as distinct rows.
+//
+// Leaf pages are slotted, as in SQLite: a cell-pointer array grows down
+// from the header while variable-length record cells (see record.go) grow
+// up from the page end. Every row access decodes its record, every search
+// comparison decodes index columns — the honest per-row costs of a real
+// SQL engine.
+//
+// Page formats (pageSize bytes):
+//
+//	leaf:     [0]=ptLeaf  [1:3]=cellCount  [3:5]=contentStart
+//	          [5:9]=next-leaf  [9:9+2n]=cell pointers (u16, key order)
+//	          cells at [contentStart, pageSize)
+//	internal: [0]=ptInternal [1:3]=count [3:7]=child0, then count entries
+//	          of 28 bytes: separator key(8) version(8) rowid(8), child(4);
+//	          child0 < sep0 <= child1 < sep1 <= ...
+const (
+	pageSize = 4096
+
+	ptLeaf     = 1
+	ptInternal = 2
+
+	leafHdr   = 9 // then the cell pointer array
+	intHdr    = 7
+	entBytes  = 28
+	maxIntern = (pageSize - intHdr) / entBytes // 146
+)
+
+// rec is one table row.
+type rec struct {
+	key, ver, rowid, val uint64
+}
+
+// less compares (key, ver, rowid) triples.
+func (r rec) less(o rec) bool {
+	if r.key != o.key {
+		return r.key < o.key
+	}
+	if r.ver != o.ver {
+		return r.ver < o.ver
+	}
+	return r.rowid < o.rowid
+}
+
+func pageType(p []byte) byte { return p[0] }
+func getCount(p []byte) int  { return int(binary.LittleEndian.Uint16(p[1:])) }
+func setCount(p []byte, n int) {
+	binary.LittleEndian.PutUint16(p[1:], uint16(n))
+}
+
+// ---- leaf (slotted) accessors ----
+
+func initLeaf(p []byte) {
+	p[0] = ptLeaf
+	setCount(p, 0)
+	setLeafContent(p, pageSize)
+	setLeafNext(p, 0)
+}
+
+func leafContent(p []byte) int       { return int(binary.LittleEndian.Uint16(p[3:])) }
+func setLeafContent(p []byte, v int) { binary.LittleEndian.PutUint16(p[3:], uint16(v)) }
+func leafNext(p []byte) uint32       { return binary.LittleEndian.Uint32(p[5:]) }
+func setLeafNext(p []byte, id uint32) {
+	binary.LittleEndian.PutUint32(p[5:], id)
+}
+
+func leafCellOff(p []byte, i int) int {
+	return int(binary.LittleEndian.Uint16(p[leafHdr+2*i:]))
+}
+
+func setLeafCellOff(p []byte, i, off int) {
+	binary.LittleEndian.PutUint16(p[leafHdr+2*i:], uint16(off))
+}
+
+// leafFree returns the gap between the pointer array and the cell content.
+func leafFree(p []byte) int {
+	return leafContent(p) - (leafHdr + 2*getCount(p))
+}
+
+// leafCell returns the raw cell bytes of slot i (sliced to page end; the
+// record decoder knows its own length).
+func leafCell(p []byte, i int) []byte { return p[leafCellOff(p, i):] }
+
+// leafRec decodes slot i fully.
+func leafRec(p []byte, i int) rec {
+	r, _ := decodeRecord(leafCell(p, i))
+	return r
+}
+
+// ---- internal accessors (fixed format) ----
+
+func getSep(p []byte, i int) rec {
+	off := intHdr + i*entBytes
+	return rec{
+		key:   binary.LittleEndian.Uint64(p[off:]),
+		ver:   binary.LittleEndian.Uint64(p[off+8:]),
+		rowid: binary.LittleEndian.Uint64(p[off+16:]),
+	}
+}
+
+func putSep(p []byte, i int, r rec) {
+	off := intHdr + i*entBytes
+	binary.LittleEndian.PutUint64(p[off:], r.key)
+	binary.LittleEndian.PutUint64(p[off+8:], r.ver)
+	binary.LittleEndian.PutUint64(p[off+16:], r.rowid)
+}
+
+func getChild(p []byte, i int) uint32 {
+	if i == 0 {
+		return binary.LittleEndian.Uint32(p[3:])
+	}
+	off := intHdr + (i-1)*entBytes + 24
+	return binary.LittleEndian.Uint32(p[off:])
+}
+
+func setChild(p []byte, i int, id uint32) {
+	if i == 0 {
+		binary.LittleEndian.PutUint32(p[3:], id)
+		return
+	}
+	off := intHdr + (i-1)*entBytes + 24
+	binary.LittleEndian.PutUint32(p[off:], id)
+}
+
+// pageReader resolves page IDs to page images (a connection's read view or
+// a write transaction's copy-on-write view).
+type pageReader interface {
+	page(id uint32) ([]byte, error)
+}
+
+// leafSearch returns the index of the first record >= r in a leaf, paying
+// a record-key decode per probe (sqlite3VdbeRecordCompare's job).
+func leafSearch(p []byte, r rec) int {
+	lo, hi := 0, getCount(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if decodeRecordKey(leafCell(p, mid)).less(r) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an internal page covers r.
+func childIndex(p []byte, r rec) int {
+	lo, hi := 0, getCount(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		// records >= sep live at child mid+1, so descend right of every
+		// separator that is <= r.
+		if !r.less(getSep(p, mid)) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cursor iterates leaf records in index order.
+type cursor struct {
+	rd     pageReader
+	pageID uint32
+	page   []byte
+	idx    int
+	cur    rec  // decoded current row
+	curOK  bool // cur is valid for (pageID, idx)
+}
+
+// seek positions the cursor at the first record >= target, descending from
+// root. A cursor past the end has pageID == 0.
+func seek(rd pageReader, root uint32, target rec) (*cursor, error) {
+	id := root
+	for {
+		p, err := rd.page(id)
+		if err != nil {
+			return nil, err
+		}
+		switch pageType(p) {
+		case ptInternal:
+			id = getChild(p, childIndex(p, target))
+		case ptLeaf:
+			c := &cursor{rd: rd, pageID: id, page: p, idx: leafSearch(p, target)}
+			if c.idx >= getCount(p) {
+				if err := c.advancePage(); err != nil {
+					return nil, err
+				}
+			}
+			return c, nil
+		default:
+			return nil, fmt.Errorf("sqlkv: page %d has invalid type %d", id, p[0])
+		}
+	}
+}
+
+// valid reports whether the cursor references a record.
+func (c *cursor) valid() bool { return c.pageID != 0 }
+
+// rec decodes the current record (cached per position, like the VDBE's
+// row cache); the cursor must be valid.
+func (c *cursor) rec() rec {
+	if !c.curOK {
+		c.cur = leafRec(c.page, c.idx)
+		c.curOK = true
+	}
+	return c.cur
+}
+
+// next advances to the following record in index order.
+func (c *cursor) next() error {
+	c.curOK = false
+	c.idx++
+	if c.idx < getCount(c.page) {
+		return nil
+	}
+	return c.advancePage()
+}
+
+func (c *cursor) advancePage() error {
+	c.curOK = false
+	for {
+		nxt := leafNext(c.page)
+		if nxt == 0 {
+			c.pageID = 0
+			return nil
+		}
+		p, err := c.rd.page(nxt)
+		if err != nil {
+			return err
+		}
+		c.pageID, c.page, c.idx = nxt, p, 0
+		if getCount(p) > 0 {
+			return nil
+		}
+	}
+}
+
+// ---- insertion (single writer; see writeTx in db.go) ----
+
+// insert adds r under the subtree rooted at id. If the page splits, the
+// promoted separator and the new right sibling are returned.
+func (tx *writeTx) insert(id uint32, r rec) (promoted *rec, right uint32, err error) {
+	p, err := tx.pageForWrite(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch pageType(p) {
+	case ptLeaf:
+		return tx.insertLeaf(id, p, r)
+	case ptInternal:
+		ci := childIndex(p, r)
+		pr, newChild, err := tx.insert(getChild(p, ci), r)
+		if err != nil || pr == nil {
+			return nil, 0, err
+		}
+		return tx.insertInternal(id, p, ci, *pr, newChild)
+	default:
+		return nil, 0, fmt.Errorf("sqlkv: page %d has invalid type %d", id, p[0])
+	}
+}
+
+// placeCell writes an encoded cell into slot pos of a leaf with room.
+func placeCell(p []byte, pos int, cell []byte) {
+	n := getCount(p)
+	cs := leafContent(p) - len(cell)
+	copy(p[cs:], cell)
+	copy(p[leafHdr+2*(pos+1):leafHdr+2*(n+1)], p[leafHdr+2*pos:leafHdr+2*n])
+	setLeafCellOff(p, pos, cs)
+	setLeafContent(p, cs)
+	setCount(p, n+1)
+}
+
+// rewriteLeaf compacts cells into a leaf page (count, pointers, content).
+func rewriteLeaf(p []byte, cells [][]byte) {
+	cs := pageSize
+	for i, cell := range cells {
+		cs -= len(cell)
+		copy(p[cs:], cell)
+		setLeafCellOff(p, i, cs)
+	}
+	setCount(p, len(cells))
+	setLeafContent(p, cs)
+}
+
+func (tx *writeTx) insertLeaf(id uint32, p []byte, r rec) (*rec, uint32, error) {
+	cell := encodeRecord(make([]byte, 0, recordLen(r)), r)
+	pos := leafSearch(p, r)
+	if leafFree(p) >= len(cell)+2 {
+		placeCell(p, pos, cell)
+		return nil, 0, nil
+	}
+
+	// Split: gather all cells (including the new one, in order), divide at
+	// roughly half the payload bytes, rewrite both pages compactly.
+	n := getCount(p)
+	cells := make([][]byte, 0, n+1)
+	total := 0
+	for i := 0; i < n; i++ {
+		raw := leafCell(p, i)
+		_, sz := decodeRecord(raw)
+		c := make([]byte, sz)
+		copy(c, raw[:sz])
+		if i == pos {
+			cells = append(cells, cell)
+			total += len(cell)
+		}
+		cells = append(cells, c)
+		total += sz
+	}
+	if pos == n {
+		cells = append(cells, cell)
+		total += len(cell)
+	}
+	splitAt, acc := 0, 0
+	for i, c := range cells {
+		if acc+len(c) > total/2 && i > 0 {
+			splitAt = i
+			break
+		}
+		acc += len(c)
+		splitAt = i + 1
+	}
+	if splitAt >= len(cells) {
+		splitAt = len(cells) - 1
+	}
+
+	rightID, rp, err := tx.alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	initLeaf(rp)
+	rewriteLeaf(rp, cells[splitAt:])
+	oldNext := leafNext(p)
+	initLeaf(p)
+	rewriteLeaf(p, cells[:splitAt])
+	setLeafNext(rp, oldNext)
+	setLeafNext(p, rightID)
+
+	sep := decodeRecordKey(leafCell(rp, 0))
+	return &rec{key: sep.key, ver: sep.ver, rowid: sep.rowid}, rightID, nil
+}
+
+func (tx *writeTx) insertInternal(id uint32, p []byte, ci int, sep rec, child uint32) (*rec, uint32, error) {
+	n := getCount(p)
+	if n < maxIntern {
+		copy(p[intHdr+(ci+1)*entBytes:intHdr+(n+1)*entBytes], p[intHdr+ci*entBytes:intHdr+n*entBytes])
+		putSep(p, ci, sep)
+		setChild(p, ci+1, child)
+		setCount(p, n+1)
+		return nil, 0, nil
+	}
+	// Split the internal page: middle separator is promoted (not kept).
+	rightID, rp, err := tx.alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	rp[0] = ptInternal
+	mid := n / 2
+	midSep := getSep(p, mid)
+	setChild(rp, 0, getChild(p, mid+1))
+	for i := mid + 1; i < n; i++ {
+		putSep(rp, i-mid-1, getSep(p, i))
+		setChild(rp, i-mid, getChild(p, i+1))
+	}
+	setCount(rp, n-mid-1)
+	setCount(p, mid)
+	if ci <= mid {
+		if _, _, err := tx.insertInternal(id, p, ci, sep, child); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		if _, _, err := tx.insertInternal(rightID, rp, ci-mid-1, sep, child); err != nil {
+			return nil, 0, err
+		}
+	}
+	return &midSep, rightID, nil
+}
+
+// insertRoot inserts r starting at the root, growing the tree if the root
+// splits. Returns the (possibly new) root page id.
+func (tx *writeTx) insertRoot(root uint32, r rec) (uint32, error) {
+	promoted, right, err := tx.insert(root, r)
+	if err != nil || promoted == nil {
+		return root, err
+	}
+	newRootID, np, err := tx.alloc()
+	if err != nil {
+		return 0, err
+	}
+	np[0] = ptInternal
+	setCount(np, 1)
+	setChild(np, 0, root)
+	putSep(np, 0, *promoted)
+	setChild(np, 1, right)
+	return newRootID, nil
+}

@@ -1,0 +1,186 @@
+package sqlkv
+
+import (
+	"testing"
+
+	"mvkv/internal/mt19937"
+)
+
+// validateSubtree checks B+-tree invariants recursively: all records in a
+// subtree lie within (lowOK? low, highOK? high), leaves are internally
+// sorted, internal separators are ordered, and every leaf is at the same
+// depth. Returns the depth.
+func validateSubtree(t *testing.T, rd pageReader, id uint32, low, high rec, lowOK, highOK bool) int {
+	t.Helper()
+	p, err := rd.page(id)
+	if err != nil {
+		t.Fatalf("page %d: %v", id, err)
+	}
+	switch pageType(p) {
+	case ptLeaf:
+		n := getCount(p)
+		prev := low
+		prevOK := lowOK
+		for i := 0; i < n; i++ {
+			r := decodeRecordKey(leafCell(p, i))
+			if prevOK && r.less(prev) {
+				t.Fatalf("leaf %d slot %d: %+v below bound %+v", id, i, r, prev)
+			}
+			if highOK && !r.less(high) {
+				t.Fatalf("leaf %d slot %d: %+v at/above high bound %+v", id, i, r, high)
+			}
+			prev, prevOK = r, true
+		}
+		// slotted-page structural sanity
+		if free := leafFree(p); free < 0 {
+			t.Fatalf("leaf %d: negative free space %d", id, free)
+		}
+		if cs := leafContent(p); cs < leafHdr+2*n || cs > pageSize {
+			t.Fatalf("leaf %d: content start %d out of range", id, cs)
+		}
+		return 1
+	case ptInternal:
+		n := getCount(p)
+		if n == 0 {
+			t.Fatalf("internal %d: empty", id)
+		}
+		for i := 1; i < n; i++ {
+			if !getSep(p, i-1).less(getSep(p, i)) {
+				t.Fatalf("internal %d: separators out of order at %d", id, i)
+			}
+		}
+		depth := -1
+		for i := 0; i <= n; i++ {
+			cLow, cLowOK := low, lowOK
+			cHigh, cHighOK := high, highOK
+			if i > 0 {
+				cLow, cLowOK = getSep(p, i-1), true
+			}
+			if i < n {
+				cHigh, cHighOK = getSep(p, i), true
+			}
+			d := validateSubtree(t, rd, getChild(p, i), cLow, cHigh, cLowOK, cHighOK)
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				t.Fatalf("internal %d: uneven child depths %d vs %d", id, d, depth)
+			}
+		}
+		return depth + 1
+	default:
+		t.Fatalf("page %d: bad type %d", id, p[0])
+		return 0
+	}
+}
+
+// TestBtreeInvariantsUnderLoad validates the full tree after mixed-size
+// insertions that force many leaf and internal splits.
+func TestBtreeInvariantsUnderLoad(t *testing.T) {
+	db, err := Open(Options{Mode: ModeMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := mt19937.New(77)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		k := rng.Uint64() >> uint(rng.Uint64n(56)) // wildly varying widths
+		if err := db.Insert(k, rng.Uint64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := db.Conn()
+	defer db.Release(c)
+	c.begin()
+	depth := validateSubtree(t, c, db.hdr.root, rec{}, rec{}, false, false)
+	c.end()
+	if depth < 2 {
+		t.Fatalf("tree suspiciously shallow: depth %d", depth)
+	}
+	// leaf chain covers exactly the count of rows, in order
+	c.begin()
+	cur, err := seek(c, db.hdr.root, rec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var prev rec
+	for cur.valid() {
+		r := cur.rec()
+		if count > 0 && r.less(prev) {
+			t.Fatal("leaf chain out of order")
+		}
+		prev = r
+		count++
+		if err := cur.next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.end()
+	if count != n {
+		t.Fatalf("leaf chain has %d rows, want %d", count, n)
+	}
+}
+
+// TestLeafSplitBoundary inserts ascending keys (worst case for rightmost
+// splits) and descending keys (leftmost splits).
+func TestLeafSplitBoundary(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		db, err := Open(Options{Mode: ModeMem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 5000
+		for i := uint64(0); i < n; i++ {
+			k := i
+			if desc {
+				k = n - i
+			}
+			if err := db.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v := db.Tag()
+		snap := db.ExtractSnapshot(v)
+		if len(snap) != n {
+			t.Fatalf("desc=%v: snapshot %d rows", desc, len(snap))
+		}
+		db.Close()
+	}
+}
+
+func TestVarintFuzzDecodeEncoded(t *testing.T) {
+	rng := mt19937.New(3)
+	for i := 0; i < 100000; i++ {
+		r := rec{key: rng.Uint64(), ver: rng.Uint64() >> 30, rowid: uint64(i), val: rng.Uint64()}
+		buf := encodeRecord(nil, r)
+		got, sz := decodeRecord(buf)
+		if got != r || sz != len(buf) {
+			t.Fatalf("roundtrip %+v -> %+v (%d of %d bytes)", r, got, sz, len(buf))
+		}
+	}
+}
+
+func BenchmarkRecordDecode(b *testing.B) {
+	buf := encodeRecord(nil, rec{key: 1 << 40, ver: 12345, rowid: 7, val: 1 << 50})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeRecord(buf)
+	}
+}
+
+func BenchmarkVDBESnapshotScan(b *testing.B) {
+	db, _ := Open(Options{Mode: ModeMem})
+	defer db.Close()
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		db.Insert(i, i)
+	}
+	v := db.Tag()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(db.ExtractSnapshot(v)) != n {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package sqlkv
+
+import (
+	"mvkv/internal/kv"
+)
+
+// Conn is one thread's database connection: in ModeReg it owns a private
+// page cache (SQLite's per-connection cache), in ModeMem it reads through
+// the shared latched cache. Conns are not safe for concurrent use; obtain
+// one per goroutine via DB.Conn and return it with Release.
+type Conn struct {
+	db    *DB
+	cache map[uint32][]byte
+	seen  uint64 // change counter the cache is valid for
+}
+
+func (db *DB) newConn() *Conn {
+	return &Conn{db: db, cache: make(map[uint32][]byte)}
+}
+
+// Conn borrows a connection.
+func (db *DB) Conn() *Conn { return db.pool.Get().(*Conn) }
+
+// Release returns a connection for reuse.
+func (db *DB) Release(c *Conn) { db.pool.Put(c) }
+
+// begin takes the shared lock and refreshes the cache epoch: if the
+// database changed since this connection last looked, the private cache is
+// stale and must be dropped (SQLite flushes caches on database change).
+func (c *Conn) begin() {
+	c.db.mu.RLock()
+	if ch := c.db.change.Load(); ch != c.seen {
+		clear(c.cache)
+		c.seen = ch
+	}
+}
+
+func (c *Conn) end() { c.db.mu.RUnlock() }
+
+// page implements pageReader for queries.
+func (c *Conn) page(id uint32) ([]byte, error) {
+	if c.db.opts.Mode == ModeMem {
+		return c.db.basePage(id) // shared latched cache
+	}
+	if p, ok := c.cache[id]; ok {
+		return p, nil
+	}
+	p, err := c.db.basePage(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.cache) >= c.db.opts.CachePages {
+		// Drop an arbitrary quarter of the cache; cheap approximation of
+		// page replacement.
+		n := c.db.opts.CachePages / 4
+		for id := range c.cache {
+			delete(c.cache, id)
+			if n--; n <= 0 {
+				break
+			}
+		}
+	}
+	c.cache[id] = p
+	return p, nil
+}
+
+// Find is the prepared find statement: the newest row of `key` with
+// version <= v ("SELECT ... WHERE key = ? AND version <= ? ORDER BY
+// version DESC LIMIT 1"), executed as a compiled VDBE program.
+func (c *Conn) Find(key, v uint64) (uint64, bool, error) {
+	c.begin()
+	defer c.end()
+	var val uint64
+	found := false
+	err := c.exec(findProg, []uint64{key, v}, func(row []uint64) bool {
+		found, val = row[0] != 0, row[1]
+		return true
+	})
+	if err != nil || !found || val == kv.Marker {
+		return 0, false, err
+	}
+	return val, true, nil
+}
+
+// History is the prepared key-history statement ("SELECT version, value
+// FROM t WHERE key = ? ORDER BY version").
+func (c *Conn) History(key uint64) ([]kv.Event, error) {
+	c.begin()
+	defer c.end()
+	var out []kv.Event
+	err := c.exec(historyProg, []uint64{key}, func(row []uint64) bool {
+		out = append(out, kv.Event{Version: row[0], Value: row[1]})
+		return true
+	})
+	return out, err
+}
+
+// Snapshot is the prepared extract-snapshot statement: a full index scan
+// (the VM filters version <= v) folded per key, newest qualifying row
+// winning, removal markers dropped.
+func (c *Conn) Snapshot(v uint64) ([]kv.KV, error) {
+	c.begin()
+	defer c.end()
+	var out []kv.KV
+	var curKey, curVal uint64
+	have := false
+	flush := func() {
+		if have && curVal != kv.Marker {
+			out = append(out, kv.KV{Key: curKey, Value: curVal})
+		}
+	}
+	err := c.exec(snapshotProg, []uint64{v}, func(row []uint64) bool {
+		if !have || row[0] != curKey {
+			flush()
+			curKey, have = row[0], true
+		}
+		curVal = row[2]
+		return true
+	})
+	flush()
+	return out, err
+}
+
+// Range is the prepared range statement: pairs with lo <= key < hi present
+// at version v, grouped like Snapshot but bounded by an index seek.
+func (c *Conn) Range(lo, hi, v uint64) ([]kv.KV, error) {
+	c.begin()
+	defer c.end()
+	var out []kv.KV
+	var curKey, curVal uint64
+	have := false
+	flush := func() {
+		if have && curVal != kv.Marker {
+			out = append(out, kv.KV{Key: curKey, Value: curVal})
+		}
+	}
+	err := c.exec(scanProg, []uint64{lo, hi, v}, func(row []uint64) bool {
+		if !have || row[0] != curKey {
+			flush()
+			curKey, have = row[0], true
+		}
+		curVal = row[2]
+		return true
+	})
+	flush()
+	return out, err
+}
+
+// DistinctKeys counts the distinct keys in the table (full scan).
+func (c *Conn) DistinctKeys() (int, error) {
+	c.begin()
+	defer c.end()
+	cur, err := seek(c, c.db.hdr.root, rec{})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var prev uint64
+	first := true
+	for cur.valid() {
+		r := cur.rec()
+		if first || r.key != prev {
+			n++
+			prev, first = r.key, false
+		}
+		if err := cur.next(); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}

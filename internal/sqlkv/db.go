@@ -1,0 +1,288 @@
+package sqlkv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects which of the paper's two SQLite configurations the engine
+// emulates.
+type Mode int
+
+const (
+	// ModeReg is SQLiteReg: WAL journaling, a backing database file, and a
+	// private page cache per connection.
+	ModeReg Mode = iota
+	// ModeMem is SQLiteMem: no journaling, no backing file, and one shared
+	// page cache guarded by a global latch ("a shared page cache across
+	// all threads, which further reduces overheads by eliminating extra
+	// copies" — and serializes them under concurrency).
+	ModeMem
+)
+
+// Options configures a DB.
+type Options struct {
+	Mode Mode
+	// Path, when set (ModeReg only), stores the database at Path and the
+	// log at Path+"-wal" on the real filesystem; otherwise both live in
+	// memory files (the paper's /dev/shm placement).
+	Path string
+	// CachePages bounds each connection's private cache (ModeReg) —
+	// SQLite's default is 2000 pages. Ignored by ModeMem (the shared
+	// cache is the store itself).
+	CachePages int
+	// CheckpointBytes triggers a WAL checkpoint past this log size.
+	CheckpointBytes int
+	// SyncLatency models the cost of one fsync.
+	SyncLatency time.Duration
+}
+
+func (o *Options) fill() {
+	if o.CachePages <= 0 {
+		o.CachePages = 2000
+	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = 4 << 20
+	}
+}
+
+const dbMagic = 0x53514C4B56303031 // "SQLKV001"
+
+// header page (page 0) layout: magic(8) nPages(4) root(4) version(8) rowSeq(8)
+type dbHeader struct {
+	nPages  uint32
+	root    uint32
+	version uint64
+	rowSeq  uint64
+}
+
+func (h dbHeader) encode() []byte {
+	p := make([]byte, pageSize)
+	binary.LittleEndian.PutUint64(p[0:], dbMagic)
+	binary.LittleEndian.PutUint32(p[8:], h.nPages)
+	binary.LittleEndian.PutUint32(p[12:], h.root)
+	binary.LittleEndian.PutUint64(p[16:], h.version)
+	binary.LittleEndian.PutUint64(p[24:], h.rowSeq)
+	return p
+}
+
+func decodeHeader(p []byte) (dbHeader, error) {
+	if binary.LittleEndian.Uint64(p[0:]) != dbMagic {
+		return dbHeader{}, errors.New("sqlkv: not a sqlkv database")
+	}
+	return dbHeader{
+		nPages:  binary.LittleEndian.Uint32(p[8:]),
+		root:    binary.LittleEndian.Uint32(p[12:]),
+		version: binary.LittleEndian.Uint64(p[16:]),
+		rowSeq:  binary.LittleEndian.Uint64(p[24:]),
+	}, nil
+}
+
+// DB is an embedded relational store emulating the paper's SQLite
+// baselines. It satisfies kv.Store (see store.go); finer-grained access
+// goes through per-thread connections from Conn().
+type DB struct {
+	opts Options
+
+	mu   sync.RWMutex // single writer, shared readers — SQLite's lock
+	file backing      // database file (ModeReg)
+	wal  *wal         // ModeReg only
+	hdr  dbHeader     // mutated under mu (exclusive)
+
+	shared *sharedCache // ModeMem only
+
+	version atomic.Uint64 // current (unsealed) version
+	change  atomic.Uint64 // bumped per commit; invalidates private caches
+	pool    sync.Pool     // *Conn
+}
+
+// sharedCache is ModeMem's page store: one map, one latch, every access
+// serialized — the contention the paper measures.
+type sharedCache struct {
+	mu    sync.Mutex
+	pages map[uint32][]byte
+}
+
+// Open creates or opens a database.
+func Open(opts Options) (*DB, error) {
+	opts.fill()
+	db := &DB{opts: opts}
+	db.pool.New = func() any { return db.newConn() }
+	if opts.Mode == ModeMem {
+		db.shared = &sharedCache{pages: make(map[uint32][]byte)}
+		db.bootstrap()
+		return db, nil
+	}
+	var dbFile, walFile backing
+	if opts.Path == "" {
+		dbFile, walFile = newMemFile(), newMemFile()
+	} else {
+		var err error
+		if dbFile, err = openOSFile(opts.Path); err != nil {
+			return nil, err
+		}
+		if walFile, err = openOSFile(opts.Path + "-wal"); err != nil {
+			dbFile.Close()
+			return nil, err
+		}
+	}
+	db.file = dbFile
+	db.wal = newWAL(walFile, dbFile, opts.CheckpointBytes, opts.SyncLatency)
+	size, err := dbFile.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		db.bootstrap()
+		return db, nil
+	}
+	// Existing database: replay the log, then load the header.
+	if err := db.wal.replay(); err != nil {
+		return nil, err
+	}
+	hp, err := db.basePage(0)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := decodeHeader(hp)
+	if err != nil {
+		return nil, err
+	}
+	db.hdr = hdr
+	db.version.Store(hdr.version)
+	return db, nil
+}
+
+// bootstrap initializes page 0 (header) and page 1 (empty root leaf).
+func (db *DB) bootstrap() {
+	db.hdr = dbHeader{nPages: 2, root: 1}
+	root := make([]byte, pageSize)
+	initLeaf(root)
+	if db.opts.Mode == ModeMem {
+		db.shared.mu.Lock()
+		db.shared.pages[0] = db.hdr.encode()
+		db.shared.pages[1] = root
+		db.shared.mu.Unlock()
+		return
+	}
+	db.file.WriteAt(db.hdr.encode(), 0)
+	db.file.WriteAt(root, pageSize)
+	db.file.Sync()
+}
+
+// basePage reads a committed page image, bypassing connection caches:
+// WAL frame first, then the database file (ModeReg), or the shared page
+// map (ModeMem).
+func (db *DB) basePage(id uint32) ([]byte, error) {
+	if db.opts.Mode == ModeMem {
+		db.shared.mu.Lock()
+		p, ok := db.shared.pages[id]
+		db.shared.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("sqlkv: page %d does not exist", id)
+		}
+		return p, nil
+	}
+	if p, ok := db.wal.lookup(id); ok {
+		return p, nil
+	}
+	p := make([]byte, pageSize)
+	if _, err := db.file.ReadAt(p, int64(id)*pageSize); err != nil {
+		return nil, fmt.Errorf("sqlkv: read page %d: %w", id, err)
+	}
+	return p, nil
+}
+
+// ---- write transactions ----
+
+// writeTx is a copy-on-write transaction. Exactly one exists at a time
+// (db.mu held exclusively).
+type writeTx struct {
+	db    *DB
+	hdr   dbHeader
+	pages map[uint32][]byte
+}
+
+func (db *DB) beginTx() *writeTx {
+	return &writeTx{db: db, hdr: db.hdr, pages: make(map[uint32][]byte, 8)}
+}
+
+// page implements pageReader over the transaction's view.
+func (tx *writeTx) page(id uint32) ([]byte, error) {
+	if p, ok := tx.pages[id]; ok {
+		return p, nil
+	}
+	return tx.db.basePage(id)
+}
+
+// pageForWrite returns a mutable copy of the page, entering it into the
+// write set.
+func (tx *writeTx) pageForWrite(id uint32) ([]byte, error) {
+	if p, ok := tx.pages[id]; ok {
+		return p, nil
+	}
+	base, err := tx.db.basePage(id)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]byte, pageSize)
+	copy(p, base)
+	tx.pages[id] = p
+	return p, nil
+}
+
+// alloc appends a fresh page to the database.
+func (tx *writeTx) alloc() (uint32, []byte, error) {
+	id := tx.hdr.nPages
+	tx.hdr.nPages++
+	p := make([]byte, pageSize)
+	tx.pages[id] = p
+	return id, p, nil
+}
+
+// commit publishes the write set durably (WAL append + fsync in ModeReg;
+// shared-map install in ModeMem) and invalidates reader caches.
+func (tx *writeTx) commit() error {
+	tx.hdr.version = tx.db.version.Load()
+	tx.pages[0] = tx.hdr.encode()
+	if tx.db.opts.Mode == ModeMem {
+		tx.db.shared.mu.Lock()
+		for id, p := range tx.pages {
+			tx.db.shared.pages[id] = p
+		}
+		tx.db.shared.mu.Unlock()
+	} else if err := tx.db.wal.commit(tx.pages); err != nil {
+		return err
+	}
+	tx.db.hdr = tx.hdr
+	tx.db.change.Add(1)
+	return nil
+}
+
+// Close checkpoints the log into the database file and releases resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.opts.Mode == ModeMem {
+		return nil
+	}
+	// Persist the latest header (covers Tag calls after the last write).
+	db.hdr.version = db.version.Load()
+	if err := db.wal.commit(map[uint32][]byte{0: db.hdr.encode()}); err != nil {
+		return err
+	}
+	if err := db.wal.checkpoint(); err != nil {
+		return err
+	}
+	if err := db.file.Sync(); err != nil {
+		return err
+	}
+	if err := db.wal.file.Close(); err != nil {
+		return err
+	}
+	return db.file.Close()
+}

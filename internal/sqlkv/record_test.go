@@ -1,0 +1,180 @@
+package sqlkv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []uint64{
+		0, 1, 0x7f, 0x80, 300, 0x3fff, 0x4000, 1 << 20, 1 << 31,
+		0x00ffffffffffffff, 0x0100000000000000, ^uint64(0),
+	}
+	for _, v := range cases {
+		buf := putVarint(nil, v)
+		got, n := getVarint(buf)
+		if got != v || n != len(buf) {
+			t.Fatalf("varint %d: decoded %d (width %d of %d)", v, got, n, len(buf))
+		}
+	}
+	if err := quick.Check(func(v uint64) bool {
+		buf := putVarint(nil, v)
+		got, n := getVarint(buf)
+		return got == v && n == len(buf) && len(buf) <= 9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarintOrderingOfWidths(t *testing.T) {
+	// SQLite varints: values <= 0x7f are 1 byte; width grows with value
+	if len(putVarint(nil, 0x7f)) != 1 {
+		t.Fatal("small varint not 1 byte")
+	}
+	if len(putVarint(nil, 0x80)) != 2 {
+		t.Fatal("0x80 not 2 bytes")
+	}
+	if len(putVarint(nil, ^uint64(0))) != 9 {
+		t.Fatal("max varint not 9 bytes")
+	}
+}
+
+func TestSerialTypes(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		typ   uint64
+		width int
+	}{
+		{0, 8, 0}, {1, 9, 0}, {2, 1, 1}, {127, 1, 1}, {128, 2, 2},
+		{32767, 2, 2}, {32768, 3, 3}, {1 << 23, 4, 4}, {1 << 31, 5, 6},
+		{1 << 47, 6, 8}, {^uint64(0), 1, 1}, // -1 fits one byte
+	}
+	for _, c := range cases {
+		typ, w := serialTypeFor(c.v)
+		if typ != c.typ || w != c.width {
+			t.Fatalf("serialTypeFor(%#x) = (%d,%d), want (%d,%d)", c.v, typ, w, c.typ, c.width)
+		}
+		if serialWidth(typ) != w {
+			t.Fatalf("serialWidth(%d) = %d, want %d", typ, serialWidth(typ), w)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	f := func(key, ver, rowid, val uint64) bool {
+		r := rec{key: key, ver: ver, rowid: rowid, val: val}
+		buf := encodeRecord(nil, r)
+		if len(buf) != recordLen(r) {
+			return false
+		}
+		got, n := decodeRecord(buf)
+		if n != len(buf) {
+			return false
+		}
+		k := decodeRecordKey(buf)
+		return got == r && k.key == key && k.ver == ver && k.rowid == rowid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// fixed interesting cases: zero, one, marker, mixed widths
+	for _, r := range []rec{
+		{},
+		{key: 1, ver: 1, rowid: 1, val: 1},
+		{key: ^uint64(0), ver: 0, rowid: 1 << 40, val: ^uint64(0)},
+		{key: 0x7f, ver: 0x80, rowid: 0x7fff, val: 0x8000},
+	} {
+		buf := encodeRecord(nil, r)
+		got, _ := decodeRecord(buf)
+		if got != r {
+			t.Fatalf("roundtrip %+v -> %+v", r, got)
+		}
+	}
+}
+
+func TestRecordCompactness(t *testing.T) {
+	// small values must encode small — the whole point of serial types
+	small := recordLen(rec{key: 1, ver: 2, rowid: 3, val: 4})
+	if small > 10 {
+		t.Fatalf("small record is %d bytes", small)
+	}
+	big := recordLen(rec{key: 1 << 60, ver: 1 << 60, rowid: 1 << 60, val: 1 << 60})
+	if big < 5+32 {
+		t.Fatalf("big record is %d bytes", big)
+	}
+}
+
+// TestVDBEFindProgram exercises the compiled find statement against known
+// rows, including the marker and multi-version cases.
+func TestVDBEPrograms(t *testing.T) {
+	db, err := Open(Options{Mode: ModeMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Insert(10, 100)
+	db.Tag()
+	db.Insert(10, 110)
+	db.Insert(20, 200)
+	db.Tag()
+	db.Remove(20)
+	db.Tag()
+
+	c := db.Conn()
+	defer db.Release(c)
+
+	if v, ok, _ := c.Find(10, 0); !ok || v != 100 {
+		t.Fatalf("find v0: %d,%v", v, ok)
+	}
+	if v, ok, _ := c.Find(10, 2); !ok || v != 110 {
+		t.Fatalf("find v2: %d,%v", v, ok)
+	}
+	if _, ok, _ := c.Find(20, 2); ok {
+		t.Fatal("removed key found")
+	}
+	if _, ok, _ := c.Find(99, 5); ok {
+		t.Fatal("absent key found")
+	}
+	h, _ := c.History(20)
+	if len(h) != 2 || h[0].Value != 200 || !h[1].Removed() {
+		t.Fatalf("history: %v", h)
+	}
+	snap, _ := c.Snapshot(1)
+	if len(snap) != 2 || snap[0].Key != 10 || snap[0].Value != 110 || snap[1].Key != 20 {
+		t.Fatalf("snapshot v1: %v", snap)
+	}
+	rng, _ := c.Range(15, 25, 1)
+	if len(rng) != 1 || rng[0].Key != 20 {
+		t.Fatalf("range: %v", rng)
+	}
+}
+
+// TestLeafSlottedLayout drives splits with maximally mixed record sizes.
+func TestLeafSlottedMixedSizes(t *testing.T) {
+	db, err := Open(Options{Mode: ModeMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// alternate tiny and huge column values so cells vary from ~9 to ~37B
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		k := i
+		if i%2 == 1 {
+			k = i << 45 // forces 8-byte key bodies
+		}
+		if err := db.Insert(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := db.Tag()
+	snap := db.ExtractSnapshot(v)
+	if len(snap) != n {
+		t.Fatalf("snapshot has %d keys, want %d", len(snap), n)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Key >= snap[i].Key {
+			t.Fatal("unsorted after mixed-size splits")
+		}
+	}
+}

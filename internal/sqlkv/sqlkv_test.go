@@ -1,0 +1,344 @@
+package sqlkv
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/mt19937"
+	"mvkv/internal/storetest"
+)
+
+func TestConformanceReg(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		db, err := Open(Options{Mode: ModeReg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	})
+}
+
+func TestConformanceMem(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		db, err := Open(Options{Mode: ModeMem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	})
+}
+
+// TestBtreeManyRowsOrdered drives enough rows through the tree to force
+// multiple levels of splits, then verifies full-scan ordering.
+func TestBtreeManyRowsOrdered(t *testing.T) {
+	db, err := Open(Options{Mode: ModeReg, CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := mt19937.New(1)
+	const n = 50000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if err := db.Insert(keys[i], keys[i]^0xFF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := db.Tag()
+	snap := db.ExtractSnapshot(v)
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	uniq := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	if len(snap) != len(uniq) {
+		t.Fatalf("snapshot has %d keys, want %d", len(snap), len(uniq))
+	}
+	for i, p := range snap {
+		if p.Key != uniq[i] || p.Value != uniq[i]^0xFF {
+			t.Fatalf("pair %d = %+v", i, p)
+		}
+	}
+	// point lookups across the whole tree
+	for i := 0; i < 1000; i++ {
+		k := uniq[int(rng.Uint64n(uint64(len(uniq))))]
+		if got, ok := db.Find(k, v); !ok || got != k^0xFF {
+			t.Fatalf("Find(%d) = %d,%v", k, got, ok)
+		}
+	}
+}
+
+// TestWALCheckpointCycle forces checkpoints and verifies nothing is lost.
+func TestWALCheckpointCycle(t *testing.T) {
+	db, err := Open(Options{Mode: ModeReg, CheckpointBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 5000 // ~160KB of rows => multiple checkpoints
+	for i := uint64(0); i < n; i++ {
+		if err := db.Insert(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := db.Tag()
+	for i := uint64(0); i < n; i += 97 {
+		if got, ok := db.Find(i, v); !ok || got != i*3 {
+			t.Fatalf("Find(%d) = %d,%v", i, got, ok)
+		}
+	}
+}
+
+// TestRestartFromDisk is the paper's Figure 5b premise: SQLiteReg "persists
+// both the table and indices after shutdown, therefore it has all required
+// information readily available on restart".
+func TestRestartFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.db")
+	db, err := Open(Options{Mode: ModeReg, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		if err := db.Insert(i, i+100); err != nil {
+			t.Fatal(err)
+		}
+		db.Tag()
+	}
+	wantVer := db.CurrentVersion()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Mode: ModeReg, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.CurrentVersion() != wantVer {
+		t.Fatalf("version after restart = %d, want %d", db2.CurrentVersion(), wantVer)
+	}
+	v := db2.CurrentVersion()
+	for i := uint64(0); i < n; i += 37 {
+		if got, ok := db2.Find(i, v); !ok || got != i+100 {
+			t.Fatalf("Find(%d) after restart = %d,%v", i, got, ok)
+		}
+	}
+	if got := db2.Len(); got != n {
+		t.Fatalf("Len after restart = %d", got)
+	}
+	// and it stays writable
+	if err := db2.Insert(999999, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALReplayAfterUncleanStop: reopen without Close (no checkpoint); the
+// WAL must replay committed transactions and drop a torn tail.
+func TestWALReplayAfterUncleanStop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.db")
+	db, err := Open(Options{Mode: ModeReg, Path: path, CheckpointBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if err := db.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a torn tail: append garbage to the WAL file, then abandon
+	// the DB without Close.
+	db.wal.file.WriteAt([]byte{1, 2, 3, 4, 5}, db.wal.size)
+
+	db2, err := Open(Options{Mode: ModeReg, Path: path, CheckpointBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v := db2.Tag()
+	for i := uint64(0); i < 500; i += 13 {
+		if got, ok := db2.Find(i, v); !ok || got != i {
+			t.Fatalf("Find(%d) after replay = %d,%v", i, got, ok)
+		}
+	}
+}
+
+// TestQuickAgainstModel: random small workloads against a naive model,
+// both modes.
+func TestQuickAgainstModel(t *testing.T) {
+	for _, mode := range []Mode{ModeReg, ModeMem} {
+		f := func(ops []uint16) bool {
+			db, err := Open(Options{Mode: mode})
+			if err != nil {
+				return false
+			}
+			defer db.Close()
+			model := map[uint64]uint64{}
+			for i, op := range ops {
+				k := uint64(op % 32)
+				switch op % 4 {
+				case 0, 1:
+					db.Insert(k, uint64(i)+1)
+					model[k] = uint64(i) + 1
+				case 2:
+					db.Remove(k)
+					delete(model, k)
+				case 3:
+					db.Tag()
+				}
+			}
+			v := db.Tag()
+			snap := db.ExtractSnapshot(v)
+			if len(snap) != len(model) {
+				return false
+			}
+			for _, p := range snap {
+				if model[p.Key] != p.Value {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+	}
+}
+
+// TestTinyCacheStillCorrect: a pathological 4-page cache forces constant
+// eviction; results must not change.
+func TestTinyCacheStillCorrect(t *testing.T) {
+	db, err := Open(Options{Mode: ModeReg, CachePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := uint64(0); i < 3000; i++ {
+		if err := db.Insert(i, i*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := db.Tag()
+	for i := uint64(0); i < 3000; i += 61 {
+		if got, ok := db.Find(i, v); !ok || got != i*2 {
+			t.Fatalf("Find(%d) = %d,%v", i, got, ok)
+		}
+	}
+}
+
+// TestConnCacheInvalidation: a connection's private cache must refresh
+// after another connection commits (the change-counter protocol).
+func TestConnCacheInvalidation(t *testing.T) {
+	db, err := Open(Options{Mode: ModeReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	reader := db.Conn()
+	defer db.Release(reader)
+	db.Insert(1, 10)
+	v0 := db.Tag()
+	if got, ok, _ := reader.Find(1, v0); !ok || got != 10 {
+		t.Fatalf("first read: %d,%v", got, ok)
+	}
+	// write through the store path (separate pooled conn is irrelevant:
+	// writes go through the engine)
+	db.Insert(1, 20)
+	v1 := db.Tag()
+	if got, ok, _ := reader.Find(1, v1); !ok || got != 20 {
+		t.Fatalf("stale read after commit: %d,%v", got, ok)
+	}
+	if got, ok, _ := reader.Find(1, v0); !ok || got != 10 {
+		t.Fatalf("time-travel read broken after invalidation: %d,%v", got, ok)
+	}
+}
+
+// TestRangeStatement covers the bounded index scan directly.
+func TestRangeStatement(t *testing.T) {
+	db, err := Open(Options{Mode: ModeMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for k := uint64(0); k < 1000; k += 10 {
+		db.Insert(k, k*2)
+	}
+	v := db.Tag()
+	got := db.ExtractRange(95, 141, v)
+	want := []uint64{100, 110, 120, 130, 140}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v", got)
+	}
+	for i, k := range want {
+		if got[i].Key != k || got[i].Value != k*2 {
+			t.Fatalf("range[%d] = %+v", i, got[i])
+		}
+	}
+	if len(db.ExtractRange(5, 5, v)) != 0 {
+		t.Fatal("empty interval returned pairs")
+	}
+}
+
+// TestConcurrentReadersScaleSafely: many goroutines read through pooled
+// connections while a writer commits; every read must be consistent.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	db, err := Open(Options{Mode: ModeReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for k := uint64(0); k < 500; k++ {
+		db.Insert(k, k)
+	}
+	db.Tag()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < 300; i++ {
+			db.Insert(i%500, 1000+i)
+			db.Tag()
+		}
+	}()
+	rng := mt19937.New(5)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		k := rng.Uint64n(500)
+		if v, ok := db.Find(k, 0); ok && v != k {
+			t.Fatalf("snapshot 0 changed: key %d = %d", k, v)
+		}
+	}
+}
+
+func BenchmarkInsertReg(b *testing.B) {
+	db, _ := Open(Options{Mode: ModeReg})
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Insert(uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkFindReg(b *testing.B) {
+	db, _ := Open(Options{Mode: ModeReg})
+	defer db.Close()
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		db.Insert(i, i)
+	}
+	v := db.Tag()
+	rng := mt19937.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Find(rng.Uint64n(n), v)
+	}
+}

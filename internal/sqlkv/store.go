@@ -1,0 +1,109 @@
+package sqlkv
+
+import (
+	"mvkv/internal/kv"
+)
+
+// kv.Store facade. Write statements run as auto-commit transactions under
+// the writer lock; read statements borrow a pooled connection, which gives
+// each goroutine its own page cache in ModeReg (the paper runs one SQLite
+// connection per thread).
+
+// Insert executes the prepared insert statement ("INSERT INTO t VALUES
+// (version, key, value)") as one committed transaction.
+func (db *DB) Insert(key, value uint64) error {
+	if value == kv.Marker {
+		return errMarker
+	}
+	return db.write(key, value)
+}
+
+// Remove inserts a removal-marker row.
+func (db *DB) Remove(key uint64) error {
+	return db.write(key, kv.Marker)
+}
+
+var errMarker = errorString("sqlkv: value is the reserved removal marker")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func (db *DB) write(key, value uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tx := db.beginTx()
+	r := rec{key: key, ver: db.version.Load(), rowid: tx.hdr.rowSeq, val: value}
+	tx.hdr.rowSeq++
+	root, err := tx.insertRoot(tx.hdr.root, r)
+	if err != nil {
+		return err
+	}
+	tx.hdr.root = root
+	return tx.commit()
+}
+
+// Find implements kv.Store.
+func (db *DB) Find(key, version uint64) (uint64, bool) {
+	c := db.Conn()
+	defer db.Release(c)
+	v, ok, err := c.Find(key, version)
+	if err != nil {
+		return 0, false
+	}
+	return v, ok
+}
+
+// Tag implements kv.Store: seals the current version. Durability of the
+// version counter rides on the next committed write (and on Close), as a
+// tag by itself changes no table rows.
+func (db *DB) Tag() uint64 { return db.version.Add(1) - 1 }
+
+// CurrentVersion implements kv.Store.
+func (db *DB) CurrentVersion() uint64 { return db.version.Load() }
+
+// ExtractSnapshot implements kv.Store.
+func (db *DB) ExtractSnapshot(version uint64) []kv.KV {
+	c := db.Conn()
+	defer db.Release(c)
+	out, err := c.Snapshot(version)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ExtractRange implements kv.Store.
+func (db *DB) ExtractRange(lo, hi, version uint64) []kv.KV {
+	c := db.Conn()
+	defer db.Release(c)
+	out, err := c.Range(lo, hi, version)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ExtractHistory implements kv.Store.
+func (db *DB) ExtractHistory(key uint64) []kv.Event {
+	c := db.Conn()
+	defer db.Release(c)
+	out, err := c.History(key)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Len implements kv.Store (a full scan; the API is not on any hot path).
+func (db *DB) Len() int {
+	c := db.Conn()
+	defer db.Release(c)
+	n, err := c.DistinctKeys()
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+var _ kv.Store = (*DB)(nil)

@@ -1,0 +1,173 @@
+package sqlkv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// wal is the write-ahead log. Committing writers append page frames plus a
+// commit record and sync; readers consult the in-memory frame index (the
+// "wal-index" of SQLite) before falling back to the database file. When the
+// log grows past the checkpoint threshold, committed frames are folded back
+// into the database file and the log is truncated.
+//
+// Frame format on the log file: pageID(4) len(4) data(len). A commit record
+// is pageID == commitSentinel with len == frame count of the transaction.
+type wal struct {
+	syncLatency time.Duration
+	threshold   int // checkpoint when log bytes exceed this
+
+	mu     sync.RWMutex
+	file   backing
+	db     backing
+	frames map[uint32][]byte // latest committed image per page
+	size   int64             // log file length
+	synced int64             // prefix of the log known durable
+}
+
+const commitSentinel = ^uint32(0)
+
+func newWAL(logFile, dbFile backing, threshold int, syncLatency time.Duration) *wal {
+	if threshold <= 0 {
+		threshold = 4 << 20
+	}
+	return &wal{
+		syncLatency: syncLatency,
+		threshold:   threshold,
+		file:        logFile,
+		db:          dbFile,
+		frames:      make(map[uint32][]byte),
+	}
+}
+
+// lookup returns the committed WAL image of a page, if any.
+func (w *wal) lookup(id uint32) ([]byte, bool) {
+	w.mu.RLock()
+	p, ok := w.frames[id]
+	w.mu.RUnlock()
+	return p, ok
+}
+
+// commit durably appends one transaction's dirty pages and publishes them
+// to the frame index. Called with the database writer lock held (single
+// writer), so internal locking only guards against concurrent readers.
+func (w *wal) commit(pages map[uint32][]byte) error {
+	// Build the log record outside the lock.
+	var buf []byte
+	var hdr [8]byte
+	ids := make([]uint32, 0, len(pages))
+	for id, data := range pages {
+		binary.LittleEndian.PutUint32(hdr[0:], id)
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, data...)
+		ids = append(ids, id)
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], commitSentinel)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(pages)))
+	buf = append(buf, hdr[:]...)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.file.WriteAt(buf, w.size); err != nil {
+		return fmt.Errorf("sqlkv: wal append: %w", err)
+	}
+	w.size += int64(len(buf))
+	if err := w.file.Sync(); err != nil {
+		return err
+	}
+	fsyncCost(w.syncLatency)
+	w.synced = w.size
+	for _, id := range ids {
+		img := make([]byte, len(pages[id]))
+		copy(img, pages[id])
+		w.frames[id] = img
+	}
+	if w.size > int64(w.threshold) {
+		return w.checkpointLocked()
+	}
+	return nil
+}
+
+// checkpointLocked folds every committed frame into the database file and
+// resets the log. Caller holds w.mu exclusively.
+func (w *wal) checkpointLocked() error {
+	for id, data := range w.frames {
+		if _, err := w.db.WriteAt(data, int64(id)*pageSize); err != nil {
+			return fmt.Errorf("sqlkv: checkpoint page %d: %w", id, err)
+		}
+	}
+	if err := w.db.Sync(); err != nil {
+		return err
+	}
+	fsyncCost(w.syncLatency)
+	w.frames = make(map[uint32][]byte)
+	if err := w.file.Truncate(0); err != nil {
+		return err
+	}
+	w.size, w.synced = 0, 0
+	return nil
+}
+
+// checkpoint is the exported (locking) form, used at close.
+func (w *wal) checkpoint() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.checkpointLocked()
+}
+
+// replay scans the log file after a restart and republishes every frame of
+// every committed transaction; uncommitted tails are discarded, preserving
+// transaction atomicity.
+func (w *wal) replay() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	size, err := w.file.Size()
+	if err != nil {
+		return err
+	}
+	var off int64
+	pending := make(map[uint32][]byte)
+	hdr := make([]byte, 8)
+	for off+8 <= size {
+		if _, err := w.file.ReadAt(hdr, off); err != nil {
+			break
+		}
+		id := binary.LittleEndian.Uint32(hdr[0:])
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		off += 8
+		if id == commitSentinel {
+			for pid, data := range pending {
+				w.frames[pid] = data
+			}
+			pending = make(map[uint32][]byte)
+			w.size = off
+			continue
+		}
+		if off+int64(n) > size {
+			break // torn frame
+		}
+		data := make([]byte, n)
+		if _, err := w.file.ReadAt(data, off); err != nil {
+			break
+		}
+		off += int64(n)
+		pending[id] = data
+	}
+	// Drop any torn tail from the log.
+	w.synced = w.size
+	return w.file.Truncate(w.size)
+}
+
+// fsyncCost models the durability latency of an fsync (on the paper's
+// /dev/shm it is small but not free).
+func fsyncCost(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,492 @@
+// Package storetest provides a behavioural conformance suite for kv.Store
+// implementations. All five of the paper's compared approaches run the same
+// suite, guaranteeing they implement identical Table-1 semantics before the
+// benchmarks compare their performance.
+package storetest
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/mt19937"
+)
+
+// Factory builds a fresh empty store for one test. The store is closed by
+// the suite.
+type Factory func(t *testing.T) kv.Store
+
+// Run executes the full conformance suite against the factory.
+func Run(t *testing.T, mk Factory) {
+	t.Run("EmptyStore", func(t *testing.T) { testEmpty(t, mk) })
+	t.Run("InsertFindTag", func(t *testing.T) { testInsertFindTag(t, mk) })
+	t.Run("RemoveSemantics", func(t *testing.T) { testRemove(t, mk) })
+	t.Run("MarkerRejected", func(t *testing.T) { testMarkerRejected(t, mk) })
+	t.Run("SnapshotSorted", func(t *testing.T) { testSnapshotSorted(t, mk) })
+	t.Run("SnapshotTimeTravel", func(t *testing.T) { testSnapshotTimeTravel(t, mk) })
+	t.Run("History", func(t *testing.T) { testHistory(t, mk) })
+	t.Run("ExtractRange", func(t *testing.T) { testExtractRange(t, mk) })
+	t.Run("QuickModel", func(t *testing.T) { testQuickModel(t, mk) })
+	t.Run("ConcurrentDistinctKeys", func(t *testing.T) { testConcurrentDistinct(t, mk) })
+	t.Run("ConcurrentMixed", func(t *testing.T) { testConcurrentMixed(t, mk) })
+	t.Run("ConcurrentReaders", func(t *testing.T) { testConcurrentReaders(t, mk) })
+}
+
+func open(t *testing.T, mk Factory) kv.Store {
+	t.Helper()
+	s := mk(t)
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func testEmpty(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	if _, ok := s.Find(1, 0); ok {
+		t.Fatal("Find on empty store returned ok")
+	}
+	if got := s.ExtractSnapshot(0); len(got) != 0 {
+		t.Fatalf("empty snapshot has %d pairs", len(got))
+	}
+	if got := s.ExtractHistory(1); len(got) != 0 {
+		t.Fatalf("empty history has %d events", len(got))
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.CurrentVersion() != 0 {
+		t.Fatalf("fresh CurrentVersion = %d", s.CurrentVersion())
+	}
+}
+
+func testInsertFindTag(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	if err := s.Insert(10, 100); err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.Tag()
+	if v0 != 0 {
+		t.Fatalf("first Tag = %d", v0)
+	}
+	if err := s.Insert(10, 200); err != nil {
+		t.Fatal(err)
+	}
+	v1 := s.Tag()
+	if v1 != 1 {
+		t.Fatalf("second Tag = %d", v1)
+	}
+	if s.CurrentVersion() != 2 {
+		t.Fatalf("CurrentVersion = %d", s.CurrentVersion())
+	}
+	if v, ok := s.Find(10, v0); !ok || v != 100 {
+		t.Fatalf("Find at v0 = %d,%v", v, ok)
+	}
+	if v, ok := s.Find(10, v1); !ok || v != 200 {
+		t.Fatalf("Find at v1 = %d,%v", v, ok)
+	}
+	// future version sees latest
+	if v, ok := s.Find(10, 99); !ok || v != 200 {
+		t.Fatalf("Find at future = %d,%v", v, ok)
+	}
+	if _, ok := s.Find(11, v1); ok {
+		t.Fatal("Find of absent key returned ok")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func testRemove(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	s.Insert(5, 50)
+	v0 := s.Tag()
+	s.Remove(5)
+	v1 := s.Tag()
+	s.Insert(5, 55)
+	v2 := s.Tag()
+	if v, ok := s.Find(5, v0); !ok || v != 50 {
+		t.Fatalf("before remove: %d,%v", v, ok)
+	}
+	if _, ok := s.Find(5, v1); ok {
+		t.Fatal("after remove: still found")
+	}
+	if v, ok := s.Find(5, v2); !ok || v != 55 {
+		t.Fatalf("after reinsert: %d,%v", v, ok)
+	}
+	// removing an absent key is tolerated and recorded
+	if err := s.Remove(12345); err != nil {
+		t.Fatalf("Remove of absent key: %v", err)
+	}
+	if _, ok := s.Find(12345, s.Tag()); ok {
+		t.Fatal("removed-absent key is present")
+	}
+}
+
+func testMarkerRejected(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	if err := s.Insert(1, kv.Marker); err == nil {
+		t.Fatal("Insert of marker value succeeded")
+	}
+}
+
+func testSnapshotSorted(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	rng := mt19937.New(42)
+	want := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		want[k] = k / 3
+		s.Insert(k, k/3)
+	}
+	v := s.Tag()
+	snap := s.ExtractSnapshot(v)
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d pairs, want %d", len(snap), len(want))
+	}
+	for i, p := range snap {
+		if i > 0 && snap[i-1].Key >= p.Key {
+			t.Fatalf("snapshot unsorted at %d", i)
+		}
+		if want[p.Key] != p.Value {
+			t.Fatalf("snapshot value mismatch for key %d", p.Key)
+		}
+	}
+}
+
+func testSnapshotTimeTravel(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	// version 0: {1:10, 2:20}; version 1: {1:11, 3:30}; version 2: {3:30}
+	s.Insert(1, 10)
+	s.Insert(2, 20)
+	v0 := s.Tag()
+	s.Insert(1, 11)
+	s.Remove(2)
+	s.Insert(3, 30)
+	v1 := s.Tag()
+	s.Remove(1)
+	v2 := s.Tag()
+
+	check := func(v uint64, want []kv.KV) {
+		t.Helper()
+		got := s.ExtractSnapshot(v)
+		if len(got) != len(want) {
+			t.Fatalf("snapshot(%d) = %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("snapshot(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+	check(v0, []kv.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}})
+	check(v1, []kv.KV{{Key: 1, Value: 11}, {Key: 3, Value: 30}})
+	check(v2, []kv.KV{{Key: 3, Value: 30}})
+}
+
+func testHistory(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	s.Insert(7, 100)
+	s.Tag()
+	s.Tag() // empty version
+	s.Remove(7)
+	s.Tag()
+	s.Insert(7, 300)
+	s.Tag()
+
+	h := s.ExtractHistory(7)
+	if len(h) != 3 {
+		t.Fatalf("history has %d events: %v", len(h), h)
+	}
+	if h[0].Version != 0 || h[0].Value != 100 || h[0].Removed() {
+		t.Fatalf("event 0: %+v", h[0])
+	}
+	if h[1].Version != 2 || !h[1].Removed() {
+		t.Fatalf("event 1: %+v", h[1])
+	}
+	if h[2].Version != 3 || h[2].Value != 300 {
+		t.Fatalf("event 2: %+v", h[2])
+	}
+}
+
+func testExtractRange(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	// keys 10,20,...,100 at v0; remove 50 and update 70 at v1
+	for k := uint64(10); k <= 100; k += 10 {
+		s.Insert(k, k+1)
+	}
+	v0 := s.Tag()
+	s.Remove(50)
+	s.Insert(70, 777)
+	v1 := s.Tag()
+
+	check := func(lo, hi, ver uint64, want []kv.KV) {
+		t.Helper()
+		got := s.ExtractRange(lo, hi, ver)
+		if len(got) != len(want) {
+			t.Fatalf("Range[%d,%d)@%d = %v, want %v", lo, hi, ver, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Range[%d,%d)@%d = %v, want %v", lo, hi, ver, got, want)
+			}
+		}
+	}
+	check(20, 60, v0, []kv.KV{{Key: 20, Value: 21}, {Key: 30, Value: 31}, {Key: 40, Value: 41}, {Key: 50, Value: 51}})
+	check(20, 60, v1, []kv.KV{{Key: 20, Value: 21}, {Key: 30, Value: 31}, {Key: 40, Value: 41}})
+	check(50, 51, v0, []kv.KV{{Key: 50, Value: 51}})
+	check(50, 51, v1, nil)
+	check(65, 75, v1, []kv.KV{{Key: 70, Value: 777}})
+	check(0, 10, v1, nil)    // below all keys
+	check(101, 200, v1, nil) // above all keys
+	check(40, 40, v1, nil)   // empty interval
+
+	// full range equals the snapshot
+	full := s.ExtractRange(0, ^uint64(0), v1)
+	snap := s.ExtractSnapshot(v1)
+	if len(full) != len(snap) {
+		t.Fatalf("full range %d pairs, snapshot %d", len(full), len(snap))
+	}
+	for i := range snap {
+		if full[i] != snap[i] {
+			t.Fatalf("full range differs from snapshot at %d", i)
+		}
+	}
+}
+
+// testQuickModel drives the store with random op sequences and compares
+// Find/ExtractSnapshot at every version against a naive model.
+func testQuickModel(t *testing.T, mk Factory) {
+	f := func(ops []uint32) bool {
+		s := open(t, mk)
+		type ev struct {
+			ver, key, val uint64
+			rm            bool
+		}
+		var log []ev
+		for _, op := range ops {
+			key := uint64(op % 16)
+			switch op % 5 {
+			case 0, 1, 2:
+				val := uint64(op>>4) + 1
+				s.Insert(key, val)
+				log = append(log, ev{s.CurrentVersion(), key, val, false})
+			case 3:
+				s.Remove(key)
+				log = append(log, ev{s.CurrentVersion(), key, 0, true})
+			case 4:
+				s.Tag()
+			}
+		}
+		last := s.Tag()
+		for v := uint64(0); v <= last; v++ {
+			model := map[uint64]uint64{}
+			for _, e := range log {
+				if e.ver > v {
+					break
+				}
+				if e.rm {
+					delete(model, e.key)
+				} else {
+					model[e.key] = e.val
+				}
+			}
+			for key := uint64(0); key < 16; key++ {
+				got, ok := s.Find(key, v)
+				wantV, wantOK := model[key]
+				if ok != wantOK || (ok && got != wantV) {
+					t.Logf("Find(%d,%d) = %d,%v want %d,%v", key, v, got, ok, wantV, wantOK)
+					return false
+				}
+			}
+			snap := s.ExtractSnapshot(v)
+			if len(snap) != len(model) {
+				t.Logf("snapshot(%d) size %d want %d", v, len(snap), len(model))
+				return false
+			}
+			for _, p := range snap {
+				if model[p.Key] != p.Value {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testConcurrentDistinct(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	workers := runtime.GOMAXPROCS(0)
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := uint64(w)<<32 | uint64(i)
+				if err := s.Insert(k, k+1); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	v := s.Tag()
+	if s.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", s.Len(), workers*per)
+	}
+	snap := s.ExtractSnapshot(v)
+	if len(snap) != workers*per {
+		t.Fatalf("snapshot has %d pairs, want %d", len(snap), workers*per)
+	}
+	for i, p := range snap {
+		if i > 0 && snap[i-1].Key >= p.Key {
+			t.Fatalf("snapshot unsorted at %d", i)
+		}
+		if p.Value != p.Key+1 {
+			t.Fatalf("bad value for key %d", p.Key)
+		}
+	}
+}
+
+// testConcurrentMixed: writers insert/remove on private key ranges while
+// taggers advance versions; afterwards, each writer's final state must be
+// visible.
+func testConcurrentMixed(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	workers := runtime.GOMAXPROCS(0)
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mt19937.New(uint64(w) + 7)
+			base := uint64(w) << 32
+			for i := 0; i < per; i++ {
+				k := base | rng.Uint64n(100)
+				switch rng.Uint64n(4) {
+				case 0:
+					s.Remove(k)
+				default:
+					s.Insert(k, uint64(i))
+				}
+				if i%10 == 0 {
+					s.Tag()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	v := s.Tag()
+	snap := s.ExtractSnapshot(v)
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Key >= snap[i].Key {
+			t.Fatalf("snapshot unsorted at %d", i)
+		}
+	}
+	// Every pair in the snapshot must be consistent with that key's own
+	// history (the rightmost event at or below v).
+	for _, p := range snap {
+		h := s.ExtractHistory(p.Key)
+		var want uint64
+		ok := false
+		for _, e := range h {
+			if e.Version <= v {
+				want, ok = e.Value, !e.Removed()
+			}
+		}
+		if !ok || want != p.Value {
+			t.Fatalf("snapshot pair %+v inconsistent with history %v", p, h)
+		}
+	}
+}
+
+// testConcurrentReaders: concurrent finds/histories/snapshots while writers
+// run; results must always be internally consistent (values only from the
+// key's own past).
+func testConcurrentReaders(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	const keys = 500
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 4000; i++ {
+				k := uint64((i*7 + w*3) % keys)
+				// value encodes the key so readers can validate
+				s.Insert(k, k<<32|uint64(i))
+				s.Tag()
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := mt19937.New(uint64(r) + 99)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Uint64n(keys)
+				ver := rng.Uint64n(4000)
+				if v, ok := s.Find(k, ver); ok && v>>32 != k {
+					t.Errorf("Find(%d) returned foreign value %d", k, v)
+					return
+				}
+				for _, e := range s.ExtractHistory(k) {
+					if !e.Removed() && e.Value>>32 != k {
+						t.Errorf("history of %d has foreign value %d", k, e.Value)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+// RunSnapshotConsistency verifies the multi-thread prefix-consistency
+// property the pc/fc clock provides: a snapshot extracted at a sealed
+// version contains every operation that finished before the Tag.
+func RunSnapshotConsistency(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	workers := runtime.GOMAXPROCS(0)
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Insert(uint64(w)<<32|uint64(i), uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait() // every insert has returned, hence finished
+	v := s.Tag()
+	snap := s.ExtractSnapshot(v)
+	if len(snap) != workers*per {
+		t.Fatalf("sealed snapshot misses finished inserts: %d of %d",
+			len(snap), workers*per)
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i].Key < snap[j].Key })
+}

@@ -1,0 +1,57 @@
+package vhistory
+
+import "testing"
+
+// BenchmarkAblationTailLazy measures the paper's design: appends never
+// touch the tail; a query pays a one-off extension later.
+func BenchmarkAblationTailLazy(b *testing.B) {
+	c := NewClock()
+	h := &EHistory{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Append(uint64(i), uint64(i), c)
+	}
+	b.StopTimer()
+	if _, ok := h.Find(uint64(b.N-1), c); !ok {
+		b.Fatal("find failed")
+	}
+}
+
+// BenchmarkAblationTailEager measures the alternative the paper rejects:
+// every append immediately exposes the new entry by extending the tail (an
+// extra scan per write that grows with in-flight commits and adds CAS
+// traffic on the hot path).
+func BenchmarkAblationTailEager(b *testing.B) {
+	c := NewClock()
+	h := &EHistory{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Append(uint64(i), uint64(i), c)
+		h.extend(uint64(i), c)
+	}
+}
+
+// BenchmarkAblationClockWindow sweeps the commit sequencer ring size; a
+// tiny window forces backpressure on bursts of out-of-order commits.
+func BenchmarkAblationClockWindow(b *testing.B) {
+	for _, window := range []int{16, 1024, 1 << 16} {
+		b.Run(sizeName(window), func(b *testing.B) {
+			c := NewClockWindow(window)
+			h := &EHistory{}
+			for i := 0; i < b.N; i++ {
+				h.Append(uint64(i), uint64(i), c)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<16:
+		return "window=64k"
+	case n >= 1024:
+		return "window=1k"
+	default:
+		return "window=16"
+	}
+}

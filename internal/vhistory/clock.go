@@ -1,0 +1,139 @@
+// Package vhistory implements per-key version histories with the paper's
+// "lazy tail" concurrency scheme (Algorithm 1), in both ephemeral and
+// persistent-memory variants.
+//
+// A history is an append-only sequence of (version, value) entries; a
+// removal appends the reserved Marker value. Appends claim a slot by
+// atomically incrementing a per-key pending counter, write the entry, and
+// then "finish" it by acquiring a globally ordered commit sequence number
+// from the store-wide clock (pc in the paper). Readers never trust pending:
+// they expose entries by lazily extending the per-key tail past slots whose
+// commit number is covered by the global finished counter (fc), which
+// guarantees that a query never observes an operation while some operation
+// with a lower global order is still in flight.
+//
+// Deviation from the paper, documented in DESIGN.md: Algorithm 1 advances fc
+// by at most one per find, by inspecting only the visited key. That makes a
+// single extract_snapshot unable to observe operations that finished before
+// it started (fc only catches up over many queries). We keep the lazy-tail
+// design but track finished commits in a lock-free ring (a sequencer), so
+// any reader can cheaply advance fc across keys it never visits. Appends
+// still never touch tails — tails are extended only by queries, exactly as
+// in the paper.
+package vhistory
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Marker is the reserved value denoting a removal in a version history, the
+// paper's "special marker outside the allowable range of valid values".
+const Marker = ^uint64(0)
+
+// MaxVersion is the largest valid version number. (Versions are stored
+// internally as version+1 so that zero means "not yet written".)
+const MaxVersion = ^uint64(0) - 1
+
+// DefaultClockWindow is the default number of in-flight (claimed but not yet
+// globally finished) operations the clock tolerates before appenders briefly
+// wait; it bounds the sequencer ring.
+const DefaultClockWindow = 1 << 16
+
+// Clock is the store-global commit clock: pc assigns a total order to
+// finishing operations and fc tracks the longest prefix of that order whose
+// operations have all finished. All methods are safe for concurrent use.
+type Clock struct {
+	pc   atomic.Uint64
+	fc   atomic.Uint64
+	mask uint64
+	ring []atomic.Uint64
+}
+
+// NewClock returns a clock with the default window.
+func NewClock() *Clock { return NewClockWindow(DefaultClockWindow) }
+
+// NewClockWindow returns a clock tolerating up to window in-flight commits.
+// window is rounded up to a power of two.
+func NewClockWindow(window int) *Clock {
+	n := 1
+	for n < window {
+		n <<= 1
+	}
+	return &Clock{mask: uint64(n - 1), ring: make([]atomic.Uint64, n)}
+}
+
+// Next claims the next commit sequence number (1-based). The caller must
+// eventually call Commit with it.
+func (c *Clock) Next() uint64 { return c.pc.Add(1) }
+
+// Commit marks seq as finished. If the ring is full (more than window
+// commits ahead of fc), Commit helps advance fc and waits for room.
+func (c *Clock) Commit(seq uint64) {
+	for seq-c.fc.Load() > c.mask {
+		c.help()
+		runtime.Gosched()
+	}
+	c.ring[seq&c.mask].Store(seq)
+	c.help()
+}
+
+// help advances fc over every consecutively finished commit.
+func (c *Clock) help() {
+	for {
+		fc := c.fc.Load()
+		if c.ring[(fc+1)&c.mask].Load() != fc+1 {
+			return
+		}
+		c.fc.CompareAndSwap(fc, fc+1)
+	}
+}
+
+// Covered reports whether all commits up to and including seq have finished,
+// helping fc forward first. This is the reader-side gate of Algorithm 1
+// ("finished[t] <= fc+1" generalized across keys).
+func (c *Clock) Covered(seq uint64) bool {
+	if c.fc.Load() >= seq {
+		return true
+	}
+	c.help()
+	return c.fc.Load() >= seq
+}
+
+// Fc returns the current globally finished prefix.
+func (c *Clock) Fc() uint64 { return c.fc.Load() }
+
+// Pc returns the number of commit sequence numbers claimed so far.
+func (c *Clock) Pc() uint64 { return c.pc.Load() }
+
+// Reset forces the clock to a recovered state where commits 1..seq are
+// finished and seq is the last claimed number. Used after crash recovery;
+// must not race with any other use.
+func (c *Clock) Reset(seq uint64) {
+	c.pc.Store(seq)
+	c.fc.Store(seq)
+	for i := range c.ring {
+		c.ring[i].Store(0)
+	}
+}
+
+// Quiesce waits until every claimed commit has finished (fc == pc). It is a
+// testing and shutdown aid; concurrent new claims may extend the wait.
+func (c *Clock) Quiesce() {
+	for c.fc.Load() != c.pc.Load() {
+		c.help()
+		runtime.Gosched()
+	}
+}
+
+// spin is a bounded busy-wait helper used by appenders waiting on a
+// predecessor: cheap pause first, then yield to the scheduler so progress is
+// guaranteed even when goroutines outnumber CPUs.
+type spin int
+
+func (s *spin) wait() {
+	*s++
+	if *s%64 == 0 {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,121 @@
+package vhistory
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"mvkv/internal/mt19937"
+)
+
+func TestClockSequentialCommit(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 100; i++ {
+		seq := c.Next()
+		if seq != uint64(i+1) {
+			t.Fatalf("Next = %d, want %d", seq, i+1)
+		}
+		if c.Covered(seq) {
+			t.Fatalf("seq %d covered before Commit", seq)
+		}
+		c.Commit(seq)
+		if !c.Covered(seq) {
+			t.Fatalf("seq %d not covered after Commit", seq)
+		}
+	}
+	if c.Fc() != 100 || c.Pc() != 100 {
+		t.Fatalf("fc=%d pc=%d", c.Fc(), c.Pc())
+	}
+}
+
+func TestClockOutOfOrderCommit(t *testing.T) {
+	c := NewClock()
+	s1, s2, s3 := c.Next(), c.Next(), c.Next()
+	c.Commit(s3)
+	if c.Covered(s1) || c.Covered(s3) {
+		t.Fatal("covered despite gap")
+	}
+	c.Commit(s1)
+	if !c.Covered(s1) || c.Covered(s2) || c.Covered(s3) {
+		t.Fatal("fc should stop at the s2 gap")
+	}
+	c.Commit(s2)
+	if !c.Covered(s3) {
+		t.Fatal("fc should cover everything now")
+	}
+}
+
+func TestClockSmallWindowBackpressure(t *testing.T) {
+	c := NewClockWindow(4)
+	var wg sync.WaitGroup
+	// More in-flight commits than the window: Commit must apply
+	// backpressure but never deadlock, because commits eventually land in
+	// order across goroutines.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Commit(c.Next())
+			}
+		}()
+	}
+	wg.Wait()
+	c.Quiesce()
+	if c.Fc() != 8000 {
+		t.Fatalf("fc = %d, want 8000", c.Fc())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	workers := runtime.GOMAXPROCS(0)
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mt19937.New(uint64(w))
+			pendingSeqs := make([]uint64, 0, 8)
+			for i := 0; i < per; i++ {
+				pendingSeqs = append(pendingSeqs, c.Next())
+				// commit in random order, in small batches, to create gaps
+				if len(pendingSeqs) == 8 || i == per-1 {
+					rng.Shuffle(len(pendingSeqs), func(a, b int) {
+						pendingSeqs[a], pendingSeqs[b] = pendingSeqs[b], pendingSeqs[a]
+					})
+					for _, s := range pendingSeqs {
+						c.Commit(s)
+					}
+					pendingSeqs = pendingSeqs[:0]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Quiesce()
+	want := uint64(workers * per)
+	if c.Fc() != want || c.Pc() != want {
+		t.Fatalf("fc=%d pc=%d want %d", c.Fc(), c.Pc(), want)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 10; i++ {
+		c.Commit(c.Next())
+	}
+	c.Reset(42)
+	if c.Fc() != 42 || c.Pc() != 42 {
+		t.Fatalf("after Reset: fc=%d pc=%d", c.Fc(), c.Pc())
+	}
+	s := c.Next()
+	if s != 43 {
+		t.Fatalf("Next after Reset = %d", s)
+	}
+	c.Commit(s)
+	if !c.Covered(43) {
+		t.Fatal("post-reset commit not covered")
+	}
+}

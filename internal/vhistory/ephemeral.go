@@ -1,0 +1,149 @@
+package vhistory
+
+import "sync/atomic"
+
+// eslot is one slot of an ephemeral history. version holds version+1 (zero
+// means "not yet written"); seq holds the global commit number (zero means
+// "not yet finished"). value is written before version and seq are stored,
+// so any reader that has observed version != 0 (or seq != 0) also observes
+// value.
+type eslot struct {
+	version atomic.Uint64
+	value   uint64
+	seq     atomic.Uint64
+}
+
+// EHistory is the ephemeral (in-memory) version history used by the
+// ESkipList and LockedMap baselines. The zero value is an empty history.
+type EHistory struct {
+	pending atomic.Uint64
+	tail    atomic.Uint64
+	segs    [maxSegments]atomic.Pointer[[]eslot]
+}
+
+func (h *EHistory) segment(i int) *[]eslot {
+	if s := h.segs[i].Load(); s != nil {
+		return s
+	}
+	fresh := make([]eslot, segSize(i))
+	if h.segs[i].CompareAndSwap(nil, &fresh) {
+		return &fresh
+	}
+	return h.segs[i].Load()
+}
+
+func (h *EHistory) slot(i uint64) *eslot {
+	seg, off := locate(i)
+	return &(*h.segment(seg))[off]
+}
+
+// Append records that the key took value at version (Algorithm 1 insert).
+// Concurrent appends to the same key are ordered by slot claim; if a racing
+// append already recorded a higher version, this entry is promoted to that
+// version so the history stays sorted (both operations are concurrent with
+// the tag that separated their versions, so this is a valid linearization).
+// The entry becomes visible to queries only once its commit number is
+// covered by the clock's finished counter.
+func (h *EHistory) Append(version, value uint64, c *Clock) {
+	slot := h.pending.Add(1) - 1
+	e := h.slot(slot)
+	e.value = value
+	if slot > 0 {
+		prev := h.slot(slot - 1)
+		var s spin
+		for {
+			pv := prev.version.Load()
+			if pv != 0 {
+				if pv-1 > version {
+					version = pv - 1
+				}
+				break
+			}
+			s.wait()
+		}
+	}
+	e.version.Store(version + 1)
+	if slot > 0 {
+		prev := h.slot(slot - 1)
+		var s spin
+		for prev.seq.Load() == 0 {
+			s.wait()
+		}
+	}
+	seq := c.Next()
+	e.seq.Store(seq)
+	c.Commit(seq)
+}
+
+// Remove appends a removal marker at version.
+func (h *EHistory) Remove(version uint64, c *Clock) { h.Append(version, Marker, c) }
+
+// extend advances the lazy tail past every finished slot whose version is
+// <= version, and returns the (possibly grown) exclusive search bound. Only
+// queries call extend; appends never move the tail (the "lazy" property).
+func (h *EHistory) extend(version uint64, c *Clock) uint64 {
+	t := h.tail.Load()
+	grown := t
+	for grown < h.pending.Load() {
+		e := h.slot(grown)
+		seq := e.seq.Load()
+		if seq == 0 || !c.Covered(seq) {
+			break
+		}
+		if e.version.Load()-1 > version {
+			break
+		}
+		grown++
+	}
+	for grown > t {
+		if h.tail.CompareAndSwap(t, grown) {
+			break
+		}
+		t = h.tail.Load()
+	}
+	if grown > t {
+		return grown
+	}
+	return t
+}
+
+// Find returns the value the key held at the given snapshot version
+// (Algorithm 1 find): the rightmost finished entry with Version <= version.
+// ok is false if the key had no value at that version (never inserted yet,
+// or last change was a removal).
+func (h *EHistory) Find(version uint64, c *Clock) (value uint64, ok bool) {
+	n := h.extend(version, c)
+	lo, hi := uint64(0), n
+	for lo < hi { // find leftmost slot with entry.version > version
+		mid := (lo + hi) / 2
+		if h.slot(mid).version.Load()-1 > version {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return 0, false
+	}
+	e := h.slot(lo - 1)
+	if v := e.value; v != Marker {
+		return v, true
+	}
+	return 0, false
+}
+
+// Entries returns a copy of every finished entry (extract_history). The
+// returned slice is ordered by version (ties possible when several updates
+// landed in one snapshot; later entries win).
+func (h *EHistory) Entries(c *Clock) []Entry {
+	n := h.extend(MaxVersion, c)
+	out := make([]Entry, n)
+	for i := uint64(0); i < n; i++ {
+		e := h.slot(i)
+		out[i] = Entry{Version: e.version.Load() - 1, Value: e.value}
+	}
+	return out
+}
+
+// Len returns the number of finished, exposed entries (after extending).
+func (h *EHistory) Len(c *Clock) int { return int(h.extend(MaxVersion, c)) }

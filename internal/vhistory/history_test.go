@@ -1,0 +1,527 @@
+package vhistory
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mvkv/internal/mt19937"
+	"mvkv/internal/pmem"
+)
+
+// history abstracts the two variants so the same behavioural tests run
+// against both.
+type history interface {
+	Append(version, value uint64, c *Clock)
+	Remove(version uint64, c *Clock)
+	Find(version uint64, c *Clock) (uint64, bool)
+	Entries(c *Clock) []Entry
+	Len(c *Clock) int
+}
+
+type eWrap struct{ h *EHistory }
+
+func (w eWrap) Append(v, val uint64, c *Clock)         { w.h.Append(v, val, c) }
+func (w eWrap) Remove(v uint64, c *Clock)              { w.h.Remove(v, c) }
+func (w eWrap) Find(v uint64, c *Clock) (uint64, bool) { return w.h.Find(v, c) }
+func (w eWrap) Entries(c *Clock) []Entry               { return w.h.Entries(c) }
+func (w eWrap) Len(c *Clock) int                       { return w.h.Len(c) }
+
+type pWrap struct {
+	h *PHistory
+	a *pmem.Arena
+}
+
+func (w pWrap) Append(v, val uint64, c *Clock) {
+	if err := w.h.Append(w.a, v, val, c); err != nil {
+		panic(err)
+	}
+}
+func (w pWrap) Remove(v uint64, c *Clock) {
+	if err := w.h.Remove(w.a, v, c); err != nil {
+		panic(err)
+	}
+}
+func (w pWrap) Find(v uint64, c *Clock) (uint64, bool) { return w.h.Find(w.a, v, c) }
+func (w pWrap) Entries(c *Clock) []Entry               { return w.h.Entries(w.a, c) }
+func (w pWrap) Len(c *Clock) int                       { return w.h.Len(w.a, c) }
+
+func variants(t *testing.T) map[string]func() history {
+	t.Helper()
+	return map[string]func() history{
+		"ephemeral": func() history { return eWrap{&EHistory{}} },
+		"persistent": func() history {
+			a, err := pmem.New(64 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { a.Close() })
+			h, err := NewPHistory(a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.SetPublished()
+			return pWrap{h, a}
+		},
+	}
+}
+
+func TestLocateGeometry(t *testing.T) {
+	// slots must map to consecutive positions with no gaps or overlaps
+	seen := map[[2]uint64]bool{}
+	next := map[int]uint64{}
+	for slot := uint64(0); slot < 10000; slot++ {
+		seg, off := locate(slot)
+		if off != next[seg] {
+			t.Fatalf("slot %d: segment %d offset %d, want %d", slot, seg, off, next[seg])
+		}
+		next[seg] = off + 1
+		if off >= segSize(seg) {
+			t.Fatalf("slot %d: offset %d beyond segment size %d", slot, off, segSize(seg))
+		}
+		k := [2]uint64{uint64(seg), off}
+		if seen[k] {
+			t.Fatalf("slot %d: duplicate location %v", slot, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestFindBasics(t *testing.T) {
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			// key inserted at v0, removed at v2, re-inserted at v3
+			// (the paper's Figure 1 example for key 7)
+			h.Append(0, 100, c)
+			h.Remove(2, c)
+			h.Append(3, 300, c)
+
+			cases := []struct {
+				v    uint64
+				want uint64
+				ok   bool
+			}{
+				{0, 100, true}, {1, 100, true},
+				{2, 0, false}, // removed
+				{3, 300, true}, {99, 300, true},
+			}
+			for _, tc := range cases {
+				got, ok := h.Find(tc.v, c)
+				if ok != tc.ok || (ok && got != tc.want) {
+					t.Fatalf("Find(%d) = %d,%v want %d,%v", tc.v, got, ok, tc.want, tc.ok)
+				}
+			}
+			if h.Len(c) != 3 {
+				t.Fatalf("Len = %d", h.Len(c))
+			}
+			es := h.Entries(c)
+			want := []Entry{{0, 100}, {2, Marker}, {3, 300}}
+			for i := range want {
+				if es[i] != want[i] {
+					t.Fatalf("Entries[%d] = %+v want %+v", i, es[i], want[i])
+				}
+			}
+			if !es[1].Removed() || es[0].Removed() {
+				t.Fatal("Removed() misclassifies")
+			}
+		})
+	}
+}
+
+func TestFindEmptyHistory(t *testing.T) {
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			if _, ok := h.Find(5, c); ok {
+				t.Fatal("empty history Find returned ok")
+			}
+			if h.Len(c) != 0 || len(h.Entries(c)) != 0 {
+				t.Fatal("empty history has entries")
+			}
+		})
+	}
+}
+
+func TestFindBeforeFirstVersion(t *testing.T) {
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			h.Append(10, 7, c)
+			if _, ok := h.Find(9, c); ok {
+				t.Fatal("Find before first insert returned ok")
+			}
+			if v, ok := h.Find(10, c); !ok || v != 7 {
+				t.Fatalf("Find(10) = %d,%v", v, ok)
+			}
+		})
+	}
+}
+
+func TestSameVersionOverwrite(t *testing.T) {
+	// several updates within one snapshot window: last one wins
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			h.Append(5, 1, c)
+			h.Append(5, 2, c)
+			h.Append(5, 3, c)
+			if v, ok := h.Find(5, c); !ok || v != 3 {
+				t.Fatalf("Find(5) = %d,%v want 3", v, ok)
+			}
+		})
+	}
+}
+
+// TestLongHistoryAcrossSegments exercises segment growth and binary search
+// over many entries.
+func TestLongHistoryAcrossSegments(t *testing.T) {
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			const n = 3000
+			for i := uint64(0); i < n; i++ {
+				h.Append(i*2, i*10, c) // versions 0,2,4,...
+			}
+			for i := uint64(0); i < n; i++ {
+				if v, ok := h.Find(i*2, c); !ok || v != i*10 {
+					t.Fatalf("Find(%d) = %d,%v want %d", i*2, v, ok, i*10)
+				}
+				if v, ok := h.Find(i*2+1, c); !ok || v != i*10 { // odd versions see previous
+					t.Fatalf("Find(%d) = %d,%v want %d", i*2+1, v, ok, i*10)
+				}
+			}
+			if h.Len(c) != n {
+				t.Fatalf("Len = %d", h.Len(c))
+			}
+		})
+	}
+}
+
+// TestQuickAgainstModel: random append/remove/find sequences match a naive
+// model.
+func TestQuickAgainstModel(t *testing.T) {
+	for name, mk := range variants(t) {
+		if name == "persistent" {
+			continue // quick allocates many arenas; covered by TestFind* and core tests
+		}
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				c := NewClock()
+				h := mk()
+				var model []Entry
+				version := uint64(0)
+				for _, op := range ops {
+					switch op % 4 {
+					case 0, 1:
+						val := uint64(op)
+						h.Append(version, val, c)
+						model = append(model, Entry{version, val})
+					case 2:
+						h.Remove(version, c)
+						model = append(model, Entry{version, Marker})
+					case 3:
+						version++
+					}
+				}
+				// verify Find at every version against the model
+				for v := uint64(0); v <= version+1; v++ {
+					var want uint64
+					var ok bool
+					for _, e := range model {
+						if e.Version <= v {
+							want, ok = e.Value, e.Value != Marker
+						}
+					}
+					got, gok := h.Find(v, c)
+					if gok != ok || (ok && got != want) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestVersionPromotion: an append whose sampled version is older than its
+// predecessor's is promoted so the history stays sorted — the linearization
+// rule for same-key appends racing a tag.
+func TestVersionPromotion(t *testing.T) {
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			h.Append(7, 100, c) // later version first
+			h.Append(5, 200, c) // stale sample: must be promoted to 7
+			es := h.Entries(c)
+			if len(es) != 2 || es[0].Version != 7 || es[1].Version != 7 {
+				t.Fatalf("entries: %+v", es)
+			}
+			// last write at the promoted version wins
+			if v, ok := h.Find(7, c); !ok || v != 200 {
+				t.Fatalf("Find(7) = %d,%v", v, ok)
+			}
+			if _, ok := h.Find(6, c); ok {
+				t.Fatal("Find(6) saw promoted entry")
+			}
+		})
+	}
+}
+
+// TestConcurrentAppendSameKey: racing appends keep the history sorted by
+// version and lose no entries.
+func TestConcurrentAppendSameKey(t *testing.T) {
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			workers := runtime.GOMAXPROCS(0)
+			const per = 2000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						h.Append(uint64(i), uint64(w*per+i), c)
+					}
+				}(w)
+			}
+			wg.Wait()
+			es := h.Entries(c)
+			if len(es) != workers*per {
+				t.Fatalf("lost entries: %d of %d", len(es), workers*per)
+			}
+			for i := 1; i < len(es); i++ {
+				if es[i].Version < es[i-1].Version {
+					t.Fatalf("history out of order at %d: %d < %d", i, es[i].Version, es[i-1].Version)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentReadersAndWriters: finds run while appends proceed; any
+// observed value must be one that was actually appended for a version <=
+// the queried one.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	for name, mk := range variants(t) {
+		t.Run(name, func(t *testing.T) {
+			c := NewClock()
+			h := mk()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // writer: version i holds value i*7
+				defer wg.Done()
+				for i := uint64(0); i < 20000; i++ {
+					h.Append(i, i*7, c)
+				}
+			}()
+			var rwg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				rwg.Add(1)
+				go func(r int) {
+					defer rwg.Done()
+					rng := mt19937.New(uint64(r))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						v := rng.Uint64n(20000)
+						if got, ok := h.Find(v, c); ok {
+							// The rightmost finished entry at or below v is
+							// some version w <= v holding w*7.
+							if got%7 != 0 || got/7 > v {
+								t.Errorf("Find(%d) = %d: not a valid prior value", v, got)
+								return
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(stop)
+			rwg.Wait()
+			if got, ok := h.Find(19999, c); !ok || got != 19999*7 {
+				t.Fatalf("final Find = %d,%v", got, ok)
+			}
+		})
+	}
+}
+
+// TestPersistentRecoverScanAndPrune exercises the recovery primitives
+// directly: after a crash, RecoverScan reports durable slots and Prune cuts
+// the history at the requested point.
+func TestPersistentRecoverScanAndPrune(t *testing.T) {
+	a, err := pmem.New(16<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c := NewClock()
+	h, err := NewPHistory(a, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetPublished()
+	for i := uint64(0); i < 10; i++ {
+		if err := h.Append(a, i, i*100, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := h.Head
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := OpenPHistory(head, 0)
+	if h2.Key(a) != 42 {
+		t.Fatalf("recovered key = %d", h2.Key(a))
+	}
+	raw := h2.RecoverScan(a)
+	complete := 0
+	for _, r := range raw {
+		if r.Complete() {
+			complete++
+		}
+	}
+	if complete != 10 {
+		t.Fatalf("recovered %d complete slots, want 10 (all were persisted)", complete)
+	}
+	// simulate fc=7: keep 7 entries, prune the rest
+	h2.Prune(a, 7)
+	h3 := OpenPHistory(head, 7)
+	if got := h3.Len(a, c2(7)); got != 7 {
+		t.Fatalf("after prune Len = %d", got)
+	}
+	if v, ok := h3.Find(a, 6, c2(7)); !ok || v != 600 {
+		t.Fatalf("after prune Find(6) = %d,%v", v, ok)
+	}
+	if v, ok := h3.Find(a, 9, c2(7)); !ok || v != 600 {
+		// entries 7..9 pruned; version 9 now resolves to entry 6
+		t.Fatalf("after prune Find(9) = %d,%v", v, ok)
+	}
+	// pruned slots must be durably zero: crash again and rescan
+	a.Crash()
+	raw = OpenPHistory(head, 0).RecoverScan(a)
+	complete = 0
+	for _, r := range raw {
+		if r.Complete() {
+			complete++
+		}
+	}
+	if complete != 7 {
+		t.Fatalf("after prune+crash %d complete slots, want 7", complete)
+	}
+}
+
+// c2 builds a clock already advanced to seq (recovery state).
+func c2(seq uint64) *Clock {
+	c := NewClock()
+	c.Reset(seq)
+	return c
+}
+
+// TestPersistentCrashDropsUncommitted: entries whose seq persist did not
+// complete are not Complete() after a crash.
+func TestPersistentCrashMidAppend(t *testing.T) {
+	a, _ := pmem.New(16<<20, pmem.WithShadow())
+	defer a.Close()
+	c := NewClock()
+	h, _ := NewPHistory(a, 7)
+	h.SetPublished()
+	// Append normally: fully durable.
+	if err := h.Append(a, 0, 11, c); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a torn append: entry data persisted, seq written but NOT
+	// persisted (crash between the seq store and its Persist).
+	ep, err := h.entryPtr(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StoreUint64(ep, 5+1)
+	a.StoreUint64(ep+8, 22)
+	a.Persist(ep, 16)
+	a.StoreUint64(ep+16, c.Next()) // no persist
+	head := h.Head
+	a.Crash()
+
+	raw := OpenPHistory(head, 0).RecoverScan(a)
+	if !raw[0].Complete() {
+		t.Fatal("durable entry lost")
+	}
+	if raw[1].Complete() {
+		t.Fatal("torn entry considered complete")
+	}
+	if raw[1].VersionPlus1 != 6 || raw[1].Value != 22 {
+		t.Fatal("torn entry data should still be durable (it was persisted)")
+	}
+}
+
+func TestFreeUnpublished(t *testing.T) {
+	a, _ := pmem.New(1 << 20)
+	defer a.Close()
+	h, err := NewPHistory(a, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.FreeUnpublished(a)
+	// The freed header must be reusable.
+	h2, err := NewPHistory(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Head != h.Head {
+		t.Fatalf("freed header not reused: %d vs %d", h2.Head, h.Head)
+	}
+}
+
+func BenchmarkEphemeralAppend(b *testing.B) {
+	c := NewClock()
+	h := &EHistory{}
+	for i := 0; i < b.N; i++ {
+		h.Append(uint64(i), uint64(i), c)
+	}
+}
+
+func BenchmarkEphemeralFind(b *testing.B) {
+	c := NewClock()
+	h := &EHistory{}
+	for i := uint64(0); i < 4096; i++ {
+		h.Append(i, i, c)
+	}
+	rng := mt19937.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Find(rng.Uint64n(4096), c)
+	}
+}
+
+func BenchmarkPersistentAppend(b *testing.B) {
+	a, _ := pmem.New(1 << 30)
+	defer a.Close()
+	c := NewClock()
+	h, _ := NewPHistory(a, 1)
+	h.SetPublished()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Append(a, uint64(i), uint64(i), c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package vhistory
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mvkv/internal/pmem"
+)
+
+// Persistent history layout in the arena:
+//
+//	header: word 0            key (for integrity checks)
+//	        words 1..40       segment pointers (the directory)
+//	segment k: segSize(k) entries of 3 words each:
+//	        word 0: version+1 (0 = entry not yet written)
+//	        word 1: value
+//	        word 2: commit seq (0 = not finished)
+//
+// Durability ordering per append (Algorithm 1 + recovery invariant):
+// the entry's version/value words are persisted before its commit seq is
+// claimed, and the seq word is persisted before the commit is announced to
+// the clock. Hence at any crash point, seq != 0 durable implies the entry
+// data is durable, and per-key commit numbers are strictly increasing in
+// slot order — which is what the recovery procedure in package core relies
+// on to cut each history at the globally contiguous finished prefix.
+const (
+	phKeyWord    = 0
+	phDirStart   = 1 // 40 words of segment pointers
+	PHeaderBytes = (1 + maxSegments) * 8
+
+	entryWords = 3
+	EntryBytes = entryWords * 8
+)
+
+// PSegBytes returns the allocation size of persistent segment k.
+func PSegBytes(k int) int64 { return int64(segSize(k)) * EntryBytes }
+
+// PHistory is the ephemeral handle of one key's persistent version history:
+// the persistent head pointer plus the volatile pending/tail counters
+// (rebuilt on restart). Published gates the first commit until the key's
+// (key, head) pair is durable in the key block chain, so that a committed
+// sequence number never refers to an unreachable history (see DESIGN.md).
+type PHistory struct {
+	Head      pmem.Ptr
+	pending   atomic.Uint64
+	tail      atomic.Uint64
+	published atomic.Bool
+	firstVer  atomic.Uint64 // cached slot-0 version+1 (0 = not yet known)
+	seg0      atomic.Uint64 // cached segment-0 pointer (immutable once set)
+}
+
+// NewPHistory allocates a persistent history header for key and returns its
+// handle. The header is persisted; the caller must publish the head pointer
+// in a durable structure (the key block chain) and then call SetPublished.
+func NewPHistory(a *pmem.Arena, key uint64) (*PHistory, error) {
+	head, err := a.Alloc(PHeaderBytes)
+	if err != nil {
+		return nil, err
+	}
+	a.StoreUint64(head+phKeyWord*8, key)
+	a.Persist(head, PHeaderBytes)
+	return &PHistory{Head: head}, nil
+}
+
+// FreeUnpublished returns an unpublished history's storage to the arena.
+// Used by the loser of a duplicate-key insert race.
+func (h *PHistory) FreeUnpublished(a *pmem.Arena) {
+	a.Free(h.Head, PHeaderBytes)
+}
+
+// OpenPHistory wraps an existing persistent head after restart; pending and
+// tail are set to the recovered entry count (see core's recovery).
+func OpenPHistory(head pmem.Ptr, recovered uint64) *PHistory {
+	h := &PHistory{Head: head}
+	h.pending.Store(recovered)
+	h.tail.Store(recovered)
+	h.published.Store(true)
+	return h
+}
+
+// Key reads the key recorded in the header.
+func (h *PHistory) Key(a *pmem.Arena) uint64 { return a.LoadUint64(h.Head + phKeyWord*8) }
+
+// SetPublished marks the history reachable from durable state; appends wait
+// for this before claiming commit numbers.
+func (h *PHistory) SetPublished() { h.published.Store(true) }
+
+func (h *PHistory) dirWord(seg int) pmem.Ptr {
+	return h.Head + pmem.Ptr((phDirStart+seg)*8)
+}
+
+// segment returns (allocating if needed) the base pointer of segment i.
+func (h *PHistory) segment(a *pmem.Arena, i int) (pmem.Ptr, error) {
+	dw := h.dirWord(i)
+	if p := a.LoadPtr(dw); p != pmem.NullPtr {
+		return p, nil
+	}
+	fresh, err := a.Alloc(PSegBytes(i))
+	if err != nil {
+		return pmem.NullPtr, err
+	}
+	if a.CompareAndSwapPtr(dw, pmem.NullPtr, fresh) {
+		a.Persist(dw, 8)
+		return fresh, nil
+	}
+	a.Free(fresh, PSegBytes(i))
+	return a.LoadPtr(dw), nil
+}
+
+// entryPtr returns the base pointer of the given slot, allocating its
+// segment if needed.
+func (h *PHistory) entryPtr(a *pmem.Arena, slot uint64) (pmem.Ptr, error) {
+	seg, off := locate(slot)
+	base, err := h.segment(a, seg)
+	if err != nil {
+		return pmem.NullPtr, err
+	}
+	return base + pmem.Ptr(off*EntryBytes), nil
+}
+
+// loadedEntryPtr is entryPtr for slots known to exist (readers). Nearly
+// every history is short (one or two entries, as in the paper's
+// workloads), so the first segment's pointer — immutable once linked — is
+// cached in the handle to spare queries a directory load per probe.
+func (h *PHistory) loadedEntryPtr(a *pmem.Arena, slot uint64) pmem.Ptr {
+	seg, off := locate(slot)
+	if seg == 0 {
+		if base := h.seg0.Load(); base != 0 {
+			return pmem.Ptr(base) + pmem.Ptr(off*EntryBytes)
+		}
+		base := a.LoadPtr(h.dirWord(0))
+		h.seg0.Store(uint64(base))
+		return base + pmem.Ptr(off*EntryBytes)
+	}
+	return a.LoadPtr(h.dirWord(seg)) + pmem.Ptr(off*EntryBytes)
+}
+
+// Append records (version, value) durably (Algorithm 1 insert over
+// persistent memory). See EHistory.Append for the same-key ordering rules;
+// additionally, the entry is persisted before its commit number is claimed
+// and the commit number is persisted before being announced.
+func (h *PHistory) Append(a *pmem.Arena, version, value uint64, c *Clock) error {
+	slot := h.pending.Add(1) - 1
+	ep, err := h.entryPtr(a, slot)
+	if err != nil {
+		return err
+	}
+	a.StoreUint64(ep+8, value)
+	var prev pmem.Ptr
+	if slot > 0 {
+		prev = h.loadedEntryPtr(a, slot-1)
+		var s spin
+		for {
+			pv := a.LoadUint64(prev)
+			if pv != 0 {
+				if pv-1 > version {
+					version = pv - 1
+				}
+				break
+			}
+			s.wait()
+		}
+	}
+	a.StoreUint64(ep, version+1)
+	a.Persist(ep, 16)
+	var s spin
+	for !h.published.Load() {
+		s.wait()
+	}
+	if slot > 0 {
+		for a.LoadUint64(prev+16) == 0 {
+			s.wait()
+		}
+	}
+	seq := c.Next()
+	a.StoreUint64(ep+16, seq)
+	a.Persist(ep+16, 8)
+	c.Commit(seq)
+	return nil
+}
+
+// Remove appends a removal marker.
+func (h *PHistory) Remove(a *pmem.Arena, version uint64, c *Clock) error {
+	return h.Append(a, version, Marker, c)
+}
+
+// extend advances the lazy tail (queries only; see EHistory.extend).
+func (h *PHistory) extend(a *pmem.Arena, version uint64, c *Clock) uint64 {
+	t := h.tail.Load()
+	grown := t
+	for grown < h.pending.Load() {
+		ep := h.loadedEntryPtr(a, grown)
+		seq := a.LoadUint64(ep + 16)
+		if seq == 0 || !c.Covered(seq) {
+			break
+		}
+		if a.LoadUint64(ep)-1 > version {
+			break
+		}
+		grown++
+	}
+	for grown > t {
+		if h.tail.CompareAndSwap(t, grown) {
+			break
+		}
+		t = h.tail.Load()
+	}
+	if grown > t {
+		return grown
+	}
+	return t
+}
+
+// Find returns the key's value at the given snapshot version.
+func (h *PHistory) Find(a *pmem.Arena, version uint64, c *Clock) (value uint64, ok bool) {
+	n := h.extend(a, version, c)
+	lo, hi := uint64(0), n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.LoadUint64(h.loadedEntryPtr(a, mid))-1 > version {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return 0, false
+	}
+	ep := h.loadedEntryPtr(a, lo-1)
+	if v := a.LoadUint64(ep + 8); v != Marker {
+		return v, true
+	}
+	return 0, false
+}
+
+// Entries returns every finished entry (extract_history).
+func (h *PHistory) Entries(a *pmem.Arena, c *Clock) []Entry {
+	n := h.extend(a, MaxVersion, c)
+	out := make([]Entry, n)
+	for i := uint64(0); i < n; i++ {
+		ep := h.loadedEntryPtr(a, i)
+		out[i] = Entry{Version: a.LoadUint64(ep) - 1, Value: a.LoadUint64(ep + 8)}
+	}
+	return out
+}
+
+// Len returns the number of finished, exposed entries.
+func (h *PHistory) Len(a *pmem.Arena, c *Clock) int { return int(h.extend(a, MaxVersion, c)) }
+
+// FirstVersion returns the version of the key's oldest exposed entry. It
+// implements the version-filtering extension the paper sketches as future
+// work ("avoid traversing the whole set of keys even if they are not
+// pertinent to the requested version"): a snapshot query at version v can
+// skip this key entirely when FirstVersion > v, without touching the
+// persistent history again — the value is immutable once written, so it is
+// cached on first read.
+func (h *PHistory) FirstVersion(a *pmem.Arena, c *Clock) (uint64, bool) {
+	if v := h.firstVer.Load(); v != 0 {
+		return v - 1, true
+	}
+	// The lazy tail may still be zero for a key only ever queried below
+	// its first version, so peek slot 0 directly — it is eligible once its
+	// commit is covered by the finished counter.
+	if h.pending.Load() == 0 {
+		return 0, false
+	}
+	seg := a.LoadPtr(h.dirWord(0))
+	if seg == pmem.NullPtr {
+		return 0, false // first segment still being linked by the appender
+	}
+	if seq := a.LoadUint64(seg + 16); seq == 0 || !c.Covered(seq) {
+		return 0, false
+	}
+	v := a.LoadUint64(seg)
+	h.firstVer.Store(v)
+	return v - 1, true
+}
+
+// LastVersion returns the version of the newest exposed entry, if any.
+// After recovery this is the largest version the key durably recorded.
+func (h *PHistory) LastVersion(a *pmem.Arena) (uint64, bool) {
+	t := h.tail.Load()
+	if t == 0 {
+		return 0, false
+	}
+	return a.LoadUint64(h.loadedEntryPtr(a, t-1)) - 1, true
+}
+
+// CheckIntegrity validates the exposed portion of the history: versions
+// non-decreasing, commit numbers strictly increasing and covered by fc,
+// values present. Used by the store-level audit (mvkvctl verify).
+func (h *PHistory) CheckIntegrity(a *pmem.Arena, fc uint64) error {
+	n := h.tail.Load()
+	if p := h.pending.Load(); n > p {
+		return fmt.Errorf("vhistory: tail %d beyond pending %d", n, p)
+	}
+	prevVer, prevSeq := uint64(0), uint64(0)
+	for i := uint64(0); i < n; i++ {
+		ep := h.loadedEntryPtr(a, i)
+		verPlus := a.LoadUint64(ep)
+		seq := a.LoadUint64(ep + 16)
+		if verPlus == 0 {
+			return fmt.Errorf("vhistory: exposed slot %d has no version", i)
+		}
+		if seq == 0 {
+			return fmt.Errorf("vhistory: exposed slot %d is not finished", i)
+		}
+		if seq > fc {
+			return fmt.Errorf("vhistory: exposed slot %d commit %d beyond fc %d", i, seq, fc)
+		}
+		if i > 0 {
+			if verPlus-1 < prevVer {
+				return fmt.Errorf("vhistory: slot %d version %d below predecessor %d", i, verPlus-1, prevVer)
+			}
+			if seq <= prevSeq {
+				return fmt.Errorf("vhistory: slot %d commit %d not above predecessor %d", i, seq, prevSeq)
+			}
+		}
+		prevVer, prevSeq = verPlus-1, seq
+	}
+	return nil
+}
+
+// RecoverScan walks every slot of every reachable segment after a restart
+// and returns the per-slot raw contents, in slot order, up to the last
+// reachable segment. It is phase one of crash recovery: the caller combines
+// the commit numbers of all keys to compute the durable prefix fc, then
+// calls Prune. Slots are reported even when partially written (holes), as
+// pruning decisions need the full picture.
+func (h *PHistory) RecoverScan(a *pmem.Arena) []RawSlot {
+	var out []RawSlot
+	for seg := 0; seg < maxSegments; seg++ {
+		base := a.LoadPtr(h.dirWord(seg))
+		if base == pmem.NullPtr {
+			break
+		}
+		n := segSize(seg)
+		for off := uint64(0); off < n; off++ {
+			ep := base + pmem.Ptr(off*EntryBytes)
+			out = append(out, RawSlot{
+				VersionPlus1: a.LoadUint64(ep),
+				Value:        a.LoadUint64(ep + 8),
+				Seq:          a.LoadUint64(ep + 16),
+			})
+		}
+	}
+	return out
+}
+
+// RawSlot is a raw history slot as found during recovery.
+type RawSlot struct {
+	VersionPlus1 uint64
+	Value        uint64
+	Seq          uint64
+}
+
+// Complete reports whether the slot holds a finished entry.
+func (r RawSlot) Complete() bool { return r.VersionPlus1 != 0 && r.Seq != 0 }
+
+// Prune durably zeroes every slot from keep onwards (in every reachable
+// segment) and resets the volatile counters to keep. Phase two of recovery:
+// keep is the length of the durable prefix the caller computed.
+func (h *PHistory) Prune(a *pmem.Arena, keep uint64) {
+	slot := uint64(0)
+	for seg := 0; seg < maxSegments; seg++ {
+		base := a.LoadPtr(h.dirWord(seg))
+		if base == pmem.NullPtr {
+			break
+		}
+		n := segSize(seg)
+		dirtyFrom := int64(-1)
+		for off := uint64(0); off < n; off, slot = off+1, slot+1 {
+			if slot < keep {
+				continue
+			}
+			ep := base + pmem.Ptr(off*EntryBytes)
+			if a.LoadUint64(ep) != 0 || a.LoadUint64(ep+8) != 0 || a.LoadUint64(ep+16) != 0 {
+				a.ZeroWords(ep, entryWords)
+				if dirtyFrom < 0 {
+					dirtyFrom = int64(off)
+				}
+			}
+		}
+		if dirtyFrom >= 0 {
+			from := base + pmem.Ptr(uint64(dirtyFrom)*EntryBytes)
+			a.Persist(from, int64(n-uint64(dirtyFrom))*EntryBytes)
+		}
+	}
+	h.pending.Store(keep)
+	h.tail.Store(keep)
+	h.published.Store(true)
+}

@@ -1,0 +1,37 @@
+package vhistory
+
+import "math/bits"
+
+// Histories grow as a segmented vector: a fixed directory of segments whose
+// sizes double (2, 4, 8, ...). A claimed slot's location never changes, so
+// appends are lock-free and readers are never invalidated by reallocation —
+// the property the paper needs from its "lock-free vector with binary search
+// support". maxSegments = 40 covers ~2^42 entries per key.
+const (
+	segBase     = 2 // entries in segment 0
+	maxSegments = 40
+)
+
+// locate maps a slot index to its (segment, offset within segment).
+func locate(slot uint64) (seg int, off uint64) {
+	// Segment k holds slots [2^(k+1)-2, 2^(k+2)-2), so slot+2 is in
+	// [2^(k+1), 2^(k+2)) and k = bitlen(slot+2) - 2.
+	s := slot + segBase
+	seg = bits.Len64(s) - 2
+	off = s - 1<<(uint(seg)+1)
+	return seg, off
+}
+
+// segSize returns the number of entries in segment k.
+func segSize(seg int) uint64 { return segBase << uint(seg) }
+
+// Entry is one finished element of a version history: the key held Value
+// from Version onwards (until the next entry). Removed marks removal
+// entries (Value == Marker).
+type Entry struct {
+	Version uint64
+	Value   uint64
+}
+
+// Removed reports whether the entry records a removal.
+func (e Entry) Removed() bool { return e.Value == Marker }

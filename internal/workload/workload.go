@@ -1,0 +1,82 @@
+// Package workload pre-generates benchmark inputs following the paper's
+// methodology (Section V-C): large numbers of tiny integer key-value pairs,
+// produced by a Mersenne Twister with fixed seeds so every run (and every
+// compared approach) sees the identical reproducible scenario, and cached
+// before timing starts so input generation never pollutes measurements.
+package workload
+
+import (
+	"mvkv/internal/mt19937"
+)
+
+// Workload is a pre-generated set of unique keys with values.
+type Workload struct {
+	Keys   []uint64
+	Values []uint64
+}
+
+// Generate pre-generates n key-value pairs with unique keys (the paper's
+// worst case for inserts: every insert instantiates a new key). The same
+// (n, seed) always yields the same workload.
+func Generate(n int, seed uint64) *Workload {
+	rng := mt19937.New(seed)
+	keys := make([]uint64, 0, n)
+	seen := make(map[uint64]struct{}, n)
+	for len(keys) < n {
+		k := rng.Uint64()
+		if k == 0 || k == ^uint64(0) {
+			continue // reserve the extremes
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64() &^ (1 << 63) // keep clear of the marker
+	}
+	return &Workload{Keys: keys, Values: vals}
+}
+
+// Shuffled returns a deterministic random permutation of the keys (the
+// paper's removal phase: "a random shuffling of the keys").
+func (w *Workload) Shuffled(seed uint64) []uint64 {
+	out := make([]uint64, len(w.Keys))
+	copy(out, w.Keys)
+	mt19937.New(seed).Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Split partitions items into t contiguous, nearly equal chunks ("evenly
+// distribute them to T threads").
+func Split[T any](items []T, t int) [][]T {
+	if t < 1 {
+		t = 1
+	}
+	out := make([][]T, t)
+	for i := 0; i < t; i++ {
+		lo, hi := i*len(items)/t, (i+1)*len(items)/t
+		out[i] = items[lo:hi]
+	}
+	return out
+}
+
+// QueryMix pre-generates q random (key index, version) query pairs over a
+// key population of size p and versions below maxVer, one deterministic
+// stream per thread seed.
+func QueryMix(q, p int, maxVer uint64, seed uint64) (idx []int, vers []uint64) {
+	rng := mt19937.New(seed)
+	idx = make([]int, q)
+	vers = make([]uint64, q)
+	for i := range idx {
+		idx[i] = int(rng.Uint64n(uint64(p)))
+		if maxVer == 0 {
+			vers[i] = 0
+		} else {
+			vers[i] = rng.Uint64n(maxVer)
+		}
+	}
+	return idx, vers
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateUniqueAndDeterministic(t *testing.T) {
+	a := Generate(5000, 42)
+	b := Generate(5000, 42)
+	if len(a.Keys) != 5000 || len(a.Values) != 5000 {
+		t.Fatalf("sizes: %d keys %d values", len(a.Keys), len(a.Values))
+	}
+	seen := map[uint64]bool{}
+	for i, k := range a.Keys {
+		if k != b.Keys[i] || a.Values[i] != b.Values[i] {
+			t.Fatal("not deterministic")
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		if k == 0 || k == ^uint64(0) {
+			t.Fatalf("reserved key generated: %d", k)
+		}
+		if a.Values[i] == ^uint64(0) {
+			t.Fatal("marker value generated")
+		}
+		seen[k] = true
+	}
+	c := Generate(5000, 43)
+	same := 0
+	for i := range c.Keys {
+		if c.Keys[i] == a.Keys[i] {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("different seeds produced %d identical keys", same)
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	w := Generate(1000, 7)
+	s := w.Shuffled(8)
+	if len(s) != len(w.Keys) {
+		t.Fatal("length changed")
+	}
+	set := map[uint64]bool{}
+	for _, k := range w.Keys {
+		set[k] = true
+	}
+	moved := 0
+	for i, k := range s {
+		if !set[k] {
+			t.Fatalf("foreign key %d", k)
+		}
+		if k != w.Keys[i] {
+			moved++
+		}
+	}
+	if moved < len(s)/2 {
+		t.Fatalf("only %d keys moved", moved)
+	}
+	// original untouched
+	again := Generate(1000, 7)
+	for i := range again.Keys {
+		if again.Keys[i] != w.Keys[i] {
+			t.Fatal("Shuffled mutated the workload")
+		}
+	}
+}
+
+func TestSplitCoversExactly(t *testing.T) {
+	f := func(n uint16, t8 uint8) bool {
+		items := make([]int, int(n)%1000)
+		for i := range items {
+			items[i] = i
+		}
+		parts := Split(items, int(t8)%17)
+		idx := 0
+		for _, p := range parts {
+			for _, v := range p {
+				if v != idx {
+					return false
+				}
+				idx++
+			}
+		}
+		return idx == len(items)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// sizes balanced within 1
+	parts := Split(make([]int, 100), 7)
+	if len(parts) != 7 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	for _, p := range parts {
+		if len(p) < 100/7 || len(p) > 100/7+1 {
+			t.Fatalf("unbalanced part of %d", len(p))
+		}
+	}
+	// degenerate thread counts
+	if got := Split([]int{1, 2}, 0); len(got) != 1 || len(got[0]) != 2 {
+		t.Fatal("Split with t=0 broken")
+	}
+}
+
+func TestQueryMixBounds(t *testing.T) {
+	idx, vers := QueryMix(1000, 50, 20, 9)
+	if len(idx) != 1000 || len(vers) != 1000 {
+		t.Fatal("sizes wrong")
+	}
+	for i := range idx {
+		if idx[i] < 0 || idx[i] >= 50 {
+			t.Fatalf("index out of range: %d", idx[i])
+		}
+		if vers[i] >= 20 {
+			t.Fatalf("version out of range: %d", vers[i])
+		}
+	}
+	// deterministic per seed
+	idx2, vers2 := QueryMix(1000, 50, 20, 9)
+	for i := range idx {
+		if idx[i] != idx2[i] || vers[i] != vers2[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	// maxVer == 0 means version 0 everywhere
+	_, v0 := QueryMix(10, 5, 0, 1)
+	for _, v := range v0 {
+		if v != 0 {
+			t.Fatal("maxVer=0 produced nonzero version")
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package mvkv is a scalable multi-versioning ordered key-value store with
+// (emulated) persistent memory support — a from-scratch Go reproduction of
+// Bogdan Nicolae, "Scalable Multi-Versioning Ordered Key-Value Stores with
+// Persistent Memory Support", IPDPS 2022.
+//
+// The primary store is PSkipList (NewPSkipList/OpenPSkipList): a hybrid of
+// a lock-free ephemeral skip-list index over a compact persistent-memory
+// representation — per-key version histories with lazy tails, a persistent
+// key block chain enabling parallel index reconstruction on restart, and a
+// global commit clock that keeps concurrent snapshots prefix-consistent.
+//
+// The package also exposes the paper's baselines (ESkipList, LockedMap and
+// the SQLite-style embedded engines) behind the same Store interface, and a
+// distributed layer that partitions a store across ranks with MPI-style
+// collectives and hierarchic multi-threaded snapshot merging.
+//
+// Quick start:
+//
+//	s, err := mvkv.NewPSkipList(mvkv.Options{})
+//	if err != nil { ... }
+//	defer s.Close()
+//	s.Insert(42, 1000)
+//	v0 := s.Tag()                  // seal snapshot 0
+//	s.Insert(42, 2000)
+//	v1 := s.Tag()                  // seal snapshot 1
+//	old, _ := s.Find(42, v0)       // 1000 — time travel
+//	cur, _ := s.Find(42, v1)       // 2000
+//	pairs := s.ExtractSnapshot(v1) // the full sorted snapshot
+//	log := s.ExtractHistory(42)    // the key's change history
+package mvkv
+
+import (
+	"fmt"
+	"time"
+
+	"mvkv/internal/blob"
+	"mvkv/internal/cluster"
+	"mvkv/internal/core"
+	"mvkv/internal/dist"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/kvnet"
+	"mvkv/internal/lockedmap"
+	"mvkv/internal/sqlkv"
+)
+
+// Store is the multi-version ordered dictionary API (Table 1 of the paper):
+// Insert, Remove, Find(key, version), Tag, ExtractSnapshot(version) and
+// ExtractHistory(key). All implementations returned by this package are
+// safe for concurrent use.
+type Store = kv.Store
+
+// KV is one key-value pair of a snapshot.
+type KV = kv.KV
+
+// Event is one entry of a key's history.
+type Event = kv.Event
+
+// Marker is the reserved removal marker; it is not a legal Insert value.
+const Marker = kv.Marker
+
+// Options configures a PSkipList store.
+type Options struct {
+	// PoolBytes is the persistent pool capacity (default 256 MiB). The pool
+	// is fixed-size, like a PMDK pool: size it for the expected data.
+	PoolBytes int64
+	// Path places the pool in a memory-mapped file that survives process
+	// restarts (Linux). Empty means an in-memory pool.
+	Path string
+	// PersistLatency injects an emulated persistence cost per flushed
+	// cache line, for studying persistent-memory behaviour.
+	PersistLatency time.Duration
+	// RebuildThreads is the index-reconstruction parallelism used by
+	// OpenPSkipList (default: GOMAXPROCS).
+	RebuildThreads int
+}
+
+func (o Options) core() core.Options {
+	return core.Options{
+		ArenaBytes:     o.PoolBytes,
+		Path:           o.Path,
+		PersistLatency: o.PersistLatency,
+		RebuildThreads: o.RebuildThreads,
+	}
+}
+
+// NewPSkipList creates a fresh PSkipList store, the paper's proposal.
+func NewPSkipList(o Options) (Store, error) { return core.Create(o.core()) }
+
+// OpenPSkipList reopens a file-backed PSkipList store created with
+// Options.Path, running crash recovery and parallel index reconstruction.
+func OpenPSkipList(o Options) (Store, error) { return core.Open(o.core()) }
+
+// NewESkipList creates the ephemeral skip-list store: every PSkipList
+// optimization, no persistence — the paper's performance upper bound.
+func NewESkipList() Store { return eskiplist.New() }
+
+// NewLockedMap creates the locked red-black-tree baseline.
+func NewLockedMap() Store { return lockedmap.New() }
+
+// NewSQLiteReg creates the persistent embedded-DB-engine baseline (pager +
+// B+-tree + WAL, per-connection caches). path may be empty for an
+// in-memory backing file.
+func NewSQLiteReg(path string) (Store, error) {
+	return sqlkv.Open(sqlkv.Options{Mode: sqlkv.ModeReg, Path: path})
+}
+
+// NewSQLiteMem creates the non-persistent embedded-DB-engine baseline with
+// one shared, latched page cache.
+func NewSQLiteMem() (Store, error) {
+	return sqlkv.Open(sqlkv.Options{Mode: sqlkv.ModeMem})
+}
+
+// CompactPSkipList writes a compacted copy of a PSkipList store into a
+// fresh pool described by o, forgetting versions older than keepSince (each
+// key keeps its state as of keepSince plus all later changes). Queries at
+// versions >= keepSince are answered identically by the returned store.
+// The source must be quiescent (no concurrent writers) and is left
+// untouched — crash-safe by construction, like an LSM compaction.
+func CompactPSkipList(s Store, o Options, keepSince uint64) (Store, error) {
+	cs, ok := s.(*core.Store)
+	if !ok {
+		return nil, fmt.Errorf("mvkv: CompactPSkipList requires a PSkipList store, got %T", s)
+	}
+	return cs.CompactTo(o.core(), keepSince)
+}
+
+// ---- blob values ----
+
+// BlobStore layers []byte values over a PSkipList store: blobs live once
+// in the persistent pool and snapshots share unchanged ones, serving the
+// paper's motivating (id, tensor) and metadata workloads.
+type BlobStore = blob.Store
+
+// BlobPair is one key-blob pair of a snapshot.
+type BlobPair = blob.Pair
+
+// NewBlobStore creates a fresh blob-valued PSkipList store.
+func NewBlobStore(o Options) (*BlobStore, error) {
+	inner, err := core.Create(o.core())
+	if err != nil {
+		return nil, err
+	}
+	return blob.Wrap(inner), nil
+}
+
+// OpenBlobStore reopens a file-backed blob store created with Options.Path.
+func OpenBlobStore(o Options) (*BlobStore, error) {
+	inner, err := core.Open(o.core())
+	if err != nil {
+		return nil, err
+	}
+	return blob.Wrap(inner), nil
+}
+
+// ---- network service ----
+
+// ServeStore exposes any Store over TCP (see cmd/mvkvd for the daemon
+// form). The returned server is stopped with Close; the store stays open.
+func ServeStore(s Store, addr string) (*kvnet.Server, error) {
+	return kvnet.Serve(s, addr)
+}
+
+// DialStore connects to a served store; the returned client is itself a
+// Store, so remote and local stores are interchangeable. maxConns bounds
+// the client's connection pool (0 = default).
+func DialStore(addr string, maxConns int) (Store, error) {
+	return kvnet.Dial(addr, maxConns)
+}
+
+// ---- distributed layer ----
+
+// Comm is an MPI-style communicator for one rank.
+type Comm = cluster.Comm
+
+// NetModel injects per-message latency and bandwidth costs into an
+// in-process cluster, restoring realistic collective behaviour at scale.
+type NetModel = cluster.NetModel
+
+// DistService partitions a store across the ranks of a communicator and
+// serves distributed find and snapshot-extraction queries (Section V-H of
+// the paper).
+type DistService = dist.Service
+
+// NewDistService wraps this rank's communicator and local partition store.
+// mergeThreads configures the multi-threaded merge used by OptMerge.
+func NewDistService(c *Comm, local Store, mergeThreads int) *DistService {
+	return dist.New(c, local, mergeThreads)
+}
+
+// ClusterStore drives an entire partitioned cluster through the Store
+// interface from rank 0: writes are routed point-to-point to owner ranks,
+// finds run as broadcast+reduce collectives, snapshots via the
+// recursive-doubling merge. Worker ranks must be inside
+// DistService.ServeAll.
+type ClusterStore = dist.ClusterStore
+
+// NewClusterStore wraps rank 0's distributed service as a Store.
+func NewClusterStore(svc *DistService) *ClusterStore { return dist.NewClusterStore(svc) }
+
+// PartitionOwner maps a key to the rank owning it.
+func PartitionOwner(key uint64, ranks int) int { return dist.Owner(key, ranks) }
+
+// RunLocalCluster runs fn on `ranks` in-process ranks connected by a
+// fabric with the given cost model; it returns the first rank error.
+func RunLocalCluster(ranks int, model NetModel, fn func(c *Comm) error) error {
+	return cluster.RunLocal(ranks, model, fn)
+}

@@ -1,0 +1,166 @@
+package mvkv
+
+import (
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// TestFacadeDocExample mirrors the package documentation example.
+func TestFacadeDocExample(t *testing.T) {
+	s, err := NewPSkipList(Options{PoolBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Insert(42, 1000)
+	v0 := s.Tag()
+	s.Insert(42, 2000)
+	v1 := s.Tag()
+	if old, _ := s.Find(42, v0); old != 1000 {
+		t.Fatalf("Find at v0 = %d", old)
+	}
+	if cur, _ := s.Find(42, v1); cur != 2000 {
+		t.Fatalf("Find at v1 = %d", cur)
+	}
+	if snap := s.ExtractSnapshot(v1); len(snap) != 1 || snap[0].Value != 2000 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if log := s.ExtractHistory(42); len(log) != 2 {
+		t.Fatalf("history = %v", log)
+	}
+}
+
+func TestAllConstructors(t *testing.T) {
+	mk := map[string]func() (Store, error){
+		"pskiplist": func() (Store, error) { return NewPSkipList(Options{PoolBytes: 16 << 20}) },
+		"eskiplist": func() (Store, error) { return NewESkipList(), nil },
+		"lockedmap": func() (Store, error) { return NewLockedMap(), nil },
+		"sqlitereg": func() (Store, error) { return NewSQLiteReg("") },
+		"sqlitemem": func() (Store, error) { return NewSQLiteMem() },
+	}
+	for name, f := range mk {
+		s, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Insert(7, 70); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		v := s.Tag()
+		if got, ok := s.Find(7, v); !ok || got != 70 {
+			t.Fatalf("%s: Find = %d,%v", name, got, ok)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s close: %v", name, err)
+		}
+	}
+}
+
+func TestFileBackedReopenViaFacade(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("file-backed pools are linux-only")
+	}
+	path := filepath.Join(t.TempDir(), "pool.img")
+	s, err := NewPSkipList(Options{Path: path, PoolBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(i, i*2)
+		s.Tag()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenPSkipList(Options{Path: path, RebuildThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, ok := s2.Find(50, s2.CurrentVersion()); !ok || got != 100 {
+		t.Fatalf("after reopen: %d,%v", got, ok)
+	}
+}
+
+func TestCompactFacade(t *testing.T) {
+	s, err := NewPSkipList(Options{PoolBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(1, i) // 100 versions of one key
+		s.Tag()
+	}
+	compacted, err := CompactPSkipList(s, Options{PoolBytes: 32 << 20}, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer compacted.Close()
+	if got := len(compacted.ExtractHistory(1)); got != 5 {
+		t.Fatalf("compacted history has %d events", got)
+	}
+	for v := uint64(95); v < 100; v++ {
+		got, ok := compacted.Find(1, v)
+		want, wok := s.Find(1, v)
+		if ok != wok || got != want {
+			t.Fatalf("v%d: %d,%v vs %d,%v", v, got, ok, want, wok)
+		}
+	}
+	// only PSkipList stores can be compacted
+	if _, err := CompactPSkipList(NewESkipList(), Options{}, 0); err == nil {
+		t.Fatal("compacting a non-PSkipList store succeeded")
+	}
+}
+
+func TestRangeFacade(t *testing.T) {
+	s, err := NewPSkipList(Options{PoolBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for k := uint64(10); k <= 50; k += 10 {
+		s.Insert(k, k)
+	}
+	v := s.Tag()
+	got := s.ExtractRange(15, 45, v)
+	if len(got) != 3 || got[0].Key != 20 || got[2].Key != 40 {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+func TestDistributedFacade(t *testing.T) {
+	const ranks = 4
+	keys := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	err := RunLocalCluster(ranks, NetModel{}, func(c *Comm) error {
+		local := NewESkipList()
+		defer local.Close()
+		for _, k := range keys {
+			if PartitionOwner(k, ranks) == c.Rank() {
+				local.Insert(k, k*10)
+				local.Tag()
+			}
+		}
+		svc := NewDistService(c, local, 2)
+		if c.Rank() != 0 {
+			return svc.Serve()
+		}
+		defer svc.Shutdown()
+		snap, err := svc.ExtractSnapshotOpt(Marker - 1)
+		if err != nil {
+			return err
+		}
+		if len(snap) != len(keys) {
+			t.Errorf("snapshot has %d pairs", len(snap))
+		}
+		if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Key < snap[j].Key }) {
+			t.Error("snapshot unsorted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
