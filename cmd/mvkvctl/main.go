@@ -1,22 +1,31 @@
-// Command mvkvctl operates file-backed PSkipList pools from the shell:
-// initialize a pool, write and read versioned pairs, seal snapshots,
-// inspect histories and statistics, and compact old versions away.
+// Command mvkvctl operates PSkipList stores from the shell: initialize a
+// file-backed pool, write and read versioned pairs, seal snapshots, inspect
+// histories and statistics, and compact old versions away.
+//
+// The <store> argument is either a pool path or, for the data-path
+// commands (put, rm, tag, get, history, snapshot), a tcp://host:port
+// address of a running mvkvd — the same command then executes over the
+// network protocol with deadlines and retries (-timeout, -retries).
+// Pool-management commands (init, stat, verify, compact) are local-only.
 //
 // Usage:
 //
 //	mvkvctl init   <pool> [-size bytes]
-//	mvkvctl put    <pool> <key> <value> [<key> <value>...]
-//	mvkvctl rm     <pool> <key>...
-//	mvkvctl tag    <pool>
-//	mvkvctl get    <pool> <key> [-version v]
-//	mvkvctl history <pool> <key>
-//	mvkvctl snapshot <pool> [-version v] [-lo k] [-hi k]
+//	mvkvctl put    <store> <key> <value> [<key> <value>...]
+//	mvkvctl rm     <store> <key>...
+//	mvkvctl tag    <store>
+//	mvkvctl get    <store> <key> [-version v]
+//	mvkvctl history <store> <key>
+//	mvkvctl snapshot <store> [-version v] [-lo k] [-hi k]
 //	mvkvctl stat   <pool>
 //	mvkvctl verify <pool>
 //	mvkvctl compact <pool> <dstpool> -keep v [-size bytes]
 //
-// Every invocation reopens the pool, which exercises the full recovery and
-// parallel index-reconstruction path.
+// Remote flags: -timeout bounds each call (default 5s), -retries bounds
+// reconnect attempts for idempotent operations (default 3; 0 disables).
+//
+// Every local invocation reopens the pool, which exercises the full
+// recovery and parallel index-reconstruction path.
 package main
 
 import (
@@ -25,9 +34,12 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 
 	"mvkv/internal/core"
 	"mvkv/internal/kv"
+	"mvkv/internal/kvnet"
 )
 
 func main() {
@@ -38,7 +50,45 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: mvkvctl <init|put|rm|tag|get|history|snapshot|stat|verify|compact> <pool> [args] [flags]")
+	return fmt.Errorf("usage: mvkvctl <init|put|rm|tag|get|history|snapshot|stat|verify|compact> <pool|tcp://addr> [args] [flags]")
+}
+
+// remotePrefix selects the network data path in place of a local pool.
+const remotePrefix = "tcp://"
+
+// Error-aware store surfaces: remote stores (kvnet.Client, dist
+// ClusterStore) report transport failures through these; plain local
+// stores don't need them.
+type tagErrStore interface {
+	TagErr() (uint64, error)
+}
+type findErrStore interface {
+	FindErr(key, version uint64) (uint64, bool, error)
+}
+type currentVersionErrStore interface {
+	CurrentVersionErr() (uint64, error)
+}
+
+func tagOf(s kv.Store) (uint64, error) {
+	if e, ok := s.(tagErrStore); ok {
+		return e.TagErr()
+	}
+	return s.Tag(), nil
+}
+
+func findOf(s kv.Store, key, version uint64) (uint64, bool, error) {
+	if e, ok := s.(findErrStore); ok {
+		return e.FindErr(key, version)
+	}
+	v, ok := s.Find(key, version)
+	return v, ok, nil
+}
+
+func currentVersionOf(s kv.Store) (uint64, error) {
+	if e, ok := s.(currentVersionErrStore); ok {
+		return e.CurrentVersionErr()
+	}
+	return s.CurrentVersion(), nil
 }
 
 // run executes one command; separated from main for testing.
@@ -46,7 +96,7 @@ func run(args []string, out io.Writer) error {
 	if len(args) < 2 {
 		return usage()
 	}
-	cmd, pool, rest := args[0], args[1], args[2:]
+	cmd, target, rest := args[0], args[1], args[2:]
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
@@ -55,6 +105,8 @@ func run(args []string, out io.Writer) error {
 	keep := fs.Uint64("keep", 0, "oldest version to keep (compact)")
 	lo := fs.Uint64("lo", 0, "range lower bound (inclusive)")
 	hi := fs.Uint64("hi", ^uint64(0), "range upper bound (exclusive)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-call deadline for tcp:// stores")
+	retries := fs.Int("retries", 3, "reconnect attempts for idempotent ops on tcp:// stores")
 
 	// positional arguments come before flags: split them off
 	pos := rest
@@ -68,20 +120,50 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	switch cmd {
-	case "init":
-		s, err := core.Create(core.Options{Path: pool, ArenaBytes: *size})
+	remote := strings.HasPrefix(target, remotePrefix)
+	withStore := func(fn func(kv.Store) error) error {
+		if !remote {
+			return withPool(target, func(s *core.Store) error { return fn(s) })
+		}
+		r := *retries
+		if r <= 0 {
+			r = -1 // kvnet treats negatives as "no retries"
+		}
+		s, err := kvnet.DialOptions(strings.TrimPrefix(target, remotePrefix), kvnet.Options{
+			DialTimeout: *timeout,
+			CallTimeout: *timeout,
+			MaxRetries:  r,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "initialized %s (%d bytes)\n", pool, *size)
+		if ferr := fn(s); ferr != nil {
+			s.Close()
+			return ferr
+		}
+		return s.Close()
+	}
+	localOnly := func() error {
+		return fmt.Errorf("%s is local-only: it manages the pool file itself and cannot run against a tcp:// store", cmd)
+	}
+
+	switch cmd {
+	case "init":
+		if remote {
+			return localOnly()
+		}
+		s, err := core.Create(core.Options{Path: target, ArenaBytes: *size})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "initialized %s (%d bytes)\n", target, *size)
 		return s.Close()
 
 	case "put":
 		if len(pos)%2 != 0 || len(pos) == 0 {
 			return fmt.Errorf("put needs <key> <value> pairs")
 		}
-		return withPool(pool, func(s *core.Store) error {
+		return withStore(func(s kv.Store) error {
 			for i := 0; i < len(pos); i += 2 {
 				k, err := parseU64(pos[i])
 				if err != nil {
@@ -95,7 +177,11 @@ func run(args []string, out io.Writer) error {
 					return err
 				}
 			}
-			fmt.Fprintf(out, "put %d pairs into version %d\n", len(pos)/2, s.CurrentVersion())
+			cur, err := currentVersionOf(s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "put %d pairs into version %d\n", len(pos)/2, cur)
 			return nil
 		})
 
@@ -103,7 +189,7 @@ func run(args []string, out io.Writer) error {
 		if len(pos) == 0 {
 			return fmt.Errorf("rm needs at least one key")
 		}
-		return withPool(pool, func(s *core.Store) error {
+		return withStore(func(s kv.Store) error {
 			for _, a := range pos {
 				k, err := parseU64(a)
 				if err != nil {
@@ -113,13 +199,21 @@ func run(args []string, out io.Writer) error {
 					return err
 				}
 			}
-			fmt.Fprintf(out, "removed %d keys in version %d\n", len(pos), s.CurrentVersion())
+			cur, err := currentVersionOf(s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "removed %d keys in version %d\n", len(pos), cur)
 			return nil
 		})
 
 	case "tag":
-		return withPool(pool, func(s *core.Store) error {
-			fmt.Fprintf(out, "sealed snapshot %d\n", s.Tag())
+		return withStore(func(s kv.Store) error {
+			v, err := tagOf(s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "sealed snapshot %d\n", v)
 			return nil
 		})
 
@@ -131,12 +225,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return withPool(pool, func(s *core.Store) error {
-			if v, ok := s.Find(k, *version); ok {
-				fmt.Fprintf(out, "%d\n", v)
-				return nil
+		return withStore(func(s kv.Store) error {
+			v, ok, err := findOf(s, k, *version)
+			if err != nil {
+				return err
 			}
-			return fmt.Errorf("key %d absent at version %d", k, *version)
+			if !ok {
+				return fmt.Errorf("key %d absent at version %d", k, *version)
+			}
+			fmt.Fprintf(out, "%d\n", v)
+			return nil
 		})
 
 	case "history":
@@ -147,7 +245,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return withPool(pool, func(s *core.Store) error {
+		return withStore(func(s kv.Store) error {
 			for _, e := range s.ExtractHistory(k) {
 				if e.Removed() {
 					fmt.Fprintf(out, "v%d\tremoved\n", e.Version)
@@ -159,7 +257,7 @@ func run(args []string, out io.Writer) error {
 		})
 
 	case "snapshot":
-		return withPool(pool, func(s *core.Store) error {
+		return withStore(func(s kv.Store) error {
 			var pairs []kv.KV
 			if *lo != 0 || *hi != ^uint64(0) {
 				pairs = s.ExtractRange(*lo, *hi, *version)
@@ -173,7 +271,10 @@ func run(args []string, out io.Writer) error {
 		})
 
 	case "stat":
-		return withPool(pool, func(s *core.Store) error {
+		if remote {
+			return localOnly()
+		}
+		return withPool(target, func(s *core.Store) error {
 			st := s.RecoveryStats()
 			fmt.Fprintf(out, "keys:            %d\n", s.Len())
 			fmt.Fprintf(out, "current version: %d\n", s.CurrentVersion())
@@ -185,7 +286,10 @@ func run(args []string, out io.Writer) error {
 		})
 
 	case "verify":
-		return withPool(pool, func(s *core.Store) error {
+		if remote {
+			return localOnly()
+		}
+		return withPool(target, func(s *core.Store) error {
 			rep, err := s.CheckIntegrity()
 			if err != nil {
 				return err
@@ -196,17 +300,20 @@ func run(args []string, out io.Writer) error {
 		})
 
 	case "compact":
+		if remote {
+			return localOnly()
+		}
 		if len(pos) != 1 {
 			return fmt.Errorf("compact needs a destination pool path")
 		}
 		dstPath := pos[0]
-		return withPool(pool, func(s *core.Store) error {
+		return withPool(target, func(s *core.Store) error {
 			dst, err := s.CompactTo(core.Options{Path: dstPath, ArenaBytes: *size}, *keep)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "compacted %s -> %s keeping versions >= %d (%d keys, %d bytes used)\n",
-				pool, dstPath, *keep, dst.Len(), dst.Arena().HeapUsed())
+				target, dstPath, *keep, dst.Len(), dst.Arena().HeapUsed())
 			return dst.Close()
 		})
 

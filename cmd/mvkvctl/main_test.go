@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kvnet"
 )
 
 func ctl(t *testing.T, args ...string) (string, error) {
@@ -79,6 +82,65 @@ func TestCLILifecycle(t *testing.T) {
 	// key 20 was removed before the cut: gone entirely
 	if _, err := ctl(t, "get", dst, "20", "-version", "5"); err == nil {
 		t.Fatal("removed key present after compaction")
+	}
+}
+
+// TestCLIRemote drives the data-path commands against a live mvkvd-style
+// server through a tcp:// store address.
+func TestCLIRemote(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	store := "tcp://" + srv.Addr()
+
+	mustCtl(t, "put", store, "10", "100", "20", "200")
+	if out := mustCtl(t, "tag", store); strings.TrimSpace(out) != "sealed snapshot 0" {
+		t.Fatalf("tag = %q", out)
+	}
+	mustCtl(t, "put", store, "10", "111")
+	mustCtl(t, "rm", store, "20")
+	mustCtl(t, "tag", store)
+
+	if out := mustCtl(t, "get", store, "10", "-version", "0"); strings.TrimSpace(out) != "100" {
+		t.Fatalf("remote get@0 = %q", out)
+	}
+	if out := mustCtl(t, "get", store, "10", "-version", "1"); strings.TrimSpace(out) != "111" {
+		t.Fatalf("remote get@1 = %q", out)
+	}
+	if _, err := ctl(t, "get", store, "20", "-version", "1"); err == nil {
+		t.Fatal("remote get of removed key succeeded")
+	}
+
+	snap := mustCtl(t, "snapshot", store, "-version", "0")
+	if !strings.Contains(snap, "10\t100") || !strings.Contains(snap, "20\t200") {
+		t.Fatalf("remote snapshot@0 = %q", snap)
+	}
+	ranged := mustCtl(t, "snapshot", store, "-version", "0", "-lo", "15", "-hi", "25")
+	if strings.Contains(ranged, "10\t") || !strings.Contains(ranged, "20\t200") {
+		t.Fatalf("remote ranged snapshot = %q", ranged)
+	}
+	hist := mustCtl(t, "history", store, "20")
+	if !strings.Contains(hist, "v0\t200") || !strings.Contains(hist, "v1\tremoved") {
+		t.Fatalf("remote history = %q", hist)
+	}
+
+	// pool-management commands must refuse a network store
+	for _, cmd := range []string{"init", "stat", "verify"} {
+		if _, err := ctl(t, cmd, store); err == nil || !strings.Contains(err.Error(), "local") {
+			t.Fatalf("%s over tcp:// not refused: %v", cmd, err)
+		}
+	}
+	if _, err := ctl(t, "compact", store, "/tmp/x.pool", "-keep", "1"); err == nil {
+		t.Fatal("compact over tcp:// not refused")
+	}
+
+	// a dead server surfaces a transport error, not a hang
+	srv.Close()
+	if _, err := ctl(t, "get", store, "10", "-timeout", "500ms", "-retries", "0"); err == nil {
+		t.Fatal("get against a dead server succeeded")
 	}
 }
 

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mvkvd -pool store.pool [-create -size 1073741824] [-addr 127.0.0.1:7654]
+//	      [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 0]
 //
 // On SIGINT/SIGTERM the server drains, closes the pool durably and exits;
 // restarting recovers the pool (crash recovery + parallel index rebuild).
@@ -18,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mvkv/internal/core"
 	"mvkv/internal/kvnet"
@@ -25,10 +27,13 @@ import (
 
 func main() {
 	var (
-		pool   = flag.String("pool", "", "path of the persistent pool (required)")
-		addr   = flag.String("addr", "127.0.0.1:7654", "listen address")
-		create = flag.Bool("create", false, "create a fresh pool instead of opening")
-		size   = flag.Int64("size", 1<<30, "pool capacity when creating")
+		pool         = flag.String("pool", "", "path of the persistent pool (required)")
+		addr         = flag.String("addr", "127.0.0.1:7654", "listen address")
+		create       = flag.Bool("create", false, "create a fresh pool instead of opening")
+		size         = flag.Int64("size", 1<<30, "pool capacity when creating")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "deadline to finish reading a started request frame (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "deadline to write one response (0 = none)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "deadline for an idle connection to send its next request (0 = keep forever)")
 	)
 	flag.Parse()
 	if *pool == "" {
@@ -53,7 +58,11 @@ func main() {
 		log.Fatalf("mvkvd: %v", err)
 	}
 
-	srv, err := kvnet.Serve(s, *addr)
+	srv, err := kvnet.ServeOptions(s, *addr, kvnet.ServerOptions{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	})
 	if err != nil {
 		log.Fatalf("mvkvd: %v", err)
 	}

@@ -169,6 +169,14 @@ func GetUint64s(p []byte) []uint64 {
 // RunLocal spawns size ranks as goroutines over a local fabric and runs fn
 // in each; it returns the first error. The fabric is closed afterwards.
 func RunLocal(size int, model NetModel, fn func(c *Comm) error) error {
+	return RunLocalWrap(size, model, nil, fn)
+}
+
+// RunLocalWrap is RunLocal with a transport interposer: each rank's
+// endpoint is passed through wrap before being handed to its communicator
+// (nil = identity). The fault-injection tests use it to slide a
+// FaultyTransport under every rank.
+func RunLocalWrap(size int, model NetModel, wrap func(rank int, tr Transport) Transport, fn func(c *Comm) error) error {
 	f := NewLocalFabric(size, model)
 	defer f.Close()
 	errs := make([]error, size)
@@ -177,7 +185,11 @@ func RunLocal(size int, model NetModel, fn func(c *Comm) error) error {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = fn(NewComm(r, size, f.Transport(r)))
+			tr := f.Transport(r)
+			if wrap != nil {
+				tr = wrap(r, tr)
+			}
+			errs[r] = fn(NewComm(r, size, tr))
 		}(r)
 	}
 	wg.Wait()

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mvkv/internal/mt19937"
+)
+
+// This file provides deterministic fault injection for the wire path, at
+// two levels: FaultyTransport wraps a cluster Transport (message frames),
+// FaultyDialer wraps raw net.Conns (byte streams, e.g. under a kvnet
+// client). Both draw every fault decision from one MT19937-64 stream, so a
+// given seed always produces the same fault schedule — a failing run is
+// replayable, per the paper's deterministic-workload methodology.
+
+// ErrInjected marks a failure produced by fault injection rather than a
+// real network; consumers assert on it with errors.Is.
+var ErrInjected = errors.New("cluster: injected fault")
+
+// Faults configures which faults are injected and how often. Rates are
+// per-mille (out of 1000) per opportunity; zero disables a fault kind.
+type Faults struct {
+	// Seed initializes the MT19937 stream driving every decision.
+	Seed uint64
+	// DropPerMille silently discards a frame (transport) or fails a write
+	// after zero bytes and severs the connection (dialer).
+	DropPerMille int
+	// TruncatePerMille delivers only a strict prefix of a frame
+	// (transport) or of one write, then severs the connection (dialer).
+	TruncatePerMille int
+	// DupPerMille delivers a frame twice (transport only; a TCP byte
+	// stream cannot duplicate). See DupUserFrames.
+	DupPerMille int
+	// DelayPerMille stalls an operation for up to MaxDelay first.
+	DelayPerMille int
+	// MaxDelay bounds one injected stall (0 = 2ms).
+	MaxDelay time.Duration
+	// DupUserFrames also duplicates user point-to-point frames. Off by
+	// default: collectives are immune to duplicates (every collective
+	// round draws a fresh sequence tag, so a stale copy is never matched),
+	// but user streams are FIFO-matched by (from, tag) and a duplicate
+	// would be delivered in place of the next real message.
+	DupUserFrames bool
+}
+
+func (f Faults) maxDelay() time.Duration {
+	if f.MaxDelay <= 0 {
+		return 2 * time.Millisecond
+	}
+	return f.MaxDelay
+}
+
+// FaultStats counts injected faults, for test assertions.
+type FaultStats struct {
+	Drops, Truncates, Dups, Delays int
+}
+
+// roller is the shared deterministic decision source.
+type roller struct {
+	mu    sync.Mutex
+	rng   *mt19937.Source
+	f     Faults
+	stats FaultStats
+}
+
+func newRoller(f Faults) *roller {
+	return &roller{rng: mt19937.New(f.Seed), f: f}
+}
+
+// roll draws the fault (if any) to inject at one opportunity, plus the
+// parameters every fault kind might need, under one lock acquisition so
+// the draw sequence is a pure function of the seed and call order.
+type fault struct {
+	delay    time.Duration // 0 = no delay
+	drop     bool
+	truncate bool
+	dup      bool
+	cut      uint64 // raw draw used to pick a truncation point
+}
+
+func (r *roller) roll() fault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out fault
+	if r.f.DelayPerMille > 0 && r.rng.Uint64n(1000) < uint64(r.f.DelayPerMille) {
+		out.delay = time.Duration(r.rng.Uint64n(uint64(r.f.maxDelay())))
+		r.stats.Delays++
+	}
+	switch {
+	case r.f.DropPerMille > 0 && r.rng.Uint64n(1000) < uint64(r.f.DropPerMille):
+		out.drop = true
+		r.stats.Drops++
+	case r.f.TruncatePerMille > 0 && r.rng.Uint64n(1000) < uint64(r.f.TruncatePerMille):
+		out.truncate = true
+		out.cut = r.rng.Uint64()
+		r.stats.Truncates++
+	case r.f.DupPerMille > 0 && r.rng.Uint64n(1000) < uint64(r.f.DupPerMille):
+		out.dup = true
+		r.stats.Dups++
+	}
+	return out
+}
+
+// rollDelay draws only a delay decision (used where drop/truncate make no
+// sense, e.g. the read side of a byte stream).
+func (r *roller) rollDelay() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f.DelayPerMille > 0 && r.rng.Uint64n(1000) < uint64(r.f.DelayPerMille) {
+		r.stats.Delays++
+		return time.Duration(r.rng.Uint64n(uint64(r.f.maxDelay())))
+	}
+	return 0
+}
+
+func (r *roller) snapshot() FaultStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// ---- Transport-level injection ----
+
+// FaultyTransport wraps a Transport and perturbs its Send path with
+// deterministic drops, delays, truncations and duplicate deliveries. Recv
+// and Close pass through. It proves the robustness claims of the layers
+// above: collectives survive delays and duplicates by construction (fresh
+// sequence tags per round), and tests enable drops/truncations to observe
+// the documented failure modes instead of crashes.
+type FaultyTransport struct {
+	inner Transport
+	r     *roller
+}
+
+// NewFaultyTransport wraps inner with the given fault plan.
+func NewFaultyTransport(inner Transport, f Faults) *FaultyTransport {
+	return &FaultyTransport{inner: inner, r: newRoller(f)}
+}
+
+// Stats returns the faults injected so far.
+func (t *FaultyTransport) Stats() FaultStats { return t.r.snapshot() }
+
+// Send implements Transport, injecting faults before delivery.
+func (t *FaultyTransport) Send(to int, tag uint64, payload []byte) error {
+	fl := t.r.roll()
+	if fl.delay > 0 {
+		time.Sleep(fl.delay)
+	}
+	switch {
+	case fl.drop:
+		return nil // the frame vanishes, as lost datagrams do
+	case fl.truncate && len(payload) > 0:
+		payload = payload[:fl.cut%uint64(len(payload))]
+	case fl.dup && (t.r.f.DupUserFrames || tag>>56 != tagUser):
+		if err := t.inner.Send(to, tag, payload); err != nil {
+			return err
+		}
+	}
+	return t.inner.Send(to, tag, payload)
+}
+
+// Recv implements Transport.
+func (t *FaultyTransport) Recv(from int, tag uint64) ([]byte, error) {
+	return t.inner.Recv(from, tag)
+}
+
+// Close implements Transport.
+func (t *FaultyTransport) Close() error { return t.inner.Close() }
+
+var _ Transport = (*FaultyTransport)(nil)
+
+// ---- net.Conn-level injection ----
+
+// FaultyDialer produces net.Conns whose Write path fails deterministically:
+// drops (the write fails with ErrInjected after zero bytes) and truncations
+// (a strict prefix is written, then ErrInjected), both severing the
+// connection, plus bounded delays on reads and writes. Faults strike only
+// the write side on purpose: a request that errored before it was fully
+// written can never have been processed by the peer, so a client may retry
+// *any* operation — including mutations — without risking a double apply.
+// All conns from one dialer share one decision stream.
+type FaultyDialer struct {
+	r *roller
+}
+
+// NewFaultyDialer builds a dialer with the given fault plan (DupPerMille is
+// meaningless for byte streams and ignored).
+func NewFaultyDialer(f Faults) *FaultyDialer {
+	return &FaultyDialer{r: newRoller(f)}
+}
+
+// Stats returns the faults injected so far.
+func (d *FaultyDialer) Stats() FaultStats { return d.r.snapshot() }
+
+// Dial opens a TCP connection and wraps it. Its signature matches the
+// kvnet client's dial hook.
+func (d *FaultyDialer) Dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return d.Wrap(c), nil
+}
+
+// Wrap layers fault injection over an existing connection.
+func (d *FaultyDialer) Wrap(c net.Conn) net.Conn {
+	return &faultyConn{Conn: c, r: d.r}
+}
+
+type faultyConn struct {
+	net.Conn
+	r *roller
+}
+
+func (c *faultyConn) Write(b []byte) (int, error) {
+	fl := c.r.roll()
+	if fl.delay > 0 {
+		time.Sleep(fl.delay)
+	}
+	switch {
+	case fl.drop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped mid-write", ErrInjected)
+	case fl.truncate && len(b) > 1:
+		n, err := c.Conn.Write(b[:fl.cut%uint64(len(b))])
+		c.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: frame truncated after %d bytes", ErrInjected, n)
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *faultyConn) Read(b []byte) (int, error) {
+	if d := c.r.rollDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Read(b)
+}

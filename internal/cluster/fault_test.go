@@ -1,0 +1,374 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---- TCP transport robustness ----
+
+// newTCPPair builds two live TCP transports on ephemeral ports.
+func newTCPPair(t *testing.T, opts TCPOptions) [2]*TCPTransport {
+	t.Helper()
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	var trs [2]*TCPTransport
+	for r := 0; r < 2; r++ {
+		tr, err := NewTCPTransportOptions(r, addrs, NetModel{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[r] = tr
+		addrs[r] = tr.Addr()
+	}
+	for r := 0; r < 2; r++ {
+		trs[r].addrs = addrs
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	return trs
+}
+
+// tcpHeader encodes a raw frame header: from(4) tag(8) len(4).
+func tcpHeader(from uint32, tag uint64, n uint32) []byte {
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], from)
+	binary.LittleEndian.PutUint64(hdr[4:], tag)
+	binary.LittleEndian.PutUint32(hdr[12:], n)
+	return hdr
+}
+
+// TestTCPCorruptHeaderDropsConn feeds the read loop headers with an
+// oversized length and an out-of-range sender rank; both must get the
+// connection dropped (no giant allocation, no phantom rank in the mailbox)
+// while the transport keeps serving legitimate peers.
+func TestTCPCorruptHeaderDropsConn(t *testing.T) {
+	trs := newTCPPair(t, TCPOptions{})
+	for _, tc := range []struct {
+		name string
+		hdr  []byte
+	}{
+		{"oversized length", tcpHeader(1, mkTag(tagUser, 0), maxTCPFrame+1)},
+		{"sender rank out of range", tcpHeader(7, mkTag(tagUser, 0), 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := net.Dial("tcp", trs[0].Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Write(tc.hdr); err != nil {
+				t.Fatal(err)
+			}
+			// The transport must hang up on us.
+			c.SetReadDeadline(time.Now().Add(3 * time.Second))
+			if _, err := c.Read(make([]byte, 1)); err == nil || !strings.Contains(err.Error(), "EOF") {
+				t.Fatalf("corrupt header not rejected: read err = %v", err)
+			}
+		})
+	}
+	// A well-formed peer still gets through afterwards.
+	if err := trs[1].Send(0, mkTag(tagUser, 0), []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trs[0].Recv(1, mkTag(tagUser, 0))
+	if err != nil || string(got) != "still alive" {
+		t.Fatalf("transport wedged after corrupt frames: %q, %v", got, err)
+	}
+}
+
+// TestTCPStalledPeerDeadline starts a frame and never finishes it. With
+// FrameTimeout set the read loop must disconnect the stalling peer, and
+// Close (which waits for every reader goroutine) must complete — proving
+// the loop exited rather than leaking, blocked in ReadFull forever.
+func TestTCPStalledPeerDeadline(t *testing.T) {
+	trs := newTCPPair(t, TCPOptions{FrameTimeout: 150 * time.Millisecond})
+	c, err := net.Dial("tcp", trs[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Header promises 64 payload bytes; send only 8 and stall.
+	if _, err := c.Write(tcpHeader(1, mkTag(tagUser, 0), 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil || !strings.Contains(err.Error(), "EOF") {
+		t.Fatalf("stalled frame not cut off: read err = %v", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("deadline took %v to fire", waited)
+	}
+	done := make(chan error, 1)
+	go func() { done <- trs[0].Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked: reader goroutine leaked")
+	}
+}
+
+// TestTCPSendTooLarge verifies the limit is enforced on the write side too,
+// before any bytes reach the wire.
+func TestTCPSendTooLarge(t *testing.T) {
+	trs := newTCPPair(t, TCPOptions{})
+	err := trs[0].Send(1, mkTag(tagUser, 0), make([]byte, maxTCPFrame+1))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized send not refused: %v", err)
+	}
+	// The refusal must not have poisoned the connection path.
+	if err := trs[0].Send(1, mkTag(tagUser, 0), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := trs[1].Recv(0, mkTag(tagUser, 0)); err != nil || string(got) != "ok" {
+		t.Fatalf("send path broken after refusal: %q, %v", got, err)
+	}
+}
+
+// ---- FaultyTransport unit behaviour ----
+
+// recTransport records every delivered frame.
+type recTransport struct {
+	mu   sync.Mutex
+	sent [][]byte
+}
+
+func (r *recTransport) Send(to int, tag uint64, p []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sent = append(r.sent, p)
+	return nil
+}
+func (r *recTransport) Recv(from int, tag uint64) ([]byte, error) { return nil, ErrClosed }
+func (r *recTransport) Close() error                              { return nil }
+
+func (r *recTransport) delivered() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]byte(nil), r.sent...)
+}
+
+// TestFaultyTransportDrop: at 1000 per mille every frame vanishes.
+func TestFaultyTransportDrop(t *testing.T) {
+	rec := &recTransport{}
+	ft := NewFaultyTransport(rec, Faults{Seed: 1, DropPerMille: 1000})
+	for i := 0; i < 20; i++ {
+		if err := ft.Send(0, mkTag(tagUser, 0), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(rec.delivered()); n != 0 {
+		t.Fatalf("%d frames leaked through a full drop plan", n)
+	}
+	if st := ft.Stats(); st.Drops != 20 {
+		t.Fatalf("stats = %+v, want 20 drops", st)
+	}
+}
+
+// TestFaultyTransportTruncate: every delivered frame is a strict prefix.
+func TestFaultyTransportTruncate(t *testing.T) {
+	rec := &recTransport{}
+	ft := NewFaultyTransport(rec, Faults{Seed: 2, TruncatePerMille: 1000})
+	payload := []byte("0123456789abcdef")
+	for i := 0; i < 20; i++ {
+		if err := ft.Send(0, mkTag(tagUser, 0), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rec.delivered()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d frames", len(got))
+	}
+	for i, p := range got {
+		if len(p) >= len(payload) {
+			t.Fatalf("frame %d not truncated: %d bytes", i, len(p))
+		}
+		if string(p) != string(payload[:len(p)]) {
+			t.Fatalf("frame %d is not a prefix: %q", i, p)
+		}
+	}
+	if st := ft.Stats(); st.Truncates != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFaultyTransportDupSparesUserFrames: duplicates strike collective
+// frames but, by default, never the FIFO-matched user stream.
+func TestFaultyTransportDupSparesUserFrames(t *testing.T) {
+	rec := &recTransport{}
+	ft := NewFaultyTransport(rec, Faults{Seed: 3, DupPerMille: 1000})
+	if err := ft.Send(0, mkTag(tagUser, 0), []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Send(0, mkTag(tagBcast, 7), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.delivered()
+	if len(got) != 3 || string(got[0]) != "u" || string(got[1]) != "b" || string(got[2]) != "b" {
+		t.Fatalf("deliveries = %q, want [u b b]", got)
+	}
+}
+
+// TestFaultyTransportDeterminism: the same seed and call sequence must
+// yield the same fault schedule, byte for byte — a failing faulty run is
+// replayable.
+func TestFaultyTransportDeterminism(t *testing.T) {
+	run := func() ([][]byte, FaultStats) {
+		rec := &recTransport{}
+		ft := NewFaultyTransport(rec, Faults{
+			Seed:             2022,
+			DropPerMille:     200,
+			TruncatePerMille: 200,
+			DupPerMille:      200,
+			DelayPerMille:    50,
+			MaxDelay:         100 * time.Microsecond,
+		})
+		for i := 0; i < 300; i++ {
+			payload := []byte(fmt.Sprintf("frame-%03d", i))
+			if err := ft.Send(0, mkTag(tagBcast, uint64(i)), payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rec.delivered(), ft.Stats()
+	}
+	got1, st1 := run()
+	got2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats diverged: %+v vs %+v", st1, st2)
+	}
+	if st1.Drops == 0 || st1.Truncates == 0 || st1.Dups == 0 || st1.Delays == 0 {
+		t.Fatalf("plan injected nothing of some kind: %+v", st1)
+	}
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatal("delivered frame sequences diverged across identical seeds")
+	}
+}
+
+// ---- collectives under fault injection ----
+
+// TestCollectivesUnderFaults runs rounds of every collective over a fabric
+// whose sends are delayed and duplicated. Collectives tolerate duplicates
+// by construction (each round matches on a fresh sequence tag, so a stale
+// copy is never consumed) and delays only slow them down; the results must
+// stay exactly correct.
+func TestCollectivesUnderFaults(t *testing.T) {
+	const size = 8
+	var mu sync.Mutex
+	fts := make([]*FaultyTransport, size)
+	err := RunLocalWrap(size, NetModel{}, func(rank int, tr Transport) Transport {
+		ft := NewFaultyTransport(tr, Faults{
+			Seed:          uint64(rank) + 99,
+			DupPerMille:   300,
+			DelayPerMille: 100,
+			MaxDelay:      500 * time.Microsecond,
+		})
+		mu.Lock()
+		fts[rank] = ft
+		mu.Unlock()
+		return ft
+	}, func(c *Comm) error {
+		sum := func(a, b []byte) []byte {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			return PutUint64s(GetUint64s(a)[0] + GetUint64s(b)[0])
+		}
+		for round := 0; round < 40; round++ {
+			var in []byte
+			if c.Rank() == 0 {
+				in = PutUint64s(uint64(round * 17))
+			}
+			got, err := c.Bcast(0, in)
+			if err != nil {
+				return err
+			}
+			if GetUint64s(got)[0] != uint64(round*17) {
+				return fmt.Errorf("round %d: bcast = %d", round, GetUint64s(got)[0])
+			}
+			acc, err := c.Reduce(0, PutUint64s(uint64(c.Rank())), sum)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if want := uint64(size * (size - 1) / 2); GetUint64s(acc)[0] != want {
+					return fmt.Errorf("round %d: reduce = %d, want %d", round, GetUint64s(acc)[0], want)
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total FaultStats
+	for _, ft := range fts {
+		st := ft.Stats()
+		total.Dups += st.Dups
+		total.Delays += st.Delays
+	}
+	if total.Dups == 0 {
+		t.Fatalf("fault plan never fired: %+v", total)
+	}
+}
+
+// TestFaultyDialerTruncatesPrefix checks the conn-level injector writes a
+// strict prefix of the attempted write and then severs the connection.
+func TestFaultyDialerTruncatesPrefix(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recvd := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		b, _ := io.ReadAll(c)
+		recvd <- b
+	}()
+	d := NewFaultyDialer(Faults{Seed: 5, TruncatePerMille: 1000})
+	c, err := d.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("a-full-frame-of-bytes")
+	n, err := c.Write(payload)
+	if err == nil {
+		t.Fatal("truncating write reported success")
+	}
+	if n < 0 || n >= len(payload) {
+		t.Fatalf("wrote %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	got := <-recvd
+	if string(got) != string(payload[:n]) {
+		t.Fatalf("peer saw %q, want prefix %q", got, payload[:n])
+	}
+	if st := d.Stats(); st.Truncates != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -6,7 +6,24 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
+
+// maxTCPFrame bounds one message payload on the TCP transport (64 MiB).
+// The length field of an inbound frame is untrusted: without the bound, a
+// corrupt header could demand a 4 GiB allocation before a single payload
+// byte arrives.
+const maxTCPFrame = 64 << 20
+
+// TCPOptions configures the TCP transport's robustness knobs. The zero
+// value disables them (the historical behaviour).
+type TCPOptions struct {
+	// FrameTimeout bounds the I/O of one frame: on the read side, the time
+	// between a frame header arriving and its payload completing; on the
+	// write side, one Send's write call (0 = none). A peer that stalls
+	// mid-frame is disconnected instead of wedging the read loop.
+	FrameTimeout time.Duration
+}
 
 // TCPTransport is a Transport over real TCP sockets, one listener per rank.
 // It demonstrates that the distributed layer runs across genuine process
@@ -14,11 +31,14 @@ import (
 // sweeps). An optional NetModel injects additional cost at the receiver.
 //
 // Wire format per message: from(4) tag(8) len(4) payload(len), little
-// endian.
+// endian. len may not exceed maxTCPFrame and from must name a configured
+// rank; a violating frame drops the connection (it can only be corruption,
+// and resynchronizing an untagged byte stream is impossible).
 type TCPTransport struct {
 	rank  int
 	addrs []string
 	model NetModel
+	opts  TCPOptions
 
 	box      *mailbox
 	listener net.Listener
@@ -40,11 +60,17 @@ type tcpConn struct {
 // endpoint. addrs must list every rank's dialable address. Peers are dialed
 // lazily on first send.
 func NewTCPTransport(rank int, addrs []string) (*TCPTransport, error) {
-	return NewTCPTransportModel(rank, addrs, NetModel{})
+	return NewTCPTransportOptions(rank, addrs, NetModel{}, TCPOptions{})
 }
 
 // NewTCPTransportModel is NewTCPTransport with an injected cost model.
 func NewTCPTransportModel(rank int, addrs []string, model NetModel) (*TCPTransport, error) {
+	return NewTCPTransportOptions(rank, addrs, model, TCPOptions{})
+}
+
+// NewTCPTransportOptions is NewTCPTransport with a cost model and explicit
+// robustness knobs.
+func NewTCPTransportOptions(rank int, addrs []string, model NetModel, opts TCPOptions) (*TCPTransport, error) {
 	l, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("cluster: rank %d listen %s: %w", rank, addrs[rank], err)
@@ -53,6 +79,7 @@ func NewTCPTransportModel(rank int, addrs []string, model NetModel) (*TCPTranspo
 		rank:     rank,
 		addrs:    addrs,
 		model:    model,
+		opts:     opts,
 		box:      newMailbox(),
 		listener: l,
 		conns:    make(map[int]*tcpConn),
@@ -90,12 +117,25 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 	defer c.Close()
 	hdr := make([]byte, 16)
 	for {
+		// Waiting for the next header may take arbitrarily long (an idle
+		// peer); completing a started frame may not.
+		if err := c.SetReadDeadline(time.Time{}); err != nil {
+			return
+		}
 		if _, err := io.ReadFull(c, hdr); err != nil {
 			return
 		}
 		from := int(binary.LittleEndian.Uint32(hdr[0:]))
 		tag := binary.LittleEndian.Uint64(hdr[4:])
 		n := binary.LittleEndian.Uint32(hdr[12:])
+		if n > maxTCPFrame || from >= len(t.addrs) {
+			return // corrupt header: drop the connection
+		}
+		if d := t.opts.FrameTimeout; d > 0 {
+			if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+				return
+			}
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(c, payload); err != nil {
 			return
@@ -126,6 +166,9 @@ func (t *TCPTransport) conn(to int) (*tcpConn, error) {
 
 // Send implements Transport.
 func (t *TCPTransport) Send(to int, tag uint64, payload []byte) error {
+	if len(payload) > maxTCPFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds %d-byte limit", len(payload), maxTCPFrame)
+	}
 	c, err := t.conn(to)
 	if err != nil {
 		return err
@@ -136,8 +179,13 @@ func (t *TCPTransport) Send(to int, tag uint64, payload []byte) error {
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(payload)))
 	copy(buf[16:], payload)
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d := t.opts.FrameTimeout; d > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+	}
 	_, err = c.c.Write(buf)
-	c.mu.Unlock()
 	return err
 }
 

@@ -248,23 +248,35 @@ func (c *ClusterStore) Find(key, version uint64) (uint64, bool) {
 	return v, ok
 }
 
-// Tag implements kv.Store.
+// Tag implements kv.Store. Collective failures surface as version 0 — a
+// legal version number — so callers that must distinguish failure from a
+// fresh store should use TagErr.
 func (c *ClusterStore) Tag() uint64 {
+	v, _ := c.TagErr()
+	return v
+}
+
+// TagErr is Tag with collective/transport errors reported.
+func (c *ClusterStore) TagErr() (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, err := c.svc.TagAll()
-	if err != nil {
-		return 0
-	}
-	return v
+	return c.svc.TagAll()
 }
 
 // CurrentVersion implements kv.Store (all ranks are in lockstep; rank 0's
 // counter is authoritative).
 func (c *ClusterStore) CurrentVersion() uint64 {
+	v, _ := c.CurrentVersionErr()
+	return v
+}
+
+// CurrentVersionErr is CurrentVersion with errors reported, mirroring the
+// kvnet client so both remote store flavours expose the same error-aware
+// surface (rank 0's counter is local today, so this cannot currently fail).
+func (c *ClusterStore) CurrentVersionErr() (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.svc.store.CurrentVersion()
+	return c.svc.store.CurrentVersion(), nil
 }
 
 // ExtractSnapshot implements kv.Store (OptMerge).

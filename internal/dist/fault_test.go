@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/storetest"
+)
+
+// launchFaultyCluster is launchCluster over a fabric whose sends are
+// delayed and duplicated deterministically. Drops and truncations are
+// deliberately excluded: the transport contract promises reliable ordered
+// delivery (as MPI does), so a vanished frame would rightly deadlock a
+// collective — the robustness claim under test is that the layers above
+// survive everything a reliable-but-slow network can produce.
+// DupUserFrames stays off because the write-routing protocol matches acks
+// FIFO by (from, tag); see the Faults doc.
+func launchFaultyCluster(t *testing.T, size int, fts []*cluster.FaultyTransport) kv.Store {
+	t.Helper()
+	ready := make(chan *ClusterStore, 1)
+	released := make(chan struct{})
+	done := make(chan error, 1)
+	wrap := func(rank int, tr cluster.Transport) cluster.Transport {
+		ft := cluster.NewFaultyTransport(tr, cluster.Faults{
+			Seed:          2022 + uint64(rank),
+			DupPerMille:   200,
+			DelayPerMille: 30,
+			MaxDelay:      300 * time.Microsecond,
+		})
+		fts[rank] = ft
+		return ft
+	}
+	go func() {
+		done <- cluster.RunLocalWrap(size, cluster.NetModel{}, wrap, func(c *cluster.Comm) error {
+			st := eskiplist.New()
+			defer st.Close()
+			svc := New(c, st, 2)
+			if c.Rank() != 0 {
+				return svc.ServeAll()
+			}
+			ready <- NewClusterStore(svc)
+			<-released
+			return nil
+		})
+	}()
+	cs := <-ready
+	return &clusterHandle{ClusterStore: cs, done: func() chan error {
+		ch := make(chan error, 1)
+		go func() { ch <- <-done }()
+		close(released)
+		return ch
+	}()}
+}
+
+// TestClusterStoreConformanceFaulty runs the full conformance suite with
+// every rank's transport injecting duplicate deliveries and delays. The
+// collectives' fresh-sequence tags make duplicates invisible, so the
+// cluster must behave exactly like a clean one.
+func TestClusterStoreConformanceFaulty(t *testing.T) {
+	const size = 4
+	fts := make([]*cluster.FaultyTransport, size)
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		return launchFaultyCluster(t, size, fts)
+	})
+	var dups int
+	for _, ft := range fts {
+		if ft != nil {
+			dups += ft.Stats().Dups
+		}
+	}
+	if dups == 0 {
+		t.Fatal("fault plan never injected a duplicate; the test proved nothing")
+	}
+}

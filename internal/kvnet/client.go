@@ -1,20 +1,66 @@
 package kvnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mvkv/internal/kv"
 )
 
+// Options configures a Client. The zero value gives the historical
+// behaviour: 16 pooled connections, no deadlines, a small retry budget.
+type Options struct {
+	// MaxConns bounds the connection pool (0 = 16).
+	MaxConns int
+	// DialTimeout bounds each TCP dial (0 = 5s, <0 = none).
+	DialTimeout time.Duration
+	// CallTimeout bounds the I/O of one request/response exchange: write
+	// plus read must finish within it (0 = none). Expiry surfaces as a
+	// net.Error timeout and the connection is discarded.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a failed call is retried on a fresh
+	// connection (0 = 3, <0 = never). Retries apply to every operation
+	// whose request never made it onto the wire, but only to idempotent
+	// operations once the request was fully written (see the package
+	// comment); server-reported errors are never retried.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling on each
+	// subsequent one (0 = 5ms).
+	RetryBackoff time.Duration
+	// Dial overrides connection establishment (tests inject faulty
+	// connections through it; TLS or unix-socket dialers also fit). nil =
+	// net.DialTimeout("tcp", addr, DialTimeout).
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 16
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	return o
+}
+
 // Client is a kv.Store backed by a remote Server. Methods are safe for
 // concurrent use: each in-flight request borrows a pooled connection, so
 // concurrent callers get the same parallelism they would against a local
-// store (bounded by MaxConns).
+// store (bounded by Options.MaxConns).
 type Client struct {
-	addr     string
-	maxConns int
+	addr string
+	opts Options
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -26,22 +72,29 @@ type Client struct {
 // Dial connects to a server. maxConns bounds the connection pool
 // (0 = default 16).
 func Dial(addr string, maxConns int) (*Client, error) {
-	if maxConns <= 0 {
-		maxConns = 16
-	}
-	c := &Client{addr: addr, maxConns: maxConns}
+	return DialOptions(addr, Options{MaxConns: maxConns})
+}
+
+// DialOptions connects to a server with explicit deadline/retry knobs.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
 	c.cond = sync.NewCond(&c.mu)
-	// Validate reachability eagerly.
-	conn, err := c.acquire()
-	if err != nil {
+	// Validate reachability eagerly (retried like any idempotent call).
+	if _, err := c.call(opPing, nil); err != nil {
 		return nil, err
 	}
-	if _, err := c.roundTrip(conn, opPing, nil); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	c.release(conn)
 	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	if c.opts.Dial != nil {
+		return c.opts.Dial(c.addr)
+	}
+	d := c.opts.DialTimeout
+	if d < 0 {
+		d = 0 // net.DialTimeout treats 0 as no timeout
+	}
+	return net.DialTimeout("tcp", c.addr, d)
 }
 
 func (c *Client) acquire() (net.Conn, error) {
@@ -57,10 +110,10 @@ func (c *Client) acquire() (net.Conn, error) {
 			c.mu.Unlock()
 			return conn, nil
 		}
-		if c.nconns < c.maxConns {
+		if c.nconns < c.opts.MaxConns {
 			c.nconns++
 			c.mu.Unlock()
-			conn, err := net.Dial("tcp", c.addr)
+			conn, err := c.dial()
 			if err != nil {
 				c.mu.Lock()
 				c.nconns--
@@ -95,37 +148,112 @@ func (c *Client) discard(conn net.Conn) {
 	c.mu.Unlock()
 }
 
-func (c *Client) roundTrip(conn net.Conn, op byte, payload []byte) ([]byte, error) {
+// roundTrip runs one exchange under the per-call deadline. sent reports
+// whether the request frame was fully written — the retry loop uses it to
+// decide whether a mutating operation is still safe to retry.
+func (c *Client) roundTrip(conn net.Conn, op byte, payload []byte) (resp []byte, sent bool, err error) {
+	if t := c.opts.CallTimeout; t > 0 {
+		if err := conn.SetDeadline(time.Now().Add(t)); err != nil {
+			return nil, false, err
+		}
+	}
 	if err := writeFrame(conn, op, payload); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	status, resp, err := readFrame(conn)
 	if err != nil {
-		return nil, err
+		return nil, true, err
+	}
+	if t := c.opts.CallTimeout; t > 0 {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			return nil, true, err
+		}
 	}
 	if status == statusErr {
-		return nil, &serverError{msg: fmt.Sprintf("kvnet: server: %s", resp)}
+		return nil, true, &serverError{msg: fmt.Sprintf("kvnet: server: %s", resp)}
 	}
-	return resp, nil
+	return resp, true, nil
 }
 
-// call runs one request on a pooled connection.
+// idempotent reports whether op may be retried after its request reached
+// the server: read-only operations are; Insert/Remove/Tag mutate state.
+func idempotent(op byte) bool {
+	switch op {
+	case opFind, opCurrentVersion, opSnapshot, opRange, opHistory, opLen, opPing:
+		return true
+	}
+	return false
+}
+
+// call runs one request on a pooled connection, transparently redialing and
+// retrying recoverable failures with exponential backoff.
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(op, payload)
+		if err == nil {
+			return resp, nil
+		}
+		var retryable bool
+		switch e := err.(type) {
+		case *serverError:
+			// The server processed the request and said no: definitive.
+			return nil, err
+		case *attemptError:
+			retryable = !e.sent || idempotent(op)
+			if !retryable {
+				return nil, fmt.Errorf("%w: %w", ErrUnknownOutcome, e.err)
+			}
+			err = e.err
+		default:
+			return nil, err // client closed, oversized frame, ...
+		}
+		if attempt >= c.opts.MaxRetries {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// attemptError is a transport failure of one attempt, tagged with whether
+// the request frame had been fully written when it happened.
+type attemptError struct {
+	err  error
+	sent bool
+}
+
+func (e *attemptError) Error() string { return e.err.Error() }
+func (e *attemptError) Unwrap() error { return e.err }
+
+func (c *Client) attempt(op byte, payload []byte) ([]byte, error) {
 	conn, err := c.acquire()
 	if err != nil {
-		return nil, err
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, err // not retryable
+		}
+		return nil, &attemptError{err: err} // dial failure: nothing sent
 	}
-	resp, err := c.roundTrip(conn, op, payload)
+	// Refuse oversized requests before touching the wire: the connection
+	// is still healthy, and no amount of retrying would help.
+	if len(payload) > maxFrame {
+		c.release(conn)
+		return nil, fmt.Errorf("%w (request of %d bytes)", ErrFrameTooLarge, len(payload))
+	}
+	resp, sent, err := c.roundTrip(conn, op, payload)
 	if err != nil {
 		// Distinguish server-reported errors (stream still healthy) from
 		// transport failures: roundTrip only returns the former as
-		// "kvnet: server:" errors, which keep the connection usable.
+		// *serverError, which keeps the connection usable.
 		if _, isServerErr := err.(*serverError); isServerErr {
 			c.release(conn)
-		} else {
-			c.discard(conn)
+			return nil, err
 		}
-		return nil, err
+		c.discard(conn)
+		return nil, &attemptError{err: err, sent: sent}
 	}
 	c.release(conn)
 	return resp, nil
@@ -162,66 +290,122 @@ func (c *Client) FindErr(key, version uint64) (uint64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
+	if err := wantWords(resp, 2); err != nil {
+		return 0, false, err
+	}
 	return u64at(resp, 1), u64at(resp, 0) != 0, nil
 }
 
-// Tag implements kv.Store.
+// Tag implements kv.Store. Transport errors surface as version 0; use
+// TagErr when the distinction matters (0 is a legal version number).
 func (c *Client) Tag() uint64 {
-	resp, err := c.call(opTag, nil)
-	if err != nil {
-		return 0
-	}
-	return u64at(resp, 0)
+	v, _ := c.TagErr()
+	return v
 }
 
-// CurrentVersion implements kv.Store.
+// TagErr is Tag with transport errors reported.
+func (c *Client) TagErr() (uint64, error) {
+	return c.oneWord(opTag)
+}
+
+// CurrentVersion implements kv.Store. Transport errors surface as version
+// 0; use CurrentVersionErr when the distinction matters.
 func (c *Client) CurrentVersion() uint64 {
-	resp, err := c.call(opCurrentVersion, nil)
-	if err != nil {
-		return 0
-	}
-	return u64at(resp, 0)
+	v, _ := c.CurrentVersionErr()
+	return v
 }
 
-// ExtractSnapshot implements kv.Store.
+// CurrentVersionErr is CurrentVersion with transport errors reported.
+func (c *Client) CurrentVersionErr() (uint64, error) {
+	return c.oneWord(opCurrentVersion)
+}
+
+// oneWord runs a no-payload request whose response is a single u64.
+func (c *Client) oneWord(op byte) (uint64, error) {
+	resp, err := c.call(op, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := wantWords(resp, 1); err != nil {
+		return 0, err
+	}
+	return u64at(resp, 0), nil
+}
+
+// ExtractSnapshot implements kv.Store. Transport errors surface as an empty
+// snapshot; use ExtractSnapshotErr when the distinction matters.
 func (c *Client) ExtractSnapshot(version uint64) []kv.KV {
+	pairs, _ := c.ExtractSnapshotErr(version)
+	return pairs
+}
+
+// ExtractSnapshotErr is ExtractSnapshot with transport errors reported.
+func (c *Client) ExtractSnapshotErr(version uint64) ([]kv.KV, error) {
 	resp, err := c.call(opSnapshot, putU64s(nil, version))
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	return decodePairs(resp)
 }
 
-// ExtractRange implements kv.Store.
+// ExtractRange implements kv.Store. Transport errors surface as an empty
+// result; use ExtractRangeErr when the distinction matters.
 func (c *Client) ExtractRange(lo, hi, version uint64) []kv.KV {
+	pairs, _ := c.ExtractRangeErr(lo, hi, version)
+	return pairs
+}
+
+// ExtractRangeErr is ExtractRange with transport errors reported.
+func (c *Client) ExtractRangeErr(lo, hi, version uint64) ([]kv.KV, error) {
 	resp, err := c.call(opRange, putU64s(nil, lo, hi, version))
 	if err != nil {
-		return nil
+		return nil, err
 	}
 	return decodePairs(resp)
 }
 
-// ExtractHistory implements kv.Store.
+// ExtractHistory implements kv.Store. Transport errors surface as an empty
+// history; use ExtractHistoryErr when the distinction matters.
 func (c *Client) ExtractHistory(key uint64) []kv.Event {
+	evs, _ := c.ExtractHistoryErr(key)
+	return evs
+}
+
+// ExtractHistoryErr is ExtractHistory with transport errors reported.
+func (c *Client) ExtractHistoryErr(key uint64) ([]kv.Event, error) {
 	resp, err := c.call(opHistory, putU64s(nil, key))
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	n := int(u64at(resp, 0))
+	n, err := countedWords(resp, 2)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]kv.Event, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, kv.Event{Version: u64at(resp, 1+2*i), Value: u64at(resp, 2+2*i)})
 	}
-	return out
+	return out, nil
 }
 
-// Len implements kv.Store.
+// Len implements kv.Store. Transport errors surface as 0; use LenErr when
+// the distinction matters.
 func (c *Client) Len() int {
-	resp, err := c.call(opLen, nil)
-	if err != nil {
-		return 0
-	}
-	return int(u64at(resp, 0))
+	n, _ := c.LenErr()
+	return n
+}
+
+// LenErr is Len with transport errors reported.
+func (c *Client) LenErr() (int, error) {
+	n, err := c.oneWord(opLen)
+	return int(n), err
+}
+
+// Ping round-trips an empty frame, verifying the server is reachable and
+// responsive within the configured deadline.
+func (c *Client) Ping() error {
+	_, err := c.call(opPing, nil)
+	return err
 }
 
 // Close implements kv.Store: it closes the client's connections; the
@@ -243,13 +427,25 @@ func (c *Client) Close() error {
 	return nil
 }
 
-func decodePairs(p []byte) []kv.KV {
-	n := int(u64at(p, 0))
+// decodePairs decodes a counted (key, value) response, validating the
+// count word against the bytes actually received.
+func decodePairs(p []byte) ([]kv.KV, error) {
+	n, err := countedWords(p, 2)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]kv.KV, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, kv.KV{Key: u64at(p, 1+2*i), Value: u64at(p, 2+2*i)})
 	}
-	return out
+	return out, nil
 }
 
 var _ kv.Store = (*Client)(nil)
+
+// IsTimeout reports whether err is a deadline expiry (a net.Error timeout),
+// as produced by Options.CallTimeout or the server-side deadlines.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,521 @@
+package kvnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/storetest"
+)
+
+// ---- helpers ----
+
+// rawFrame builds the bytes of one response frame with an arbitrary
+// (possibly lying) length prefix.
+func rawFrame(declaredLen uint32, status byte, payload []byte) []byte {
+	b := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(b, declaredLen)
+	b[4] = status
+	copy(b[5:], payload)
+	return b
+}
+
+// okFrame is a well-formed status-OK response.
+func okFrame(payload []byte) []byte {
+	return rawFrame(uint32(len(payload)), statusOK, payload)
+}
+
+// rawServer accepts connections and answers each request frame via respond;
+// a nil return closes the connection without responding (lost response),
+// and hangUp additionally closes it right after writing (truncated frames).
+func rawServer(t *testing.T, respond func(op byte, req []byte) (raw []byte, hangUp bool)) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					op, req, err := readFrame(c)
+					if err != nil {
+						return
+					}
+					raw, hangUp := respond(op, req)
+					if raw == nil {
+						return
+					}
+					if _, err := c.Write(raw); err != nil || hangUp {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// dialNoRetry connects a client with retries disabled so each malformed
+// response surfaces directly.
+func dialNoRetry(t *testing.T, addr string) *Client {
+	t.Helper()
+	cl, err := DialOptions(addr, Options{MaxConns: 1, MaxRetries: -1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// ---- malformed responses: the client must never panic ----
+
+// TestClientMalformedResponses feeds the client a corpus of malformed
+// frames — short fixed payloads, lying count words, oversized length
+// prefixes, truncated headers and payloads — and asserts every decode
+// returns a typed error instead of panicking.
+func TestClientMalformedResponses(t *testing.T) {
+	cases := []struct {
+		name string
+		resp []byte // served for every non-ping op
+		call func(c *Client) error
+		want error // sentinel the surfaced error must wrap, nil = any error
+	}{
+		{
+			name: "find short payload",
+			resp: okFrame(putU64s(nil, 1)), // 8 bytes, want 16
+			call: func(c *Client) error { _, _, err := c.FindErr(1, 2); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "tag empty payload",
+			resp: okFrame(nil),
+			call: func(c *Client) error { _, err := c.TagErr(); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "current version ragged payload",
+			resp: okFrame(make([]byte, 5)),
+			call: func(c *Client) error { _, err := c.CurrentVersionErr(); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "len oversized payload",
+			resp: okFrame(putU64s(nil, 1, 2, 3)),
+			call: func(c *Client) error { _, err := c.LenErr(); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "snapshot lying count word",
+			resp: okFrame(putU64s(nil, 5, 10, 20)), // claims 5 pairs, carries 1
+			call: func(c *Client) error { _, err := c.ExtractSnapshotErr(0); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "snapshot missing count word",
+			resp: okFrame(make([]byte, 4)),
+			call: func(c *Client) error { _, err := c.ExtractSnapshotErr(0); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "range lying count word",
+			resp: okFrame(putU64s(nil, 2, 1, 1)),
+			call: func(c *Client) error { _, err := c.ExtractRangeErr(0, 9, 0); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "history astronomical count",
+			resp: okFrame(putU64s(nil, 1<<60, 7, 8)),
+			call: func(c *Client) error { _, err := c.ExtractHistoryErr(1); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "oversized length prefix",
+			resp: rawFrame(maxFrame+1, statusOK, nil),
+			call: func(c *Client) error { _, err := c.TagErr(); return err },
+			want: ErrFrameTooLarge,
+		},
+		{
+			name: "truncated header",
+			resp: []byte{1, 2, 3}, // then the server closes the connection
+			call: func(c *Client) error { _, err := c.TagErr(); return err },
+		},
+		{
+			name: "truncated payload",
+			resp: rawFrame(16, statusOK, putU64s(nil, 1)), // claims 16, sends 8
+			call: func(c *Client) error { _, _, err := c.FindErr(1, 2); return err },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Frames shorter than their declared length are written and
+			// then the connection is closed, so the client sees EOF rather
+			// than waiting out its deadline.
+			incomplete := len(tc.resp) < 5 || len(tc.resp) < 5+int(binary.LittleEndian.Uint32(tc.resp))
+			addr := rawServer(t, func(op byte, req []byte) ([]byte, bool) {
+				if op == opPing {
+					return okFrame(nil), false
+				}
+				return tc.resp, incomplete
+			})
+			cl := dialNoRetry(t, addr)
+			err := tc.call(cl)
+			if err == nil {
+				t.Fatal("malformed response decoded without error")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not wrap %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// ---- malformed requests: the server must never panic or die ----
+
+// TestServerMalformedRequests throws a corpus of malformed request frames
+// at a live server — truncated headers, truncated payloads, oversized
+// length prefixes, unknown opcodes, wrong-size payloads — and asserts the
+// server survives each one and keeps serving well-formed clients.
+func TestServerMalformedRequests(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+
+	send := func(t *testing.T, raw []byte) (status byte, resp []byte, err error) {
+		t.Helper()
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		return readFrame(c)
+	}
+
+	reqFrame := func(op byte, payload []byte) []byte {
+		b := make([]byte, 5+len(payload))
+		binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+		b[4] = op
+		copy(b[5:], payload)
+		return b
+	}
+
+	t.Run("truncated header", func(t *testing.T) {
+		if _, _, err := send(t, []byte{9, 0}); err == nil {
+			t.Fatal("server answered a 2-byte header")
+		} // server just drops us: EOF
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		raw := reqFrame(opFind, putU64s(nil, 1, 2))[:12] // header says 16 bytes, send 7
+		if _, _, err := send(t, raw); err == nil {
+			t.Fatal("server answered a truncated frame")
+		}
+	})
+	t.Run("oversized length prefix", func(t *testing.T) {
+		if _, _, err := send(t, rawFrame(maxFrame+1, opFind, nil)); err == nil {
+			t.Fatal("server accepted an oversized frame")
+		}
+	})
+	t.Run("unknown opcode", func(t *testing.T) {
+		status, resp, err := send(t, reqFrame(99, nil))
+		if err != nil || status != statusErr || !strings.Contains(string(resp), "unknown opcode") {
+			t.Fatalf("status=%d resp=%q err=%v", status, resp, err)
+		}
+	})
+	for _, tc := range []struct {
+		name string
+		op   byte
+		n    int // payload bytes, all wrong for the op
+	}{
+		{"find wrong size", opFind, 7},
+		{"insert wrong size", opInsert, 8},
+		{"remove wrong size", opRemove, 0},
+		{"tag with payload", opTag, 8},
+		{"snapshot wrong size", opSnapshot, 3},
+		{"range wrong size", opRange, 16},
+		{"history wrong size", opHistory, 16},
+		{"len with payload", opLen, 1},
+		{"current version with payload", opCurrentVersion, 24},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, resp, err := send(t, reqFrame(tc.op, make([]byte, tc.n)))
+			if err != nil || status != statusErr || !strings.Contains(string(resp), "malformed") {
+				t.Fatalf("status=%d resp=%q err=%v", status, resp, err)
+			}
+		})
+	}
+
+	// After the whole corpus the server still serves a normal client.
+	cl, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := cl.Find(1, cl.Tag()); !ok || v != 10 {
+		t.Fatalf("post-corpus find: %d,%v", v, ok)
+	}
+}
+
+// ---- deadlines: a stalled peer can never wedge a goroutine ----
+
+// TestClientDeadlineOnStalledServer dials a listener that accepts and then
+// never responds: the call must fail with a timeout within the configured
+// deadline instead of hanging forever.
+func TestClientDeadlineOnStalledServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			_, _ = io.Copy(io.Discard, c) // swallow requests, answer nothing
+		}
+	}()
+
+	start := time.Now()
+	_, err = DialOptions(l.Addr().String(), Options{
+		MaxConns: 1, MaxRetries: 1, CallTimeout: 150 * time.Millisecond, RetryBackoff: time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a mute server succeeded")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestServerDeadlineOnStalledClient sends a request header and then stalls:
+// with ReadTimeout set, the server must drop the connection (observed as
+// EOF on our end) instead of parking its handler goroutine forever. Server
+// Close waiting on its handler WaitGroup below proves no goroutine leaked.
+func TestServerDeadlineOnStalledClient(t *testing.T) {
+	backing := eskiplist.New()
+	defer backing.Close()
+	srv, err := ServeOptions(backing, "127.0.0.1:0", ServerOptions{ReadTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Header claims a 64-byte payload that never comes.
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, 64)
+	hdr[4] = opFind
+	if _, err := c.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server responded to a half-sent frame")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("server held the stalled connection for %v", elapsed)
+	}
+	// Close blocks on the handler WaitGroup: it returning promptly proves
+	// the stalled handler goroutine exited rather than leaking.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close hung: handler goroutine leaked")
+	}
+}
+
+// ---- retries ----
+
+// TestRetryAfterResponseLoss kills the connection after reading an
+// idempotent request (the response is lost); the client must transparently
+// reconnect and retry until it succeeds.
+func TestRetryAfterResponseLoss(t *testing.T) {
+	var losses atomic.Int32
+	losses.Store(2) // lose the first two Find responses
+	addr := rawServer(t, func(op byte, req []byte) ([]byte, bool) {
+		switch op {
+		case opPing:
+			return okFrame(nil), false
+		case opFind:
+			if losses.Add(-1) >= 0 {
+				return nil, false // read the request, close without responding
+			}
+			return okFrame(putU64s(nil, 1, 777)), false
+		}
+		return nil, false
+	})
+	cl, err := DialOptions(addr, Options{MaxConns: 1, MaxRetries: 4, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	v, ok, err := cl.FindErr(5, 1)
+	if err != nil || !ok || v != 777 {
+		t.Fatalf("FindErr after response loss: %d,%v,%v", v, ok, err)
+	}
+	if losses.Load() >= 0 {
+		t.Fatal("server did not observe the retries")
+	}
+}
+
+// TestMutationUnknownOutcome loses an Insert response: the client must NOT
+// retry (the server may have applied it) and must surface
+// ErrUnknownOutcome, and the server must have seen exactly one attempt.
+func TestMutationUnknownOutcome(t *testing.T) {
+	var inserts atomic.Int32
+	addr := rawServer(t, func(op byte, req []byte) ([]byte, bool) {
+		switch op {
+		case opPing:
+			return okFrame(nil), false
+		case opInsert:
+			inserts.Add(1)
+			return nil, false // response lost
+		}
+		return okFrame(nil), false
+	})
+	cl, err := DialOptions(addr, Options{MaxConns: 1, MaxRetries: 5, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Insert(1, 2)
+	if !errors.Is(err, ErrUnknownOutcome) {
+		t.Fatalf("want ErrUnknownOutcome, got %v", err)
+	}
+	if got := inserts.Load(); got != 1 {
+		t.Fatalf("server saw %d insert attempts, want exactly 1", got)
+	}
+}
+
+// TestOversizedResponseReportedInBand serves a store whose snapshot exceeds
+// the frame limit: the server must refuse to emit the frame and report the
+// limit violation as an in-band error (healthy connection) instead of
+// shipping 64 MiB only for the client to kill the connection.
+func TestOversizedResponseReportedInBand(t *testing.T) {
+	srv, err := Serve(hugeStore{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := DialOptions(srv.Addr(), Options{MaxConns: 1, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, err = cl.ExtractSnapshotErr(0)
+	if err == nil || !strings.Contains(err.Error(), "exceeds 64 MiB limit") {
+		t.Fatalf("oversized snapshot error: %v", err)
+	}
+	// The connection survived the refusal.
+	if _, err := cl.LenErr(); err != nil {
+		t.Fatalf("connection unusable after oversize refusal: %v", err)
+	}
+}
+
+// TestOversizedRequestRefusedClientSide: the client refuses to write an
+// oversized request without burning the pooled connection.
+func TestOversizedRequestRefused(t *testing.T) {
+	if err := writeFrame(io.Discard, statusOK, make([]byte, maxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("writeFrame accepted an oversized payload: %v", err)
+	}
+}
+
+// hugeStore is a stub whose snapshot encodes past the frame limit.
+type hugeStore struct{}
+
+func (hugeStore) Insert(k, v uint64) error        { return nil }
+func (hugeStore) Remove(k uint64) error           { return nil }
+func (hugeStore) Find(k, v uint64) (uint64, bool) { return 0, false }
+func (hugeStore) Tag() uint64                     { return 0 }
+func (hugeStore) CurrentVersion() uint64          { return 0 }
+func (hugeStore) ExtractSnapshot(v uint64) []kv.KV {
+	return make([]kv.KV, maxFrame/16+1) // encodes to 8 + 64Mi+16 bytes
+}
+func (hugeStore) ExtractHistory(k uint64) []kv.Event    { return nil }
+func (hugeStore) ExtractRange(lo, hi, v uint64) []kv.KV { return nil }
+func (hugeStore) Len() int                              { return 0 }
+func (hugeStore) Close() error                          { return nil }
+
+// ---- conformance over an unreliable network ----
+
+// TestConformanceOverFaultyTCP runs the full store conformance suite over a
+// kvnet client whose connections deterministically drop, truncate and delay
+// frames (MT19937-seeded), with retries enabled: the remote store must be
+// indistinguishable from a local one even on a lossy network. Faults strike
+// the request path only, so mutations stay exactly-once (see
+// cluster.FaultyDialer).
+func TestConformanceOverFaultyTCP(t *testing.T) {
+	dialer := cluster.NewFaultyDialer(cluster.Faults{
+		Seed:             2022,
+		DropPerMille:     10,
+		TruncatePerMille: 10,
+		DelayPerMille:    5,
+		MaxDelay:         time.Millisecond,
+	})
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		backing := eskiplist.New()
+		srv, err := ServeOptions(backing, "127.0.0.1:0", ServerOptions{
+			ReadTimeout:  time.Second,
+			WriteTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close(); backing.Close() })
+		cl, err := DialOptions(srv.Addr(), Options{
+			MaxConns:     8,
+			MaxRetries:   8,
+			RetryBackoff: time.Millisecond,
+			CallTimeout:  5 * time.Second,
+			Dial:         dialer.Dial,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	})
+	st := dialer.Stats()
+	if st.Drops == 0 || st.Truncates == 0 {
+		t.Fatalf("fault injection never fired: %+v", st)
+	}
+	t.Logf("faults injected: %+v", st)
+}

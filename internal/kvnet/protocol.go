@@ -15,12 +15,39 @@
 //	response: len(u32) status(u8) payload      status 0=ok, 1=error(payload=message)
 //
 // Payloads are sequences of u64 words except where noted.
+//
+// # Robustness
+//
+// The wire path is hardened against the failures real networks produce:
+//
+//   - Limits: a frame payload may not exceed MaxFrame (64 MiB, ~4M pairs).
+//     The limit is enforced on both sides — writers refuse to emit an
+//     oversized frame (ErrFrameTooLarge) instead of having the peer kill
+//     the connection after the bytes were already shipped, and readers
+//     refuse to allocate buffers from a corrupt length prefix.
+//   - Decoding: every response decode is bounds-checked. Short or lying
+//     payloads surface as errors wrapping ErrMalformedResponse; they never
+//     panic and never silently mis-parse.
+//   - Deadlines: ServerOptions carries per-request read/write deadlines
+//     (plus an optional idle timeout), Options.CallTimeout bounds each
+//     client call, so a stalled peer can never wedge a goroutine forever.
+//     Deadline expiries surface as net.Error timeouts.
+//   - Retries: the client transparently redials and retries failed calls
+//     with exponential backoff (Options.MaxRetries/RetryBackoff). A request
+//     whose write never completed is safe to retry for every operation; once
+//     a request has been fully written, only idempotent operations (Find,
+//     CurrentVersion, Snapshot, Range, History, Len, Ping) are retried —
+//     mutating operations (Insert, Remove, Tag) surface ErrUnknownOutcome
+//     instead of risking a double apply.
 package kvnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"net"
+	"time"
 )
 
 // Operation codes.
@@ -42,11 +69,33 @@ const (
 	statusErr = 1
 )
 
-// maxFrame bounds a frame (16 MiB of payload covers ~1M pairs).
-const maxFrame = 64 << 20
+// MaxFrame bounds a frame payload: 64 MiB covers a ~4M-pair snapshot
+// response. Enforced by writers (ErrFrameTooLarge) and readers alike.
+const MaxFrame = 64 << 20
 
-// writeFrame sends one tagged frame.
+// maxFrame is the internal alias kept for brevity.
+const maxFrame = MaxFrame
+
+// ErrFrameTooLarge reports a frame exceeding MaxFrame, on either side of
+// the wire.
+var ErrFrameTooLarge = errors.New("kvnet: frame exceeds 64 MiB limit")
+
+// ErrMalformedResponse reports a response whose payload does not decode:
+// too short, too long, or with a count word that disagrees with the bytes
+// actually present.
+var ErrMalformedResponse = errors.New("kvnet: malformed response")
+
+// ErrUnknownOutcome reports a mutating request (Insert, Remove, Tag) that
+// was fully written but whose response was lost: the server may or may not
+// have applied it, so the client refuses to retry.
+var ErrUnknownOutcome = errors.New("kvnet: mutation outcome unknown")
+
+// writeFrame sends one tagged frame, refusing oversized payloads before any
+// byte hits the wire (so the connection stays usable after the error).
 func writeFrame(w io.Writer, tag byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w (writing %d bytes)", ErrFrameTooLarge, len(payload))
+	}
 	hdr := make([]byte, 5)
 	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
 	hdr[4] = tag
@@ -68,10 +117,45 @@ func readFrame(r io.Reader) (tag byte, payload []byte, err error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr)
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("kvnet: frame of %d bytes exceeds limit", n)
+		return 0, nil, fmt.Errorf("%w (header claims %d bytes)", ErrFrameTooLarge, n)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// readFrameConn is readFrame over a real connection with two deadlines: the
+// frame header may take up to idle to arrive (0 = wait forever), but once it
+// has, the rest of the frame must arrive within per (0 = no bound). This is
+// what lets a server keep pooled idle connections open indefinitely while
+// still unblocking from a peer that stalls mid-frame.
+func readFrameConn(c net.Conn, idle, per time.Duration) (tag byte, payload []byte, err error) {
+	if idle > 0 {
+		if err := c.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return 0, nil, err
+		}
+	} else {
+		if err := c.SetReadDeadline(time.Time{}); err != nil {
+			return 0, nil, err
+		}
+	}
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w (header claims %d bytes)", ErrFrameTooLarge, n)
+	}
+	if per > 0 {
+		if err := c.SetReadDeadline(time.Now().Add(per)); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(c, payload); err != nil {
 		return 0, nil, err
 	}
 	return hdr[4], payload, nil
@@ -88,4 +172,29 @@ func putU64s(dst []byte, vals ...uint64) []byte {
 
 func u64at(p []byte, i int) uint64 {
 	return binary.LittleEndian.Uint64(p[8*i:])
+}
+
+// wantWords validates that a response payload holds exactly n u64 words.
+func wantWords(resp []byte, n int) error {
+	if len(resp) != 8*n {
+		return fmt.Errorf("%w: got %d bytes, want %d", ErrMalformedResponse, len(resp), 8*n)
+	}
+	return nil
+}
+
+// countedWords validates a counted response (count(u64) then count records of
+// recWords u64s each) and returns the record count.
+func countedWords(resp []byte, recWords int) (int, error) {
+	if len(resp) < 8 {
+		return 0, fmt.Errorf("%w: %d bytes, count word missing", ErrMalformedResponse, len(resp))
+	}
+	n := u64at(resp, 0)
+	rec := 8 * uint64(recWords)
+	if n > uint64(maxFrame)/rec {
+		return 0, fmt.Errorf("%w: count %d exceeds frame limit", ErrMalformedResponse, n)
+	}
+	if uint64(len(resp)-8) != n*rec {
+		return 0, fmt.Errorf("%w: count %d but %d payload bytes", ErrMalformedResponse, n, len(resp)-8)
+	}
+	return int(n), nil
 }

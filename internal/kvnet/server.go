@@ -5,9 +5,24 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mvkv/internal/kv"
 )
+
+// ServerOptions configures the server's per-connection deadlines. The zero
+// value disables them all (the historical behaviour).
+type ServerOptions struct {
+	// ReadTimeout bounds the time between a request header arriving and
+	// the full request frame being read (0 = none). It unblocks the
+	// handler goroutine from a peer that stalls mid-frame.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response frame (0 = none).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds the wait for the next request header on an idle
+	// connection (0 = wait forever, which pooled clients rely on).
+	IdleTimeout time.Duration
+}
 
 // Server exposes a kv.Store over TCP. Requests on one connection are
 // handled sequentially; clients open several connections for parallelism
@@ -15,6 +30,7 @@ import (
 type Server struct {
 	store    kv.Store
 	listener net.Listener
+	opts     ServerOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -26,11 +42,16 @@ type Server struct {
 // once the listener is ready. Close stops it; the store itself is not
 // closed (the caller owns it).
 func Serve(store kv.Store, addr string) (*Server, error) {
+	return ServeOptions(store, addr, ServerOptions{})
+}
+
+// ServeOptions is Serve with explicit deadline knobs.
+func ServeOptions(store kv.Store, addr string, opts ServerOptions) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvnet: listen %s: %w", addr, err)
 	}
-	s := &Server{store: store, listener: l, conns: make(map[net.Conn]struct{})}
+	s := &Server{store: store, listener: l, opts: opts, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -68,11 +89,16 @@ func (s *Server) serveConn(c net.Conn) {
 		s.mu.Unlock()
 	}()
 	for {
-		op, req, err := readFrame(c)
+		op, req, err := readFrameConn(c, s.opts.IdleTimeout, s.opts.ReadTimeout)
 		if err != nil {
-			return // connection closed or broken
+			return // connection closed, broken, oversized or stalled
 		}
 		resp, err := s.handle(op, req)
+		if t := s.opts.WriteTimeout; t > 0 {
+			if err := c.SetWriteDeadline(time.Now().Add(t)); err != nil {
+				return
+			}
+		}
 		if err != nil {
 			if werr := writeFrame(c, statusErr, []byte(err.Error())); werr != nil {
 				return
@@ -80,6 +106,14 @@ func (s *Server) serveConn(c net.Conn) {
 			continue
 		}
 		if err := writeFrame(c, statusOK, resp); err != nil {
+			// An oversized response was refused before any byte hit the
+			// wire: report it in-band so the client gets a clear error
+			// instead of a killed connection.
+			if errors.Is(err, ErrFrameTooLarge) {
+				if werr := writeFrame(c, statusErr, []byte(err.Error())); werr == nil {
+					continue
+				}
+			}
 			return
 		}
 	}
@@ -110,8 +144,14 @@ func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 		}
 		return putU64s(nil, f, v), nil
 	case opTag:
+		if len(req) != 0 {
+			return nil, errBadRequest
+		}
 		return putU64s(nil, s.store.Tag()), nil
 	case opCurrentVersion:
+		if len(req) != 0 {
+			return nil, errBadRequest
+		}
 		return putU64s(nil, s.store.CurrentVersion()), nil
 	case opSnapshot:
 		if len(req) != 8 {
@@ -134,6 +174,9 @@ func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 		}
 		return out, nil
 	case opLen:
+		if len(req) != 0 {
+			return nil, errBadRequest
+		}
 		return putU64s(nil, uint64(s.store.Len())), nil
 	case opPing:
 		return nil, nil

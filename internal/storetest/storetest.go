@@ -35,6 +35,17 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("ConcurrentReaders", func(t *testing.T) { testConcurrentReaders(t, mk) })
 }
 
+// must fails the test on a mutation error. The semantic tests route every
+// Insert/Remove through it: a store whose writes silently fail (e.g. a
+// remote store over a broken transport) must fail loudly here, not produce
+// vacuous passes on an empty store.
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func open(t *testing.T, mk Factory) kv.Store {
 	t.Helper()
 	s := mk(t)
@@ -104,11 +115,11 @@ func testInsertFindTag(t *testing.T, mk Factory) {
 
 func testRemove(t *testing.T, mk Factory) {
 	s := open(t, mk)
-	s.Insert(5, 50)
+	must(t, s.Insert(5, 50))
 	v0 := s.Tag()
-	s.Remove(5)
+	must(t, s.Remove(5))
 	v1 := s.Tag()
-	s.Insert(5, 55)
+	must(t, s.Insert(5, 55))
 	v2 := s.Tag()
 	if v, ok := s.Find(5, v0); !ok || v != 50 {
 		t.Fatalf("before remove: %d,%v", v, ok)
@@ -142,7 +153,7 @@ func testSnapshotSorted(t *testing.T, mk Factory) {
 	for i := 0; i < 2000; i++ {
 		k := rng.Uint64()
 		want[k] = k / 3
-		s.Insert(k, k/3)
+		must(t, s.Insert(k, k/3))
 	}
 	v := s.Tag()
 	snap := s.ExtractSnapshot(v)
@@ -162,14 +173,14 @@ func testSnapshotSorted(t *testing.T, mk Factory) {
 func testSnapshotTimeTravel(t *testing.T, mk Factory) {
 	s := open(t, mk)
 	// version 0: {1:10, 2:20}; version 1: {1:11, 3:30}; version 2: {3:30}
-	s.Insert(1, 10)
-	s.Insert(2, 20)
+	must(t, s.Insert(1, 10))
+	must(t, s.Insert(2, 20))
 	v0 := s.Tag()
-	s.Insert(1, 11)
-	s.Remove(2)
-	s.Insert(3, 30)
+	must(t, s.Insert(1, 11))
+	must(t, s.Remove(2))
+	must(t, s.Insert(3, 30))
 	v1 := s.Tag()
-	s.Remove(1)
+	must(t, s.Remove(1))
 	v2 := s.Tag()
 
 	check := func(v uint64, want []kv.KV) {
@@ -191,12 +202,12 @@ func testSnapshotTimeTravel(t *testing.T, mk Factory) {
 
 func testHistory(t *testing.T, mk Factory) {
 	s := open(t, mk)
-	s.Insert(7, 100)
+	must(t, s.Insert(7, 100))
 	s.Tag()
 	s.Tag() // empty version
-	s.Remove(7)
+	must(t, s.Remove(7))
 	s.Tag()
-	s.Insert(7, 300)
+	must(t, s.Insert(7, 300))
 	s.Tag()
 
 	h := s.ExtractHistory(7)
@@ -218,11 +229,11 @@ func testExtractRange(t *testing.T, mk Factory) {
 	s := open(t, mk)
 	// keys 10,20,...,100 at v0; remove 50 and update 70 at v1
 	for k := uint64(10); k <= 100; k += 10 {
-		s.Insert(k, k+1)
+		must(t, s.Insert(k, k+1))
 	}
 	v0 := s.Tag()
-	s.Remove(50)
-	s.Insert(70, 777)
+	must(t, s.Remove(50))
+	must(t, s.Insert(70, 777))
 	v1 := s.Tag()
 
 	check := func(lo, hi, ver uint64, want []kv.KV) {
@@ -274,10 +285,10 @@ func testQuickModel(t *testing.T, mk Factory) {
 			switch op % 5 {
 			case 0, 1, 2:
 				val := uint64(op>>4) + 1
-				s.Insert(key, val)
+				must(t, s.Insert(key, val))
 				log = append(log, ev{s.CurrentVersion(), key, val, false})
 			case 3:
-				s.Remove(key)
+				must(t, s.Remove(key))
 				log = append(log, ev{s.CurrentVersion(), key, 0, true})
 			case 4:
 				s.Tag()
@@ -377,9 +388,15 @@ func testConcurrentMixed(t *testing.T, mk Factory) {
 				k := base | rng.Uint64n(100)
 				switch rng.Uint64n(4) {
 				case 0:
-					s.Remove(k)
+					if err := s.Remove(k); err != nil {
+						t.Errorf("remove: %v", err)
+						return
+					}
 				default:
-					s.Insert(k, uint64(i))
+					if err := s.Insert(k, uint64(i)); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
 				}
 				if i%10 == 0 {
 					s.Tag()
@@ -427,7 +444,10 @@ func testConcurrentReaders(t *testing.T, mk Factory) {
 			for i := 0; i < 4000; i++ {
 				k := uint64((i*7 + w*3) % keys)
 				// value encodes the key so readers can validate
-				s.Insert(k, k<<32|uint64(i))
+				if err := s.Insert(k, k<<32|uint64(i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
 				s.Tag()
 			}
 		}(w)
@@ -477,7 +497,10 @@ func RunSnapshotConsistency(t *testing.T, mk Factory) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				s.Insert(uint64(w)<<32|uint64(i), uint64(i))
+				if err := s.Insert(uint64(w)<<32|uint64(i), uint64(i)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
 			}
 		}(w)
 	}

@@ -155,10 +155,23 @@ func OpenBlobStore(o Options) (*BlobStore, error) {
 
 // ---- network service ----
 
+// ServerOptions configures the network server's per-connection deadlines
+// (see kvnet.ServerOptions).
+type ServerOptions = kvnet.ServerOptions
+
+// ClientOptions configures the network client's pool size, deadlines and
+// retry policy (see kvnet.Options).
+type ClientOptions = kvnet.Options
+
 // ServeStore exposes any Store over TCP (see cmd/mvkvd for the daemon
 // form). The returned server is stopped with Close; the store stays open.
 func ServeStore(s Store, addr string) (*kvnet.Server, error) {
 	return kvnet.Serve(s, addr)
+}
+
+// ServeStoreOptions is ServeStore with explicit I/O deadlines.
+func ServeStoreOptions(s Store, addr string, o ServerOptions) (*kvnet.Server, error) {
+	return kvnet.ServeOptions(s, addr, o)
 }
 
 // DialStore connects to a served store; the returned client is itself a
@@ -166,6 +179,15 @@ func ServeStore(s Store, addr string) (*kvnet.Server, error) {
 // the client's connection pool (0 = default).
 func DialStore(addr string, maxConns int) (Store, error) {
 	return kvnet.Dial(addr, maxConns)
+}
+
+// DialStoreOptions is DialStore with explicit deadlines and retry policy.
+// The returned client transparently retries idempotent operations over
+// fresh connections with exponential backoff; mutations are never retried
+// once their request hit the wire (kvnet.ErrUnknownOutcome reports the
+// ambiguous case through the error-aware methods).
+func DialStoreOptions(addr string, o ClientOptions) (Store, error) {
+	return kvnet.DialOptions(addr, o)
 }
 
 // ---- distributed layer ----
