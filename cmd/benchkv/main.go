@@ -17,6 +17,7 @@
 //	distfind     distributed find throughput vs node count         (Fig 6)
 //	distgather   distributed snapshot gather vs node count         (Fig 7)
 //	distmerge    NaiveMerge vs OptMerge snapshot merge             (Fig 8)
+//	batch        insert throughput vs batch size, local + tcp://   (new)
 //	all          every experiment at the configured scale
 //
 // Defaults are scaled down from the paper (N=1e6 on 64-core KNL; 512
@@ -35,6 +36,7 @@ import (
 
 	"mvkv/internal/cluster"
 	"mvkv/internal/harness"
+	"mvkv/internal/kvnet"
 	"mvkv/internal/workload"
 )
 
@@ -52,12 +54,13 @@ var (
 	flagCSV      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flagSummary  = flag.Bool("summary", false, "append PSkipList-vs-baseline speedups and scaling factors")
 	flagReps     = flag.Int("reps", 3, "repetitions of each distributed query phase (fastest wins)")
+	flagBatches  = flag.String("batches", "1,8,64,512", "batch sizes to sweep (batch)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|all>")
+		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|batch|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -113,10 +116,12 @@ func run(cmd string) ([]harness.Result, error) {
 		return runDist("fig7")
 	case "distmerge":
 		return runDist("fig8")
+	case "batch":
+		return runBatch()
 	case "all":
 		var all []harness.Result
 		for _, c := range []string{"insert", "remove", "history", "find", "snapshot",
-			"rebuild", "restartfind", "distfind", "distgather", "distmerge"} {
+			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch"} {
 			rows, err := run(c)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", c, err)
@@ -254,6 +259,88 @@ func runQueries(fig string) ([]harness.Result, error) {
 		}
 		if err := s.Close(); err != nil {
 			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// runBatch measures the end-to-end batched insert path (not a paper
+// figure): insert throughput and persist-fence count vs batch size, for a
+// local PSkipList ("batch-local") and for the same store driven through the
+// TCP service ("batch-tcp", where a batch also amortizes round-trips).
+// Batch size 1 is the single-op anchor (plain Insert calls); the persists
+// column shows the fence coalescing the batched durability protocol
+// achieves. Each point runs -reps times on a fresh store, fastest wins, as
+// in the distributed experiments.
+func runBatch() ([]harness.Result, error) {
+	batches, err := intList(*flagBatches)
+	if err != nil {
+		return nil, err
+	}
+	n := *flagN
+	reps := *flagReps
+	if reps < 1 {
+		reps = 1
+	}
+	w := workload.Generate(n, 0xBA7C4)
+
+	// point runs one (batch, local/tcp) measurement on a fresh store.
+	point := func(b int, overTCP bool) (harness.Result, error) {
+		var best harness.Result
+		for rep := 0; rep < reps; rep++ {
+			backing, err := harness.Build(harness.StoreSpec{Approach: harness.PSkipList, N: n, PersistLatency: *flagLatency})
+			if err != nil {
+				return best, err
+			}
+			driver := backing
+			var srv *kvnet.Server
+			var cl *kvnet.Client
+			if overTCP {
+				if srv, err = kvnet.Serve(backing, "127.0.0.1:0"); err != nil {
+					backing.Close()
+					return best, err
+				}
+				if cl, err = kvnet.Dial(srv.Addr(), 4); err != nil {
+					srv.Close()
+					backing.Close()
+					return best, err
+				}
+				driver = cl
+			}
+			before := harness.ArenaPersistCount(backing)
+			d, err := harness.RunInsertBatch(driver, w, b)
+			persists := harness.ArenaPersistCount(backing) - before
+			if overTCP {
+				cl.Close()
+				srv.Close()
+			}
+			if cerr := backing.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			if err != nil {
+				return best, fmt.Errorf("batch=%d: %w", b, err)
+			}
+			fig := "batch-local"
+			if overTCP {
+				fig = "batch-tcp"
+			}
+			r := harness.Result{Figure: fig, Approach: "PSkipList",
+				Threads: b, N: n, Ops: n, Elapsed: d, Persists: persists}
+			if rep == 0 || r.Elapsed < best.Elapsed {
+				best = r
+			}
+		}
+		return best, nil
+	}
+
+	var rows []harness.Result
+	for _, b := range batches {
+		for _, overTCP := range []bool{false, true} {
+			r, err := point(b, overTCP)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
 		}
 	}
 	return rows, nil

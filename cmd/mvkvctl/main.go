@@ -12,6 +12,7 @@
 //
 //	mvkvctl init   <pool> [-size bytes]
 //	mvkvctl put    <store> <key> <value> [<key> <value>...]
+//	mvkvctl putbatch <store>        ("key value" lines on stdin, one batch)
 //	mvkvctl rm     <store> <key>...
 //	mvkvctl tag    <store>
 //	mvkvctl get    <store> <key> [-version v]
@@ -29,6 +30,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +44,9 @@ import (
 	"mvkv/internal/kvnet"
 )
 
+// stdin is the putbatch input stream; a variable so tests can inject pairs.
+var stdin io.Reader = os.Stdin
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mvkvctl:", err)
@@ -50,7 +55,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: mvkvctl <init|put|rm|tag|get|history|snapshot|stat|verify|compact> <pool|tcp://addr> [args] [flags]")
+	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|get|history|snapshot|stat|verify|compact> <pool|tcp://addr> [args] [flags]")
 }
 
 // remotePrefix selects the network data path in place of a local pool.
@@ -182,6 +187,51 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(out, "put %d pairs into version %d\n", len(pos)/2, cur)
+			return nil
+		})
+
+	case "putbatch":
+		// Pairs come from stdin as "key value" lines (blank lines skipped)
+		// and are applied as one batch: a single coalesced append locally, a
+		// single frame over tcp://.
+		if len(pos) != 0 {
+			return fmt.Errorf("putbatch takes no positional arguments; pairs come from stdin")
+		}
+		var pairs []kv.KV
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 0 {
+				continue
+			}
+			if len(fields) != 2 {
+				return fmt.Errorf("putbatch: bad line %q (want: key value)", sc.Text())
+			}
+			k, err := parseU64(fields[0])
+			if err != nil {
+				return err
+			}
+			v, err := parseU64(fields[1])
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, kv.KV{Key: k, Value: v})
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if len(pairs) == 0 {
+			return fmt.Errorf("putbatch: no pairs on stdin")
+		}
+		return withStore(func(s kv.Store) error {
+			if err := kv.InsertBatch(s, pairs); err != nil {
+				return err
+			}
+			cur, err := currentVersionOf(s)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "put %d pairs into version %d\n", len(pairs), cur)
 			return nil
 		})
 

@@ -144,6 +144,67 @@ func TestCLIRemote(t *testing.T) {
 	}
 }
 
+// withStdin points the putbatch input at a fixed string for one call.
+func withStdin(t *testing.T, in string) {
+	t.Helper()
+	old := stdin
+	stdin = strings.NewReader(in)
+	t.Cleanup(func() { stdin = old })
+}
+
+func TestCLIPutBatch(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("file-backed pools are linux-only")
+	}
+	pool := filepath.Join(t.TempDir(), "batch.pool")
+	mustCtl(t, "init", pool, "-size", "33554432")
+
+	withStdin(t, "10 100\n\n20 200\n10 111\n")
+	if out := mustCtl(t, "putbatch", pool); !strings.Contains(out, "put 3 pairs") {
+		t.Fatalf("putbatch = %q", out)
+	}
+	mustCtl(t, "tag", pool)
+	// last write of the duplicated key wins at the batch's version
+	if out := mustCtl(t, "get", pool, "10", "-version", "0"); strings.TrimSpace(out) != "111" {
+		t.Fatalf("get@0 = %q", out)
+	}
+	if out := mustCtl(t, "get", pool, "20", "-version", "0"); strings.TrimSpace(out) != "200" {
+		t.Fatalf("get@0 = %q", out)
+	}
+
+	withStdin(t, "10 100 9\n")
+	if _, err := ctl(t, "putbatch", pool); err == nil {
+		t.Fatal("ragged putbatch line accepted")
+	}
+	withStdin(t, "")
+	if _, err := ctl(t, "putbatch", pool); err == nil {
+		t.Fatal("empty putbatch accepted")
+	}
+	withStdin(t, "1 2\n")
+	if _, err := ctl(t, "putbatch", pool, "extra"); err == nil {
+		t.Fatal("putbatch positional args accepted")
+	}
+}
+
+func TestCLIPutBatchRemote(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	store := "tcp://" + srv.Addr()
+
+	withStdin(t, "7 70\n8 80\n")
+	if out := mustCtl(t, "putbatch", store); !strings.Contains(out, "put 2 pairs") {
+		t.Fatalf("remote putbatch = %q", out)
+	}
+	mustCtl(t, "tag", store)
+	if out := mustCtl(t, "get", store, "8", "-version", "0"); strings.TrimSpace(out) != "80" {
+		t.Fatalf("remote get = %q", out)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if _, err := ctl(t); err == nil {
 		t.Fatal("no args accepted")

@@ -126,6 +126,46 @@ func (c *Chain) Append(key uint64, hist pmem.Ptr) error {
 	}
 }
 
+// AppendBatch durably records a batch of pairs, claiming a contiguous
+// range of slots per block and persisting each block's freshly written
+// range with one fence instead of one per pair. Every pair's history
+// pointer must be non-null.
+func (c *Chain) AppendBatch(pairs []Pair) error {
+	for _, p := range pairs {
+		if p.Hist == pmem.NullPtr {
+			return fmt.Errorf("blockchain: appending null history pointer for key %d", p.Key)
+		}
+	}
+	a := c.arena
+	for len(pairs) > 0 {
+		tb := pmem.Ptr(c.tail.Load())
+		m := uint64(len(pairs))
+		idx := a.AddUint64(tb+blkCountWord, m) - m
+		if idx >= uint64(c.capacity) {
+			// Block already full; the over-claimed counter is harmless (it
+			// is not durable and recovery scans pairs instead).
+			next, err := c.ensureNext(tb)
+			if err != nil {
+				return err
+			}
+			c.tail.CompareAndSwap(uint64(tb), uint64(next))
+			continue
+		}
+		n := m
+		if idx+n > uint64(c.capacity) {
+			n = uint64(c.capacity) - idx
+		}
+		base := tb + blkPairsOff + pmem.Ptr(idx*pairBytes)
+		for i := uint64(0); i < n; i++ {
+			a.StoreUint64(base+pmem.Ptr(i*pairBytes), pairs[i].Key)
+			a.StorePtr(base+pmem.Ptr(i*pairBytes)+8, pairs[i].Hist)
+		}
+		a.Persist(base, int64(n)*pairBytes)
+		pairs = pairs[n:]
+	}
+	return nil
+}
+
 // ensureNext links (allocating if necessary) the successor of the full
 // block tb. The rare allocation is mutex-serialized so racing appenders do
 // not leak blocks (aligned blocks cannot be freed).

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"mvkv/internal/blockchain"
+	"mvkv/internal/kv"
+	"mvkv/internal/vhistory"
+)
+
+// batchGroup is one key's slice of a batch: its pairs in batch order,
+// collapsed into a single contiguous run of history slots.
+type batchGroup struct {
+	key     uint64
+	values  []uint64
+	h       *vhistory.PHistory
+	start   uint64 // first claimed slot of the run
+	fresh   bool   // this batch created (and must publish) the history
+	lastSeg int    // last segment index the run touches
+	next    int    // finish cursor (entries committed so far)
+}
+
+// InsertBatch records every pair, in order, in the current version —
+// equivalent to calling Insert for each, but with the durability fences of
+// a whole batch coalesced: one heap-tail persist per allocation wave, one
+// fence per contiguous span of staged entries, one per block of chain
+// pairs, and one per span of commit numbers (see DESIGN.md, "Batched
+// appends").
+func (s *Store) InsertBatch(pairs []kv.KV) error {
+	for _, p := range pairs {
+		if p.Value == kv.Marker {
+			return ErrMarkerValue
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	return s.appendBatchAt(s.CurrentVersion(), pairs)
+}
+
+// FindBatch answers Find(keys[i], versions[i]) for every i.
+func (s *Store) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
+	values := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	for i, k := range keys {
+		values[i], found[i] = s.Find(k, versions[i])
+	}
+	return values, found
+}
+
+// appendBatchAt is the batched analogue of appendAt. The phase order is
+// what preserves the durability invariant (entry data durable before its
+// commit number is claimed; the number durable before announced; per-key
+// numbers strictly increasing in slot order):
+//
+//  1. group pairs by key and claim one contiguous slot run per key;
+//  2. allocate headers for new keys and any missing segments in two
+//     batched allocations (blocks come out byte-adjacent, so later fences
+//     merge);
+//  3. fence new headers (key + directory words), then publish them in the
+//     key block chain — reachability before any commit can refer to them;
+//  4. stage all version/value words and fence the merged spans;
+//  5. claim commit numbers in batch order and store them (volatile);
+//  6. fence the same spans again — now covering every seq word — and only
+//     then announce the commits to the clock.
+func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
+	if s.wedged.Load() {
+		return ErrWedged
+	}
+
+	byKey := make(map[uint64]*batchGroup, len(pairs))
+	groups := make([]*batchGroup, 0, len(pairs))
+	for _, p := range pairs {
+		g := byKey[p.Key]
+		if g == nil {
+			g = &batchGroup{key: p.Key}
+			byKey[p.Key] = g
+			groups = append(groups, g)
+		}
+		g.values = append(g.values, p.Value)
+	}
+
+	// Resolve histories; batch-allocate headers for keys the index lacks.
+	var missing []*batchGroup
+	for _, g := range groups {
+		if h, ok := s.index.Get(g.key); ok {
+			g.h = h
+		} else {
+			missing = append(missing, g)
+		}
+	}
+	if len(missing) > 0 {
+		sizes := make([]int64, len(missing))
+		for i := range sizes {
+			sizes[i] = vhistory.PHeaderBytes
+		}
+		heads, err := s.arena.AllocBatch(sizes)
+		if err != nil {
+			s.wedged.Store(true)
+			return err
+		}
+		for i, g := range missing {
+			nh := vhistory.NewPHistoryAt(s.arena, heads[i], g.key)
+			g.h, g.fresh = s.index.GetOrCreate(g.key,
+				func() *vhistory.PHistory { return nh },
+				func(loser *vhistory.PHistory) { loser.FreeUnpublished(s.arena) },
+			)
+		}
+	}
+
+	// Claim runs, then batch-allocate and link every missing segment.
+	for _, g := range groups {
+		g.start = g.h.ClaimRun(len(g.values))
+	}
+	type segNeed struct {
+		g   *batchGroup
+		seg int
+	}
+	var needs []segNeed
+	var segSizes []int64
+	for _, g := range groups {
+		first, last := vhistory.RunSegments(g.start, len(g.values))
+		g.lastSeg = last
+		for seg := first; seg <= last; seg++ {
+			if g.h.SegmentMissing(s.arena, seg) {
+				needs = append(needs, segNeed{g, seg})
+				segSizes = append(segSizes, vhistory.PSegBytes(seg))
+			}
+		}
+	}
+	if len(needs) > 0 {
+		segs, err := s.arena.AllocBatch(segSizes)
+		if err != nil {
+			s.wedged.Store(true)
+			return err
+		}
+		for i, nd := range needs {
+			if !nd.g.h.InstallSegment(s.arena, nd.seg, segs[i]) {
+				s.arena.Free(segs[i], segSizes[i])
+			}
+			if !nd.g.fresh {
+				// Published history: fence the directory word now (whoever
+				// won the link race), so none of our commit numbers can
+				// become durable ahead of the segment's reachability.
+				sp := nd.g.h.DirSpan(nd.seg)
+				s.arena.Persist(sp.P, sp.N)
+			}
+		}
+	}
+
+	// Fence fresh headers, then publish them — each durably reachable
+	// before its first commit number can be claimed below.
+	var freshPairs []blockchain.Pair
+	for _, g := range groups {
+		if !g.fresh {
+			continue
+		}
+		sp := g.h.HeaderSpan(g.lastSeg)
+		s.arena.Persist(sp.P, sp.N)
+		freshPairs = append(freshPairs, blockchain.Pair{Key: g.key, Hist: g.h.Head})
+	}
+	if len(freshPairs) > 0 {
+		err := s.chain.AppendBatch(freshPairs)
+		for _, g := range groups {
+			if g.fresh {
+				g.h.SetPublished()
+			}
+		}
+		if err != nil {
+			s.wedged.Store(true)
+			return err
+		}
+	}
+
+	// Stage all entries, then fence the merged spans once.
+	var spans []vhistory.Span
+	for _, g := range groups {
+		spans = append(spans, g.h.StageRun(s.arena, g.start, version, g.values)...)
+	}
+	spans = vhistory.MergeSpans(spans)
+	for _, sp := range spans {
+		s.arena.Persist(sp.P, sp.N)
+	}
+
+	// Claim commit numbers in batch order (same-key pairs keep their
+	// relative order, so slot order and commit order agree per key).
+	seqs := make([]uint64, len(pairs))
+	for i, p := range pairs {
+		g := byKey[p.Key]
+		seqs[i] = g.h.FinishRunEntry(s.arena, g.start+uint64(g.next), g.next == 0, s.clock)
+		g.next++
+	}
+
+	// The spans cover every seq word; fence them again, then announce.
+	for _, sp := range spans {
+		s.arena.Persist(sp.P, sp.N)
+	}
+	for _, seq := range seqs {
+		s.clock.Commit(seq)
+	}
+	return nil
+}
+
+var _ kv.BulkStore = (*Store)(nil)

@@ -29,6 +29,142 @@ func crashWorkload() []crashOp {
 	return ops
 }
 
+// crashBatchOp is one step of the batched crash-point workload: a whole
+// InsertBatch, or a single-op step interleaved with the batches.
+type crashBatchOp struct {
+	kind  byte    // 'b' batch, 'i' insert, 'r' remove, 't' tag
+	pairs []kv.KV // for 'b'
+	key   uint64
+	value uint64
+}
+
+// crashBatchWorkload mixes fresh-key batches, same-key runs long enough to
+// cross segment boundaries, batches overlapping previously inserted keys,
+// and interleaved single ops — every shape the batched append path handles
+// differently from the single-op path.
+func crashBatchWorkload() []crashBatchOp {
+	return []crashBatchOp{
+		{kind: 'b', pairs: []kv.KV{{Key: 0, Value: 1}, {Key: 1, Value: 2}, {Key: 2, Value: 3}}},
+		{kind: 'i', key: 1, value: 10},
+		{kind: 't'},
+		{kind: 'b', pairs: []kv.KV{{Key: 1, Value: 11}, {Key: 1, Value: 12}, {Key: 3, Value: 13}, {Key: 0, Value: 14}}},
+		{kind: 'r', key: 2},
+		{kind: 'b', pairs: []kv.KV{{Key: 4, Value: 20}, {Key: 4, Value: 21}, {Key: 4, Value: 22}, {Key: 4, Value: 23}, {Key: 5, Value: 24}}},
+		{kind: 't'},
+		{kind: 'b', pairs: []kv.KV{{Key: 0, Value: 30}, {Key: 1, Value: 31}, {Key: 2, Value: 32}, {Key: 3, Value: 33}, {Key: 4, Value: 34}, {Key: 5, Value: 35}, {Key: 6, Value: 36}, {Key: 7, Value: 37}}},
+		{kind: 'i', key: 6, value: 40},
+		{kind: 'b', pairs: []kv.KV{{Key: 7, Value: 41}, {Key: 6, Value: 42}, {Key: 7, Value: 43}}},
+	}
+}
+
+// TestCrashPointSweepBatch is TestCrashPointSweep for the batched append
+// path: the store is crashed at every persist boundary of a workload of
+// InsertBatch calls (interleaved with single ops), and recovery must always
+// restore exactly a prefix of the pairs in batch order — the coalesced
+// fences may reorder which bytes become durable when, but never which
+// committed prefix recovery reports.
+func TestCrashPointSweepBatch(t *testing.T) {
+	ops := crashBatchWorkload()
+
+	type write struct {
+		key uint64
+		ev  kv.Event
+	}
+	run := func(s *Store, log *[]write) {
+		for _, op := range ops {
+			switch op.kind {
+			case 'b':
+				if log != nil {
+					for _, p := range op.pairs {
+						*log = append(*log, write{p.Key, kv.Event{Version: s.CurrentVersion(), Value: p.Value}})
+					}
+				}
+				s.InsertBatch(op.pairs)
+			case 'i':
+				if log != nil {
+					*log = append(*log, write{op.key, kv.Event{Version: s.CurrentVersion(), Value: op.value}})
+				}
+				s.Insert(op.key, op.value)
+			case 'r':
+				if log != nil {
+					*log = append(*log, write{op.key, kv.Event{Version: s.CurrentVersion(), Value: kv.Marker}})
+				}
+				s.Remove(op.key)
+			case 't':
+				s.Tag()
+			}
+		}
+	}
+
+	// Dry run: count persists and build the expected write log.
+	dryArena, err := pmem.New(8<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := CreateInArena(dryArena, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dryArena.LimitPersists(-1) // reset the counter
+	var writes []write
+	run(dry, &writes)
+	total := dryArena.PersistCount()
+	dryArena.Close()
+	if total < 10 {
+		t.Fatalf("suspiciously few persists: %d", total)
+	}
+
+	for k := int64(0); k <= total+1; k++ {
+		arena, err := pmem.New(8<<20, pmem.WithShadow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CreateInArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena.LimitPersists(k)
+		run(s, nil)
+		arena.Crash()
+		if err := arena.Recover(); err != nil {
+			t.Fatalf("crash point %d: recover: %v", k, err)
+		}
+		s2, err := OpenArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatalf("crash point %d: open: %v", k, err)
+		}
+		e := int(s2.RecoveryStats().Entries)
+		if e > len(writes) {
+			t.Fatalf("crash point %d: recovered %d entries, only %d written", k, e, len(writes))
+		}
+		wantHist := map[uint64][]kv.Event{}
+		for _, w := range writes[:e] {
+			wantHist[w.key] = append(wantHist[w.key], w.ev)
+		}
+		for key := uint64(0); key < 8; key++ {
+			got := s2.ExtractHistory(key)
+			want := wantHist[key]
+			if len(got) != len(want) {
+				t.Fatalf("crash point %d (e=%d): key %d history %v, want %v", k, e, key, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("crash point %d: key %d history[%d] = %+v, want %+v", k, key, i, got[i], want[i])
+				}
+			}
+		}
+		// The store remains writable — by batch and by single op — after
+		// every recovery.
+		if err := s2.InsertBatch([]kv.KV{{Key: 99, Value: 99}, {Key: 99, Value: 100}}); err != nil {
+			t.Fatalf("crash point %d: post-recovery batch: %v", k, err)
+		}
+		if err := s2.Insert(98, 98); err != nil {
+			t.Fatalf("crash point %d: post-recovery insert: %v", k, err)
+		}
+		arena.Close()
+	}
+}
+
 // TestCrashPointSweep crashes the store at every persist boundary of a
 // deterministic single-threaded workload and verifies that recovery always
 // restores exactly a program-order prefix of the executed operations — the

@@ -21,6 +21,11 @@ const (
 	wInsert uint64 = iota + 1
 	wRemove
 	wStop
+	// wInsertBatch carries a whole sub-batch for one owner rank:
+	// (wInsertBatch, k1, v1, k2, v2, ...). The owner applies it through
+	// kv.InsertBatch, so a rank backed by a PSkipList gets the coalesced
+	// persist fences of the local bulk path.
+	wInsertBatch
 )
 
 // additional broadcast opcodes for store-wide operations.
@@ -47,6 +52,18 @@ func (s *Service) ServeWrites() error {
 			}
 		case wRemove:
 			if err := s.store.Remove(w[1]); err != nil {
+				reply = err.Error()
+			}
+		case wInsertBatch:
+			if len(w)%2 != 1 {
+				reply = "dist: ragged insert batch frame"
+				break
+			}
+			pairs := make([]kv.KV, (len(w)-1)/2)
+			for i := range pairs {
+				pairs[i] = kv.KV{Key: w[1+2*i], Value: w[2+2*i]}
+			}
+			if err := kv.InsertBatch(s.store, pairs); err != nil {
 				reply = err.Error()
 			}
 		case wStop:
@@ -94,6 +111,59 @@ func (s *Service) routeWrite(op, key, value uint64) error {
 	}
 	if len(ack) > 0 {
 		return fmt.Errorf("%s", ack)
+	}
+	return nil
+}
+
+// routeInsertBatch scatters a batch to its owner ranks: one frame per rank
+// carrying that rank's sub-batch (pairs keep their batch order within it,
+// so per-key insertion order is preserved), with the remote round-trips
+// dispatched concurrently while this rank applies its own share through the
+// local bulk path. Caller must serialize (ClusterStore does).
+func (s *Service) routeInsertBatch(pairs []kv.KV) error {
+	size := s.comm.Size()
+	perRank := make([][]kv.KV, size)
+	for _, p := range pairs {
+		o := Owner(p.Key, size)
+		perRank[o] = append(perRank[o], p)
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		if r == s.comm.Rank() || len(perRank[r]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int, sub []kv.KV) {
+			defer wg.Done()
+			vals := make([]uint64, 0, 1+2*len(sub))
+			vals = append(vals, wInsertBatch)
+			for _, p := range sub {
+				vals = append(vals, p.Key, p.Value)
+			}
+			if err := s.comm.Send(r, cluster.PutUint64s(vals...)); err != nil {
+				errs[r] = err
+				return
+			}
+			ack, err := s.comm.Recv(r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if len(ack) > 0 {
+				errs[r] = fmt.Errorf("%s", ack)
+			}
+		}(r, perRank[r])
+	}
+	// The local share overlaps the remote round-trips.
+	if sub := perRank[s.comm.Rank()]; len(sub) > 0 {
+		errs[s.comm.Rank()] = kv.InsertBatch(s.store, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -230,6 +300,39 @@ func (c *ClusterStore) Insert(key, value uint64) error {
 	return c.svc.routeWrite(wInsert, key, value)
 }
 
+// InsertBatch implements kv.BulkStore: pairs are scattered to their owner
+// ranks as per-rank sub-batches dispatched in parallel, each applied with
+// the owner's bulk path — one cluster round per rank instead of one per
+// pair. Pairs for the same key keep their batch order (they land in the
+// same sub-batch); a partial failure leaves the other ranks' sub-batches
+// applied, as with any interrupted sequence of Inserts.
+func (c *ClusterStore) InsertBatch(pairs []kv.KV) error {
+	for _, p := range pairs {
+		if p.Value == kv.Marker {
+			return fmt.Errorf("dist: value is the reserved removal marker")
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.routeInsertBatch(pairs)
+}
+
+// FindBatch implements kv.BulkStore, riding the BulkFind collective: one
+// broadcast/reduce round answers every query. Collective failures surface
+// as all-absent.
+func (c *ClusterStore) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vals, oks, err := c.svc.BulkFind(keys, versions)
+	if err != nil {
+		return make([]uint64, len(keys)), make([]bool, len(keys))
+	}
+	return vals, oks
+}
+
 // Remove implements kv.Store.
 func (c *ClusterStore) Remove(key uint64) error {
 	c.mu.Lock()
@@ -335,3 +438,4 @@ func (c *ClusterStore) Close() error {
 }
 
 var _ kv.Store = (*ClusterStore)(nil)
+var _ kv.BulkStore = (*ClusterStore)(nil)

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"time"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+	"mvkv/internal/workload"
+)
+
+// RunInsertBatch times inserting the whole workload through kv.InsertBatch
+// in batches of `batch` pairs (a final short batch covers the remainder).
+// Batch size 1 is the single-op anchor and runs plain Insert calls — the
+// figure's comparison is batched path vs single-op path, not batched path
+// vs itself. Single-threaded: the figure's axis is batch size, not threads.
+func RunInsertBatch(s kv.Store, w *workload.Workload, batch int) (time.Duration, error) {
+	if batch <= 1 {
+		start := time.Now()
+		for i := range w.Keys {
+			if err := s.Insert(w.Keys[i], w.Values[i]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	n := len(w.Keys)
+	pairs := make([]kv.KV, n)
+	for i := range pairs {
+		pairs[i] = kv.KV{Key: w.Keys[i], Value: w.Values[i]}
+	}
+	start := time.Now()
+	for off := 0; off < n; off += batch {
+		end := off + batch
+		if end > n {
+			end = n
+		}
+		if err := kv.InsertBatch(s, pairs[off:end]); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// ArenaPersistCount returns the cumulative persist-fence count of s's
+// arena, or -1 when s is not arena-backed (baselines, remote clients — for
+// a served store, count on the server-side backing store instead).
+func ArenaPersistCount(s kv.Store) int64 {
+	if a, ok := s.(interface{ Arena() *pmem.Arena }); ok {
+		return a.Arena().PersistCount()
+	}
+	return -1
+}

@@ -85,6 +85,10 @@ type Result struct {
 	Elapsed  time.Duration
 	// Ops is the number of timed operations; Throughput = Ops/Elapsed.
 	Ops int
+	// Persists is the number of persist fences issued during the timed
+	// phase (0 when the experiment does not measure them). The batch
+	// figure reports it to show fence coalescing, not just wall time.
+	Persists int64
 }
 
 // Throughput returns operations per second.
@@ -234,25 +238,25 @@ func RunSnapshot(s kv.Store, threads int, maxVer uint64) time.Duration {
 
 // WriteTable renders results as an aligned text table.
 func WriteTable(w io.Writer, rows []Result) {
-	fmt.Fprintf(w, "%-10s %-10s %8s %6s %9s %12s %14s\n",
-		"figure", "approach", "N", "T/K", "ops", "elapsed", "ops/sec")
+	fmt.Fprintf(w, "%-10s %-10s %8s %6s %9s %12s %14s %10s\n",
+		"figure", "approach", "N", "T/K", "ops", "elapsed", "ops/sec", "persists")
 	for _, r := range rows {
 		tk := r.Threads
 		if r.Nodes > 0 {
 			tk = r.Nodes
 		}
-		fmt.Fprintf(w, "%-10s %-10s %8d %6d %9d %12s %14.0f\n",
+		fmt.Fprintf(w, "%-10s %-10s %8d %6d %9d %12s %14.0f %10d\n",
 			r.Figure, r.Approach, r.N, tk, r.Ops,
-			r.Elapsed.Round(time.Microsecond), r.Throughput())
+			r.Elapsed.Round(time.Microsecond), r.Throughput(), r.Persists)
 	}
 }
 
 // WriteCSV renders results as CSV.
 func WriteCSV(w io.Writer, rows []Result) {
-	fmt.Fprintln(w, "figure,approach,n,threads,nodes,ops,elapsed_ns,ops_per_sec")
+	fmt.Fprintln(w, "figure,approach,n,threads,nodes,ops,elapsed_ns,ops_per_sec,persists")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.1f\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%.1f,%d\n",
 			r.Figure, r.Approach, r.N, r.Threads, r.Nodes, r.Ops,
-			r.Elapsed.Nanoseconds(), r.Throughput())
+			r.Elapsed.Nanoseconds(), r.Throughput(), r.Persists)
 	}
 }

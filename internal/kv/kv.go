@@ -23,6 +23,59 @@ type Event = vhistory.Entry
 // for Insert.
 const Marker = vhistory.Marker
 
+// BulkStore is the optional batched fast path. Stores that can amortize
+// per-operation costs (persist fences, network round-trips, lock
+// acquisitions) across a group of operations implement it; callers go
+// through the InsertBatch/FindBatch helpers, which fall back to single-op
+// loops for everything else, so all stores stay conformant.
+type BulkStore interface {
+	// InsertBatch records every pair in order, as if Insert were called
+	// for each; all pairs land in the current (unsealed) version. No pair
+	// may carry the removal Marker as its value.
+	InsertBatch(pairs []KV) error
+	// FindBatch answers Find(keys[i], versions[i]) for every i. The
+	// slices must have equal length; results are positional.
+	FindBatch(keys, versions []uint64) (values []uint64, ok []bool)
+}
+
+// InsertBatch inserts every pair into s in order, using the store's bulk
+// fast path when it has one and a single-op loop otherwise.
+func InsertBatch(s Store, pairs []KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	if b, ok := s.(BulkStore); ok {
+		return b.InsertBatch(pairs)
+	}
+	for _, p := range pairs {
+		if err := s.Insert(p.Key, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FindBatch answers Find(keys[i], versions[i]) for every i, using the
+// store's bulk fast path when it has one. It panics if the slices differ
+// in length, mirroring the contract of BulkStore.FindBatch.
+func FindBatch(s Store, keys, versions []uint64) ([]uint64, []bool) {
+	if len(keys) != len(versions) {
+		panic("kv: FindBatch keys/versions length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if b, ok := s.(BulkStore); ok {
+		return b.FindBatch(keys, versions)
+	}
+	values := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	for i, k := range keys {
+		values[i], found[i] = s.Find(k, versions[i])
+	}
+	return values, found
+}
+
 // Store is the multi-version ordered dictionary API of Table 1. All methods
 // are safe for concurrent use unless an implementation documents otherwise
 // (the paper's LockedMap baseline serializes internally; it still satisfies

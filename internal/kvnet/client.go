@@ -179,7 +179,8 @@ func (c *Client) roundTrip(conn net.Conn, op byte, payload []byte) (resp []byte,
 // the server: read-only operations are; Insert/Remove/Tag mutate state.
 func idempotent(op byte) bool {
 	switch op {
-	case opFind, opCurrentVersion, opSnapshot, opRange, opHistory, opLen, opPing:
+	case opFind, opCurrentVersion, opSnapshot, opRange, opHistory, opLen, opPing,
+		OpFindBatch:
 		return true
 	}
 	return false
@@ -401,6 +402,58 @@ func (c *Client) LenErr() (int, error) {
 	return int(n), err
 }
 
+// InsertBatch implements kv.BulkStore: it ships the whole batch in one
+// frame, applied server-side in order with coalesced persist fences. It
+// follows the same retry semantics as Insert — retried only while the
+// request never reached the wire; once fully written, a lost response
+// surfaces ErrUnknownOutcome rather than risking a double apply.
+func (c *Client) InsertBatch(pairs []kv.KV) error {
+	payload := putU64s(make([]byte, 0, 8+16*len(pairs)), uint64(len(pairs)))
+	for _, p := range pairs {
+		payload = putU64s(payload, p.Key, p.Value)
+	}
+	_, err := c.call(OpInsertBatch, payload)
+	return err
+}
+
+// FindBatch implements kv.BulkStore: one round-trip answers
+// Find(keys[i], versions[i]) for every i. Transport errors surface as
+// all-absent; use FindBatchErr when the distinction matters.
+func (c *Client) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
+	values, found, _ := c.FindBatchErr(keys, versions)
+	return values, found
+}
+
+// FindBatchErr is FindBatch with transport errors reported. The returned
+// slices always have len(keys) elements (zero/false on error).
+func (c *Client) FindBatchErr(keys, versions []uint64) ([]uint64, []bool, error) {
+	if len(keys) != len(versions) {
+		panic("kvnet: FindBatch keys/versions length mismatch")
+	}
+	values := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	payload := putU64s(make([]byte, 0, 8+16*len(keys)), uint64(len(keys)))
+	for i := range keys {
+		payload = putU64s(payload, keys[i], versions[i])
+	}
+	resp, err := c.call(OpFindBatch, payload)
+	if err != nil {
+		return values, found, err
+	}
+	n, err := countedWords(resp, 2)
+	if err != nil {
+		return values, found, err
+	}
+	if n != len(keys) {
+		return values, found, fmt.Errorf("%w: %d results for %d keys", ErrMalformedResponse, n, len(keys))
+	}
+	for i := 0; i < n; i++ {
+		found[i] = u64at(resp, 1+2*i) != 0
+		values[i] = u64at(resp, 2+2*i)
+	}
+	return values, found, nil
+}
+
 // Ping round-trips an empty frame, verifying the server is reachable and
 // responsive within the configured deadline.
 func (c *Client) Ping() error {
@@ -442,6 +495,7 @@ func decodePairs(p []byte) ([]kv.KV, error) {
 }
 
 var _ kv.Store = (*Client)(nil)
+var _ kv.BulkStore = (*Client)(nil)
 
 // IsTimeout reports whether err is a deadline expiry (a net.Error timeout),
 // as produced by Options.CallTimeout or the server-side deadlines.

@@ -144,6 +144,18 @@ func TestClientMalformedResponses(t *testing.T) {
 			want: ErrMalformedResponse,
 		},
 		{
+			name: "find batch lying count word",
+			resp: okFrame(putU64s(nil, 5, 1, 10)), // claims 5 records, carries 1
+			call: func(c *Client) error { _, _, err := c.FindBatchErr([]uint64{1, 2}, []uint64{0, 0}); return err },
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "find batch wrong record count",
+			resp: okFrame(putU64s(nil, 1, 1, 10)), // well-formed, but 1 result for 2 keys
+			call: func(c *Client) error { _, _, err := c.FindBatchErr([]uint64{1, 2}, []uint64{0, 0}); return err },
+			want: ErrMalformedResponse,
+		},
+		{
 			name: "oversized length prefix",
 			resp: rawFrame(maxFrame+1, statusOK, nil),
 			call: func(c *Client) error { _, err := c.TagErr(); return err },
@@ -236,6 +248,12 @@ func TestServerMalformedRequests(t *testing.T) {
 			t.Fatal("server accepted an oversized frame")
 		}
 	})
+	t.Run("insert batch astronomical count", func(t *testing.T) {
+		status, resp, err := send(t, reqFrame(OpInsertBatch, putU64s(nil, 1<<60, 1, 2)))
+		if err != nil || status != statusErr || !strings.Contains(string(resp), "malformed") {
+			t.Fatalf("status=%d resp=%q err=%v", status, resp, err)
+		}
+	})
 	t.Run("unknown opcode", func(t *testing.T) {
 		status, resp, err := send(t, reqFrame(99, nil))
 		if err != nil || status != statusErr || !strings.Contains(string(resp), "unknown opcode") {
@@ -256,6 +274,11 @@ func TestServerMalformedRequests(t *testing.T) {
 		{"history wrong size", opHistory, 16},
 		{"len with payload", opLen, 1},
 		{"current version with payload", opCurrentVersion, 24},
+		// Zero payloads make the batch count word 0 while extra bytes
+		// follow it — a count that disagrees with the frame.
+		{"insert batch missing count word", OpInsertBatch, 4},
+		{"insert batch ragged records", OpInsertBatch, 12},
+		{"find batch ragged records", OpFindBatch, 20},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			status, resp, err := send(t, reqFrame(tc.op, make([]byte, tc.n)))

@@ -62,6 +62,13 @@ const (
 	opHistory        = 8  // key -> n, then n*(version,value)
 	opLen            = 9  // () -> n
 	opPing           = 10 // () -> ()
+
+	// Batched operations (exported: tooling and tests reference the
+	// opcodes directly). One frame carries a whole batch, amortizing the
+	// per-op round-trip; payload sizes stay bounded by MaxFrame like every
+	// other frame.
+	OpInsertBatch = 11 // n, then n*(key,value) -> ()
+	OpFindBatch   = 12 // n, then n*(key,version) -> n, then n*(found,value)
 )
 
 const (
@@ -180,6 +187,25 @@ func wantWords(resp []byte, n int) error {
 		return fmt.Errorf("%w: got %d bytes, want %d", ErrMalformedResponse, len(resp), 8*n)
 	}
 	return nil
+}
+
+// countedRequest validates a counted request payload (count(u64) then
+// count records of recWords u64s each) and returns the record count. The
+// count word is checked against MaxFrame before any allocation, so a lying
+// header cannot balloon server memory.
+func countedRequest(req []byte, recWords int) (int, error) {
+	if len(req) < 8 {
+		return 0, errBadRequest
+	}
+	n := u64at(req, 0)
+	rec := 8 * uint64(recWords)
+	if n > uint64(maxFrame)/rec {
+		return 0, errBadRequest
+	}
+	if uint64(len(req)-8) != n*rec {
+		return 0, errBadRequest
+	}
+	return int(n), nil
 }
 
 // countedWords validates a counted response (count(u64) then count records of

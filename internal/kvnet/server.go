@@ -1,6 +1,7 @@
 package kvnet
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -88,6 +89,16 @@ func (s *Server) serveConn(c net.Conn) {
 		delete(s.conns, c)
 		s.mu.Unlock()
 	}()
+	// Responses go through a buffered writer flushed once per response, so
+	// the 5-byte header and the payload leave in one syscall (and large
+	// batch responses are not chopped into header + body writes).
+	bw := bufio.NewWriter(c)
+	send := func(tag byte, payload []byte) error {
+		if err := writeFrame(bw, tag, payload); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
 	for {
 		op, req, err := readFrameConn(c, s.opts.IdleTimeout, s.opts.ReadTimeout)
 		if err != nil {
@@ -100,17 +111,17 @@ func (s *Server) serveConn(c net.Conn) {
 			}
 		}
 		if err != nil {
-			if werr := writeFrame(c, statusErr, []byte(err.Error())); werr != nil {
+			if werr := send(statusErr, []byte(err.Error())); werr != nil {
 				return
 			}
 			continue
 		}
-		if err := writeFrame(c, statusOK, resp); err != nil {
+		if err := send(statusOK, resp); err != nil {
 			// An oversized response was refused before any byte hit the
 			// wire: report it in-band so the client gets a clear error
 			// instead of a killed connection.
 			if errors.Is(err, ErrFrameTooLarge) {
-				if werr := writeFrame(c, statusErr, []byte(err.Error())); werr == nil {
+				if werr := send(statusErr, []byte(err.Error())); werr == nil {
 					continue
 				}
 			}
@@ -178,6 +189,40 @@ func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 			return nil, errBadRequest
 		}
 		return putU64s(nil, uint64(s.store.Len())), nil
+	case OpInsertBatch:
+		n, err := countedRequest(req, 2)
+		if err != nil {
+			return nil, err
+		}
+		pairs := make([]kv.KV, n)
+		for i := range pairs {
+			pairs[i] = kv.KV{Key: u64at(req, 1+2*i), Value: u64at(req, 2+2*i)}
+		}
+		// Dispatched through the kv helper, so a store with native bulk
+		// support gets one coalesced batch and any other store gets the
+		// equivalent single-op loop.
+		return nil, kv.InsertBatch(s.store, pairs)
+	case OpFindBatch:
+		n, err := countedRequest(req, 2)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]uint64, n)
+		versions := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			keys[i] = u64at(req, 1+2*i)
+			versions[i] = u64at(req, 2+2*i)
+		}
+		values, found := kv.FindBatch(s.store, keys, versions)
+		out := putU64s(make([]byte, 0, 8+16*n), uint64(n))
+		for i := 0; i < n; i++ {
+			f := uint64(0)
+			if found[i] {
+				f = 1
+			}
+			out = putU64s(out, f, values[i])
+		}
+		return out, nil
 	case opPing:
 		return nil, nil
 	default:

@@ -1,6 +1,7 @@
 package pmem
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -233,36 +234,45 @@ func (a *Arena) WriteBytes(p Ptr, b []byte) {
 	if i+nWords > len(a.words) {
 		panic("pmem: WriteBytes out of range")
 	}
-	for w := 0; w < nWords; w++ {
+	full := len(b) / wordSize
+	for w := 0; w < full; w++ {
+		atomic.StoreUint64(&a.words[i+w], binary.LittleEndian.Uint64(b[w*wordSize:]))
+	}
+	if rest := len(b) - full*wordSize; rest > 0 {
 		var word uint64
-		for k := 0; k < wordSize; k++ {
-			idx := w*wordSize + k
-			if idx < len(b) {
-				word |= uint64(b[idx]) << (8 * uint(k))
-			}
+		for k := 0; k < rest; k++ {
+			word |= uint64(b[full*wordSize+k]) << (8 * uint(k))
 		}
-		atomic.StoreUint64(&a.words[i+w], word)
+		atomic.StoreUint64(&a.words[i+full], word)
 	}
 }
 
 // ReadBytes copies n bytes starting at the word-aligned offset p.
 func (a *Arena) ReadBytes(p Ptr, n int) []byte {
+	out := make([]byte, n)
+	a.ReadBytesInto(p, out)
+	return out
+}
+
+// ReadBytesInto fills dst from the word-aligned offset p, the
+// allocation-free form of ReadBytes for callers that reuse buffers.
+func (a *Arena) ReadBytesInto(p Ptr, dst []byte) {
 	i := a.index(p)
+	n := len(dst)
 	nWords := (n + wordSize - 1) / wordSize
 	if i+nWords > len(a.words) {
 		panic("pmem: ReadBytes out of range")
 	}
-	out := make([]byte, n)
-	for w := 0; w < nWords; w++ {
-		word := atomic.LoadUint64(&a.words[i+w])
-		for k := 0; k < wordSize; k++ {
-			idx := w*wordSize + k
-			if idx < n {
-				out[idx] = byte(word >> (8 * uint(k)))
-			}
+	full := n / wordSize
+	for w := 0; w < full; w++ {
+		binary.LittleEndian.PutUint64(dst[w*wordSize:], atomic.LoadUint64(&a.words[i+w]))
+	}
+	if rest := n - full*wordSize; rest > 0 {
+		word := atomic.LoadUint64(&a.words[i+full])
+		for k := 0; k < rest; k++ {
+			dst[full*wordSize+k] = byte(word >> (8 * uint(k)))
 		}
 	}
-	return out
 }
 
 // ZeroWords stores zero into n words starting at p.
@@ -288,12 +298,12 @@ func (a *Arena) Persist(p Ptr, n int64) {
 	first := int(p) / CacheLine
 	last := (int(p) + int(n) - 1) / CacheLine
 	lines := last - first + 1
+	c := a.persistCount.Add(1)
 	effective := true
 	if a.stable != nil {
 		// Crash-point testing: once the armed persist budget is used up,
 		// further Persist calls silently stop reaching the stable image,
 		// simulating a crash at exactly that boundary.
-		c := a.persistCount.Add(1)
 		if budget := a.persistBudget.Load(); budget >= 0 && c > budget {
 			effective = false
 		}
@@ -316,8 +326,9 @@ func (a *Arena) Persist(p Ptr, n int64) {
 // PersistLatency reports the configured per-line persist latency.
 func (a *Arena) PersistLatency() time.Duration { return a.cfg.persistLatency }
 
-// PersistCount reports how many Persist calls have executed (shadow mode
-// only; zero otherwise). Used to enumerate crash points.
+// PersistCount reports how many Persist calls have executed. In shadow
+// mode it enumerates crash points (LimitPersists restarts it); in direct
+// mode it measures persist-fence traffic for benchmarks.
 func (a *Arena) PersistCount() int64 { return a.persistCount.Load() }
 
 // LimitPersists arms crash-point testing (shadow mode): only the next n
@@ -432,6 +443,41 @@ func (a *Arena) Alloc(n int64) (Ptr, error) {
 	start := Ptr(end - uint64(n))
 	a.ZeroWords(start, int(n/wordSize))
 	return start, nil
+}
+
+// AllocBatch returns one zeroed, 8-byte-aligned block per requested size,
+// carved from a single bump reservation: the heap tail is advanced and
+// persisted once for the whole batch, and the blocks are byte-adjacent in
+// request order — the property the batched append path uses to merge
+// persist fences across objects. AllocBatch bypasses the free lists; on
+// failure nothing is allocated.
+func (a *Arena) AllocBatch(sizes []int64) ([]Ptr, error) {
+	if len(sizes) == 0 {
+		return nil, nil
+	}
+	total := int64(0)
+	for _, n := range sizes {
+		if n <= 0 {
+			return nil, fmt.Errorf("pmem: AllocBatch of %d bytes", n)
+		}
+		total += (n + wordSize - 1) / wordSize * wordSize
+	}
+	end := a.AddUint64(Ptr(offHeapTail*wordSize), uint64(total))
+	if end > uint64(a.Size()) {
+		a.AddUint64(Ptr(offHeapTail*wordSize), ^uint64(total-1))
+		return nil, fmt.Errorf("%w: need %d bytes, %d in use of %d",
+			ErrOutOfMemory, total, a.HeapUsed(), a.Size())
+	}
+	a.Persist(Ptr(offHeapTail*wordSize), wordSize)
+	start := Ptr(end - uint64(total))
+	a.ZeroWords(start, int(total/wordSize))
+	out := make([]Ptr, len(sizes))
+	p := start
+	for i, n := range sizes {
+		out[i] = p
+		p += Ptr((n + wordSize - 1) / wordSize * wordSize)
+	}
+	return out, nil
 }
 
 // AllocAligned returns a zeroed block of n bytes whose address is a

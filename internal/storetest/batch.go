@@ -1,0 +1,150 @@
+package storetest
+
+import (
+	"testing"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/mt19937"
+)
+
+// Batch conformance: every store — local, over TCP, or as a cluster — must
+// give batched operations the exact semantics of the equivalent single-op
+// loop. The tests drive the store through the kv.InsertBatch/kv.FindBatch
+// helpers, so stores with a native bulk path exercise it and the rest
+// exercise the generic fallback.
+
+func testBatchBasics(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	// Empty batches are no-ops.
+	must(t, kv.InsertBatch(s, nil))
+	must(t, kv.InsertBatch(s, []kv.KV{}))
+	if vals, found := kv.FindBatch(s, nil, nil); len(vals) != 0 || len(found) != 0 {
+		t.Fatalf("empty FindBatch returned %d values, %d flags", len(vals), len(found))
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after empty batches = %d", s.Len())
+	}
+	// A 1-element batch behaves like Insert.
+	must(t, kv.InsertBatch(s, []kv.KV{{Key: 7, Value: 70}}))
+	v0 := s.Tag()
+	if v, ok := s.Find(7, v0); !ok || v != 70 {
+		t.Fatalf("Find after 1-element batch = %d,%v", v, ok)
+	}
+	if vals, found := kv.FindBatch(s, []uint64{7, 8}, []uint64{v0, v0}); !found[0] || vals[0] != 70 || found[1] {
+		t.Fatalf("FindBatch = %v,%v", vals, found)
+	}
+	// Same-key pairs in one batch keep their order: the last one wins at
+	// the batch's version, and the history records both.
+	must(t, kv.InsertBatch(s, []kv.KV{{Key: 9, Value: 1}, {Key: 9, Value: 2}, {Key: 9, Value: 3}}))
+	v1 := s.Tag()
+	if v, ok := s.Find(9, v1); !ok || v != 3 {
+		t.Fatalf("last write of same-key run should win: %d,%v", v, ok)
+	}
+	// The marker value is rejected in a batch just as in Insert.
+	if err := kv.InsertBatch(s, []kv.KV{{Key: 8, Value: 80}, {Key: 9, Value: kv.Marker}}); err == nil {
+		t.Fatal("batch containing the marker value succeeded")
+	}
+}
+
+// testBatchEquivalence checks random batches against a pure-Go model:
+// after each batch the store is tagged, and every (key, version) probe must
+// agree with the model — through Find and FindBatch alike.
+func testBatchEquivalence(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	rng := mt19937.New(20220614)
+	const keySpace = 16
+	cur := map[uint64]uint64{}
+	var perVersion []map[uint64]uint64
+	for round := 0; round < 8; round++ {
+		n := int(rng.Uint64n(64)) // 0..63 pairs; some rounds are near-empty
+		pairs := make([]kv.KV, n)
+		for i := range pairs {
+			pairs[i] = kv.KV{Key: rng.Uint64n(keySpace), Value: rng.Uint64n(1000) + 1}
+		}
+		must(t, kv.InsertBatch(s, pairs))
+		for _, p := range pairs {
+			cur[p.Key] = p.Value
+		}
+		snap := make(map[uint64]uint64, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		perVersion = append(perVersion, snap)
+		if got := s.Tag(); got != uint64(round) {
+			t.Fatalf("Tag after round %d = %d", round, got)
+		}
+	}
+	var keys, versions []uint64
+	for ver := range perVersion {
+		for k := uint64(0); k < keySpace; k++ {
+			keys = append(keys, k)
+			versions = append(versions, uint64(ver))
+		}
+	}
+	vals, found := kv.FindBatch(s, keys, versions)
+	for i := range keys {
+		wantV, wantOK := perVersion[versions[i]][keys[i]]
+		if found[i] != wantOK || (wantOK && vals[i] != wantV) {
+			t.Fatalf("FindBatch(key %d, version %d) = %d,%v; model says %d,%v",
+				keys[i], versions[i], vals[i], found[i], wantV, wantOK)
+		}
+		if v, ok := s.Find(keys[i], versions[i]); ok != found[i] || v != vals[i] {
+			t.Fatalf("Find(key %d, version %d) = %d,%v disagrees with FindBatch %d,%v",
+				keys[i], versions[i], v, ok, vals[i], found[i])
+		}
+	}
+}
+
+// testBatchMixed interleaves batches with single inserts, removes, and
+// tags, verifying the tagged snapshots against the model — batches must
+// compose with the rest of the API, not just with themselves.
+func testBatchMixed(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	rng := mt19937.New(7)
+	const keySpace = 12
+	cur := map[uint64]uint64{}
+	var perVersion []map[uint64]uint64
+	for round := 0; round < 6; round++ {
+		n := 1 + int(rng.Uint64n(32))
+		pairs := make([]kv.KV, n)
+		for i := range pairs {
+			pairs[i] = kv.KV{Key: rng.Uint64n(keySpace), Value: rng.Uint64n(1000) + 1}
+		}
+		must(t, kv.InsertBatch(s, pairs))
+		for _, p := range pairs {
+			cur[p.Key] = p.Value
+		}
+		for j := 0; j < 4; j++ {
+			k := rng.Uint64n(keySpace)
+			if rng.Uint64n(3) == 0 {
+				must(t, s.Remove(k))
+				delete(cur, k)
+			} else {
+				v := rng.Uint64n(1000) + 1
+				must(t, s.Insert(k, v))
+				cur[k] = v
+			}
+		}
+		snap := make(map[uint64]uint64, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		perVersion = append(perVersion, snap)
+		s.Tag()
+	}
+	for ver, snap := range perVersion {
+		var keys, versions []uint64
+		for k := uint64(0); k < keySpace; k++ {
+			keys = append(keys, k)
+			versions = append(versions, uint64(ver))
+		}
+		vals, found := kv.FindBatch(s, keys, versions)
+		for i, k := range keys {
+			wantV, wantOK := snap[k]
+			if found[i] != wantOK || (wantOK && vals[i] != wantV) {
+				t.Fatalf("version %d key %d: FindBatch = %d,%v, model %d,%v",
+					ver, k, vals[i], found[i], wantV, wantOK)
+			}
+		}
+	}
+}

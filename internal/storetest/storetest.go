@@ -30,6 +30,9 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("History", func(t *testing.T) { testHistory(t, mk) })
 	t.Run("ExtractRange", func(t *testing.T) { testExtractRange(t, mk) })
 	t.Run("QuickModel", func(t *testing.T) { testQuickModel(t, mk) })
+	t.Run("BatchBasics", func(t *testing.T) { testBatchBasics(t, mk) })
+	t.Run("BatchEquivalence", func(t *testing.T) { testBatchEquivalence(t, mk) })
+	t.Run("BatchMixed", func(t *testing.T) { testBatchMixed(t, mk) })
 	t.Run("ConcurrentDistinctKeys", func(t *testing.T) { testConcurrentDistinct(t, mk) })
 	t.Run("ConcurrentMixed", func(t *testing.T) { testConcurrentMixed(t, mk) })
 	t.Run("ConcurrentReaders", func(t *testing.T) { testConcurrentReaders(t, mk) })

@@ -1,0 +1,156 @@
+package vhistory
+
+import (
+	"sort"
+
+	"mvkv/internal/pmem"
+)
+
+// Batched appends stage a whole run of same-key entries before any persist
+// fence is issued, so one Arena.Persist per contiguous span replaces one
+// per entry. The durability ordering of Append is preserved phase-wise:
+// every staged entry's version/value words are persisted before any of the
+// batch's commit numbers is claimed, every commit number is persisted
+// before any is announced to the clock, and per-key commit numbers stay
+// strictly increasing in slot order because the slots of a run are claimed
+// contiguously and finished in slot order. The primitives below are driven
+// by core.Store.InsertBatch; see DESIGN.md for the full phase protocol.
+
+// Span is a contiguous byte range of the arena awaiting a persist fence.
+type Span struct {
+	P pmem.Ptr
+	N int64
+}
+
+// MergeSpans sorts spans by offset and merges those whose cache lines
+// touch or are adjacent: fences round to whole lines, so bridging such a
+// gap flushes no extra line. Flushing a neighbor's bytes early is always
+// safe — identical to an arbitrary hardware cache-line eviction, which the
+// recovery protocol already tolerates (see pmem.CrashEvict) — while spans
+// further apart stay separate so fences never grow the flushed-line count.
+func MergeSpans(spans []Span) []Span {
+	if len(spans) < 2 {
+		return spans
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].P < spans[j].P })
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		lastLine := (int64(last.P) + last.N - 1) / pmem.CacheLine
+		if int64(s.P)/pmem.CacheLine <= lastLine+1 {
+			if end := s.P + pmem.Ptr(s.N); end > last.P+pmem.Ptr(last.N) {
+				last.N = int64(end - last.P)
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ClaimRun atomically claims n consecutive slots and returns the first.
+// Contiguity is what lets one run share fences: per-slot claims could
+// interleave with concurrent appenders.
+func (h *PHistory) ClaimRun(n int) uint64 {
+	return h.pending.Add(uint64(n)) - uint64(n)
+}
+
+// RunSegments returns the first and last segment index touched by the run
+// of n slots starting at start.
+func RunSegments(start uint64, n int) (first, last int) {
+	first, _ = locate(start)
+	last, _ = locate(start + uint64(n) - 1)
+	return first, last
+}
+
+// SegmentMissing reports whether segment seg has no storage linked yet.
+func (h *PHistory) SegmentMissing(a *pmem.Arena, seg int) bool {
+	return a.LoadPtr(h.dirWord(seg)) == pmem.NullPtr
+}
+
+// InstallSegment links fresh as segment seg, reporting whether this call
+// won the directory CAS (on loss the caller frees fresh). Unlike the
+// single-op path it does not persist the directory word: the caller fences
+// it — immediately for published histories, or within the header span for
+// histories not yet published — before any commit number that lands in the
+// segment can become durable.
+func (h *PHistory) InstallSegment(a *pmem.Arena, seg int, fresh pmem.Ptr) bool {
+	return a.CompareAndSwapPtr(h.dirWord(seg), pmem.NullPtr, fresh)
+}
+
+// DirSpan returns the byte span of segment seg's directory word.
+func (h *PHistory) DirSpan(seg int) Span {
+	return Span{P: h.dirWord(seg), N: 8}
+}
+
+// HeaderSpan returns the span of header words a fresh key's first run
+// writes: the key word plus the directory words of segments 0..lastSeg.
+// The remaining directory words need no fence — batch headers come from
+// the arena's bump allocator, whose blocks are never re-handed across
+// crashes, so their unwritten words are durably zero already.
+func (h *PHistory) HeaderSpan(lastSeg int) Span {
+	return Span{P: h.Head, N: int64(2+lastSeg) * 8}
+}
+
+// StageRun writes the version and value words of the run's slots without
+// persisting and returns the byte spans covering them (one per segment
+// touched). All required segments must already be linked. Like Append, a
+// run entering a non-empty history waits for its predecessor entry's
+// version and never records a version below it.
+func (h *PHistory) StageRun(a *pmem.Arena, start, version uint64, values []uint64) []Span {
+	if start > 0 {
+		prev := h.loadedEntryPtr(a, start-1)
+		var s spin
+		for {
+			pv := a.LoadUint64(prev)
+			if pv != 0 {
+				if pv-1 > version {
+					version = pv - 1
+				}
+				break
+			}
+			s.wait()
+		}
+	}
+	spans := make([]Span, 0, 2)
+	spanStart := pmem.NullPtr
+	var spanEnd pmem.Ptr
+	for i, v := range values {
+		ep := h.loadedEntryPtr(a, start+uint64(i))
+		if ep != spanEnd {
+			if spanStart != pmem.NullPtr {
+				spans = append(spans, Span{P: spanStart, N: int64(spanEnd - spanStart)})
+			}
+			spanStart = ep
+		}
+		spanEnd = ep + EntryBytes
+		a.StoreUint64(ep+8, v)
+		a.StoreUint64(ep, version+1)
+	}
+	return append(spans, Span{P: spanStart, N: int64(spanEnd - spanStart)})
+}
+
+// FinishRunEntry claims the commit number for one staged slot and stores
+// it without persisting; the caller persists the run's spans (which cover
+// every seq word) and only then announces the numbers with Clock.Commit.
+// Only the first slot of a run synchronizes: it waits for the history to
+// be published and for the foreign predecessor's commit number, exactly as
+// Append does — later slots follow their own run's program order.
+func (h *PHistory) FinishRunEntry(a *pmem.Arena, slot uint64, firstOfRun bool, c *Clock) uint64 {
+	ep := h.loadedEntryPtr(a, slot)
+	if firstOfRun {
+		var s spin
+		for !h.published.Load() {
+			s.wait()
+		}
+		if slot > 0 {
+			prev := h.loadedEntryPtr(a, slot-1)
+			for a.LoadUint64(prev+16) == 0 {
+				s.wait()
+			}
+		}
+	}
+	seq := c.Next()
+	a.StoreUint64(ep+16, seq)
+	return seq
+}

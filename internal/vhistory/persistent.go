@@ -62,6 +62,15 @@ func NewPHistory(a *pmem.Arena, key uint64) (*PHistory, error) {
 	return &PHistory{Head: head}, nil
 }
 
+// NewPHistoryAt wraps a pre-allocated header block (from a batched
+// allocation) as a fresh history for key. Nothing is persisted: the caller
+// fences the header span (see HeaderSpan) before publishing the head
+// pointer in the key block chain.
+func NewPHistoryAt(a *pmem.Arena, head pmem.Ptr, key uint64) *PHistory {
+	a.StoreUint64(head+phKeyWord*8, key)
+	return &PHistory{Head: head}
+}
+
 // FreeUnpublished returns an unpublished history's storage to the arena.
 // Used by the loser of a duplicate-key insert race.
 func (h *PHistory) FreeUnpublished(a *pmem.Arena) {

@@ -50,6 +50,23 @@ import (
 // safe for concurrent use.
 type Store = kv.Store
 
+// BulkStore is the optional batched extension of Store: stores that
+// implement it apply a whole batch with coalesced durability fences (the
+// PSkipList), a single wire frame (the TCP client), or one scatter round
+// (the cluster store). Use the package-level InsertBatch/FindBatch helpers,
+// which fall back to the equivalent single-op loop on any other Store.
+type BulkStore = kv.BulkStore
+
+// InsertBatch records every pair, in order, through s's bulk path when it
+// has one and an Insert loop otherwise.
+func InsertBatch(s Store, pairs []KV) error { return kv.InsertBatch(s, pairs) }
+
+// FindBatch answers Find(keys[i], versions[i]) for every i through s's bulk
+// path when it has one and a Find loop otherwise.
+func FindBatch(s Store, keys, versions []uint64) (values []uint64, found []bool) {
+	return kv.FindBatch(s, keys, versions)
+}
+
 // KV is one key-value pair of a snapshot.
 type KV = kv.KV
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's merge gates in one command:
+#
+#   1. tier-1: go build + full go test
+#   2. go vet
+#   3. network robustness: race-enabled kvnet + cluster suites
+#   4. batch smoke: batched insert at batch=64 must beat single-op insert
+#      under the default 200ns emulated persist latency
+#
+# Exits non-zero on the first failing gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gate 1: build =="
+go build ./...
+
+echo "== gate 2: vet =="
+go vet ./...
+
+echo "== gate 3: tests =="
+go test ./...
+
+echo "== gate 4: network robustness (race) =="
+go test -race -short ./internal/kvnet/ ./internal/cluster/
+
+echo "== gate 5: batch-vs-single smoke =="
+tmpbin="$(mktemp -d)/benchkv"
+trap 'rm -rf "$(dirname "$tmpbin")"' EXIT
+go build -o "$tmpbin" ./cmd/benchkv
+"$tmpbin" -n 20000 -reps 3 -batches 1,64 -csv batch | awk -F, '
+  $1 == "batch-local" && $4 == 1  { single = $8; sp = $9 }
+  $1 == "batch-local" && $4 == 64 { batch = $8; bp = $9 }
+  END {
+    if (single == "" || batch == "") { print "FAIL: batch rows missing from benchkv output"; exit 1 }
+    printf "batch-local: single-op %.0f ops/s (%d persists), batch=64 %.0f ops/s (%d persists) -> %.2fx\n",
+           single, sp, batch, bp, batch / single
+    if (batch + 0 <= single + 0) { print "FAIL: batched insert at batch=64 is not faster than single-op"; exit 1 }
+    if (bp + 0 >= sp + 0) { print "FAIL: batched insert did not reduce persist fences"; exit 1 }
+  }'
+
+echo "verify: all gates passed"
