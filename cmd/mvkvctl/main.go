@@ -20,17 +20,23 @@
 //	mvkvctl snapshot <store> [-version v] [-lo k] [-hi k]
 //	mvkvctl stat   <pool>
 //	mvkvctl verify <pool>
+//	mvkvctl fsck   <pool>
 //	mvkvctl compact <pool> <dstpool> -keep v [-size bytes]
 //
 // Remote flags: -timeout bounds each call (default 5s), -retries bounds
 // reconnect attempts for idempotent operations (default 3; 0 disables).
 //
 // Every local invocation reopens the pool, which exercises the full
-// recovery and parallel index-reconstruction path.
+// recovery and parallel index-reconstruction path — except fsck, which
+// deliberately bypasses recovery: it inspects the pool image read-only and
+// reports what the next open would keep, repair, or refuse. Its exit code
+// is 0 for a clean image, 1 for repairable crash damage, 2 for corruption;
+// all other commands exit 1 on any error.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,20 +48,34 @@ import (
 	"mvkv/internal/core"
 	"mvkv/internal/kv"
 	"mvkv/internal/kvnet"
+	"mvkv/internal/pmem"
 )
 
 // stdin is the putbatch input stream; a variable so tests can inject pairs.
 var stdin io.Reader = os.Stdin
 
+// exitError carries a specific process exit code through run (fsck's
+// clean/repairable/corrupt verdict is the exit status).
+type exitError struct {
+	code int
+	msg  string
+}
+
+func (e exitError) Error() string { return e.msg }
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mvkvctl:", err)
+		var ee exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
 		os.Exit(1)
 	}
 }
 
 func usage() error {
-	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|get|history|snapshot|stat|verify|compact> <pool|tcp://addr> [args] [flags]")
+	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|get|history|snapshot|stat|verify|fsck|compact> <pool|tcp://addr> [args] [flags]")
 }
 
 // remotePrefix selects the network data path in place of a local pool.
@@ -349,6 +369,12 @@ func run(args []string, out io.Writer) error {
 			return nil
 		})
 
+	case "fsck":
+		if remote {
+			return localOnly()
+		}
+		return fsck(target, out)
+
 	case "compact":
 		if remote {
 			return localOnly()
@@ -369,6 +395,53 @@ func run(args []string, out io.Writer) error {
 
 	default:
 		return usage()
+	}
+}
+
+// fsck checks the pool image without running recovery (which rewrites the
+// image) and maps the verdict onto the exit code: 0 clean, 1 repairable,
+// 2 corrupt. The arena is opened directly and only read.
+func fsck(path string, out io.Writer) error {
+	a, err := pmem.OpenFile(path)
+	if err != nil {
+		// An image the arena layer refuses to map (truncated, bad header)
+		// is corruption, not a usage error.
+		return exitError{code: core.FsckCorrupt, msg: err.Error()}
+	}
+	rep := core.Fsck(a, core.Options{})
+	if cerr := a.Close(); cerr != nil {
+		return cerr
+	}
+
+	fmt.Fprintf(out, "keys:            %d\n", rep.Keys)
+	fmt.Fprintf(out, "chain blocks:    %d\n", rep.Blocks)
+	fmt.Fprintf(out, "durable entries: %d\n", rep.Entries)
+	fmt.Fprintf(out, "lost entries:    %d\n", rep.Lost)
+	fmt.Fprintf(out, "torn slots:      %d\n", rep.Unfinished)
+	fmt.Fprintf(out, "finished prefix: %d\n", rep.Fc)
+	fmt.Fprintf(out, "current version: %d\n", rep.CurrentVersion)
+	if rep.CoveredTo == core.CoveredAll {
+		fmt.Fprintf(out, "covered to:      all versions intact\n")
+	} else {
+		fmt.Fprintf(out, "covered to:      %d\n", rep.CoveredTo)
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(out, "note:    %s\n", n)
+	}
+	for _, p := range rep.Problems {
+		fmt.Fprintf(out, "problem: %s\n", p)
+	}
+
+	switch sev := rep.Severity(); sev {
+	case core.FsckClean:
+		fmt.Fprintln(out, "verdict: clean")
+		return nil
+	case core.FsckRepairable:
+		fmt.Fprintln(out, "verdict: repairable (the next open restores a consistent prefix)")
+		return exitError{code: sev, msg: "pool carries repairable crash damage"}
+	default:
+		fmt.Fprintln(out, "verdict: corrupt")
+		return exitError{code: sev, msg: "pool image is corrupt"}
 	}
 }
 

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 
+	"mvkv/internal/core"
 	"mvkv/internal/eskiplist"
 	"mvkv/internal/kvnet"
 )
@@ -202,6 +205,68 @@ func TestCLIPutBatchRemote(t *testing.T) {
 	mustCtl(t, "tag", store)
 	if out := mustCtl(t, "get", store, "8", "-version", "0"); strings.TrimSpace(out) != "80" {
 		t.Fatalf("remote get = %q", out)
+	}
+}
+
+// TestCLIFsck walks the pool checker through its three verdicts and exit
+// codes: clean (0), repairable crash damage (1), corrupt image (2).
+func TestCLIFsck(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("file-backed pools are linux-only")
+	}
+	pool := filepath.Join(t.TempDir(), "fsck.pool")
+	mustCtl(t, "init", pool, "-size", "16777216")
+	mustCtl(t, "put", pool, "1", "10", "2", "20")
+	mustCtl(t, "tag", pool)
+
+	out := mustCtl(t, "fsck", pool)
+	if !strings.Contains(out, "verdict: clean") || !strings.Contains(out, "keys:            2") {
+		t.Fatalf("clean fsck = %q", out)
+	}
+
+	// Tear one commit word off (the fault-injection hook models exactly
+	// the damage shape a crash mid-flush leaves): now repairable, exit 1.
+	s, err := core.Open(core.Options{Path: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ZeroSlotSeq(1, 0) {
+		t.Fatal("ZeroSlotSeq missed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ctl(t, "fsck", pool)
+	var ee exitError
+	if !errors.As(err, &ee) || ee.code != core.FsckRepairable {
+		t.Fatalf("repairable fsck: %v (out %q)", err, out)
+	}
+	if !strings.Contains(out, "verdict: repairable") || !strings.Contains(out, "covered to:      0") {
+		t.Fatalf("repairable fsck = %q", out)
+	}
+
+	// fsck is read-only: a second pass sees the identical image.
+	out2, err2 := ctl(t, "fsck", pool)
+	if out2 != out || !errors.As(err2, &ee) || ee.code != core.FsckRepairable {
+		t.Fatalf("fsck changed the pool: %q vs %q (%v)", out, out2, err2)
+	}
+
+	// But actually opening the pool runs recovery, which repairs it.
+	mustCtl(t, "stat", pool)
+	if out := mustCtl(t, "fsck", pool); !strings.Contains(out, "verdict: clean") {
+		t.Fatalf("fsck after recovery = %q", out)
+	}
+
+	// A truncated image no longer maps as an arena: corrupt, exit 2.
+	if err := os.Truncate(pool, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl(t, "fsck", pool); !errors.As(err, &ee) || ee.code != core.FsckCorrupt {
+		t.Fatalf("corrupt fsck: %v", err)
+	}
+
+	if _, err := ctl(t, "fsck", "tcp://127.0.0.1:1"); err == nil || !strings.Contains(err.Error(), "local") {
+		t.Fatalf("fsck over tcp:// not refused: %v", err)
 	}
 }
 

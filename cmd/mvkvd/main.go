@@ -52,6 +52,14 @@ func main() {
 			st := s.RecoveryStats()
 			log.Printf("recovered %d keys / %d entries (%d pruned) with %d threads in %v",
 				st.Keys, st.Entries, st.PrunedEntries, st.Threads, st.Elapsed)
+			if st.CoveredTo == core.CoveredAll {
+				log.Printf("durable prefix: all acknowledged versions intact (fc %d)", st.Fc)
+			} else {
+				// Operators (and the cluster rejoin protocol) key off this:
+				// versions >= CoveredTo lost acknowledged writes in the crash.
+				log.Printf("durable prefix: versions below %d intact, later acknowledged writes lost (fc %d)",
+					st.CoveredTo, st.Fc)
+			}
 		}
 	}
 	if err != nil {
@@ -62,6 +70,7 @@ func main() {
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("mvkvd: %v", err)

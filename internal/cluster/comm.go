@@ -5,16 +5,23 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Tag layout: the high byte distinguishes message classes so collectives,
 // their sequence numbers, and user point-to-point traffic never collide.
+// tagData carries the data phases of the fault-tolerant collectives: their
+// tags embed an explicit per-operation sequence number chosen by the
+// initiator, so a rank that missed operations (it was dead) re-synchronizes
+// simply by obeying the sequence number in the next command it receives —
+// stale frames from aborted operations are never matched again.
 const (
 	tagUser uint64 = iota + 1
 	tagBcast
 	tagGather
 	tagReduce
 	tagBarrier
+	tagData
 )
 
 func mkTag(class, seq uint64) uint64 { return class<<56 | seq&((1<<56)-1) }
@@ -40,14 +47,58 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.size }
 
-// Send delivers a user message.
+// Send delivers a user message (on channel 0).
 func (c *Comm) Send(to int, payload []byte) error {
 	return c.tr.Send(to, mkTag(tagUser, 0), payload)
 }
 
-// Recv receives a user message from the given rank.
+// Recv receives a user message from the given rank (on channel 0).
 func (c *Comm) Recv(from int) ([]byte, error) {
 	return c.tr.Recv(from, mkTag(tagUser, 0))
+}
+
+// SendCh delivers a user message on a numbered sub-channel. Channels are
+// independent FIFO streams between a rank pair; the distributed layer uses
+// them to keep command, write and control traffic from interleaving.
+// Channel 0 is the plain Send/Recv stream.
+func (c *Comm) SendCh(to int, ch uint64, payload []byte) error {
+	return c.tr.Send(to, mkTag(tagUser, ch), payload)
+}
+
+// RecvCh receives from a numbered sub-channel, blocking.
+func (c *Comm) RecvCh(from int, ch uint64) ([]byte, error) {
+	return c.tr.Recv(from, mkTag(tagUser, ch))
+}
+
+// RecvChTimeout is RecvCh bounded by d (d < 0 blocks, d == 0 polls). It
+// returns ErrRecvTimeout on expiry; on a transport without timeout support
+// it degrades to a blocking receive.
+func (c *Comm) RecvChTimeout(from int, ch uint64, d time.Duration) ([]byte, error) {
+	return RecvTimeout(c.tr, from, mkTag(tagUser, ch), d)
+}
+
+// DrainCh discards every queued message on a sub-channel (restart hygiene).
+// Returns the number dropped; 0 on transports without the capability.
+func (c *Comm) DrainCh(from int, ch uint64) int {
+	if tt, ok := c.tr.(TimeoutTransport); ok {
+		return tt.Drain(from, mkTag(tagUser, ch))
+	}
+	return 0
+}
+
+// SendData delivers a data-phase frame of explicitly-sequenced operation
+// seq. Unlike the collective classes, the sequence number is chosen by the
+// caller (the fault-tolerant protocol's initiator), not drawn from the
+// communicator's internal counter — so ranks that missed operations stay
+// matched, and leftovers of timed-out operations are never delivered.
+func (c *Comm) SendData(to int, seq uint64, payload []byte) error {
+	return c.tr.Send(to, mkTag(tagData, seq), payload)
+}
+
+// RecvData receives a data-phase frame of operation seq, waiting at most d
+// (d < 0 blocks, d == 0 polls).
+func (c *Comm) RecvData(from int, seq uint64, d time.Duration) ([]byte, error) {
+	return RecvTimeout(c.tr, from, mkTag(tagData, seq), d)
 }
 
 // Close releases the endpoint.

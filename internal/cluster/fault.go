@@ -168,10 +168,27 @@ func (t *FaultyTransport) Recv(from int, tag uint64) ([]byte, error) {
 	return t.inner.Recv(from, tag)
 }
 
+// RecvTimeout forwards the deadline-bounded receive to the wrapped
+// transport (falling back to blocking Recv when it lacks the capability),
+// so the fault-tolerant protocol keeps its liveness guarantees under
+// injected faults.
+func (t *FaultyTransport) RecvTimeout(from int, tag uint64, d time.Duration) ([]byte, error) {
+	return RecvTimeout(t.inner, from, tag, d)
+}
+
+// Drain forwards to the wrapped transport.
+func (t *FaultyTransport) Drain(from int, tag uint64) int {
+	if tt, ok := t.inner.(TimeoutTransport); ok {
+		return tt.Drain(from, tag)
+	}
+	return 0
+}
+
 // Close implements Transport.
 func (t *FaultyTransport) Close() error { return t.inner.Close() }
 
 var _ Transport = (*FaultyTransport)(nil)
+var _ TimeoutTransport = (*FaultyTransport)(nil)
 
 // ---- net.Conn-level injection ----
 

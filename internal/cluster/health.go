@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrRankDown reports that an operation needed a rank currently considered
+// dead. It is a value type so callers match it with errors.As:
+//
+//	var down cluster.ErrRankDown
+//	if errors.As(err, &down) { ... down.Rank ... }
+type ErrRankDown struct {
+	Rank int
+}
+
+func (e ErrRankDown) Error() string {
+	return fmt.Sprintf("cluster: rank %d is down", e.Rank)
+}
+
+// HealthOptions configures the failure detector's probing policy.
+type HealthOptions struct {
+	// ProbeBackoff is the minimum interval between live-probe attempts at
+	// a rank marked down. Between probes every operation touching the
+	// rank fails fast instead of re-paying the detection timeout.
+	// Default 5s.
+	ProbeBackoff time.Duration
+}
+
+func (o *HealthOptions) fill() {
+	if o.ProbeBackoff <= 0 {
+		o.ProbeBackoff = 5 * time.Second
+	}
+}
+
+// Health is the initiator-side failure detector: a set of ranks currently
+// believed dead, each with a backoff-gated reprobe schedule. It never
+// decides liveness itself — the protocol layer feeds it timeouts (MarkDown)
+// and successful exchanges (MarkAlive); Health only answers "should this
+// operation fail fast, or is it this rank's turn to be probed again?".
+type Health struct {
+	mu   sync.Mutex
+	opts HealthOptions
+	down map[int]time.Time // rank -> next allowed probe
+}
+
+// NewHealth builds an empty detector (all ranks presumed alive).
+func NewHealth(opts HealthOptions) *Health {
+	opts.fill()
+	return &Health{opts: opts, down: make(map[int]time.Time)}
+}
+
+// MarkDown records that rank failed a deadline-bounded exchange. The next
+// probe window opens one backoff from now (marking an already-down rank
+// pushes its window out — a failed probe re-arms the backoff).
+func (h *Health) MarkDown(rank int) {
+	h.mu.Lock()
+	h.down[rank] = time.Now().Add(h.opts.ProbeBackoff)
+	h.mu.Unlock()
+}
+
+// MarkAlive clears rank's down state after a successful exchange.
+func (h *Health) MarkAlive(rank int) {
+	h.mu.Lock()
+	delete(h.down, rank)
+	h.mu.Unlock()
+}
+
+// IsDown reports whether rank is currently marked down (pure query; never
+// claims a probe slot).
+func (h *Health) IsDown(rank int) bool {
+	h.mu.Lock()
+	_, d := h.down[rank]
+	h.mu.Unlock()
+	return d
+}
+
+// FailFast decides one operation's treatment of rank: true means the rank
+// is down and inside its probe backoff — fail immediately with ErrRankDown.
+// False means either the rank is believed alive, or its backoff expired and
+// this call claimed the probe slot (the window is pushed out so concurrent
+// or immediately-following operations keep failing fast while the single
+// probe is in flight; the prober reports back via MarkAlive or MarkDown).
+func (h *Health) FailFast(rank int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	next, d := h.down[rank]
+	if !d {
+		return false
+	}
+	if time.Now().Before(next) {
+		return true
+	}
+	h.down[rank] = time.Now().Add(h.opts.ProbeBackoff)
+	return false
+}
+
+// Down returns the ranks currently marked down, sorted.
+func (h *Health) Down() []int {
+	h.mu.Lock()
+	out := make([]int, 0, len(h.down))
+	for r := range h.down {
+		out = append(out, r)
+	}
+	h.mu.Unlock()
+	sort.Ints(out)
+	return out
+}

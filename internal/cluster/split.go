@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Split partitions a communicator into disjoint sub-communicators, like
@@ -101,5 +102,28 @@ func (t *splitTransport) Recv(from int, tag uint64) ([]byte, error) {
 	return t.parent.Recv(t.newToOld[from], t.saltTag(tag))
 }
 
+// RecvTimeout forwards deadline-bounded receives to the parent endpoint
+// (with rank translation and tag salting), so fault-tolerant protocols work
+// inside sub-communicators too.
+func (t *splitTransport) RecvTimeout(from int, tag uint64, d time.Duration) ([]byte, error) {
+	if from < 0 || from >= len(t.newToOld) {
+		return nil, fmt.Errorf("cluster: split recv from invalid rank %d", from)
+	}
+	return RecvTimeout(t.parent, t.newToOld[from], t.saltTag(tag), d)
+}
+
+// Drain forwards to the parent endpoint.
+func (t *splitTransport) Drain(from int, tag uint64) int {
+	if from < 0 || from >= len(t.newToOld) {
+		return 0
+	}
+	if tt, ok := t.parent.(TimeoutTransport); ok {
+		return tt.Drain(t.newToOld[from], t.saltTag(tag))
+	}
+	return 0
+}
+
 // Close of a sub-communicator is a no-op: the parent owns the endpoint.
 func (t *splitTransport) Close() error { return nil }
+
+var _ TimeoutTransport = (*splitTransport)(nil)

@@ -182,11 +182,29 @@ func (t *TCPTransport) Send(to int, tag uint64, payload []byte) error {
 	defer c.mu.Unlock()
 	if d := t.opts.FrameTimeout; d > 0 {
 		if err := c.c.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			t.dropConn(to, c)
 			return err
 		}
 	}
-	_, err = c.c.Write(buf)
-	return err
+	if _, err = c.c.Write(buf); err != nil {
+		// A failed write leaves the stream unusable (the peer may have
+		// crashed, or a partial frame poisoned it). Drop the cached
+		// connection so the next Send re-dials — which is what lets a
+		// restarted peer be reached again.
+		t.dropConn(to, c)
+		return err
+	}
+	return nil
+}
+
+// dropConn evicts a cached outbound connection after a write error.
+func (t *TCPTransport) dropConn(to int, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.c.Close()
 }
 
 // Recv implements Transport.
@@ -198,6 +216,23 @@ func (t *TCPTransport) Recv(from int, tag uint64) ([]byte, error) {
 	charge(t.model.cost(len(p)))
 	return p, nil
 }
+
+// RecvTimeout implements TimeoutTransport.
+func (t *TCPTransport) RecvTimeout(from int, tag uint64, d time.Duration) ([]byte, error) {
+	p, err := t.box.takeTimeout(msgKey{from: from, tag: tag}, d)
+	if err != nil {
+		return nil, err
+	}
+	charge(t.model.cost(len(p)))
+	return p, nil
+}
+
+// Drain implements TimeoutTransport.
+func (t *TCPTransport) Drain(from int, tag uint64) int {
+	return t.box.drain(msgKey{from: from, tag: tag})
+}
+
+var _ TimeoutTransport = (*TCPTransport)(nil)
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {

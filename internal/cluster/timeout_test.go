@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Unit tests for the deadline/drain/reset primitives the fault-tolerant
+// distributed protocol is built on.
+
+func TestMailboxTakeTimeout(t *testing.T) {
+	f := NewLocalFabric(2, NetModel{})
+	defer f.Close()
+	a, b := f.Transport(0), f.Transport(1)
+
+	// Expiry with nothing queued.
+	start := time.Now()
+	if _, err := RecvTimeout(a, 1, 7, 30*time.Millisecond); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("want ErrRecvTimeout, got %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("timeout fired after %v", d)
+	}
+
+	// Zero duration polls: immediate miss, immediate hit.
+	if _, err := RecvTimeout(a, 1, 7, 0); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("poll on empty queue: %v", err)
+	}
+	if err := b.Send(0, 7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := RecvTimeout(a, 1, 7, 0); err != nil || string(p) != "x" {
+		t.Fatalf("poll with queued message: %q, %v", p, err)
+	}
+
+	// A message arriving mid-wait is delivered before the deadline.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.Send(0, 7, []byte("y"))
+	}()
+	if p, err := RecvTimeout(a, 1, 7, 5*time.Second); err != nil || string(p) != "y" {
+		t.Fatalf("mid-wait delivery: %q, %v", p, err)
+	}
+
+	// A closed endpoint reports ErrClosed, not a timeout.
+	a.Close()
+	if _, err := RecvTimeout(a, 1, 7, 50*time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestMailboxDrain(t *testing.T) {
+	f := NewLocalFabric(2, NetModel{})
+	defer f.Close()
+	a := f.Transport(0).(TimeoutTransport)
+	b := f.Transport(1)
+
+	for i := 0; i < 3; i++ {
+		if err := b.Send(0, 9, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Send(0, 10, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.Drain(1, 9); n != 3 {
+		t.Fatalf("drained %d, want 3", n)
+	}
+	if n := a.Drain(1, 9); n != 0 {
+		t.Fatalf("second drain found %d", n)
+	}
+	// Other tags are untouched.
+	if p, err := a.RecvTimeout(1, 10, 0); err != nil || string(p) != "keep" {
+		t.Fatalf("tag 10 after drain: %q, %v", p, err)
+	}
+}
+
+// TestLocalFabricReset: a reset must lose the dead incarnation's queue,
+// unblock its receivers with ErrClosed, and give the new incarnation a
+// working endpoint while old senders keep working.
+func TestLocalFabricReset(t *testing.T) {
+	f := NewLocalFabric(2, NetModel{})
+	defer f.Close()
+	old := f.Transport(1)
+	peer := f.Transport(0)
+
+	if err := peer.Send(1, 5, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := old.Recv(0, 6) // parked on a tag that never arrives
+		blocked <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	fresh := f.Reset(1)
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked receiver got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver still blocked after reset")
+	}
+	// The stale frame died with the old incarnation.
+	if _, err := RecvTimeout(fresh, 0, 5, 0); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("stale frame survived the reset: %v", err)
+	}
+	// The pre-reset sender endpoint reaches the new incarnation.
+	if err := peer.Send(1, 5, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := RecvTimeout(fresh, 0, 5, time.Second); err != nil || string(p) != "new" {
+		t.Fatalf("post-reset delivery: %q, %v", p, err)
+	}
+}
+
+func TestHealthFailFastAndProbe(t *testing.T) {
+	h := NewHealth(HealthOptions{ProbeBackoff: 40 * time.Millisecond})
+	if h.IsDown(3) || h.FailFast(3) {
+		t.Fatal("fresh detector claims rank down")
+	}
+	h.MarkDown(3)
+	if !h.IsDown(3) {
+		t.Fatal("MarkDown did not register")
+	}
+	if !h.FailFast(3) {
+		t.Fatal("inside backoff: must fail fast")
+	}
+	if got := h.Down(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Down() = %v", got)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	// Backoff expired: exactly one caller claims the probe slot…
+	if h.FailFast(3) {
+		t.Fatal("expired backoff must grant a probe")
+	}
+	// …and the very next caller fails fast again (the window re-armed).
+	if !h.FailFast(3) {
+		t.Fatal("probe slot claimed twice")
+	}
+	// IsDown stays true throughout (it never claims the slot).
+	if !h.IsDown(3) {
+		t.Fatal("probing rank no longer IsDown")
+	}
+
+	h.MarkAlive(3)
+	if h.IsDown(3) || h.FailFast(3) || len(h.Down()) != 0 {
+		t.Fatal("MarkAlive did not clear the rank")
+	}
+
+	// ErrRankDown matches by value through errors.As.
+	var down ErrRankDown
+	err := error(ErrRankDown{Rank: 5})
+	if !errors.As(err, &down) || down.Rank != 5 {
+		t.Fatalf("errors.As on ErrRankDown: %v", err)
+	}
+}
+
+func TestTCPRecvTimeoutAndDrain(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t0, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	addrs[0] = t0.Addr()
+	t1, err := NewTCPTransport(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs[1] = t1.Addr()
+
+	start := time.Now()
+	if _, err := t0.RecvTimeout(1, 3, 30*time.Millisecond); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("want ErrRecvTimeout, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("TCP timeout took %v", d)
+	}
+	if err := t1.Send(0, 3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := t0.RecvTimeout(1, 3, 5*time.Second); err != nil || string(p) != "hello" {
+		t.Fatalf("TCP delivery: %q, %v", p, err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := t1.Send(0, 4, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain whatever of the two frames has arrived, then poll the rest dry.
+	deadline := time.Now().Add(5 * time.Second)
+	drained := 0
+	for drained < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drained only %d frames", drained)
+		}
+		if _, err := t0.RecvTimeout(1, 4, 10*time.Millisecond); err == nil {
+			drained++
+			continue
+		}
+		drained += t0.Drain(1, 4)
+	}
+}

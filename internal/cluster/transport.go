@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,6 +65,11 @@ func charge(d time.Duration) {
 // ErrClosed is returned on use of a closed transport.
 var ErrClosed = errors.New("cluster: transport closed")
 
+// ErrRecvTimeout is returned by deadline-bounded receives when no matching
+// message arrived in time. It is the raw liveness signal the fault-tolerant
+// collectives turn into rank-death suspicion.
+var ErrRecvTimeout = errors.New("cluster: receive timed out")
+
 // Transport moves byte payloads between ranks. Implementations must allow
 // concurrent Send/Recv and match messages by (from, tag) in FIFO order.
 type Transport interface {
@@ -74,6 +80,30 @@ type Transport interface {
 	// and returns its payload.
 	Recv(from int, tag uint64) ([]byte, error)
 	Close() error
+}
+
+// TimeoutTransport is the optional deadline-bounded receive capability. Both
+// built-in transports implement it; the fault-tolerant distributed protocol
+// requires it (a transport without it cannot distinguish a dead peer from a
+// slow one).
+type TimeoutTransport interface {
+	// RecvTimeout is Recv bounded by a duration: d < 0 blocks forever,
+	// d == 0 polls without blocking, d > 0 waits at most d. It returns
+	// ErrRecvTimeout when the deadline expires with no matching message.
+	RecvTimeout(from int, tag uint64, d time.Duration) ([]byte, error)
+	// Drain discards every queued message matching (from, tag) and
+	// returns how many were dropped. A restarted rank uses it to flush
+	// frames addressed to its previous incarnation.
+	Drain(from int, tag uint64) int
+}
+
+// RecvTimeout performs a deadline-bounded receive on tr, falling back to a
+// plain blocking Recv when the transport lacks the capability.
+func RecvTimeout(tr Transport, from int, tag uint64, d time.Duration) ([]byte, error) {
+	if tt, ok := tr.(TimeoutTransport); ok {
+		return tt.RecvTimeout(from, tag, d)
+	}
+	return tr.Recv(from, tag)
 }
 
 // ---- In-process transport ----
@@ -128,6 +158,54 @@ func (m *mailbox) take(k msgKey) ([]byte, error) {
 	}
 }
 
+// takeTimeout is take bounded by a duration: d < 0 blocks forever, d == 0
+// polls once, d > 0 waits at most d, returning ErrRecvTimeout on expiry. The
+// timer fires a broadcast on the condition variable so a waiter wakes up and
+// notices the deadline without polling.
+func (m *mailbox) takeTimeout(k msgKey, d time.Duration) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var expired atomic.Bool
+	if d > 0 {
+		t := time.AfterFunc(d, func() {
+			expired.Store(true)
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			p := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			return p, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		if d == 0 || expired.Load() {
+			return nil, ErrRecvTimeout
+		}
+		m.cond.Wait()
+	}
+}
+
+// drain discards everything queued under k and returns the count.
+func (m *mailbox) drain(k msgKey) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.queues[k])
+	if n > 0 {
+		delete(m.queues, k)
+	}
+	return n
+}
+
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
@@ -135,17 +213,19 @@ func (m *mailbox) close() {
 	m.mu.Unlock()
 }
 
-// LocalFabric connects n in-process ranks.
+// LocalFabric connects n in-process ranks. Mailboxes sit behind atomic
+// pointers so Reset can swap a crashed rank's box for a fresh one while the
+// other ranks keep sending.
 type LocalFabric struct {
 	model NetModel
-	boxes []*mailbox
+	boxes []atomic.Pointer[mailbox]
 }
 
 // NewLocalFabric builds a fabric of n ranks with the given cost model.
 func NewLocalFabric(n int, model NetModel) *LocalFabric {
-	f := &LocalFabric{model: model, boxes: make([]*mailbox, n)}
+	f := &LocalFabric{model: model, boxes: make([]atomic.Pointer[mailbox], n)}
 	for i := range f.boxes {
-		f.boxes[i] = newMailbox()
+		f.boxes[i].Store(newMailbox())
 	}
 	return f
 }
@@ -155,10 +235,22 @@ func (f *LocalFabric) Transport(rank int) Transport {
 	return &localTransport{fabric: f, rank: rank}
 }
 
+// Reset models a rank-level process restart: the rank's mailbox is replaced
+// by an empty one (messages queued for the dead incarnation are lost, as
+// they would be with a crashed process) and the old box is closed so any
+// receiver still blocked in it gets ErrClosed. It returns the rank's new
+// endpoint; the caller must no longer use transports obtained before the
+// reset for receiving.
+func (f *LocalFabric) Reset(rank int) Transport {
+	old := f.boxes[rank].Swap(newMailbox())
+	old.close()
+	return f.Transport(rank)
+}
+
 // Close shuts down every rank's mailbox.
 func (f *LocalFabric) Close() {
-	for _, b := range f.boxes {
-		b.close()
+	for i := range f.boxes {
+		f.boxes[i].Load().close()
 	}
 }
 
@@ -171,11 +263,11 @@ func (t *localTransport) Send(to int, tag uint64, payload []byte) error {
 	if to < 0 || to >= len(t.fabric.boxes) {
 		return fmt.Errorf("cluster: send to invalid rank %d", to)
 	}
-	return t.fabric.boxes[to].put(msgKey{from: t.rank, tag: tag}, payload)
+	return t.fabric.boxes[to].Load().put(msgKey{from: t.rank, tag: tag}, payload)
 }
 
 func (t *localTransport) Recv(from int, tag uint64) ([]byte, error) {
-	p, err := t.fabric.boxes[t.rank].take(msgKey{from: from, tag: tag})
+	p, err := t.fabric.boxes[t.rank].Load().take(msgKey{from: from, tag: tag})
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +276,24 @@ func (t *localTransport) Recv(from int, tag uint64) ([]byte, error) {
 	return p, nil
 }
 
+// RecvTimeout implements TimeoutTransport.
+func (t *localTransport) RecvTimeout(from int, tag uint64, d time.Duration) ([]byte, error) {
+	p, err := t.fabric.boxes[t.rank].Load().takeTimeout(msgKey{from: from, tag: tag}, d)
+	if err != nil {
+		return nil, err
+	}
+	charge(t.fabric.model.cost(len(p)))
+	return p, nil
+}
+
+// Drain implements TimeoutTransport.
+func (t *localTransport) Drain(from int, tag uint64) int {
+	return t.fabric.boxes[t.rank].Load().drain(msgKey{from: from, tag: tag})
+}
+
 func (t *localTransport) Close() error {
-	t.fabric.boxes[t.rank].close()
+	t.fabric.boxes[t.rank].Load().close()
 	return nil
 }
+
+var _ TimeoutTransport = (*localTransport)(nil)

@@ -1,0 +1,20 @@
+package core
+
+// ZeroSlotSeq durably zeroes the commit-sequence word of one existing slot
+// of key's history. It is a fault-injection hook for crash tests and fsck
+// fixtures: it models a torn multi-entry flush where later entries reached
+// persistence but this one's commit word did not, which is exactly the
+// damage shape recovery reports through RecoveryStats.CoveredTo. The clock
+// is quiesced first because the word is rewritten outside the normal append
+// protocol. slot must index an entry that exists; the store must not be
+// used for further writes before the crash being modeled. Returns false if
+// the key is unknown.
+func (s *Store) ZeroSlotSeq(key, slot uint64) bool {
+	h, ok := s.index.Get(key)
+	if !ok {
+		return false
+	}
+	s.clock.Quiesce()
+	h.SetSlotSeq(s.arena, slot, 0)
+	return true
+}

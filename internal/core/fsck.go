@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"mvkv/internal/blockchain"
+	"mvkv/internal/pmem"
+	"mvkv/internal/vhistory"
+)
+
+// Fsck is the offline, read-only pool checker behind `mvkvctl fsck`. It
+// runs the same scan recovery (recover.go) would run — superblock, key
+// block chain, every history slot — but mutates nothing: no pruning, no
+// counter rewrite, no index build. The caller opens the arena with
+// pmem.OpenFile directly instead of core.Open precisely to keep recovery
+// from rewriting the image before it was inspected.
+//
+// Findings fall into three severities:
+//
+//   - FsckClean: the durable image is exactly what a clean shutdown leaves —
+//     every slot finished, commit numbers gap-free, version counter ahead of
+//     every entry. Opening the pool will not change it.
+//   - FsckRepairable: the image carries crash damage that recovery heals by
+//     construction — torn slots, acknowledged entries above the durable
+//     prefix (these are LOST on the next open, with CoveredTo naming the
+//     first version whose reads change), a lagging version counter.
+//   - FsckCorrupt: the image violates invariants no crash of a correct
+//     store can produce (bad magic, wild pointers, duplicate keys or commit
+//     numbers). Recovery would refuse, panic, or silently serve garbage.
+
+// Fsck severity levels, doubling as the mvkvctl fsck exit code.
+const (
+	FsckClean      = 0
+	FsckRepairable = 1
+	FsckCorrupt    = 2
+)
+
+// FsckReport is the result of a read-only pool check.
+type FsckReport struct {
+	Keys   int // keys registered in the block chain
+	Blocks int // chain blocks
+
+	Entries    uint64 // durably finished entries recovery would keep
+	Lost       uint64 // acknowledged entries recovery would discard
+	Unfinished uint64 // torn slots of unacknowledged operations (harmless)
+
+	Fc             uint64 // durable global commit prefix recovery would restore
+	CoveredTo      uint64 // first version damaged by Lost entries; CoveredAll if none
+	CurrentVersion uint64 // persisted version counter
+	MaxVersion     uint64 // highest version among kept entries
+
+	Problems []string // invariant violations: the image is corrupt
+	Notes    []string // crash damage recovery repairs
+}
+
+// Severity classifies the report: FsckCorrupt if any invariant is violated,
+// FsckRepairable if recovery would change the image, FsckClean otherwise.
+func (r *FsckReport) Severity() int {
+	switch {
+	case len(r.Problems) > 0:
+		return FsckCorrupt
+	case r.Lost > 0 || r.Unfinished > 0 || len(r.Notes) > 0:
+		return FsckRepairable
+	default:
+		return FsckClean
+	}
+}
+
+// Fsck checks the store image in a without modifying it. opts supplies the
+// non-default chain BlockCapacity when the pool was created with one; the
+// zero Options is correct for mvkvctl-made pools. The arena is only read.
+func Fsck(a *pmem.Arena, opts Options) (rep FsckReport) {
+	opts.fill()
+	rep.CoveredTo = CoveredAll
+	// A wild persistent pointer panics in the arena accessors by design;
+	// for a checker that is a verdict, not a crash.
+	defer func() {
+		if p := recover(); p != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("scan aborted on wild pointer: %v", p))
+		}
+	}()
+
+	lo, hi := a.HeapBounds()
+	inHeap := func(p pmem.Ptr) bool { return p >= lo && p < hi && p%8 == 0 }
+
+	super := a.Root()
+	if super == pmem.NullPtr || !inHeap(super) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("root pointer %d outside heap [%d,%d)", super, lo, hi))
+		return rep
+	}
+	if m := a.LoadUint64(super + supMagicOff); m != superMagic {
+		rep.Problems = append(rep.Problems, fmt.Sprintf("superblock magic %#x (want %#x)", m, superMagic))
+		return rep
+	}
+	rep.CurrentVersion = a.LoadUint64(super + supVerOff)
+
+	chain, err := blockchain.Open(a, super+supChainOff, opts.BlockCapacity)
+	if err != nil {
+		rep.Problems = append(rep.Problems, err.Error())
+		return rep
+	}
+	rep.Blocks = chain.NumBlocks()
+
+	// Pass 1: chain + per-key slot scan, exactly recovery's phase 1 shape
+	// (recover.go) — durable per-key prefix, stranded finished entries,
+	// torn slots — plus the structural checks recovery takes on faith.
+	type keyScan struct {
+		key      uint64
+		seqs     []uint64 // commit numbers of the durable per-key prefix
+		vers     []uint64 // versions aligned with seqs
+		extraMin uint64   // min version of finished entries beyond the prefix break
+		extra    uint64   // count of those stranded finished entries
+	}
+	var scans []keyScan
+	seen := make(map[uint64]bool)
+	chain.Walk(func(p blockchain.Pair) bool {
+		if seen[p.Key] {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("key %d appears twice in the block chain", p.Key))
+			return true
+		}
+		seen[p.Key] = true
+		rep.Keys++
+		if !inHeap(p.Hist) {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("key %d: history pointer %d outside heap", p.Key, p.Hist))
+			return true
+		}
+		h := vhistory.OpenPHistory(p.Hist, 0)
+		if got := h.Key(a); got != p.Key {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("chain key %d: history records key %d", p.Key, got))
+			return true
+		}
+		ks := keyScan{key: p.Key, extraMin: CoveredAll}
+		raw := h.RecoverScan(a)
+		prev := uint64(0)
+		i := 0
+		for ; i < len(raw); i++ {
+			r := raw[i]
+			if !r.Complete() || r.Seq <= prev {
+				break
+			}
+			ks.seqs = append(ks.seqs, r.Seq)
+			ks.vers = append(ks.vers, r.VersionPlus1-1)
+			prev = r.Seq
+		}
+		for ; i < len(raw); i++ {
+			switch r := raw[i]; {
+			case r.Complete():
+				ks.extra++
+				if v := r.VersionPlus1 - 1; v < ks.extraMin {
+					ks.extraMin = v
+				}
+			case r.VersionPlus1 != 0 || r.Seq != 0 || r.Value != 0:
+				rep.Unfinished++
+			}
+		}
+		scans = append(scans, ks)
+		return true
+	})
+
+	// Durable prefix fc: the longest contiguous 1..S of commit numbers. The
+	// bitmap also exposes duplicate commits — impossible for a correct
+	// store, so a corruption finding rather than crash damage.
+	maxSeq := uint64(0)
+	for _, ks := range scans {
+		if n := len(ks.seqs); n > 0 && ks.seqs[n-1] > maxSeq {
+			maxSeq = ks.seqs[n-1]
+		}
+	}
+	present := make([]uint64, maxSeq/64+2)
+	for _, ks := range scans {
+		for _, q := range ks.seqs {
+			if present[q/64]&(1<<(q%64)) != 0 {
+				rep.Problems = append(rep.Problems, fmt.Sprintf("commit number %d claimed by two entries", q))
+			}
+			present[q/64] |= 1 << (q % 64)
+		}
+	}
+	fc := uint64(0)
+	for fc < maxSeq && present[(fc+1)/64]&(1<<((fc+1)%64)) != 0 {
+		fc++
+	}
+	rep.Fc = fc
+
+	// Pass 2 (arithmetic only — recovery's phase 2 without the pruning):
+	// count what survives the cut at fc and what acknowledged state is lost.
+	lowerCovered := func(v uint64) {
+		if v < rep.CoveredTo {
+			rep.CoveredTo = v
+		}
+	}
+	for _, ks := range scans {
+		keep := uint64(0)
+		for _, q := range ks.seqs {
+			if q > fc {
+				break
+			}
+			keep++
+		}
+		rep.Entries += keep
+		rep.Lost += uint64(len(ks.seqs)) - keep + ks.extra
+		for _, v := range ks.vers[keep:] {
+			lowerCovered(v)
+		}
+		if ks.extra > 0 {
+			lowerCovered(ks.extraMin)
+		}
+		for _, v := range ks.vers[:keep] {
+			if v > rep.MaxVersion {
+				rep.MaxVersion = v
+			}
+		}
+	}
+	if rep.MaxVersion > rep.CurrentVersion {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"version counter %d behind recovered entries (max version %d); recovery advances it",
+			rep.CurrentVersion, rep.MaxVersion))
+	}
+	if rep.Lost > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"%d acknowledged entries above the durable prefix are lost on the next open; reads of versions >= %d change",
+			rep.Lost, rep.CoveredTo))
+	}
+	if rep.Unfinished > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"%d torn slots of unacknowledged operations; recovery zeroes them", rep.Unfinished))
+	}
+	return rep
+}

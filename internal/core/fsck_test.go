@@ -1,0 +1,197 @@
+package core
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mvkv/internal/pmem"
+)
+
+// fsckStore builds a quiesced store on a caller-visible arena so the image
+// can be checked (and damaged) in place.
+func fsckStore(t *testing.T) (*pmem.Arena, *Store) {
+	t.Helper()
+	a, err := pmem.New(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CreateInArena(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); a.Close() })
+	return a, s
+}
+
+func TestFsckClean(t *testing.T) {
+	a, s := fsckStore(t)
+	for k := uint64(0); k < 200; k++ {
+		if err := s.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tag()
+	for k := uint64(0); k < 50; k++ {
+		if err := s.Insert(k, k*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.clock.Quiesce()
+
+	rep := Fsck(a, Options{})
+	if got := rep.Severity(); got != FsckClean {
+		t.Fatalf("severity = %d, report %+v", got, rep)
+	}
+	if rep.Keys != 200 || rep.Entries != 250 || rep.Lost != 0 || rep.Unfinished != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Fc != 250 || rep.CoveredTo != CoveredAll || rep.CurrentVersion != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestFsckRepairableTornCommit(t *testing.T) {
+	a, s := fsckStore(t)
+	for v := uint64(0); v < 3; v++ {
+		for k := uint64(0); k < 40; k++ {
+			if err := s.Insert(k, k*100+v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Tag()
+	}
+	// Key 7's version-2 slot loses its commit word: the damage recovery
+	// reports as CoveredTo=2, and everything sequenced after it is cut too.
+	if !s.ZeroSlotSeq(7, 2) {
+		t.Fatal("ZeroSlotSeq missed")
+	}
+
+	rep := Fsck(a, Options{})
+	if got := rep.Severity(); got != FsckRepairable {
+		t.Fatalf("severity = %d, report %+v", got, rep)
+	}
+	if rep.Lost == 0 || rep.CoveredTo != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Entries+rep.Lost != 3*40-1 || rep.Unfinished != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if len(rep.Notes) == 0 {
+		t.Fatalf("no notes in %+v", rep)
+	}
+}
+
+func TestFsckRepairableLaggingCounter(t *testing.T) {
+	a, s := fsckStore(t)
+	// Replay-style append above the version counter (the shape left when
+	// the counter's persist raced a crash).
+	if err := s.AppendAt(9, 5, 90); err != nil {
+		t.Fatal(err)
+	}
+	s.clock.Quiesce()
+
+	rep := Fsck(a, Options{})
+	if got := rep.Severity(); got != FsckRepairable {
+		t.Fatalf("severity = %d, report %+v", got, rep)
+	}
+	if rep.MaxVersion != 5 || rep.CurrentVersion != 0 || rep.Lost != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestFsckCorrupt(t *testing.T) {
+	t.Run("duplicate commit", func(t *testing.T) {
+		a, s := fsckStore(t)
+		s.Insert(1, 10)
+		s.Insert(2, 20)
+		h, _ := s.index.Get(2)
+		s.clock.Quiesce()
+		h.SetSlotSeq(s.arena, 0, 1) // now both keys claim commit 1
+
+		rep := Fsck(a, Options{})
+		if got := rep.Severity(); got != FsckCorrupt {
+			t.Fatalf("severity = %d, report %+v", got, rep)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		a, s := fsckStore(t)
+		s.Insert(1, 10)
+		s.clock.Quiesce()
+		a.StoreUint64(s.super+supMagicOff, 0xBAD)
+
+		rep := Fsck(a, Options{})
+		if got := rep.Severity(); got != FsckCorrupt {
+			t.Fatalf("severity = %d, report %+v", got, rep)
+		}
+	})
+
+	t.Run("wild root", func(t *testing.T) {
+		a, s := fsckStore(t)
+		s.Insert(1, 10)
+		s.clock.Quiesce()
+		a.SetRoot(pmem.Ptr(a.Size() + 8))
+
+		rep := Fsck(a, Options{})
+		if got := rep.Severity(); got != FsckCorrupt {
+			t.Fatalf("severity = %d, report %+v", got, rep)
+		}
+	})
+}
+
+// TestFsckMatchesRecovery: on a damaged file-backed pool, the read-only
+// checker must predict exactly what recovery then does — same fc, same
+// CoveredTo, same kept-entry count — and must not have changed the image.
+func TestFsckMatchesRecovery(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("file-backed pools are linux-only")
+	}
+	path := filepath.Join(t.TempDir(), "fsck.pool")
+	s, err := Create(Options{Path: path, ArenaBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 4; v++ {
+		for k := uint64(0); k < 30; k++ {
+			if err := s.Insert(k, k+v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Tag()
+	}
+	if !s.ZeroSlotSeq(11, 1) {
+		t.Fatal("ZeroSlotSeq missed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := pmem.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Fsck(a, Options{})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckRepairable {
+		t.Fatalf("report %+v", rep)
+	}
+
+	s2, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.RecoveryStats()
+	if st.Fc != rep.Fc || st.CoveredTo != rep.CoveredTo || st.Entries != rep.Entries {
+		t.Fatalf("fsck %+v vs recovery %+v", rep, st)
+	}
+	// Recovery's PrunedEntries counts only the prefix entries cut at fc;
+	// Lost additionally counts finished entries stranded beyond a per-key
+	// prefix break, so it bounds PrunedEntries from above.
+	if st.PrunedEntries > rep.Lost {
+		t.Fatalf("fsck lost %d vs recovery pruned %d", rep.Lost, st.PrunedEntries)
+	}
+}

@@ -37,6 +37,12 @@ func (s *Store) recover() error {
 		key  uint64
 		pair blockchain.Pair
 		seqs []uint64 // strictly increasing commit numbers of the durable prefix
+		vers []uint64 // versions of the prefix entries, aligned with seqs
+		// extraMin is the smallest version among complete slots beyond the
+		// prefix break (CoveredAll if none): those entries finished before
+		// the crash but are discarded with the rest of the suffix, so their
+		// versions bound CoveredTo too.
+		extraMin uint64
 	}
 
 	// Phase 1: parallel scan.
@@ -50,16 +56,27 @@ func (s *Store) recover() error {
 			s.chain.WalkShard(t, threads, func(p blockchain.Pair) bool {
 				h := vhistory.OpenPHistory(p.Hist, 0)
 				raw := h.RecoverScan(s.arena)
-				var seqs []uint64
+				var seqs, vers []uint64
 				prev := uint64(0)
-				for _, r := range raw {
+				i := 0
+				for ; i < len(raw); i++ {
+					r := raw[i]
 					if !r.Complete() || r.Seq <= prev {
 						break
 					}
 					seqs = append(seqs, r.Seq)
+					vers = append(vers, r.VersionPlus1-1)
 					prev = r.Seq
 				}
-				local = append(local, candidate{key: p.Key, pair: p, seqs: seqs})
+				// Finished entries stranded beyond the prefix break are
+				// pruned below; their versions bound the damage too.
+				extraMin := uint64(CoveredAll)
+				for ; i < len(raw); i++ {
+					if r := raw[i]; r.Complete() && r.VersionPlus1-1 < extraMin {
+						extraMin = r.VersionPlus1 - 1
+					}
+				}
+				local = append(local, candidate{key: p.Key, pair: p, seqs: seqs, vers: vers, extraMin: extraMin})
 				return true
 			})
 			perShard[t] = local
@@ -89,8 +106,19 @@ func (s *Store) recover() error {
 		fc++
 	}
 
-	// Phase 2: prune + rebuild, in parallel.
+	// Phase 2: prune + rebuild, in parallel. coveredTo tracks the smallest
+	// version that loses a finished (acknowledged) entry to pruning.
 	var kept, pruned, keys, maxVer atomic.Uint64
+	var coveredTo atomic.Uint64
+	coveredTo.Store(CoveredAll)
+	lowerCovered := func(v uint64) {
+		for {
+			cur := coveredTo.Load()
+			if v >= cur || coveredTo.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(t int) {
@@ -102,6 +130,12 @@ func (s *Store) recover() error {
 						break
 					}
 					keep++
+				}
+				for _, v := range c.vers[keep:] {
+					lowerCovered(v)
+				}
+				if c.extraMin != CoveredAll {
+					lowerCovered(c.extraMin)
 				}
 				h := vhistory.OpenPHistory(c.pair.Hist, 0)
 				h.Prune(s.arena, keep)
@@ -137,6 +171,7 @@ func (s *Store) recover() error {
 		Entries:       kept.Load(),
 		PrunedEntries: pruned.Load(),
 		Fc:            fc,
+		CoveredTo:     coveredTo.Load(),
 		Threads:       threads,
 		Elapsed:       time.Since(start),
 	}

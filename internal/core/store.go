@@ -97,14 +97,27 @@ type Store struct {
 	stats  RecoveryStats
 }
 
+// CoveredAll is the RecoveryStats.CoveredTo sentinel meaning the crash
+// lost no finished entries: every version the store ever acknowledged is
+// intact.
+const CoveredAll = ^uint64(0)
+
 // RecoveryStats describes what the last Open recovered.
 type RecoveryStats struct {
 	Keys          int    // keys reinserted into the index
 	Entries       uint64 // history entries kept
 	PrunedEntries uint64 // history entries discarded (not durably finished)
 	Fc            uint64 // recovered global finished counter
-	Threads       int    // reconstruction threads used
-	Elapsed       time.Duration
+	// CoveredTo is the first version number whose content may have been
+	// damaged by the crash: the minimum version over all pruned entries
+	// that had completed (their commit numbers were durable, so their
+	// operations had been acknowledged before the crash). Every version
+	// below it reads exactly as before the crash; CoveredAll means no
+	// finished entry was lost. The distributed rejoin protocol aligns the
+	// whole cluster on this boundary.
+	CoveredTo uint64
+	Threads   int // reconstruction threads used
+	Elapsed   time.Duration
 }
 
 // Create builds a fresh store. With Options.Path set the arena is
@@ -175,6 +188,7 @@ func CreateInArena(a *pmem.Arena, opts Options) (*Store, error) {
 		super: super,
 		clock: vhistory.NewClock(),
 		index: skiplist.New[*vhistory.PHistory](),
+		stats: RecoveryStats{CoveredTo: CoveredAll},
 	}
 	chain, err := blockchain.New(a, super+supChainOff, opts.BlockCapacity)
 	if err != nil {

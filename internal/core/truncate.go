@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sort"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/vhistory"
+)
+
+// TruncateFrom implements kv.Truncator: it durably discards every history
+// entry belonging to versions >= cutoff and moves the version counter to
+// cutoff, leaving the store exactly as if it had been stopped right after
+// version cutoff-1 was sealed. The distributed rejoin protocol calls it on
+// every rank to align the cluster on the greatest consistent version after
+// a crash (DESIGN.md, "Fault model").
+//
+// Truncation removes entries from the *middle* of the global commit
+// sequence (the discarded suffix of one key interleaves with survivors of
+// others), which would leave gaps that a later recovery treats as the end
+// of the durable prefix — silently cutting acknowledged survivors. The
+// surviving entries are therefore re-sequenced into a gap-free order:
+// sorted by their old commit numbers and rewritten to 1..n, and the clock
+// restarts at n. Each new number is <= the old one at the same slot while
+// per-key order is preserved, so per-key commit numbers stay strictly
+// increasing under *any* crash prefix of the rewrite — a crash mid-
+// truncation recovers to a consistent (possibly conservatively shorter)
+// prefix, never to a corrupt one.
+//
+// Only safe when no operations are concurrently in flight.
+func (s *Store) TruncateFrom(cutoff uint64) error {
+	if s.wedged.Load() {
+		return ErrWedged
+	}
+	s.clock.Quiesce()
+
+	// Pass 1: per key, find the surviving prefix (versions are
+	// non-decreasing in slot order, so entries >= cutoff form a suffix),
+	// durably zero the rest, and collect the survivors' slot references.
+	type ref struct {
+		h      *vhistory.PHistory
+		slot   uint64
+		oldSeq uint64
+	}
+	var refs []ref
+	s.index.All(func(_ uint64, h *vhistory.PHistory) bool {
+		raw := h.RecoverScan(s.arena)
+		keep := uint64(0)
+		prev := uint64(0)
+		for _, r := range raw {
+			if !r.Complete() || r.Seq <= prev || r.VersionPlus1-1 >= cutoff {
+				break
+			}
+			refs = append(refs, ref{h: h, slot: keep, oldSeq: r.Seq})
+			keep++
+			prev = r.Seq
+		}
+		h.Prune(s.arena, keep)
+		return true
+	})
+
+	// Pass 2: close the commit-sequence gaps. Global old-seq order is the
+	// original commit order of the survivors; renumbering it 1..n keeps
+	// every per-key subsequence strictly increasing.
+	sort.Slice(refs, func(i, j int) bool { return refs[i].oldSeq < refs[j].oldSeq })
+	for i, r := range refs {
+		if newSeq := uint64(i) + 1; newSeq != r.oldSeq {
+			r.h.SetSlotSeq(s.arena, r.slot, newSeq)
+		}
+	}
+	s.clock.Reset(uint64(len(refs)))
+
+	// Move the version counter to the cutoff, durably. (It can also move
+	// forward: sealing empty versions up to the cluster-agreed target.)
+	s.arena.StoreUint64(s.super+supVerOff, cutoff)
+	s.arena.Persist(s.super+supVerOff, 8)
+	return nil
+}
+
+var _ kv.Truncator = (*Store)(nil)

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+// buildVersioned seals nVersions versions, each writing keys 0..nKeys-1 to
+// value key*1000+version, and returns the snapshots taken after each seal.
+func buildVersioned(t *testing.T, s *Store, nKeys, nVersions int) [][]kv.KV {
+	t.Helper()
+	snaps := make([][]kv.KV, nVersions)
+	for v := 0; v < nVersions; v++ {
+		for k := 0; k < nKeys; k++ {
+			if err := s.Insert(uint64(k), uint64(k*1000+v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sealed := s.Tag()
+		if sealed != uint64(v) {
+			t.Fatalf("tag sealed %d, want %d", sealed, v)
+		}
+		snaps[v] = s.ExtractSnapshot(sealed)
+	}
+	return snaps
+}
+
+func sameSnap(a, b []kv.KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTruncateFrom: after truncating at cutoff, versions below it read
+// exactly as before, versions at/above it read as the last surviving one,
+// and the counter sits at cutoff.
+func TestTruncateFrom(t *testing.T) {
+	a, err := pmem.New(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	s, err := CreateInArena(a, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := buildVersioned(t, s, 40, 6)
+
+	const cutoff = 3
+	if err := s.TruncateFrom(cutoff); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CurrentVersion(); got != cutoff {
+		t.Fatalf("counter after truncate: %d, want %d", got, cutoff)
+	}
+	for v := 0; v < cutoff; v++ {
+		if !sameSnap(s.ExtractSnapshot(uint64(v)), snaps[v]) {
+			t.Fatalf("snapshot %d changed by truncation", v)
+		}
+	}
+	// Versions at/above the cutoff now read as the last surviving version.
+	if !sameSnap(s.ExtractSnapshot(5), snaps[cutoff-1]) {
+		t.Fatal("post-cutoff snapshot should equal the last surviving one")
+	}
+	// The store accepts new work and the timeline continues from cutoff.
+	if err := s.Insert(7, 4242); err != nil {
+		t.Fatal(err)
+	}
+	if sealed := s.Tag(); sealed != cutoff {
+		t.Fatalf("next tag sealed %d, want %d", sealed, cutoff)
+	}
+	if got, ok := s.Find(7, cutoff); !ok || got != 4242 {
+		t.Fatalf("find after truncate+insert: %d,%v", got, ok)
+	}
+	if got, ok := s.Find(7, cutoff-1); !ok || got != 7*1000+cutoff-1 {
+		t.Fatalf("old version disturbed: %d,%v", got, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncateFromSurvivesReopen: truncation must leave a durable image a
+// recovery accepts in full — in particular no commit-sequence gaps that
+// would make recovery cut acknowledged survivors.
+func TestTruncateFromSurvivesReopen(t *testing.T) {
+	a, err := pmem.New(32<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	s, err := CreateInArena(a, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := buildVersioned(t, s, 60, 5)
+
+	const cutoff = 2
+	if err := s.TruncateFrom(cutoff); err != nil {
+		t.Fatal(err)
+	}
+	post := s.ExtractSnapshot(cutoff - 1)
+
+	// Crash (drops everything not persisted) and recover.
+	a.Crash()
+	s2, err := OpenArena(a, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.RecoveryStats()
+	if st.PrunedEntries != 0 {
+		t.Fatalf("recovery pruned %d entries after a clean truncation", st.PrunedEntries)
+	}
+	if st.CoveredTo != CoveredAll {
+		t.Fatalf("recovery reported damage (CoveredTo=%d) after clean truncation", st.CoveredTo)
+	}
+	if got := s2.CurrentVersion(); got != cutoff {
+		t.Fatalf("recovered counter: %d, want %d", got, cutoff)
+	}
+	for v := 0; v < cutoff; v++ {
+		if !sameSnap(s2.ExtractSnapshot(uint64(v)), snaps[v]) {
+			t.Fatalf("snapshot %d damaged across truncate+crash", v)
+		}
+	}
+	if !sameSnap(s2.ExtractSnapshot(cutoff-1), post) {
+		t.Fatal("post-truncation snapshot differs after reopen")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncateFromForward: moving the counter forward seals empty versions
+// (used by cluster alignment to catch a lagging rank up).
+func TestTruncateFromForward(t *testing.T) {
+	a, err := pmem.New(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	s, err := CreateInArena(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildVersioned(t, s, 10, 2)
+	if err := s.TruncateFrom(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CurrentVersion(); got != 7 {
+		t.Fatalf("counter: %d, want 7", got)
+	}
+	// The intermediate versions read as the last sealed content.
+	if got, ok := s.Find(3, 5); !ok || got != 3*1000+1 {
+		t.Fatalf("find at gap version: %d,%v", got, ok)
+	}
+}
+
+// TestRecoveryCoveredTo: a crash that loses finished entries of a version
+// must be reported through CoveredTo = that version, and truncating there
+// restores the earlier versions exactly.
+func TestRecoveryCoveredTo(t *testing.T) {
+	const nKeys = 30
+	a, err := pmem.New(32<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	s, err := CreateInArena(a, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := buildVersioned(t, s, nKeys, 4)
+	s.Clock().Quiesce()
+
+	// Model a crash that lost one commit mid-sequence: durably zero the
+	// commit number of version 2's first write (key 0, slot 2). Recovery's
+	// durable prefix then ends just below it, so every later commit — the
+	// rest of version 2 and all of version 3, all acknowledged — must be
+	// pruned and reported via CoveredTo.
+	h, ok := s.index.Get(0)
+	if !ok {
+		t.Fatal("key 0 missing")
+	}
+	h.SetSlotSeq(s.arena, 2, 0)
+	a.Crash()
+
+	s2, err := OpenArena(a, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.RecoveryStats()
+	if st.PrunedEntries == 0 {
+		t.Fatal("recovery pruned nothing despite the sequence gap")
+	}
+	if st.CoveredTo != 2 {
+		t.Fatalf("CoveredTo = %d, want 2", st.CoveredTo)
+	}
+	// Versions below CoveredTo read exactly as before the crash.
+	for v := 0; v < 2; v++ {
+		if !sameSnap(s2.ExtractSnapshot(uint64(v)), snaps[v]) {
+			t.Fatalf("snapshot %d damaged by the crash", v)
+		}
+	}
+	// Aligning at CoveredTo (what the cluster rejoin protocol does on
+	// every rank) leaves a clean store at version 2.
+	if err := kv.TruncateFrom(s2, st.CoveredTo); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.CurrentVersion(); got != 2 {
+		t.Fatalf("aligned counter: %d, want 2", got)
+	}
+	if rep, err := s2.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after align: %v (%+v)", err, rep)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"mvkv/internal/cluster"
 	"mvkv/internal/kv"
@@ -15,8 +16,16 @@ import (
 // rank, and ClusterStore packages the whole protocol as a kv.Store — the
 // entire cluster behaves as one multi-version ordered store and passes the
 // same conformance suite as the local ones.
+//
+// Every routed write carries a sequence number and is acknowledged within
+// the operation deadline; an owner that misses it is marked down and the
+// write fails with ErrRankDown (outcome unknown — the frame may or may not
+// have been applied; see DESIGN.md "Fault model"). Stale acknowledgements
+// from earlier timed-out writes are discarded by sequence number.
 
-// write frame opcodes (point-to-point, rank 0 -> owner).
+// write frame opcodes (point-to-point on chWrite, rank 0 -> owner).
+// Frames are [writeSeq, opcode, args...]; acks are [writeSeq] followed by
+// the error string (empty = success).
 const (
 	wInsert uint64 = iota + 1
 	wRemove
@@ -28,50 +37,88 @@ const (
 	wInsertBatch
 )
 
-// additional broadcast opcodes for store-wide operations.
+// additional command opcodes for store-wide operations.
 const (
 	opTagAll uint64 = iota + 100
 	opLenSum
 	opHistoryAny
 )
 
+// PartialBatchError reports a batch insert that did not cleanly apply
+// everywhere: per owner rank, how many pairs were applied, which sub-
+// batches definitely failed, and which have unknown outcome (the owner
+// stopped acknowledging — it may or may not have applied its sub-batch
+// before dying). Match with errors.As.
+type PartialBatchError struct {
+	// Applied maps rank -> number of pairs confirmed applied there.
+	Applied map[int]int
+	// Failed maps rank -> error for sub-batches that definitely did not
+	// apply (owner down before dispatch, or the owner reported an error).
+	Failed map[int]error
+	// Unknown maps rank -> error for sub-batches whose outcome is unknown
+	// (send failed mid-flight or the acknowledgement timed out).
+	Unknown map[int]error
+}
+
+func (e *PartialBatchError) Error() string {
+	applied := 0
+	for _, n := range e.Applied {
+		applied += n
+	}
+	return fmt.Sprintf("dist: partial batch: %d pairs applied on %d ranks, %d sub-batches failed, %d unknown",
+		applied, len(e.Applied), len(e.Failed), len(e.Unknown))
+}
+
 // ServeWrites processes routed writes on a worker rank until wStop.
 // Run it alongside Serve (see ServeAll).
 func (s *Service) ServeWrites() error {
 	for {
-		req, err := s.comm.Recv(0)
+		req, err := s.comm.RecvCh(0, chWrite)
 		if err != nil {
 			return err
 		}
 		w := cluster.GetUint64s(req)
+		if len(w) < 2 {
+			continue // malformed frame; nothing to acknowledge
+		}
+		wseq := w[0]
 		var reply string
-		switch w[0] {
+		switch w[1] {
 		case wInsert:
-			if err := s.store.Insert(w[1], w[2]); err != nil {
+			if len(w) < 4 {
+				reply = "dist: short insert frame"
+				break
+			}
+			if err := s.store.Insert(w[2], w[3]); err != nil {
 				reply = err.Error()
 			}
 		case wRemove:
-			if err := s.store.Remove(w[1]); err != nil {
+			if len(w) < 3 {
+				reply = "dist: short remove frame"
+				break
+			}
+			if err := s.store.Remove(w[2]); err != nil {
 				reply = err.Error()
 			}
 		case wInsertBatch:
-			if len(w)%2 != 1 {
+			if len(w)%2 != 0 {
 				reply = "dist: ragged insert batch frame"
 				break
 			}
-			pairs := make([]kv.KV, (len(w)-1)/2)
+			pairs := make([]kv.KV, (len(w)-2)/2)
 			for i := range pairs {
-				pairs[i] = kv.KV{Key: w[1+2*i], Value: w[2+2*i]}
+				pairs[i] = kv.KV{Key: w[2+2*i], Value: w[3+2*i]}
 			}
 			if err := kv.InsertBatch(s.store, pairs); err != nil {
 				reply = err.Error()
 			}
 		case wStop:
-			return s.comm.Send(0, nil)
+			return s.comm.SendCh(0, chWrite, cluster.PutUint64s(wseq))
 		default:
-			reply = fmt.Sprintf("dist: unknown write opcode %d", w[0])
+			reply = fmt.Sprintf("dist: unknown write opcode %d", w[1])
 		}
-		if err := s.comm.Send(0, []byte(reply)); err != nil {
+		ack := append(cluster.PutUint64s(wseq), []byte(reply)...)
+		if err := s.comm.SendCh(0, chWrite, ack); err != nil {
 			return err
 		}
 	}
@@ -91,9 +138,58 @@ func (s *Service) ServeAll() error {
 	return err2
 }
 
+// awaitAck waits for the acknowledgement of write wseq from rank r,
+// discarding stale acks of earlier timed-out writes. It returns the
+// owner-reported error string ("" = success).
+func (s *Service) awaitAck(r int, wseq uint64) (string, error) {
+	deadline := time.Now().Add(s.opts.OpTimeout)
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return "", cluster.ErrRecvTimeout
+		}
+		ack, err := s.comm.RecvChTimeout(r, chWrite, d)
+		if err != nil {
+			return "", err
+		}
+		if len(ack) < 8 {
+			continue // malformed; keep waiting within the deadline
+		}
+		w := cluster.GetUint64s(ack[:8])
+		if w[0] != wseq {
+			continue // stale ack of an earlier timed-out write
+		}
+		return string(ack[8:]), nil
+	}
+}
+
+// sendWrite dispatches one write frame to rank r and waits for its ack.
+// Failures mark r down; unknown == true means the frame may have been
+// applied even though the call failed (outcome unknown).
+func (s *Service) sendWrite(r int, wseq uint64, frame []byte) (unknown bool, err error) {
+	if err := s.comm.SendCh(r, chWrite, frame); err != nil {
+		s.health.MarkDown(r)
+		return true, fmt.Errorf("dist: write to rank %d failed (outcome unknown): %w (%w)",
+			r, err, cluster.ErrRankDown{Rank: r})
+	}
+	reply, err := s.awaitAck(r, wseq)
+	if err != nil {
+		s.health.MarkDown(r)
+		return true, fmt.Errorf("dist: write to rank %d unacknowledged (outcome unknown): %w (%w)",
+			r, err, cluster.ErrRankDown{Rank: r})
+	}
+	s.health.MarkAlive(r)
+	if reply != "" {
+		return false, fmt.Errorf("%s", reply)
+	}
+	return false, nil
+}
+
 // routeWrite sends a write to its owner (or applies it locally on rank 0)
-// and waits for the acknowledgement. Caller must serialize (ClusterStore
-// does).
+// and waits for the acknowledgement. If the owner is down and inside its
+// probe backoff the write fails fast with ErrRankDown; otherwise the
+// attempt doubles as the liveness probe. Caller must serialize
+// (ClusterStore does).
 func (s *Service) routeWrite(op, key, value uint64) error {
 	owner := Owner(key, s.comm.Size())
 	if owner == s.comm.Rank() {
@@ -102,96 +198,141 @@ func (s *Service) routeWrite(op, key, value uint64) error {
 		}
 		return s.store.Remove(key)
 	}
-	if err := s.comm.Send(owner, cluster.PutUint64s(op, key, value)); err != nil {
-		return err
+	s.processRejoins()
+	if s.health.FailFast(owner) {
+		return cluster.ErrRankDown{Rank: owner}
 	}
-	ack, err := s.comm.Recv(owner)
-	if err != nil {
-		return err
-	}
-	if len(ack) > 0 {
-		return fmt.Errorf("%s", ack)
-	}
-	return nil
+	wseq := s.writeSeq
+	s.writeSeq++
+	_, err := s.sendWrite(owner, wseq, cluster.PutUint64s(wseq, op, key, value))
+	return err
 }
 
 // routeInsertBatch scatters a batch to its owner ranks: one frame per rank
 // carrying that rank's sub-batch (pairs keep their batch order within it,
 // so per-key insertion order is preserved), with the remote round-trips
 // dispatched concurrently while this rank applies its own share through the
-// local bulk path. Caller must serialize (ClusterStore does).
+// local bulk path. A failure on some ranks leaves the others' sub-batches
+// applied; the returned *PartialBatchError reports, per rank, what was
+// applied, what definitely failed, and what has unknown outcome. Caller
+// must serialize (ClusterStore does).
 func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 	size := s.comm.Size()
+	self := s.comm.Rank()
 	perRank := make([][]kv.KV, size)
 	for _, p := range pairs {
 		o := Owner(p.Key, size)
 		perRank[o] = append(perRank[o], p)
 	}
-	errs := make([]error, size)
+	s.processRejoins()
+
+	pe := &PartialBatchError{
+		Applied: make(map[int]int),
+		Failed:  make(map[int]error),
+		Unknown: make(map[int]error),
+	}
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
-		if r == s.comm.Rank() || len(perRank[r]) == 0 {
+		if r == self || len(perRank[r]) == 0 {
 			continue
 		}
+		if s.health.FailFast(r) {
+			pe.Failed[r] = cluster.ErrRankDown{Rank: r}
+			continue
+		}
+		// Sequence numbers are allocated here, before the goroutines
+		// start, so the caller's serialization covers writeSeq; the
+		// concurrent ack waits are safe because each goroutine receives
+		// from a distinct peer.
+		wseq := s.writeSeq
+		s.writeSeq++
 		wg.Add(1)
-		go func(r int, sub []kv.KV) {
+		go func(r int, wseq uint64, sub []kv.KV) {
 			defer wg.Done()
-			vals := make([]uint64, 0, 1+2*len(sub))
-			vals = append(vals, wInsertBatch)
+			vals := make([]uint64, 0, 2+2*len(sub))
+			vals = append(vals, wseq, wInsertBatch)
 			for _, p := range sub {
 				vals = append(vals, p.Key, p.Value)
 			}
-			if err := s.comm.Send(r, cluster.PutUint64s(vals...)); err != nil {
-				errs[r] = err
-				return
+			unknown, err := s.sendWrite(r, wseq, cluster.PutUint64s(vals...))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				pe.Applied[r] = len(sub)
+			case unknown:
+				pe.Unknown[r] = err
+			default:
+				pe.Failed[r] = err
 			}
-			ack, err := s.comm.Recv(r)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			if len(ack) > 0 {
-				errs[r] = fmt.Errorf("%s", ack)
-			}
-		}(r, perRank[r])
+		}(r, wseq, perRank[r])
 	}
 	// The local share overlaps the remote round-trips.
-	if sub := perRank[s.comm.Rank()]; len(sub) > 0 {
-		errs[s.comm.Rank()] = kv.InsertBatch(s.store, sub)
+	if sub := perRank[self]; len(sub) > 0 {
+		if err := kv.InsertBatch(s.store, sub); err != nil {
+			mu.Lock()
+			pe.Failed[self] = err
+			mu.Unlock()
+		} else {
+			mu.Lock()
+			pe.Applied[self] = len(sub)
+			mu.Unlock()
+		}
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if len(pe.Failed) > 0 || len(pe.Unknown) > 0 {
+		return pe
 	}
 	return nil
 }
 
-// stopWrites terminates every rank's write loop (rank 0 only).
+// stopWrites terminates every live rank's write loop (rank 0 only). Ranks
+// currently down are skipped — their write loops died with them — and
+// per-rank failures don't block stopping the others.
 func (s *Service) stopWrites() error {
+	var firstErr error
 	for r := 1; r < s.comm.Size(); r++ {
-		if err := s.comm.Send(r, cluster.PutUint64s(wStop, 0, 0)); err != nil {
-			return err
+		if s.health.IsDown(r) {
+			continue
 		}
-		if _, err := s.comm.Recv(r); err != nil {
-			return err
+		wseq := s.writeSeq
+		s.writeSeq++
+		if err := s.comm.SendCh(r, chWrite, cluster.PutUint64s(wseq, wStop)); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if _, err := s.awaitAck(r, wseq); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // TagAll seals the current version on every rank (they stay in lockstep
-// because all mutations flow through rank 0) and returns its number.
+// because all mutations flow through rank 0) and returns its number. A
+// version seal is meaningless unless every partition participates, so
+// TagAll requires the full cluster: with any rank down it fails fast with
+// ErrRankDown. If a rank dies during the seal its counter lags by at most
+// this one version; the rejoin alignment heals the skew.
 func (s *Service) TagAll() (uint64, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opTagAll)); err != nil {
+	all := make([]int, s.comm.Size())
+	for r := range all {
+		all[r] = r
+	}
+	ctx, err := s.beginOp(opTagAll, all)
+	if err != nil {
 		return 0, err
 	}
 	v := s.store.Tag()
-	// Confirm every rank sealed the same version number.
-	rep, err := s.comm.Reduce(0, cluster.PutUint64s(v, v), combineMinMax)
-	if err != nil {
-		return 0, err
+	rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, cluster.PutUint64s(v, v), combineMinMax, s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	if maskAny(lost) {
+		missing := maskMembers(lost, s.comm.Size())
+		return 0, fmt.Errorf("dist: tag %d not confirmed by ranks %v: %w", v, missing,
+			cluster.ErrRankDown{Rank: missing[0]})
 	}
 	w := cluster.GetUint64s(rep)
 	if w[0] != w[1] {
@@ -201,10 +342,10 @@ func (s *Service) TagAll() (uint64, error) {
 }
 
 func combineMinMax(a, b []byte) []byte {
-	if a == nil {
+	if len(a) == 0 {
 		return b
 	}
-	if b == nil {
+	if len(b) == 0 {
 		return a
 	}
 	av, bv := cluster.GetUint64s(a), cluster.GetUint64s(b)
@@ -218,47 +359,65 @@ func combineMinMax(a, b []byte) []byte {
 	return cluster.PutUint64s(lo, hi)
 }
 
-// LenSum returns the total number of distinct keys across all partitions.
+// LenSum returns the total number of distinct keys across all reachable
+// partitions; unreachable ones are reported via PartialResultError
+// alongside the partial sum.
 func (s *Service) LenSum() (int, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opLenSum)); err != nil {
-		return 0, err
-	}
-	rep, err := s.comm.Reduce(0, cluster.PutUint64s(uint64(s.store.Len())), combineSum)
+	ctx, err := s.beginOp(opLenSum, nil)
 	if err != nil {
 		return 0, err
 	}
-	return int(cluster.GetUint64s(rep)[0]), nil
+	rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, cluster.PutUint64s(uint64(s.store.Len())), combineSum, s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	n := int(cluster.GetUint64s(rep)[0])
+	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
+		return n, &PartialResultError{Missing: missing}
+	}
+	return n, nil
 }
 
 func combineSum(a, b []byte) []byte {
-	if a == nil {
+	if len(a) == 0 {
 		return b
 	}
-	if b == nil {
+	if len(b) == 0 {
 		return a
 	}
 	return cluster.PutUint64s(cluster.GetUint64s(a)[0] + cluster.GetUint64s(b)[0])
 }
 
-// HistoryAny returns the key's change log from its owner.
+// HistoryAny returns the key's change log from its owner, with the same
+// degraded-mode contract as Find: ErrRankDown if the owner is down, one
+// retry if its reply was stranded behind a rank that died mid-tree.
 func (s *Service) HistoryAny(key uint64) ([]kv.Event, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opHistoryAny, key)); err != nil {
-		return nil, err
+	owner := Owner(key, s.comm.Size())
+	for attempt := 0; ; attempt++ {
+		ctx, err := s.beginOp(opHistoryAny, []int{owner}, key)
+		if err != nil {
+			return nil, err
+		}
+		rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, s.historyReply(key), combineFind, s.opts.OpTimeout)
+		s.endOp(ctx, suspects, lost)
+		if owner != s.comm.Rank() && maskHas(lost, owner) {
+			if s.health.IsDown(owner) {
+				return nil, cluster.ErrRankDown{Rank: owner}
+			}
+			if attempt == 0 {
+				continue
+			}
+			return nil, &PartialResultError{Missing: s.missingRanks(ctx, lost)}
+		}
+		w := cluster.GetUint64s(rep)
+		if w[0] == 0 {
+			return nil, nil
+		}
+		n := int(w[1])
+		out := make([]kv.Event, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, kv.Event{Version: w[2+2*i], Value: w[3+2*i]})
+		}
+		return out, nil
 	}
-	rep, err := s.comm.Reduce(0, s.historyReply(key), combineFind)
-	if err != nil {
-		return nil, err
-	}
-	w := cluster.GetUint64s(rep)
-	if w[0] == 0 {
-		return nil, nil
-	}
-	n := int(w[1])
-	out := make([]kv.Event, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, kv.Event{Version: w[2+2*i], Value: w[3+2*i]})
-	}
-	return out, nil
 }
 
 // historyReply encodes (present, n, events...) — present only on the owner
@@ -290,7 +449,11 @@ func NewClusterStore(svc *Service) *ClusterStore {
 	return &ClusterStore{svc: svc}
 }
 
-// Insert implements kv.Store (routed to the owner rank).
+// Service returns the wrapped rank-0 service (health inspection, Heal).
+func (c *ClusterStore) Service() *Service { return c.svc }
+
+// Insert implements kv.Store (routed to the owner rank). With the owner
+// down it fails fast with ErrRankDown.
 func (c *ClusterStore) Insert(key, value uint64) error {
 	if value == kv.Marker {
 		return fmt.Errorf("dist: value is the reserved removal marker")
@@ -304,8 +467,9 @@ func (c *ClusterStore) Insert(key, value uint64) error {
 // ranks as per-rank sub-batches dispatched in parallel, each applied with
 // the owner's bulk path — one cluster round per rank instead of one per
 // pair. Pairs for the same key keep their batch order (they land in the
-// same sub-batch); a partial failure leaves the other ranks' sub-batches
-// applied, as with any interrupted sequence of Inserts.
+// same sub-batch). A partial failure leaves the other ranks' sub-batches
+// applied and returns a *PartialBatchError reporting exactly which ranks
+// applied, failed, or have unknown outcome.
 func (c *ClusterStore) InsertBatch(pairs []kv.KV) error {
 	for _, p := range pairs {
 		if p.Value == kv.Marker {
@@ -321,7 +485,7 @@ func (c *ClusterStore) InsertBatch(pairs []kv.KV) error {
 }
 
 // FindBatch implements kv.BulkStore, riding the BulkFind collective: one
-// broadcast/reduce round answers every query. Collective failures surface
+// command/reduce round answers every query. Collective failures surface
 // as all-absent.
 func (c *ClusterStore) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
 	c.mu.Lock()
@@ -359,7 +523,8 @@ func (c *ClusterStore) Tag() uint64 {
 	return v
 }
 
-// TagErr is Tag with collective/transport errors reported.
+// TagErr is Tag with collective/transport errors reported (ErrRankDown
+// when any partition is unreachable: a seal must cover the full cluster).
 func (c *ClusterStore) TagErr() (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -382,7 +547,8 @@ func (c *ClusterStore) CurrentVersionErr() (uint64, error) {
 	return c.svc.store.CurrentVersion(), nil
 }
 
-// ExtractSnapshot implements kv.Store (OptMerge).
+// ExtractSnapshot implements kv.Store (OptMerge). Partial results (ranks
+// down) surface as nil; use the Service method for the typed partial error.
 func (c *ClusterStore) ExtractSnapshot(version uint64) []kv.KV {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -427,7 +593,9 @@ func (c *ClusterStore) Len() int {
 }
 
 // Close implements kv.Store: it shuts down the worker ranks (their local
-// stores are closed by their owners after ServeAll returns).
+// stores are closed by their owners after ServeAll returns). Down ranks
+// are skipped; rejoiners pending on the control channel are healed first
+// so their fresh serve loops also get the release.
 func (c *ClusterStore) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

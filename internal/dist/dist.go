@@ -3,19 +3,28 @@
 // each owning a local multi-version store; rank 0 initiates queries that
 // run as MPI-style collectives over the cluster substrate.
 //
-//   - Find: broadcast (key, version), every rank probes its partition, the
+//   - Find: command (key, version), every rank probes its partition, the
 //     replies reduce back to rank 0 along a binomial tree.
-//   - Snapshot gather: broadcast version, each rank extracts its local
+//   - Snapshot gather: command version, each rank extracts its local
 //     sorted run, runs are gathered at rank 0 (Figure 7's lower bound).
 //   - NaiveMerge: gather + a K-way heap merge at rank 0.
 //   - OptMerge: recursive doubling — in each of log2(K) rounds the "odd"
 //     survivor sends its run to its partner, which merges it in with the
 //     multi-threaded two-way merge and survives (Section IV-A).
+//
+// Unlike the paper's MPI runtime, this layer tolerates rank crashes: every
+// collective step is deadline-bounded, commands go point-to-point to the
+// current live membership (so a dead rank cannot starve live ones of a
+// command), ranks that miss deadlines are marked down and subsequent
+// operations fail fast or return typed partial results, and a restarted
+// rank rejoins through the recovery handshake in rejoin.go. See ft.go for
+// the collective machinery and DESIGN.md ("Fault model") for the contract.
 package dist
 
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"mvkv/internal/cluster"
 	"mvkv/internal/kv"
@@ -29,7 +38,7 @@ func Owner(key uint64, size int) int {
 	return int((key * 0x9E3779B97F4A7C15) >> 32 % uint64(size))
 }
 
-// Command opcodes broadcast by rank 0.
+// Command opcodes sent by rank 0.
 const (
 	opFind uint64 = iota + 1
 	opHistory
@@ -39,23 +48,83 @@ const (
 	opBulkFind
 	opRangeMerge
 	opShutdown
+	// opAlign (rejoin.go) truncates every live rank's store above a
+	// version and catches its counter up — the cluster-wide durable-
+	// prefix alignment step of the rejoin protocol.
+	opAlign
 )
 
+// Point-to-point sub-channels between rank 0 and each worker. Keeping
+// command, write and control traffic on separate FIFO streams means a
+// worker blocked in a data phase never has command frames queue-jumped by
+// writes, and the rejoin handshake cannot interleave with either.
+const (
+	chWrite uint64 = 0 // routed writes + acks (the legacy Send/Recv channel)
+	chCmd   uint64 = 1 // collective command frames
+	chCtl   uint64 = 2 // rejoin handshake (hello / welcome / ready)
+)
+
+// FTOptions configures the failure-tolerance knobs of a Service.
+type FTOptions struct {
+	// OpTimeout bounds each deadline-carrying step of an operation: one
+	// collective tree hop, one write acknowledgement, one handshake
+	// reply. A rank that misses it is suspected dead. Default 2s.
+	OpTimeout time.Duration
+	// ProbeBackoff is the minimum interval between reprobes of a rank
+	// marked down; in between, operations needing it fail fast.
+	// Default 5s.
+	ProbeBackoff time.Duration
+}
+
+func (o *FTOptions) fill() {
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 2 * time.Second
+	}
+	if o.ProbeBackoff <= 0 {
+		o.ProbeBackoff = 5 * time.Second
+	}
+}
+
 // Service runs the distributed protocol on one rank. Rank 0 drives queries
-// through the exported methods; every other rank must be inside Serve.
+// through the exported methods; every other rank must be inside Serve (or
+// ServeAll). Rank 0's methods must be externally serialized (ClusterStore
+// does); worker-side state is confined to the serve loops.
 type Service struct {
 	comm    *cluster.Comm
 	store   kv.Store
 	threads int // merge threads per rank (the paper's OpenMP threads)
+	opts    FTOptions
+
+	// Initiator (rank 0) state.
+	health   *cluster.Health
+	nextOp   uint64 // next collective operation sequence number
+	writeSeq uint64 // write-stream sequence for ack matching
+
+	// Worker state: commands below minOp predate this incarnation's
+	// rejoin and are discarded (set once by Rejoin before Serve starts).
+	minOp uint64
 }
 
-// New wraps a communicator and this rank's local store. threads configures
-// the multi-threaded merge parallelism (<=1 means sequential merges).
+// New wraps a communicator and this rank's local store with default fault
+// tolerance. threads configures the multi-threaded merge parallelism (<=1
+// means sequential merges).
 func New(comm *cluster.Comm, store kv.Store, threads int) *Service {
+	return NewOptions(comm, store, threads, FTOptions{})
+}
+
+// NewOptions is New with explicit failure-tolerance knobs.
+func NewOptions(comm *cluster.Comm, store kv.Store, threads int, opts FTOptions) *Service {
 	if threads < 1 {
 		threads = 1
 	}
-	return &Service{comm: comm, store: store, threads: threads}
+	opts.fill()
+	return &Service{
+		comm:    comm,
+		store:   store,
+		threads: threads,
+		opts:    opts,
+		health:  cluster.NewHealth(cluster.HealthOptions{ProbeBackoff: opts.ProbeBackoff}),
+	}
 }
 
 // Comm returns the underlying communicator.
@@ -63,6 +132,10 @@ func (s *Service) Comm() *cluster.Comm { return s.comm }
 
 // Store returns the local partition store.
 func (s *Service) Store() kv.Store { return s.store }
+
+// Health exposes the initiator's failure detector (rank 0; tests and
+// tooling).
+func (s *Service) Health() *cluster.Health { return s.health }
 
 // ---- serialization ----
 
@@ -95,13 +168,13 @@ func findReply(v uint64, ok bool) []byte {
 	return cluster.PutUint64s(f, v)
 }
 
-// combineFind is the Reduce operator for Find: at most one rank owns the
+// combineFind is the reduce operator for Find: at most one rank owns the
 // key, so pick the found reply if any.
 func combineFind(a, b []byte) []byte {
-	if a == nil {
+	if len(a) == 0 {
 		return b
 	}
-	if b == nil {
+	if len(b) == 0 {
 		return a
 	}
 	if cluster.GetUint64s(a)[0] != 0 {
@@ -110,41 +183,142 @@ func combineFind(a, b []byte) []byte {
 	return b
 }
 
+// ---- rank 0 (initiator) operation plumbing ----
+
+// opCtx is one in-flight collective from the initiator's point of view.
+type opCtx struct {
+	seq     uint64
+	members []int // live membership the command went to (always incl. 0)
+	probing []int // down ranks included for a backoff-gated reprobe
+}
+
+// pollLive computes the operation membership: every rank not failing fast.
+// Down ranks whose probe backoff expired are included (and recorded in
+// probing) — the operation doubles as their liveness probe.
+func (s *Service) pollLive() (members, probing []int) {
+	size := s.comm.Size()
+	members = make([]int, 0, size)
+	for r := 0; r < size; r++ {
+		if r == s.comm.Rank() {
+			members = append(members, r)
+			continue
+		}
+		if s.health.FailFast(r) {
+			continue
+		}
+		if s.health.IsDown(r) {
+			probing = append(probing, r)
+		}
+		members = append(members, r)
+	}
+	return members, probing
+}
+
+// beginOp starts one collective: heal any pending rejoiners, compute the
+// live membership, fail fast if a required rank is excluded, and send the
+// command frame to every live member. A send failure marks the rank down
+// but the operation still runs — the data phase's deadline confirms the
+// suspicion and the masks report the hole.
+func (s *Service) beginOp(opcode uint64, need []int, args ...uint64) (opCtx, error) {
+	s.processRejoins()
+	members, probing := s.pollLive()
+	for _, r := range need {
+		if memberIndex(members, r) < 0 {
+			return opCtx{}, cluster.ErrRankDown{Rank: r}
+		}
+	}
+	ctx := opCtx{seq: s.nextOp, members: members, probing: probing}
+	s.nextOp++
+	frame := encodeCmd(ctx.seq, s.opts.OpTimeout, members, s.comm.Size(), opcode, args)
+	for _, r := range members {
+		if r == s.comm.Rank() {
+			continue
+		}
+		if err := s.comm.SendCh(r, chCmd, frame); err != nil {
+			s.health.MarkDown(r)
+		}
+	}
+	return ctx, nil
+}
+
+// endOp feeds the data phase's verdict back into the failure detector:
+// suspects go down, probed ranks that contributed come back up.
+func (s *Service) endOp(ctx opCtx, suspects, lost []uint64) {
+	size := s.comm.Size()
+	if suspects != nil {
+		for _, r := range maskMembers(suspects, size) {
+			s.health.MarkDown(r)
+		}
+	}
+	for _, r := range ctx.probing {
+		if (suspects == nil || !maskHas(suspects, r)) && (lost == nil || !maskHas(lost, r)) {
+			s.health.MarkAlive(r)
+		}
+	}
+}
+
+// missingRanks merges the ranks excluded before the operation with those
+// lost during it, sorted.
+func (s *Service) missingRanks(ctx opCtx, lost []uint64) []int {
+	size := s.comm.Size()
+	var out []int
+	for r := 0; r < size; r++ {
+		if memberIndex(ctx.members, r) < 0 || (lost != nil && maskHas(lost, r)) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // ---- rank 0 (initiator) API ----
 
 // Find resolves key at version across the cluster. Must be called on rank
-// 0 while every other rank is in Serve.
+// 0 while every other rank is in Serve. If the key's owner is down it
+// fails fast with ErrRankDown; if the owner is alive but its reply was
+// stranded behind a rank that died mid-tree, the operation is retried once
+// over the pruned membership.
 func (s *Service) Find(key, version uint64) (uint64, bool, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opFind, key, version)); err != nil {
-		return 0, false, err
+	owner := Owner(key, s.comm.Size())
+	for attempt := 0; ; attempt++ {
+		ctx, err := s.beginOp(opFind, []int{owner}, key, version)
+		if err != nil {
+			return 0, false, err
+		}
+		v, ok := s.store.Find(key, version)
+		rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, findReply(v, ok), combineFind, s.opts.OpTimeout)
+		s.endOp(ctx, suspects, lost)
+		if owner != s.comm.Rank() && maskHas(lost, owner) {
+			if s.health.IsDown(owner) {
+				return 0, false, cluster.ErrRankDown{Rank: owner}
+			}
+			if attempt == 0 {
+				continue // owner alive; its reply was stranded behind a dead interior rank
+			}
+			return 0, false, &PartialResultError{Missing: s.missingRanks(ctx, lost)}
+		}
+		w := cluster.GetUint64s(rep)
+		return w[1], w[0] != 0, nil
 	}
-	v, ok := s.store.Find(key, version)
-	rep, err := s.comm.Reduce(0, findReply(v, ok), combineFind)
-	if err != nil {
-		return 0, false, err
-	}
-	w := cluster.GetUint64s(rep)
-	return w[1], w[0] != 0, nil
 }
 
 // BulkFind resolves a batch of (key, version) queries in one collective
 // round-trip — the "bulk mode" the paper mentions as complementary to its
-// one-at-a-time study.
+// one-at-a-time study. Keys owned by unreachable ranks come back absent,
+// with a PartialResultError naming the missing partitions alongside the
+// (positionally complete) results.
 func (s *Service) BulkFind(keys, versions []uint64) ([]uint64, []bool, error) {
 	if len(keys) != len(versions) {
 		return nil, nil, fmt.Errorf("dist: %d keys but %d versions", len(keys), len(versions))
 	}
-	payload := make([]uint64, 0, 1+2*len(keys))
-	payload = append(payload, opBulkFind)
+	payload := make([]uint64, 0, 2*len(keys))
 	payload = append(payload, keys...)
 	payload = append(payload, versions...)
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(payload...)); err != nil {
-		return nil, nil, err
-	}
-	rep, err := s.comm.Reduce(0, s.bulkProbe(keys, versions), combineBulk)
+	ctx, err := s.beginOp(opBulkFind, nil, payload...)
 	if err != nil {
 		return nil, nil, err
 	}
+	rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, s.bulkProbe(keys, versions), combineBulk, s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
 	w := cluster.GetUint64s(rep)
 	n := len(keys)
 	vals := make([]uint64, n)
@@ -152,6 +326,20 @@ func (s *Service) BulkFind(keys, versions []uint64) ([]uint64, []bool, error) {
 	for i := 0; i < n; i++ {
 		oks[i] = w[i] != 0
 		vals[i] = w[n+i]
+	}
+	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
+		// Only an error if a queried key actually lives on a missing rank.
+		needed := false
+		size := s.comm.Size()
+		for _, k := range keys {
+			if o := Owner(k, size); memberIndex(missing, o) >= 0 {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			return vals, oks, &PartialResultError{Missing: missing}
+		}
 	}
 	return vals, oks, nil
 }
@@ -174,10 +362,10 @@ func (s *Service) bulkProbe(keys, versions []uint64) []byte {
 }
 
 func combineBulk(a, b []byte) []byte {
-	if a == nil {
+	if len(a) == 0 {
 		return b
 	}
-	if b == nil {
+	if len(b) == 0 {
 		return a
 	}
 	av, bv := cluster.GetUint64s(a), cluster.GetUint64s(b)
@@ -191,58 +379,71 @@ func combineBulk(a, b []byte) []byte {
 	return cluster.PutUint64s(av...)
 }
 
-// GatherSnapshot broadcasts the query and gathers every rank's local sorted
-// run at rank 0 without merging — the paper's gather experiment (Figure 7),
-// the lower bound for accessing a whole snapshot.
+// GatherSnapshot gathers every rank's local sorted run at rank 0 without
+// merging — the paper's gather experiment (Figure 7), the lower bound for
+// accessing a whole snapshot. Runs of unreachable ranks are nil in the
+// result, reported through a PartialResultError.
 func (s *Service) GatherSnapshot(version uint64) ([][]kv.KV, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opGather, version)); err != nil {
-		return nil, err
-	}
-	local := s.store.ExtractSnapshot(version)
-	parts, err := s.comm.Gather(0, EncodeKVs(local))
+	ctx, err := s.beginOp(opGather, nil, version)
 	if err != nil {
 		return nil, err
 	}
-	runs := make([][]kv.KV, len(parts))
-	for i, p := range parts {
-		if i == 0 {
-			runs[0] = local
+	local := s.store.ExtractSnapshot(version)
+	parts, suspects := s.ftGather(ctx.seq, ctx.members, EncodeKVs(local), s.opts.OpTimeout)
+	s.endOp(ctx, suspects, suspects)
+	runs := make([][]kv.KV, s.comm.Size())
+	runs[s.comm.Rank()] = local
+	for r, p := range parts {
+		if r == s.comm.Rank() || p == nil {
 			continue
 		}
-		runs[i] = DecodeKVs(p)
+		runs[r] = DecodeKVs(p)
+	}
+	if missing := s.missingRanks(ctx, suspects); len(missing) > 0 {
+		return runs, &PartialResultError{Missing: missing}
 	}
 	return runs, nil
 }
 
 // ExtractSnapshotNaive is NaiveMerge: gather all runs at rank 0, then a
-// K-way heap merge there.
+// K-way heap merge there. A partial merge (missing partitions) is returned
+// alongside a PartialResultError.
 func (s *Service) ExtractSnapshotNaive(version uint64) ([]kv.KV, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opNaiveMerge, version)); err != nil {
-		return nil, err
-	}
-	local := s.store.ExtractSnapshot(version)
-	parts, err := s.comm.Gather(0, EncodeKVs(local))
+	ctx, err := s.beginOp(opNaiveMerge, nil, version)
 	if err != nil {
 		return nil, err
 	}
-	runs := make([][]kv.KV, len(parts))
-	for i, p := range parts {
-		if i == 0 {
-			runs[0] = local
+	local := s.store.ExtractSnapshot(version)
+	parts, suspects := s.ftGather(ctx.seq, ctx.members, EncodeKVs(local), s.opts.OpTimeout)
+	s.endOp(ctx, suspects, suspects)
+	runs := make([][]kv.KV, 0, s.comm.Size())
+	runs = append(runs, local)
+	for r, p := range parts {
+		if r == s.comm.Rank() || p == nil {
 			continue
 		}
-		runs[i] = DecodeKVs(p)
+		runs = append(runs, DecodeKVs(p))
 	}
-	return merge.KWay(runs), nil
+	out := merge.KWay(runs)
+	if missing := s.missingRanks(ctx, suspects); len(missing) > 0 {
+		return out, &PartialResultError{Missing: missing}
+	}
+	return out, nil
 }
 
 // ExtractSnapshotOpt is OptMerge: recursive doubling with the
 // multi-threaded two-way merge at every surviving rank.
 func (s *Service) ExtractSnapshotOpt(version uint64) ([]kv.KV, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opOptMerge, version)); err != nil {
+	ctx, err := s.beginOp(opOptMerge, nil, version)
+	if err != nil {
 		return nil, err
 	}
-	return s.optMergeRounds(s.store.ExtractSnapshot(version))
+	run, suspects, lost := s.ftMerge(ctx.seq, ctx.members, s.store.ExtractSnapshot(version), s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
+		return run, &PartialResultError{Missing: missing}
+	}
+	return run, nil
 }
 
 // ExtractRange returns the globally sorted pairs with lo <= key < hi at
@@ -250,94 +451,87 @@ func (s *Service) ExtractSnapshotOpt(version uint64) ([]kv.KV, error) {
 // scatters every key range across all ranks, so a range query still fans
 // out to the full cluster but each rank extracts only its slice.
 func (s *Service) ExtractRange(lo, hi, version uint64) ([]kv.KV, error) {
-	if _, err := s.comm.Bcast(0, cluster.PutUint64s(opRangeMerge, lo, hi, version)); err != nil {
+	ctx, err := s.beginOp(opRangeMerge, nil, lo, hi, version)
+	if err != nil {
 		return nil, err
 	}
-	return s.optMergeRounds(s.store.ExtractRange(lo, hi, version))
+	run, suspects, lost := s.ftMerge(ctx.seq, ctx.members, s.store.ExtractRange(lo, hi, version), s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
+		return run, &PartialResultError{Missing: missing}
+	}
+	return run, nil
 }
 
-// optMergeRounds runs the recursive-doubling merge on every rank; only rank
-// 0 returns the merged snapshot.
-func (s *Service) optMergeRounds(run []kv.KV) ([]kv.KV, error) {
-	rank, size := s.comm.Rank(), s.comm.Size()
-	for step := 1; step < size; step <<= 1 {
-		if rank&step != 0 {
-			// "Odd" survivor: ship the run to the partner and drop out.
-			return nil, s.comm.Send(rank-step, EncodeKVs(run))
-		}
-		if rank+step < size {
-			p, err := s.comm.Recv(rank + step)
-			if err != nil {
-				return nil, err
-			}
-			run = merge.TwoParallel(run, DecodeKVs(p), s.threads)
-		}
-	}
-	if rank == 0 {
-		return run, nil
-	}
-	return nil, nil
-}
-
-// Shutdown releases the worker ranks out of Serve. Rank 0 only.
+// Shutdown releases the worker ranks out of Serve. Rank 0 only. Pending
+// rejoiners are healed first so restarted workers also get the release;
+// ranks still down are skipped (their serve loops are gone).
 func (s *Service) Shutdown() error {
-	_, err := s.comm.Bcast(0, cluster.PutUint64s(opShutdown))
-	return err
+	ctx, err := s.beginOp(opShutdown, nil)
+	if err != nil {
+		return err
+	}
+	_ = ctx
+	return nil
 }
 
 // ---- worker ranks ----
 
-// Serve processes broadcast commands until Shutdown. Every rank except the
-// initiator must be inside Serve while rank 0 issues queries.
+// Serve processes commands until Shutdown. Every rank except the initiator
+// must be inside Serve while rank 0 issues queries. Data-phase errors
+// (timeouts from a dead sibling, sends to a gone parent) never terminate
+// the loop — the initiator's masks carry the damage report; only a
+// transport-level failure of the command channel (or Shutdown) returns.
 func (s *Service) Serve() error {
+	size := s.comm.Size()
 	for {
-		cmd, err := s.comm.Bcast(0, nil)
+		p, err := s.comm.RecvCh(0, chCmd)
 		if err != nil {
 			return err
 		}
-		w := cluster.GetUint64s(cmd)
-		switch w[0] {
+		cmd, ok := decodeCmd(p, size)
+		if !ok || cmd.opSeq < s.minOp {
+			continue // malformed, or predates this incarnation's rejoin
+		}
+		if memberIndex(cmd.members, s.comm.Rank()) < 0 {
+			continue // defensive: not a participant of this operation
+		}
+		w := cmd.args
+		switch cmd.opcode {
 		case opFind:
-			v, ok := s.store.Find(w[1], w[2])
-			if _, err := s.comm.Reduce(0, findReply(v, ok), combineFind); err != nil {
-				return err
-			}
+			v, ok := s.store.Find(w[0], w[1])
+			s.ftReduce(cmd.opSeq, cmd.members, findReply(v, ok), combineFind, cmd.timeout)
 		case opBulkFind:
-			n := (len(w) - 1) / 2
-			keys, versions := w[1:1+n], w[1+n:1+2*n]
-			if _, err := s.comm.Reduce(0, s.bulkProbe(keys, versions), combineBulk); err != nil {
-				return err
-			}
+			n := len(w) / 2
+			keys, versions := w[:n], w[n:2*n]
+			s.ftReduce(cmd.opSeq, cmd.members, s.bulkProbe(keys, versions), combineBulk, cmd.timeout)
 		case opGather, opNaiveMerge:
-			local := s.store.ExtractSnapshot(w[1])
-			if _, err := s.comm.Gather(0, EncodeKVs(local)); err != nil {
-				return err
-			}
+			local := s.store.ExtractSnapshot(w[0])
+			s.ftGather(cmd.opSeq, cmd.members, EncodeKVs(local), cmd.timeout)
 		case opOptMerge:
-			if _, err := s.optMergeRounds(s.store.ExtractSnapshot(w[1])); err != nil {
-				return err
-			}
+			s.ftMerge(cmd.opSeq, cmd.members, s.store.ExtractSnapshot(w[0]), cmd.timeout)
 		case opRangeMerge:
-			if _, err := s.optMergeRounds(s.store.ExtractRange(w[1], w[2], w[3])); err != nil {
-				return err
-			}
+			s.ftMerge(cmd.opSeq, cmd.members, s.store.ExtractRange(w[0], w[1], w[2]), cmd.timeout)
 		case opTagAll:
 			v := s.store.Tag()
-			if _, err := s.comm.Reduce(0, cluster.PutUint64s(v, v), combineMinMax); err != nil {
-				return err
-			}
+			s.ftReduce(cmd.opSeq, cmd.members, cluster.PutUint64s(v, v), combineMinMax, cmd.timeout)
 		case opLenSum:
-			if _, err := s.comm.Reduce(0, cluster.PutUint64s(uint64(s.store.Len())), combineSum); err != nil {
-				return err
-			}
+			s.ftReduce(cmd.opSeq, cmd.members, cluster.PutUint64s(uint64(s.store.Len())), combineSum, cmd.timeout)
 		case opHistoryAny:
-			if _, err := s.comm.Reduce(0, s.historyReply(w[1]), combineFind); err != nil {
-				return err
+			s.ftReduce(cmd.opSeq, cmd.members, s.historyReply(w[0]), combineFind, cmd.timeout)
+		case opAlign:
+			var rep []byte
+			if err := s.applyAlign(w[0], w[1]); err != nil {
+				rep = []byte(err.Error())
 			}
+			s.ftReduce(cmd.opSeq, cmd.members, rep, combineFirstErr, cmd.timeout)
 		case opShutdown:
 			return nil
 		default:
-			return fmt.Errorf("dist: rank %d got unknown opcode %d", s.comm.Rank(), w[0])
+			// Unknown opcodes are skipped, not fatal: a worker that
+			// survives a protocol hiccup stays available for the next
+			// command.
+			continue
 		}
 	}
 }

@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/kv"
+	"mvkv/internal/merge"
+)
+
+// This file is the fault-tolerant collective machinery. The paper's MPI
+// runtime assumes no rank ever fails; here every operation is reshaped so a
+// dead rank costs one bounded timeout, after which the initiator's failure
+// detector routes subsequent operations around it:
+//
+//   - Commands are sent point-to-point from rank 0 to each live member
+//     (not along a tree: a tree would let one dead interior rank starve a
+//     whole live subtree of the command). Each command carries an explicit
+//     operation sequence number, the per-step timeout, and the membership
+//     mask of the ranks participating — so every member builds the same
+//     reduced tree over the live membership.
+//   - Data phases (reduce / gather / merge) run over the member list with
+//     per-step receive deadlines. A child that misses its deadline is
+//     recorded in a "suspect" mask (the rank itself timed out) and its
+//     whole virtual subtree in a "lost" mask (their contributions are
+//     missing from the result); both masks travel with the data so rank 0
+//     learns exactly which partitions the answer covers.
+//
+// PartialResultError reports the lost partitions when an answer is usable
+// but incomplete; ErrRankDown (from package cluster) reports operations
+// whose required partition is down.
+
+// PartialResultError reports a collective answer that excludes the
+// partitions owned by unreachable ranks. The partial result is still
+// returned alongside the error; callers that need completeness treat it as
+// a failure, callers that prefer availability use what arrived.
+type PartialResultError struct {
+	// Missing lists the ranks whose partitions are absent, sorted.
+	Missing []int
+}
+
+func (e *PartialResultError) Error() string {
+	return fmt.Sprintf("dist: partial result: missing partitions of ranks %v", e.Missing)
+}
+
+// ---- rank masks ----
+
+// maskWords returns the uint64 word count of a rank bitmask for size ranks.
+func maskWords(size int) int { return (size + 63) / 64 }
+
+func maskAdd(m []uint64, r int)      { m[r/64] |= 1 << (r % 64) }
+func maskHas(m []uint64, r int) bool { return m[r/64]&(1<<(r%64)) != 0 }
+
+func maskOr(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func maskAny(m []uint64) bool {
+	for _, w := range m {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maskMembers expands a mask into a sorted rank list.
+func maskMembers(m []uint64, size int) []int {
+	var out []int
+	for r := 0; r < size; r++ {
+		if maskHas(m, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---- command frames ----
+
+// encodeCmd builds the command frame rank 0 sends each live member:
+// [opSeq, timeoutNanos, memberMask..., opcode, args...].
+func encodeCmd(opSeq uint64, timeout time.Duration, members []int, size int, opcode uint64, args []uint64) []byte {
+	mask := make([]uint64, maskWords(size))
+	for _, r := range members {
+		maskAdd(mask, r)
+	}
+	words := make([]uint64, 0, 3+len(mask)+len(args))
+	words = append(words, opSeq, uint64(timeout))
+	words = append(words, mask...)
+	words = append(words, opcode)
+	words = append(words, args...)
+	return cluster.PutUint64s(words...)
+}
+
+// cmdFrame is a decoded command.
+type cmdFrame struct {
+	opSeq   uint64
+	timeout time.Duration
+	members []int
+	opcode  uint64
+	args    []uint64
+}
+
+// decodeCmd parses a command frame; ok is false on a malformed frame.
+func decodeCmd(p []byte, size int) (cmdFrame, bool) {
+	w := cluster.GetUint64s(p)
+	nw := maskWords(size)
+	if len(w) < 2+nw+1 {
+		return cmdFrame{}, false
+	}
+	return cmdFrame{
+		opSeq:   w[0],
+		timeout: time.Duration(w[1]),
+		members: maskMembers(w[2:2+nw], size),
+		opcode:  w[2+nw],
+		args:    w[3+nw:],
+	}, true
+}
+
+// ---- data frames (mask prefix + payload) ----
+
+// encodeData prefixes a payload with the suspect and lost masks.
+func encodeData(suspects, lost []uint64, payload []byte) []byte {
+	nw := len(suspects)
+	out := make([]byte, 16*nw+len(payload))
+	for i := 0; i < nw; i++ {
+		putWord(out, i, suspects[i])
+		putWord(out, nw+i, lost[i])
+	}
+	copy(out[16*nw:], payload)
+	return out
+}
+
+func putWord(b []byte, i int, v uint64) {
+	for j := 0; j < 8; j++ {
+		b[i*8+j] = byte(v >> (8 * j))
+	}
+}
+
+func getWord(b []byte, i int) uint64 {
+	var v uint64
+	for j := 0; j < 8; j++ {
+		v |= uint64(b[i*8+j]) << (8 * j)
+	}
+	return v
+}
+
+// decodeData splits a data frame back into masks and payload. A frame too
+// short to carry the masks is treated as empty (all-lost frames from a
+// malformed peer degrade to "no contribution" rather than a panic).
+func decodeData(p []byte, nw int) (suspects, lost []uint64, payload []byte) {
+	suspects = make([]uint64, nw)
+	lost = make([]uint64, nw)
+	if len(p) < 16*nw {
+		return suspects, lost, nil
+	}
+	for i := 0; i < nw; i++ {
+		suspects[i] = getWord(p, i)
+		lost[i] = getWord(p, nw+i)
+	}
+	if len(p) == 16*nw {
+		return suspects, lost, nil
+	}
+	return suspects, lost, p[16*nw:]
+}
+
+// ---- masked collectives ----
+
+// memberIndex locates rank in the sorted member list (-1 if absent).
+func memberIndex(members []int, rank int) int {
+	i := sort.SearchInts(members, rank)
+	if i < len(members) && members[i] == rank {
+		return i
+	}
+	return -1
+}
+
+// ftReduce runs a binomial reduction over the member list, rooted at
+// members[0]. Non-root members send their accumulated frame to their parent
+// and return (nil masks). At the root it returns the combined payload plus
+// the suspect mask (ranks whose frame timed out at their parent) and the
+// lost mask (every member whose contribution is missing — the suspects and
+// the subtrees stranded behind them). A nil/empty payload contribution is
+// legal (the combine ops treat nil as identity).
+func (s *Service) ftReduce(opSeq uint64, members []int, data []byte, op func(a, b []byte) []byte, timeout time.Duration) (payload []byte, suspects, lost []uint64) {
+	nw := maskWords(s.comm.Size())
+	suspects = make([]uint64, nw)
+	lost = make([]uint64, nw)
+	self := memberIndex(members, s.comm.Rank())
+	if self < 0 {
+		return nil, suspects, lost // defensive: not a participant
+	}
+	acc := data
+	for step := 1; step < len(members); step <<= 1 {
+		if self&step != 0 {
+			// Send to the parent and drop out. A send error means the
+			// parent's endpoint is gone; the parent's own deadline
+			// handles the hole, nothing for this rank to do.
+			_ = s.comm.SendData(members[self-step], opSeq, encodeData(suspects, lost, acc))
+			return nil, nil, nil
+		}
+		if self+step < len(members) {
+			child := members[self+step]
+			p, err := s.comm.RecvData(child, opSeq, timeout)
+			if err != nil {
+				// The child (and every member of its virtual subtree)
+				// is missing from the result.
+				maskAdd(suspects, child)
+				for i := self + step; i < min(self+2*step, len(members)); i++ {
+					maskAdd(lost, members[i])
+				}
+				continue
+			}
+			cs, cl, cp := decodeData(p, nw)
+			maskOr(suspects, cs)
+			maskOr(lost, cl)
+			acc = op(acc, cp)
+		}
+	}
+	return acc, suspects, lost
+}
+
+// ftGather collects each non-root member's payload directly at the root
+// with a per-child deadline. At the root it returns parts indexed by rank
+// (nil for the root's own slot and for timed-out children) plus the suspect
+// mask; non-root members send and return nil.
+func (s *Service) ftGather(opSeq uint64, members []int, data []byte, timeout time.Duration) (parts [][]byte, suspects []uint64) {
+	nw := maskWords(s.comm.Size())
+	suspects = make([]uint64, nw)
+	if s.comm.Rank() != members[0] {
+		_ = s.comm.SendData(members[0], opSeq, data)
+		return nil, suspects
+	}
+	parts = make([][]byte, s.comm.Size())
+	for _, r := range members[1:] {
+		p, err := s.comm.RecvData(r, opSeq, timeout)
+		if err != nil {
+			maskAdd(suspects, r)
+			continue
+		}
+		parts[r] = p
+	}
+	return parts, suspects
+}
+
+// ftMerge runs the recursive-doubling snapshot merge over the member list:
+// in each round the "odd" survivor ships its run (with its masks) to its
+// partner, which two-way-merges it in. The root returns the merged run plus
+// the suspect/lost masks; other members return nil.
+func (s *Service) ftMerge(opSeq uint64, members []int, run []kv.KV, timeout time.Duration) (out []kv.KV, suspects, lost []uint64) {
+	nw := maskWords(s.comm.Size())
+	suspects = make([]uint64, nw)
+	lost = make([]uint64, nw)
+	self := memberIndex(members, s.comm.Rank())
+	if self < 0 {
+		return nil, suspects, lost
+	}
+	for step := 1; step < len(members); step <<= 1 {
+		if self&step != 0 {
+			_ = s.comm.SendData(members[self-step], opSeq, encodeData(suspects, lost, EncodeKVs(run)))
+			return nil, nil, nil
+		}
+		if self+step < len(members) {
+			child := members[self+step]
+			p, err := s.comm.RecvData(child, opSeq, timeout)
+			if err != nil {
+				maskAdd(suspects, child)
+				for i := self + step; i < min(self+2*step, len(members)); i++ {
+					maskAdd(lost, members[i])
+				}
+				continue
+			}
+			cs, cl, cp := decodeData(p, nw)
+			maskOr(suspects, cs)
+			maskOr(lost, cl)
+			run = merge.TwoParallel(run, DecodeKVs(cp), s.threads)
+		}
+	}
+	return run, suspects, lost
+}

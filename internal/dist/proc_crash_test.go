@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/core"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+// Real-process crash harness: worker ranks run as child processes of the
+// test binary (re-exec'd through TestMain) on file-backed arenas over the
+// TCP transport, and are killed with SIGKILL — an actual process death, not
+// an emulated one. The parent is rank 0.
+
+const (
+	envWorkerRank = "MVKV_DIST_WORKER"
+	envAddrs      = "MVKV_DIST_ADDRS"
+	envPool       = "MVKV_DIST_POOL"
+	envRejoin     = "MVKV_DIST_REJOIN"
+)
+
+var procFT = FTOptions{OpTimeout: 500 * time.Millisecond, ProbeBackoff: 100 * time.Millisecond}
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envWorkerRank) != "" {
+		os.Exit(procWorkerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// procWorkerMain is one worker rank's whole life: open (or create) the
+// persistent pool, recover, optionally rejoin, serve until released.
+func procWorkerMain() int {
+	rank, err := strconv.Atoi(os.Getenv(envWorkerRank))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker: bad rank:", err)
+		return 1
+	}
+	addrs := strings.Split(os.Getenv(envAddrs), ",")
+	pool := os.Getenv(envPool)
+
+	var a *pmem.Arena
+	var st *core.Store
+	if _, serr := os.Stat(pool); serr == nil {
+		if a, err = pmem.OpenFile(pool); err == nil {
+			st, err = core.OpenArena(a, core.Options{})
+		}
+	} else {
+		if a, err = pmem.CreateFile(pool, 16<<20); err == nil {
+			st, err = core.CreateInArena(a, core.Options{})
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker %d: open pool: %v\n", rank, err)
+		return 1
+	}
+	tr, err := cluster.NewTCPTransportOptions(rank, addrs, cluster.NetModel{}, cluster.TCPOptions{FrameTimeout: 2 * time.Second})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker %d: transport: %v\n", rank, err)
+		return 1
+	}
+	svc := NewOptions(cluster.NewComm(rank, len(addrs), tr), st, 1, procFT)
+	if os.Getenv(envRejoin) == "1" {
+		if err := svc.Rejoin(st.RecoveryStats().CoveredTo); err != nil {
+			fmt.Fprintf(os.Stderr, "worker %d: rejoin: %v\n", rank, err)
+			return 1
+		}
+	}
+	if err := svc.ServeAll(); err != nil {
+		fmt.Fprintf(os.Stderr, "worker %d: serve: %v\n", rank, err)
+		return 1
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "worker %d: close: %v\n", rank, err)
+		return 1
+	}
+	return 0
+}
+
+// reserveAddrs picks n free loopback addresses by binding and releasing
+// ephemeral ports. The tiny race between release and rebind is accepted in
+// a test.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	ls := make([]net.Listener, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+	return addrs
+}
+
+func spawnWorker(t *testing.T, rank int, addrs []string, pool string, rejoin bool) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		envWorkerRank+"="+strconv.Itoa(rank),
+		envAddrs+"="+strings.Join(addrs, ","),
+		envPool+"="+pool,
+	)
+	if rejoin {
+		cmd.Env = append(cmd.Env, envRejoin+"=1")
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// TestProcCrashRestart kills a worker rank for real (SIGKILL on its
+// process), observes typed fail-fast degradation at the initiator, then
+// restarts the process on its file-backed pool and verifies it recovers,
+// rejoins over TCP, and serves its pre-crash sealed data unchanged.
+func TestProcCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process harness skipped in -short")
+	}
+	const size, nKeys = 3, 80
+	addrs := reserveAddrs(t, size)
+	dir := t.TempDir()
+
+	tr0, err := cluster.NewTCPTransportOptions(0, addrs, cluster.NetModel{}, cluster.TCPOptions{FrameTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0 := eskiplist.New()
+	defer st0.Close()
+	svc0 := NewOptions(cluster.NewComm(0, size, tr0), st0, 1, procFT)
+	defer svc0.Comm().Close()
+	cs := NewClusterStore(svc0)
+
+	pools := make([]string, size)
+	cmds := make([]*exec.Cmd, size)
+	for r := 1; r < size; r++ {
+		pools[r] = fmt.Sprintf("%s/rank%d.pool", dir, r)
+		cmds[r] = spawnWorker(t, r, addrs, pools[r], false)
+	}
+	defer func() {
+		for r := 1; r < size; r++ {
+			if cmds[r] != nil && cmds[r].Process != nil {
+				cmds[r].Process.Kill()
+				cmds[r].Wait()
+			}
+		}
+	}()
+
+	// Wait for both workers: retry one write per rank until it lands (the
+	// short probe backoff turns each retry into a fresh probe).
+	for r := 1; r < size; r++ {
+		key := firstKeyOwnedBy(r, size)
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if err := cs.Insert(key, 1); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d never came up", r)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Sealed pre-crash state.
+	sealed := make([][]kv.KV, 2)
+	for v := 0; v < 2; v++ {
+		for k := uint64(0); k < nKeys; k++ {
+			if err := cs.Insert(k, k*10+uint64(v)); err != nil {
+				t.Fatalf("insert v%d k%d: %v", v, k, err)
+			}
+		}
+		tag, err := cs.TagErr()
+		if err != nil {
+			t.Fatalf("tag %d: %v", v, err)
+		}
+		if sealed[v], err = svc0.ExtractSnapshotOpt(tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// SIGKILL rank 1: a real process crash. The file-backed arena survives;
+	// anything in flight does not.
+	victim := 1
+	cmds[victim].Process.Kill()
+	cmds[victim].Wait()
+	cmds[victim] = nil
+
+	vkey := firstKeyOwnedBy(victim, size)
+	var downErr cluster.ErrRankDown
+	if err := cs.Insert(vkey, 7); err == nil || !errors.As(err, &downErr) || downErr.Rank != victim {
+		t.Fatalf("write to killed rank: %v", err)
+	}
+	if _, err := cs.TagErr(); err == nil || !errors.As(err, &downErr) {
+		t.Fatalf("TagErr with killed rank: %v", err)
+	}
+	// Survivors keep serving.
+	skey := firstKeyOwnedBy(2, size)
+	if err := cs.Insert(skey, 42); err != nil {
+		t.Fatalf("survivor write during outage: %v", err)
+	}
+
+	// Restart the process on its pool in rejoin mode and drive the
+	// handshake from the initiator.
+	cmds[victim] = spawnWorker(t, victim, addrs, pools[victim], true)
+	deadline := time.Now().Add(20 * time.Second)
+	for svc0.Health().IsDown(victim) {
+		if time.Now().After(deadline) {
+			t.Fatal("killed rank never rejoined")
+		}
+		svc0.Heal()
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Pre-crash sealed tags are intact, and the restarted rank serves.
+	for v := 0; v < 2; v++ {
+		got, err := svc0.ExtractSnapshotOpt(uint64(v))
+		if err != nil {
+			t.Fatalf("post-rejoin snapshot %d: %v", v, err)
+		}
+		if !runsEqual(got, sealed[v]) {
+			t.Fatalf("post-rejoin snapshot %d differs from pre-crash", v)
+		}
+	}
+	if err := cs.Insert(vkey, 4242); err != nil {
+		t.Fatalf("write to restarted rank: %v", err)
+	}
+	tag, err := cs.TagErr()
+	if err != nil {
+		t.Fatalf("post-rejoin tag: %v", err)
+	}
+	if got, ok := cs.Find(vkey, tag); !ok || got != 4242 {
+		t.Fatalf("restarted rank's key: %d,%v", got, ok)
+	}
+
+	// Clean shutdown releases both children.
+	if err := cs.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for r := 1; r < size; r++ {
+		done := make(chan error, 1)
+		go func(c *exec.Cmd) { done <- c.Wait() }(cmds[r])
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker %d exit: %v", r, err)
+			}
+			cmds[r] = nil
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d did not exit after shutdown", r)
+		}
+	}
+}

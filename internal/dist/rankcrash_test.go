@@ -1,0 +1,542 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/core"
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+	"mvkv/internal/storetest"
+)
+
+// crashCluster is an in-process cluster of core stores on shadow arenas
+// whose worker ranks can be killed (power-failure semantics via
+// pmem.Arena.Crash) and restarted through the rejoin handshake.
+//
+// Crash models a hung-then-dead process: the rank's mailbox is swapped for
+// a fresh unserved one, so frames sent to it vanish into the void and the
+// initiator discovers the death through deadlines, not through connection
+// errors — the hardest detection path. Restart reopens the persistent
+// arena, runs recovery, and rejoins with the recovered coverage bound.
+type crashCluster struct {
+	t      *testing.T
+	size   int
+	opts   FTOptions
+	fabric *cluster.LocalFabric
+	arenas []*pmem.Arena
+	stores []*core.Store
+	svcs   []*Service
+	done   []chan error
+	cs     *ClusterStore
+}
+
+var crashCoreOpts = core.Options{BlockCapacity: 8}
+
+func newCrashCluster(t *testing.T, size int) *crashCluster {
+	t.Helper()
+	h := &crashCluster{
+		t:    t,
+		size: size,
+		// Short detection deadline; long backoff so degraded-mode timing is
+		// deterministic (rejoin does not depend on the backoff: pending
+		// hellos are polled regardless).
+		opts:   FTOptions{OpTimeout: 300 * time.Millisecond, ProbeBackoff: time.Minute},
+		fabric: cluster.NewLocalFabric(size, cluster.NetModel{}),
+		arenas: make([]*pmem.Arena, size),
+		stores: make([]*core.Store, size),
+		svcs:   make([]*Service, size),
+		done:   make([]chan error, size),
+	}
+	for r := 0; r < size; r++ {
+		a, err := pmem.New(24<<20, pmem.WithShadow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.arenas[r] = a
+		st, err := core.CreateInArena(a, crashCoreOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.stores[r] = st
+	}
+	for r := 1; r < size; r++ {
+		h.startWorker(r, h.stores[r], 0, false)
+	}
+	svc0 := NewOptions(cluster.NewComm(0, size, h.fabric.Transport(0)), h.stores[0], 1, h.opts)
+	h.svcs[0] = svc0
+	h.cs = NewClusterStore(svc0)
+	t.Cleanup(h.shutdown)
+	return h
+}
+
+// startWorker launches rank r's serve loops, optionally preceded by the
+// rejoin handshake (restart path).
+func (h *crashCluster) startWorker(r int, st *core.Store, coveredTo uint64, rejoin bool) {
+	svc := NewOptions(cluster.NewComm(r, h.size, h.fabric.Transport(r)), st, 1, h.opts)
+	h.svcs[r] = svc
+	done := make(chan error, 1)
+	h.done[r] = done
+	go func() {
+		if rejoin {
+			if err := svc.Rejoin(coveredTo); err != nil {
+				done <- fmt.Errorf("rank %d rejoin: %w", r, err)
+				return
+			}
+		}
+		done <- svc.ServeAll()
+	}()
+}
+
+// Store implements storetest.RankCrashHarness.
+func (h *crashCluster) Store() kv.Store { return h.cs }
+
+// Size implements storetest.RankCrashHarness.
+func (h *crashCluster) Size() int { return h.size }
+
+// Owner implements storetest.RankCrashHarness.
+func (h *crashCluster) Owner(key uint64) int { return Owner(key, h.size) }
+
+// Crash implements storetest.RankCrashHarness: kill rank r with
+// power-failure semantics. The mailbox swap closes the old incarnation's
+// box (its serve loops exit) while later frames land in a fresh box nobody
+// serves, so the initiator must detect the death by deadline.
+func (h *crashCluster) Crash(r int) {
+	h.t.Helper()
+	if r == 0 {
+		h.t.Fatal("rank 0 is the initiator and cannot be crashed")
+	}
+	// Close the incarnation's endpoint first — every Recv on it errors, so
+	// the serve loops exit deterministically — then swap in a fresh open
+	// box: frames sent to the dead rank afterwards vanish unanswered, and
+	// the initiator discovers the death by deadline.
+	_ = h.svcs[r].Comm().Close()
+	select {
+	case <-h.done[r]: // both serve loops observed the closed endpoint
+	case <-time.After(10 * time.Second):
+		h.t.Fatalf("rank %d serve loops did not exit on crash", r)
+	}
+	h.done[r] = nil
+	h.fabric.Reset(r)
+	h.arenas[r].Crash() // lose everything not yet persisted
+	h.stores[r] = nil
+}
+
+// Restart implements storetest.RankCrashHarness: reopen the arena, recover,
+// rejoin, and block until rank 0 has welcomed the rank back.
+func (h *crashCluster) Restart(r int) error {
+	h.fabric.Reset(r) // discard frames addressed to the dead incarnation
+	st, err := core.OpenArena(h.arenas[r], crashCoreOpts)
+	if err != nil {
+		return fmt.Errorf("reopen rank %d: %w", r, err)
+	}
+	h.stores[r] = st
+	// Rank 0 polls for hellos only from ranks it believes dead; a crash it
+	// never had reason to notice must still be rejoinable.
+	h.svcs[0].Health().MarkDown(r)
+	h.startWorker(r, st, st.RecoveryStats().CoveredTo, true)
+	deadline := time.Now().Add(10 * time.Second)
+	for h.svcs[0].Health().IsDown(r) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rank %d did not complete the rejoin handshake", r)
+		}
+		h.svcs[0].Heal()
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+func (h *crashCluster) shutdown() {
+	_ = h.cs.Close() // releases the live ranks; dead ones have no loops left
+	for r := 1; r < h.size; r++ {
+		if h.done[r] == nil {
+			continue
+		}
+		select {
+		case <-h.done[r]:
+		case <-time.After(10 * time.Second):
+			h.t.Errorf("rank %d did not shut down", r)
+		}
+	}
+	h.fabric.Close()
+	for r := 0; r < h.size; r++ {
+		if h.stores[r] != nil {
+			_ = h.stores[r].Close()
+		}
+		_ = h.arenas[r].Close()
+	}
+}
+
+func firstKeyOwnedBy(rank, size int) uint64 {
+	for k := uint64(0); ; k++ {
+		if Owner(k, size) == rank {
+			return k
+		}
+	}
+}
+
+func runsEqual(a, b []kv.KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRankCrashConformance runs the generic storetest rank-crash phase over
+// the persistent 4-rank cluster.
+func TestRankCrashConformance(t *testing.T) {
+	storetest.RunRankCrash(t, newCrashCluster(t, 4))
+}
+
+// TestRankCrashTorture is the kill-a-rank torture test: a 4-rank cluster
+// under a mixed insert/tag/find workload has one rank crashed and later
+// restarted. During the outage every operation needing the dead rank fails
+// within the configured deadline with ErrRankDown (never hangs), the
+// collectives return typed partial results, and batch inserts report
+// per-rank outcomes. After the rejoin every pre-crash sealed tag extracts
+// identically on every rank.
+func TestRankCrashTorture(t *testing.T) {
+	const size, nKeys = 4, 160
+	h := newCrashCluster(t, size)
+	s := h.cs
+	svc0 := h.svcs[0]
+	victim := 2
+
+	// Sealed pre-crash state: 3 versions over all keys, recorded both as
+	// the merged cluster view and as each rank's own run.
+	sealedMerged := make([][]kv.KV, 3)
+	sealedRuns := make([][][]kv.KV, 3)
+	for v := 0; v < 3; v++ {
+		for k := uint64(0); k < nKeys; k++ {
+			if err := s.Insert(k, k*10+uint64(v)); err != nil {
+				t.Fatalf("insert v%d k%d: %v", v, k, err)
+			}
+		}
+		tag, err := s.TagErr()
+		if err != nil || tag != uint64(v) {
+			t.Fatalf("tag: %d, %v", tag, err)
+		}
+		if sealedMerged[v], err = svc0.ExtractSnapshotOpt(tag); err != nil {
+			t.Fatal(err)
+		}
+		if sealedRuns[v], err = svc0.GatherSnapshot(tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h.Crash(victim)
+	vkey := firstKeyOwnedBy(victim, size)
+
+	// Detection: the first write to the dead rank must fail by deadline —
+	// the frame is swallowed, so only the ack timeout can reveal the death.
+	start := time.Now()
+	err := s.Insert(vkey, 1)
+	detect := time.Since(start)
+	var down cluster.ErrRankDown
+	if err == nil || !errors.As(err, &down) || down.Rank != victim {
+		t.Fatalf("write to dead rank: err=%v", err)
+	}
+	if detect > 4*h.opts.OpTimeout {
+		t.Fatalf("detection took %v, deadline is %v", detect, h.opts.OpTimeout)
+	}
+	// Fail-fast: subsequent operations must not re-pay the timeout.
+	start = time.Now()
+	if err := s.Insert(vkey, 2); err == nil || !errors.As(err, &down) {
+		t.Fatalf("second write to dead rank: %v", err)
+	}
+	if ff := time.Since(start); ff > h.opts.OpTimeout/2 {
+		t.Fatalf("fail-fast took %v", ff)
+	}
+	// A seal needs every partition: fail fast with ErrRankDown.
+	start = time.Now()
+	if _, err := s.TagErr(); err == nil || !errors.As(err, &down) || down.Rank != victim {
+		t.Fatalf("TagErr during outage: %v", err)
+	}
+	if ff := time.Since(start); ff > h.opts.OpTimeout/2 {
+		t.Fatalf("TagErr fail-fast took %v", ff)
+	}
+
+	// Mixed degraded workload on the survivors: writes and point reads keep
+	// working, reads of the dead partition fail typed, collectives return
+	// partial results naming the missing rank.
+	for k := uint64(0); k < nKeys; k++ {
+		if Owner(k, size) == victim {
+			if _, _, err := svc0.Find(k, 2); err == nil || !errors.As(err, &down) {
+				t.Fatalf("find of dead partition key %d: %v", k, err)
+			}
+			continue
+		}
+		if err := s.Insert(k, k*10+77); err != nil {
+			t.Fatalf("survivor insert k%d: %v", k, err)
+		}
+		if got, ok := s.Find(k, 2); !ok || got != k*10+2 {
+			t.Fatalf("survivor find k%d: %d,%v", k, got, ok)
+		}
+	}
+	var partial *PartialResultError
+	run, err := svc0.ExtractSnapshotOpt(2)
+	if !errors.As(err, &partial) || len(partial.Missing) != 1 || partial.Missing[0] != victim {
+		t.Fatalf("degraded snapshot error: %v", err)
+	}
+	for _, p := range run { // the partial run must not invent dead-rank data
+		if Owner(p.Key, size) == victim {
+			t.Fatalf("partial snapshot contains dead rank's key %d", p.Key)
+		}
+	}
+	if _, err := svc0.LenSum(); !errors.As(err, &partial) {
+		t.Fatalf("degraded LenSum error: %v", err)
+	}
+	// Batch insert spanning every rank: survivors apply, the dead rank's
+	// sub-batch is reported failed with ErrRankDown, nothing hangs.
+	batch := make([]kv.KV, 0, 2*size)
+	for r := 0; r < size; r++ {
+		k := firstKeyOwnedBy(r, size)
+		batch = append(batch, kv.KV{Key: k, Value: k + 500})
+	}
+	var pbe *PartialBatchError
+	if err := s.InsertBatch(batch); !errors.As(err, &pbe) {
+		t.Fatalf("batch during outage: %v", err)
+	}
+	ferr, failed := pbe.Failed[victim]
+	if !failed || !errors.As(ferr, &down) || down.Rank != victim {
+		t.Fatalf("batch Failed[%d] = %v, %v", victim, ferr, failed)
+	}
+	applied := 0
+	for r, n := range pbe.Applied {
+		if r == victim {
+			t.Fatal("batch claims the dead rank applied its sub-batch")
+		}
+		applied += n
+	}
+	if wantApplied := len(batch) - 1; applied != wantApplied {
+		t.Fatalf("batch applied %d pairs, want %d", applied, wantApplied)
+	}
+
+	// Restart: recovery + rejoin. Nothing sealed was lost (all sealed
+	// entries were persisted before their acks), so no truncation happens.
+	if err := h.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if d := svc0.Health().Down(); len(d) != 0 {
+		t.Fatalf("ranks still down after rejoin: %v", d)
+	}
+
+	// Every pre-crash sealed tag extracts identically — merged and on every
+	// single rank.
+	for v := 0; v < 3; v++ {
+		got, err := svc0.ExtractSnapshotOpt(uint64(v))
+		if err != nil {
+			t.Fatalf("post-rejoin snapshot %d: %v", v, err)
+		}
+		if !runsEqual(got, sealedMerged[v]) {
+			t.Fatalf("post-rejoin snapshot %d differs from pre-crash", v)
+		}
+		runs, err := svc0.GatherSnapshot(uint64(v))
+		if err != nil {
+			t.Fatalf("post-rejoin gather %d: %v", v, err)
+		}
+		for r := 0; r < size; r++ {
+			if !runsEqual(runs[r], sealedRuns[v][r]) {
+				t.Fatalf("rank %d's run of sealed tag %d differs after rejoin", r, v)
+			}
+		}
+	}
+
+	// The cluster is whole again: full-coverage writes, a clean seal, and
+	// the restarted rank serving its partition.
+	for k := uint64(0); k < nKeys; k++ {
+		if err := s.Insert(k, k+9000); err != nil {
+			t.Fatalf("post-rejoin insert k%d: %v", k, err)
+		}
+	}
+	tag, err := s.TagErr()
+	if err != nil {
+		t.Fatalf("post-rejoin tag: %v", err)
+	}
+	if got, ok := s.Find(vkey, tag); !ok || got != vkey+9000 {
+		t.Fatalf("restarted rank's key after rejoin: %d,%v", got, ok)
+	}
+	if n, err := svc0.LenSum(); err != nil || n != nKeys {
+		t.Fatalf("post-rejoin LenSum: %d, %v", n, err)
+	}
+}
+
+// TestRankCrashAlignment crashes a rank whose persistent image lost part of
+// a sealed version (injected commit-word tear) and verifies the rejoin
+// aligns the whole cluster at the greatest still-consistent version: every
+// rank truncates above it, counters agree, and the surviving tags extract
+// exactly as before the crash.
+func TestRankCrashAlignment(t *testing.T) {
+	const size, nKeys = 4, 120
+	h := newCrashCluster(t, size)
+	s := h.cs
+	svc0 := h.svcs[0]
+	victim := 1
+	vkey := firstKeyOwnedBy(victim, size)
+
+	sealedRuns := make([][][]kv.KV, 4)
+	for v := 0; v < 4; v++ {
+		for k := uint64(0); k < nKeys; k++ {
+			if err := s.Insert(k, k*10+uint64(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tag, err := s.TagErr(); err != nil || tag != uint64(v) {
+			t.Fatalf("tag: %d, %v", tag, err)
+		}
+		var err error
+		if sealedRuns[v], err = svc0.GatherSnapshot(uint64(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tear the victim's durable image inside version 2: vkey was written
+	// once per version, so zeroing its slot-2 commit word makes recovery's
+	// durable prefix end below version 2 — versions 2 and 3 are damaged on
+	// this rank even though they were sealed cluster-wide.
+	if !h.stores[victim].ZeroSlotSeq(vkey, 2) {
+		t.Fatalf("key %d missing on rank %d", vkey, victim)
+	}
+	h.Crash(victim)
+
+	// Detection (the alignment path also needs the rank marked down).
+	var down cluster.ErrRankDown
+	if err := s.Insert(vkey, 1); err == nil || !errors.As(err, &down) {
+		t.Fatalf("write to dead rank: %v", err)
+	}
+
+	if err := h.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery on the victim must have reported the damage boundary, and
+	// the rejoin must have aligned every rank there.
+	if ct := h.stores[victim].RecoveryStats().CoveredTo; ct != 2 {
+		t.Fatalf("victim CoveredTo = %d, want 2", ct)
+	}
+	if v, err := s.CurrentVersionErr(); err != nil || v != 2 {
+		t.Fatalf("cluster version after alignment: %d, %v", v, err)
+	}
+	for r := 0; r < size; r++ {
+		if v := h.stores[r].CurrentVersion(); v != 2 {
+			t.Fatalf("rank %d counter after alignment: %d, want 2", r, v)
+		}
+	}
+	// Tags below the boundary are intact on every rank; tags above it are
+	// gone everywhere (they read as the last surviving version).
+	for v := 0; v < 2; v++ {
+		runs, err := svc0.GatherSnapshot(uint64(v))
+		if err != nil {
+			t.Fatalf("gather %d after alignment: %v", v, err)
+		}
+		for r := 0; r < size; r++ {
+			if !runsEqual(runs[r], sealedRuns[v][r]) {
+				t.Fatalf("rank %d's run of tag %d damaged by alignment", r, v)
+			}
+		}
+	}
+	runs3, err := svc0.GatherSnapshot(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < size; r++ {
+		if !runsEqual(runs3[r], sealedRuns[1][r]) {
+			t.Fatalf("rank %d: truncated tag 3 should read as tag 1", r)
+		}
+	}
+
+	// The timeline continues from the agreed boundary.
+	for k := uint64(0); k < nKeys; k++ {
+		if err := s.Insert(k, k+333); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tag, err := s.TagErr(); err != nil || tag != 2 {
+		t.Fatalf("tag after alignment: %d, %v", tag, err)
+	}
+	if got, ok := s.Find(vkey, 2); !ok || got != vkey+333 {
+		t.Fatalf("restarted rank after alignment: %d,%v", got, ok)
+	}
+}
+
+// TestRankCrashLaggingCounter kills a rank that missed a seal (its counter
+// lags the cluster) and verifies the rejoin catches it up without
+// truncating anything.
+func TestRankCrashLaggingCounter(t *testing.T) {
+	const size, nKeys = 3, 60
+	h := newCrashCluster(t, size)
+	s := h.cs
+	victim := 2
+
+	for k := uint64(0); k < nKeys; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tag, err := s.TagErr(); err != nil || tag != 0 {
+		t.Fatalf("tag: %d, %v", tag, err)
+	}
+	want := s.ExtractSnapshot(0)
+
+	// Crash, then seal another version while the rank is away — its counter
+	// will lag by one... except TagAll refuses to seal without the full
+	// cluster, so the lag scenario is the reverse: rank 0 cannot advance.
+	// Instead, create the skew by sealing on the victim's store directly
+	// before the crash (modelling a seal the initiator never confirmed).
+	h.stores[victim].Tag() // victim now at version 2, cluster at 1
+	h.Crash(victim)
+	var down cluster.ErrRankDown
+	if err := s.Insert(firstKeyOwnedBy(victim, size), 5); err == nil || !errors.As(err, &down) {
+		t.Fatalf("write to dead rank: %v", err)
+	}
+	if err := h.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rejoin caught the survivors up to the rejoiner's counter.
+	for r := 0; r < size; r++ {
+		if v := h.stores[r].CurrentVersion(); v != 2 {
+			t.Fatalf("rank %d counter: %d, want 2", r, v)
+		}
+	}
+	if got := s.ExtractSnapshot(0); !runsEqual(got, want) {
+		t.Fatal("sealed tag damaged by counter catch-up")
+	}
+	if tag, err := s.TagErr(); err != nil || tag != 2 {
+		t.Fatalf("tag after catch-up: %d, %v", tag, err)
+	}
+}
+
+// TestRankCrashHeal verifies Heal reports the ranks brought back by a
+// pending rejoin (without waiting for the next regular operation).
+func TestRankCrashHeal(t *testing.T) {
+	const size = 3
+	h := newCrashCluster(t, size)
+	victim := 1
+	if err := h.cs.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.Crash(victim)
+	var down cluster.ErrRankDown
+	if err := h.cs.Insert(firstKeyOwnedBy(victim, size), 2); err == nil || !errors.As(err, &down) {
+		t.Fatalf("write to dead rank: %v", err)
+	}
+	// Restart blocks until the handshake completed — driven by Heal.
+	if err := h.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if h.svcs[0].Health().IsDown(victim) {
+		t.Fatal("victim still down after heal")
+	}
+	if healed := h.svcs[0].Heal(); len(healed) != 0 {
+		t.Fatalf("second heal returned %v", healed)
+	}
+}

@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/kv"
+)
+
+// Crash-restart rejoin protocol. A worker rank that died is restarted on
+// its persistent arena, runs local recovery (core.OpenArena), and calls
+// Rejoin before re-entering ServeAll. The handshake runs on the control
+// channel (chCtl) so it cannot interleave with commands or writes:
+//
+//	rejoiner                         rank 0
+//	  drain stale frames
+//	  hello [magic, coveredTo, ver] ->
+//	                                   decide alignment:
+//	                                     target = max(versions)
+//	                                     rejoiner lost tags? alignTo =
+//	                                       its coveredTo, broadcast
+//	                                       opAlign to the live members
+//	                                       (truncate + counter reset),
+//	                                       apply locally
+//	                                 <- welcome [magic, minOpSeq,
+//	                                             alignTo, target]
+//	  apply alignment locally
+//	  ready [magic]                 ->
+//	                                   mark alive
+//
+// Alignment is the cluster-wide durable-prefix agreement: local recovery
+// reports CoveredTo — the first version whose entries may have been lost
+// with the crash. Every version below it is fully intact on the rejoiner;
+// survivors are intact up to their counters. The greatest cluster-wide
+// consistent version boundary is therefore min(coveredTo, survivor
+// counter); every rank truncates (durably) above it and resets its version
+// counter to it, so extract_snapshot(v) for every surviving tag v returns
+// exactly what it returned before the crash, on every rank. Truncation
+// rolls back writes that were acknowledged after the last version the
+// rejoiner's crash preserved — the documented price of restoring a
+// consistent cluster-wide history (DESIGN.md, "Fault model").
+//
+// minOpSeq fences time: commands numbered below it predate the rejoin and
+// are discarded by the rejoiner's fresh serve loop, so a stale probe
+// command cannot drag the new incarnation into an old collective.
+
+// Control-channel frame magics.
+const (
+	helloMagic   uint64 = 0x52454A4F494E4831 // "REJOINH1"
+	welcomeMagic uint64 = 0x52454A4F494E5731 // "REJOINW1"
+	readyMagic   uint64 = 0x52454A4F494E5231 // "REJOINR1"
+)
+
+// AlignNone is the sentinel "no versions lost" coverage value (mirrors
+// core.CoveredAll by value; dist does not import core).
+const AlignNone = ^uint64(0)
+
+// Rejoin runs the worker side of the handshake. coveredTo is the first
+// version local recovery may have lost (core RecoveryStats.CoveredTo;
+// AlignNone when nothing was pruned). It blocks until rank 0 notices the
+// hello — rank 0 polls for hellos before every operation and on Heal() —
+// and returns with the local store aligned and the command fence set;
+// the caller then re-enters ServeAll.
+func (s *Service) Rejoin(coveredTo uint64) error {
+	if s.comm.Rank() == 0 {
+		return fmt.Errorf("dist: rank 0 cannot rejoin (it is the initiator)")
+	}
+	// Flush frames addressed to the previous incarnation. The transport
+	// endpoint is fresh after a real restart; this also covers in-process
+	// restarts that reuse an endpoint.
+	s.comm.DrainCh(0, chCmd)
+	s.comm.DrainCh(0, chWrite)
+	s.comm.DrainCh(0, chCtl)
+	hello := cluster.PutUint64s(helloMagic, coveredTo, s.store.CurrentVersion())
+	if err := s.comm.SendCh(0, chCtl, hello); err != nil {
+		return err
+	}
+	// Wait for the welcome, re-sending the hello on every timeout: the
+	// initiator polls hellos only between its operations (it may be idle for
+	// a while), and over TCP the first welcome after a process restart can
+	// die on the initiator's stale cached connection — in which case the
+	// consumed hello would otherwise be lost. Duplicates are harmless: they
+	// carry identical values (the store is not touched before the welcome),
+	// and leftovers are discarded as debris by the next rejoin poll.
+	var w []uint64
+	for {
+		p, err := s.comm.RecvChTimeout(0, chCtl, s.opts.OpTimeout)
+		if errors.Is(err, cluster.ErrRecvTimeout) {
+			if err := s.comm.SendCh(0, chCtl, hello); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		w = cluster.GetUint64s(p)
+		if len(w) >= 4 && w[0] == welcomeMagic {
+			break
+		}
+		// Anything else is debris of the previous incarnation; keep waiting.
+	}
+	s.minOp = w[1]
+	if err := s.applyAlign(w[2], w[3]); err != nil {
+		return err
+	}
+	return s.comm.SendCh(0, chCtl, cluster.PutUint64s(readyMagic))
+}
+
+// applyAlign truncates the local store above alignTo (unless AlignNone)
+// and catches the version counter up to target.
+func (s *Service) applyAlign(alignTo, target uint64) error {
+	if alignTo != AlignNone {
+		if err := kv.TruncateFrom(s.store, alignTo); err != nil {
+			return err
+		}
+	}
+	for s.store.CurrentVersion() < target {
+		s.store.Tag()
+	}
+	return nil
+}
+
+// processRejoins polls the control channel of every down rank for a hello
+// and runs the rank-0 side of the handshake for each. Called at the start
+// of every initiator operation (and by Heal), so a rejoiner waits at most
+// one operation — there is no separate membership thread to race with the
+// collective protocol.
+func (s *Service) processRejoins() {
+	if s.comm.Rank() != 0 {
+		return
+	}
+	for _, r := range s.health.Down() {
+		for {
+			p, err := s.comm.RecvChTimeout(r, chCtl, 0) // poll, never block
+			if err != nil {
+				break // nothing pending from this rank
+			}
+			w := cluster.GetUint64s(p)
+			if len(w) >= 3 && w[0] == helloMagic {
+				s.handleHello(r, w[1], w[2])
+				break
+			}
+			// Anything else is debris of an earlier incarnation (e.g. a
+			// ready we gave up waiting for); discard and keep looking.
+		}
+	}
+}
+
+// Heal eagerly processes pending rejoin requests and returns the ranks
+// brought back alive, sorted. Must be serialized with the other initiator
+// operations (ClusterStore callers: use it between store operations).
+func (s *Service) Heal() []int {
+	before := s.health.Down()
+	s.processRejoins()
+	var healed []int
+	for _, r := range before {
+		if !s.health.IsDown(r) {
+			healed = append(healed, r)
+		}
+	}
+	return healed
+}
+
+// handleHello runs the rank-0 side of one rejoin: decide the alignment,
+// align the live cluster, welcome the rejoiner, wait for its ready.
+func (s *Service) handleHello(r int, theirCovered, theirVer uint64) {
+	myVer := s.store.CurrentVersion()
+	target := max(myVer, theirVer)
+	alignTo := AlignNone
+	switch {
+	case theirCovered != AlignNone && theirCovered < target:
+		// The rejoiner's crash lost entries of versions >= theirCovered:
+		// those tags can no longer be served consistently anywhere. The
+		// greatest cluster-wide consistent boundary is theirCovered —
+		// every survivor truncates down to it.
+		alignTo = theirCovered
+		target = alignTo
+		s.alignCast(r, alignTo, target)
+	case myVer < target:
+		// Nothing lost, but the rejoiner's counter is ahead (it sealed a
+		// tag the initiator never saw confirmed). Catch the survivors up.
+		s.alignCast(r, AlignNone, target)
+	}
+	// Welcome: fence = the next operation sequence number; commands below
+	// it predate this incarnation.
+	welcome := cluster.PutUint64s(welcomeMagic, s.nextOp, alignTo, target)
+	err := s.comm.SendCh(r, chCtl, welcome)
+	if err != nil {
+		// Over TCP the first send after a peer restart commonly dies on the
+		// stale cached connection to the dead incarnation; the transport
+		// drops it on failure, so one immediate retry reaches the fresh
+		// listener.
+		err = s.comm.SendCh(r, chCtl, welcome)
+	}
+	if err != nil {
+		s.health.MarkDown(r)
+		return
+	}
+	p, err := s.comm.RecvChTimeout(r, chCtl, s.opts.OpTimeout)
+	if err != nil {
+		// The rejoiner went quiet again (or is just slow: if its ready
+		// arrives late it is discarded as debris by the next poll, and
+		// the regular backoff probe re-admits the rank once it serves).
+		s.health.MarkDown(r)
+		return
+	}
+	w := cluster.GetUint64s(p)
+	if len(w) < 1 || w[0] != readyMagic {
+		s.health.MarkDown(r)
+		return
+	}
+	s.health.MarkAlive(r)
+}
+
+// alignCast broadcasts opAlign to the live members (excluding the rank
+// currently mid-rejoin — it aligns from its welcome) and applies the
+// alignment locally. Worker acks carry an error string; a survivor that
+// cannot align (or dies during it) is left for its own later rejoin.
+func (s *Service) alignCast(rejoiner int, alignTo, target uint64) {
+	members, probing := s.pollLive()
+	if i := memberIndex(members, rejoiner); i >= 0 {
+		members = append(members[:i:i], members[i+1:]...)
+	}
+	for i, p := range probing {
+		if p == rejoiner {
+			probing = append(probing[:i:i], probing[i+1:]...)
+			break
+		}
+	}
+	ctx := opCtx{seq: s.nextOp, members: members, probing: probing}
+	s.nextOp++
+	frame := encodeCmd(ctx.seq, s.opts.OpTimeout, members, s.comm.Size(), opAlign, []uint64{alignTo, target})
+	for _, m := range members {
+		if m == s.comm.Rank() {
+			continue
+		}
+		if err := s.comm.SendCh(m, chCmd, frame); err != nil {
+			s.health.MarkDown(m)
+		}
+	}
+	var rep []byte
+	if err := s.applyAlign(alignTo, target); err != nil {
+		rep = []byte(err.Error())
+	}
+	rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, rep, combineFirstErr, s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	_ = rep // a failed survivor realigns at its own rejoin
+}
+
+// combineFirstErr keeps the first non-empty error string of an alignment
+// acknowledgement reduction.
+func combineFirstErr(a, b []byte) []byte {
+	if len(a) > 0 {
+		return a
+	}
+	return b
+}

@@ -111,7 +111,28 @@ func (s *Store) ExtractHistory(key uint64) []kv.Event {
 // Len returns the number of distinct keys ever inserted.
 func (s *Store) Len() int { return s.index.Len() }
 
+// TruncateFrom implements kv.Truncator: it discards every entry with
+// version >= cutoff and rewinds the version counter to cutoff, as if the
+// store had been stopped right before cutoff was sealed. Only safe when no
+// operations are concurrently in flight.
+func (s *Store) TruncateFrom(cutoff uint64) error {
+	s.index.All(func(_ uint64, h *vhistory.EHistory) bool {
+		keep := uint64(0)
+		for _, e := range h.Entries(s.clock) {
+			if e.Version >= cutoff {
+				break // versions are non-decreasing in slot order
+			}
+			keep++
+		}
+		h.Prune(keep)
+		return true
+	})
+	s.version.Store(cutoff)
+	return nil
+}
+
 // Close is a no-op for the ephemeral store.
 func (s *Store) Close() error { return nil }
 
 var _ kv.Store = (*Store)(nil)
+var _ kv.Truncator = (*Store)(nil)

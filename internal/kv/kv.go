@@ -4,7 +4,11 @@
 // distributed layer.
 package kv
 
-import "mvkv/internal/vhistory"
+import (
+	"fmt"
+
+	"mvkv/internal/vhistory"
+)
 
 // KV is one key-value pair of a snapshot, with keys and values being 64-bit
 // integers as in the paper's evaluation ("a large number of tiny key-value
@@ -74,6 +78,25 @@ func FindBatch(s Store, keys, versions []uint64) ([]uint64, []bool) {
 		values[i], found[i] = s.Find(k, versions[i])
 	}
 	return values, found
+}
+
+// Truncator is the optional version-truncation capability: discarding
+// every entry belonging to versions >= cutoff and rewinding the version
+// counter to cutoff, durably for persistent stores. The distributed
+// rejoin protocol uses it to align all ranks on the greatest cluster-wide
+// consistent version after a rank loses recent entries in a crash. Only
+// safe when no operations are concurrently in flight.
+type Truncator interface {
+	TruncateFrom(cutoff uint64) error
+}
+
+// TruncateFrom truncates s at cutoff via its Truncator capability, or
+// reports that the store has none.
+func TruncateFrom(s Store, cutoff uint64) error {
+	if t, ok := s.(Truncator); ok {
+		return t.TruncateFrom(cutoff)
+	}
+	return fmt.Errorf("kv: store %T does not support version truncation", s)
 }
 
 // Store is the multi-version ordered dictionary API of Table 1. All methods

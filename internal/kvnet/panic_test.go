@@ -1,0 +1,108 @@
+package kvnet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+)
+
+// panicStore panics on one poison key; everything else passes through.
+type panicStore struct {
+	kv.Store
+}
+
+const poisonKey = 0xDEAD
+
+func (p *panicStore) Find(key, version uint64) (uint64, bool) {
+	if key == poisonKey {
+		panic("injected store panic")
+	}
+	return p.Store.Find(key, version)
+}
+
+// TestServerPanicIsolation: a store panic on one connection must surface as
+// a typed in-band error, be logged, close only that connection, and leave
+// the server fully usable — including by the same client (which re-dials).
+func TestServerPanicIsolation(t *testing.T) {
+	backing := &panicStore{Store: eskiplist.New()}
+	var mu sync.Mutex
+	var logged []string
+	srv, err := ServeOptions(backing, "127.0.0.1:0", ServerOptions{
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	other, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+
+	if err := cl.Insert(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.TagErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip the panic. The client must see the typed error, not a hang or a
+	// bare connection reset.
+	_, _, err = cl.FindErr(poisonKey, v)
+	if err == nil || !strings.Contains(err.Error(), ErrStorePanic.Error()) {
+		t.Fatalf("want in-band store-panic error, got %v", err)
+	}
+
+	// The incident was logged with the panic value.
+	mu.Lock()
+	nlogged := len(logged)
+	joined := strings.Join(logged, "\n")
+	mu.Unlock()
+	if nlogged == 0 || !strings.Contains(joined, "injected store panic") {
+		t.Fatalf("panic not logged: %q", joined)
+	}
+
+	// A second client's connections never noticed.
+	if got, ok := other.Find(7, v); !ok || got != 70 {
+		t.Fatalf("other client after panic: %d,%v", got, ok)
+	}
+
+	// The panicking client recovers too: its poisoned connection was
+	// closed, the pool re-dials on the next call.
+	if err := cl.Insert(8, 80); err != nil {
+		t.Fatalf("client did not recover after panic: %v", err)
+	}
+	v2, err := cl.TagErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cl.Find(8, v2); !ok || got != 80 {
+		t.Fatalf("post-recovery find: %d,%v", got, ok)
+	}
+
+	// Repeated panics must not accumulate broken state.
+	for i := 0; i < 5; i++ {
+		if _, _, err := cl.FindErr(poisonKey, v2); err == nil {
+			t.Fatal("poison key suddenly succeeded")
+		}
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping after repeated panics: %v", err)
+	}
+}

@@ -4,12 +4,19 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"mvkv/internal/kv"
 )
+
+// ErrStorePanic is reported (in-band, then the connection is closed) when
+// the store paniced while handling a request. One panicking request must
+// not take down the whole server: the other connections keep serving.
+var ErrStorePanic = errors.New("kvnet: store paniced while handling request")
 
 // ServerOptions configures the server's per-connection deadlines. The zero
 // value disables them all (the historical behaviour).
@@ -23,6 +30,17 @@ type ServerOptions struct {
 	// IdleTimeout bounds the wait for the next request header on an idle
 	// connection (0 = wait forever, which pooled clients rely on).
 	IdleTimeout time.Duration
+	// Logf receives server-side incident reports (handler panics). Nil
+	// uses the standard library logger.
+	Logf func(format string, args ...any)
+}
+
+func (o ServerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Server exposes a kv.Store over TCP. Requests on one connection are
@@ -89,6 +107,13 @@ func (s *Server) serveConn(c net.Conn) {
 		delete(s.conns, c)
 		s.mu.Unlock()
 	}()
+	// Last-resort isolation: a panic escaping the per-request recovery
+	// (framing, response encoding) kills only this connection.
+	defer func() {
+		if r := recover(); r != nil {
+			s.opts.logf("kvnet: panic on connection %s: %v\n%s", c.RemoteAddr(), r, debug.Stack())
+		}
+	}()
 	// Responses go through a buffered writer flushed once per response, so
 	// the 5-byte header and the payload leave in one syscall (and large
 	// batch responses are not chopped into header + body writes).
@@ -104,11 +129,19 @@ func (s *Server) serveConn(c net.Conn) {
 		if err != nil {
 			return // connection closed, broken, oversized or stalled
 		}
-		resp, err := s.handle(op, req)
+		resp, err := s.safeHandle(c, op, req)
 		if t := s.opts.WriteTimeout; t > 0 {
 			if err := c.SetWriteDeadline(time.Now().Add(t)); err != nil {
 				return
 			}
+		}
+		if errors.Is(err, ErrStorePanic) {
+			// Report in-band so the waiting client gets a typed failure
+			// instead of a silent disconnect, then close this connection:
+			// after a panic mid-operation the per-connection state is not
+			// trusted to be coherent. Other connections are unaffected.
+			_ = send(statusErr, []byte(err.Error()))
+			return
 		}
 		if err != nil {
 			if werr := send(statusErr, []byte(err.Error())); werr != nil {
@@ -131,6 +164,21 @@ func (s *Server) serveConn(c net.Conn) {
 }
 
 var errBadRequest = errors.New("kvnet: malformed request")
+
+// safeHandle isolates one request's store call: a panic in the store (or in
+// request decoding) is caught, logged with its stack, and surfaced as
+// ErrStorePanic — the connection dies, the server and its other connections
+// survive.
+func (s *Server) safeHandle(c net.Conn, op byte, req []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.opts.logf("kvnet: panic handling op %d from %s: %v\n%s",
+				op, c.RemoteAddr(), r, debug.Stack())
+			resp, err = nil, fmt.Errorf("%w: op %d: %v", ErrStorePanic, op, r)
+		}
+	}()
+	return s.handle(op, req)
+}
 
 func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 	switch op {

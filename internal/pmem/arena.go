@@ -150,6 +150,16 @@ func (a *Arena) HeapUsed() int64 {
 	return int64(a.LoadUint64(Ptr(offHeapTail*wordSize))) - headerWords*wordSize
 }
 
+// HeapBounds returns the [lo, hi) byte-offset range allocated objects
+// occupy: lo is the first byte past the arena header, hi the bump-allocator
+// tail. A persistent pointer outside this range (or misaligned) cannot
+// reference a live object — integrity checkers (core.Fsck) validate stored
+// pointers against these bounds before dereferencing them, since a wild
+// dereference panics by design.
+func (a *Arena) HeapBounds() (lo, hi Ptr) {
+	return headerWords * wordSize, Ptr(a.LoadUint64(Ptr(offHeapTail * wordSize)))
+}
+
 // Root returns the user root object pointer, or NullPtr if unset.
 func (a *Arena) Root() Ptr { return Ptr(a.LoadUint64(Ptr(offRoot * wordSize))) }
 

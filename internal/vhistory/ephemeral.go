@@ -147,3 +147,22 @@ func (h *EHistory) Entries(c *Clock) []Entry {
 
 // Len returns the number of finished, exposed entries (after extending).
 func (h *EHistory) Len(c *Clock) int { return int(h.extend(MaxVersion, c)) }
+
+// Prune discards every slot from keep onwards and resets the counters so
+// the history ends at exactly its first keep entries. Only safe on a
+// quiesced store (no concurrent appends or queries); used by version
+// truncation (ESkipList TruncateFrom). Unlike the persistent analog there
+// is no re-sequencing: an ephemeral store is never recovered from a crash,
+// so commit-number gaps above the surviving entries are harmless (new
+// appends still draw strictly larger numbers).
+func (h *EHistory) Prune(keep uint64) {
+	n := h.pending.Load()
+	for i := keep; i < n; i++ {
+		e := h.slot(i)
+		e.version.Store(0)
+		e.seq.Store(0)
+		e.value = 0
+	}
+	h.pending.Store(keep)
+	h.tail.Store(keep)
+}

@@ -398,4 +398,19 @@ func (h *PHistory) Prune(a *pmem.Arena, keep uint64) {
 	h.pending.Store(keep)
 	h.tail.Store(keep)
 	h.published.Store(true)
+	// The cached slot-0 version may describe a zeroed slot now (keep == 0);
+	// drop it so FirstVersion re-reads the arena.
+	h.firstVer.Store(0)
+}
+
+// SetSlotSeq durably overwrites the commit number of an existing slot.
+// Used by version truncation (core.Store.TruncateFrom) to re-sequence the
+// surviving entries into a gap-free global order: truncation removes
+// entries from the middle of the commit sequence, and a later recovery
+// would otherwise cut every entry above the first gap. Only safe on a
+// quiesced store (no concurrent appends or queries).
+func (h *PHistory) SetSlotSeq(a *pmem.Arena, slot, seq uint64) {
+	ep := h.loadedEntryPtr(a, slot)
+	a.StoreUint64(ep+16, seq)
+	a.Persist(ep+16, 8)
 }

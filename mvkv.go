@@ -245,3 +245,33 @@ func PartitionOwner(key uint64, ranks int) int { return dist.Owner(key, ranks) }
 func RunLocalCluster(ranks int, model NetModel, fn func(c *Comm) error) error {
 	return cluster.RunLocal(ranks, model, fn)
 }
+
+// ---- fault tolerance ----
+
+// FTOptions bounds the distributed protocol's failure handling: OpTimeout
+// is the per-collective deadline after which unresponsive ranks are marked
+// down, ProbeBackoff the interval between reprobes of a down rank.
+type FTOptions = dist.FTOptions
+
+// NewDistServiceOptions is NewDistService with explicit fault-tolerance
+// bounds. Workers restarted after a crash call DistService.Rejoin (with the
+// CoveredTo their recovery reported) before re-entering ServeAll; rank 0
+// drives pending rejoins with DistService.Heal.
+func NewDistServiceOptions(c *Comm, local Store, mergeThreads int, o FTOptions) *DistService {
+	return dist.NewOptions(c, local, mergeThreads, o)
+}
+
+// ErrRankDown reports an operation that needed a rank currently marked
+// down. Match with errors.As; operations fail within FTOptions.OpTimeout
+// instead of hanging.
+type ErrRankDown = cluster.ErrRankDown
+
+// PartialResultError accompanies best-effort collective results (snapshot
+// extraction, LenSum) assembled while some ranks were down; Missing lists
+// the unavailable partitions.
+type PartialResultError = dist.PartialResultError
+
+// PartialBatchError reports a cluster batch insert that landed on some
+// partitions but not others: Applied counts per rank, Failed maps rank to
+// cause.
+type PartialBatchError = dist.PartialBatchError

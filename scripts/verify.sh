@@ -4,7 +4,9 @@
 #   1. tier-1: go build + full go test
 #   2. go vet
 #   3. network robustness: race-enabled kvnet + cluster suites
-#   4. batch smoke: batched insert at batch=64 must beat single-op insert
+#   4. fault tolerance: race-enabled dist rank-crash/rejoin suite, under a
+#      hard timeout so a protocol hang fails the gate instead of wedging CI
+#   5. batch smoke: batched insert at batch=64 must beat single-op insert
 #      under the default 200ns emulated persist latency
 #
 # Exits non-zero on the first failing gate.
@@ -23,7 +25,12 @@ go test ./...
 echo "== gate 4: network robustness (race) =="
 go test -race -short ./internal/kvnet/ ./internal/cluster/
 
-echo "== gate 5: batch-vs-single smoke =="
+echo "== gate 5: fault tolerance (race, no-hang) =="
+# Every failure path in the degraded/rejoin protocol is deadline-bounded;
+# -timeout turns any regression into a hang-free gate failure.
+go test -race -short -timeout 120s ./internal/dist/ ./internal/cluster/
+
+echo "== gate 6: batch-vs-single smoke =="
 tmpbin="$(mktemp -d)/benchkv"
 trap 'rm -rf "$(dirname "$tmpbin")"' EXIT
 go build -o "$tmpbin" ./cmd/benchkv
