@@ -18,6 +18,7 @@
 //	distgather   distributed snapshot gather vs node count         (Fig 7)
 //	distmerge    NaiveMerge vs OptMerge snapshot merge             (Fig 8)
 //	batch        insert throughput vs batch size, local + tcp://   (new)
+//	extract      snapshot extraction vs worker count, local + tcp  (new)
 //	all          every experiment at the configured scale
 //
 // Defaults are scaled down from the paper (N=1e6 on 64-core KNL; 512
@@ -55,12 +56,13 @@ var (
 	flagSummary  = flag.Bool("summary", false, "append PSkipList-vs-baseline speedups and scaling factors")
 	flagReps     = flag.Int("reps", 3, "repetitions of each distributed query phase (fastest wins)")
 	flagBatches  = flag.String("batches", "1,8,64,512", "batch sizes to sweep (batch)")
+	flagJSON     = flag.String("json", "", "also write the extract figure as machine-readable JSON to this path (extract)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|batch|all>")
+		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|batch|extract|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -118,10 +120,12 @@ func run(cmd string) ([]harness.Result, error) {
 		return runDist("fig8")
 	case "batch":
 		return runBatch()
+	case "extract":
+		return runExtract()
 	case "all":
 		var all []harness.Result
 		for _, c := range []string{"insert", "remove", "history", "find", "snapshot",
-			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch"} {
+			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch", "extract"} {
 			rows, err := run(c)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", c, err)
@@ -341,6 +345,31 @@ func runBatch() ([]harness.Result, error) {
 				return nil, err
 			}
 			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// runExtract measures the parallel snapshot-extraction figure (not a paper
+// figure): one PSkipList loaded with -n pairs, extraction latency as the
+// per-query worker count sweeps -threads, then the same snapshot through
+// the three TCP read paths (legacy single frame, chunked reassembly,
+// streaming visitor). -json additionally writes the rows with the measured
+// environment (GOMAXPROCS et al.) as machine-readable JSON.
+func runExtract() ([]harness.Result, error) {
+	threads, err := intList(*flagThreads)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := harness.RunExtractSweep(harness.ExtractSpec{
+		N: *flagN, Threads: threads, Reps: *flagReps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if *flagJSON != "" {
+		if err := harness.WriteExtractJSON(*flagJSON, *flagN, rows); err != nil {
+			return nil, fmt.Errorf("writing %s: %w", *flagJSON, err)
 		}
 	}
 	return rows, nil

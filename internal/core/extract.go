@@ -1,0 +1,196 @@
+package core
+
+// Parallel snapshot extraction (the "vertical" half of the paper's
+// hierarchic multi-threaded merge): the sequential index walk in front of
+// every distributed merge is sharded into disjoint key ranges derived from
+// the skip list's own towers (skiplist.Map.Splits), each walked by its own
+// worker with the same filter+Find loop as the sequential path. Shard
+// ranges are disjoint and ordered, so concatenating the per-shard slices
+// reproduces the sequential output byte for byte.
+
+import (
+	"sync"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/vhistory"
+)
+
+// parallelExtractMin is the index size below which sharding overhead
+// (split derivation + goroutine startup) exceeds the walk itself.
+const parallelExtractMin = 4096
+
+// extractThreads resolves the configured extraction parallelism.
+func (s *Store) extractThreads() int {
+	return s.opts.ExtractThreads
+}
+
+// extractSpan runs the filter+Find loop over one key span — [lo, hi) when
+// bounded, [lo, ∞) otherwise — appending into a slice presized to hint.
+func (s *Store) extractSpan(lo, hi, version uint64, bounded bool, hint int) []kv.KV {
+	filter := !s.opts.DisableVersionFilter
+	out := make([]kv.KV, 0, hint)
+	visit := func(k uint64, h *vhistory.PHistory) bool {
+		if filter {
+			if fv, ok := h.FirstVersion(s.arena, s.clock); ok && fv > version {
+				return true // key born after the queried snapshot
+			}
+		}
+		if v, ok := h.Find(s.arena, version, s.clock); ok {
+			out = append(out, kv.KV{Key: k, Value: v})
+		}
+		return true
+	}
+	if bounded {
+		s.index.Range(lo, hi, visit)
+	} else {
+		s.index.RangeFrom(lo, visit)
+	}
+	return out
+}
+
+// shardBounds derives the shard lower bounds for a parallel walk over
+// [lo, hi) (hi ignored when bounded is false): lo itself plus every split
+// key strictly inside the span. len(bounds) is the shard count, at most
+// threads.
+func (s *Store) shardBounds(lo, hi uint64, bounded bool, threads int) []uint64 {
+	bounds := make([]uint64, 1, threads)
+	bounds[0] = lo
+	for _, k := range s.index.Splits(threads) {
+		if k > lo && (!bounded || k < hi) {
+			bounds = append(bounds, k)
+		}
+	}
+	return bounds
+}
+
+// extractShards walks the span's shards concurrently, one worker per shard,
+// and returns the per-shard slices in key order. Shard i covers
+// [bounds[i], bounds[i+1]); the last shard runs to hi (or the end of the
+// index for an unbounded span).
+func (s *Store) extractShards(bounds []uint64, hi, version uint64, bounded bool) [][]kv.KV {
+	shards := make([][]kv.KV, len(bounds))
+	var wg sync.WaitGroup
+	for i := range bounds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slo := bounds[i]
+			if i < len(bounds)-1 {
+				shi := bounds[i+1]
+				shards[i] = s.extractSpan(slo, shi, version, true, s.index.EstimateRange(slo, shi))
+			} else if bounded {
+				shards[i] = s.extractSpan(slo, hi, version, true, s.index.EstimateRange(slo, hi))
+			} else {
+				shards[i] = s.extractSpan(slo, 0, version, false, s.index.EstimateRange(slo, ^uint64(0)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	return shards
+}
+
+// concatShards stitches ordered disjoint shards into one slice.
+func concatShards(shards [][]kv.KV) []kv.KV {
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	out := make([]kv.KV, 0, total)
+	for _, sh := range shards {
+		out = append(out, sh...)
+	}
+	return out
+}
+
+// ExtractSnapshotWith is ExtractSnapshot with an explicit worker count,
+// overriding Options.ExtractThreads for this call (the extraction benchmark
+// sweeps thread counts over one loaded store). threads <= 1 runs the
+// sequential walk.
+func (s *Store) ExtractSnapshotWith(version uint64, threads int) []kv.KV {
+	if threads <= 1 || s.index.Len() < parallelExtractMin {
+		return s.extractSpan(0, 0, version, false, s.index.Len())
+	}
+	bounds := s.shardBounds(0, 0, false, threads)
+	if len(bounds) == 1 {
+		return s.extractSpan(0, 0, version, false, s.index.Len())
+	}
+	return concatShards(s.extractShards(bounds, 0, version, false))
+}
+
+// ExtractRangeWith is ExtractRange with an explicit worker count (see
+// ExtractSnapshotWith).
+func (s *Store) ExtractRangeWith(lo, hi, version uint64, threads int) []kv.KV {
+	hint := s.index.EstimateRange(lo, hi)
+	if threads <= 1 || hint < parallelExtractMin {
+		return s.extractSpan(lo, hi, version, true, hint)
+	}
+	bounds := s.shardBounds(lo, hi, true, threads)
+	if len(bounds) == 1 {
+		return s.extractSpan(lo, hi, version, true, hint)
+	}
+	return concatShards(s.extractShards(bounds, hi, version, true))
+}
+
+// StreamSnapshot implements kv.SnapshotStreamer: the snapshot is produced
+// as a sequence of key-ordered chunks. Shards are extracted concurrently
+// and emitted in key order as soon as each is ready, so a consumer
+// (typically the kvnet chunked wire path) starts encoding shard 0 while
+// later shards are still being walked. The slice passed to emit is only
+// valid for the duration of the call.
+func (s *Store) StreamSnapshot(version uint64, emit func(pairs []kv.KV) error) error {
+	return s.streamSpan(0, 0, version, false, emit)
+}
+
+// StreamRange implements kv.SnapshotStreamer for a bounded key range.
+func (s *Store) StreamRange(lo, hi, version uint64, emit func(pairs []kv.KV) error) error {
+	return s.streamSpan(lo, hi, version, true, emit)
+}
+
+func (s *Store) streamSpan(lo, hi, version uint64, bounded bool, emit func(pairs []kv.KV) error) error {
+	threads := s.extractThreads()
+	if threads <= 1 || s.index.Len() < parallelExtractMin {
+		var out []kv.KV
+		if bounded {
+			out = s.extractSpan(lo, hi, version, true, s.index.EstimateRange(lo, hi))
+		} else {
+			out = s.extractSpan(lo, 0, version, false, s.index.Len())
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return emit(out)
+	}
+	bounds := s.shardBounds(lo, hi, bounded, threads)
+	// Extract shards concurrently; emit each as soon as it and all its
+	// predecessors are done (done[i] closes when shard i is ready).
+	shards := make([][]kv.KV, len(bounds))
+	done := make([]chan struct{}, len(bounds))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	for i := range bounds {
+		go func(i int) {
+			defer close(done[i])
+			slo := bounds[i]
+			if i < len(bounds)-1 {
+				shi := bounds[i+1]
+				shards[i] = s.extractSpan(slo, shi, version, true, s.index.EstimateRange(slo, shi))
+			} else if bounded {
+				shards[i] = s.extractSpan(slo, hi, version, true, s.index.EstimateRange(slo, hi))
+			} else {
+				shards[i] = s.extractSpan(slo, 0, version, false, s.index.EstimateRange(slo, ^uint64(0)))
+			}
+		}(i)
+	}
+	var emitErr error
+	for i := range bounds {
+		<-done[i]
+		if emitErr == nil && len(shards[i]) > 0 {
+			emitErr = emit(shards[i])
+		}
+		shards[i] = nil // release emitted shards as the stream advances
+	}
+	return emitErr
+}
+
+var _ kv.SnapshotStreamer = (*Store)(nil)

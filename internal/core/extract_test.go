@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/mt19937"
+)
+
+// loadStore builds a store with n random keys spread over several versions,
+// including removals, and returns it with the list of sealed versions.
+func loadStore(t testing.TB, n int) (*Store, []uint64) {
+	t.Helper()
+	s, err := Create(Options{ArenaBytes: 512 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	rng := mt19937.New(99)
+	var versions []uint64
+	perVersion := n / 4
+	if perVersion == 0 {
+		perVersion = 1
+	}
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		if err := s.Insert(k, k^0xABCD); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 3 {
+			if err := s.Remove(rng.Uint64()); err != nil { // mostly novel keys: marker-first histories
+				t.Fatal(err)
+			}
+		}
+		if (i+1)%perVersion == 0 {
+			versions = append(versions, s.Tag())
+		}
+	}
+	versions = append(versions, s.Tag())
+	return s, versions
+}
+
+func pairsEqual(a, b []kv.KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelExtractMatchesSequential is the differential gate of the
+// parallel walk: for every sealed version and a sweep of worker counts, the
+// sharded extraction must reproduce the sequential output exactly —
+// element for element, including removals and the version filter.
+func TestParallelExtractMatchesSequential(t *testing.T) {
+	s, versions := loadStore(t, 3*parallelExtractMin)
+	for _, v := range versions {
+		want := s.ExtractSnapshotWith(v, 1)
+		for _, threads := range []int{2, 3, 4, 8, 16} {
+			got := s.ExtractSnapshotWith(v, threads)
+			if !pairsEqual(got, want) {
+				t.Fatalf("version %d, %d threads: %d pairs vs %d sequential",
+					v, threads, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestParallelExtractRangeMatchesSequential does the same for bounded
+// ranges, sweeping random spans of varying width.
+func TestParallelExtractRangeMatchesSequential(t *testing.T) {
+	s, versions := loadStore(t, 3*parallelExtractMin)
+	v := versions[len(versions)-1]
+	rng := mt19937.New(5)
+	for i := 0; i < 20; i++ {
+		lo := rng.Uint64()
+		hi := lo + 1<<uint(40+rng.Uint64n(24))
+		if hi < lo {
+			hi = ^uint64(0)
+		}
+		want := s.ExtractRangeWith(lo, hi, v, 1)
+		for _, threads := range []int{2, 4, 8} {
+			got := s.ExtractRangeWith(lo, hi, v, threads)
+			if !pairsEqual(got, want) {
+				t.Fatalf("range [%d,%d), %d threads: %d pairs vs %d sequential",
+					lo, hi, threads, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestParallelExtractDuringInserts extracts a sealed version repeatedly
+// while writers keep inserting into later versions: the sealed snapshot is
+// immutable, so parallel and sequential walks must agree even though the
+// index is growing underneath both (run under -race this also exercises the
+// lock-free reader paths).
+func TestParallelExtractDuringInserts(t *testing.T) {
+	s, versions := loadStore(t, 2*parallelExtractMin)
+	sealed := versions[len(versions)-1]
+	want := s.ExtractSnapshotWith(sealed, 1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := mt19937.New(uint64(w) + 1000)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Insert(rng.Uint64(), 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 10; i++ {
+		got := s.ExtractSnapshotWith(sealed, 4)
+		if !pairsEqual(got, want) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("iteration %d: sealed snapshot drifted under concurrent inserts (%d vs %d pairs)",
+				i, len(got), len(want))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStreamMatchesExtract verifies the streaming producer: concatenated
+// chunks equal the materialized snapshot, chunks are non-empty, and an emit
+// error aborts the stream and surfaces unchanged.
+func TestStreamMatchesExtract(t *testing.T) {
+	s, versions := loadStore(t, 3*parallelExtractMin)
+	for _, v := range versions {
+		want := s.ExtractSnapshot(v)
+		var got []kv.KV
+		chunks := 0
+		err := s.StreamSnapshot(v, func(pairs []kv.KV) error {
+			if len(pairs) == 0 {
+				t.Fatal("empty chunk emitted")
+			}
+			chunks++
+			got = append(got, pairs...) // copy: the chunk is only valid during emit
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pairsEqual(got, want) {
+			t.Fatalf("version %d: stream yielded %d pairs, extract %d", v, len(got), len(want))
+		}
+	}
+	// Bounded stream.
+	v := versions[len(versions)-1]
+	lo, hi := uint64(1)<<62, uint64(3)<<62
+	want := s.ExtractRange(lo, hi, v)
+	var got []kv.KV
+	if err := s.StreamRange(lo, hi, v, func(pairs []kv.KV) error {
+		got = append(got, pairs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(got, want) {
+		t.Fatalf("range stream yielded %d pairs, extract %d", len(got), len(want))
+	}
+	// Abort propagation.
+	wantErr := errors.New("stop here")
+	calls := 0
+	err := s.StreamSnapshot(v, func([]kv.KV) error {
+		calls++
+		return wantErr
+	})
+	if err != wantErr || calls != 1 {
+		t.Fatalf("abort: err=%v calls=%d", err, calls)
+	}
+}

@@ -68,6 +68,11 @@ type Options struct {
 	// future-work extension that skips keys whose first version exceeds
 	// the queried one). For ablation benchmarks.
 	DisableVersionFilter bool
+	// ExtractThreads is the parallelism of ExtractSnapshot/ExtractRange:
+	// the index is sharded into that many disjoint key ranges walked
+	// concurrently (extract.go). Default runtime.GOMAXPROCS(0); 1 keeps
+	// the sequential walk. Small indexes always walk sequentially.
+	ExtractThreads int
 }
 
 func (o *Options) fill() {
@@ -79,6 +84,9 @@ func (o *Options) fill() {
 	}
 	if o.RebuildThreads <= 0 {
 		o.RebuildThreads = runtime.GOMAXPROCS(0)
+	}
+	if o.ExtractThreads <= 0 {
+		o.ExtractThreads = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -278,43 +286,20 @@ func (s *Store) Find(key, version uint64) (uint64, bool) {
 }
 
 // ExtractSnapshot returns every pair present in snapshot version, sorted by
-// key (Table 1 extract_snapshot).
+// key (Table 1 extract_snapshot). Large indexes are walked by
+// Options.ExtractThreads workers over disjoint key shards (extract.go);
+// the output is byte-identical to the sequential walk.
 func (s *Store) ExtractSnapshot(version uint64) []kv.KV {
-	filter := !s.opts.DisableVersionFilter
-	out := make([]kv.KV, 0, s.index.Len())
-	s.index.All(func(k uint64, h *vhistory.PHistory) bool {
-		if filter {
-			if fv, ok := h.FirstVersion(s.arena, s.clock); ok && fv > version {
-				return true // key born after the queried snapshot
-			}
-		}
-		if v, ok := h.Find(s.arena, version, s.clock); ok {
-			out = append(out, kv.KV{Key: k, Value: v})
-		}
-		return true
-	})
-	return out
+	return s.ExtractSnapshotWith(version, s.extractThreads())
 }
 
 // ExtractRange returns the pairs with lo <= key < hi present in snapshot
 // version, sorted by key. Combined with the ordered index this makes
 // snapshot access pageable: iterate in key chunks instead of materializing
-// the whole snapshot.
+// the whole snapshot. Like ExtractSnapshot, large ranges are walked in
+// parallel shards.
 func (s *Store) ExtractRange(lo, hi, version uint64) []kv.KV {
-	filter := !s.opts.DisableVersionFilter
-	var out []kv.KV
-	s.index.Range(lo, hi, func(k uint64, h *vhistory.PHistory) bool {
-		if filter {
-			if fv, ok := h.FirstVersion(s.arena, s.clock); ok && fv > version {
-				return true
-			}
-		}
-		if v, ok := h.Find(s.arena, version, s.clock); ok {
-			out = append(out, kv.KV{Key: k, Value: v})
-		}
-		return true
-	})
-	return out
+	return s.ExtractRangeWith(lo, hi, version, s.extractThreads())
 }
 
 // ExtractHistory returns key's change log (Table 1 extract_history).

@@ -64,6 +64,9 @@ func runDist(spec DistSpec, driver func(svc *dist.Service, localKeys []uint64) (
 			Approach:       spec.Approach,
 			N:              spec.NPerNode * 2,
 			PersistLatency: spec.PersistLatency,
+			// The paper's ranks run their local extraction with the same
+			// thread pool that serves the hierarchic merge.
+			ExtractThreads: spec.MergeThreads,
 			// Hundreds of ranks live in one process here; size pools
 			// tightly (~600 B per single-entry key, 1.5x headroom) so a
 			// 512-rank sweep fits in host memory.

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mvkv/internal/core"
+	"mvkv/internal/kv"
+	"mvkv/internal/kvnet"
+	"mvkv/internal/workload"
+)
+
+// ExtractSpec configures the snapshot-extraction figure (not a paper
+// figure): extraction latency of one loaded PSkipList as the per-query
+// worker count sweeps, locally and through the TCP wire paths. Unlike
+// Figure 4 (T concurrent single-threaded snapshot queries), the axis here
+// is intra-query parallelism — the sharded walk behind ExtractSnapshot.
+type ExtractSpec struct {
+	N       int
+	Threads []int
+	// Reps repeats each timed extraction and reports the fastest (the
+	// store is built once; extraction is read-only).
+	Reps int
+}
+
+func (s ExtractSpec) reps() int {
+	if s.Reps < 1 {
+		return 1
+	}
+	return s.Reps
+}
+
+// BuildExtractStore loads a PSkipList with n unique pairs across 8 sealed
+// versions (batched inserts: the load is scaffolding, not the measurement)
+// and returns it with the last sealed version. Persist latency is zero —
+// the figure times extraction, which never touches the persist path.
+func BuildExtractStore(n int) (*core.Store, uint64, error) {
+	s, err := core.Create(core.Options{ArenaBytes: int64(n)*600 + (64 << 20)})
+	if err != nil {
+		return nil, 0, err
+	}
+	w := workload.Generate(n, 0xE87AC7)
+	pairs := make([]kv.KV, n)
+	for i := range pairs {
+		pairs[i] = kv.KV{Key: w.Keys[i], Value: w.Values[i]}
+	}
+	seal := n / 8
+	if seal == 0 {
+		seal = n
+	}
+	for off := 0; off < n; off += 4096 {
+		end := off + 4096
+		if end > n {
+			end = n
+		}
+		if err := kv.InsertBatch(s, pairs[off:end]); err != nil {
+			s.Close()
+			return nil, 0, err
+		}
+		if off/seal != end/seal {
+			s.Tag()
+		}
+	}
+	return s, s.Tag(), nil
+}
+
+// RunExtractSweep measures the figure:
+//
+//   - extract-local: ExtractSnapshotWith at each worker count on the loaded
+//     store (Threads = workers inside the one query).
+//   - extract-tcp: the same snapshot through the TCP service — the legacy
+//     single-frame op versus chunked reassembly versus the streaming
+//     visitor (no client-side reassembly). The server extracts with its
+//     default worker count (GOMAXPROCS).
+//
+// Every timed result is validated against the expected pair count.
+func RunExtractSweep(spec ExtractSpec) ([]Result, error) {
+	s, version, err := BuildExtractStore(spec.N)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	want := s.ExtractSnapshot(version)
+
+	var rows []Result
+	for _, t := range spec.Threads {
+		var best time.Duration
+		for rep := 0; rep < spec.reps(); rep++ {
+			start := time.Now()
+			snap := s.ExtractSnapshotWith(version, t)
+			d := time.Since(start)
+			if len(snap) != len(want) {
+				return nil, fmt.Errorf("extract with %d threads: %d pairs, want %d", t, len(snap), len(want))
+			}
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		rows = append(rows, Result{Figure: "extract-local", Approach: "PSkipList",
+			Threads: t, N: spec.N, Ops: len(want), Elapsed: best})
+	}
+
+	srv, err := kvnet.Serve(s, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	cl, err := kvnet.Dial(srv.Addr(), 2)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	serverThreads := runtime.GOMAXPROCS(0)
+	wire := []struct {
+		name string
+		run  func() (int, error)
+	}{
+		{"PSkipList/single-frame", func() (int, error) {
+			snap, err := cl.ExtractSnapshotSingleFrame(version)
+			return len(snap), err
+		}},
+		{"PSkipList/chunked", func() (int, error) {
+			snap, err := cl.ExtractSnapshotErr(version)
+			return len(snap), err
+		}},
+		{"PSkipList/stream", func() (int, error) {
+			n := 0
+			err := cl.StreamSnapshot(version, func(pairs []kv.KV) error {
+				n += len(pairs)
+				return nil
+			})
+			return n, err
+		}},
+	}
+	for _, wp := range wire {
+		var best time.Duration
+		for rep := 0; rep < spec.reps(); rep++ {
+			start := time.Now()
+			n, err := wp.run()
+			d := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", wp.name, err)
+			}
+			if n != len(want) {
+				return nil, fmt.Errorf("%s: %d pairs, want %d", wp.name, n, len(want))
+			}
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		rows = append(rows, Result{Figure: "extract-tcp", Approach: wp.name,
+			Threads: serverThreads, N: spec.N, Ops: len(want), Elapsed: best})
+	}
+	return rows, nil
+}
+
+// ExtractJSON is the machine-readable form of the extract figure, written
+// next to the repo's other recorded benchmark artifacts so the measured
+// environment travels with the numbers.
+type ExtractJSON struct {
+	Figure     string           `json:"figure"`
+	N          int              `json:"n"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	GoVersion  string           `json:"go_version"`
+	Note       string           `json:"note,omitempty"`
+	Rows       []ExtractJSONRow `json:"rows"`
+	// LocalSpeedup maps "<threads>" to elapsed(1 thread)/elapsed(threads)
+	// over the extract-local rows.
+	LocalSpeedup map[string]float64 `json:"local_speedup_vs_1_thread,omitempty"`
+}
+
+// ExtractJSONRow is one measured point.
+type ExtractJSONRow struct {
+	Figure      string  `json:"figure"`
+	Approach    string  `json:"approach"`
+	Threads     int     `json:"threads"`
+	N           int     `json:"n"`
+	Pairs       int     `json:"pairs"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
+// WriteExtractJSON renders the extract rows as BENCH_extract.json content.
+func WriteExtractJSON(path string, n int, rows []Result) error {
+	out := ExtractJSON{
+		Figure:     "extract",
+		N:          n,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if out.GoMaxProcs == 1 {
+		out.Note = "single-core host: the thread sweep cannot show parallel speedup; see EXPERIMENTS.md"
+	}
+	var base time.Duration
+	for _, r := range rows {
+		out.Rows = append(out.Rows, ExtractJSONRow{
+			Figure: r.Figure, Approach: r.Approach, Threads: r.Threads,
+			N: r.N, Pairs: r.Ops, ElapsedNs: r.Elapsed.Nanoseconds(),
+			PairsPerSec: r.Throughput(),
+		})
+		if r.Figure == "extract-local" && r.Threads == 1 {
+			base = r.Elapsed
+		}
+	}
+	if base > 0 {
+		out.LocalSpeedup = map[string]float64{}
+		for _, r := range rows {
+			if r.Figure == "extract-local" && r.Elapsed > 0 {
+				out.LocalSpeedup[fmt.Sprintf("%d", r.Threads)] =
+					float64(base) / float64(r.Elapsed)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

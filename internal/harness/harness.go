@@ -49,6 +49,12 @@ type StoreSpec struct {
 	PersistLatency time.Duration
 	// ArenaBytes overrides the computed PSkipList pool size.
 	ArenaBytes int64
+	// ExtractThreads is the PSkipList snapshot-extraction parallelism.
+	// The harness default is 1 (sequential) — the paper's single-node
+	// figures scale by running T concurrent single-threaded queries, so a
+	// per-query parallel walk would conflate the two axes. The extract
+	// figure and the distributed harness set it explicitly.
+	ExtractThreads int
 }
 
 // Build constructs the store.
@@ -69,7 +75,15 @@ func Build(spec StoreSpec) (kv.Store, error) {
 			// plus entry growth across the three phases, with headroom.
 			bytes = int64(spec.N)*2800 + (64 << 20)
 		}
-		return core.Create(core.Options{ArenaBytes: bytes, PersistLatency: spec.PersistLatency})
+		threads := spec.ExtractThreads
+		if threads <= 0 {
+			threads = 1
+		}
+		return core.Create(core.Options{
+			ArenaBytes:     bytes,
+			PersistLatency: spec.PersistLatency,
+			ExtractThreads: threads,
+		})
 	default:
 		return nil, fmt.Errorf("harness: unknown approach %q", spec.Approach)
 	}

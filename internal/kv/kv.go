@@ -80,6 +80,58 @@ func FindBatch(s Store, keys, versions []uint64) ([]uint64, []bool) {
 	return values, found
 }
 
+// SnapshotStreamer is the optional streaming-extraction capability: the
+// snapshot (or range) is produced as an ordered sequence of key-sorted,
+// disjoint chunks instead of one materialized slice. Concatenating the
+// chunks yields exactly ExtractSnapshot/ExtractRange of the same version.
+// A chunk slice is only valid for the duration of the emit call (producers
+// may reuse or release it); emit returning an error aborts the stream and
+// the error is returned. Stores with parallel sharded extraction implement
+// it so consumers (the chunked network path) can encode early shards while
+// later shards are still being walked.
+type SnapshotStreamer interface {
+	StreamSnapshot(version uint64, emit func(pairs []KV) error) error
+	StreamRange(lo, hi, version uint64, emit func(pairs []KV) error) error
+}
+
+// streamFallbackChunk bounds the pairs per emit call when a store without
+// native streaming is adapted by materializing and slicing (64k pairs = the
+// 1 MiB wire chunk the network layer uses).
+const streamFallbackChunk = 1 << 16
+
+// StreamSnapshot streams s's snapshot at version through emit, using the
+// store's native streamer when it has one and a materialize-then-slice
+// fallback otherwise.
+func StreamSnapshot(s Store, version uint64, emit func(pairs []KV) error) error {
+	if st, ok := s.(SnapshotStreamer); ok {
+		return st.StreamSnapshot(version, emit)
+	}
+	return emitSliced(s.ExtractSnapshot(version), emit)
+}
+
+// StreamRange streams the pairs with lo <= key < hi at version through
+// emit (see StreamSnapshot).
+func StreamRange(s Store, lo, hi, version uint64, emit func(pairs []KV) error) error {
+	if st, ok := s.(SnapshotStreamer); ok {
+		return st.StreamRange(lo, hi, version, emit)
+	}
+	return emitSliced(s.ExtractRange(lo, hi, version), emit)
+}
+
+func emitSliced(pairs []KV, emit func(pairs []KV) error) error {
+	for len(pairs) > 0 {
+		n := len(pairs)
+		if n > streamFallbackChunk {
+			n = streamFallbackChunk
+		}
+		if err := emit(pairs[:n]); err != nil {
+			return err
+		}
+		pairs = pairs[n:]
+	}
+	return nil
+}
+
 // Truncator is the optional version-truncation capability: discarding
 // every entry belonging to versions >= cutoff and rewinding the version
 // counter to cutoff, durably for persistent stores. The distributed

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -340,13 +341,23 @@ func (c *Client) ExtractSnapshot(version uint64) []kv.KV {
 	return pairs
 }
 
-// ExtractSnapshotErr is ExtractSnapshot with transport errors reported.
+// ExtractSnapshotErr is ExtractSnapshot with transport errors reported. It
+// prefers the chunked wire path — snapshots of any size, bounded frames —
+// and falls back to the legacy single-frame op against servers that predate
+// the chunked opcodes.
 func (c *Client) ExtractSnapshotErr(version uint64) ([]kv.KV, error) {
-	resp, err := c.call(opSnapshot, putU64s(nil, version))
-	if err != nil {
-		return nil, err
+	out, err := c.collectStream(OpSnapshotChunk, putU64s(nil, version))
+	if err == nil {
+		return out, nil
 	}
-	return decodePairs(resp)
+	if isUnknownOpcode(err) {
+		resp, cerr := c.call(opSnapshot, putU64s(nil, version))
+		if cerr != nil {
+			return nil, cerr
+		}
+		return decodePairs(resp)
+	}
+	return nil, err
 }
 
 // ExtractRange implements kv.Store. Transport errors surface as an empty
@@ -356,13 +367,198 @@ func (c *Client) ExtractRange(lo, hi, version uint64) []kv.KV {
 	return pairs
 }
 
-// ExtractRangeErr is ExtractRange with transport errors reported.
+// ExtractRangeErr is ExtractRange with transport errors reported, preferring
+// the chunked wire path like ExtractSnapshotErr.
 func (c *Client) ExtractRangeErr(lo, hi, version uint64) ([]kv.KV, error) {
-	resp, err := c.call(opRange, putU64s(nil, lo, hi, version))
+	out, err := c.collectStream(OpRangeChunk, putU64s(nil, lo, hi, version))
+	if err == nil {
+		return out, nil
+	}
+	if isUnknownOpcode(err) {
+		resp, cerr := c.call(opRange, putU64s(nil, lo, hi, version))
+		if cerr != nil {
+			return nil, cerr
+		}
+		return decodePairs(resp)
+	}
+	return nil, err
+}
+
+// ExtractSnapshotSingleFrame forces the legacy one-frame snapshot op,
+// bypassing the chunked path — for compatibility testing and for
+// benchmarking the two wire paths against each other. Snapshots whose
+// encoding exceeds MaxFrame fail with the server's in-band
+// ErrSnapshotTooLarge refusal.
+func (c *Client) ExtractSnapshotSingleFrame(version uint64) ([]kv.KV, error) {
+	resp, err := c.call(opSnapshot, putU64s(nil, version))
 	if err != nil {
 		return nil, err
 	}
 	return decodePairs(resp)
+}
+
+// StreamSnapshot implements kv.SnapshotStreamer over the wire: chunks are
+// delivered to visit as they arrive, in key order, so peak client memory is
+// one chunk regardless of snapshot size. Transparent retries apply only
+// while nothing has been delivered; a failure after the first chunk
+// surfaces as an error wrapping ErrStreamAborted — never a silently
+// partial snapshot.
+func (c *Client) StreamSnapshot(version uint64, visit func(pairs []kv.KV) error) error {
+	return c.stream(OpSnapshotChunk, putU64s(nil, version), visit)
+}
+
+// StreamRange is StreamSnapshot for a bounded key range.
+func (c *Client) StreamRange(lo, hi, version uint64, visit func(pairs []kv.KV) error) error {
+	return c.stream(OpRangeChunk, putU64s(nil, lo, hi, version), visit)
+}
+
+// collectStream reassembles a chunked extraction into one slice. Retries
+// inside stream only fire while the slice is still empty, so a retried
+// attempt never duplicates pairs.
+func (c *Client) collectStream(op byte, payload []byte) ([]kv.KV, error) {
+	var out []kv.KV
+	err := c.stream(op, payload, func(pairs []kv.KV) error {
+		out = append(out, pairs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// isUnknownOpcode detects the in-band rejection of a server that predates
+// the chunked extraction opcodes, enabling the legacy fallback.
+func isUnknownOpcode(err error) bool {
+	var se *serverError
+	return errors.As(err, &se) && strings.Contains(se.msg, "unknown opcode")
+}
+
+// visitError tags an error returned by the caller's visitor so the retry
+// loop passes it through verbatim (it is the caller's own abort, not a
+// transfer failure).
+type visitError struct{ err error }
+
+func (e *visitError) Error() string { return e.err.Error() }
+func (e *visitError) Unwrap() error { return e.err }
+
+// stream runs one chunked extraction request, delivering each decoded chunk
+// to visit. Failed attempts are transparently retried (fresh connection,
+// exponential backoff) only while no chunk has been delivered; once the
+// visitor has seen pairs, any failure — transport, malformed frame, or an
+// in-band server abort — wraps ErrStreamAborted instead.
+func (c *Client) stream(op byte, payload []byte, visit func(pairs []kv.KV) error) error {
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		delivered, err := c.streamAttempt(op, payload, visit)
+		if err == nil {
+			return nil
+		}
+		if ve, ok := err.(*visitError); ok {
+			return ve.err
+		}
+		if delivered > 0 {
+			return fmt.Errorf("%w after %d pairs: %w", ErrStreamAborted, delivered, err)
+		}
+		switch e := err.(type) {
+		case *serverError:
+			return err // the server processed the request and said no
+		case *attemptError:
+			err = e.err
+		default:
+			return err // client closed, oversized request, ...
+		}
+		if attempt >= c.opts.MaxRetries {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// streamAttempt is one chunk-stream exchange on one pooled connection. The
+// per-call deadline re-arms before every frame, bounding each hop of an
+// arbitrarily long stream without capping its total duration.
+func (c *Client) streamAttempt(op byte, payload []byte, visit func(pairs []kv.KV) error) (delivered int, err error) {
+	conn, err := c.acquire()
+	if err != nil {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return 0, err
+		}
+		return 0, &attemptError{err: err}
+	}
+	arm := func() error {
+		if t := c.opts.CallTimeout; t > 0 {
+			return conn.SetDeadline(time.Now().Add(t))
+		}
+		return nil
+	}
+	if err := arm(); err != nil {
+		c.discard(conn)
+		return 0, &attemptError{err: err}
+	}
+	if err := writeFrame(conn, op, payload); err != nil {
+		c.discard(conn)
+		return 0, &attemptError{err: err}
+	}
+	for {
+		if err := arm(); err != nil {
+			c.discard(conn)
+			return delivered, &attemptError{err: err, sent: true}
+		}
+		status, resp, err := readFrame(conn)
+		if err != nil {
+			c.discard(conn)
+			return delivered, &attemptError{err: err, sent: true}
+		}
+		switch status {
+		case statusChunk:
+			pairs, derr := decodePairs(resp)
+			if derr != nil {
+				c.discard(conn)
+				return delivered, &attemptError{err: derr, sent: true}
+			}
+			delivered += len(pairs)
+			if verr := visit(pairs); verr != nil {
+				// The rest of the stream is unread; the connection cannot
+				// be pooled with frames pending.
+				c.discard(conn)
+				return delivered, &visitError{err: verr}
+			}
+		case statusOK:
+			if err := wantWords(resp, 1); err != nil {
+				c.discard(conn)
+				return delivered, &attemptError{err: err, sent: true}
+			}
+			if total := u64at(resp, 0); total != uint64(delivered) {
+				c.discard(conn)
+				return delivered, &attemptError{err: fmt.Errorf("%w: stream announced %d pairs, delivered %d",
+					ErrMalformedResponse, total, delivered), sent: true}
+			}
+			if t := c.opts.CallTimeout; t > 0 {
+				if err := conn.SetDeadline(time.Time{}); err != nil {
+					c.discard(conn)
+					return delivered, nil // stream complete; only pooling lost
+				}
+			}
+			c.release(conn)
+			return delivered, nil
+		case statusErr:
+			// In-band abort: the stream is over, the framing is intact.
+			if t := c.opts.CallTimeout; t > 0 {
+				_ = conn.SetDeadline(time.Time{})
+			}
+			c.release(conn)
+			return delivered, &serverError{msg: fmt.Sprintf("kvnet: server: %s", resp)}
+		default:
+			c.discard(conn)
+			return delivered, &attemptError{err: fmt.Errorf("%w: unknown stream status %d",
+				ErrMalformedResponse, status), sent: true}
+		}
+	}
 }
 
 // ExtractHistory implements kv.Store. Transport errors surface as an empty
@@ -496,6 +692,7 @@ func decodePairs(p []byte) ([]kv.KV, error) {
 
 var _ kv.Store = (*Client)(nil)
 var _ kv.BulkStore = (*Client)(nil)
+var _ kv.SnapshotStreamer = (*Client)(nil)
 
 // IsTimeout reports whether err is a deadline expiry (a net.Error timeout),
 // as produced by Options.CallTimeout or the server-side deadlines.

@@ -450,9 +450,11 @@ func TestMutationUnknownOutcome(t *testing.T) {
 }
 
 // TestOversizedResponseReportedInBand serves a store whose snapshot exceeds
-// the frame limit: the server must refuse to emit the frame and report the
-// limit violation as an in-band error (healthy connection) instead of
-// shipping 64 MiB only for the client to kill the connection.
+// the single-frame limit. The legacy one-frame op must refuse it in-band
+// with the typed ErrSnapshotTooLarge (healthy connection, pointing at the
+// chunked path) instead of shipping 64 MiB only for the client to kill the
+// connection — while ExtractSnapshotErr, which prefers the chunked ops,
+// serves the same snapshot in full.
 func TestOversizedResponseReportedInBand(t *testing.T) {
 	srv, err := Serve(hugeStore{}, "127.0.0.1:0")
 	if err != nil {
@@ -464,13 +466,22 @@ func TestOversizedResponseReportedInBand(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	_, err = cl.ExtractSnapshotErr(0)
-	if err == nil || !strings.Contains(err.Error(), "exceeds 64 MiB limit") {
-		t.Fatalf("oversized snapshot error: %v", err)
+	// Legacy single-frame path: typed in-band refusal.
+	resp, err := cl.call(opSnapshot, putU64s(nil, 0))
+	if err == nil || !strings.Contains(err.Error(), ErrSnapshotTooLarge.Error()) {
+		t.Fatalf("legacy oversized snapshot error: %v (resp %d bytes)", err, len(resp))
 	}
 	// The connection survived the refusal.
 	if _, err := cl.LenErr(); err != nil {
 		t.Fatalf("connection unusable after oversize refusal: %v", err)
+	}
+	// Chunked path: the same snapshot round-trips in full.
+	pairs, err := cl.ExtractSnapshotErr(0)
+	if err != nil {
+		t.Fatalf("chunked oversized snapshot: %v", err)
+	}
+	if want := maxFrame/16 + 1; len(pairs) != want {
+		t.Fatalf("chunked snapshot has %d pairs, want %d", len(pairs), want)
 	}
 }
 

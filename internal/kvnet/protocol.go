@@ -69,12 +69,29 @@ const (
 	// other frame.
 	OpInsertBatch = 11 // n, then n*(key,value) -> ()
 	OpFindBatch   = 12 // n, then n*(key,version) -> n, then n*(found,value)
+
+	// Chunked snapshot extraction. The response is not one frame but a
+	// stream: zero or more statusChunk frames, each a counted pair list of
+	// at most SnapChunk pairs, terminated by a statusOK frame whose
+	// payload is the total pair count (the client validates reassembly
+	// against it). A statusErr frame aborts the stream in-band. Chunks
+	// arrive in key order and concatenate to exactly the single-frame
+	// result, so snapshots larger than MaxFrame become servable and
+	// neither side ever materializes more than a chunk on the wire.
+	OpSnapshotChunk = 13 // version -> chunk stream
+	OpRangeChunk    = 14 // lo, hi, version -> chunk stream
 )
 
 const (
-	statusOK  = 0
-	statusErr = 1
+	statusOK    = 0
+	statusErr   = 1
+	statusChunk = 2 // non-final frame of a chunked extraction stream
 )
+
+// SnapChunk is the maximum pairs per chunk frame of a chunked extraction
+// stream: 64k pairs encode to ~1 MiB, big enough to amortize framing and
+// small enough to bound both sides' per-frame memory.
+const SnapChunk = 1 << 16
 
 // MaxFrame bounds a frame payload: 64 MiB covers a ~4M-pair snapshot
 // response. Enforced by writers (ErrFrameTooLarge) and readers alike.
@@ -96,6 +113,18 @@ var ErrMalformedResponse = errors.New("kvnet: malformed response")
 // was fully written but whose response was lost: the server may or may not
 // have applied it, so the client refuses to retry.
 var ErrUnknownOutcome = errors.New("kvnet: mutation outcome unknown")
+
+// ErrSnapshotTooLarge reports a snapshot (or range) whose single-frame
+// encoding exceeds MaxFrame. The legacy one-frame ops refuse it in-band;
+// the chunked ops (OpSnapshotChunk/OpRangeChunk) serve it without limit —
+// Client.ExtractSnapshotErr/ExtractRangeErr use them automatically.
+var ErrSnapshotTooLarge = errors.New("kvnet: snapshot exceeds the single-frame limit; use the chunked extract ops")
+
+// ErrStreamAborted reports a chunked extraction stream that failed after
+// chunks were already delivered to the caller's visitor: the transfer
+// cannot be transparently retried without re-delivering pairs, so the
+// caller gets a typed error instead of a silently partial snapshot.
+var ErrStreamAborted = errors.New("kvnet: chunked extract stream aborted mid-transfer")
 
 // writeFrame sends one tagged frame, refusing oversized payloads before any
 // byte hits the wire (so the connection stays usable after the error).

@@ -124,10 +124,27 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		return bw.Flush()
 	}
+	// sendTimed applies the per-frame write deadline; the chunked stream
+	// path sends many frames per request, so the deadline must re-arm per
+	// frame rather than once per request.
+	sendTimed := func(tag byte, payload []byte) error {
+		if t := s.opts.WriteTimeout; t > 0 {
+			if err := c.SetWriteDeadline(time.Now().Add(t)); err != nil {
+				return err
+			}
+		}
+		return send(tag, payload)
+	}
 	for {
 		op, req, err := readFrameConn(c, s.opts.IdleTimeout, s.opts.ReadTimeout)
 		if err != nil {
 			return // connection closed, broken, oversized or stalled
+		}
+		if op == OpSnapshotChunk || op == OpRangeChunk {
+			if !s.serveStream(c, op, req, sendTimed) {
+				return
+			}
+			continue
 		}
 		resp, err := s.safeHandle(c, op, req)
 		if t := s.opts.WriteTimeout; t > 0 {
@@ -164,6 +181,68 @@ func (s *Server) serveConn(c net.Conn) {
 }
 
 var errBadRequest = errors.New("kvnet: malformed request")
+
+// serveStream answers one chunked extraction request (OpSnapshotChunk /
+// OpRangeChunk): the store's snapshot streamer produces key-ordered chunks
+// that are encoded and flushed as statusChunk frames while later shards are
+// still being extracted, then a statusOK frame carries the total pair count
+// as the stream terminator. Store errors and panics are reported in-band
+// with a statusErr frame (which also terminates the stream). The return
+// value reports whether the connection is still trustworthy.
+func (s *Server) serveStream(c net.Conn, op byte, req []byte, send func(tag byte, payload []byte) error) (keep bool) {
+	var total uint64
+	var transportErr error // a failed frame write: the connection is gone
+	streamErr := func() (err error) {
+		// Same isolation contract as safeHandle: a panicking store kills
+		// only this connection, reported in-band first when possible.
+		defer func() {
+			if r := recover(); r != nil {
+				s.opts.logf("kvnet: panic handling op %d from %s: %v\n%s",
+					op, c.RemoteAddr(), r, debug.Stack())
+				err = fmt.Errorf("%w: op %d: %v", ErrStorePanic, op, r)
+			}
+		}()
+		emit := func(pairs []kv.KV) error {
+			for len(pairs) > 0 {
+				n := min(len(pairs), SnapChunk)
+				if werr := send(statusChunk, encodePairs(pairs[:n])); werr != nil {
+					transportErr = werr
+					return werr
+				}
+				total += uint64(n)
+				pairs = pairs[n:]
+			}
+			return nil
+		}
+		switch op {
+		case OpSnapshotChunk:
+			if len(req) != 8 {
+				return errBadRequest
+			}
+			return kv.StreamSnapshot(s.store, u64at(req, 0), emit)
+		case OpRangeChunk:
+			if len(req) != 24 {
+				return errBadRequest
+			}
+			return kv.StreamRange(s.store, u64at(req, 0), u64at(req, 1), u64at(req, 2), emit)
+		}
+		return errBadRequest
+	}()
+	if transportErr != nil {
+		return false
+	}
+	if streamErr != nil {
+		werr := send(statusErr, []byte(streamErr.Error()))
+		if errors.Is(streamErr, ErrStorePanic) {
+			// Post-panic per-connection state is not trusted (mirrors the
+			// unary path); the in-band report above still reached the
+			// client if the connection was alive.
+			return false
+		}
+		return werr == nil
+	}
+	return send(statusOK, putU64s(nil, total)) == nil
+}
 
 // safeHandle isolates one request's store call: a panic in the store (or in
 // request decoding) is caught, logged with its stack, and surfaced as
@@ -216,12 +295,12 @@ func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 		if len(req) != 8 {
 			return nil, errBadRequest
 		}
-		return encodePairs(s.store.ExtractSnapshot(u64at(req, 0))), nil
+		return encodePairsCapped(s.store.ExtractSnapshot(u64at(req, 0)))
 	case opRange:
 		if len(req) != 24 {
 			return nil, errBadRequest
 		}
-		return encodePairs(s.store.ExtractRange(u64at(req, 0), u64at(req, 1), u64at(req, 2))), nil
+		return encodePairsCapped(s.store.ExtractRange(u64at(req, 0), u64at(req, 1), u64at(req, 2)))
 	case opHistory:
 		if len(req) != 8 {
 			return nil, errBadRequest
@@ -284,6 +363,16 @@ func encodePairs(pairs []kv.KV) []byte {
 		out = putU64s(out, p.Key, p.Value)
 	}
 	return out
+}
+
+// encodePairsCapped refuses — with the typed error that points callers at
+// the chunked ops — a result the legacy single-frame encoding cannot carry,
+// before allocating the oversized buffer.
+func encodePairsCapped(pairs []kv.KV) ([]byte, error) {
+	if 16*len(pairs) > maxFrame-8 {
+		return nil, fmt.Errorf("%w (%d pairs)", ErrSnapshotTooLarge, len(pairs))
+	}
+	return encodePairs(pairs), nil
 }
 
 // Close stops accepting, closes every live connection, and waits for the

@@ -1,0 +1,298 @@
+package kvnet
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/mt19937"
+)
+
+// chunkFrame is a well-formed statusChunk response frame carrying pairs.
+func chunkFrame(pairs []kv.KV) []byte {
+	p := encodePairs(pairs)
+	return rawFrame(uint32(len(p)), statusChunk, p)
+}
+
+// TestChunkedMatchesSingleFrame serves a real store holding several chunks'
+// worth of pairs and asserts the three read paths agree: the legacy
+// single-frame op, chunked reassembly (ExtractSnapshotErr), and the
+// streaming visitor — which must also see every chunk bounded by SnapChunk
+// and in ascending key order.
+func TestChunkedMatchesSingleFrame(t *testing.T) {
+	backing := eskiplist.New()
+	defer backing.Close()
+	rng := mt19937.New(3)
+	n := 2*SnapChunk + 1234 // three chunks, last one partial
+	if testing.Short() {
+		n = SnapChunk + 99
+	}
+	for i := 0; i < n; i++ {
+		if err := backing.Insert(rng.Uint64(), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	version := backing.Tag()
+
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Legacy single-frame result is the reference.
+	resp, err := cl.call(opSnapshot, putU64s(nil, version))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := decodePairs(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != backing.Len() {
+		t.Fatalf("reference snapshot has %d pairs, store %d", len(want), backing.Len())
+	}
+
+	got, err := cl.ExtractSnapshotErr(version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chunked snapshot has %d pairs, single-frame %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunked snapshot diverges at %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	// Streaming visitor: bounded chunks, ascending keys, full coverage.
+	seen, chunks := 0, 0
+	var prev uint64
+	if err := cl.StreamSnapshot(version, func(pairs []kv.KV) error {
+		if len(pairs) == 0 || len(pairs) > SnapChunk {
+			t.Fatalf("chunk of %d pairs", len(pairs))
+		}
+		chunks++
+		for _, p := range pairs {
+			if seen > 0 && p.Key <= prev {
+				t.Fatalf("key order broken at pair %d", seen)
+			}
+			if want[seen] != p {
+				t.Fatalf("stream diverges at pair %d", seen)
+			}
+			prev = p.Key
+			seen++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(want) || chunks < (len(want)+SnapChunk-1)/SnapChunk {
+		t.Fatalf("stream delivered %d pairs in %d chunks, want %d pairs", seen, chunks, len(want))
+	}
+
+	// Bounded range: chunked result equals the single-frame one.
+	lo, hi := uint64(1)<<62, uint64(3)<<62
+	resp, err = cl.call(opRange, putU64s(nil, lo, hi, version))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR, err := decodePairs(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := cl.ExtractRangeErr(lo, hi, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotR) != len(wantR) {
+		t.Fatalf("chunked range has %d pairs, single-frame %d", len(gotR), len(wantR))
+	}
+	for i := range wantR {
+		if gotR[i] != wantR[i] {
+			t.Fatalf("chunked range diverges at %d", i)
+		}
+	}
+}
+
+// TestLegacyFallback pits the client against a server that rejects the
+// chunked opcodes the way a pre-chunking server would (in-band "unknown
+// opcode"): ExtractSnapshotErr must transparently fall back to the legacy
+// single-frame op.
+func TestLegacyFallback(t *testing.T) {
+	want := []kv.KV{{Key: 1, Value: 10}, {Key: 2, Value: 20}}
+	var legacyCalls atomic.Int32
+	addr := rawServer(t, func(op byte, req []byte) ([]byte, bool) {
+		switch op {
+		case opPing:
+			return okFrame(nil), false
+		case OpSnapshotChunk, OpRangeChunk:
+			msg := "kvnet: unknown opcode 13"
+			return rawFrame(uint32(len(msg)), statusErr, []byte(msg)), false
+		case opSnapshot, opRange:
+			legacyCalls.Add(1)
+			return okFrame(encodePairs(want)), false
+		}
+		return nil, false
+	})
+	cl := dialNoRetry(t, addr)
+	got, err := cl.ExtractSnapshotErr(0)
+	if err != nil || len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fallback snapshot: %v, %v", got, err)
+	}
+	if _, err := cl.ExtractRangeErr(0, 9, 0); err != nil {
+		t.Fatalf("fallback range: %v", err)
+	}
+	if legacyCalls.Load() != 2 {
+		t.Fatalf("legacy op served %d calls, want 2", legacyCalls.Load())
+	}
+}
+
+// TestStreamDropMidChunkStream is the fault-injection case the chunked
+// protocol exists to make explicit: the connection dies after some chunks
+// were already delivered. The client must surface a typed ErrStreamAborted
+// — and must NOT retry (a retry would re-deliver pairs to the visitor) —
+// and reassembly must return an error, never a silent partial snapshot.
+func TestStreamDropMidChunkStream(t *testing.T) {
+	chunk := []kv.KV{{Key: 1, Value: 2}, {Key: 3, Value: 4}}
+	var streamReqs atomic.Int32
+	addr := rawServer(t, func(op byte, req []byte) ([]byte, bool) {
+		switch op {
+		case opPing:
+			return okFrame(nil), false
+		case OpSnapshotChunk:
+			streamReqs.Add(1)
+			// Two good chunks, then the connection drops with no terminator.
+			return append(chunkFrame(chunk), chunkFrame(chunk)...), true
+		}
+		return nil, false
+	})
+	cl, err := DialOptions(addr, Options{
+		MaxConns: 1, MaxRetries: 4, RetryBackoff: time.Millisecond, CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	delivered := 0
+	err = cl.StreamSnapshot(0, func(pairs []kv.KV) error {
+		delivered += len(pairs)
+		return nil
+	})
+	if !errors.Is(err, ErrStreamAborted) {
+		t.Fatalf("mid-stream drop surfaced %v, want ErrStreamAborted", err)
+	}
+	if delivered != 2*len(chunk) {
+		t.Fatalf("visitor saw %d pairs, want %d", delivered, 2*len(chunk))
+	}
+	if got := streamReqs.Load(); got != 1 {
+		t.Fatalf("server saw %d stream attempts, want exactly 1 (no retry after delivery)", got)
+	}
+
+	// Reassembly: error out, never a partial slice.
+	streamReqs.Store(0)
+	pairs, err := cl.ExtractSnapshotErr(0)
+	if !errors.Is(err, ErrStreamAborted) || pairs != nil {
+		t.Fatalf("partial reassembly returned %d pairs, err %v", len(pairs), err)
+	}
+}
+
+// TestStreamRetriesBeforeDelivery: a connection that dies before the first
+// chunk is delivered is safe to retry transparently — the visitor has seen
+// nothing. The first attempt is dropped with no response; the retry serves
+// a complete stream.
+func TestStreamRetriesBeforeDelivery(t *testing.T) {
+	chunk := []kv.KV{{Key: 5, Value: 6}}
+	var attempts atomic.Int32
+	addr := rawServer(t, func(op byte, req []byte) ([]byte, bool) {
+		switch op {
+		case opPing:
+			return okFrame(nil), false
+		case OpSnapshotChunk:
+			if attempts.Add(1) == 1 {
+				return nil, false // close before any frame
+			}
+			return append(chunkFrame(chunk), okFrame(putU64s(nil, uint64(len(chunk))))...), false
+		}
+		return nil, false
+	})
+	cl, err := DialOptions(addr, Options{
+		MaxConns: 1, MaxRetries: 4, RetryBackoff: time.Millisecond, CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got, err := cl.ExtractSnapshotErr(0)
+	if err != nil || len(got) != 1 || got[0] != chunk[0] {
+		t.Fatalf("retried stream: %v, %v", got, err)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", attempts.Load())
+	}
+}
+
+// TestStreamLyingTotal: a terminator whose total disagrees with the chunks
+// actually delivered is a malformed response (after delivery it also wraps
+// ErrStreamAborted — pairs already reached the visitor).
+func TestStreamLyingTotal(t *testing.T) {
+	chunk := []kv.KV{{Key: 5, Value: 6}}
+	addr := rawServer(t, func(op byte, req []byte) ([]byte, bool) {
+		switch op {
+		case opPing:
+			return okFrame(nil), false
+		case OpSnapshotChunk:
+			return append(chunkFrame(chunk), okFrame(putU64s(nil, 7))...), false
+		}
+		return nil, false
+	})
+	cl := dialNoRetry(t, addr)
+	err := cl.StreamSnapshot(0, func([]kv.KV) error { return nil })
+	if !errors.Is(err, ErrMalformedResponse) || !errors.Is(err, ErrStreamAborted) {
+		t.Fatalf("lying total surfaced %v", err)
+	}
+}
+
+// TestStreamVisitorAbort: an error from the caller's visitor stops the
+// stream and surfaces verbatim — not wrapped as a transfer failure, and
+// never retried.
+func TestStreamVisitorAbort(t *testing.T) {
+	backing := eskiplist.New()
+	defer backing.Close()
+	for i := uint64(0); i < 100; i++ {
+		if err := backing.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	version := backing.Tag()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sentinel := errors.New("enough")
+	err = cl.StreamSnapshot(version, func([]kv.KV) error { return sentinel })
+	if !errors.Is(err, sentinel) || errors.Is(err, ErrStreamAborted) {
+		t.Fatalf("visitor abort surfaced %v", err)
+	}
+	// The client recovers: the poisoned connection was discarded and a
+	// fresh one serves the next call.
+	if _, err := cl.LenErr(); err != nil {
+		t.Fatalf("client unusable after visitor abort: %v", err)
+	}
+}

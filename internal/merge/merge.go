@@ -107,6 +107,23 @@ func TwoParallel(a, b []kv.KV, threads int) []kv.KV {
 	return out
 }
 
+// kwayHead is one run's cursor in the KWay heap.
+type kwayHead struct {
+	key uint64
+	src int // index into parts
+	pos int // next element within parts[src]
+}
+
+// less is the heap order: by key, tie-broken on src so the merge stays
+// stable across runs. Hoisted out of the sift loops so the comparison is
+// written (and maintained) once instead of three times.
+func (a kwayHead) less(b kwayHead) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.src < b.src
+}
+
 // KWay merges K key-sorted runs with a binary min-heap — the paper's
 // NaiveMerge gathers all runs on one rank and runs exactly this.
 func KWay(parts [][]kv.KV) []kv.KV {
@@ -123,25 +140,19 @@ func KWay(parts [][]kv.KV) []kv.KV {
 		return out
 	}
 
-	type head struct {
-		key uint64
-		src int // index into parts
-		pos int // next element within parts[src]
-	}
-	h := make([]head, 0, nonEmpty)
-	push := func(x head) {
+	h := make([]kwayHead, 0, nonEmpty)
+	push := func(x kwayHead) {
 		h = append(h, x)
 		for i := len(h) - 1; i > 0; {
 			p := (i - 1) / 2
-			// Tie-break on src to keep the merge stable across runs.
-			if h[p].key < h[i].key || (h[p].key == h[i].key && h[p].src <= h[i].src) {
+			if !h[i].less(h[p]) {
 				break
 			}
 			h[p], h[i] = h[i], h[p]
 			i = p
 		}
 	}
-	pop := func() head {
+	pop := func() kwayHead {
 		top := h[0]
 		last := len(h) - 1
 		h[0] = h[last]
@@ -149,10 +160,10 @@ func KWay(parts [][]kv.KV) []kv.KV {
 		for i := 0; ; {
 			l, r := 2*i+1, 2*i+2
 			small := i
-			if l < len(h) && (h[l].key < h[small].key || (h[l].key == h[small].key && h[l].src < h[small].src)) {
+			if l < len(h) && h[l].less(h[small]) {
 				small = l
 			}
-			if r < len(h) && (h[r].key < h[small].key || (h[r].key == h[small].key && h[r].src < h[small].src)) {
+			if r < len(h) && h[r].less(h[small]) {
 				small = r
 			}
 			if small == i {
@@ -166,14 +177,14 @@ func KWay(parts [][]kv.KV) []kv.KV {
 
 	for src, p := range parts {
 		if len(p) > 0 {
-			push(head{key: p[0].Key, src: src, pos: 0})
+			push(kwayHead{key: p[0].Key, src: src, pos: 0})
 		}
 	}
 	for len(h) > 0 {
 		top := pop()
 		out = append(out, parts[top.src][top.pos])
 		if next := top.pos + 1; next < len(parts[top.src]) {
-			push(head{key: parts[top.src][next].Key, src: top.src, pos: next})
+			push(kwayHead{key: parts[top.src][next].Key, src: top.src, pos: next})
 		}
 	}
 	return out

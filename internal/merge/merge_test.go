@@ -1,6 +1,7 @@
 package merge
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"testing"
@@ -216,5 +217,24 @@ func BenchmarkKWay16(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		KWay(parts)
+	}
+}
+
+// BenchmarkKWay sweeps the run count at a fixed total volume, isolating the
+// heap's per-element cost (which grows with log K) from the data volume.
+func BenchmarkKWay(b *testing.B) {
+	const total = 1 << 20
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			rng := mt19937.New(1)
+			parts := make([][]kv.KV, k)
+			for i := range parts {
+				parts[i] = sortedRun(rng, total/k, 1<<40)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				KWay(parts)
+			}
+		})
 	}
 }

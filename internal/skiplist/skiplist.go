@@ -236,3 +236,100 @@ func (m *Map[V]) Range(lo, hi uint64, fn func(key uint64, v V) bool) {
 		}
 	}
 }
+
+// RangeFrom iterates keys >= lo in ascending order with no upper bound —
+// Range cannot express "through the maximum key" because its hi is
+// exclusive. The parallel snapshot extraction uses it for the last shard.
+func (m *Map[V]) RangeFrom(lo uint64, fn func(key uint64, v V) bool) {
+	pred := m.head
+	for level := m.topLevel(); level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < lo {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+	}
+	for n := pred.next[0].Load(); n != nil; n = n.next[0].Load() {
+		if !fn(n.key, n.v) {
+			return
+		}
+	}
+}
+
+// Splits derives up to n-1 ascending split keys that partition the map into
+// ~n shards of roughly equal population, using the skip list's own towers
+// as the sample: a node present at level L fronts ~2^L level-0 nodes, so
+// evenly spaced keys from the highest sufficiently populated level are
+// balanced split points without walking the full list. Each returned key is
+// the inclusive lower bound of a shard; keys below the first returned key
+// form shard 0. Safe under concurrent inserts (the balance reflects some
+// recent state of the list).
+func (m *Map[V]) Splits(n int) []uint64 {
+	if n <= 1 {
+		return nil
+	}
+	// Descend until a level holds enough keys to cut n balanced shards
+	// (8 samples per shard keeps the worst shard within a small factor of
+	// the mean) or until level 0, collecting that level's keys.
+	var keys []uint64
+	for level := m.topLevel(); level >= 0; level-- {
+		keys = keys[:0]
+		for node := m.head.next[level].Load(); node != nil; node = node.next[level].Load() {
+			keys = append(keys, node.key)
+		}
+		if len(keys) >= 8*n || level == 0 {
+			break
+		}
+	}
+	if len(keys) < 2 {
+		return nil
+	}
+	if n > len(keys) {
+		n = len(keys)
+	}
+	out := make([]uint64, 0, n-1)
+	for i := 1; i < n; i++ {
+		k := keys[i*len(keys)/n]
+		// Sampled keys ascend, so only consecutive duplicates can arise
+		// (when n approaches the sample count).
+		if len(out) == 0 || out[len(out)-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// EstimateRange estimates the number of keys in [lo, hi) without walking
+// them: it descends to the highest level where the range holds a meaningful
+// sample and scales the count by the expected 2^level keys per node at that
+// level. The estimate is within a small constant factor of the truth with
+// high probability — callers use it as an allocation capacity hint, never
+// for correctness.
+func (m *Map[V]) EstimateRange(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
+	const sampleCap = 32 // nodes counted per level before scaling up
+	pred := m.head
+	for level := m.topLevel(); level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr != nil && curr.key < lo {
+			pred = curr
+			curr = curr.next[level].Load()
+		}
+		cnt := 0
+		for n := curr; n != nil && n.key < hi && cnt < sampleCap; n = n.next[level].Load() {
+			cnt++
+		}
+		// A thin sample high up is too coarse; descend for resolution
+		// unless the level is saturated (scale and return) or we hit 0.
+		if cnt >= sampleCap || (cnt >= 8 && level > 0) || level == 0 {
+			est := cnt << uint(level)
+			if total := m.Len(); est > total {
+				est = total
+			}
+			return est
+		}
+	}
+	return 0
+}

@@ -354,3 +354,128 @@ func BenchmarkGetParallel(b *testing.B) {
 		}
 	})
 }
+
+func TestRangeFrom(t *testing.T) {
+	m := New[int]()
+	for k := uint64(0); k < 100; k += 10 {
+		m.Insert(k, int(k))
+	}
+	var got []uint64
+	m.RangeFrom(55, func(k uint64, v int) bool { got = append(got, k); return true })
+	want := []uint64{60, 70, 80, 90}
+	if len(got) != len(want) {
+		t.Fatalf("RangeFrom returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RangeFrom returned %v, want %v", got, want)
+		}
+	}
+	// From zero it is All; early stop honored.
+	n := 0
+	m.RangeFrom(0, func(uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	m.RangeFrom(1000, func(uint64, int) bool { t.Fatal("visited past the last key"); return false })
+}
+
+// TestSplitsBalance derives split keys on a large random map and verifies
+// they are ascending, partition the whole key population, and produce
+// shards of roughly equal size (tower heights are geometric, so balance is
+// probabilistic — the assertion leaves generous slack).
+func TestSplitsBalance(t *testing.T) {
+	m := New[uint64]()
+	rng := mt19937.New(42)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		m.Insert(rng.Uint64(), 0)
+	}
+	total := m.Len()
+	for _, shards := range []int{2, 4, 8, 16} {
+		splits := m.Splits(shards)
+		if len(splits) == 0 || len(splits) > shards-1 {
+			t.Fatalf("Splits(%d) returned %d keys", shards, len(splits))
+		}
+		for i := 1; i < len(splits); i++ {
+			if splits[i-1] >= splits[i] {
+				t.Fatalf("Splits(%d) not strictly ascending: %v", shards, splits)
+			}
+		}
+		bounds := append([]uint64{0}, splits...)
+		sum := 0
+		mean := total / (len(splits) + 1)
+		for i, lo := range bounds {
+			cnt := 0
+			if i < len(splits) {
+				m.Range(lo, bounds[i+1], func(uint64, uint64) bool { cnt++; return true })
+			} else {
+				m.RangeFrom(lo, func(uint64, uint64) bool { cnt++; return true })
+			}
+			sum += cnt
+			if cnt > 4*mean || cnt < mean/8 {
+				t.Fatalf("Splits(%d): shard %d holds %d keys, mean %d", shards, i, cnt, mean)
+			}
+		}
+		if sum != total {
+			t.Fatalf("Splits(%d): shards cover %d of %d keys", shards, sum, total)
+		}
+	}
+}
+
+func TestSplitsDegenerate(t *testing.T) {
+	m := New[int]()
+	if s := m.Splits(4); s != nil {
+		t.Fatalf("Splits on empty map: %v", s)
+	}
+	m.Insert(7, 0)
+	if s := m.Splits(4); s != nil {
+		t.Fatalf("Splits on single-key map: %v", s)
+	}
+	m.Insert(9, 0)
+	if s := m.Splits(1); s != nil {
+		t.Fatalf("Splits(1): %v", s)
+	}
+	if s := m.Splits(0); s != nil {
+		t.Fatalf("Splits(0): %v", s)
+	}
+}
+
+// TestEstimateRange checks the capacity hint against exact counts: exact
+// for small ranges, within a constant factor for large ones, and never
+// above the map size.
+func TestEstimateRange(t *testing.T) {
+	m := New[uint64]()
+	rng := mt19937.New(7)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		m.Insert(rng.Uint64(), 0)
+	}
+	if got := m.EstimateRange(10, 10); got != 0 {
+		t.Fatalf("empty range estimate %d", got)
+	}
+	if got := m.EstimateRange(10, 5); got != 0 {
+		t.Fatalf("inverted range estimate %d", got)
+	}
+	spans := []struct{ lo, hi uint64 }{
+		{0, ^uint64(0)},                // everything
+		{0, 1 << 62},                   // ~1/4
+		{1 << 60, 1<<60 + 1<<55},       // small slice
+		{1 << 60, 1<<60 + 1<<48},       // likely tiny
+		{^uint64(0) - 100, ^uint64(0)}, // essentially empty
+	}
+	for _, sp := range spans {
+		exact := 0
+		m.Range(sp.lo, sp.hi, func(uint64, uint64) bool { exact++; return true })
+		est := m.EstimateRange(sp.lo, sp.hi)
+		if est > m.Len() {
+			t.Fatalf("estimate %d exceeds Len %d", est, m.Len())
+		}
+		if exact < 64 {
+			continue // tiny ranges: any small estimate is an acceptable hint
+		}
+		if est < exact/8 || est > exact*8 {
+			t.Fatalf("EstimateRange(%d,%d) = %d, exact %d", sp.lo, sp.hi, est, exact)
+		}
+	}
+}

@@ -67,6 +67,27 @@ func FindBatch(s Store, keys, versions []uint64) (values []uint64, found []bool)
 	return kv.FindBatch(s, keys, versions)
 }
 
+// SnapshotStreamer is the optional streaming-extraction capability: stores
+// that implement it deliver a snapshot or range as a sequence of bounded,
+// key-ordered chunks instead of one materialized slice (the PSkipList
+// overlaps sharded extraction with delivery; the TCP client never holds
+// more than one wire chunk). Use the package-level StreamSnapshot /
+// StreamRange helpers, which fall back to extract-then-slice on any other
+// Store.
+type SnapshotStreamer = kv.SnapshotStreamer
+
+// StreamSnapshot delivers the sorted snapshot at version to emit in bounded
+// key-ordered chunks, through s's streaming path when it has one. An emit
+// error aborts the stream and is returned verbatim.
+func StreamSnapshot(s Store, version uint64, emit func(pairs []KV) error) error {
+	return kv.StreamSnapshot(s, version, emit)
+}
+
+// StreamRange is StreamSnapshot bounded to lo <= key <= hi.
+func StreamRange(s Store, lo, hi, version uint64, emit func(pairs []KV) error) error {
+	return kv.StreamRange(s, lo, hi, version, emit)
+}
+
 // KV is one key-value pair of a snapshot.
 type KV = kv.KV
 
@@ -90,6 +111,10 @@ type Options struct {
 	// RebuildThreads is the index-reconstruction parallelism used by
 	// OpenPSkipList (default: GOMAXPROCS).
 	RebuildThreads int
+	// ExtractThreads is the snapshot-extraction parallelism: ExtractSnapshot
+	// and ExtractRange shard the key space over this many workers (default:
+	// GOMAXPROCS). The result is byte-identical to a sequential walk.
+	ExtractThreads int
 }
 
 func (o Options) core() core.Options {
@@ -98,6 +123,7 @@ func (o Options) core() core.Options {
 		Path:           o.Path,
 		PersistLatency: o.PersistLatency,
 		RebuildThreads: o.RebuildThreads,
+		ExtractThreads: o.ExtractThreads,
 	}
 }
 

@@ -6,8 +6,12 @@
 #   3. network robustness: race-enabled kvnet + cluster suites
 #   4. fault tolerance: race-enabled dist rank-crash/rejoin suite, under a
 #      hard timeout so a protocol hang fails the gate instead of wedging CI
-#   5. batch smoke: batched insert at batch=64 must beat single-op insert
+#   5. snapshot extraction: race-enabled parallel-extract/stream/chunk
+#      differential suites
+#   6. batch smoke: batched insert at batch=64 must beat single-op insert
 #      under the default 200ns emulated persist latency
+#   7. extract-figure smoke: benchkv extract must produce a well-formed
+#      BENCH_extract.json with every row a full, non-empty extraction
 #
 # Exits non-zero on the first failing gate.
 set -euo pipefail
@@ -30,7 +34,14 @@ echo "== gate 5: fault tolerance (race, no-hang) =="
 # -timeout turns any regression into a hang-free gate failure.
 go test -race -short -timeout 120s ./internal/dist/ ./internal/cluster/
 
-echo "== gate 6: batch-vs-single smoke =="
+echo "== gate 6: snapshot extraction (race) =="
+# Differential suites: parallel extraction must be byte-identical to the
+# sequential walk, chunked/streamed wire paths must reassemble exactly, and
+# a mid-stream drop must surface a typed error, never a silent partial.
+go test -race -short -run 'Extract|Stream|Split|Chunk|Stitch|RangeFrom|Estimate' \
+  ./internal/skiplist/ ./internal/core/ ./internal/kvnet/
+
+echo "== gate 7: batch-vs-single smoke =="
 tmpbin="$(mktemp -d)/benchkv"
 trap 'rm -rf "$(dirname "$tmpbin")"' EXIT
 go build -o "$tmpbin" ./cmd/benchkv
@@ -44,5 +55,19 @@ go build -o "$tmpbin" ./cmd/benchkv
     if (batch + 0 <= single + 0) { print "FAIL: batched insert at batch=64 is not faster than single-op"; exit 1 }
     if (bp + 0 >= sp + 0) { print "FAIL: batched insert did not reduce persist fences"; exit 1 }
   }'
+
+echo "== gate 8: extract-figure smoke =="
+extjson="$(dirname "$tmpbin")/BENCH_extract_smoke.json"
+"$tmpbin" -n 20000 -reps 1 -threads 1,2,4 -json "$extjson" extract >/dev/null
+# The harness already validates every timed run against the expected pair
+# count; here we check the artifact itself: three local rows (threads
+# 1,2,4), three wire rows (single-frame/chunked/stream), none empty.
+grep -c '"figure": "extract-local"' "$extjson" | awk '{ if ($1 != 3) { print "FAIL: expected 3 extract-local rows, got " $1; exit 1 } }'
+grep -c '"figure": "extract-tcp"' "$extjson" | awk '{ if ($1 != 3) { print "FAIL: expected 3 extract-tcp rows, got " $1; exit 1 } }'
+if grep -q '"pairs": 0' "$extjson"; then
+  echo "FAIL: extract figure produced an empty extraction"
+  exit 1
+fi
+echo "extract-figure smoke: $(grep -c '"figure"' "$extjson") rows, all non-empty"
 
 echo "verify: all gates passed"
