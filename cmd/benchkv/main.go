@@ -361,14 +361,14 @@ func runExtract() ([]harness.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := harness.RunExtractSweep(harness.ExtractSpec{
+	rows, metrics, err := harness.RunExtractSweep(harness.ExtractSpec{
 		N: *flagN, Threads: threads, Reps: *flagReps,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if *flagJSON != "" {
-		if err := harness.WriteExtractJSON(*flagJSON, *flagN, rows); err != nil {
+		if err := harness.WriteExtractJSON(*flagJSON, *flagN, rows, metrics); err != nil {
 			return nil, fmt.Errorf("writing %s: %w", *flagJSON, err)
 		}
 	}

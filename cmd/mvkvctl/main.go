@@ -19,9 +19,17 @@
 //	mvkvctl history <store> <key>
 //	mvkvctl snapshot <store> [-version v] [-lo k] [-hi k]
 //	mvkvctl stat   <pool>
+//	mvkvctl stats  <store> [-json]
 //	mvkvctl verify <pool>
 //	mvkvctl fsck   <pool>
 //	mvkvctl compact <pool> <dstpool> -keep v [-size bytes]
+//
+// stats prints the observability snapshot (operation counters, latency
+// histograms, arena and wire metrics). Against a tcp:// store it fetches
+// the server's snapshot over the wire (the OpStats op — the same payload
+// mvkvd's -debug-addr serves at /debug/mvkv); against a pool path it
+// reports the snapshot of this invocation's freshly recovered store.
+// -json emits the raw snapshot instead of the text rendering.
 //
 // Remote flags: -timeout bounds each call (default 5s), -retries bounds
 // reconnect attempts for idempotent operations (default 3; 0 disables).
@@ -36,6 +44,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +57,7 @@ import (
 	"mvkv/internal/core"
 	"mvkv/internal/kv"
 	"mvkv/internal/kvnet"
+	"mvkv/internal/obs"
 	"mvkv/internal/pmem"
 )
 
@@ -75,7 +85,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|get|history|snapshot|stat|verify|fsck|compact> <pool|tcp://addr> [args] [flags]")
+	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|get|history|snapshot|stat|stats|verify|fsck|compact> <pool|tcp://addr> [args] [flags]")
 }
 
 // remotePrefix selects the network data path in place of a local pool.
@@ -132,6 +142,7 @@ func run(args []string, out io.Writer) error {
 	hi := fs.Uint64("hi", ^uint64(0), "range upper bound (exclusive)")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-call deadline for tcp:// stores")
 	retries := fs.Int("retries", 3, "reconnect attempts for idempotent ops on tcp:// stores")
+	asJSON := fs.Bool("json", false, "emit the raw JSON snapshot (stats)")
 
 	// positional arguments come before flags: split them off
 	pos := rest
@@ -353,6 +364,35 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "recovered:       %d entries (%d pruned) with %d threads in %v\n",
 				st.Entries, st.PrunedEntries, st.Threads, st.Elapsed)
 			return nil
+		})
+
+	case "stats":
+		if len(pos) != 0 {
+			return fmt.Errorf("stats takes no positional arguments")
+		}
+		return withStore(func(s kv.Store) error {
+			var snap obs.Snapshot
+			var err error
+			switch st := s.(type) {
+			case *kvnet.Client:
+				snap, err = st.Stats()
+			case interface{ ObsSnapshot() obs.Snapshot }:
+				snap = st.ObsSnapshot()
+			default:
+				return fmt.Errorf("stats: store exposes no metrics")
+			}
+			if err != nil {
+				return err
+			}
+			if *asJSON {
+				body, merr := json.MarshalIndent(snap, "", "  ")
+				if merr != nil {
+					return merr
+				}
+				fmt.Fprintf(out, "%s\n", body)
+				return nil
+			}
+			return snap.WriteText(out)
 		})
 
 	case "verify":

@@ -12,6 +12,7 @@ import (
 	"mvkv/internal/core"
 	"mvkv/internal/eskiplist"
 	"mvkv/internal/kvnet"
+	"mvkv/internal/obs"
 )
 
 func ctl(t *testing.T, args ...string) (string, error) {
@@ -291,6 +292,57 @@ func TestCLIErrors(t *testing.T) {
 		}
 		if _, err := ctl(t, "get", pool); err == nil {
 			t.Fatal("get without key accepted")
+		}
+	}
+}
+
+// TestCLIStats: the stats command reconciles with the scripted workload,
+// both as text and as -json, against a remote store; against a local pool
+// it reports this invocation's snapshot.
+func TestCLIStats(t *testing.T) {
+	backing, err := core.Create(core.Options{ArenaBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	store := "tcp://" + srv.Addr()
+
+	mustCtl(t, "put", store, "1", "10", "2", "20")
+	mustCtl(t, "tag", store)
+	mustCtl(t, "get", store, "1")
+
+	text := mustCtl(t, "stats", store)
+	for _, want := range []string{"store.ops.insert", "net.server.frames_in", "pmem.persist.calls"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("stats text missing %s:\n%s", want, text)
+		}
+	}
+
+	raw := mustCtl(t, "stats", store, "-json")
+	snap, err := obs.DecodeSnapshot([]byte(strings.TrimSpace(raw)))
+	if err != nil {
+		t.Fatalf("stats -json did not decode: %v\n%s", err, raw)
+	}
+	if got := snap.Counter("store.ops.insert"); got != 2 {
+		t.Fatalf("store.ops.insert = %d, want 2", got)
+	}
+	if got := snap.Counter("store.ops.find"); got != 1 {
+		t.Fatalf("store.ops.find = %d, want 1", got)
+	}
+	if got := snap.Counter("store.ops.tag"); got != 1 {
+		t.Fatalf("store.ops.tag = %d, want 1", got)
+	}
+
+	if runtime.GOOS == "linux" {
+		pool := filepath.Join(t.TempDir(), "stats.pool")
+		mustCtl(t, "init", pool, "-size", "67108864")
+		local := mustCtl(t, "stats", pool)
+		if !strings.Contains(local, "pmem.persist.calls") {
+			t.Fatalf("local stats missing arena metrics:\n%s", local)
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"mvkv/internal/obs"
+)
+
+// publishOnce guards the process-global expvar name: debug listeners are
+// per-process, but tests may build more than one mux.
+var publishOnce sync.Once
+
+// newDebugMux builds the handler behind -debug-addr: the standard expvar
+// and pprof endpoints plus /debug/mvkv, which serves the same JSON
+// obs.Snapshot the OpStats wire op returns (so curl and mvkvctl stats agree
+// byte-for-byte about the counters).
+func newDebugMux(snap func() obs.Snapshot) *http.ServeMux {
+	publishOnce.Do(func() {
+		expvar.Publish("mvkv", expvar.Func(func() any {
+			return snap()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/mvkv", func(w http.ResponseWriter, r *http.Request) {
+		body, err := snap().Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	return mux
+}
+
+// serveDebug starts the debug listener on addr and returns its bound
+// address (addr may use port 0).
+func serveDebug(addr string, snap func() obs.Snapshot) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, newDebugMux(snap)) //nolint:errcheck — dies with the process
+	return ln.Addr(), nil
+}

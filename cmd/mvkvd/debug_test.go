@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mvkv/internal/obs"
+)
+
+// TestDebugMux: /debug/mvkv serves the snapshot as JSON, /debug/vars
+// carries it under the "mvkv" expvar, and the pprof index answers.
+func TestDebugMux(t *testing.T) {
+	snap := func() obs.Snapshot {
+		var o obs.Snapshot
+		o.SetCounter("store.ops.insert", 3)
+		o.SetGauge("store.keys", 2)
+		return o
+	}
+	mux := newDebugMux(snap)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+		return rec
+	}
+
+	var got obs.Snapshot
+	if err := json.Unmarshal(get("/debug/mvkv").Body.Bytes(), &got); err != nil {
+		t.Fatalf("/debug/mvkv is not a snapshot: %v", err)
+	}
+	if got.Counter("store.ops.insert") != 3 || got.Gauge("store.keys") != 2 {
+		t.Fatalf("/debug/mvkv snapshot = %+v", got)
+	}
+
+	vars := get("/debug/vars").Body.String()
+	if !strings.Contains(vars, `"mvkv"`) || !strings.Contains(vars, "store.ops.insert") {
+		t.Fatalf("/debug/vars missing the mvkv snapshot: %.200s", vars)
+	}
+
+	if body := get("/debug/pprof/").Body.String(); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected: %.120s", body)
+	}
+}

@@ -7,6 +7,12 @@
 //
 //	mvkvd -pool store.pool [-create -size 1073741824] [-addr 127.0.0.1:7654]
 //	      [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 0]
+//	      [-debug-addr 127.0.0.1:0]
+//
+// -debug-addr starts an HTTP debug listener exposing /debug/vars (expvar,
+// including the full metric snapshot under "mvkv"), /debug/pprof/*, and
+// /debug/mvkv (the obs.Snapshot as JSON — the same payload `mvkvctl stats`
+// fetches over the wire).
 //
 // On SIGINT/SIGTERM the server drains, closes the pool durably and exits;
 // restarting recovers the pool (crash recovery + parallel index rebuild).
@@ -34,6 +40,7 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "deadline to finish reading a started request frame (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "deadline to write one response (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "deadline for an idle connection to send its next request (0 = keep forever)")
+		debugAddr    = flag.String("debug-addr", "", "HTTP debug listener (expvar, pprof, /debug/mvkv); empty = disabled")
 	)
 	flag.Parse()
 	if *pool == "" {
@@ -77,6 +84,13 @@ func main() {
 	}
 	log.Printf("serving pool %s on %s (version %d, %d keys)",
 		*pool, srv.Addr(), s.CurrentVersion(), s.Len())
+	if *debugAddr != "" {
+		da, err := serveDebug(*debugAddr, srv.ObsSnapshot)
+		if err != nil {
+			log.Fatalf("mvkvd: debug listener: %v", err)
+		}
+		log.Printf("debug listener on http://%s/debug/", da)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

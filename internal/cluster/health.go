@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mvkv/internal/obs"
 )
 
 // ErrRankDown reports that an operation needed a rank currently considered
@@ -44,12 +46,19 @@ type Health struct {
 	mu   sync.Mutex
 	opts HealthOptions
 	down map[int]time.Time // rank -> next allowed probe
+
+	// Detector metrics, guarded by mu like the state they describe.
+	markDowns    uint64         // failed exchanges reported (MarkDown calls)
+	recoveries   uint64         // down->alive transitions (MarkAlive on a down rank)
+	failFasts    uint64         // operations refused inside a probe backoff
+	probes       uint64         // probe slots claimed by FailFast
+	downsPerRank map[int]uint64 // rank -> times marked down
 }
 
 // NewHealth builds an empty detector (all ranks presumed alive).
 func NewHealth(opts HealthOptions) *Health {
 	opts.fill()
-	return &Health{opts: opts, down: make(map[int]time.Time)}
+	return &Health{opts: opts, down: make(map[int]time.Time), downsPerRank: make(map[int]uint64)}
 }
 
 // MarkDown records that rank failed a deadline-bounded exchange. The next
@@ -58,12 +67,17 @@ func NewHealth(opts HealthOptions) *Health {
 func (h *Health) MarkDown(rank int) {
 	h.mu.Lock()
 	h.down[rank] = time.Now().Add(h.opts.ProbeBackoff)
+	h.markDowns++
+	h.downsPerRank[rank]++
 	h.mu.Unlock()
 }
 
 // MarkAlive clears rank's down state after a successful exchange.
 func (h *Health) MarkAlive(rank int) {
 	h.mu.Lock()
+	if _, wasDown := h.down[rank]; wasDown {
+		h.recoveries++
+	}
 	delete(h.down, rank)
 	h.mu.Unlock()
 }
@@ -91,10 +105,29 @@ func (h *Health) FailFast(rank int) bool {
 		return false
 	}
 	if time.Now().Before(next) {
+		h.failFasts++
 		return true
 	}
 	h.down[rank] = time.Now().Add(h.opts.ProbeBackoff)
+	h.probes++
 	return false
+}
+
+// ObsSnapshot captures the detector's transition counters
+// ("cluster.health." prefix) and the number of ranks currently down.
+func (h *Health) ObsSnapshot() obs.Snapshot {
+	var o obs.Snapshot
+	h.mu.Lock()
+	o.SetCounter("cluster.health.mark_downs", h.markDowns)
+	o.SetCounter("cluster.health.recoveries", h.recoveries)
+	o.SetCounter("cluster.health.fail_fasts", h.failFasts)
+	o.SetCounter("cluster.health.probes", h.probes)
+	for rank, n := range h.downsPerRank {
+		o.SetCounter(fmt.Sprintf("cluster.health.mark_downs.rank%d", rank), n)
+	}
+	o.SetGauge("cluster.health.down_ranks", int64(len(h.down)))
+	h.mu.Unlock()
+	return o
 }
 
 // Down returns the ranks currently marked down, sorted.

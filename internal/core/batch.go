@@ -25,6 +25,9 @@ type batchGroup struct {
 // pairs, and one per span of commit numbers (see DESIGN.md, "Batched
 // appends").
 func (s *Store) InsertBatch(pairs []kv.KV) error {
+	s.met.insertBatch.Inc()
+	s.met.batchPairs.Add(uint64(len(pairs)))
+	s.met.batchSize.ObserveValue(int64(len(pairs)))
 	for _, p := range pairs {
 		if p.Value == kv.Marker {
 			return ErrMarkerValue
@@ -33,15 +36,16 @@ func (s *Store) InsertBatch(pairs []kv.KV) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	return s.appendBatchAt(s.CurrentVersion(), pairs)
+	return s.appendBatchAt(s.currentVersion(), pairs)
 }
 
 // FindBatch answers Find(keys[i], versions[i]) for every i.
 func (s *Store) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
+	s.met.findBatch.Inc()
 	values := make([]uint64, len(keys))
 	found := make([]bool, len(keys))
 	for i, k := range keys {
-		values[i], found[i] = s.Find(k, versions[i])
+		values[i], found[i] = s.find(k, versions[i])
 	}
 	return values, found
 }

@@ -10,6 +10,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"mvkv/internal/kv"
 	"mvkv/internal/vhistory"
@@ -138,12 +139,20 @@ func (s *Store) ExtractRangeWith(lo, hi, version uint64, threads int) []kv.KV {
 // later shards are still being walked. The slice passed to emit is only
 // valid for the duration of the call.
 func (s *Store) StreamSnapshot(version uint64, emit func(pairs []kv.KV) error) error {
-	return s.streamSpan(0, 0, version, false, emit)
+	s.met.snapshot.Inc()
+	start := time.Now()
+	err := s.streamSpan(0, 0, version, false, emit)
+	s.met.extractLat.ObserveSince(start)
+	return err
 }
 
 // StreamRange implements kv.SnapshotStreamer for a bounded key range.
 func (s *Store) StreamRange(lo, hi, version uint64, emit func(pairs []kv.KV) error) error {
-	return s.streamSpan(lo, hi, version, true, emit)
+	s.met.extractRange.Inc()
+	start := time.Now()
+	err := s.streamSpan(lo, hi, version, true, emit)
+	s.met.extractLat.ObserveSince(start)
+	return err
 }
 
 func (s *Store) streamSpan(lo, hi, version uint64, bounded bool, emit func(pairs []kv.KV) error) error {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"mvkv/internal/obs"
+)
+
+// storeMetrics instruments the store's public Table-1 surface. Counting is
+// exact (one atomic add per operation); latency histograms are fed by
+// 1-in-obs.SampleEvery sampled timestamps so the nanosecond-scale hot paths
+// (Insert, Find) never pay time.Now per call.
+type storeMetrics struct {
+	insert         obs.Counter
+	remove         obs.Counter
+	find           obs.Counter
+	tag            obs.Counter
+	currentVersion obs.Counter
+	snapshot       obs.Counter
+	extractRange   obs.Counter
+	history        obs.Counter
+	length         obs.Counter
+	insertBatch    obs.Counter // batches, not pairs
+	findBatch      obs.Counter // batches, not keys
+	batchPairs     obs.Counter // pairs shipped through InsertBatch
+
+	insertLat  obs.Histogram
+	findLat    obs.Histogram
+	tagLat     obs.Histogram
+	extractLat obs.Histogram // snapshot + range extractions
+	batchSize  obs.Histogram // pairs per InsertBatch
+}
+
+// ObsSnapshot captures the store's metrics ("store." prefix) merged with
+// its arena's ("pmem." prefix) and the stats of the last recovery.
+func (s *Store) ObsSnapshot() obs.Snapshot {
+	var o obs.Snapshot
+	o.SetCounter("store.ops.insert", s.met.insert.Load())
+	o.SetCounter("store.ops.remove", s.met.remove.Load())
+	o.SetCounter("store.ops.find", s.met.find.Load())
+	o.SetCounter("store.ops.tag", s.met.tag.Load())
+	o.SetCounter("store.ops.current_version", s.met.currentVersion.Load())
+	o.SetCounter("store.ops.snapshot", s.met.snapshot.Load())
+	o.SetCounter("store.ops.range", s.met.extractRange.Load())
+	o.SetCounter("store.ops.history", s.met.history.Load())
+	o.SetCounter("store.ops.len", s.met.length.Load())
+	o.SetCounter("store.ops.insert_batch", s.met.insertBatch.Load())
+	o.SetCounter("store.ops.find_batch", s.met.findBatch.Load())
+	o.SetCounter("store.batch.pairs", s.met.batchPairs.Load())
+	o.SetHist("store.latency.insert", &s.met.insertLat)
+	o.SetHist("store.latency.find", &s.met.findLat)
+	o.SetHist("store.latency.tag", &s.met.tagLat)
+	o.SetHist("store.latency.extract", &s.met.extractLat)
+	o.SetHist("store.batch.size", &s.met.batchSize)
+	o.SetGauge("store.keys", int64(s.index.Len()))
+	o.SetGauge("store.current_version", int64(s.currentVersion()))
+	if s.stats.Threads > 0 { // zero value = fresh store, no recovery ran
+		o.SetGauge("store.recovery.keys", int64(s.stats.Keys))
+		o.SetGauge("store.recovery.entries", int64(s.stats.Entries))
+		o.SetGauge("store.recovery.pruned_entries", int64(s.stats.PrunedEntries))
+		o.SetGauge("store.recovery.threads", int64(s.stats.Threads))
+		o.SetGauge("store.recovery.elapsed_ns", s.stats.Elapsed.Nanoseconds())
+	}
+	return o.Merge(s.arena.ObsSnapshot())
+}

@@ -26,6 +26,7 @@ import (
 
 	"mvkv/internal/blockchain"
 	"mvkv/internal/kv"
+	"mvkv/internal/obs"
 	"mvkv/internal/pmem"
 	"mvkv/internal/skiplist"
 	"mvkv/internal/vhistory"
@@ -103,6 +104,7 @@ type Store struct {
 
 	wedged atomic.Bool
 	stats  RecoveryStats
+	met    storeMetrics
 }
 
 // CoveredAll is the RecoveryStats.CoveredTo sentinel meaning the crash
@@ -241,20 +243,37 @@ func (s *Store) Arena() *pmem.Arena { return s.arena }
 func (s *Store) RecoveryStats() RecoveryStats { return s.stats }
 
 // CurrentVersion returns the unsealed version operations currently land in.
-func (s *Store) CurrentVersion() uint64 { return s.arena.LoadUint64(s.super + supVerOff) }
+func (s *Store) CurrentVersion() uint64 {
+	s.met.currentVersion.Inc()
+	return s.arena.LoadUint64(s.super + supVerOff)
+}
+
+// currentVersion is CurrentVersion for internal callers (uncounted, so the
+// versionless write paths do not inflate the operation metrics).
+func (s *Store) currentVersion() uint64 { return s.arena.LoadUint64(s.super + supVerOff) }
 
 // Tag seals the current version and returns its number (Table 1 tag). The
 // seal is durable before Tag returns.
 func (s *Store) Tag() uint64 {
+	s.met.tag.Inc()
+	start := time.Now()
 	sealed := s.arena.AddUint64(s.super+supVerOff, 1) - 1
 	s.arena.Persist(s.super+supVerOff, 8)
+	s.met.tagLat.ObserveSince(start)
 	return sealed
 }
 
 // Insert records key=value in the current version.
 func (s *Store) Insert(key, value uint64) error {
+	n := s.met.insert.Inc()
 	if value == kv.Marker {
 		return ErrMarkerValue
+	}
+	if obs.Sampled(n) {
+		start := time.Now()
+		err := s.append(key, value)
+		s.met.insertLat.ObserveSince(start)
+		return err
 	}
 	return s.append(key, value)
 }
@@ -263,6 +282,7 @@ func (s *Store) Insert(key, value uint64) error {
 // key is recorded too (the history then starts with a marker), keeping
 // Remove idempotent and order-tolerant under concurrency.
 func (s *Store) Remove(key uint64) error {
+	s.met.remove.Inc()
 	return s.append(key, kv.Marker)
 }
 
@@ -273,11 +293,30 @@ func (s *Store) Remove(key uint64) error {
 // number with no reachable history, capping the recoverable prefix (see
 // DESIGN.md).
 func (s *Store) append(key, value uint64) error {
-	return s.appendAt(key, s.CurrentVersion(), value)
+	return s.appendAt(key, s.currentVersion(), value)
 }
 
 // Find returns key's value in snapshot version (Table 1 find).
 func (s *Store) Find(key, version uint64) (uint64, bool) {
+	if obs.Sampled(s.met.find.Inc()) {
+		start := time.Now()
+		v, ok := s.find(key, version)
+		s.met.findLat.ObserveSince(start)
+		return v, ok
+	}
+	// Unsampled fast path: the lookup body is flattened here (instead of
+	// calling s.find) because at ~600 ns per lookup even one extra call
+	// frame shows up in the tier-1 Find benchmark.
+	h, ok := s.index.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return h.Find(s.arena, version, s.clock)
+}
+
+// find is the uncounted lookup shared by Find and FindBatch (the batch op
+// has its own counter; routing it through Find would double-count).
+func (s *Store) find(key, version uint64) (uint64, bool) {
 	h, ok := s.index.Get(key)
 	if !ok {
 		return 0, false
@@ -290,7 +329,11 @@ func (s *Store) Find(key, version uint64) (uint64, bool) {
 // Options.ExtractThreads workers over disjoint key shards (extract.go);
 // the output is byte-identical to the sequential walk.
 func (s *Store) ExtractSnapshot(version uint64) []kv.KV {
-	return s.ExtractSnapshotWith(version, s.extractThreads())
+	s.met.snapshot.Inc()
+	start := time.Now()
+	out := s.ExtractSnapshotWith(version, s.extractThreads())
+	s.met.extractLat.ObserveSince(start)
+	return out
 }
 
 // ExtractRange returns the pairs with lo <= key < hi present in snapshot
@@ -299,11 +342,16 @@ func (s *Store) ExtractSnapshot(version uint64) []kv.KV {
 // the whole snapshot. Like ExtractSnapshot, large ranges are walked in
 // parallel shards.
 func (s *Store) ExtractRange(lo, hi, version uint64) []kv.KV {
-	return s.ExtractRangeWith(lo, hi, version, s.extractThreads())
+	s.met.extractRange.Inc()
+	start := time.Now()
+	out := s.ExtractRangeWith(lo, hi, version, s.extractThreads())
+	s.met.extractLat.ObserveSince(start)
+	return out
 }
 
 // ExtractHistory returns key's change log (Table 1 extract_history).
 func (s *Store) ExtractHistory(key uint64) []kv.Event {
+	s.met.history.Inc()
 	h, ok := s.index.Get(key)
 	if !ok {
 		return nil
@@ -312,7 +360,10 @@ func (s *Store) ExtractHistory(key uint64) []kv.Event {
 }
 
 // Len returns the number of distinct keys ever inserted.
-func (s *Store) Len() int { return s.index.Len() }
+func (s *Store) Len() int {
+	s.met.length.Inc()
+	return s.index.Len()
+}
 
 // Keys visits every key in ascending order until fn returns false. Used by
 // tooling layered on the store (compaction, replication, the blob layer).

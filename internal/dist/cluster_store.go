@@ -282,6 +282,7 @@ func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 	}
 	wg.Wait()
 	if len(pe.Failed) > 0 || len(pe.Unknown) > 0 {
+		s.met.partials.Inc()
 		return pe
 	}
 	return nil
@@ -371,7 +372,7 @@ func (s *Service) LenSum() (int, error) {
 	s.endOp(ctx, suspects, lost)
 	n := int(cluster.GetUint64s(rep)[0])
 	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
-		return n, &PartialResultError{Missing: missing}
+		return n, s.partial(missing)
 	}
 	return n, nil
 }
@@ -405,7 +406,7 @@ func (s *Service) HistoryAny(key uint64) ([]kv.Event, error) {
 			if attempt == 0 {
 				continue
 			}
-			return nil, &PartialResultError{Missing: s.missingRanks(ctx, lost)}
+			return nil, s.partial(s.missingRanks(ctx, lost))
 		}
 		w := cluster.GetUint64s(rep)
 		if w[0] == 0 {

@@ -103,6 +103,8 @@ type Service struct {
 	// Worker state: commands below minOp predate this incarnation's
 	// rejoin and are discarded (set once by Rejoin before Serve starts).
 	minOp uint64
+
+	met svcMetrics
 }
 
 // New wraps a communicator and this rank's local store with default fault
@@ -294,7 +296,7 @@ func (s *Service) Find(key, version uint64) (uint64, bool, error) {
 			if attempt == 0 {
 				continue // owner alive; its reply was stranded behind a dead interior rank
 			}
-			return 0, false, &PartialResultError{Missing: s.missingRanks(ctx, lost)}
+			return 0, false, s.partial(s.missingRanks(ctx, lost))
 		}
 		w := cluster.GetUint64s(rep)
 		return w[1], w[0] != 0, nil
@@ -338,7 +340,7 @@ func (s *Service) BulkFind(keys, versions []uint64) ([]uint64, []bool, error) {
 			}
 		}
 		if needed {
-			return vals, oks, &PartialResultError{Missing: missing}
+			return vals, oks, s.partial(missing)
 		}
 	}
 	return vals, oks, nil
@@ -400,7 +402,7 @@ func (s *Service) GatherSnapshot(version uint64) ([][]kv.KV, error) {
 		runs[r] = DecodeKVs(p)
 	}
 	if missing := s.missingRanks(ctx, suspects); len(missing) > 0 {
-		return runs, &PartialResultError{Missing: missing}
+		return runs, s.partial(missing)
 	}
 	return runs, nil
 }
@@ -426,7 +428,7 @@ func (s *Service) ExtractSnapshotNaive(version uint64) ([]kv.KV, error) {
 	}
 	out := merge.KWay(runs)
 	if missing := s.missingRanks(ctx, suspects); len(missing) > 0 {
-		return out, &PartialResultError{Missing: missing}
+		return out, s.partial(missing)
 	}
 	return out, nil
 }
@@ -441,7 +443,7 @@ func (s *Service) ExtractSnapshotOpt(version uint64) ([]kv.KV, error) {
 	run, suspects, lost := s.ftMerge(ctx.seq, ctx.members, s.store.ExtractSnapshot(version), s.opts.OpTimeout)
 	s.endOp(ctx, suspects, lost)
 	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
-		return run, &PartialResultError{Missing: missing}
+		return run, s.partial(missing)
 	}
 	return run, nil
 }
@@ -458,7 +460,7 @@ func (s *Service) ExtractRange(lo, hi, version uint64) ([]kv.KV, error) {
 	run, suspects, lost := s.ftMerge(ctx.seq, ctx.members, s.store.ExtractRange(lo, hi, version), s.opts.OpTimeout)
 	s.endOp(ctx, suspects, lost)
 	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
-		return run, &PartialResultError{Missing: missing}
+		return run, s.partial(missing)
 	}
 	return run, nil
 }

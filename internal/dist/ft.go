@@ -209,6 +209,7 @@ func (s *Service) ftReduce(opSeq uint64, members []int, data []byte, op func(a, 
 			if err != nil {
 				// The child (and every member of its virtual subtree)
 				// is missing from the result.
+				s.met.collTimeouts.Inc()
 				maskAdd(suspects, child)
 				for i := self + step; i < min(self+2*step, len(members)); i++ {
 					maskAdd(lost, members[i])
@@ -239,6 +240,7 @@ func (s *Service) ftGather(opSeq uint64, members []int, data []byte, timeout tim
 	for _, r := range members[1:] {
 		p, err := s.comm.RecvData(r, opSeq, timeout)
 		if err != nil {
+			s.met.collTimeouts.Inc()
 			maskAdd(suspects, r)
 			continue
 		}
@@ -268,6 +270,7 @@ func (s *Service) ftMerge(opSeq uint64, members []int, run []kv.KV, timeout time
 			child := members[self+step]
 			p, err := s.comm.RecvData(child, opSeq, timeout)
 			if err != nil {
+				s.met.collTimeouts.Inc()
 				maskAdd(suspects, child)
 				for i := self + step; i < min(self+2*step, len(members)); i++ {
 					maskAdd(lost, members[i])

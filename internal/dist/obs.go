@@ -1,0 +1,30 @@
+package dist
+
+import (
+	"mvkv/internal/obs"
+)
+
+// svcMetrics counts the fault-tolerance incidents of one rank's Service.
+// Normal-path collectives are already counted at the store layer; what
+// matters here is how often the degraded paths fire.
+type svcMetrics struct {
+	collTimeouts obs.Counter // per-child receive deadlines expired in collectives
+	partials     obs.Counter // answers returned with partitions missing
+}
+
+// partial builds a PartialResultError and counts it, so every degraded
+// answer the initiator hands back is visible in the metrics.
+func (s *Service) partial(missing []int) *PartialResultError {
+	s.met.partials.Inc()
+	return &PartialResultError{Missing: missing}
+}
+
+// ObsSnapshot captures this rank's fault-tolerance metrics ("dist." prefix)
+// merged with its failure detector's ("cluster.health." prefix). Local store
+// metrics are exposed by the store itself, not duplicated here.
+func (s *Service) ObsSnapshot() obs.Snapshot {
+	var o obs.Snapshot
+	o.SetCounter("dist.collective.timeouts", s.met.collTimeouts.Load())
+	o.SetCounter("dist.partial_results", s.met.partials.Load())
+	return o.Merge(s.health.ObsSnapshot())
+}

@@ -77,13 +77,19 @@ func BuildExtractStore(n int) (*core.Store, uint64, error) {
 //     default worker count (GOMAXPROCS).
 //
 // Every timed result is validated against the expected pair count.
-func RunExtractSweep(spec ExtractSpec) ([]Result, error) {
+//
+// The second return value is the store-side metric delta over the timed
+// sweep (counters only): what the extractions cost in store operations,
+// arena persists and wire frames, attached to the figure's JSON output so
+// the recorded numbers carry their own accounting.
+func RunExtractSweep(spec ExtractSpec) ([]Result, map[string]uint64, error) {
 	s, version, err := BuildExtractStore(spec.N)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer s.Close()
 	want := s.ExtractSnapshot(version)
+	before := s.ObsSnapshot()
 
 	var rows []Result
 	for _, t := range spec.Threads {
@@ -93,7 +99,7 @@ func RunExtractSweep(spec ExtractSpec) ([]Result, error) {
 			snap := s.ExtractSnapshotWith(version, t)
 			d := time.Since(start)
 			if len(snap) != len(want) {
-				return nil, fmt.Errorf("extract with %d threads: %d pairs, want %d", t, len(snap), len(want))
+				return nil, nil, fmt.Errorf("extract with %d threads: %d pairs, want %d", t, len(snap), len(want))
 			}
 			if rep == 0 || d < best {
 				best = d
@@ -105,12 +111,12 @@ func RunExtractSweep(spec ExtractSpec) ([]Result, error) {
 
 	srv, err := kvnet.Serve(s, "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer srv.Close()
 	cl, err := kvnet.Dial(srv.Addr(), 2)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer cl.Close()
 	serverThreads := runtime.GOMAXPROCS(0)
@@ -142,10 +148,10 @@ func RunExtractSweep(spec ExtractSpec) ([]Result, error) {
 			n, err := wp.run()
 			d := time.Since(start)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", wp.name, err)
+				return nil, nil, fmt.Errorf("%s: %w", wp.name, err)
 			}
 			if n != len(want) {
-				return nil, fmt.Errorf("%s: %d pairs, want %d", wp.name, n, len(want))
+				return nil, nil, fmt.Errorf("%s: %d pairs, want %d", wp.name, n, len(want))
 			}
 			if rep == 0 || d < best {
 				best = d
@@ -154,7 +160,8 @@ func RunExtractSweep(spec ExtractSpec) ([]Result, error) {
 		rows = append(rows, Result{Figure: "extract-tcp", Approach: wp.name,
 			Threads: serverThreads, N: spec.N, Ops: len(want), Elapsed: best})
 	}
-	return rows, nil
+	deltas := srv.ObsSnapshot().Delta(before).Counters
+	return rows, deltas, nil
 }
 
 // ExtractJSON is the machine-readable form of the extract figure, written
@@ -171,6 +178,10 @@ type ExtractJSON struct {
 	// LocalSpeedup maps "<threads>" to elapsed(1 thread)/elapsed(threads)
 	// over the extract-local rows.
 	LocalSpeedup map[string]float64 `json:"local_speedup_vs_1_thread,omitempty"`
+	// MetricDeltas is the observability-counter delta measured across the
+	// sweep (RunExtractSweep's second return value): store ops, arena
+	// persists and wire frames attributable to the recorded rows.
+	MetricDeltas map[string]uint64 `json:"metric_deltas,omitempty"`
 }
 
 // ExtractJSONRow is one measured point.
@@ -185,13 +196,15 @@ type ExtractJSONRow struct {
 }
 
 // WriteExtractJSON renders the extract rows as BENCH_extract.json content.
-func WriteExtractJSON(path string, n int, rows []Result) error {
+// metrics (may be nil) is the counter delta from RunExtractSweep.
+func WriteExtractJSON(path string, n int, rows []Result, metrics map[string]uint64) error {
 	out := ExtractJSON{
-		Figure:     "extract",
-		N:          n,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
+		Figure:       "extract",
+		N:            n,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		GoVersion:    runtime.Version(),
+		MetricDeltas: metrics,
 	}
 	if out.GoMaxProcs == 1 {
 		out.Note = "single-core host: the thread sweep cannot show parallel speedup; see EXPERIMENTS.md"

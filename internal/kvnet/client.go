@@ -14,12 +14,12 @@ import (
 // Options configures a Client. The zero value gives the historical
 // behaviour: 16 pooled connections, no deadlines, a small retry budget.
 type Options struct {
-	// MaxConns bounds the connection pool (0 = 16).
+	// MaxConns bounds the connection pool (<=0 = 16).
 	MaxConns int
 	// DialTimeout bounds each TCP dial (0 = 5s, <0 = none).
 	DialTimeout time.Duration
 	// CallTimeout bounds the I/O of one request/response exchange: write
-	// plus read must finish within it (0 = none). Expiry surfaces as a
+	// plus read must finish within it (<=0 = none). Expiry surfaces as a
 	// net.Error timeout and the connection is discarded.
 	CallTimeout time.Duration
 	// MaxRetries is how many times a failed call is retried on a fresh
@@ -29,7 +29,7 @@ type Options struct {
 	// comment); server-reported errors are never retried.
 	MaxRetries int
 	// RetryBackoff is the sleep before the first retry, doubling on each
-	// subsequent one (0 = 5ms).
+	// subsequent one (0 = 5ms, <0 = retry immediately with no backoff).
 	RetryBackoff time.Duration
 	// Dial overrides connection establishment (tests inject faulty
 	// connections through it; TLS or unix-socket dialers also fit). nil =
@@ -37,6 +37,9 @@ type Options struct {
 	Dial func(addr string) (net.Conn, error)
 }
 
+// withDefaults normalizes every field to the contract its doc comment
+// states: 0 selects the documented default, a negative value selects the
+// documented "none"/"never" behaviour (normalized to 0 internally).
 func (o Options) withDefaults() Options {
 	if o.MaxConns <= 0 {
 		o.MaxConns = 16
@@ -44,16 +47,26 @@ func (o Options) withDefaults() Options {
 	if o.DialTimeout == 0 {
 		o.DialTimeout = 5 * time.Second
 	}
+	if o.CallTimeout < 0 {
+		o.CallTimeout = 0
+	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 3
 	} else if o.MaxRetries < 0 {
 		o.MaxRetries = 0
 	}
-	if o.RetryBackoff <= 0 {
+	if o.RetryBackoff == 0 {
 		o.RetryBackoff = 5 * time.Millisecond
+	} else if o.RetryBackoff < 0 {
+		o.RetryBackoff = 0
 	}
 	return o
 }
+
+// ErrClientClosed reports an operation on (or interrupted by) a closed
+// Client: new calls are refused, and calls sleeping in retry backoff abort
+// instead of re-dialing a pool the caller already tore down.
+var ErrClientClosed = errors.New("kvnet: client closed")
 
 // Client is a kv.Store backed by a remote Server. Methods are safe for
 // concurrent use: each in-flight request borrows a pooled connection, so
@@ -68,6 +81,12 @@ type Client struct {
 	nconns int
 	cond   *sync.Cond
 	closed bool
+
+	// closeCh is closed by Close so retry loops sleeping in backoff wake
+	// immediately instead of re-dialing after the pool is gone.
+	closeCh chan struct{}
+
+	met clientMetrics
 }
 
 // Dial connects to a server. maxConns bounds the connection pool
@@ -78,7 +97,7 @@ func Dial(addr string, maxConns int) (*Client, error) {
 
 // DialOptions connects to a server with explicit deadline/retry knobs.
 func DialOptions(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c := &Client{addr: addr, opts: opts.withDefaults(), closeCh: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	// Validate reachability eagerly (retried like any idempotent call).
 	if _, err := c.call(opPing, nil); err != nil {
@@ -88,6 +107,15 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 }
 
 func (c *Client) dial() (net.Conn, error) {
+	c.met.dials.Inc()
+	conn, err := c.rawDial()
+	if err != nil {
+		c.met.dialFails.Inc()
+	}
+	return conn, err
+}
+
+func (c *Client) rawDial() (net.Conn, error) {
 	if c.opts.Dial != nil {
 		return c.opts.Dial(c.addr)
 	}
@@ -103,7 +131,7 @@ func (c *Client) acquire() (net.Conn, error) {
 	for {
 		if c.closed {
 			c.mu.Unlock()
-			return nil, fmt.Errorf("kvnet: client closed")
+			return nil, ErrClientClosed
 		}
 		if n := len(c.idle); n > 0 {
 			conn := c.idle[n-1]
@@ -115,13 +143,23 @@ func (c *Client) acquire() (net.Conn, error) {
 			c.nconns++
 			c.mu.Unlock()
 			conn, err := c.dial()
+			c.mu.Lock()
 			if err != nil {
-				c.mu.Lock()
 				c.nconns--
 				c.cond.Signal()
 				c.mu.Unlock()
 				return nil, fmt.Errorf("kvnet: dial %s: %w", c.addr, err)
 			}
+			if c.closed {
+				// Close ran while we were dialing: this borrow must fail,
+				// and the fresh connection must not outlive the pool.
+				c.nconns--
+				c.cond.Signal()
+				c.mu.Unlock()
+				conn.Close()
+				return nil, ErrClientClosed
+			}
+			c.mu.Unlock()
 			return conn, nil
 		}
 		c.cond.Wait()
@@ -142,6 +180,7 @@ func (c *Client) release(conn net.Conn) {
 
 // discard drops a connection whose stream state is unknown (I/O error).
 func (c *Client) discard(conn net.Conn) {
+	c.met.discards.Inc()
 	conn.Close()
 	c.mu.Lock()
 	c.nconns--
@@ -181,7 +220,7 @@ func (c *Client) roundTrip(conn net.Conn, op byte, payload []byte) (resp []byte,
 func idempotent(op byte) bool {
 	switch op {
 	case opFind, opCurrentVersion, opSnapshot, opRange, opHistory, opLen, opPing,
-		OpFindBatch:
+		OpFindBatch, OpStats:
 		return true
 	}
 	return false
@@ -202,8 +241,12 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 			// The server processed the request and said no: definitive.
 			return nil, err
 		case *attemptError:
+			if IsTimeout(e.err) {
+				c.met.deadlineExpiries.Inc()
+			}
 			retryable = !e.sent || idempotent(op)
 			if !retryable {
+				c.met.unknownOutcomes.Inc()
 				return nil, fmt.Errorf("%w: %w", ErrUnknownOutcome, e.err)
 			}
 			err = e.err
@@ -213,8 +256,33 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		if attempt >= c.opts.MaxRetries {
 			return nil, err
 		}
-		time.Sleep(backoff)
+		c.met.retries.Inc()
+		if err := c.sleepBackoff(backoff); err != nil {
+			return nil, err
+		}
 		backoff *= 2
+	}
+}
+
+// sleepBackoff waits out one retry backoff, aborting with ErrClientClosed
+// the moment Close runs — a call parked in backoff must never re-dial a
+// pool the caller already tore down.
+func (c *Client) sleepBackoff(d time.Duration) error {
+	if d <= 0 {
+		select {
+		case <-c.closeCh:
+			return ErrClientClosed
+		default:
+			return nil
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.closeCh:
+		return ErrClientClosed
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -269,12 +337,14 @@ func (e *serverError) Error() string { return e.msg }
 
 // Insert implements kv.Store.
 func (c *Client) Insert(key, value uint64) error {
+	c.met.insert.Inc()
 	_, err := c.call(opInsert, putU64s(nil, key, value))
 	return err
 }
 
 // Remove implements kv.Store.
 func (c *Client) Remove(key uint64) error {
+	c.met.remove.Inc()
 	_, err := c.call(opRemove, putU64s(nil, key))
 	return err
 }
@@ -288,6 +358,7 @@ func (c *Client) Find(key, version uint64) (uint64, bool) {
 
 // FindErr is Find with transport errors reported.
 func (c *Client) FindErr(key, version uint64) (uint64, bool, error) {
+	c.met.find.Inc()
 	resp, err := c.call(opFind, putU64s(nil, key, version))
 	if err != nil {
 		return 0, false, err
@@ -307,6 +378,7 @@ func (c *Client) Tag() uint64 {
 
 // TagErr is Tag with transport errors reported.
 func (c *Client) TagErr() (uint64, error) {
+	c.met.tag.Inc()
 	return c.oneWord(opTag)
 }
 
@@ -319,6 +391,7 @@ func (c *Client) CurrentVersion() uint64 {
 
 // CurrentVersionErr is CurrentVersion with transport errors reported.
 func (c *Client) CurrentVersionErr() (uint64, error) {
+	c.met.currentVersion.Inc()
 	return c.oneWord(opCurrentVersion)
 }
 
@@ -346,6 +419,7 @@ func (c *Client) ExtractSnapshot(version uint64) []kv.KV {
 // and falls back to the legacy single-frame op against servers that predate
 // the chunked opcodes.
 func (c *Client) ExtractSnapshotErr(version uint64) ([]kv.KV, error) {
+	c.met.snapshot.Inc()
 	out, err := c.collectStream(OpSnapshotChunk, putU64s(nil, version))
 	if err == nil {
 		return out, nil
@@ -370,6 +444,7 @@ func (c *Client) ExtractRange(lo, hi, version uint64) []kv.KV {
 // ExtractRangeErr is ExtractRange with transport errors reported, preferring
 // the chunked wire path like ExtractSnapshotErr.
 func (c *Client) ExtractRangeErr(lo, hi, version uint64) ([]kv.KV, error) {
+	c.met.extractRange.Inc()
 	out, err := c.collectStream(OpRangeChunk, putU64s(nil, lo, hi, version))
 	if err == nil {
 		return out, nil
@@ -390,6 +465,7 @@ func (c *Client) ExtractRangeErr(lo, hi, version uint64) ([]kv.KV, error) {
 // encoding exceeds MaxFrame fail with the server's in-band
 // ErrSnapshotTooLarge refusal.
 func (c *Client) ExtractSnapshotSingleFrame(version uint64) ([]kv.KV, error) {
+	c.met.snapshot.Inc()
 	resp, err := c.call(opSnapshot, putU64s(nil, version))
 	if err != nil {
 		return nil, err
@@ -404,11 +480,13 @@ func (c *Client) ExtractSnapshotSingleFrame(version uint64) ([]kv.KV, error) {
 // surfaces as an error wrapping ErrStreamAborted — never a silently
 // partial snapshot.
 func (c *Client) StreamSnapshot(version uint64, visit func(pairs []kv.KV) error) error {
+	c.met.snapshot.Inc()
 	return c.stream(OpSnapshotChunk, putU64s(nil, version), visit)
 }
 
 // StreamRange is StreamSnapshot for a bounded key range.
 func (c *Client) StreamRange(lo, hi, version uint64, visit func(pairs []kv.KV) error) error {
+	c.met.extractRange.Inc()
 	return c.stream(OpRangeChunk, putU64s(nil, lo, hi, version), visit)
 }
 
@@ -464,6 +542,9 @@ func (c *Client) stream(op byte, payload []byte, visit func(pairs []kv.KV) error
 		case *serverError:
 			return err // the server processed the request and said no
 		case *attemptError:
+			if IsTimeout(e.err) {
+				c.met.deadlineExpiries.Inc()
+			}
 			err = e.err
 		default:
 			return err // client closed, oversized request, ...
@@ -471,7 +552,10 @@ func (c *Client) stream(op byte, payload []byte, visit func(pairs []kv.KV) error
 		if attempt >= c.opts.MaxRetries {
 			return err
 		}
-		time.Sleep(backoff)
+		c.met.retries.Inc()
+		if err := c.sleepBackoff(backoff); err != nil {
+			return err
+		}
 		backoff *= 2
 	}
 }
@@ -570,6 +654,7 @@ func (c *Client) ExtractHistory(key uint64) []kv.Event {
 
 // ExtractHistoryErr is ExtractHistory with transport errors reported.
 func (c *Client) ExtractHistoryErr(key uint64) ([]kv.Event, error) {
+	c.met.history.Inc()
 	resp, err := c.call(opHistory, putU64s(nil, key))
 	if err != nil {
 		return nil, err
@@ -594,6 +679,7 @@ func (c *Client) Len() int {
 
 // LenErr is Len with transport errors reported.
 func (c *Client) LenErr() (int, error) {
+	c.met.length.Inc()
 	n, err := c.oneWord(opLen)
 	return int(n), err
 }
@@ -604,6 +690,7 @@ func (c *Client) LenErr() (int, error) {
 // request never reached the wire; once fully written, a lost response
 // surfaces ErrUnknownOutcome rather than risking a double apply.
 func (c *Client) InsertBatch(pairs []kv.KV) error {
+	c.met.insertBatch.Inc()
 	payload := putU64s(make([]byte, 0, 8+16*len(pairs)), uint64(len(pairs)))
 	for _, p := range pairs {
 		payload = putU64s(payload, p.Key, p.Value)
@@ -626,6 +713,7 @@ func (c *Client) FindBatchErr(keys, versions []uint64) ([]uint64, []bool, error)
 	if len(keys) != len(versions) {
 		panic("kvnet: FindBatch keys/versions length mismatch")
 	}
+	c.met.findBatch.Inc()
 	values := make([]uint64, len(keys))
 	found := make([]bool, len(keys))
 	payload := putU64s(make([]byte, 0, 8+16*len(keys)), uint64(len(keys)))
@@ -653,6 +741,7 @@ func (c *Client) FindBatchErr(keys, versions []uint64) ([]uint64, []bool, error)
 // Ping round-trips an empty frame, verifying the server is reachable and
 // responsive within the configured deadline.
 func (c *Client) Ping() error {
+	c.met.ping.Inc()
 	_, err := c.call(opPing, nil)
 	return err
 }
@@ -666,6 +755,7 @@ func (c *Client) Close() error {
 		return fmt.Errorf("kvnet: client already closed")
 	}
 	c.closed = true
+	close(c.closeCh) // wake calls sleeping in retry backoff
 	idle := c.idle
 	c.idle = nil
 	c.cond.Broadcast()

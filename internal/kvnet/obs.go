@@ -1,0 +1,161 @@
+package kvnet
+
+import (
+	"fmt"
+
+	"mvkv/internal/obs"
+)
+
+// opNames maps opcodes to the metric-name suffix used by the per-opcode
+// frame counters ("net.server.frames_in.insert", ...).
+var opNames = map[byte]string{
+	opInsert:         "insert",
+	opRemove:         "remove",
+	opFind:           "find",
+	opTag:            "tag",
+	opCurrentVersion: "current_version",
+	opSnapshot:       "snapshot",
+	opRange:          "range",
+	opHistory:        "history",
+	opLen:            "len",
+	opPing:           "ping",
+	OpInsertBatch:    "insert_batch",
+	OpFindBatch:      "find_batch",
+	OpSnapshotChunk:  "snapshot_chunk",
+	OpRangeChunk:     "range_chunk",
+	OpStats:          "stats",
+}
+
+func opName(op byte) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// maxTrackedOp bounds the per-opcode counter array (opcodes above it share
+// one "unknown" slot so a hostile peer cannot grow server memory).
+const maxTrackedOp = 32
+
+// serverMetrics counts the server's wire traffic and incidents.
+type serverMetrics struct {
+	framesIn     obs.Counter // request frames decoded
+	framesOut    obs.Counter // response frames written (chunks included)
+	opIn         [maxTrackedOp + 1]obs.Counter
+	streamChunks obs.Counter // statusChunk frames emitted
+	errResponses obs.Counter // statusErr frames sent
+	panics       obs.Counter // store panics caught (unary + stream)
+	connsTotal   obs.Counter // connections ever accepted
+	connsActive  obs.Gauge   // connections currently being served
+}
+
+func (m *serverMetrics) countOp(op byte) {
+	i := int(op)
+	if i >= maxTrackedOp {
+		i = maxTrackedOp
+	}
+	m.opIn[i].Inc()
+}
+
+// obsStore is the optional interface a served store may implement to have
+// its own metrics merged into the OpStats response.
+type obsStore interface {
+	ObsSnapshot() obs.Snapshot
+}
+
+// ObsSnapshot captures the server's wire metrics ("net.server." prefix),
+// merged with the store's snapshot when the store exposes one. This is the
+// OpStats payload and the mvkvd debug-endpoint body.
+func (s *Server) ObsSnapshot() obs.Snapshot {
+	var o obs.Snapshot
+	o.SetCounter("net.server.frames_in", s.met.framesIn.Load())
+	o.SetCounter("net.server.frames_out", s.met.framesOut.Load())
+	for i := range s.met.opIn {
+		v := s.met.opIn[i].Load()
+		if v == 0 {
+			continue
+		}
+		name := opName(byte(i))
+		if i == maxTrackedOp {
+			name = "unknown"
+		}
+		o.SetCounter("net.server.frames_in."+name, v)
+	}
+	o.SetCounter("net.server.stream_chunks", s.met.streamChunks.Load())
+	o.SetCounter("net.server.err_responses", s.met.errResponses.Load())
+	o.SetCounter("net.server.panics", s.met.panics.Load())
+	o.SetCounter("net.server.conns_total", s.met.connsTotal.Load())
+	o.SetGauge("net.server.conns_active", s.met.connsActive.Load())
+	if st, ok := s.store.(obsStore); ok {
+		o = o.Merge(st.ObsSnapshot())
+	}
+	return o
+}
+
+// clientMetrics counts the client's operations and transport incidents.
+// Operations count once per public API call, not per attempt — retries and
+// redials have their own counters, so "operations issued" reconciles
+// exactly with the caller's workload.
+type clientMetrics struct {
+	insert         obs.Counter
+	remove         obs.Counter
+	find           obs.Counter
+	tag            obs.Counter
+	currentVersion obs.Counter
+	snapshot       obs.Counter
+	extractRange   obs.Counter
+	history        obs.Counter
+	length         obs.Counter
+	ping           obs.Counter
+	insertBatch    obs.Counter
+	findBatch      obs.Counter
+	stats          obs.Counter
+
+	dials            obs.Counter // connection attempts
+	dialFails        obs.Counter // failed connection attempts
+	retries          obs.Counter // backoff sleeps taken (call + stream)
+	deadlineExpiries obs.Counter // attempts that failed with a net timeout
+	unknownOutcomes  obs.Counter // mutations surfaced as ErrUnknownOutcome
+	discards         obs.Counter // pooled connections dropped after an error
+}
+
+// ObsSnapshot captures the client's local metrics ("net.client." prefix).
+// It never touches the network; Stats fetches the server's snapshot.
+func (c *Client) ObsSnapshot() obs.Snapshot {
+	var o obs.Snapshot
+	o.SetCounter("net.client.ops.insert", c.met.insert.Load())
+	o.SetCounter("net.client.ops.remove", c.met.remove.Load())
+	o.SetCounter("net.client.ops.find", c.met.find.Load())
+	o.SetCounter("net.client.ops.tag", c.met.tag.Load())
+	o.SetCounter("net.client.ops.current_version", c.met.currentVersion.Load())
+	o.SetCounter("net.client.ops.snapshot", c.met.snapshot.Load())
+	o.SetCounter("net.client.ops.range", c.met.extractRange.Load())
+	o.SetCounter("net.client.ops.history", c.met.history.Load())
+	o.SetCounter("net.client.ops.len", c.met.length.Load())
+	o.SetCounter("net.client.ops.ping", c.met.ping.Load())
+	o.SetCounter("net.client.ops.insert_batch", c.met.insertBatch.Load())
+	o.SetCounter("net.client.ops.find_batch", c.met.findBatch.Load())
+	o.SetCounter("net.client.ops.stats", c.met.stats.Load())
+	o.SetCounter("net.client.dials", c.met.dials.Load())
+	o.SetCounter("net.client.dial_failures", c.met.dialFails.Load())
+	o.SetCounter("net.client.retries", c.met.retries.Load())
+	o.SetCounter("net.client.deadline_expiries", c.met.deadlineExpiries.Load())
+	o.SetCounter("net.client.unknown_outcomes", c.met.unknownOutcomes.Load())
+	o.SetCounter("net.client.conn_discards", c.met.discards.Load())
+	c.mu.Lock()
+	o.SetGauge("net.client.conns", int64(c.nconns))
+	o.SetGauge("net.client.conns_idle", int64(len(c.idle)))
+	c.mu.Unlock()
+	return o
+}
+
+// Stats fetches the server's observability snapshot over the wire (OpStats).
+// Servers that predate the opcode answer with their unknown-opcode error.
+func (c *Client) Stats() (obs.Snapshot, error) {
+	c.met.stats.Inc()
+	resp, err := c.call(OpStats, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return obs.DecodeSnapshot(resp)
+}

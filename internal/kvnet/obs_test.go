@@ -1,0 +1,182 @@
+package kvnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mvkv/internal/core"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/obs"
+)
+
+// TestOptionsDefaultsTable pins withDefaults to the documented contract for
+// every field: 0 selects the default, negative selects the documented
+// "none"/"never" behaviour. (RetryBackoff < 0 used to be silently coerced
+// to the 5ms default, turning "no backoff" into the opposite.)
+func TestOptionsDefaultsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want Options
+	}{
+		{"zero value", Options{},
+			Options{MaxConns: 16, DialTimeout: 5 * time.Second, CallTimeout: 0, MaxRetries: 3, RetryBackoff: 5 * time.Millisecond}},
+		{"negatives mean none", Options{MaxConns: -1, DialTimeout: -1, CallTimeout: -1, MaxRetries: -1, RetryBackoff: -1},
+			Options{MaxConns: 16, DialTimeout: -1, CallTimeout: 0, MaxRetries: 0, RetryBackoff: 0}},
+		{"explicit values kept", Options{MaxConns: 4, DialTimeout: time.Second, CallTimeout: 2 * time.Second, MaxRetries: 7, RetryBackoff: time.Millisecond},
+			Options{MaxConns: 4, DialTimeout: time.Second, CallTimeout: 2 * time.Second, MaxRetries: 7, RetryBackoff: time.Millisecond}},
+	}
+	for _, tc := range cases {
+		got := tc.in.withDefaults()
+		if got.MaxConns != tc.want.MaxConns || got.DialTimeout != tc.want.DialTimeout ||
+			got.CallTimeout != tc.want.CallTimeout || got.MaxRetries != tc.want.MaxRetries ||
+			got.RetryBackoff != tc.want.RetryBackoff {
+			t.Errorf("%s: withDefaults() = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCloseCancelsRetryBackoff: a call sleeping in retry backoff must abort
+// with ErrClientClosed the moment Close runs, instead of sleeping out the
+// backoff and re-dialing a pool the caller tore down.
+func TestCloseCancelsRetryBackoff(t *testing.T) {
+	srv, err := Serve(eskiplist.New(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialOptions(srv.Addr(), Options{
+		MaxConns:     1,
+		MaxRetries:   3,
+		RetryBackoff: 30 * time.Second, // would dominate the test if not cancelled
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server: the pooled connection dies and every redial fails,
+	// so the next idempotent call enters the retry backoff.
+	srv.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- cl.Ping() }()
+	time.Sleep(100 * time.Millisecond) // let the call reach the backoff sleep
+	if err := cl.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClientClosed) {
+			t.Fatalf("ping after close: %v, want ErrClientClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ping still sleeping in backoff 5s after Close")
+	}
+
+	// New borrows on a closed client are refused with the typed error.
+	if err := cl.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("ping on closed client: %v, want ErrClientClosed", err)
+	}
+}
+
+// TestStatsReconcile drives a scripted workload through the wire and checks
+// that the server's OpStats snapshot and the client's local snapshot both
+// account for exactly the operations issued.
+func TestStatsReconcile(t *testing.T) {
+	backing, err := core.Create(core.Options{ArenaBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := startServer(t, backing)
+
+	const inserts, finds = 37, 11
+	for i := uint64(0); i < inserts; i++ {
+		if err := cl.Insert(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := cl.TagErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < finds; i++ {
+		if _, ok, err := cl.FindErr(i, v); err != nil || !ok {
+			t.Fatalf("find %d: %v %v", i, ok, err)
+		}
+	}
+
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]uint64{
+		"store.ops.insert":            inserts,
+		"store.ops.find":              finds,
+		"store.ops.tag":               1,
+		"net.server.frames_in.insert": inserts,
+		"net.server.frames_in.find":   finds,
+		"net.server.frames_in.stats":  1,
+	}
+	for name, want := range checks {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("server %s = %d, want %d", name, got, want)
+		}
+	}
+	// The arena metrics ride along via the store merge.
+	if got := snap.Counter("pmem.persist.calls"); got == 0 {
+		t.Errorf("pmem.persist.calls = %d, want > 0", got)
+	}
+	// Latency histograms exist and have observations (first op is sampled).
+	if h, ok := snap.Histograms["store.latency.insert"]; !ok || h.Count == 0 {
+		t.Errorf("store.latency.insert histogram missing or empty: %+v", h)
+	}
+
+	local := cl.ObsSnapshot()
+	for name, want := range map[string]uint64{
+		"net.client.ops.insert": inserts,
+		"net.client.ops.find":   finds,
+		"net.client.ops.tag":    1,
+		"net.client.ops.stats":  1,
+	} {
+		if got := local.Counter(name); got != want {
+			t.Errorf("client %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := local.Counter("net.client.retries"); got != 0 {
+		t.Errorf("net.client.retries = %d on a healthy wire", got)
+	}
+}
+
+// FuzzDecodeStats fuzzes the OpStats response decoder: whatever bytes a
+// (possibly hostile) server puts in the stats frame, DecodeSnapshot must
+// reject or accept without panicking, and accepted snapshots must re-encode.
+func FuzzDecodeStats(f *testing.F) {
+	// A genuine frame as the happy seed.
+	var s obs.Snapshot
+	s.SetCounter("store.ops.insert", 42)
+	s.SetGauge("store.keys", 7)
+	var h obs.Histogram
+	h.Observe(3 * time.Microsecond)
+	s.SetHist("store.latency.insert", &h)
+	if good, err := s.Encode(); err == nil {
+		f.Add(good)
+	}
+	// Malformed variants a buggy or hostile peer could ship.
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"counters":{"a":-1}}`))
+	f.Add([]byte(`{"counters":{"a":1}}{"counters":{"a":2}}`))
+	f.Add([]byte(`{"unexpected":{}}`))
+	f.Add([]byte(`{"histograms":{"h":{"buckets":{"999":1}}}}`))
+	f.Add([]byte(`{"counters":{"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := obs.DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if _, rerr := snap.Encode(); rerr != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", rerr)
+		}
+	})
+}
+

@@ -80,6 +80,12 @@ const (
 	// neither side ever materializes more than a chunk on the wire.
 	OpSnapshotChunk = 13 // version -> chunk stream
 	OpRangeChunk    = 14 // lo, hi, version -> chunk stream
+
+	// OpStats returns the server's observability snapshot: an empty request,
+	// answered with one frame whose payload is the JSON encoding of an
+	// obs.Snapshot (the server's wire metrics merged with the store's, when
+	// the store exposes ObsSnapshot). Idempotent; Client.Stats decodes it.
+	OpStats = 15 // () -> JSON obs.Snapshot
 )
 
 const (

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"runtime/debug"
 	"sync"
@@ -31,16 +30,21 @@ type ServerOptions struct {
 	// connection (0 = wait forever, which pooled clients rely on).
 	IdleTimeout time.Duration
 	// Logf receives server-side incident reports (handler panics). Nil
-	// uses the standard library logger.
+	// discards them — tests never write to a global logger by accident;
+	// inject log.Printf (as mvkvd does) to log to stderr. Incidents are
+	// counted in the server's metrics either way.
 	Logf func(format string, args ...any)
 }
 
-func (o ServerOptions) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+// logPanic reports one caught panic through the injected sink. The stack is
+// only captured when a sink is installed — debug.Stack is far too expensive
+// to format for a discarded message.
+func (s *Server) logPanic(c net.Conn, what string, r any) {
+	s.met.panics.Inc()
+	if s.opts.Logf == nil {
 		return
 	}
-	log.Printf(format, args...)
+	s.opts.Logf("kvnet: panic %s from %s: %v\n%s", what, c.RemoteAddr(), r, debug.Stack())
 }
 
 // Server exposes a kv.Store over TCP. Requests on one connection are
@@ -55,6 +59,8 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	met serverMetrics
 }
 
 // Serve starts a server for store on addr (e.g. "127.0.0.1:0") and returns
@@ -95,6 +101,8 @@ func (s *Server) acceptLoop() {
 		s.conns[c] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.met.connsTotal.Inc()
+		s.met.connsActive.Add(1)
 		go s.serveConn(c)
 	}
 }
@@ -106,12 +114,13 @@ func (s *Server) serveConn(c net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
+		s.met.connsActive.Add(-1)
 	}()
 	// Last-resort isolation: a panic escaping the per-request recovery
 	// (framing, response encoding) kills only this connection.
 	defer func() {
 		if r := recover(); r != nil {
-			s.opts.logf("kvnet: panic on connection %s: %v\n%s", c.RemoteAddr(), r, debug.Stack())
+			s.logPanic(c, "on connection", r)
 		}
 	}()
 	// Responses go through a buffered writer flushed once per response, so
@@ -122,7 +131,17 @@ func (s *Server) serveConn(c net.Conn) {
 		if err := writeFrame(bw, tag, payload); err != nil {
 			return err
 		}
-		return bw.Flush()
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		s.met.framesOut.Inc()
+		switch tag {
+		case statusChunk:
+			s.met.streamChunks.Inc()
+		case statusErr:
+			s.met.errResponses.Inc()
+		}
+		return nil
 	}
 	// sendTimed applies the per-frame write deadline; the chunked stream
 	// path sends many frames per request, so the deadline must re-arm per
@@ -140,6 +159,8 @@ func (s *Server) serveConn(c net.Conn) {
 		if err != nil {
 			return // connection closed, broken, oversized or stalled
 		}
+		s.met.framesIn.Inc()
+		s.met.countOp(op)
 		if op == OpSnapshotChunk || op == OpRangeChunk {
 			if !s.serveStream(c, op, req, sendTimed) {
 				return
@@ -197,8 +218,7 @@ func (s *Server) serveStream(c net.Conn, op byte, req []byte, send func(tag byte
 		// only this connection, reported in-band first when possible.
 		defer func() {
 			if r := recover(); r != nil {
-				s.opts.logf("kvnet: panic handling op %d from %s: %v\n%s",
-					op, c.RemoteAddr(), r, debug.Stack())
+				s.logPanic(c, fmt.Sprintf("handling op %d", op), r)
 				err = fmt.Errorf("%w: op %d: %v", ErrStorePanic, op, r)
 			}
 		}()
@@ -251,8 +271,7 @@ func (s *Server) serveStream(c net.Conn, op byte, req []byte, send func(tag byte
 func (s *Server) safeHandle(c net.Conn, op byte, req []byte) (resp []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.opts.logf("kvnet: panic handling op %d from %s: %v\n%s",
-				op, c.RemoteAddr(), r, debug.Stack())
+			s.logPanic(c, fmt.Sprintf("handling op %d", op), r)
 			resp, err = nil, fmt.Errorf("%w: op %d: %v", ErrStorePanic, op, r)
 		}
 	}()
@@ -352,6 +371,11 @@ func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 		return out, nil
 	case opPing:
 		return nil, nil
+	case OpStats:
+		if len(req) != 0 {
+			return nil, errBadRequest
+		}
+		return s.ObsSnapshot().Encode()
 	default:
 		return nil, fmt.Errorf("kvnet: unknown opcode %d", op)
 	}

@@ -1,0 +1,139 @@
+// Package obs is the repo's zero-dependency observability core: atomic
+// counters, gauges, and bounded latency histograms cheap enough to live on
+// the hot paths of every layer (pmem fences, store operations, wire frames,
+// cluster health transitions), plus an immutable Snapshot view that travels
+// across the wire (the kvnet OpStats op), into expvar (mvkvd -debug-addr),
+// and into benchmark artifacts (benchkv metric deltas).
+//
+// Design rules:
+//
+//   - Race-clean by construction: every mutating method is a single atomic
+//     operation; Snapshot reads are atomic loads. The package is safe under
+//     -race with zero locks on the instrument side.
+//   - Bounded: a Histogram is a fixed array of power-of-two buckets; no
+//     instrument ever allocates after creation.
+//   - Sampled timing: counting is exact (every operation increments its
+//     Counter), but latency timestamps are taken 1-in-SampleEvery operations
+//     (Sampled) so time.Now never dominates a nanosecond-scale hot path.
+//     Reconciliation tests therefore check counters, never histogram counts.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one and returns the new value (callers feed it to Sampled to
+// decide whether to take a timestamp for the companion Histogram).
+func (c *Counter) Inc() uint64 { return c.v.Add(1) }
+
+// Add adds n and returns the new value.
+func (c *Counter) Add(n uint64) uint64 { return c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (pool occupancy, live connections).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// SampleEvery is the latency sampling period: one in this many operations
+// takes a wall-clock timestamp.
+const SampleEvery = 64
+
+// Sampled reports whether the operation that received count n from
+// Counter.Inc should be timed. The first operation is always sampled, so
+// short workloads (smoke tests, CLI sessions) still populate histograms.
+func Sampled(n uint64) bool { return n%SampleEvery == 1 }
+
+// HistBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations v with 2^(i-1) <= v < 2^i (bucket 0: v <= 1). In
+// nanoseconds that spans 1ns to ~9 minutes, with the top bucket absorbing
+// anything larger.
+const HistBuckets = 40
+
+// Histogram is a bounded power-of-two histogram of non-negative values,
+// typically latencies in nanoseconds. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v)) // 0 for v==0, k for 2^(k-1) <= v < 2^k
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// ObserveValue records one raw observation (negative values clamp to zero).
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveSince records the elapsed time since start, or nothing when start
+// is the zero time — the no-op half of the sampled-timing idiom:
+//
+//	n := c.Inc()
+//	var start time.Time
+//	if obs.Sampled(n) {
+//		start = time.Now()
+//	}
+//	... the operation ...
+//	h.ObserveSince(start)
+func (h *Histogram) ObserveSince(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// Snap captures the histogram's current state. Concurrent observations may
+// land between the field loads; the snapshot is still internally plausible
+// (never panics, never regresses below a previously captured one).
+func (h *Histogram) Snap() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.max.Load(),
+	}
+	for i := range h.buckets {
+		if v := h.buckets[i].Load(); v != 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]uint64, 8)
+			}
+			s.Buckets[i] = v
+		}
+	}
+	return s
+}

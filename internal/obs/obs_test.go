@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	if got := c.Inc(); got != 1 {
+		t.Fatalf("Inc = %d", got)
+	}
+	if got := c.Add(9); got != 10 {
+		t.Fatalf("Add = %d", got)
+	}
+	if c.Load() != 10 {
+		t.Fatalf("Load = %d", c.Load())
+	}
+	var g Gauge
+	g.Set(5)
+	g.Add(-7)
+	if g.Load() != -2 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestSampled(t *testing.T) {
+	if !Sampled(1) {
+		t.Fatal("first operation must be sampled")
+	}
+	if Sampled(2) || Sampled(SampleEvery) {
+		t.Fatal("non-period operations sampled")
+	}
+	if !Sampled(SampleEvery + 1) {
+		t.Fatal("period+1 not sampled")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.ObserveValue(0) // bucket 0
+	h.ObserveValue(1) // bucket 1 (len64(1)=1)
+	h.ObserveValue(1000)
+	h.ObserveValue(-5) // clamps to 0
+	h.Observe(2 * time.Microsecond)
+	s := h.Snap()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MaxNs != 2000 {
+		t.Fatalf("max = %d", s.MaxNs)
+	}
+	if s.SumNs != 1+1000+2000 {
+		t.Fatalf("sum = %d", s.SumNs)
+	}
+	total := uint64(0)
+	for _, v := range s.Buckets {
+		total += v
+	}
+	if total != 5 {
+		t.Fatalf("bucket total = %d", total)
+	}
+	// Huge values land in the top bucket, never out of range.
+	h.ObserveValue(int64(^uint64(0) >> 1))
+	if b := bucketOf(int64(^uint64(0) >> 1)); b != HistBuckets-1 {
+		t.Fatalf("top bucket = %d", b)
+	}
+}
+
+func TestObserveSinceZeroIsNoop(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Time{})
+	if h.Snap().Count != 0 {
+		t.Fatal("zero start observed")
+	}
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if s := h.Snap(); s.Count != 1 || s.SumNs < int64(time.Millisecond) {
+		t.Fatalf("snap = %+v", s)
+	}
+}
+
+// TestConcurrent hammers every instrument from many goroutines while
+// snapshots are taken — the -race gate for the whole package.
+func TestConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Load()
+				_ = g.Load()
+				_ = h.Snap()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := c.Inc()
+				var start time.Time
+				if Sampled(n) {
+					start = time.Now()
+				}
+				g.Add(1)
+				h.ObserveSince(start)
+			}
+		}()
+	}
+	for c.Load() < workers*perWorker {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if c.Load() != workers*perWorker {
+		t.Fatalf("count = %d", c.Load())
+	}
+	if g.Load() != workers*perWorker {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+	s := h.Snap()
+	if s.Count == 0 || s.Count > workers*perWorker {
+		t.Fatalf("hist count = %d", s.Count)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	var s Snapshot
+	s.SetCounter("store.ops.insert", 42)
+	s.SetGauge("pmem.heap.used_bytes", -1)
+	s.SetHist("store.latency.insert", &h)
+	p, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counter("store.ops.insert") != 42 {
+		t.Fatalf("counter = %d", got.Counter("store.ops.insert"))
+	}
+	if got.Gauge("pmem.heap.used_bytes") != -1 {
+		t.Fatalf("gauge = %d", got.Gauge("pmem.heap.used_bytes"))
+	}
+	hs, ok := got.Histograms["store.latency.insert"]
+	if !ok || hs.Count != 1 || hs.SumNs != int64(time.Millisecond) {
+		t.Fatalf("hist = %+v ok=%v", hs, ok)
+	}
+}
+
+func TestDecodeSnapshotRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("garbage"),
+		[]byte("[1,2,3]"),
+		[]byte(`{"counters": "notamap"}`),
+		[]byte(`{"unknown_field": {}}`),
+		[]byte(`{"counters":{"a":1}} trailing`),
+		[]byte(`{"counters":{"a":-1}}`),
+		[]byte(`{"histograms":{"h":{"count":1,"sum_ns":0,"max_ns":0,"buckets":[1,2]}}}`),
+	}
+	for _, p := range bad {
+		if _, err := DecodeSnapshot(p); err == nil {
+			t.Fatalf("DecodeSnapshot(%q) accepted malformed input", p)
+		}
+	}
+	if _, err := DecodeSnapshot([]byte("{}")); err != nil {
+		t.Fatalf("empty object rejected: %v", err)
+	}
+}
+
+func TestMergeAndDelta(t *testing.T) {
+	var a, b Snapshot
+	a.SetCounter("x", 10)
+	a.SetCounter("only_a", 1)
+	a.SetGauge("g", 7)
+	b.SetCounter("x", 25)
+	b.SetCounter("only_b", 3)
+	m := a.Merge(b)
+	if m.Counter("x") != 25 || m.Counter("only_a") != 1 || m.Counter("only_b") != 3 || m.Gauge("g") != 7 {
+		t.Fatalf("merge = %+v", m)
+	}
+	d := b.Delta(a)
+	if d.Counter("x") != 15 {
+		t.Fatalf("delta x = %d", d.Counter("x"))
+	}
+	if d.Counter("only_b") != 3 {
+		t.Fatalf("delta only_b = %d", d.Counter("only_b"))
+	}
+	if _, ok := d.Counters["only_a"]; ok {
+		t.Fatal("delta kept a counter absent from the newer snapshot")
+	}
+	// Delta never underflows when prev raced ahead.
+	d2 := a.Delta(b)
+	if d2.Counter("x") != 0 {
+		t.Fatalf("clamped delta = %d", d2.Counter("x"))
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	var s Snapshot
+	s.SetCounter("b.counter", 2)
+	s.SetGauge("a.gauge", -3)
+	s.SetHist("c.hist", &h)
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a.gauge") || !strings.HasPrefix(lines[1], "b.counter") ||
+		!strings.HasPrefix(lines[2], "c.hist") {
+		t.Fatalf("unsorted output:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "count=1") {
+		t.Fatalf("hist line: %s", lines[2])
+	}
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time view of a set of named instruments. It is a
+// plain value: JSON-round-trippable (the OpStats wire payload), mergeable
+// across layers (a store snapshot unions the arena's), and subtractable
+// (benchmark deltas). Names are dotted paths — "pmem.persist.calls",
+// "store.ops.insert", "net.server.frames_in.op3" — each layer emitting
+// fully qualified names so merging is a plain union.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// HistSnapshot is the immutable view of a Histogram. Buckets maps bucket
+// index (see HistBuckets) to observation count; empty buckets are omitted.
+type HistSnapshot struct {
+	Count   uint64         `json:"count"`
+	SumNs   int64          `json:"sum_ns"`
+	MaxNs   int64          `json:"max_ns"`
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// MeanNs returns the mean observation, or 0 when empty.
+func (h HistSnapshot) MeanNs() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumNs / int64(h.Count)
+}
+
+// SetCounter records a counter value (allocating the map on first use).
+func (s *Snapshot) SetCounter(name string, v uint64) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64)
+	}
+	s.Counters[name] = v
+}
+
+// SetGauge records a gauge value.
+func (s *Snapshot) SetGauge(name string, v int64) {
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	s.Gauges[name] = v
+}
+
+// SetHist captures h under name. Empty histograms are skipped so snapshots
+// stay small on idle systems.
+func (s *Snapshot) SetHist(name string, h *Histogram) {
+	hs := h.Snap()
+	if hs.Count == 0 {
+		return
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistSnapshot)
+	}
+	s.Histograms[name] = hs
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Merge unions other into a copy of s. On a name collision other wins —
+// layers emit disjoint prefixes, so collisions only happen when a caller
+// deliberately re-snapshots the same instrument set.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	var out Snapshot
+	for n, v := range s.Counters {
+		out.SetCounter(n, v)
+	}
+	for n, v := range other.Counters {
+		out.SetCounter(n, v)
+	}
+	for n, v := range s.Gauges {
+		out.SetGauge(n, v)
+	}
+	for n, v := range other.Gauges {
+		out.SetGauge(n, v)
+	}
+	for n, v := range s.Histograms {
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistSnapshot)
+		}
+		out.Histograms[n] = v
+	}
+	for n, v := range other.Histograms {
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistSnapshot)
+		}
+		out.Histograms[n] = v
+	}
+	return out
+}
+
+// Delta returns s minus prev: counters and histogram counts subtract
+// (clamped at zero if prev raced ahead), gauges pass through s's current
+// value (an instantaneous reading has no meaningful difference). Counters
+// present only in prev are dropped; zero-valued deltas are kept so callers
+// can distinguish "unchanged" from "unknown".
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var out Snapshot
+	for n, v := range s.Counters {
+		p := prev.Counters[n]
+		if p > v {
+			p = v
+		}
+		out.SetCounter(n, v-p)
+	}
+	for n, v := range s.Gauges {
+		out.SetGauge(n, v)
+	}
+	for n, v := range s.Histograms {
+		p := prev.Histograms[n]
+		d := HistSnapshot{Count: v.Count - min(p.Count, v.Count), SumNs: v.SumNs - p.SumNs, MaxNs: v.MaxNs}
+		if d.SumNs < 0 {
+			d.SumNs = 0
+		}
+		if d.Count == 0 {
+			continue
+		}
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistSnapshot)
+		}
+		out.Histograms[n] = d
+	}
+	return out
+}
+
+// Encode renders the snapshot as the canonical JSON wire payload.
+func (s Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// maxSnapshotEntries bounds a decoded snapshot: a frame claiming more named
+// instruments than any real deployment emits is rejected rather than
+// ballooning memory.
+const maxSnapshotEntries = 1 << 16
+
+// ErrBadSnapshot reports an OpStats payload that does not decode as a
+// Snapshot.
+var ErrBadSnapshot = errors.New("obs: malformed snapshot payload")
+
+// DecodeSnapshot parses an OpStats wire payload. It never panics: malformed
+// input of any shape returns an error wrapping ErrBadSnapshot. Unknown
+// fields are rejected so a frame from a different protocol cannot silently
+// half-parse.
+func DecodeSnapshot(p []byte) (Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(bytes.NewReader(p))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	// A valid payload is exactly one JSON object.
+	if dec.More() {
+		return Snapshot{}, fmt.Errorf("%w: trailing data", ErrBadSnapshot)
+	}
+	if n := len(s.Counters) + len(s.Gauges) + len(s.Histograms); n > maxSnapshotEntries {
+		return Snapshot{}, fmt.Errorf("%w: %d entries exceeds limit", ErrBadSnapshot, n)
+	}
+	for name, h := range s.Histograms {
+		if len(h.Buckets) > HistBuckets {
+			return Snapshot{}, fmt.Errorf("%w: histogram %q has %d buckets", ErrBadSnapshot, name, len(h.Buckets))
+		}
+	}
+	return s, nil
+}
+
+// WriteText renders the snapshot as sorted, aligned, human-readable lines
+// (the mvkvctl stats default output).
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	width := 0
+	add := func(n string) {
+		names = append(names, n)
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for n := range s.Counters {
+		add(n)
+	}
+	for n := range s.Gauges {
+		add(n)
+	}
+	for n := range s.Histograms {
+		add(n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var err error
+		switch {
+		case s.Counters != nil && has(s.Counters, n):
+			_, err = fmt.Fprintf(w, "%-*s %d\n", width, n, s.Counters[n])
+		case s.Gauges != nil && has(s.Gauges, n):
+			_, err = fmt.Fprintf(w, "%-*s %d\n", width, n, s.Gauges[n])
+		default:
+			h := s.Histograms[n]
+			_, err = fmt.Fprintf(w, "%-*s count=%d mean=%v max=%v\n", width, n,
+				h.Count, time.Duration(h.MeanNs()), time.Duration(h.MaxNs))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func has[V any](m map[string]V, k string) bool {
+	_, ok := m[k]
+	return ok
+}

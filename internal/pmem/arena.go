@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mvkv/internal/obs"
 )
 
 // Ptr is a persistent pointer: a byte offset into an Arena. Offsets handed
@@ -76,10 +78,50 @@ type Arena struct {
 	file   *os.File // file-backed arenas
 	closed atomic.Bool
 
-	persistCount  atomic.Int64
+	persistCount  atomic.Int64 // monotonic; never resets (also pmem.persist.calls)
+	persistBase   atomic.Int64 // crash-point epoch start (set by LimitPersists)
 	persistBudget atomic.Int64 // <0 = unlimited (shadow crash-point testing)
+	met           arenaMetrics // adjacent to persistCount: Persist's two adds share a line
 
 	free freeLists
+}
+
+// arenaMetrics counts the arena's durability and allocation traffic. These
+// never reset. Persist calls are not duplicated here: they ride the
+// persistCount atomic that Persist already bumps for crash-point testing,
+// so the hot path pays for one add, not two. Everything else is a single
+// atomic add on the hot path; per-shard free-list counters live in
+// freeLists itself.
+type arenaMetrics struct {
+	persistBytes  obs.Counter // fenced bytes (cache-line rounded)
+	bumpAllocs    obs.Counter // blocks served by the bump pointer
+	recycledBytes obs.Counter // bytes served from recycled free-list blocks
+	frees         obs.Counter // Free calls
+	freeBytes     obs.Counter // bytes returned to the free lists
+	freelistHits  obs.Counter // Allocs served by a recycled block
+}
+
+// ObsSnapshot captures the arena's metrics under the "pmem." prefix.
+func (a *Arena) ObsSnapshot() obs.Snapshot {
+	var s obs.Snapshot
+	s.SetCounter("pmem.persist.calls", uint64(a.persistCount.Load()))
+	s.SetCounter("pmem.persist.bytes", a.met.persistBytes.Load())
+	// Bump-allocated bytes are the heap tail's growth, which Alloc already
+	// maintains atomically — only recycled bytes need their own counter, so
+	// the alloc hot paths stay at one metric add each.
+	s.SetCounter("pmem.alloc.calls", a.met.bumpAllocs.Load()+a.met.freelistHits.Load())
+	s.SetCounter("pmem.alloc.bytes", uint64(a.HeapUsed())+a.met.recycledBytes.Load())
+	s.SetCounter("pmem.free.calls", a.met.frees.Load())
+	s.SetCounter("pmem.free.bytes", a.met.freeBytes.Load())
+	s.SetCounter("pmem.freelist.hits", a.met.freelistHits.Load())
+	for i := range a.free.shards {
+		sh := &a.free.shards[i]
+		s.SetCounter(fmt.Sprintf("pmem.freelist.shard%d.puts", i), sh.puts.Load())
+		s.SetCounter(fmt.Sprintf("pmem.freelist.shard%d.takes", i), sh.takes.Load())
+	}
+	s.SetGauge("pmem.heap.used_bytes", a.HeapUsed())
+	s.SetGauge("pmem.size_bytes", a.Size())
+	return s
 }
 
 // New creates a memory-backed arena with the given capacity in bytes
@@ -313,8 +355,10 @@ func (a *Arena) Persist(p Ptr, n int64) {
 	if a.stable != nil {
 		// Crash-point testing: once the armed persist budget is used up,
 		// further Persist calls silently stop reaching the stable image,
-		// simulating a crash at exactly that boundary.
-		if budget := a.persistBudget.Load(); budget >= 0 && c > budget {
+		// simulating a crash at exactly that boundary. The budget counts
+		// from the epoch LimitPersists recorded, so persistCount itself
+		// can stay monotonic for the metrics.
+		if budget := a.persistBudget.Load(); budget >= 0 && c-a.persistBase.Load() > budget {
 			effective = false
 		}
 	}
@@ -329,17 +373,25 @@ func (a *Arena) Persist(p Ptr, n int64) {
 		}
 	}
 	if d := a.cfg.persistLatency; d > 0 {
-		spinWait(time.Duration(lines) * d)
+		// Anchor the deadline first so the byte accounting runs inside the
+		// modeled fence stall: with the latency model active, instrumenting
+		// the fence costs no wall time at all.
+		deadline := time.Now().Add(time.Duration(lines) * d)
+		a.met.persistBytes.Add(uint64(lines) * CacheLine)
+		spinUntil(deadline)
+	} else {
+		a.met.persistBytes.Add(uint64(lines) * CacheLine)
 	}
 }
 
 // PersistLatency reports the configured per-line persist latency.
 func (a *Arena) PersistLatency() time.Duration { return a.cfg.persistLatency }
 
-// PersistCount reports how many Persist calls have executed. In shadow
-// mode it enumerates crash points (LimitPersists restarts it); in direct
-// mode it measures persist-fence traffic for benchmarks.
-func (a *Arena) PersistCount() int64 { return a.persistCount.Load() }
+// PersistCount reports how many Persist calls have executed since the last
+// LimitPersists (or ever, if it was never called). In shadow mode it
+// enumerates crash points; in direct mode it measures persist-fence traffic
+// for benchmarks.
+func (a *Arena) PersistCount() int64 { return a.persistCount.Load() - a.persistBase.Load() }
 
 // LimitPersists arms crash-point testing (shadow mode): only the next n
 // Persist calls take effect, after which persistence silently stops —
@@ -349,15 +401,14 @@ func (a *Arena) LimitPersists(n int64) {
 	if a.stable == nil {
 		panic("pmem: LimitPersists requires WithShadow")
 	}
-	a.persistCount.Store(0)
+	a.persistBase.Store(a.persistCount.Load())
 	a.persistBudget.Store(n)
 }
 
-// spinWait busy-waits for approximately d. Short persist latencies are far
+// spinUntil busy-waits until deadline. Short persist latencies are far
 // below time.Sleep granularity, and the busy CPU models the stalled store
 // buffer of a real flush.
-func spinWait(d time.Duration) {
-	deadline := time.Now().Add(d)
+func spinUntil(deadline time.Time) {
 	for time.Now().Before(deadline) {
 	}
 }
@@ -428,6 +479,8 @@ func (a *Arena) Alloc(n int64) (Ptr, error) {
 	}
 	n = (n + wordSize - 1) / wordSize * wordSize
 	if p := a.free.take(n); p != NullPtr {
+		a.met.recycledBytes.Add(uint64(n))
+		a.met.freelistHits.Inc()
 		// Reused blocks may hold durable garbage from their previous life;
 		// persist the zeroing so a crash cannot resurrect it.
 		a.ZeroWords(p, int(n/wordSize))
@@ -442,6 +495,7 @@ func (a *Arena) Alloc(n int64) (Ptr, error) {
 		return NullPtr, fmt.Errorf("%w: need %d bytes, %d in use of %d",
 			ErrOutOfMemory, n, a.HeapUsed(), a.Size())
 	}
+	a.met.bumpAllocs.Inc()
 	// Persist the tail so that, after a crash, the persisted tail is >= any
 	// allocation that was handed out before this Persist completed. Space
 	// between a stale persisted tail and the true tail leaks, never
@@ -478,6 +532,7 @@ func (a *Arena) AllocBatch(sizes []int64) ([]Ptr, error) {
 		return nil, fmt.Errorf("%w: need %d bytes, %d in use of %d",
 			ErrOutOfMemory, total, a.HeapUsed(), a.Size())
 	}
+	a.met.bumpAllocs.Add(uint64(len(sizes)))
 	a.Persist(Ptr(offHeapTail*wordSize), wordSize)
 	start := Ptr(end - uint64(total))
 	a.ZeroWords(start, int(total/wordSize))
@@ -515,6 +570,8 @@ func (a *Arena) Free(p Ptr, n int64) {
 		return
 	}
 	n = (n + wordSize - 1) / wordSize * wordSize
+	a.met.frees.Inc()
+	a.met.freeBytes.Add(uint64(n))
 	a.free.put(p, n)
 }
 
@@ -531,6 +588,9 @@ const freeShards = 16
 type freeShard struct {
 	mu     sync.Mutex
 	bySize map[int64][]Ptr
+
+	puts  obs.Counter // blocks parked on this shard
+	takes obs.Counter // blocks recycled from this shard
 }
 
 func (f *freeLists) init() {
@@ -550,6 +610,7 @@ func (f *freeLists) reset() {
 
 func (f *freeLists) put(p Ptr, n int64) {
 	s := &f.shards[f.next.Add(1)%freeShards]
+	s.puts.Inc()
 	s.mu.Lock()
 	s.bySize[n] = append(s.bySize[n], p)
 	s.mu.Unlock()
@@ -567,6 +628,7 @@ func (f *freeLists) take(n int64) Ptr {
 			p := lst[len(lst)-1]
 			s.bySize[n] = lst[:len(lst)-1]
 			s.mu.Unlock()
+			s.takes.Inc()
 			return p
 		}
 		s.mu.Unlock()

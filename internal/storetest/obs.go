@@ -1,0 +1,91 @@
+package storetest
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mvkv/internal/obs"
+)
+
+// obsStore is implemented by stores that expose an observability snapshot
+// (core.Store, kvnet.Server-backed clients do not — the suite only runs
+// this phase when the store itself carries metrics).
+type obsStore interface {
+	ObsSnapshot() obs.Snapshot
+}
+
+// testMetricsConformance checks that a store's op counters reconcile
+// exactly with the operations the suite issues: whatever a store counts
+// under ".ops.<name>" must move by precisely the number of <name> calls.
+// A concurrent snapshot reader runs throughout so the race detector
+// exercises snapshotting against a mutating store.
+func testMetricsConformance(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	os, ok := s.(obsStore)
+	if !ok {
+		t.Skip("store exposes no ObsSnapshot")
+	}
+	before := os.ObsSnapshot()
+
+	// Hammer snapshots concurrently with the scripted workload: the value
+	// under test is that ObsSnapshot is safe against mutation, not what
+	// the mid-flight snapshots contain.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = os.ObsSnapshot()
+			}
+		}
+	}()
+
+	const inserts, removes, finds, tags = 64, 8, 32, 3
+	for i := uint64(0); i < inserts; i++ {
+		must(t, s.Insert(i, i*2))
+	}
+	for i := uint64(0); i < removes; i++ {
+		must(t, s.Remove(i))
+	}
+	var v uint64
+	for i := 0; i < tags; i++ {
+		v = s.Tag()
+	}
+	for i := uint64(0); i < finds; i++ {
+		s.Find(i, v)
+	}
+	close(stop)
+	wg.Wait()
+
+	delta := os.ObsSnapshot().Delta(before)
+	want := map[string]uint64{
+		"insert": inserts,
+		"remove": removes,
+		"find":   finds,
+		"tag":    tags,
+	}
+	seen := 0
+	for name, got := range delta.Counters {
+		i := strings.Index(name, ".ops.")
+		if i < 0 {
+			continue
+		}
+		w, tracked := want[name[i+len(".ops."):]]
+		if !tracked {
+			continue
+		}
+		seen++
+		if got != w {
+			t.Errorf("%s moved by %d, want %d", name, got, w)
+		}
+	}
+	if seen == 0 {
+		t.Error("store exposes ObsSnapshot but no insert/remove/find/tag op counters")
+	}
+}

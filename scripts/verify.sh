@@ -12,6 +12,10 @@
 #      under the default 200ns emulated persist latency
 #   7. extract-figure smoke: benchkv extract must produce a well-formed
 #      BENCH_extract.json with every row a full, non-empty extraction
+#   8. observability: race-enabled obs suite, then an end-to-end smoke —
+#      start mvkvd with -debug-addr, drive a scripted workload through
+#      mvkvctl, and require `mvkvctl stats` and the expvar endpoint to
+#      reconcile exactly with the operations issued
 #
 # Exits non-zero on the first failing gate.
 set -euo pipefail
@@ -69,5 +73,49 @@ if grep -q '"pairs": 0' "$extjson"; then
   exit 1
 fi
 echo "extract-figure smoke: $(grep -c '"figure"' "$extjson") rows, all non-empty"
+
+echo "== gate 9: observability (race + live smoke) =="
+go test -race -short ./internal/obs/
+
+tmpdir="$(dirname "$tmpbin")"
+go build -o "$tmpdir/mvkvd" ./cmd/mvkvd
+go build -o "$tmpdir/mvkvctl" ./cmd/mvkvctl
+"$tmpdir/mvkvd" -pool "$tmpdir/obs.pool" -create -size 67108864 \
+  -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 2>"$tmpdir/mvkvd.log" &
+mvkvd_pid=$!
+trap 'kill "$mvkvd_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/.*serving pool .* on \([0-9.:]*\) .*/\1/p' "$tmpdir/mvkvd.log" | head -1)"
+  dbg="$(sed -n 's|.*debug listener on http://\([0-9.:]*\)/debug/.*|\1|p' "$tmpdir/mvkvd.log" | head -1)"
+  [ -n "$addr" ] && [ -n "$dbg" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ] || [ -z "$dbg" ]; then
+  echo "FAIL: mvkvd did not announce its listeners"; cat "$tmpdir/mvkvd.log"; exit 1
+fi
+"$tmpdir/mvkvctl" put  "tcp://$addr" 1 10 2 20 >/dev/null
+"$tmpdir/mvkvctl" tag  "tcp://$addr" >/dev/null
+"$tmpdir/mvkvctl" get  "tcp://$addr" 1 >/dev/null
+stats="$("$tmpdir/mvkvctl" stats "tcp://$addr" -json)"
+for want in '"store.ops.insert": 2' '"store.ops.find": 1' '"store.ops.tag": 1'; do
+  if ! printf '%s' "$stats" | grep -qF "$want"; then
+    echo "FAIL: mvkvctl stats does not reconcile: missing $want"
+    printf '%s\n' "$stats"; exit 1
+  fi
+done
+if command -v curl >/dev/null; then
+  vars="$(curl -s "http://$dbg/debug/vars")"
+else
+  vars="$(wget -qO- "http://$dbg/debug/vars")"
+fi
+# expvar emits compact JSON (no space after the colon)
+for want in '"store.ops.insert":2' '"store.ops.find":1'; do
+  if ! printf '%s' "$vars" | grep -qF "$want"; then
+    echo "FAIL: expvar does not agree with mvkvctl stats: missing $want"; exit 1
+  fi
+done
+kill "$mvkvd_pid"; wait "$mvkvd_pid" 2>/dev/null || true
+echo "observability smoke: wire stats and expvar reconcile with the scripted workload"
 
 echo "verify: all gates passed"
