@@ -8,6 +8,12 @@
 //	mvkvd -pool store.pool [-create -size 1073741824] [-addr 127.0.0.1:7654]
 //	      [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 0]
 //	      [-debug-addr 127.0.0.1:0]
+//	      [-group-commit [-gc-max-run 512] [-gc-flush-interval 0]]
+//
+// -group-commit turns on the asynchronous write pipeline: concurrent
+// writes (each arriving on its own connection) are coalesced into shared
+// batched-append runs with merged persist fences; see the store.gc.*
+// metrics for runs, pairs and persists-per-entry.
 //
 // -debug-addr starts an HTTP debug listener exposing /debug/vars (expvar,
 // including the full metric snapshot under "mvkv"), /debug/pprof/*, and
@@ -41,6 +47,9 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "deadline to write one response (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "deadline for an idle connection to send its next request (0 = keep forever)")
 		debugAddr    = flag.String("debug-addr", "", "HTTP debug listener (expvar, pprof, /debug/mvkv); empty = disabled")
+		groupCommit  = flag.Bool("group-commit", false, "coalesce concurrent writes into shared group-commit runs (amortized persist fences)")
+		gcMaxRun     = flag.Int("gc-max-run", 0, "max pairs per group-commit run (0 = default 512)")
+		gcFlushEvery = flag.Duration("gc-flush-interval", 0, "wait this long for more writers before flushing a non-full run (0 = flush greedily)")
 	)
 	flag.Parse()
 	if *pool == "" {
@@ -49,12 +58,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	copts := core.Options{
+		Path:                     *pool,
+		GroupCommit:              *groupCommit,
+		GroupCommitMaxRun:        *gcMaxRun,
+		GroupCommitFlushInterval: *gcFlushEvery,
+	}
 	var s *core.Store
 	var err error
 	if *create {
-		s, err = core.Create(core.Options{Path: *pool, ArenaBytes: *size})
+		copts.ArenaBytes = *size
+		s, err = core.Create(copts)
 	} else {
-		s, err = core.Open(core.Options{Path: *pool})
+		s, err = core.Open(copts)
 		if err == nil {
 			st := s.RecoveryStats()
 			log.Printf("recovered %d keys / %d entries (%d pruned) with %d threads in %v",

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"mvkv/internal/blockchain"
 	"mvkv/internal/kv"
 	"mvkv/internal/vhistory"
@@ -36,6 +38,9 @@ func (s *Store) InsertBatch(pairs []kv.KV) error {
 	if len(pairs) == 0 {
 		return nil
 	}
+	if s.gc != nil {
+		return s.gc.submit(pairs)
+	}
 	return s.appendBatchAt(s.currentVersion(), pairs)
 }
 
@@ -53,17 +58,26 @@ func (s *Store) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
 // appendBatchAt is the batched analogue of appendAt. The phase order is
 // what preserves the durability invariant (entry data durable before its
 // commit number is claimed; the number durable before announced; per-key
-// numbers strictly increasing in slot order):
+// numbers strictly increasing in slot order) while keeping the error paths
+// rollback-clean (a failed batch must leave no claimed-but-never-staged
+// slot behind — the group-commit dispatcher keeps writing after an OOM):
 //
-//  1. group pairs by key and claim one contiguous slot run per key;
-//  2. allocate headers for new keys and any missing segments in two
-//     batched allocations (blocks come out byte-adjacent, so later fences
-//     merge);
-//  3. fence new headers (key + directory words), then publish them in the
-//     key block chain — reachability before any commit can refer to them;
-//  4. stage all version/value words and fence the merged spans;
-//  5. claim commit numbers in batch order and store them (volatile);
-//  6. fence the same spans again — now covering every seq word — and only
+//  1. group pairs by key and predict, from the current claim counts, which
+//     headers and segments the batch will need;
+//  2. allocate all of them in one batched allocation (blocks come out
+//     byte-adjacent, so later fences merge); on failure nothing has been
+//     claimed, created, or published — the batch simply did not happen and
+//     the store stays writable;
+//  3. create fresh histories, link predicted segments, fence new headers
+//     (key + directory words), then publish them in the key block chain —
+//     reachability before any commit can refer to them;
+//  4. claim one contiguous slot run per key and repair any segment the
+//     prediction missed (only racing appenders can move a run past its
+//     predicted segments; an allocation failure here rolls every claim
+//     back);
+//  5. stage all version/value words and fence the merged spans;
+//  6. claim commit numbers in batch order and store them (volatile);
+//  7. fence the same spans again — now covering every seq word — and only
 //     then announce the commits to the clock.
 func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 	if s.wedged.Load() {
@@ -82,76 +96,71 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 		g.values = append(g.values, p.Value)
 	}
 
-	// Resolve histories; batch-allocate headers for keys the index lacks.
-	var missing []*batchGroup
-	for _, g := range groups {
-		if h, ok := s.index.Get(g.key); ok {
-			g.h = h
-		} else {
-			missing = append(missing, g)
-		}
-	}
-	if len(missing) > 0 {
-		sizes := make([]int64, len(missing))
-		for i := range sizes {
-			sizes[i] = vhistory.PHeaderBytes
-		}
-		heads, err := s.arena.AllocBatch(sizes)
-		if err != nil {
-			s.wedged.Store(true)
-			return err
-		}
-		for i, g := range missing {
-			nh := vhistory.NewPHistoryAt(s.arena, heads[i], g.key)
-			g.h, g.fresh = s.index.GetOrCreate(g.key,
-				func() *vhistory.PHistory { return nh },
-				func(loser *vhistory.PHistory) { loser.FreeUnpublished(s.arena) },
-			)
-		}
-	}
-
-	// Claim runs, then batch-allocate and link every missing segment.
-	for _, g := range groups {
-		g.start = g.h.ClaimRun(len(g.values))
-	}
+	// Phase 1: resolve histories and predict every needed block. The
+	// prediction is exact when this call is the only writer (the dispatcher
+	// case) and merely advisory under racing appenders, who can move a
+	// run's slots past the predicted segments; phase 4 repairs the gap.
 	type segNeed struct {
 		g   *batchGroup
 		seg int
 	}
+	var missing []*batchGroup
 	var needs []segNeed
-	var segSizes []int64
+	var sizes []int64
 	for _, g := range groups {
-		first, last := vhistory.RunSegments(g.start, len(g.values))
+		var hint uint64
+		if h, ok := s.index.Get(g.key); ok {
+			g.h = h
+			hint = h.PendingHint()
+		} else {
+			missing = append(missing, g)
+			sizes = append(sizes, vhistory.PHeaderBytes)
+		}
+		first, last := vhistory.RunSegments(hint, len(g.values))
 		g.lastSeg = last
 		for seg := first; seg <= last; seg++ {
-			if g.h.SegmentMissing(s.arena, seg) {
+			if g.h == nil || g.h.SegmentMissing(s.arena, seg) {
 				needs = append(needs, segNeed{g, seg})
-				segSizes = append(segSizes, vhistory.PSegBytes(seg))
 			}
 		}
 	}
-	if len(needs) > 0 {
-		segs, err := s.arena.AllocBatch(segSizes)
-		if err != nil {
-			s.wedged.Store(true)
-			return err
-		}
-		for i, nd := range needs {
-			if !nd.g.h.InstallSegment(s.arena, nd.seg, segs[i]) {
-				s.arena.Free(segs[i], segSizes[i])
-			}
-			if !nd.g.fresh {
-				// Published history: fence the directory word now (whoever
-				// won the link race), so none of our commit numbers can
-				// become durable ahead of the segment's reachability.
-				sp := nd.g.h.DirSpan(nd.seg)
-				s.arena.Persist(sp.P, sp.N)
-			}
-		}
+	for _, nd := range needs {
+		sizes = append(sizes, vhistory.PSegBytes(nd.seg))
 	}
 
-	// Fence fresh headers, then publish them — each durably reachable
-	// before its first commit number can be claimed below.
+	// Phase 2: one all-or-nothing allocation wave. Headers come first, so
+	// fresh keys' segments land right behind their headers and the staging
+	// fences below merge across objects.
+	blocks, err := s.arena.AllocBatch(sizes)
+	if err != nil {
+		return err
+	}
+	heads, segBlocks := blocks[:len(missing)], blocks[len(missing):]
+
+	// Phase 3: create fresh histories, link the predicted segments, then
+	// publish. The loser of a duplicate-key index race frees its header
+	// before any segment is linked to it, so nothing else needs unwinding.
+	for i, g := range missing {
+		nh := vhistory.NewPHistoryAt(s.arena, heads[i], g.key)
+		g.h, g.fresh = s.index.GetOrCreate(g.key,
+			func() *vhistory.PHistory { return nh },
+			func(loser *vhistory.PHistory) { loser.FreeUnpublished(s.arena) },
+		)
+	}
+	for i, nd := range needs {
+		if !nd.g.h.InstallSegment(s.arena, nd.seg, segBlocks[i]) {
+			s.arena.Free(segBlocks[i], vhistory.PSegBytes(nd.seg))
+			continue
+		}
+		if !nd.g.fresh {
+			// Published history: fence the directory word now (whoever
+			// won the link race), so none of our commit numbers can
+			// become durable ahead of the segment's reachability. Fresh
+			// histories' directory words ride the header fence below.
+			sp := nd.g.h.DirSpan(nd.seg)
+			s.arena.Persist(sp.P, sp.N)
+		}
+	}
 	var freshPairs []blockchain.Pair
 	for _, g := range groups {
 		if !g.fresh {
@@ -169,8 +178,38 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 			}
 		}
 		if err != nil {
+			// The chain is the durable key registry; failing to extend it
+			// cannot be unwound, so refuse all further writes. No run has
+			// been claimed yet.
 			s.wedged.Store(true)
 			return err
+		}
+	}
+
+	// Phase 4: claim the runs and repair any segment the prediction
+	// missed. An allocation failure here (rare: it needs both a racing
+	// appender and an exhausted arena) rolls every claim back; only if a
+	// racer has already claimed past one of our runs is the hole
+	// unreclaimable and the store wedges (see vhistory.ErrSlotLeaked).
+	for _, g := range groups {
+		g.start = g.h.ClaimRun(len(g.values))
+	}
+	for _, g := range groups {
+		first, last := vhistory.RunSegments(g.start, len(g.values))
+		for seg := first; seg <= last; seg++ {
+			if !g.h.SegmentMissing(s.arena, seg) {
+				continue
+			}
+			fresh, err := s.arena.Alloc(vhistory.PSegBytes(seg))
+			if err != nil {
+				return s.rollbackRuns(groups, err)
+			}
+			if g.h.InstallSegment(s.arena, seg, fresh) {
+				sp := g.h.DirSpan(seg)
+				s.arena.Persist(sp.P, sp.N)
+			} else {
+				s.arena.Free(fresh, vhistory.PSegBytes(seg))
+			}
 		}
 	}
 
@@ -201,6 +240,24 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 		s.clock.Commit(seq)
 	}
 	return nil
+}
+
+// rollbackRuns unclaims every group's (entirely unstaged) run after a
+// phase-4 allocation failure and returns the cause, so the batch fails
+// without consuming history slots. If any rollback loses its race the
+// affected history has an unstageable hole and the store wedges.
+func (s *Store) rollbackRuns(groups []*batchGroup, cause error) error {
+	leaked := false
+	for _, g := range groups {
+		if !g.h.UnclaimRun(g.start, len(g.values)) {
+			leaked = true
+		}
+	}
+	if leaked {
+		s.wedged.Store(true)
+		return fmt.Errorf("core: %w: %w", vhistory.ErrSlotLeaked, cause)
+	}
+	return cause
 }
 
 var _ kv.BulkStore = (*Store)(nil)

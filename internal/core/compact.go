@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"mvkv/internal/kv"
@@ -100,6 +101,14 @@ func compactEvents(events []kv.Event, cut uint64) []kv.Event {
 // appendAt is the version-explicit write used by compaction: it routes
 // through the normal insert path but records the caller's version rather
 // than the store's current one. Values may be the removal marker.
+//
+// Error paths are rollback-clean where the protocol allows: a header
+// allocation failure touches nothing, and vhistory.Append unclaims its
+// slot on a segment allocation failure, so an out-of-memory error leaves
+// the store writable (smaller appends may still fit, and the free lists
+// may refill). Only unrecoverable states wedge it: a key block chain that
+// could not be extended (the durable registry is now behind the index) or
+// a claimed slot that could not be given back (ErrSlotLeaked).
 func (s *Store) appendAt(key, version, value uint64) error {
 	if s.wedged.Load() {
 		return ErrWedged
@@ -108,7 +117,6 @@ func (s *Store) appendAt(key, version, value uint64) error {
 	if !ok {
 		nh, err := vhistory.NewPHistory(s.arena, key)
 		if err != nil {
-			s.wedged.Store(true)
 			return err
 		}
 		var created bool
@@ -126,7 +134,9 @@ func (s *Store) appendAt(key, version, value uint64) error {
 		}
 	}
 	if err := h.Append(s.arena, version, value, s.clock); err != nil {
-		s.wedged.Store(true)
+		if errors.Is(err, vhistory.ErrSlotLeaked) {
+			s.wedged.Store(true)
+		}
 		return err
 	}
 	return nil

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/obs"
+)
+
+// ErrClosed is returned by writes submitted after Close began.
+var ErrClosed = errors.New("core: store is closed")
+
+// Group commit turns concurrent uncoordinated single appends into shared
+// batched-append runs (the write-pipeline analogue of NoKV's doWrites
+// dispatcher, and of classic database group commit). Writers hand their
+// pairs to a bounded channel and block on a completion future; a single
+// dispatcher goroutine drains the channel, coalescing everything pending
+// into one run through the batched-append phases (appendBatchAt), whose
+// MergeSpans fence coalescing amortizes the persist cost across all the
+// writers that happened to be in flight together.
+//
+// Semantics are unchanged from the direct path: a writer's call returns
+// only after its entries are durable and announced, so anything it does
+// afterwards (a Tag, a dependent write) is ordered after them, and a
+// crash never loses an acknowledged write. The run's version is read once
+// at flush time — after every writer in the run has blocked — which
+// orders the run against Tag exactly as an uncoordinated interleaving
+// could have. Durability ordering inside a run is appendBatchAt's phase
+// protocol, unchanged; the crash-point sweep runs over coalesced,
+// marker-bearing runs to pin this down.
+//
+// Because the dispatcher is the store's only history claimant (Insert,
+// Remove, and InsertBatch all route through it; AppendAt is documented
+// replay-only), the rollback-clean error paths of appendBatchAt are exact:
+// an out-of-memory run fails its writers but never wedges the store or
+// leaks a claimed slot, and later, smaller runs may still succeed.
+type groupCommitter struct {
+	s     *Store
+	reqCh chan *writeReq
+
+	// closemu serializes writers against Close: submit holds the read
+	// side across its send so Close (write side) cannot close reqCh while
+	// a send is in flight. Writers blocked on a full channel hold the
+	// read lock, but the dispatcher keeps draining until reqCh is closed,
+	// which Close does only after acquiring the write lock — so the locks
+	// always drain, never deadlock.
+	closemu sync.RWMutex
+	closed  bool
+
+	drained chan struct{} // closed when the dispatcher has exited
+
+	maxRun        int
+	flushInterval time.Duration
+}
+
+// writeReq is one writer's unit of work: its pairs ride exactly one run,
+// and done resolves with that run's error once the run is durable.
+type writeReq struct {
+	pairs []kv.KV
+	done  chan error
+}
+
+func newGroupCommitter(s *Store) *groupCommitter {
+	gc := &groupCommitter{
+		s:             s,
+		reqCh:         make(chan *writeReq, s.opts.GroupCommitQueue),
+		drained:       make(chan struct{}),
+		maxRun:        s.opts.GroupCommitMaxRun,
+		flushInterval: s.opts.GroupCommitFlushInterval,
+	}
+	go gc.run()
+	return gc
+}
+
+// submit enqueues pairs as one atomic unit and blocks until the run that
+// carried them is durable (or failed). The bounded channel is the
+// pipeline's backpressure: with the queue full, writers wait their turn.
+func (gc *groupCommitter) submit(pairs []kv.KV) error {
+	r := &writeReq{pairs: pairs, done: make(chan error, 1)}
+	gc.closemu.RLock()
+	if gc.closed {
+		gc.closemu.RUnlock()
+		return ErrClosed
+	}
+	gc.reqCh <- r
+	gc.closemu.RUnlock()
+	return <-r.done
+}
+
+// close stops the pipeline: new submits fail with ErrClosed, everything
+// already enqueued is flushed and resolved, then the dispatcher exits.
+// Idempotent; concurrent callers all block until the drain completes.
+func (gc *groupCommitter) close() {
+	gc.closemu.Lock()
+	already := gc.closed
+	gc.closed = true
+	gc.closemu.Unlock()
+	if !already {
+		close(gc.reqCh)
+	}
+	<-gc.drained
+}
+
+// run is the dispatcher: block for a first request, greedily absorb
+// whatever else is pending (bounded by maxRun pairs, optionally waiting
+// flushInterval to let more writers arrive), commit it all as one run,
+// resolve the futures, repeat.
+func (gc *groupCommitter) run() {
+	defer close(gc.drained)
+	for {
+		first, ok := <-gc.reqCh
+		if !ok {
+			return
+		}
+		gc.commit(gc.collect(first))
+	}
+}
+
+// collect gathers the requests of one run. A single request larger than
+// maxRun still commits (alone); the cap only stops further coalescing.
+func (gc *groupCommitter) collect(first *writeReq) []*writeReq {
+	reqs := []*writeReq{first}
+	n := len(first.pairs)
+	if gc.flushInterval > 0 && n < gc.maxRun {
+		timer := time.NewTimer(gc.flushInterval)
+	timed:
+		for n < gc.maxRun {
+			select {
+			case r, ok := <-gc.reqCh:
+				if !ok {
+					break timed
+				}
+				reqs = append(reqs, r)
+				n += len(r.pairs)
+			case <-timer.C:
+				break timed
+			}
+		}
+		timer.Stop()
+	}
+greedy:
+	for n < gc.maxRun {
+		select {
+		case r, ok := <-gc.reqCh:
+			if !ok {
+				break greedy
+			}
+			reqs = append(reqs, r)
+			n += len(r.pairs)
+		default:
+			break greedy
+		}
+	}
+	return reqs
+}
+
+// commit flushes one run and resolves its writers. All of a run's writers
+// share its outcome: the batched phases either complete for every entry or
+// (allocation failure) roll back for every entry, so there is no partial
+// acknowledgment to report.
+func (gc *groupCommitter) commit(reqs []*writeReq) {
+	s := gc.s
+	var start time.Time
+	if obs.Sampled(s.met.gcRuns.Inc()) {
+		start = time.Now()
+	}
+	var pairs []kv.KV
+	if len(reqs) == 1 {
+		pairs = reqs[0].pairs
+	} else {
+		n := 0
+		for _, r := range reqs {
+			n += len(r.pairs)
+		}
+		pairs = make([]kv.KV, 0, n)
+		for _, r := range reqs {
+			pairs = append(pairs, r.pairs...)
+		}
+	}
+	p0 := s.arena.PersistCount()
+	var err error
+	if len(pairs) == 1 {
+		// A lone writer takes the single-append path: same durability
+		// protocol, no grouping bookkeeping.
+		err = s.appendAt(pairs[0].Key, s.currentVersion(), pairs[0].Value)
+	} else {
+		err = s.appendBatchAt(s.currentVersion(), pairs)
+	}
+	s.met.gcPairs.Add(uint64(len(pairs)))
+	s.met.gcPersists.Add(uint64(s.arena.PersistCount() - p0))
+	s.met.gcRunSize.ObserveValue(int64(len(pairs)))
+	if !start.IsZero() {
+		s.met.gcFlushLat.ObserveSince(start)
+	}
+	for _, r := range reqs {
+		r.done <- err
+	}
+}
+
+// queueDepth reports the requests currently waiting in the channel.
+func (gc *groupCommitter) queueDepth() int { return len(gc.reqCh) }

@@ -1,0 +1,526 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+func newGCStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	opts.GroupCommit = true
+	if opts.ArenaBytes == 0 {
+		opts.ArenaBytes = 16 << 20
+	}
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestGroupCommitBasic drives the pipeline with a single writer: every
+// Table-1 operation must behave exactly as on the direct path.
+func TestGroupCommitBasic(t *testing.T) {
+	s := newGCStore(t, Options{})
+	defer s.Close()
+
+	if err := s.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tag(); got != 0 {
+		t.Fatalf("Tag = %d, want 0", got)
+	}
+	if err := s.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertBatch([]kv.KV{{Key: 3, Value: 30}, {Key: 1, Value: 11}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Find(1, 0); !ok || v != 10 {
+		t.Fatalf("Find(1, 0) = %d,%v want 10,true", v, ok)
+	}
+	// In version 1 key 1 was removed and then re-inserted as 11: the later
+	// history entry wins.
+	if v, ok := s.Find(1, 1); !ok || v != 11 {
+		t.Fatalf("Find(1, 1) = %d,%v want 11,true", v, ok)
+	}
+	if v, ok := s.Find(3, 1); !ok || v != 30 {
+		t.Fatalf("Find(3, 1) = %d,%v want 30,true", v, ok)
+	}
+	if err := s.Insert(9, kv.Marker); !errors.Is(err, ErrMarkerValue) {
+		t.Fatalf("marker insert: %v", err)
+	}
+}
+
+// TestGroupCommitConcurrentWriters hammers the pipeline with uncoordinated
+// writers over disjoint keys and checks every acknowledged write is
+// readable, then that the writers actually shared runs (fewer runs than
+// writes once concurrency ramps up).
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	s := newGCStore(t, Options{})
+	defer s.Close()
+
+	const writers, perWriter = 16, 200
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := uint64(w*perWriter + i)
+				if err := s.Insert(key, key+1); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	cur := s.CurrentVersion()
+	for key := uint64(0); key < writers*perWriter; key++ {
+		if v, ok := s.Find(key, cur); !ok || v != key+1 {
+			t.Fatalf("Find(%d) = %d,%v want %d,true", key, v, ok, key+1)
+		}
+	}
+	snap := s.ObsSnapshot()
+	runs := snap.Counter("store.gc.runs")
+	pairsC := snap.Counter("store.gc.pairs")
+	if pairsC != writers*perWriter {
+		t.Fatalf("gc.pairs = %d, want %d", pairsC, writers*perWriter)
+	}
+	if runs == 0 || runs > pairsC {
+		t.Fatalf("gc.runs = %d out of range (pairs %d)", runs, pairsC)
+	}
+	t.Logf("runs=%d pairs=%d (%.2f pairs/run)", runs, pairsC, float64(pairsC)/float64(runs))
+}
+
+// TestGroupCommitSharesFences pins the tentpole's point: blocked
+// uncoordinated writers must coalesce into runs whose merged fences cost
+// far fewer persists than one-per-entry appends. The flush interval forces
+// deterministic coalescing regardless of scheduler timing.
+func TestGroupCommitSharesFences(t *testing.T) {
+	s := newGCStore(t, Options{GroupCommitFlushInterval: 2 * time.Millisecond})
+	defer s.Close()
+
+	// Warm up so the run below has no chain-block allocations of its own.
+	if err := s.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	const writers = 64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	p0 := s.arena.PersistCount()
+	for w := 1; w <= writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			if err := s.Insert(uint64(1000+w), uint64(w)); err != nil {
+				t.Errorf("writer %d: %v", w, err)
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	persists := s.arena.PersistCount() - p0
+	snap := s.ObsSnapshot()
+	runs := snap.Counter("store.gc.runs")
+	perEntry := float64(persists) / float64(writers)
+	t.Logf("%d writers: %d runs, %d persists (%.2f persists/entry)", writers, runs-1, persists, perEntry)
+	// The direct path costs ~7 persists/entry for fresh keys; coalesced
+	// runs must land far below it even if the scheduler splits the burst
+	// into a few runs.
+	if perEntry > 4.0 {
+		t.Fatalf("persists/entry = %.2f, writers did not share fences", perEntry)
+	}
+}
+
+// TestGroupCommitCloseDrains checks the shutdown protocol: enqueued writes
+// resolve durably, later writes fail with ErrClosed, Close is idempotent.
+func TestGroupCommitCloseDrains(t *testing.T) {
+	s := newGCStore(t, Options{})
+	const writers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = s.Insert(uint64(w), uint64(w)+1)
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("pre-close writer %d: %v", w, err)
+		}
+	}
+	if err := s.Insert(99, 99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close insert: %v, want ErrClosed", err)
+	}
+	if err := s.Remove(99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close remove: %v, want ErrClosed", err)
+	}
+	if err := s.InsertBatch([]kv.KV{{Key: 99, Value: 99}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close batch: %v, want ErrClosed", err)
+	}
+}
+
+// TestGroupCommitOOMDoesNotWedge is the error-path bugfix regression: an
+// out-of-memory run must fail its writers without wedging the store or
+// leaking claimed slots — smaller writes afterwards still succeed, and a
+// crash + reopen recovers exactly the acknowledged writes.
+func TestGroupCommitOOMDoesNotWedge(t *testing.T) {
+	arena, err := pmem.New(512<<10, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{BlockCapacity: 8, GroupCommit: true}
+	opts.fill()
+	s, err := CreateInArena(arena, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var acked []kv.KV
+	for i := uint64(0); i < 16; i++ {
+		p := kv.KV{Key: i, Value: i*10 + 1}
+		if err := s.Insert(p.Key, p.Value); err != nil {
+			t.Fatalf("warmup insert %d: %v", i, err)
+		}
+		acked = append(acked, p)
+	}
+
+	// A batch whose allocation wave cannot fit: 4096 fresh keys need
+	// ~4096*(328+192) bytes of headers+segments, far beyond the arena.
+	huge := make([]kv.KV, 4096)
+	for i := range huge {
+		huge[i] = kv.KV{Key: uint64(100000 + i), Value: 1}
+	}
+	if err := s.InsertBatch(huge); !errors.Is(err, pmem.ErrOutOfMemory) {
+		t.Fatalf("huge batch: %v, want ErrOutOfMemory", err)
+	}
+
+	// The store is not wedged: small writes still succeed, to both the
+	// keys the failed batch touched and fresh ones.
+	after := []kv.KV{{Key: 100000, Value: 7}, {Key: 3, Value: 77}, {Key: 50, Value: 57}}
+	for _, p := range after {
+		if err := s.Insert(p.Key, p.Value); err != nil {
+			t.Fatalf("post-OOM insert %d: %v", p.Key, err)
+		}
+		acked = append(acked, p)
+	}
+	if err := s.InsertBatch([]kv.KV{{Key: 60, Value: 61}, {Key: 60, Value: 62}}); err != nil {
+		t.Fatalf("post-OOM batch: %v", err)
+	}
+	acked = append(acked, kv.KV{Key: 60, Value: 61}, kv.KV{Key: 60, Value: 62})
+
+	// Crash and recover: exactly the acknowledged writes survive — the
+	// failed run left nothing half-visible.
+	s.Close() // drains the dispatcher; arena not owned, so it stays usable
+	arena.Crash()
+	if err := arena.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenArena(arena, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.RecoveryStats().Entries, uint64(len(acked)); got != want {
+		t.Fatalf("recovered %d entries, want %d", got, want)
+	}
+	wantHist := map[uint64][]uint64{}
+	for _, p := range acked {
+		wantHist[p.Key] = append(wantHist[p.Key], p.Value)
+	}
+	for key, want := range wantHist {
+		events := s2.ExtractHistory(key)
+		if len(events) != len(want) {
+			t.Fatalf("key %d: %d events, want %d (%v)", key, len(events), len(want), events)
+		}
+		for i, e := range events {
+			if e.Value != want[i] {
+				t.Fatalf("key %d event %d: value %d, want %d", key, i, e.Value, want[i])
+			}
+		}
+	}
+	if err := s2.Insert(999, 999); err != nil {
+		t.Fatalf("post-recovery insert: %v", err)
+	}
+	arena.Close()
+}
+
+// TestAppendOOMRollsBackClaim exercises the single-append rollback at the
+// vhistory layer through the store: exhaust the arena mid-history, observe
+// the failure, then verify the history accepts writes again and stays
+// hole-free once space frees up.
+func TestAppendOOMRollsBackClaim(t *testing.T) {
+	arena, err := pmem.New(256<<10, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arena.Close()
+	opts := Options{BlockCapacity: 8}
+	opts.fill()
+	s, err := CreateInArena(arena, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the arena with enough fresh keys that some append eventually
+	// fails on a header or segment allocation.
+	var key uint64
+	var sawOOM bool
+	for key = 0; key < 1<<20; key++ {
+		if err := s.Insert(key, key+1); err != nil {
+			if !errors.Is(err, pmem.ErrOutOfMemory) {
+				t.Fatalf("insert %d: %v", key, err)
+			}
+			sawOOM = true
+			break
+		}
+	}
+	if !sawOOM {
+		t.Fatal("arena never filled")
+	}
+	// The store must not be wedged: appends to existing keys with segment
+	// room still succeed.
+	if err := s.Insert(0, 42); err != nil {
+		t.Fatalf("post-OOM append to existing key: %v", err)
+	}
+	events := s.ExtractHistory(0)
+	if len(events) != 2 || events[1].Value != 42 {
+		t.Fatalf("key 0 history after rollback: %v", events)
+	}
+	if _, err := s.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after OOM rollback: %v", err)
+	}
+}
+
+// TestGroupCommitWedgedPropagates: a wedged store must fail pipeline
+// writes with ErrWedged, not hang them.
+func TestGroupCommitWedgedPropagates(t *testing.T) {
+	s := newGCStore(t, Options{})
+	defer s.Close()
+	if err := s.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.wedged.Store(true)
+	if err := s.Insert(2, 2); !errors.Is(err, ErrWedged) {
+		t.Fatalf("insert on wedged store: %v", err)
+	}
+	if err := s.InsertBatch([]kv.KV{{Key: 3, Value: 3}, {Key: 4, Value: 4}}); !errors.Is(err, ErrWedged) {
+		t.Fatalf("batch on wedged store: %v", err)
+	}
+	s.wedged.Store(false)
+}
+
+// TestGroupCommitCrashPointSweep is the acceptance-criteria sweep: crash
+// the store at every persist boundary of a deterministic workload whose
+// writes all ride the pipeline (serialized, so acknowledgment order is the
+// write-log order), and verify recovery always restores exactly a prefix.
+// Coalescing is exercised separately (the sweep needs determinism); the
+// dispatcher's coalesced runs take the same appendBatchAt path the batched
+// sweep already covers, here additionally with marker-bearing runs via
+// TestCrashPointSweepCoalesced.
+func TestGroupCommitCrashPointSweep(t *testing.T) {
+	ops := crashWorkload()
+	gcOpts := Options{BlockCapacity: 8, GroupCommit: true}
+	gcOpts.fill()
+
+	type write struct {
+		key uint64
+		ev  kv.Event
+	}
+	run := func(s *Store, log *[]write) {
+		for _, op := range ops {
+			switch op.kind {
+			case 'i':
+				if log != nil {
+					*log = append(*log, write{op.key, kv.Event{Version: s.CurrentVersion(), Value: op.value}})
+				}
+				s.Insert(op.key, op.value)
+			case 'r':
+				if log != nil {
+					*log = append(*log, write{op.key, kv.Event{Version: s.CurrentVersion(), Value: kv.Marker}})
+				}
+				s.Remove(op.key)
+			case 't':
+				s.Tag()
+			}
+		}
+	}
+
+	dryArena, err := pmem.New(8<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := CreateInArena(dryArena, gcOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dryArena.LimitPersists(-1)
+	var writes []write
+	run(dry, &writes)
+	total := dryArena.PersistCount()
+	dry.Close()
+	dryArena.Close()
+	if total < int64(len(writes)) {
+		t.Fatalf("suspiciously few persists: %d", total)
+	}
+
+	for k := int64(0); k <= total+1; k++ {
+		arena, err := pmem.New(8<<20, pmem.WithShadow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CreateInArena(arena, gcOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena.LimitPersists(k)
+		run(s, nil)
+		s.Close()
+		arena.Crash()
+		if err := arena.Recover(); err != nil {
+			t.Fatalf("crash point %d: recover: %v", k, err)
+		}
+		s2, err := OpenArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatalf("crash point %d: open: %v", k, err)
+		}
+		e := int(s2.RecoveryStats().Entries)
+		if e > len(writes) {
+			t.Fatalf("crash point %d: recovered %d entries, only %d written", k, e, len(writes))
+		}
+		wantHist := map[uint64][]kv.Event{}
+		for _, w := range writes[:e] {
+			wantHist[w.key] = append(wantHist[w.key], w.ev)
+		}
+		for key := uint64(0); key < 8; key++ {
+			got := s2.ExtractHistory(key)
+			want := wantHist[key]
+			if len(got) != len(want) {
+				t.Fatalf("crash point %d (e=%d): key %d history %v, want %v", k, e, key, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("crash point %d: key %d history[%d] = %+v, want %+v", k, key, i, got[i], want[i])
+				}
+			}
+		}
+		if err := s2.Insert(99, 99); err != nil {
+			t.Fatalf("crash point %d: post-recovery insert: %v", k, err)
+		}
+		arena.Close()
+	}
+}
+
+// TestCrashPointSweepCoalesced sweeps crash points over exactly the run
+// shapes the dispatcher produces and the plain InsertBatch path never
+// does: mixed-key runs that carry removal markers and stack several
+// same-key writes (insert-after-remove) in one run. It drives
+// appendBatchAt directly — the dispatcher's commit path — so the sweep is
+// deterministic.
+func TestCrashPointSweepCoalesced(t *testing.T) {
+	// Each step is one coalesced run (or a tag between runs).
+	type step struct {
+		tag   bool
+		pairs []kv.KV
+	}
+	steps := []step{
+		{pairs: []kv.KV{{Key: 0, Value: 1}, {Key: 1, Value: 2}, {Key: 0, Value: kv.Marker}, {Key: 2, Value: 3}}},
+		{tag: true},
+		{pairs: []kv.KV{{Key: 0, Value: 4}, {Key: 1, Value: kv.Marker}, {Key: 1, Value: 5}, {Key: 3, Value: 6}, {Key: 3, Value: kv.Marker}}},
+		{pairs: []kv.KV{{Key: 2, Value: kv.Marker}}},
+		{tag: true},
+		{pairs: []kv.KV{{Key: 4, Value: 7}, {Key: 0, Value: kv.Marker}, {Key: 4, Value: kv.Marker}, {Key: 4, Value: 8}, {Key: 2, Value: 9}}},
+	}
+
+	type write struct {
+		key uint64
+		ev  kv.Event
+	}
+	run := func(s *Store, log *[]write) {
+		for _, st := range steps {
+			if st.tag {
+				s.Tag()
+				continue
+			}
+			if log != nil {
+				for _, p := range st.pairs {
+					*log = append(*log, write{p.Key, kv.Event{Version: s.CurrentVersion(), Value: p.Value}})
+				}
+			}
+			s.appendBatchAt(s.currentVersion(), st.pairs)
+		}
+	}
+
+	dryArena, err := pmem.New(8<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := CreateInArena(dryArena, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dryArena.LimitPersists(-1)
+	var writes []write
+	run(dry, &writes)
+	total := dryArena.PersistCount()
+	dryArena.Close()
+
+	for k := int64(0); k <= total+1; k++ {
+		arena, err := pmem.New(8<<20, pmem.WithShadow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CreateInArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena.LimitPersists(k)
+		run(s, nil)
+		arena.Crash()
+		if err := arena.Recover(); err != nil {
+			t.Fatalf("crash point %d: recover: %v", k, err)
+		}
+		s2, err := OpenArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatalf("crash point %d: open: %v", k, err)
+		}
+		e := int(s2.RecoveryStats().Entries)
+		if e > len(writes) {
+			t.Fatalf("crash point %d: recovered %d entries, only %d written", k, e, len(writes))
+		}
+		wantHist := map[uint64][]kv.Event{}
+		for _, w := range writes[:e] {
+			wantHist[w.key] = append(wantHist[w.key], w.ev)
+		}
+		for key := uint64(0); key < 5; key++ {
+			got := s2.ExtractHistory(key)
+			want := wantHist[key]
+			if fmt.Sprint(got) != fmt.Sprint(want) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("crash point %d (e=%d): key %d history %v, want %v", k, e, key, got, want)
+			}
+		}
+		arena.Close()
+	}
+}

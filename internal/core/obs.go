@@ -27,6 +27,16 @@ type storeMetrics struct {
 	tagLat     obs.Histogram
 	extractLat obs.Histogram // snapshot + range extractions
 	batchSize  obs.Histogram // pairs per InsertBatch
+
+	// Group-commit pipeline (all zero unless Options.GroupCommit). Run
+	// counting is exact; persists per run ride the arena's pre-existing
+	// persist counter (single dispatcher, so per-run deltas are exact
+	// too), giving persists/entry as gc.persists / gc.pairs.
+	gcRuns     obs.Counter   // runs flushed by the dispatcher
+	gcPairs    obs.Counter   // pairs those runs carried
+	gcPersists obs.Counter   // persist fences those runs issued
+	gcRunSize  obs.Histogram // pairs per run
+	gcFlushLat obs.Histogram // sampled enqueue-side run flush latency
 }
 
 // ObsSnapshot captures the store's metrics ("store." prefix) merged with
@@ -52,6 +62,14 @@ func (s *Store) ObsSnapshot() obs.Snapshot {
 	o.SetHist("store.batch.size", &s.met.batchSize)
 	o.SetGauge("store.keys", int64(s.index.Len()))
 	o.SetGauge("store.current_version", int64(s.currentVersion()))
+	if s.gc != nil {
+		o.SetCounter("store.gc.runs", s.met.gcRuns.Load())
+		o.SetCounter("store.gc.pairs", s.met.gcPairs.Load())
+		o.SetCounter("store.gc.persists", s.met.gcPersists.Load())
+		o.SetHist("store.gc.run_size", &s.met.gcRunSize)
+		o.SetHist("store.gc.flush_latency", &s.met.gcFlushLat)
+		o.SetGauge("store.gc.queue_depth", int64(s.gc.queueDepth()))
+	}
 	if s.stats.Threads > 0 { // zero value = fresh store, no recovery ran
 		o.SetGauge("store.recovery.keys", int64(s.stats.Keys))
 		o.SetGauge("store.recovery.entries", int64(s.stats.Entries))

@@ -74,6 +74,25 @@ type Options struct {
 	// concurrently (extract.go). Default runtime.GOMAXPROCS(0); 1 keeps
 	// the sequential walk. Small indexes always walk sequentially.
 	ExtractThreads int
+	// GroupCommit enables the asynchronous group-commit write pipeline:
+	// Insert, Remove, and InsertBatch hand their pairs to a dispatcher
+	// goroutine that coalesces everything pending into one batched-append
+	// run, so uncoordinated concurrent writers share persist fences.
+	// Writers still block until their entries are durable, so per-caller
+	// semantics (durability on return, ordering against the caller's later
+	// operations) are unchanged. See groupcommit.go.
+	GroupCommit bool
+	// GroupCommitMaxRun caps the pairs coalesced into one run. Default 512.
+	GroupCommitMaxRun int
+	// GroupCommitQueue bounds the dispatcher's request channel; a full
+	// queue applies backpressure to writers. Default 1024.
+	GroupCommitQueue int
+	// GroupCommitFlushInterval, when positive, makes the dispatcher wait
+	// up to this long after a run's first write for more writers before
+	// flushing, trading latency for larger runs. Default 0: flush as soon
+	// as the queue is drained (run size then tracks the number of writers
+	// actually blocked, adding no latency when the store is idle).
+	GroupCommitFlushInterval time.Duration
 }
 
 func (o *Options) fill() {
@@ -88,6 +107,12 @@ func (o *Options) fill() {
 	}
 	if o.ExtractThreads <= 0 {
 		o.ExtractThreads = runtime.GOMAXPROCS(0)
+	}
+	if o.GroupCommitMaxRun <= 0 {
+		o.GroupCommitMaxRun = 512
+	}
+	if o.GroupCommitQueue <= 0 {
+		o.GroupCommitQueue = 1024
 	}
 }
 
@@ -105,6 +130,8 @@ type Store struct {
 	wedged atomic.Bool
 	stats  RecoveryStats
 	met    storeMetrics
+
+	gc *groupCommitter // nil unless Options.GroupCommit
 }
 
 // CoveredAll is the RecoveryStats.CoveredTo sentinel meaning the crash
@@ -206,6 +233,9 @@ func CreateInArena(a *pmem.Arena, opts Options) (*Store, error) {
 	}
 	s.chain = chain
 	a.SetRoot(super)
+	if opts.GroupCommit {
+		s.gc = newGroupCommitter(s)
+	}
 	return s, nil
 }
 
@@ -231,6 +261,9 @@ func OpenArena(a *pmem.Arena, opts Options) (*Store, error) {
 	s.chain = chain
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	if opts.GroupCommit {
+		s.gc = newGroupCommitter(s)
 	}
 	return s, nil
 }
@@ -263,7 +296,10 @@ func (s *Store) Tag() uint64 {
 	return sealed
 }
 
-// Insert records key=value in the current version.
+// Insert records key=value in the current version. With group commit
+// enabled the write rides the dispatcher (sharing its run's fences with
+// whatever else is in flight) and the sampled latency is end-to-end:
+// queueing included, resolved only when the run is durable.
 func (s *Store) Insert(key, value uint64) error {
 	n := s.met.insert.Inc()
 	if value == kv.Marker {
@@ -271,11 +307,11 @@ func (s *Store) Insert(key, value uint64) error {
 	}
 	if obs.Sampled(n) {
 		start := time.Now()
-		err := s.append(key, value)
+		err := s.write(key, value)
 		s.met.insertLat.ObserveSince(start)
 		return err
 	}
-	return s.append(key, value)
+	return s.write(key, value)
 }
 
 // Remove records key's removal in the current version. Removing an absent
@@ -283,7 +319,16 @@ func (s *Store) Insert(key, value uint64) error {
 // Remove idempotent and order-tolerant under concurrency.
 func (s *Store) Remove(key uint64) error {
 	s.met.remove.Inc()
-	return s.append(key, kv.Marker)
+	return s.write(key, kv.Marker)
+}
+
+// write routes one pair to the group-commit pipeline when enabled, or to
+// the direct single-append path otherwise.
+func (s *Store) write(key, value uint64) error {
+	if s.gc != nil {
+		return s.gc.submit([]kv.KV{{Key: key, Value: value}})
+	}
+	return s.append(key, value)
 }
 
 // append records the change in the current version. The underlying
@@ -382,8 +427,13 @@ func (s *Store) AppendAt(key, version, value uint64) error {
 // Clock exposes the commit clock (tests and benchmarks).
 func (s *Store) Clock() *vhistory.Clock { return s.clock }
 
-// Close makes the state durable and releases the arena if owned.
+// Close makes the state durable and releases the arena if owned. With
+// group commit enabled it first stops the pipeline: new writes fail with
+// ErrClosed, everything already enqueued flushes and resolves.
 func (s *Store) Close() error {
+	if s.gc != nil {
+		s.gc.close()
+	}
 	s.clock.Quiesce()
 	if s.ownArena {
 		return s.arena.Close()

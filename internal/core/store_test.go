@@ -20,12 +20,30 @@ func memFactory(t *testing.T) kv.Store {
 	return s
 }
 
+func gcFactory(t *testing.T) kv.Store {
+	s, err := Create(Options{ArenaBytes: 256 << 20, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestConformance(t *testing.T) {
 	storetest.Run(t, memFactory)
 }
 
+// TestConformanceGroupCommit runs the identical suite with the write
+// pipeline on: coalescing must be semantically invisible.
+func TestConformanceGroupCommit(t *testing.T) {
+	storetest.Run(t, gcFactory)
+}
+
 func TestSnapshotConsistency(t *testing.T) {
 	storetest.RunSnapshotConsistency(t, memFactory)
+}
+
+func TestSnapshotConsistencyGroupCommit(t *testing.T) {
+	storetest.RunSnapshotConsistency(t, gcFactory)
 }
 
 func TestCreateRejectsBadOptions(t *testing.T) {

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+)
+
+// The write channel rides tag class tagUser (1) on channel chWrite (0);
+// see cluster.mkTag.
+const writeChTag = uint64(1) << 56
+
+// ackDropTransport swallows a budgeted number of write-channel frames this
+// rank sends to rank 0 — i.e. write acknowledgements. The owner still
+// applies the write; rank 0 just never hears about it, which is exactly the
+// "rank committed before the connection died" half of an unknown outcome.
+type ackDropTransport struct {
+	cluster.Transport
+	budget  *atomic.Int64 // remaining acks to swallow
+	dropped *atomic.Int64 // acks actually swallowed
+}
+
+func (t *ackDropTransport) Send(to int, tag uint64, payload []byte) error {
+	if to == 0 && tag == writeChTag && t.budget.Add(-1) >= 0 {
+		t.dropped.Add(1)
+		return nil // swallowed: rank 0 times out waiting for this ack
+	}
+	return t.Transport.Send(to, tag, payload)
+}
+
+func (t *ackDropTransport) RecvTimeout(from int, tag uint64, d time.Duration) ([]byte, error) {
+	return cluster.RecvTimeout(t.Transport, from, tag, d)
+}
+
+func (t *ackDropTransport) Drain(from int, tag uint64) int {
+	if tt, ok := t.Transport.(cluster.TimeoutTransport); ok {
+		return tt.Drain(from, tag)
+	}
+	return 0
+}
+
+// launchAckDropCluster starts a cluster whose rank 1 swallows the first
+// `drops` write acks it owes rank 0. OpTimeout is short so the dropped acks
+// cost milliseconds, not the 2s default; ProbeBackoff is short so the
+// queries that verify the aftermath can reprobe a rank the drops marked
+// down.
+func launchAckDropCluster(t *testing.T, size int, drops int64, dropped *atomic.Int64) kv.Store {
+	t.Helper()
+	budget := &atomic.Int64{}
+	budget.Store(drops)
+	ready := make(chan *ClusterStore, 1)
+	released := make(chan struct{})
+	done := make(chan error, 1)
+	wrap := func(rank int, tr cluster.Transport) cluster.Transport {
+		if rank != 1 {
+			return tr
+		}
+		return &ackDropTransport{Transport: tr, budget: budget, dropped: dropped}
+	}
+	go func() {
+		done <- cluster.RunLocalWrap(size, cluster.NetModel{}, wrap, func(c *cluster.Comm) error {
+			st := eskiplist.New()
+			defer st.Close()
+			svc := NewOptions(c, st, 2, FTOptions{
+				OpTimeout:    200 * time.Millisecond,
+				ProbeBackoff: time.Millisecond,
+			})
+			if c.Rank() != 0 {
+				return svc.ServeAll()
+			}
+			ready <- NewClusterStore(svc)
+			<-released
+			return nil
+		})
+	}()
+	cs := <-ready
+	return &clusterHandle{ClusterStore: cs, done: func() chan error {
+		ch := make(chan error, 1)
+		go func() { ch <- <-done }()
+		close(released)
+		return ch
+	}()}
+}
+
+// batchAcross returns n pairs spread across every owner rank.
+func batchAcross(n int, size int) []kv.KV {
+	pairs := make([]kv.KV, 0, n)
+	for k := 0; k < n; k++ {
+		pairs = append(pairs, kv.KV{Key: uint64(k), Value: uint64(1000 + k)})
+	}
+	// Sanity: the spread must actually hit rank 1, or the drops never fire.
+	hit := false
+	for _, p := range pairs {
+		if Owner(p.Key, size) == 1 {
+			hit = true
+		}
+	}
+	if !hit {
+		panic("batchAcross: no pair owned by rank 1")
+	}
+	return pairs
+}
+
+// TestInsertBatchRetriesLostAck is the regression test for the batch-retry
+// double-append bug: rank 1 applies its sub-batch but its ack vanishes, so
+// before the fix the write was reported unknown (and any re-send would have
+// appended the sub-batch a second time). Now the scatter path retries once
+// with the original sequence number, the owner detects the duplicate and
+// re-acknowledges without re-applying, and the batch succeeds with every
+// key's history exactly one entry long.
+func TestInsertBatchRetriesLostAck(t *testing.T) {
+	const size = 4
+	dropped := &atomic.Int64{}
+	cs := launchAckDropCluster(t, size, 1, dropped)
+	defer cs.Close()
+
+	pairs := batchAcross(16, size)
+	if err := kv.InsertBatch(cs, pairs); err != nil {
+		t.Fatalf("InsertBatch with one lost ack should succeed via retry, got %v", err)
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("no ack was dropped; the test proved nothing")
+	}
+	for _, p := range pairs {
+		evs := cs.ExtractHistory(p.Key)
+		if len(evs) != 1 {
+			t.Fatalf("key %d: history %v; want exactly 1 entry (no double-append, no loss)", p.Key, evs)
+		}
+		if evs[0].Value != p.Value {
+			t.Fatalf("key %d: value %d, want %d", p.Key, evs[0].Value, p.Value)
+		}
+	}
+}
+
+// TestInsertBatchHonestUnknownAfterRetry drops the retry's ack too: the
+// outcome genuinely stays unknown, so InsertBatch must report it as such —
+// and because the sub-batch was in fact applied, the report must NOT claim
+// it failed (a caller re-sending "failed" sub-batches with fresh sequence
+// numbers would double-append).
+func TestInsertBatchHonestUnknownAfterRetry(t *testing.T) {
+	const size = 4
+	dropped := &atomic.Int64{}
+	cs := launchAckDropCluster(t, size, 2, dropped)
+	defer cs.Close()
+
+	pairs := batchAcross(16, size)
+	err := kv.InsertBatch(cs, pairs)
+	var pe *PartialBatchError
+	if !errors.As(err, &pe) {
+		t.Fatalf("InsertBatch with both acks lost: got %v, want *PartialBatchError", err)
+	}
+	if _, ok := pe.Unknown[1]; !ok {
+		t.Fatalf("rank 1's outcome should be unknown, got %+v", pe)
+	}
+	if ferr, ok := pe.Failed[1]; ok {
+		t.Fatalf("rank 1 wrongly reported as definitely failed: %v", ferr)
+	}
+	if got := dropped.Load(); got != 2 {
+		t.Fatalf("dropped %d acks, want 2 (original + retry re-ack)", got)
+	}
+
+	// The sub-batch was applied exactly once despite two delivery attempts.
+	// Give the failure detector a beat past ProbeBackoff so the verifying
+	// queries reprobe rank 1 instead of failing fast.
+	time.Sleep(5 * time.Millisecond)
+	for _, p := range pairs {
+		evs := cs.ExtractHistory(p.Key)
+		if len(evs) != 1 {
+			t.Fatalf("key %d: history %v; want exactly 1 entry (retry must not re-apply)", p.Key, evs)
+		}
+	}
+}

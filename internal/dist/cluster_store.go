@@ -82,6 +82,21 @@ func (s *Service) ServeWrites() error {
 			continue // malformed frame; nothing to acknowledge
 		}
 		wseq := w[0]
+		if s.wSeen && wseq <= s.wLastSeq {
+			if wseq == s.wLastSeq {
+				// Rank 0 retrying a write whose ack it never saw:
+				// already applied here, so re-send the cached ack
+				// without re-applying (sequence numbers are never
+				// reused, so equal wseq means the identical frame).
+				ack := append(cluster.PutUint64s(wseq), []byte(s.wLastReply)...)
+				if err := s.comm.SendCh(0, chWrite, ack); err != nil {
+					return err
+				}
+			}
+			// wseq < wLastSeq: stale duplicate of an older write; rank 0
+			// discards its acks by sequence number, so stay silent.
+			continue
+		}
 		var reply string
 		switch w[1] {
 		case wInsert:
@@ -117,6 +132,7 @@ func (s *Service) ServeWrites() error {
 		default:
 			reply = fmt.Sprintf("dist: unknown write opcode %d", w[1])
 		}
+		s.wSeen, s.wLastSeq, s.wLastReply = true, wseq, reply
 		ack := append(cluster.PutUint64s(wseq), []byte(reply)...)
 		if err := s.comm.SendCh(0, chWrite, ack); err != nil {
 			return err
@@ -212,10 +228,13 @@ func (s *Service) routeWrite(op, key, value uint64) error {
 // carrying that rank's sub-batch (pairs keep their batch order within it,
 // so per-key insertion order is preserved), with the remote round-trips
 // dispatched concurrently while this rank applies its own share through the
-// local bulk path. A failure on some ranks leaves the others' sub-batches
-// applied; the returned *PartialBatchError reports, per rank, what was
-// applied, what definitely failed, and what has unknown outcome. Caller
-// must serialize (ClusterStore does).
+// local bulk path. A sub-batch whose acknowledgement goes missing is retried
+// once with its original sequence number (double-append-safe: the owner
+// detects the duplicate and re-acknowledges without re-applying). A failure
+// on some ranks leaves the others' sub-batches applied; the returned
+// *PartialBatchError reports, per rank, what was applied, what definitely
+// failed, and what has unknown outcome. Caller must serialize (ClusterStore
+// does).
 func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 	size := s.comm.Size()
 	self := s.comm.Rank()
@@ -233,6 +252,7 @@ func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	wseqs := make([]uint64, size)
 	for r := 0; r < size; r++ {
 		if r == self || len(perRank[r]) == 0 {
 			continue
@@ -247,15 +267,11 @@ func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 		// from a distinct peer.
 		wseq := s.writeSeq
 		s.writeSeq++
+		wseqs[r] = wseq
 		wg.Add(1)
 		go func(r int, wseq uint64, sub []kv.KV) {
 			defer wg.Done()
-			vals := make([]uint64, 0, 2+2*len(sub))
-			vals = append(vals, wseq, wInsertBatch)
-			for _, p := range sub {
-				vals = append(vals, p.Key, p.Value)
-			}
-			unknown, err := s.sendWrite(r, wseq, cluster.PutUint64s(vals...))
+			unknown, err := s.sendWrite(r, wseq, batchFrame(wseq, sub))
 			mu.Lock()
 			defer mu.Unlock()
 			switch {
@@ -281,11 +297,47 @@ func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 		}
 	}
 	wg.Wait()
+	// One bounded retry for sub-batches whose outcome is unknown: the frame
+	// is re-sent with its ORIGINAL sequence number, so an owner that already
+	// applied it recognizes the duplicate and re-acknowledges from its cached
+	// reply without re-applying (see ServeWrites) — the retry can turn
+	// "unknown" into a definite answer but can never double-append. Retrying
+	// a rank just marked down deliberately skips FailFast: the retry itself
+	// is the liveness probe, and a rank that merely dropped one ack (or one
+	// connection) answers it immediately.
+	for r := range pe.Unknown {
+		first := pe.Unknown[r]
+		unknown, err := s.sendWrite(r, wseqs[r], batchFrame(wseqs[r], perRank[r]))
+		switch {
+		case err == nil:
+			delete(pe.Unknown, r)
+			pe.Applied[r] = len(perRank[r])
+		case unknown:
+			pe.Unknown[r] = fmt.Errorf("dist: batch retry also unacknowledged: %w (first attempt: %v)", err, first)
+		default:
+			// The owner answered the retry with a definite error. It either
+			// never applied the frame (and the error is the apply failure)
+			// or is replaying the cached reply of the original attempt —
+			// in both cases the sub-batch definitely did not apply cleanly.
+			delete(pe.Unknown, r)
+			pe.Failed[r] = err
+		}
+	}
 	if len(pe.Failed) > 0 || len(pe.Unknown) > 0 {
 		s.met.partials.Inc()
 		return pe
 	}
 	return nil
+}
+
+// batchFrame encodes one owner rank's sub-batch as a routed write frame.
+func batchFrame(wseq uint64, sub []kv.KV) []byte {
+	vals := make([]uint64, 0, 2+2*len(sub))
+	vals = append(vals, wseq, wInsertBatch)
+	for _, p := range sub {
+		vals = append(vals, p.Key, p.Value)
+	}
+	return cluster.PutUint64s(vals...)
 }
 
 // stopWrites terminates every live rank's write loop (rank 0 only). Ranks

@@ -104,6 +104,19 @@ type Service struct {
 	// rejoin and are discarded (set once by Rejoin before Serve starts).
 	minOp uint64
 
+	// Worker write-dedupe state, owned by the ServeWrites loop: the
+	// sequence number of the last routed write this rank applied and the
+	// ack reply it produced. Rank 0 retries a sub-batch whose first ack
+	// went missing by re-sending the frame with its ORIGINAL sequence
+	// number; recognizing that duplicate here and re-sending the cached
+	// ack — instead of re-applying the sub-batch — is what makes the
+	// retry double-append-safe. One slot suffices because rank 0
+	// serializes its write stream and retries in place, so a duplicate
+	// can only ever be of the most recently applied write.
+	wLastSeq   uint64
+	wLastReply string
+	wSeen      bool
+
 	met svcMetrics
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"sync"
 	"time"
 
 	"mvkv/internal/kv"
@@ -39,6 +40,32 @@ func RunInsertBatch(s kv.Store, w *workload.Workload, batch int) (time.Duration,
 		}
 	}
 	return time.Since(start), nil
+}
+
+// RunUncoordinatedInserts times the whole workload as plain single Insert
+// calls split across `writers` goroutines, with no batching and no
+// coordination between them — the groupcommit figure's axis. Unlike
+// RunInsert (Figure 2) it does not Tag after each insert, so the persist
+// delta around it counts only the write path's fences.
+func RunUncoordinatedInserts(s kv.Store, w *workload.Workload, writers int) (time.Duration, error) {
+	keyParts := workload.Split(w.Keys, writers)
+	valParts := workload.Split(w.Values, writers)
+	var mu sync.Mutex
+	var firstErr error
+	d := parallel(writers, func(t int) {
+		keys, vals := keyParts[t], valParts[t]
+		for i := range keys {
+			if err := s.Insert(keys[i], vals[i]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	return d, firstErr
 }
 
 // ArenaPersistCount returns the cumulative persist-fence count of s's

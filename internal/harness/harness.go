@@ -55,6 +55,12 @@ type StoreSpec struct {
 	// per-query parallel walk would conflate the two axes. The extract
 	// figure and the distributed harness set it explicitly.
 	ExtractThreads int
+	// GroupCommit enables the PSkipList async group-commit write pipeline
+	// (the groupcommit figure compares it against the uncoordinated path).
+	GroupCommit bool
+	// GroupCommitFlushInterval bounds how long the pipeline waits to
+	// coalesce before flushing a short run (0 = core default).
+	GroupCommitFlushInterval time.Duration
 }
 
 // Build constructs the store.
@@ -80,9 +86,11 @@ func Build(spec StoreSpec) (kv.Store, error) {
 			threads = 1
 		}
 		return core.Create(core.Options{
-			ArenaBytes:     bytes,
-			PersistLatency: spec.PersistLatency,
-			ExtractThreads: threads,
+			ArenaBytes:               bytes,
+			PersistLatency:           spec.PersistLatency,
+			ExtractThreads:           threads,
+			GroupCommit:              spec.GroupCommit,
+			GroupCommitFlushInterval: spec.GroupCommitFlushInterval,
 		})
 	default:
 		return nil, fmt.Errorf("harness: unknown approach %q", spec.Approach)

@@ -39,6 +39,20 @@ func TestConformanceOverTCP(t *testing.T) {
 	})
 }
 
+// TestConformanceOverTCPGroupCommit runs the same suite against a remote
+// group-commit PSkipList: each client connection becomes one uncoordinated
+// writer into the server-side pipeline, and the coalescing must stay
+// invisible across the wire.
+func TestConformanceOverTCPGroupCommit(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		backing, err := core.Create(core.Options{ArenaBytes: 64 << 20, GroupCommit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return startServer(t, backing)
+	})
+}
+
 // TestRemotePSkipList smoke-tests the persistent store behind the server.
 func TestRemotePSkipList(t *testing.T) {
 	backing, err := core.Create(core.Options{ArenaBytes: 64 << 20})

@@ -76,10 +76,17 @@ func ServeOptions(store kv.Store, addr string, opts ServerOptions) (*Server, err
 	if err != nil {
 		return nil, fmt.Errorf("kvnet: listen %s: %w", addr, err)
 	}
+	return ServeListener(store, l, opts), nil
+}
+
+// ServeListener is ServeOptions over a caller-provided listener — a socket
+// with non-default options, a unix socket, an in-process pipe listener in
+// tests. The server owns l from here on: Close closes it.
+func ServeListener(store kv.Store, l net.Listener, opts ServerOptions) *Server {
 	s := &Server{store: store, listener: l, opts: opts, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.

@@ -1,0 +1,250 @@
+package kvnet
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/mt19937"
+)
+
+// These tests pin down the chunked-stream write-deadline contract: the
+// deadline is re-armed per FRAME (sendTimed in server.go), not once per
+// request. A slow-but-progressing reader may take many times WriteTimeout
+// to drain a multi-chunk stream and must still get all of it; only a reader
+// that stops draining altogether gets its connection killed.
+
+// frame is one parsed response frame.
+type frame struct {
+	status  byte
+	payload []byte
+}
+
+// parseFrames splits buf into complete response frames (4-byte LE length,
+// 1-byte status, payload). Trailing partial frames are ignored.
+func parseFrames(buf []byte) []frame {
+	var out []frame
+	for len(buf) >= 5 {
+		n := int(binary.LittleEndian.Uint32(buf))
+		if len(buf) < 5+n {
+			break
+		}
+		out = append(out, frame{status: buf[4], payload: buf[5 : 5+n]})
+		buf = buf[5+n:]
+	}
+	return out
+}
+
+// streamBacking is the store behind both slow-reader tests — built once
+// (filling it is the expensive part, especially under the race detector)
+// and read-only afterwards, so the tests can share it across their
+// separately-configured servers. Freed on process exit.
+var streamBacking struct {
+	once    sync.Once
+	store   *eskiplist.Store
+	version uint64
+}
+
+func streamBackingStore(t *testing.T) (*eskiplist.Store, uint64) {
+	t.Helper()
+	streamBacking.once.Do(func() {
+		n := 400_000 // ~6.4 MiB of pairs: 7 chunk frames at SnapChunk pairs
+		if testing.Short() {
+			n = 200_000
+		}
+		st := eskiplist.New()
+		rng := mt19937.New(7)
+		for i := 0; i < n; i++ {
+			if err := st.Insert(rng.Uint64(), uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		streamBacking.store, streamBacking.version = st, st.Tag()
+	})
+	if streamBacking.store == nil {
+		t.Fatal("stream backing store failed to build")
+	}
+	return streamBacking.store, streamBacking.version
+}
+
+// streamFixture serves a store big enough that a chunked snapshot stream
+// cannot hide in socket buffers, and returns a raw connection with a small
+// receive buffer (so server-side writes actually block on an undrained
+// reader) that has just sent an OpSnapshotChunk request.
+func streamFixture(t *testing.T, writeTimeout time.Duration) (net.Conn, int) {
+	t.Helper()
+	backing, version := streamBackingStore(t)
+	// Serve on sockets with a small, EXPLICIT send buffer: an explicit
+	// SO_SNDBUF disables kernel autotuning (which would otherwise balloon
+	// the buffer to net.ipv4.tcp_wmem[2], typically 4 MiB, and absorb the
+	// whole stream without a single blocking write), and accepted sockets
+	// inherit it from the listener. With ~128 KiB of kernel slack against a
+	// multi-megabyte stream, the server's frame writes genuinely block on
+	// the reader's pace and the write-deadline machinery is exercised.
+	lc := net.ListenConfig{Control: func(network, address string, rc syscall.RawConn) error {
+		var serr error
+		if err := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF, 64<<10)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	l, err := lc.Listen(context.Background(), "tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeListener(backing, l, ServerOptions{WriteTimeout: writeTimeout})
+	t.Cleanup(func() { srv.Close() })
+
+	c, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	// A small receive buffer keeps the client's advertised window tight, so
+	// only a bounded slice of the stream can sit in kernel buffers and the
+	// server's sends hit the deadline machinery instead of vanishing into
+	// them.
+	if tc, ok := c.(*net.TCPConn); ok {
+		if err := tc.SetReadBuffer(32 << 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := rawFrame(8, OpSnapshotChunk, putU64s(nil, version))
+	if _, err := c.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	return c, backing.Len()
+}
+
+// TestStreamSlowReaderSurvives drains a multi-megabyte chunk stream with a
+// long pause after each completed frame, so the whole drain takes several
+// times the server's WriteTimeout while no single frame write ever exhausts
+// it. The full stream must arrive, terminator included — a server that
+// armed the deadline once per request instead of once per frame would kill
+// this connection partway through.
+func TestStreamSlowReaderSurvives(t *testing.T) {
+	// The deadline covers one frame, and a full chunk frame is ~1 MiB
+	// (SnapChunk pairs). The reader pauses BETWEEN frames, never inside
+	// one: within a frame it drains in a tight loop (no timers), so the
+	// worst a loaded race-enabled host adds to a frame's write is netpoll
+	// wakeup latency, not per-sip timer-starvation — a fixed per-sip sleep
+	// here degraded ~40x under the full -race suite and flaked. Each
+	// frame's write spans one pause plus one tight drain (well inside
+	// writeTimeout); the pauses alone sum past writeTimeout.
+	const (
+		writeTimeout = 1 * time.Second
+		pause        = 300 * time.Millisecond
+	)
+	c, want := streamFixture(t, writeTimeout)
+
+	// Preallocate the reassembly buffer: growing it by append would make
+	// the drain loop quadratic in stream size, which under the race
+	// detector is slow enough to turn the throttled reader into a stalled
+	// one.
+	buf := make([]byte, 0, 16*(want+2)+64<<10)
+	sip := make([]byte, 64<<10)
+	start := time.Now()
+	deadline := start.Add(60 * time.Second)
+	var frames []frame
+	parsed := 0
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream not finished after %v (%d bytes, %d frames)", time.Since(start), len(buf), len(frames))
+		}
+		c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		m, err := c.Read(sip)
+		buf = append(buf, sip[:m]...)
+		frames = parseFrames(buf)
+		if len(frames) > 0 && frames[len(frames)-1].status != statusChunk {
+			break
+		}
+		if err != nil {
+			t.Fatalf("connection died after %v with %d frames parsed: %v", time.Since(start), len(frames), err)
+		}
+		if len(frames) > parsed {
+			parsed = len(frames)
+			time.Sleep(pause) // the throttle: between frames, never within one
+		}
+	}
+	// Efficacy check: the drain must have outlived a once-per-request
+	// deadline for the survival above to prove anything. Skipped in short
+	// mode, where the smaller stream may drain inside writeTimeout.
+	if elapsed := time.Since(start); !testing.Short() && elapsed < writeTimeout {
+		t.Fatalf("drain took %v; too fast to discriminate per-frame from per-request deadlines (want > %v)", elapsed, writeTimeout)
+	}
+
+	got := 0
+	for _, f := range frames[:len(frames)-1] {
+		if f.status != statusChunk {
+			t.Fatalf("mid-stream frame has status %d", f.status)
+		}
+		if len(f.payload)%16 != 8 {
+			t.Fatalf("ragged chunk payload of %d bytes", len(f.payload))
+		}
+		got += (len(f.payload) - 8) / 16
+	}
+	last := frames[len(frames)-1]
+	if last.status != statusOK || len(last.payload) != 8 {
+		t.Fatalf("stream terminator: status %d, %d payload bytes", last.status, len(last.payload))
+	}
+	if total := binary.LittleEndian.Uint64(last.payload); int(total) != want || got != want {
+		t.Fatalf("stream delivered %d pairs, terminator claims %d, store holds %d", got, total, want)
+	}
+}
+
+// TestStreamStalledReaderKilled stops draining entirely after the request:
+// the per-frame write deadline must fire and the server must drop the
+// connection instead of parking the handler forever, so the client sees the
+// stream cut short — only what the socket buffers absorbed, never the whole
+// snapshot.
+func TestStreamStalledReaderKilled(t *testing.T) {
+	const writeTimeout = 150 * time.Millisecond
+	c, want := streamFixture(t, writeTimeout)
+
+	// Wait for the stream to actually start (extraction can take a while,
+	// and a stall that elapses before the server's first write exercises
+	// nothing), then stall well past the write deadline.
+	first := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	if _, err := c.Read(first); err != nil {
+		t.Fatalf("stream never started: %v", err)
+	}
+	time.Sleep(4 * writeTimeout)
+
+	// Now drain whatever made it into the buffers; the tail must be missing
+	// and the read must end in an error (server closed the connection), not
+	// in a complete stream.
+	buf := append(make([]byte, 0, 16*(want+2)+64<<10), first...)
+	sip := make([]byte, 64<<10)
+	for {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		m, err := c.Read(sip)
+		buf = append(buf, sip[:m]...)
+		if err != nil {
+			break
+		}
+		if len(buf) > 16*(want+1)+5*(want/SnapChunk+2) {
+			t.Fatal("read more bytes than the whole stream; server never gave up")
+		}
+	}
+	frames := parseFrames(buf)
+	got := 0
+	for _, f := range frames {
+		if f.status == statusOK {
+			t.Fatal("stalled reader received the complete stream; write deadline never fired")
+		}
+		if f.status == statusChunk {
+			got += (len(f.payload) - 8) / 16
+		}
+	}
+	if got >= want {
+		t.Fatalf("stalled reader still received all %d pairs", got)
+	}
+}

@@ -1,0 +1,123 @@
+package storetest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mvkv/internal/kv"
+)
+
+// testUncoordinatedWriters hammers the store with many goroutines issuing
+// SINGLE writes with no coordination between them — the workload a
+// group-commit pipeline coalesces into shared runs — while a tagger seals
+// versions and a batcher pushes a bulk insert into the same stream. The
+// contract under test is that coalescing is invisible: every acknowledged
+// write is visible afterwards, a writer's program order is preserved for
+// its keys (the remove it issued before a re-insert must not win), and
+// stores without a pipeline behave identically.
+func testUncoordinatedWriters(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	const (
+		writers = 8
+		perW    = 30
+		batchLo = uint64(100000)
+		batchN  = 16
+	)
+	errCh := make(chan error, writers+2)
+
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < perW; i++ {
+				// Interleaved keys: neighbours in one coalesced run belong
+				// to different writers.
+				key := uint64(w + i*writers)
+				if err := s.Insert(key, key*3+1); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			// Program-order churn on this writer's first key: the final
+			// re-insert must win over the remove issued just before it,
+			// whichever runs they land in.
+			first := uint64(w)
+			if err := s.Remove(first); err != nil {
+				errCh <- err
+				return
+			}
+			if err := s.Insert(first, 7777+first); err != nil {
+				errCh <- err
+			}
+		}(w)
+	}
+	writerWg.Add(1)
+	go func() { // a bulk insert rides the same write stream
+		defer writerWg.Done()
+		pairs := make([]kv.KV, batchN)
+		for i := range pairs {
+			pairs[i] = kv.KV{Key: batchLo + uint64(i), Value: uint64(i) + 1}
+		}
+		if err := kv.InsertBatch(s, pairs); err != nil {
+			errCh <- err
+		}
+	}()
+	stopTag := make(chan struct{})
+	var tagWg sync.WaitGroup
+	tagWg.Add(1)
+	go func() { // versions advance concurrently with the writes
+		defer tagWg.Done()
+		for {
+			select {
+			case <-stopTag:
+				return
+			default:
+				s.Tag()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	writerWg.Wait()
+	close(stopTag)
+	tagWg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	v := s.Tag()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			key := uint64(w + i*writers)
+			want := key*3 + 1
+			if key == uint64(w) {
+				want = 7777 + key // the churn overwrote the first key
+			}
+			got, ok := s.Find(key, v)
+			if !ok || got != want {
+				t.Fatalf("key %d at version %d: (%d, %v), want (%d, true)", key, v, got, ok, want)
+			}
+		}
+	}
+	for i := uint64(0); i < batchN; i++ {
+		if got, ok := s.Find(batchLo+i, v); !ok || got != i+1 {
+			t.Fatalf("batch key %d: (%d, %v), want (%d, true)", batchLo+i, got, ok, i+1)
+		}
+	}
+	if got, want := s.Len(), writers*perW+batchN; got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		evs := s.ExtractHistory(uint64(w))
+		if len(evs) == 0 {
+			t.Fatalf("writer %d's churned key has no history", w)
+		}
+		last := evs[len(evs)-1]
+		if last.Removed() || last.Value != 7777+uint64(w) {
+			t.Fatalf("writer %d's churned key ends at %+v; the re-insert after the remove must win", w, last)
+		}
+	}
+}

@@ -88,4 +88,49 @@ func testMetricsConformance(t *testing.T, mk Factory) {
 	if seen == 0 {
 		t.Error("store exposes ObsSnapshot but no insert/remove/find/tag op counters")
 	}
+
+	// Concurrent phase: counting must stay exact under uncoordinated
+	// writers — and a store with a group-commit pipeline must account for
+	// every one of their pairs exactly once, however the dispatcher
+	// happened to coalesce them.
+	mid := os.ObsSnapshot()
+	const cWriters, cPerW = 8, 24
+	var cwg sync.WaitGroup
+	cErrs := make(chan error, cWriters)
+	for w := 0; w < cWriters; w++ {
+		cwg.Add(1)
+		go func(w int) {
+			defer cwg.Done()
+			for i := 0; i < cPerW; i++ {
+				if err := s.Insert(uint64(10000+w*cPerW+i), uint64(i)); err != nil {
+					cErrs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	cwg.Wait()
+	close(cErrs)
+	for err := range cErrs {
+		t.Fatal(err)
+	}
+	cDelta := os.ObsSnapshot().Delta(mid)
+	const cTotal = cWriters * cPerW
+	for name, got := range cDelta.Counters {
+		if strings.HasSuffix(name, ".ops.insert") && got != cTotal {
+			t.Errorf("%s moved by %d under concurrent writers, want %d", name, got, cTotal)
+		}
+	}
+	if pairs, ok := cDelta.Counters["store.gc.pairs"]; ok {
+		if pairs != cTotal {
+			t.Errorf("group-commit pipeline carried %d pairs, want %d", pairs, cTotal)
+		}
+		runs := cDelta.Counters["store.gc.runs"]
+		if runs == 0 || runs > cTotal {
+			t.Errorf("group-commit pipeline flushed %d runs for %d pairs", runs, cTotal)
+		}
+		if persists := cDelta.Counters["store.gc.persists"]; persists == 0 {
+			t.Error("group-commit pipeline recorded no persist fences for durable writes")
+		}
+	}
 }

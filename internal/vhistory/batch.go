@@ -55,6 +55,20 @@ func (h *PHistory) ClaimRun(n int) uint64 {
 	return h.pending.Add(uint64(n)) - uint64(n)
 }
 
+// UnclaimRun rolls back a claimed run none of whose slots has been staged,
+// reporting whether the rollback won. It loses when a later claim already
+// moved the counter past the run; the history then has a hole no one will
+// stage (see ErrSlotLeaked) and the store must stop accepting writes.
+func (h *PHistory) UnclaimRun(start uint64, n int) bool {
+	return h.pending.CompareAndSwap(start+uint64(n), start)
+}
+
+// PendingHint returns the current claim count. Advisory only — concurrent
+// appenders may move it immediately. The batched append path uses it to
+// size its allocation wave before anything is claimed, so an allocation
+// failure can abort the batch with nothing to roll back.
+func (h *PHistory) PendingHint() uint64 { return h.pending.Load() }
+
 // RunSegments returns the first and last segment index touched by the run
 // of n slots starting at start.
 func RunSegments(start uint64, n int) (first, last int) {

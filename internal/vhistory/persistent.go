@@ -1,6 +1,7 @@
 package vhistory
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -144,6 +145,13 @@ func (h *PHistory) loadedEntryPtr(a *pmem.Arena, slot uint64) pmem.Ptr {
 	return a.LoadPtr(h.dirWord(seg)) + pmem.Ptr(off*EntryBytes)
 }
 
+// ErrSlotLeaked reports that a failed append claimed a slot it could not
+// give back: a later appender had already claimed the next slot, so the
+// history now has a hole no one will ever stage, and every appender behind
+// it would spin forever on the missing version word. The store cannot
+// repair this; callers must stop accepting writes (wedge).
+var ErrSlotLeaked = errors.New("vhistory: failed append left an unreclaimable claimed slot")
+
 // Append records (version, value) durably (Algorithm 1 insert over
 // persistent memory). See EHistory.Append for the same-key ordering rules;
 // additionally, the entry is persisted before its commit number is claimed
@@ -152,7 +160,14 @@ func (h *PHistory) Append(a *pmem.Arena, version, value uint64, c *Clock) error 
 	slot := h.pending.Add(1) - 1
 	ep, err := h.entryPtr(a, slot)
 	if err != nil {
-		return err
+		// Roll the claim back so a failed allocation (arena exhaustion)
+		// leaves no half-claimed slot behind; the history stays exactly as
+		// it was and the caller may keep writing. The rollback loses only
+		// when a concurrent appender already claimed the next slot.
+		if h.pending.CompareAndSwap(slot+1, slot) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", ErrSlotLeaked, err)
 	}
 	a.StoreUint64(ep+8, value)
 	var prev pmem.Ptr

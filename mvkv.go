@@ -115,15 +115,31 @@ type Options struct {
 	// and ExtractRange shard the key space over this many workers (default:
 	// GOMAXPROCS). The result is byte-identical to a sequential walk.
 	ExtractThreads int
+	// GroupCommit enables the asynchronous group-commit write pipeline:
+	// concurrent Insert/Remove/InsertBatch calls are coalesced by a
+	// dispatcher into shared batched-append runs whose persist fences are
+	// merged, amortizing the persistence cost across uncoordinated
+	// writers. Per-call semantics are unchanged (a call returns only once
+	// its entries are durable). Most valuable with many concurrent
+	// writers or a nonzero PersistLatency.
+	GroupCommit bool
+	// GroupCommitMaxRun caps the pairs coalesced into one run (default
+	// 512); GroupCommitFlushInterval optionally waits that long for more
+	// writers before flushing a non-full run (default 0: flush greedily).
+	GroupCommitMaxRun        int
+	GroupCommitFlushInterval time.Duration
 }
 
 func (o Options) core() core.Options {
 	return core.Options{
-		ArenaBytes:     o.PoolBytes,
-		Path:           o.Path,
-		PersistLatency: o.PersistLatency,
-		RebuildThreads: o.RebuildThreads,
-		ExtractThreads: o.ExtractThreads,
+		ArenaBytes:               o.PoolBytes,
+		Path:                     o.Path,
+		PersistLatency:           o.PersistLatency,
+		RebuildThreads:           o.RebuildThreads,
+		ExtractThreads:           o.ExtractThreads,
+		GroupCommit:              o.GroupCommit,
+		GroupCommitMaxRun:        o.GroupCommitMaxRun,
+		GroupCommitFlushInterval: o.GroupCommitFlushInterval,
 	}
 }
 

@@ -16,6 +16,10 @@
 #      start mvkvd with -debug-addr, drive a scripted workload through
 #      mvkvctl, and require `mvkvctl stats` and the expvar endpoint to
 #      reconcile exactly with the operations issued
+#   9. group commit: race-enabled pipeline suites (dispatcher, crash-point
+#      sweep, SIGKILL recovery, many-connection TCP), then a benchkv smoke —
+#      16 uncoordinated writers through the pipeline must coalesce to under
+#      2.0 persist fences per entry (the unpipelined path pays ~7)
 #
 # Exits non-zero on the first failing gate.
 set -euo pipefail
@@ -117,5 +121,25 @@ for want in '"store.ops.insert":2' '"store.ops.find":1'; do
 done
 kill "$mvkvd_pid"; wait "$mvkvd_pid" 2>/dev/null || true
 echo "observability smoke: wire stats and expvar reconcile with the scripted workload"
+
+echo "== gate 10: group commit (race + coalescing smoke) =="
+# Dispatcher, conformance-under-pipeline, crash-point sweep, real-SIGKILL
+# recovery, and the many-connection TCP load test, all race-enabled.
+go test -race -short -timeout 300s -run 'GroupCommit' \
+  ./internal/core/ ./internal/kvnet/
+
+# Coalescing smoke: 16 uncoordinated single-insert writers through the
+# pipeline. The unpipelined write path pays the full per-entry fence
+# schedule (~7 persists/entry); the dispatcher must get under 2.0.
+"$tmpbin" -n 5000 -reps 1 -threads 16 -csv groupcommit | awk -F, '
+  $1 == "gc-off" && $4 == 16 { offp = $9; ops = $6 }
+  $1 == "gc-on"  && $4 == 16 { onp = $9 }
+  END {
+    if (ops == "" || onp == "") { print "FAIL: groupcommit rows missing from benchkv output"; exit 1 }
+    printf "groupcommit: 16 writers, %.2f persists/entry pipelined vs %.2f unpipelined\n",
+           onp / ops, offp / ops
+    if (onp / ops >= 2.0) { print "FAIL: pipeline did not coalesce fences (persists/entry >= 2.0)"; exit 1 }
+    if (onp + 0 >= offp + 0) { print "FAIL: pipelined run persisted no less than unpipelined"; exit 1 }
+  }'
 
 echo "verify: all gates passed"
