@@ -21,6 +21,10 @@
 //	extract      snapshot extraction vs worker count, local + tcp  (new)
 //	groupcommit  persists/entry + throughput vs uncoordinated
 //	             writer count, pipeline off vs on                  (new)
+//	soak         sustained overwrites of a fixed key set, arena
+//	             high-water mark with version GC on vs off, plus
+//	             zipfian hot-key cache hit ratio and Find speedup;
+//	             always writes BENCH_soak.json                     (new)
 //	all          every experiment at the configured scale
 //
 // Defaults are scaled down from the paper (N=1e6 on 64-core KNL; 512
@@ -60,12 +64,13 @@ var (
 	flagBatches  = flag.String("batches", "1,8,64,512", "batch sizes to sweep (batch)")
 	flagJSON     = flag.String("json", "", "also write the extract figure as machine-readable JSON to this path (extract)")
 	flagGCFlush  = flag.Duration("gcflush", 100*time.Microsecond, "group-commit flush interval; on few-core hosts the window is what lets writers queue (groupcommit)")
+	flagSoakKeys = flag.Int("soakkeys", 64, "fixed key-set size for the soak churn; rounds = n/soakkeys, so fewer keys drive each version chain deeper (soak)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|batch|extract|groupcommit|all>")
+		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|batch|extract|groupcommit|soak|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -127,10 +132,12 @@ func run(cmd string) ([]harness.Result, error) {
 		return runExtract()
 	case "groupcommit":
 		return runGroupCommit()
+	case "soak":
+		return runSoak()
 	case "all":
 		var all []harness.Result
 		for _, c := range []string{"insert", "remove", "history", "find", "snapshot",
-			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch", "extract", "groupcommit"} {
+			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch", "extract", "groupcommit", "soak"} {
 			rows, err := run(c)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", c, err)
@@ -422,6 +429,45 @@ func runGroupCommit() ([]harness.Result, error) {
 			rows = append(rows, r)
 		}
 	}
+	return rows, nil
+}
+
+// runSoak measures sustained-load memory health (not a paper figure): -n
+// total overwrites land on a fixed set of -soakkeys keys, once with the
+// tag-watermark GC collecting every 16 rounds and once without, reporting
+// the arena high-water mark a third of the way in and at the end (bounded =
+// the GC-on heap less than doubles over the final two thirds). The hot-read
+// phase then compares zipfian current-version Finds with the hot-key cache
+// on and off over -n loaded keys. The figure always writes BENCH_soak.json.
+func runSoak() ([]harness.Result, error) {
+	keys := *flagSoakKeys
+	if keys < 1 {
+		return nil, fmt.Errorf("-soakkeys must be positive, got %d", keys)
+	}
+	queries := *flagQueries
+	if queries == 0 {
+		queries = 2 * *flagN
+	}
+	rows, j, err := harness.RunSoak(harness.SoakSpec{
+		Keys:           keys,
+		Rounds:         *flagN / keys,
+		GCEvery:        16,
+		CacheN:         *flagN,
+		CacheQueries:   queries,
+		Reps:           *flagReps,
+		PersistLatency: *flagLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := harness.WriteSoakJSON("BENCH_soak.json", j); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "soak: gc-on heap %d -> %d bytes (%.2fx, bounded=%v), gc-off %d -> %d; "+
+		"cache hit ratio %.3f, find speedup %.2fx; wrote BENCH_soak.json\n",
+		j.GCOn.CheckpointHeapBytes, j.GCOn.EndHeapBytes, j.GCOn.GrowthRatio, j.Bounded,
+		j.GCOff.CheckpointHeapBytes, j.GCOff.EndHeapBytes,
+		j.Cache.HitRatio, j.Cache.FindSpeedup)
 	return rows, nil
 }
 

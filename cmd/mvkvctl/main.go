@@ -85,7 +85,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|get|history|snapshot|stat|stats|verify|fsck|compact> <pool|tcp://addr> [args] [flags]")
+	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|pin|unpin|gc|get|history|snapshot|stat|stats|verify|fsck|compact> <pool|tcp://addr> [args] [flags]")
 }
 
 // remotePrefix selects the network data path in place of a local pool.
@@ -295,6 +295,59 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(out, "sealed snapshot %d\n", v)
+			return nil
+		})
+
+	case "pin":
+		if len(pos) != 0 {
+			return fmt.Errorf("pin takes no positional arguments")
+		}
+		return withStore(func(s kv.Store) error {
+			var tag uint64
+			var err error
+			if e, ok := s.(interface{ AcquireTagErr() (uint64, error) }); ok {
+				tag, err = e.AcquireTagErr()
+			} else {
+				tag = kv.AcquireTag(s)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "pinned snapshot %d\n", tag)
+			return nil
+		})
+
+	case "unpin":
+		if len(pos) != 1 {
+			return fmt.Errorf("unpin needs exactly one tag")
+		}
+		tag, err := parseU64(pos[0])
+		if err != nil {
+			return err
+		}
+		return withStore(func(s kv.Store) error {
+			if err := kv.ReleaseTag(s, tag); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "released pin on snapshot %d\n", tag)
+			return nil
+		})
+
+	case "gc":
+		if len(pos) != 0 {
+			return fmt.Errorf("gc takes no positional arguments")
+		}
+		return withStore(func(s kv.Store) error {
+			res, err := kv.GC(s)
+			if err != nil {
+				return err
+			}
+			if !res.Supported {
+				fmt.Fprintln(out, "store has no version GC")
+				return nil
+			}
+			fmt.Fprintf(out, "watermark %d: scanned %d keys, reclaimed %d entries, %d segments, %d bytes\n",
+				res.Watermark, res.KeysScanned, res.EntriesReclaimed, res.SegmentsFreed, res.FreedBytes)
 			return nil
 		})
 

@@ -50,6 +50,9 @@ func main() {
 		groupCommit  = flag.Bool("group-commit", false, "coalesce concurrent writes into shared group-commit runs (amortized persist fences)")
 		gcMaxRun     = flag.Int("gc-max-run", 0, "max pairs per group-commit run (0 = default 512)")
 		gcFlushEvery = flag.Duration("gc-flush-interval", 0, "wait this long for more writers before flushing a non-full run (0 = flush greedily)")
+		gcInterval   = flag.Duration("vgc-interval", 0, "run the tag-watermark version GC this often in the background (0 = only on explicit 'mvkvctl gc')")
+		hotCache     = flag.Int("hot-cache-size", 0, "buckets in the hot-key read cache (0 = default 4096)")
+		noHotCache   = flag.Bool("disable-hot-cache", false, "turn the hot-key read cache off")
 	)
 	flag.Parse()
 	if *pool == "" {
@@ -63,6 +66,9 @@ func main() {
 		GroupCommit:              *groupCommit,
 		GroupCommitMaxRun:        *gcMaxRun,
 		GroupCommitFlushInterval: *gcFlushEvery,
+		GCInterval:               *gcInterval,
+		HotCacheSize:             *hotCache,
+		DisableHotCache:          *noHotCache,
 	}
 	var s *core.Store
 	var err error

@@ -86,6 +86,20 @@ func Open(a *pmem.Arena, headWord pmem.Ptr, capacity int) (*Chain, error) {
 	c := &Chain{arena: a, headWord: headWord, capacity: capacity}
 	t := head
 	for {
+		// The claim counter is not durably ordered with pair writes, so a
+		// crash can leave it below the pairs actually present. Rebuild it
+		// from the highest present slot, or the next post-recovery append
+		// would claim an already-occupied slot and overwrite a recovered
+		// pair. Slots skipped by a torn concurrent append stay holes
+		// forever; Walk already ignores them.
+		count := uint64(0)
+		for idx := uint64(c.capacity); idx > 0; idx-- {
+			if a.LoadPtr(t+blkPairsOff+pmem.Ptr((idx-1)*pairBytes)+8) != pmem.NullPtr {
+				count = idx
+				break
+			}
+		}
+		a.StoreUint64(t+blkCountWord, count)
 		next := a.LoadPtr(t + blkNextWord)
 		if next == pmem.NullPtr {
 			break

@@ -38,6 +38,8 @@ func (s *Store) InsertBatch(pairs []kv.KV) error {
 	if len(pairs) == 0 {
 		return nil
 	}
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	if s.gc != nil {
 		return s.gc.submit(pairs)
 	}
@@ -49,9 +51,11 @@ func (s *Store) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
 	s.met.findBatch.Inc()
 	values := make([]uint64, len(keys))
 	found := make([]bool, len(keys))
+	s.maintmu.RLock()
 	for i, k := range keys {
 		values[i], found[i] = s.find(k, versions[i])
 	}
+	s.maintmu.RUnlock()
 	return values, found
 }
 
@@ -83,6 +87,8 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 	if s.wedged.Load() {
 		return ErrWedged
 	}
+	s.writers.Add(1)
+	defer func() { s.writers.Add(-1); s.writeEpoch.Add(1) }()
 
 	byKey := make(map[uint64]*batchGroup, len(pairs))
 	groups := make([]*batchGroup, 0, len(pairs))
@@ -115,6 +121,9 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 		} else {
 			missing = append(missing, g)
 			sizes = append(sizes, vhistory.PHeaderBytes)
+		}
+		if !vhistory.RunFits(hint, len(g.values)) {
+			return vhistory.ErrHistoryFull // nothing allocated or claimed yet
 		}
 		first, last := vhistory.RunSegments(hint, len(g.values))
 		g.lastSeg = last
@@ -195,6 +204,11 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 		g.start = g.h.ClaimRun(len(g.values))
 	}
 	for _, g := range groups {
+		if !vhistory.RunFits(g.start, len(g.values)) {
+			// A racing appender pushed the key past its slot capacity
+			// between the hint check and the claim.
+			return s.rollbackRuns(groups, vhistory.ErrHistoryFull)
+		}
 		first, last := vhistory.RunSegments(g.start, len(g.values))
 		for seg := first; seg <= last; seg++ {
 			if !g.h.SegmentMissing(s.arena, seg) {
@@ -238,6 +252,9 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 	}
 	for _, seq := range seqs {
 		s.clock.Commit(seq)
+	}
+	for _, g := range groups {
+		s.hotInvalidate(g.key)
 	}
 	return nil
 }

@@ -24,8 +24,16 @@ import (
 // With file-backed pools, swap the files (rename) after CompactTo returns.
 //
 // The source must be quiescent: no concurrent writers during compaction
-// (readers are unaffected).
+// (readers are unaffected). The requirement is enforced, not assumed: a
+// writer detected before or during the copy aborts with ErrNotQuiescent
+// instead of returning a destination silently missing interleaved writes.
 func (s *Store) CompactTo(opts Options, keepSince uint64) (*Store, error) {
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
+	epoch := s.writeEpoch.Load()
+	if s.writers.Load() != 0 {
+		return nil, ErrNotQuiescent
+	}
 	dst, err := Create(opts)
 	if err != nil {
 		return nil, err
@@ -50,6 +58,9 @@ func (s *Store) CompactTo(opts Options, keepSince uint64) (*Store, error) {
 	})
 	if walkErr != nil {
 		return nil, walkErr
+	}
+	if s.writers.Load() != 0 || s.writeEpoch.Load() != epoch {
+		return nil, ErrNotQuiescent
 	}
 	// Preserve the version clock so tags keep advancing seamlessly.
 	cur := s.CurrentVersion()
@@ -113,6 +124,8 @@ func (s *Store) appendAt(key, version, value uint64) error {
 	if s.wedged.Load() {
 		return ErrWedged
 	}
+	s.writers.Add(1)
+	defer func() { s.writers.Add(-1); s.writeEpoch.Add(1) }()
 	h, ok := s.index.Get(key)
 	if !ok {
 		nh, err := vhistory.NewPHistory(s.arena, key)
@@ -139,5 +152,6 @@ func (s *Store) appendAt(key, version, value uint64) error {
 		}
 		return err
 	}
+	s.hotInvalidate(key)
 	return nil
 }

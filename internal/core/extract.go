@@ -108,6 +108,8 @@ func concatShards(shards [][]kv.KV) []kv.KV {
 // sweeps thread counts over one loaded store). threads <= 1 runs the
 // sequential walk.
 func (s *Store) ExtractSnapshotWith(version uint64, threads int) []kv.KV {
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	if threads <= 1 || s.index.Len() < parallelExtractMin {
 		return s.extractSpan(0, 0, version, false, s.index.Len())
 	}
@@ -121,6 +123,8 @@ func (s *Store) ExtractSnapshotWith(version uint64, threads int) []kv.KV {
 // ExtractRangeWith is ExtractRange with an explicit worker count (see
 // ExtractSnapshotWith).
 func (s *Store) ExtractRangeWith(lo, hi, version uint64, threads int) []kv.KV {
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	hint := s.index.EstimateRange(lo, hi)
 	if threads <= 1 || hint < parallelExtractMin {
 		return s.extractSpan(lo, hi, version, true, hint)
@@ -156,6 +160,8 @@ func (s *Store) StreamRange(lo, hi, version uint64, emit func(pairs []kv.KV) err
 }
 
 func (s *Store) streamSpan(lo, hi, version uint64, bounded bool, emit func(pairs []kv.KV) error) error {
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	threads := s.extractThreads()
 	if threads <= 1 || s.index.Len() < parallelExtractMin {
 		var out []kv.KV

@@ -45,6 +45,7 @@ type FsckReport struct {
 	Unfinished uint64 // torn slots of unacknowledged operations (harmless)
 
 	Fc             uint64 // durable global commit prefix recovery would restore
+	GCSeq          uint64 // GC seq-amnesty horizon H: contiguity is required above it
 	CoveredTo      uint64 // first version damaged by Lost entries; CoveredAll if none
 	CurrentVersion uint64 // persisted version counter
 	MaxVersion     uint64 // highest version among kept entries
@@ -93,6 +94,7 @@ func Fsck(a *pmem.Arena, opts Options) (rep FsckReport) {
 		return rep
 	}
 	rep.CurrentVersion = a.LoadUint64(super + supVerOff)
+	rep.GCSeq = a.LoadUint64(super + supGCSeqOff)
 
 	chain, err := blockchain.Open(a, super+supChainOff, opts.BlockCapacity)
 	if err != nil {
@@ -124,7 +126,7 @@ func Fsck(a *pmem.Arena, opts Options) (rep FsckReport) {
 			rep.Problems = append(rep.Problems, fmt.Sprintf("key %d: history pointer %d outside heap", p.Key, p.Hist))
 			return true
 		}
-		h := vhistory.OpenPHistory(p.Hist, 0)
+		h := vhistory.OpenPHistory(a, p.Hist, 0)
 		if got := h.Key(a); got != p.Key {
 			rep.Problems = append(rep.Problems, fmt.Sprintf("chain key %d: history records key %d", p.Key, got))
 			return true
@@ -175,7 +177,10 @@ func Fsck(a *pmem.Arena, opts Options) (rep FsckReport) {
 			present[q/64] |= 1 << (q % 64)
 		}
 	}
-	fc := uint64(0)
+	// Contiguity starts above the GC amnesty horizon (see recover.go):
+	// commit numbers at or below it may be legitimately absent, reclaimed
+	// by the version GC rather than lost to a crash.
+	fc := rep.GCSeq
 	for fc < maxSeq && present[(fc+1)/64]&(1<<((fc+1)%64)) != 0 {
 		fc++
 	}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/vhistory"
+)
+
+// Version GC: reclaim history entries no live snapshot can reach.
+//
+// Clients that need a stable snapshot pin it: AcquireTag seals a version
+// like Tag but also registers a reference; ReleaseTag drops it. The GC
+// watermark w is the smallest pinned tag (or the current version when
+// nothing is pinned), and a GC pass advances each key's persistent floor to
+// its newest entry with version < w — the baseline that serves every read
+// at versions >= w-1 — then returns whole history segments below the floor
+// to the arena free lists. Unpinned tags older than the watermark may stop
+// resolving exactly (reads at them fall back to the baseline); pinned tags
+// are byte-exact by construction.
+//
+// The pass is relocation-free: no entry moves, no commit number is
+// rewritten. Two persistent words change per key — the floor (monotonic,
+// single-word persist; either value is a valid image at any crash point)
+// and unlinked directory words (durably zeroed before their segment is
+// freed, so recycled storage is never reachable). The one global mutation
+// is the seq-amnesty horizon H in the superblock: freeing entries removes
+// their commit numbers from the 1..fc sequence, so recovery (recover.go)
+// requires contiguity only above H and treats gaps at or below H as
+// legitimate reclamation. H := fc is persisted before any floor moves,
+// which makes a crash at ANY point of the pass recover every version >= the
+// watermark intact.
+//
+// The pass holds maintmu exclusively: readers are excluded too, because a
+// freed segment can be recycled into unrelated allocations mid-read.
+// Writers (including the group-commit pipeline) hold maintmu shared across
+// their whole call, so exclusive acquisition is itself the quiesce.
+
+// ErrNotPinned is returned by ReleaseTag for a tag that has no live pin.
+var ErrNotPinned = errors.New("core: tag is not pinned")
+
+// AcquireTag seals the current version (like Tag) and pins it: the sealed
+// snapshot stays byte-exact until a matching ReleaseTag, no matter how many
+// GC passes run. Pins are refcounted per tag.
+func (s *Store) AcquireTag() uint64 {
+	s.met.acquireTag.Inc()
+	s.pinmu.Lock()
+	sealed := s.arena.AddUint64(s.super+supVerOff, 1) - 1
+	s.arena.Persist(s.super+supVerOff, 8)
+	s.pins[sealed]++
+	s.pinmu.Unlock()
+	return sealed
+}
+
+// ReleaseTag drops one pin of tag. The tag itself remains a valid sealed
+// version; it just loses its GC protection.
+func (s *Store) ReleaseTag(tag uint64) error {
+	s.met.releaseTag.Inc()
+	s.pinmu.Lock()
+	defer s.pinmu.Unlock()
+	n := s.pins[tag]
+	if n == 0 {
+		return ErrNotPinned
+	}
+	if n == 1 {
+		delete(s.pins, tag)
+	} else {
+		s.pins[tag] = n - 1
+	}
+	return nil
+}
+
+// Watermark returns the version below which the next GC pass may reclaim:
+// the smallest pinned tag, or the current version when nothing is pinned.
+func (s *Store) Watermark() uint64 {
+	s.pinmu.Lock()
+	defer s.pinmu.Unlock()
+	return s.watermarkLocked()
+}
+
+func (s *Store) watermarkLocked() uint64 {
+	w := s.currentVersion()
+	for t := range s.pins {
+		if t < w {
+			w = t
+		}
+	}
+	return w
+}
+
+// PinCount returns the number of distinct pinned tags.
+func (s *Store) PinCount() int {
+	s.pinmu.Lock()
+	defer s.pinmu.Unlock()
+	return len(s.pins)
+}
+
+// GC runs one synchronous version-GC pass and returns what it reclaimed
+// (kv.Collector). Safe to call at any time (it serializes against all
+// other operations via the maintenance lock) and idempotent: a pass after
+// a crash re-frees whatever an interrupted pass had unlinked but not yet
+// returned.
+func (s *Store) GC() (kv.GCResult, error) {
+	start := time.Now()
+	s.maintmu.Lock()
+	defer s.maintmu.Unlock()
+	// Writers hold maintmu shared until their commits are announced, so
+	// the clock is already settled; Quiesce is a cheap invariant check.
+	s.clock.Quiesce()
+
+	st := kv.GCResult{Supported: true}
+	s.pinmu.Lock()
+	st.Watermark = s.watermarkLocked()
+	s.pinmu.Unlock()
+
+	// Persist the amnesty horizon before creating any commit-number gaps.
+	if fc := s.clock.Fc(); s.arena.LoadUint64(s.super+supGCSeqOff) < fc {
+		s.arena.StoreUint64(s.super+supGCSeqOff, fc)
+		s.arena.Persist(s.super+supGCSeqOff, 8)
+	}
+
+	s.index.All(func(key uint64, h *vhistory.PHistory) bool {
+		st.KeysScanned++
+		oldFloor := h.Floor(s.arena)
+		if nf, ok := h.FloorCandidate(s.arena, st.Watermark, s.clock); ok && nf > oldFloor {
+			h.SetFloor(s.arena, nf)
+			st.EntriesReclaimed += nf - oldFloor
+		}
+		segs, bytes := h.FreeLeadingSegments(s.arena, h.Floor(s.arena))
+		st.SegmentsFreed += uint64(segs)
+		st.FreedBytes += bytes
+		return true
+	})
+
+	s.met.gc2Passes.Inc()
+	s.met.gc2Keys.Add(st.KeysScanned)
+	s.met.gc2Entries.Add(st.EntriesReclaimed)
+	s.met.gc2Segments.Add(st.SegmentsFreed)
+	s.met.gc2Bytes.Add(uint64(st.FreedBytes))
+	s.met.gc2Lat.ObserveSince(start)
+	return st, nil
+}
+
+var (
+	_ kv.Pinner    = (*Store)(nil)
+	_ kv.Collector = (*Store)(nil)
+)
+
+// gcLoop is the background pass driver behind Options.GCInterval.
+func (s *Store) gcLoop() {
+	defer s.gcDone.Done()
+	t := time.NewTicker(s.opts.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			s.GC()
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+// TestCrashPointSweepGC crashes the store at every persist boundary of a
+// workload whose steady overwrite churn is punctuated by version-GC passes,
+// then verifies recovery. A crash may land anywhere inside a GC pass — after
+// the amnesty horizon moved but before any floor did, between two keys'
+// floor advances, or between a floor persist and the directory-word zeroing
+// of the segments below it — so the invariant is weaker than the plain
+// sweep's exact-prefix check but still complete:
+//
+//   - the image is fsck-clean,
+//   - each key's live history is a contiguous window of its model history
+//     (GC only ever trims whole leading spans; it cannot punch holes),
+//   - the windows agree on one global commit prefix: every model write
+//     inside the recovered prefix is either present or dead below its
+//     key's floor,
+//   - nothing at or above the last GC watermark is ever trimmed (floors
+//     never pass the retained baseline),
+//   - the store keeps working: post-recovery inserts, a full GC pass, and
+//     exact reads all succeed.
+func TestCrashPointSweepGC(t *testing.T) {
+	type gcOp struct {
+		kind  byte // 'i' insert, 't' tag, 'g' GC
+		key   uint64
+		value uint64
+	}
+	const keys = 6
+	var ops []gcOp
+	for r := uint64(0); r < 12; r++ {
+		for k := uint64(0); k < keys; k++ {
+			ops = append(ops, gcOp{kind: 'i', key: k, value: r*100 + k})
+		}
+		ops = append(ops, gcOp{kind: 't'})
+		if r%4 == 3 {
+			ops = append(ops, gcOp{kind: 'g'})
+		}
+	}
+
+	type write struct {
+		key uint64
+		ev  kv.Event
+	}
+	var lastWatermark uint64
+	expected := func(s *Store) []write {
+		var out []write
+		for _, op := range ops {
+			switch op.kind {
+			case 'i':
+				out = append(out, write{op.key, kv.Event{Version: s.CurrentVersion(), Value: op.value}})
+				s.Insert(op.key, op.value)
+			case 't':
+				s.Tag()
+			case 'g':
+				lastWatermark = s.CurrentVersion()
+				if _, err := s.GC(); err != nil {
+					t.Fatalf("model GC: %v", err)
+				}
+			}
+		}
+		return out
+	}
+
+	// Dry run: count persists and build the model write log.
+	dryArena, err := pmem.New(8<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := CreateInArena(dryArena, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dryArena.LimitPersists(-1) // reset the counter
+	writes := expected(dry)
+	total := dryArena.PersistCount()
+	dryArena.Close()
+	if total < int64(len(writes)) {
+		t.Fatalf("suspiciously few persists: %d", total)
+	}
+
+	// Per-key model histories and each write's global program index.
+	perKey := map[uint64][]kv.Event{}
+	globalIdx := map[uint64]map[int]int{} // key -> index-in-key -> global index
+	for gi, w := range writes {
+		if globalIdx[w.key] == nil {
+			globalIdx[w.key] = map[int]int{}
+		}
+		globalIdx[w.key][len(perKey[w.key])] = gi
+		perKey[w.key] = append(perKey[w.key], w.ev)
+	}
+
+	for c := int64(0); c <= total+1; c++ {
+		arena, err := pmem.New(8<<20, pmem.WithShadow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CreateInArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena.LimitPersists(c)
+		for _, op := range ops {
+			switch op.kind {
+			case 'i':
+				s.Insert(op.key, op.value)
+			case 't':
+				s.Tag()
+			case 'g':
+				s.GC()
+			}
+		}
+		arena.Crash()
+		if err := arena.Recover(); err != nil {
+			t.Fatalf("crash point %d: recover: %v", c, err)
+		}
+		if rep := Fsck(arena, Options{BlockCapacity: 8}); rep.Severity() == FsckCorrupt {
+			t.Fatalf("crash point %d: fsck corrupt: %+v", c, rep)
+		}
+		s2, err := OpenArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatalf("crash point %d: open: %v", c, err)
+		}
+
+		// Each key's live history must be a contiguous window of the
+		// model; record where each window sits.
+		start := map[uint64]int{}
+		end := map[uint64]int{}
+		prefix := -1 // highest recovered global index
+		for k := uint64(0); k < keys; k++ {
+			got := s2.ExtractHistory(k)
+			model := perKey[k]
+			lo := 0
+			if len(got) > 0 {
+				for lo < len(model) && model[lo] != got[0] {
+					lo++
+				}
+			} else {
+				lo = len(model) // empty window floats to the end
+			}
+			if lo+len(got) > len(model) {
+				t.Fatalf("crash point %d: key %d history %v not a window of %v", c, k, got, model)
+			}
+			for i := range got {
+				if got[i] != model[lo+i] {
+					t.Fatalf("crash point %d: key %d history %v not contiguous in %v", c, k, got, model)
+				}
+			}
+			start[k], end[k] = lo, lo+len(got)
+			if len(got) > 0 {
+				if gi := globalIdx[k][lo+len(got)-1]; gi > prefix {
+					prefix = gi
+				}
+			}
+		}
+
+		for k := uint64(0); k < keys; k++ {
+			model := perKey[k]
+			for j := range model {
+				// Window consistency: every model write inside the
+				// recovered global prefix is present unless GC trimmed
+				// it below the key's floor.
+				if globalIdx[k][j] <= prefix && j >= start[k] && j >= end[k] {
+					t.Fatalf("crash point %d: key %d lost write %d (%+v) inside recovered prefix",
+						c, k, j, model[j])
+				}
+				// Watermark safety: nothing at or above the last GC
+				// watermark may ever be trimmed.
+				if model[j].Version >= lastWatermark && globalIdx[k][j] <= prefix && j < start[k] {
+					t.Fatalf("crash point %d: key %d write %d (%+v) above watermark %d was trimmed",
+						c, k, j, model[j], lastWatermark)
+				}
+			}
+		}
+
+		// The store keeps working: writes, a GC pass, exact reads.
+		if err := s2.Insert(99, 12345); err != nil {
+			t.Fatalf("crash point %d: post-recovery insert: %v", c, err)
+		}
+		s2.Tag()
+		if _, err := s2.GC(); err != nil {
+			t.Fatalf("crash point %d: post-recovery GC: %v", c, err)
+		}
+		if v, ok := s2.Find(99, s2.CurrentVersion()); !ok || v != 12345 {
+			t.Fatalf("crash point %d: post-recovery read = %d,%v", c, v, ok)
+		}
+		if _, err := s2.CheckIntegrity(); err != nil {
+			t.Fatalf("crash point %d: post-recovery integrity: %v", c, err)
+		}
+		arena.Close()
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+func newVGCStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.ArenaBytes == 0 {
+		opts.ArenaBytes = 32 << 20
+	}
+	s, err := Create(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestGCReclaimAndPinning is the direct core-level contract: a pinned tag
+// keeps its snapshot byte-exact through GC passes, releasing it lets the
+// next pass reclaim whole history segments, and the reclaimed bytes
+// reconcile exactly with the arena's free-list accounting.
+func TestGCReclaimAndPinning(t *testing.T) {
+	s := newVGCStore(t, Options{})
+	const keys = 8
+	for k := uint64(0); k < keys; k++ {
+		if err := s.Insert(k, 100+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pin0 := s.AcquireTag() // pins version 0: the baseline snapshot
+
+	// Enough overwrites per key to cross several history segments (segment
+	// j holds 2^(j+1) entries), then seal so the tail settles.
+	for r := 0; r < 40; r++ {
+		for k := uint64(0); k < keys; k++ {
+			if err := s.Insert(k, uint64(1000+r)*keys+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r%8 == 7 {
+			s.Tag()
+		}
+	}
+
+	// Pinned at the oldest tag: the watermark is pin0, nothing below it
+	// exists, so a pass reclaims nothing and changes nothing.
+	res, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Watermark != pin0 {
+		t.Fatalf("watermark %d with pin %d held", res.Watermark, pin0)
+	}
+	if res.EntriesReclaimed != 0 || res.SegmentsFreed != 0 {
+		t.Fatalf("pass under the oldest pin reclaimed: %+v", res)
+	}
+	for k := uint64(0); k < keys; k++ {
+		if v, ok := s.Find(k, pin0); !ok || v != 100+k {
+			t.Fatalf("Find(%d, pinned %d) = %d,%v; want %d,true", k, pin0, v, ok, 100+k)
+		}
+	}
+
+	// Pin the present, release the past: the watermark jumps and the next
+	// pass must reclaim whole segments of dead versions.
+	pin1 := s.AcquireTag()
+	if err := s.ReleaseTag(pin0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Watermark(); got != pin1 {
+		t.Fatalf("Watermark = %d after release, want %d", got, pin1)
+	}
+	res, err = s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntriesReclaimed == 0 || res.SegmentsFreed == 0 || res.FreedBytes == 0 {
+		t.Fatalf("pass after release reclaimed nothing: %+v", res)
+	}
+	if res.KeysScanned != keys {
+		t.Fatalf("KeysScanned = %d, want %d", res.KeysScanned, keys)
+	}
+
+	// The surviving pin and the live tail stay byte-exact.
+	for k := uint64(0); k < keys; k++ {
+		wantPin := uint64(1000+39)*keys + k
+		if v, ok := s.Find(k, pin1); !ok || v != wantPin {
+			t.Fatalf("Find(%d, pinned %d) = %d,%v; want %d,true", k, pin1, v, ok, wantPin)
+		}
+		if v, ok := s.Find(k, s.CurrentVersion()); !ok || v != wantPin {
+			t.Fatalf("Find(%d, current) = %d,%v; want %d,true", k, v, ok, wantPin)
+		}
+	}
+	if _, err := s.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after GC: %v", err)
+	}
+
+	// Metric reconciliation: GC is the only source of frees in this store's
+	// life, so the arena's total freed bytes equal the GC's freed bytes, and
+	// split exactly into still-resident free-list bytes plus bytes already
+	// recycled into new allocations (recycled = alloc.bytes - heap tail).
+	snap := s.ObsSnapshot()
+	freed := snap.Counter("pmem.free.bytes")
+	if gc2 := snap.Counter("store.gc2.freed_bytes"); gc2 != freed {
+		t.Fatalf("store.gc2.freed_bytes %d != pmem.free.bytes %d", gc2, freed)
+	}
+	recycled := snap.Counter("pmem.alloc.bytes") - uint64(snap.Gauge("pmem.heap.used_bytes"))
+	resident := uint64(snap.Gauge("pmem.freelist.resident_bytes"))
+	if recycled+resident != freed {
+		t.Fatalf("free-list books don't balance: recycled %d + resident %d != freed %d",
+			recycled, resident, freed)
+	}
+
+	// Pin bookkeeping edges.
+	if err := s.ReleaseTag(pin0); err != ErrNotPinned {
+		t.Fatalf("double release: %v, want ErrNotPinned", err)
+	}
+	if n := s.PinCount(); n != 1 {
+		t.Fatalf("PinCount = %d, want 1", n)
+	}
+	if err := s.ReleaseTag(pin1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCSurvivesReopen verifies the persistent side of a pass: floors and
+// the seq-amnesty horizon are durable, so a clean close and reopen after GC
+// serves exactly the reclaimed shape (tail exact, reclaimed versions served
+// by their baselines, integrity clean).
+func TestGCSurvivesReopen(t *testing.T) {
+	a, err := pmem.New(16<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CreateInArena(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4
+	for r := 0; r < 30; r++ {
+		for k := uint64(0); k < keys; k++ {
+			if err := s.Insert(k, uint64(100+r)*keys+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Tag()
+	}
+	res, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntriesReclaimed == 0 {
+		t.Fatalf("nothing reclaimed: %+v", res)
+	}
+	cur := s.CurrentVersion()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenArena(a, Options{})
+	if err != nil {
+		t.Fatalf("reopen after GC: %v", err)
+	}
+	defer a.Close()
+	defer s2.Close()
+	for k := uint64(0); k < keys; k++ {
+		want := uint64(100+29)*keys + k
+		if v, ok := s2.Find(k, cur); !ok || v != want {
+			t.Fatalf("reopened Find(%d, %d) = %d,%v; want %d,true", k, cur, v, ok, want)
+		}
+	}
+	if _, err := s2.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after reopen: %v", err)
+	}
+	// The reopened store keeps reclaiming and writing.
+	if err := s2.Insert(0, 424242); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Find(0, s2.CurrentVersion()); !ok || v != 424242 {
+		t.Fatalf("post-reopen write lost: %d,%v", v, ok)
+	}
+}
+
+// TestGCBoundedArenaSoak is the in-process soak: a fixed key set overwritten
+// tens of thousands of times must hold the heap bounded when GC runs, and
+// grow without bound when it does not. The checkpoints sit deep in the
+// capped-segment zone (slots past the last doubling segment), where steady
+// state means every new segment allocation is served by a segment the GC
+// freed earlier — the heap tail stops moving entirely. Earlier in a key's
+// life the doubling segments make the tail grow with the slot count even
+// under perfect GC, which is exactly why the geometry is capped.
+func TestGCBoundedArenaSoak(t *testing.T) {
+	const keys = 16
+	const rounds = 16000       // slots per key; the capped zone starts ~4k
+	const checkpoint = 5000    // first capped segments already recycled here
+	run := func(gc bool) (mid, end int64) {
+		s := newVGCStore(t, Options{ArenaBytes: 256 << 20})
+		for r := 0; r < rounds; r++ {
+			for k := uint64(0); k < keys; k++ {
+				if err := s.Insert(k, uint64(r)*keys+k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Tag()
+			if gc && r%10 == 9 {
+				if _, err := s.GC(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r == checkpoint {
+				mid = s.Arena().HeapUsed()
+			}
+		}
+		if gc {
+			if _, err := s.GC(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return mid, s.Arena().HeapUsed()
+	}
+
+	midGC, endGC := run(true)
+	midOff, endOff := run(false)
+	// GC on: steady state. The heap tail never shrinks (freed segments move
+	// to the free lists and are recycled), so "bounded" means the tail grew
+	// by less than 2x over the final two thirds of the run.
+	if endGC >= 2*midGC {
+		t.Fatalf("GC-on heap not bounded: %d at checkpoint, %d at end", midGC, endGC)
+	}
+	// GC off: version history accretes forever.
+	if endOff < 2*midOff {
+		t.Fatalf("GC-off control unexpectedly bounded: %d at checkpoint, %d at end (suite can't distinguish)", midOff, endOff)
+	}
+	if endOff < 2*endGC {
+		t.Fatalf("GC saved too little: %d bytes with GC, %d without", endGC, endOff)
+	}
+	t.Logf("heap after %d rounds x %d keys: %d bytes with GC, %d without", rounds, keys, endGC, endOff)
+}
+
+// TestGCBackgroundLoop exercises Options.GCInterval: passes run without any
+// explicit GC call and reclamation shows up in the metrics.
+func TestGCBackgroundLoop(t *testing.T) {
+	s := newVGCStore(t, Options{GCInterval: time.Millisecond})
+	const keys = 16
+	deadline := time.Now().Add(10 * time.Second)
+	for r := 0; ; r++ {
+		for k := uint64(0); k < keys; k++ {
+			if err := s.Insert(k, uint64(r)*keys+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Tag()
+		// Yield between rounds: a hot loop can starve the ticker
+		// goroutine of a scheduling slot on a loaded single-core box.
+		time.Sleep(time.Millisecond)
+		if s.ObsSnapshot().Counter("store.gc2.entries_reclaimed") > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background GC loop never reclaimed anything")
+		}
+	}
+}
+
+// TestCompactToQuiescenceGuard: CompactTo must refuse to run concurrently
+// with writers instead of silently compacting a moving store.
+func TestCompactToQuiescenceGuard(t *testing.T) {
+	s := newVGCStore(t, Options{})
+	if err := s.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.writers.Add(1) // a writer is mid-append
+	if _, err := s.CompactTo(Options{ArenaBytes: 8 << 20}, 0); err != ErrNotQuiescent {
+		t.Fatalf("CompactTo with a live writer: %v, want ErrNotQuiescent", err)
+	}
+	s.writers.Add(-1)
+	c, err := s.CompactTo(Options{ArenaBytes: 8 << 20}, 0)
+	if err != nil {
+		t.Fatalf("CompactTo quiesced: %v", err)
+	}
+	if v, ok := c.Find(1, c.CurrentVersion()); !ok || v != 2 {
+		t.Fatalf("compacted store Find = %d,%v", v, ok)
+	}
+	c.Close()
+}
+
+// TestGCTruncateInterplay: version truncation renumbers the surviving
+// commits to 1..n, so the amnesty horizon must come DOWN with it — without
+// that, post-truncation writes would claim commit numbers under the stale
+// horizon and escape recovery's contiguity check. This test drives the
+// sequence GC -> truncate -> write -> crash-recover that would corrupt
+// silently if the horizon stayed up.
+func TestGCTruncateInterplay(t *testing.T) {
+	a, err := pmem.New(16<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CreateInArena(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	const keys = 4
+	for r := 0; r < 20; r++ {
+		for k := uint64(0); k < keys; k++ {
+			if err := s.Insert(k, uint64(10+r)*keys+k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Tag()
+	}
+	if _, err := s.GC(); err != nil { // horizon H jumps to ~80
+		t.Fatal(err)
+	}
+	cut := uint64(5)
+	if err := s.TruncateFrom(cut); err != nil { // renumber to 1..n, H must drop to n
+		t.Fatal(err)
+	}
+	// Fresh writes above the truncation point claim low commit numbers.
+	for k := uint64(0); k < keys; k++ {
+		if err := s.Insert(k, 7777+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := s.CurrentVersion()
+	a.Crash()
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenArena(a, Options{})
+	if err != nil {
+		t.Fatalf("recovery after GC+truncate: %v", err)
+	}
+	defer s2.Close()
+	// The post-truncation writes were persisted before the crash; if the
+	// horizon had stayed at its pre-truncation value they would be inside
+	// the amnesty and recovery could drop them without noticing.
+	for k := uint64(0); k < keys; k++ {
+		if v, ok := s2.Find(k, cur); !ok || v != 7777+k {
+			t.Fatalf("post-truncation write lost: Find(%d, %d) = %d,%v; want %d,true", k, cur, v, ok, 7777+k)
+		}
+	}
+	if _, err := s2.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity: %v", err)
+	}
+}
+
+// TestAcquireTagSealsLikeTag: AcquireTag must be observationally a Tag plus
+// a pin — same version arithmetic, same snapshot semantics.
+func TestAcquireTagSealsLikeTag(t *testing.T) {
+	s := newVGCStore(t, Options{})
+	if err := s.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	tag := s.AcquireTag()
+	if cv := s.CurrentVersion(); cv != tag+1 {
+		t.Fatalf("CurrentVersion %d after AcquireTag %d, want %d", cv, tag, tag+1)
+	}
+	if err := s.Insert(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Find(1, tag); !ok || v != 10 {
+		t.Fatalf("Find at acquired tag = %d,%v, want 10,true", v, ok)
+	}
+	if v, ok := s.Find(1, tag+1); !ok || v != 20 {
+		t.Fatalf("Find above acquired tag = %d,%v, want 20,true", v, ok)
+	}
+	if err := s.ReleaseTag(tag); err != nil {
+		t.Fatal(err)
+	}
+	_ = kv.Store(s) // the capability surfaces ride the same kv.Store
+}

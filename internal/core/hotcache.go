@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// hotCache is a HotRing-style read cache for current-version Finds: under
+// skewed (zipfian) read traffic a handful of keys absorb most lookups, and
+// each lookup costs a skip-list descent plus a history binary search. The
+// cache short-circuits that with one hash and two atomic loads.
+//
+// Design: a fixed power-of-two array of independent buckets, each holding
+// one entry pointer plus an invalidation counter. Correctness rests on the
+// stamp protocol, not on locks:
+//
+//   - A writer bumps its key's bucket counter after its append commits
+//     (and before the write call returns).
+//   - A reader that misses records the counter BEFORE the authoritative
+//     lookup and stores the entry with that stamp. Any write that raced the
+//     lookup bumped the counter in between, so the entry is born stale and
+//     every later hit check (stamp == current counter) rejects it.
+//   - A hit additionally requires queried version >= entry's version: the
+//     entry describes the chain's tail (the key's current state from its
+//     version onward), so older — tagged, historical — reads bypass the
+//     cache and hit the chain, keeping snapshot semantics byte-exact.
+//
+// Entries are only filled from lookups that observed the chain tail
+// (vhistory.FindTail's isTail), including negative results: a missing key
+// caches {present: false, version: 0} and a removal marker caches
+// {present: false, version: marker-entry}. The version GC never moves or
+// rewrites tails, so GC passes need no invalidation; TruncateFrom rewrites
+// history and invalidates everything.
+type hotCache struct {
+	shift   uint
+	buckets []hcBucket
+}
+
+// hcEntry is one cached fact: at fill time, key's newest history entry had
+// version lv and value/present as recorded.
+type hcEntry struct {
+	key     uint64
+	value   uint64
+	lv      uint64
+	present bool
+	stamp   uint64
+}
+
+type hcBucket struct {
+	inv atomic.Uint64
+	ent atomic.Pointer[hcEntry]
+	_   [48]byte // pad to a cache line so invalidations don't false-share
+}
+
+type hcResult uint8
+
+const (
+	hcMiss hcResult = iota
+	hcHit
+	hcBypass // valid entry, but the read wants an older version
+)
+
+func newHotCache(size int) *hotCache {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	c := &hotCache{buckets: make([]hcBucket, n)}
+	for 1<<c.shift < n {
+		c.shift++
+	}
+	c.shift = 64 - c.shift
+	return c
+}
+
+func (c *hotCache) bucket(key uint64) *hcBucket {
+	return &c.buckets[key*0x9E3779B97F4A7C15>>c.shift]
+}
+
+func (c *hotCache) lookup(key, version uint64) (value uint64, present bool, res hcResult) {
+	b := c.bucket(key)
+	e := b.ent.Load()
+	if e == nil || e.key != key || e.stamp != b.inv.Load() {
+		return 0, false, hcMiss
+	}
+	if version < e.lv {
+		return 0, false, hcBypass
+	}
+	return e.value, e.present, hcHit
+}
+
+// begin snapshots the bucket's invalidation counter before the caller runs
+// the authoritative lookup; fill publishes the result under that stamp.
+func (c *hotCache) begin(key uint64) (*hcBucket, uint64) {
+	b := c.bucket(key)
+	return b, b.inv.Load()
+}
+
+func (c *hotCache) fill(b *hcBucket, stamp, key, value uint64, present bool, lv uint64) {
+	b.ent.Store(&hcEntry{key: key, value: value, lv: lv, present: present, stamp: stamp})
+}
+
+func (c *hotCache) invalidateKey(key uint64) {
+	c.bucket(key).inv.Add(1)
+}
+
+func (c *hotCache) invalidateAll() {
+	for i := range c.buckets {
+		c.buckets[i].inv.Add(1)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestHotCacheReadYourWrites is the stamp protocol's contract under the
+// race detector: after Insert returns, a current-version Find from the same
+// goroutine must see the new value, no matter how lookups, fills,
+// invalidations, and tags interleave across goroutines. Each goroutine
+// owns disjoint keys so the expected value is exact.
+func TestHotCacheReadYourWrites(t *testing.T) {
+	s := newVGCStore(t, Options{HotCacheSize: 64}) // tiny: force bucket sharing
+	const workers = 8
+	const rounds = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := uint64(w*4 + i%4)*uint64(workers)*4 + uint64(w)
+				want := uint64(i+1)<<8 | uint64(w)
+				if err := s.Insert(key, want); err != nil {
+					errs <- err
+					return
+				}
+				if got, ok := s.Find(key, s.CurrentVersion()); !ok || got != want {
+					t.Errorf("worker %d: read-your-writes broken: Find(%d) = %d,%v; want %d",
+						w, key, got, ok, want)
+					return
+				}
+				if i%16 == 0 {
+					s.Tag()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestHotCacheEquivalence drives an identical randomized workload — inserts,
+// removes, tags, GC passes, current and historical reads — through a
+// cache-enabled and a cache-disabled store and requires identical answers
+// for every probe. The cache must be a pure accelerator.
+func TestHotCacheEquivalence(t *testing.T) {
+	on := newVGCStore(t, Options{HotCacheSize: 32}) // tiny: heavy eviction
+	off := newVGCStore(t, Options{DisableHotCache: true})
+	rng := rand.New(rand.NewSource(7))
+	const keys = 24
+	var tags []uint64
+	for i := 0; i < 6000; i++ {
+		k := uint64(rng.Intn(keys))
+		switch op := rng.Intn(10); {
+		case op < 5: // insert
+			v := rng.Uint64() >> 1
+			if err := on.Insert(k, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := off.Insert(k, v); err != nil {
+				t.Fatal(err)
+			}
+		case op < 6: // remove
+			errOn, errOff := on.Remove(k), off.Remove(k)
+			if (errOn == nil) != (errOff == nil) {
+				t.Fatalf("op %d: Remove(%d) diverged: %v vs %v", i, k, errOn, errOff)
+			}
+		case op < 7: // tag
+			vOn, vOff := on.Tag(), off.Tag()
+			if vOn != vOff {
+				t.Fatalf("op %d: tags diverged: %d vs %d", i, vOn, vOff)
+			}
+			tags = append(tags, vOn)
+		case op < 8 && len(tags) > 0: // historical read at a random tag
+			tag := tags[rng.Intn(len(tags))]
+			gv, gok := on.Find(k, tag)
+			wv, wok := off.Find(k, tag)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d: Find(%d, tag %d) diverged: (%d,%v) vs (%d,%v)",
+					i, k, tag, gv, gok, wv, wok)
+			}
+		case op < 9 && i%500 == 499: // GC both
+			if _, err := on.GC(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := off.GC(); err != nil {
+				t.Fatal(err)
+			}
+			tags = tags[:0] // reclaimed below the watermark; stop probing old tags
+		default: // current read
+			cur := on.CurrentVersion()
+			if c2 := off.CurrentVersion(); c2 != cur {
+				t.Fatalf("op %d: current versions diverged: %d vs %d", i, cur, c2)
+			}
+			gv, gok := on.Find(k, cur)
+			wv, wok := off.Find(k, cur)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d: Find(%d, current %d) diverged: (%d,%v) vs (%d,%v)",
+					i, k, cur, gv, gok, wv, wok)
+			}
+		}
+	}
+	// Full-state equivalence at the end.
+	cur := on.CurrentVersion()
+	a, b := on.ExtractSnapshot(cur), off.ExtractSnapshot(cur)
+	if len(a) != len(b) {
+		t.Fatalf("final snapshots diverged: %d vs %d pairs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("final snapshot pair %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHotCacheMetricsPartition: hits, misses, and bypasses partition the
+// cache-enabled Find lookups exactly, historical reads land in bypass, and
+// a cache-disabled store publishes no cache counters at all.
+func TestHotCacheMetricsPartition(t *testing.T) {
+	s := newVGCStore(t, Options{})
+	if err := s.Insert(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	old := s.Tag()
+	if err := s.Insert(1, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	finds := uint64(0)
+	for i := 0; i < 10; i++ { // first miss fills, then hits
+		if v, ok := s.Find(1, s.CurrentVersion()); !ok || v != 200 {
+			t.Fatalf("current read %d: %d,%v", i, v, ok)
+		}
+		finds++
+	}
+	for i := 0; i < 5; i++ { // historical: cached tail is newer -> bypass
+		if v, ok := s.Find(1, old); !ok || v != 100 {
+			t.Fatalf("historical read %d: %d,%v", i, v, ok)
+		}
+		finds++
+	}
+	s.Find(2, s.CurrentVersion()) // absent key: miss, negative fill
+	finds++
+	s.Find(2, s.CurrentVersion()) // negative hit
+	finds++
+
+	snap := s.ObsSnapshot()
+	hits := snap.Counter("store.cache.hits")
+	misses := snap.Counter("store.cache.misses")
+	bypass := snap.Counter("store.cache.bypass")
+	if hits+misses+bypass != finds {
+		t.Fatalf("partition broken: %d hits + %d misses + %d bypass != %d finds",
+			hits, misses, bypass, finds)
+	}
+	if bypass < 5 {
+		t.Fatalf("historical reads not bypassed: %d", bypass)
+	}
+	if hits < 10 {
+		t.Fatalf("repeated current reads not hitting: %d", hits)
+	}
+	if snap.Counter("store.cache.fills") == 0 {
+		t.Fatal("no fills recorded")
+	}
+
+	offStore := newVGCStore(t, Options{DisableHotCache: true})
+	offStore.Insert(1, 1)
+	offStore.Find(1, offStore.CurrentVersion())
+	if _, present := offStore.ObsSnapshot().Counters["store.cache.hits"]; present {
+		t.Fatal("cache-disabled store publishes cache counters")
+	}
+}
+
+// TestHotCacheInvalidationExact: a write to one key must not disturb cached
+// entries of others (per-bucket invalidation, not a flush), while the
+// written key's next read re-fills with the new value.
+func TestHotCacheInvalidationExact(t *testing.T) {
+	s := newVGCStore(t, Options{HotCacheSize: 1 << 12})
+	for k := uint64(0); k < 8; k++ {
+		if err := s.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := s.CurrentVersion()
+	for k := uint64(0); k < 8; k++ { // fill all
+		s.Find(k, cur)
+	}
+	before := s.ObsSnapshot().Counter("store.cache.hits")
+	if err := s.Insert(3, 999); err != nil { // invalidates key 3's bucket only
+		t.Fatal(err)
+	}
+	cur = s.CurrentVersion()
+	for k := uint64(0); k < 8; k++ {
+		want := k + 1
+		if k == 3 {
+			want = 999
+		}
+		if v, ok := s.Find(k, cur); !ok || v != want {
+			t.Fatalf("Find(%d) after write to 3: %d,%v; want %d", k, v, ok, want)
+		}
+	}
+	hits := s.ObsSnapshot().Counter("store.cache.hits") - before
+	// 8 reads: at least the 6 keys not sharing key 3's bucket still hit
+	// (key 3 itself misses and re-fills; one more key may share its bucket).
+	if hits < 6 {
+		t.Fatalf("write to one key evicted others: only %d/8 hits", hits)
+	}
+}

@@ -27,6 +27,8 @@ type IntegrityReport struct {
 // run on a quiesced store; concurrent writers may cause spurious
 // complaints about keys mid-publication.
 func (s *Store) CheckIntegrity() (IntegrityReport, error) {
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	var rep IntegrityReport
 	rep.Blocks = s.chain.NumBlocks()
 

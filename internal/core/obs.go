@@ -37,6 +37,29 @@ type storeMetrics struct {
 	gcPersists obs.Counter   // persist fences those runs issued
 	gcRunSize  obs.Histogram // pairs per run
 	gcFlushLat obs.Histogram // sampled enqueue-side run flush latency
+
+	// Snapshot pinning + version GC (gc.go). gc2 — the group-commit
+	// pipeline owns the plain store.gc namespace. In a scenario where GC
+	// is the only source of frees, gc2.freed_bytes reconciles exactly with
+	// the arena: pmem.free.bytes == pmem.alloc.recycled_bytes +
+	// pmem.freelist.resident_bytes == gc2.freed_bytes.
+	acquireTag  obs.Counter
+	releaseTag  obs.Counter
+	gc2Passes   obs.Counter
+	gc2Keys     obs.Counter // histories scanned across passes
+	gc2Entries  obs.Counter // entries reclaimed below advanced floors
+	gc2Segments obs.Counter // whole segments returned to the free lists
+	gc2Bytes    obs.Counter // bytes those segments held
+	gc2Lat      obs.Histogram
+
+	// Hot-key read cache (hotcache.go). hits+misses+bypass partition the
+	// cache-enabled find lookups exactly; fills and invalidations count
+	// publish and stale-marking events.
+	cacheHits          obs.Counter
+	cacheMisses        obs.Counter
+	cacheBypass        obs.Counter // valid entry, historical read wanted
+	cacheFills         obs.Counter
+	cacheInvalidations obs.Counter
 }
 
 // ObsSnapshot captures the store's metrics ("store." prefix) merged with
@@ -62,6 +85,23 @@ func (s *Store) ObsSnapshot() obs.Snapshot {
 	o.SetHist("store.batch.size", &s.met.batchSize)
 	o.SetGauge("store.keys", int64(s.index.Len()))
 	o.SetGauge("store.current_version", int64(s.currentVersion()))
+	o.SetCounter("store.ops.acquire_tag", s.met.acquireTag.Load())
+	o.SetCounter("store.ops.release_tag", s.met.releaseTag.Load())
+	o.SetCounter("store.gc2.passes", s.met.gc2Passes.Load())
+	o.SetCounter("store.gc2.keys_scanned", s.met.gc2Keys.Load())
+	o.SetCounter("store.gc2.entries_reclaimed", s.met.gc2Entries.Load())
+	o.SetCounter("store.gc2.segments_freed", s.met.gc2Segments.Load())
+	o.SetCounter("store.gc2.freed_bytes", s.met.gc2Bytes.Load())
+	o.SetHist("store.gc2.pass_latency", &s.met.gc2Lat)
+	o.SetGauge("store.gc2.pins", int64(s.PinCount()))
+	o.SetGauge("store.gc2.watermark", int64(s.Watermark()))
+	if s.hot != nil {
+		o.SetCounter("store.cache.hits", s.met.cacheHits.Load())
+		o.SetCounter("store.cache.misses", s.met.cacheMisses.Load())
+		o.SetCounter("store.cache.bypass", s.met.cacheBypass.Load())
+		o.SetCounter("store.cache.fills", s.met.cacheFills.Load())
+		o.SetCounter("store.cache.invalidations", s.met.cacheInvalidations.Load())
+	}
 	if s.gc != nil {
 		o.SetCounter("store.gc.runs", s.met.gcRuns.Load())
 		o.SetCounter("store.gc.pairs", s.met.gcPairs.Load())

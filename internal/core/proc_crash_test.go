@@ -33,6 +33,9 @@ func TestMain(m *testing.M) {
 	if os.Getenv(envCrashChild) == "1" {
 		os.Exit(gcChildMain())
 	}
+	if os.Getenv(envVGCChild) == "1" {
+		os.Exit(vgcChildMain())
+	}
 	os.Exit(m.Run())
 }
 

@@ -20,24 +20,31 @@ import (
 // any entry whose commit number reached persistence).
 //
 // fc computation: the recovered finished counter is the largest S such that
-// every commit number 1..S was found durable ("count the length of all
-// contiguous non-zero finished sequences", as the paper puts it). Any
-// durable commit above a gap belongs to an operation that must be discarded
-// to preserve the global prefix-consistency guarantee.
+// every commit number H+1..S was found durable ("count the length of all
+// contiguous non-zero finished sequences", as the paper puts it), where H
+// is the GC seq-amnesty horizon persisted in the superblock (gc.go): the
+// version GC frees entries whose commit numbers sit at or below H, so gaps
+// there are legitimate reclamation, not crash damage, and the contiguity
+// requirement starts above H. Any durable commit above a gap past H
+// belongs to an operation that must be discarded to preserve the global
+// prefix-consistency guarantee.
 //
 // Phase 2 (parallel over the phase-1 candidates): cut each history at its
 // last commit ≤ fc, durably zero the rest (so stale slots can never be
 // mistaken for finished entries later), and insert the key into the fresh
-// skip list — the paper's parallel reconstruction.
+// skip list — the paper's parallel reconstruction. Slot counts are
+// absolute: each history's scan starts at its persisted GC floor, and the
+// kept prefix is floor + surviving live entries.
 func (s *Store) recover() error {
 	start := time.Now()
 	threads := s.opts.RebuildThreads
 
 	type candidate struct {
-		key  uint64
-		pair blockchain.Pair
-		seqs []uint64 // strictly increasing commit numbers of the durable prefix
-		vers []uint64 // versions of the prefix entries, aligned with seqs
+		key   uint64
+		pair  blockchain.Pair
+		floor uint64   // persisted GC floor: absolute slot of the first live entry
+		seqs  []uint64 // strictly increasing commit numbers of the durable prefix
+		vers  []uint64 // versions of the prefix entries, aligned with seqs
 		// extraMin is the smallest version among complete slots beyond the
 		// prefix break (CoveredAll if none): those entries finished before
 		// the crash but are discarded with the rest of the suffix, so their
@@ -54,8 +61,8 @@ func (s *Store) recover() error {
 			defer wg.Done()
 			var local []candidate
 			s.chain.WalkShard(t, threads, func(p blockchain.Pair) bool {
-				h := vhistory.OpenPHistory(p.Hist, 0)
-				raw := h.RecoverScan(s.arena)
+				h := vhistory.OpenPHistory(s.arena, p.Hist, 0)
+				raw := h.RecoverScan(s.arena) // raw[0] is absolute slot Floor
 				var seqs, vers []uint64
 				prev := uint64(0)
 				i := 0
@@ -76,7 +83,8 @@ func (s *Store) recover() error {
 						extraMin = r.VersionPlus1 - 1
 					}
 				}
-				local = append(local, candidate{key: p.Key, pair: p, seqs: seqs, vers: vers, extraMin: extraMin})
+				local = append(local, candidate{key: p.Key, pair: p, floor: h.Floor(s.arena),
+					seqs: seqs, vers: vers, extraMin: extraMin})
 				return true
 			})
 			perShard[t] = local
@@ -101,7 +109,10 @@ func (s *Store) recover() error {
 			}
 		}
 	}
-	fc := uint64(0)
+	// Contiguity starts above the GC amnesty horizon: commit numbers at or
+	// below it may be legitimately absent (their entries were reclaimed),
+	// and complete entries there are always kept.
+	fc := s.arena.LoadUint64(s.super + supGCSeqOff)
 	for fc < maxSeq && present[(fc+1)/64]&(1<<((fc+1)%64)) != 0 {
 		fc++
 	}
@@ -137,9 +148,9 @@ func (s *Store) recover() error {
 				if c.extraMin != CoveredAll {
 					lowerCovered(c.extraMin)
 				}
-				h := vhistory.OpenPHistory(c.pair.Hist, 0)
-				h.Prune(s.arena, keep)
-				h2 := vhistory.OpenPHistory(c.pair.Hist, keep)
+				h := vhistory.OpenPHistory(s.arena, c.pair.Hist, 0)
+				h.Prune(s.arena, c.floor+keep)
+				h2 := vhistory.OpenPHistory(s.arena, c.pair.Hist, c.floor+keep)
 				s.index.GetOrCreate(c.key, func() *vhistory.PHistory { return h2 }, nil)
 				keys.Add(1)
 				kept.Add(keep)

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,14 +33,18 @@ import (
 	"mvkv/internal/vhistory"
 )
 
-// Superblock layout (the arena root object).
+// Superblock layout (the arena root object). The magic is "PSKLST02":
+// format 02 added the per-history GC floor word (vhistory header layout)
+// and the GC seq-amnesty horizon below, so 01 pools are rejected rather
+// than misread.
 const (
-	superMagic  = 0x50534B4C53543031 // "PSKLST01"
+	superMagic  = 0x50534B4C53543032 // "PSKLST02"
 	superBytes  = 8 * 8
 	supMagicOff = 0  // magic
 	supVerOff   = 8  // current (unsealed) version number
 	supChainOff = 16 // chain head block pointer
-	// words 3..7 reserved
+	supGCSeqOff = 24 // GC seq-amnesty horizon H (see gc.go and recover.go)
+	// words 4..7 reserved
 )
 
 // ErrMarkerValue is returned by Insert when the value collides with the
@@ -49,6 +54,10 @@ var ErrMarkerValue = errors.New("core: value is the reserved removal marker")
 // ErrWedged is returned once the store hit an unrecoverable arena error
 // (exhaustion); reads keep working, writes are refused.
 var ErrWedged = errors.New("core: store is wedged after an arena error (likely out of space)")
+
+// ErrNotQuiescent is returned by CompactTo when concurrent writers are
+// detected: the copy would silently miss writes interleaved with the walk.
+var ErrNotQuiescent = errors.New("core: operation requires a quiescent store (concurrent writers detected)")
 
 // Options configures a PSkipList store.
 type Options struct {
@@ -93,6 +102,17 @@ type Options struct {
 	// as the queue is drained (run size then tracks the number of writers
 	// actually blocked, adding no latency when the store is idle).
 	GroupCommitFlushInterval time.Duration
+	// GCInterval, when positive, runs the tag-watermark version GC
+	// (gc.go) in a background loop at this period. Zero (the default)
+	// means GC runs only on demand via Store.GC.
+	GCInterval time.Duration
+	// HotCacheSize is the bucket count of the hot-key read cache serving
+	// repeated current-version Finds without touching the skip list or the
+	// arena (hotcache.go). Rounded up to a power of two. Default 4096.
+	HotCacheSize int
+	// DisableHotCache turns the hot-key read cache off (ablation and
+	// benchmarks).
+	DisableHotCache bool
 }
 
 func (o *Options) fill() {
@@ -114,6 +134,9 @@ func (o *Options) fill() {
 	if o.GroupCommitQueue <= 0 {
 		o.GroupCommitQueue = 1024
 	}
+	if o.HotCacheSize <= 0 {
+		o.HotCacheSize = 4096
+	}
 }
 
 // Store is a PSkipList instance. All methods are safe for concurrent use.
@@ -131,7 +154,32 @@ type Store struct {
 	stats  RecoveryStats
 	met    storeMetrics
 
-	gc *groupCommitter // nil unless Options.GroupCommit
+	gc  *groupCommitter // nil unless Options.GroupCommit
+	hot *hotCache       // nil when Options.DisableHotCache
+
+	// maintmu serializes maintenance passes against everything else: every
+	// public operation holds it shared, while the version GC (gc.go) and
+	// TruncateFrom hold it exclusively — GC returns whole history segments
+	// to the arena free lists, so even readers must be excluded while it
+	// runs. Group-commit writers hold their shared lock across the
+	// dispatcher round-trip and the dispatcher itself never touches
+	// maintmu, so exclusive acquisition drains the pipeline without
+	// deadlock.
+	maintmu sync.RWMutex
+
+	// pinmu guards pins: refcounts of tags pinned by AcquireTag. The GC
+	// watermark is the smallest pinned tag (gc.go).
+	pinmu sync.Mutex
+	pins  map[uint64]int
+
+	gcStop chan struct{} // closes the background GC loop, nil if none
+	gcDone sync.WaitGroup
+
+	// writers counts in-flight append protocol executions and writeEpoch
+	// their completions; together they let CompactTo detect concurrent
+	// writers instead of silently copying a moving store (compact.go).
+	writers    atomic.Int64
+	writeEpoch atomic.Uint64
 }
 
 // CoveredAll is the RecoveryStats.CoveredTo sentinel meaning the crash
@@ -233,10 +281,26 @@ func CreateInArena(a *pmem.Arena, opts Options) (*Store, error) {
 	}
 	s.chain = chain
 	a.SetRoot(super)
-	if opts.GroupCommit {
+	s.finishInit()
+	return s, nil
+}
+
+// finishInit wires the optional subsystems shared by Create and Open: the
+// group-commit dispatcher, the hot-key read cache, the pin table, and the
+// background GC loop.
+func (s *Store) finishInit() {
+	s.pins = make(map[uint64]int)
+	if s.opts.GroupCommit {
 		s.gc = newGroupCommitter(s)
 	}
-	return s, nil
+	if !s.opts.DisableHotCache {
+		s.hot = newHotCache(s.opts.HotCacheSize)
+	}
+	if s.opts.GCInterval > 0 {
+		s.gcStop = make(chan struct{})
+		s.gcDone.Add(1)
+		go s.gcLoop()
+	}
 }
 
 // OpenArena recovers a store previously created in a caller-owned arena
@@ -262,9 +326,7 @@ func OpenArena(a *pmem.Arena, opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
-	if opts.GroupCommit {
-		s.gc = newGroupCommitter(s)
-	}
+	s.finishInit()
 	return s, nil
 }
 
@@ -307,11 +369,16 @@ func (s *Store) Insert(key, value uint64) error {
 	}
 	if obs.Sampled(n) {
 		start := time.Now()
+		s.maintmu.RLock()
 		err := s.write(key, value)
+		s.maintmu.RUnlock()
 		s.met.insertLat.ObserveSince(start)
 		return err
 	}
-	return s.write(key, value)
+	s.maintmu.RLock()
+	err := s.write(key, value)
+	s.maintmu.RUnlock()
+	return err
 }
 
 // Remove records key's removal in the current version. Removing an absent
@@ -319,6 +386,8 @@ func (s *Store) Insert(key, value uint64) error {
 // Remove idempotent and order-tolerant under concurrency.
 func (s *Store) Remove(key uint64) error {
 	s.met.remove.Inc()
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	return s.write(key, kv.Marker)
 }
 
@@ -345,28 +414,78 @@ func (s *Store) append(key, value uint64) error {
 func (s *Store) Find(key, version uint64) (uint64, bool) {
 	if obs.Sampled(s.met.find.Inc()) {
 		start := time.Now()
+		s.maintmu.RLock()
 		v, ok := s.find(key, version)
+		s.maintmu.RUnlock()
 		s.met.findLat.ObserveSince(start)
 		return v, ok
 	}
-	// Unsampled fast path: the lookup body is flattened here (instead of
-	// calling s.find) because at ~600 ns per lookup even one extra call
-	// frame shows up in the tier-1 Find benchmark.
+	s.maintmu.RLock()
+	if s.hot != nil {
+		v, ok := s.find(key, version)
+		s.maintmu.RUnlock()
+		return v, ok
+	}
+	// Unsampled cache-off fast path: the lookup body is flattened here
+	// (instead of calling s.find) because at ~600 ns per lookup even one
+	// extra call frame shows up in the tier-1 Find benchmark.
 	h, ok := s.index.Get(key)
 	if !ok {
+		s.maintmu.RUnlock()
 		return 0, false
 	}
-	return h.Find(s.arena, version, s.clock)
+	v, ok := h.Find(s.arena, version, s.clock)
+	s.maintmu.RUnlock()
+	return v, ok
 }
 
 // find is the uncounted lookup shared by Find and FindBatch (the batch op
-// has its own counter; routing it through Find would double-count).
+// has its own counter; routing it through Find would double-count). The
+// caller holds maintmu shared. With the hot-key cache enabled this is also
+// where it is consulted and filled (see hotcache.go for the protocol).
 func (s *Store) find(key, version uint64) (uint64, bool) {
+	c := s.hot
+	if c == nil {
+		h, ok := s.index.Get(key)
+		if !ok {
+			return 0, false
+		}
+		return h.Find(s.arena, version, s.clock)
+	}
+	switch v, present, res := c.lookup(key, version); res {
+	case hcHit:
+		s.met.cacheHits.Inc()
+		return v, present
+	case hcBypass:
+		s.met.cacheBypass.Inc()
+	default:
+		s.met.cacheMisses.Inc()
+	}
+	b, stamp := c.begin(key)
 	h, ok := s.index.Get(key)
 	if !ok {
+		// A key with no history is absent at every version; cache that
+		// (version 0 matches all queries) under the pre-lookup stamp.
+		c.fill(b, stamp, key, 0, false, 0)
+		s.met.cacheFills.Inc()
 		return 0, false
 	}
-	return h.Find(s.arena, version, s.clock)
+	v, ok, lv, isTail := h.FindTail(s.arena, version, s.clock)
+	if isTail {
+		c.fill(b, stamp, key, v, ok, lv)
+		s.met.cacheFills.Inc()
+	}
+	return v, ok
+}
+
+// hotInvalidate marks key's cache bucket stale. Write paths call it after
+// their commit is announced and before returning to the caller, which is
+// what keeps read-your-writes exact (hotcache.go).
+func (s *Store) hotInvalidate(key uint64) {
+	if s.hot != nil {
+		s.hot.invalidateKey(key)
+		s.met.cacheInvalidations.Inc()
+	}
 }
 
 // ExtractSnapshot returns every pair present in snapshot version, sorted by
@@ -394,9 +513,13 @@ func (s *Store) ExtractRange(lo, hi, version uint64) []kv.KV {
 	return out
 }
 
-// ExtractHistory returns key's change log (Table 1 extract_history).
+// ExtractHistory returns key's change log (Table 1 extract_history). The
+// log starts at the key's GC floor: entries reclaimed below the tag
+// watermark are gone, with the retained baseline entry first.
 func (s *Store) ExtractHistory(key uint64) []kv.Event {
 	s.met.history.Inc()
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	h, ok := s.index.Get(key)
 	if !ok {
 		return nil
@@ -421,6 +544,8 @@ func (s *Store) Keys(fn func(key uint64) bool) {
 // replication — that must preserve original version numbers; value may be
 // the removal Marker. Versions appended to one key must be non-decreasing.
 func (s *Store) AppendAt(key, version, value uint64) error {
+	s.maintmu.RLock()
+	defer s.maintmu.RUnlock()
 	return s.appendAt(key, version, value)
 }
 
@@ -431,6 +556,11 @@ func (s *Store) Clock() *vhistory.Clock { return s.clock }
 // group commit enabled it first stops the pipeline: new writes fail with
 // ErrClosed, everything already enqueued flushes and resolves.
 func (s *Store) Close() error {
+	if s.gcStop != nil {
+		close(s.gcStop)
+		s.gcDone.Wait()
+		s.gcStop = nil
+	}
 	if s.gc != nil {
 		s.gc.close()
 	}

@@ -26,16 +26,23 @@ import (
 // truncation recovers to a consistent (possibly conservatively shorter)
 // prefix, never to a corrupt one.
 //
-// Only safe when no operations are concurrently in flight.
+// Only safe when no operations are concurrently in flight; the maintenance
+// lock is held exclusively as a backstop.
 func (s *Store) TruncateFrom(cutoff uint64) error {
 	if s.wedged.Load() {
 		return ErrWedged
 	}
+	s.maintmu.Lock()
+	defer s.maintmu.Unlock()
 	s.clock.Quiesce()
 
 	// Pass 1: per key, find the surviving prefix (versions are
 	// non-decreasing in slot order, so entries >= cutoff form a suffix),
 	// durably zero the rest, and collect the survivors' slot references.
+	// Slots are absolute: the scan starts at the key's GC floor, and the
+	// floor's baseline entry survives like any other (truncating to below
+	// a key's baseline version leaves the key empty — versions below the
+	// baseline were already reclaimed and cannot be restored).
 	type ref struct {
 		h      *vhistory.PHistory
 		slot   uint64
@@ -43,18 +50,19 @@ func (s *Store) TruncateFrom(cutoff uint64) error {
 	}
 	var refs []ref
 	s.index.All(func(_ uint64, h *vhistory.PHistory) bool {
-		raw := h.RecoverScan(s.arena)
+		floor := h.Floor(s.arena)
+		raw := h.RecoverScan(s.arena) // raw[0] is absolute slot floor
 		keep := uint64(0)
 		prev := uint64(0)
 		for _, r := range raw {
 			if !r.Complete() || r.Seq <= prev || r.VersionPlus1-1 >= cutoff {
 				break
 			}
-			refs = append(refs, ref{h: h, slot: keep, oldSeq: r.Seq})
+			refs = append(refs, ref{h: h, slot: floor + keep, oldSeq: r.Seq})
 			keep++
 			prev = r.Seq
 		}
-		h.Prune(s.arena, keep)
+		h.Prune(s.arena, floor+keep)
 		return true
 	})
 
@@ -67,7 +75,20 @@ func (s *Store) TruncateFrom(cutoff uint64) error {
 			r.h.SetSlotSeq(s.arena, r.slot, newSeq)
 		}
 	}
-	s.clock.Reset(uint64(len(refs)))
+	// The renumbered survivors are gap-free 1..n, so the GC amnesty
+	// horizon moves to n — in particular DOWN when it exceeded n, or
+	// commit numbers claimed by post-truncation writes would be amnestied
+	// and escape recovery's contiguity check. Persisted before the clock
+	// restarts so no new write can claim a number under the stale horizon.
+	n := uint64(len(refs))
+	if s.arena.LoadUint64(s.super+supGCSeqOff) != n {
+		s.arena.StoreUint64(s.super+supGCSeqOff, n)
+		s.arena.Persist(s.super+supGCSeqOff, 8)
+	}
+	s.clock.Reset(n)
+	if s.hot != nil {
+		s.hot.invalidateAll()
+	}
 
 	// Move the version counter to the cutoff, durably. (It can also move
 	// forward: sealing empty versions up to the cluster-agreed target.)

@@ -42,6 +42,15 @@ const (
 	opTagAll uint64 = iota + 100
 	opLenSum
 	opHistoryAny
+	// Cluster-wide snapshot pinning and version GC (kv.Pinner /
+	// kv.Collector lifted to the whole partitioned store). Pins live in
+	// each rank's in-memory pin table: a rank that crashes and rejoins
+	// loses its pins, which is safe — an unpinned partition merely becomes
+	// eligible for reclamation again; it never reclaims above the
+	// cluster's surviving watermark on the ranks that still hold the pin.
+	opAcquirePin
+	opReleasePin
+	opGCAll
 )
 
 // PartialBatchError reports a batch insert that did not cleanly apply
@@ -439,6 +448,131 @@ func combineSum(a, b []byte) []byte {
 	return cluster.PutUint64s(cluster.GetUint64s(a)[0] + cluster.GetUint64s(b)[0])
 }
 
+// AcquirePinAll seals AND pins the current version on every rank. Like
+// TagAll it requires the full cluster — a pin that misses a partition would
+// not protect the snapshot — so with any rank down it fails fast with
+// ErrRankDown. The ranks stay in version lockstep, so one global tag number
+// names the pinned snapshot on all of them.
+func (s *Service) AcquirePinAll() (uint64, error) {
+	all := make([]int, s.comm.Size())
+	for r := range all {
+		all[r] = r
+	}
+	ctx, err := s.beginOp(opAcquirePin, all)
+	if err != nil {
+		return 0, err
+	}
+	v := kv.AcquireTag(s.store)
+	rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, cluster.PutUint64s(v, v), combineMinMax, s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	if maskAny(lost) {
+		missing := maskMembers(lost, s.comm.Size())
+		// Best effort: this rank's own pin is dropped so a failed acquire
+		// never leaks a local pin the caller cannot release.
+		_ = kv.ReleaseTag(s.store, v)
+		return 0, fmt.Errorf("dist: pin %d not confirmed by ranks %v: %w", v, missing,
+			cluster.ErrRankDown{Rank: missing[0]})
+	}
+	w := cluster.GetUint64s(rep)
+	if w[0] != w[1] {
+		return 0, fmt.Errorf("dist: version skew across pinned ranks: %d..%d", w[0], w[1])
+	}
+	return v, nil
+}
+
+// ReleasePinAll drops one pin of tag on every rank. Ranks that are down are
+// reported via ErrRankDown (their pins died with them, so nothing leaks);
+// a rank that answers with an error (e.g. core.ErrNotPinned after a rejoin
+// reset its pin table) surfaces that error.
+func (s *Service) ReleasePinAll(tag uint64) error {
+	all := make([]int, s.comm.Size())
+	for r := range all {
+		all[r] = r
+	}
+	ctx, err := s.beginOp(opReleasePin, all, tag)
+	if err != nil {
+		return err
+	}
+	var rep []byte
+	if rerr := kv.ReleaseTag(s.store, tag); rerr != nil {
+		rep = []byte(rerr.Error())
+	}
+	rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, rep, combineFirstErr, s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	if maskAny(lost) {
+		missing := maskMembers(lost, s.comm.Size())
+		return fmt.Errorf("dist: release of pin %d not confirmed by ranks %v: %w", tag, missing,
+			cluster.ErrRankDown{Rank: missing[0]})
+	}
+	if len(rep) > 0 {
+		return fmt.Errorf("dist: release pin %d: %s", tag, rep)
+	}
+	return nil
+}
+
+// GCAll runs one version-GC pass on every reachable rank and returns the
+// cluster-wide totals (watermark = the minimum across ranks, counts summed,
+// Supported = every reachable rank supported it). Unreachable partitions
+// are reported via PartialResultError alongside the partial totals — they
+// reclaim on their own schedule once healed.
+func (s *Service) GCAll() (kv.GCResult, error) {
+	ctx, err := s.beginOp(opGCAll, nil)
+	if err != nil {
+		return kv.GCResult{}, err
+	}
+	local, _ := kv.GC(s.store)
+	rep, suspects, lost := s.ftReduce(ctx.seq, ctx.members, encodeGC(local), combineGC, s.opts.OpTimeout)
+	s.endOp(ctx, suspects, lost)
+	res := decodeGC(rep)
+	if missing := s.missingRanks(ctx, lost); len(missing) > 0 {
+		return res, s.partial(missing)
+	}
+	return res, nil
+}
+
+// encodeGC flattens a GC result for the reduction tree: (supported,
+// watermark, keys, entries, segments, bytes).
+func encodeGC(r kv.GCResult) []byte {
+	sup := uint64(0)
+	if r.Supported {
+		sup = 1
+	}
+	return cluster.PutUint64s(sup, r.Watermark, r.KeysScanned,
+		r.EntriesReclaimed, r.SegmentsFreed, uint64(r.FreedBytes))
+}
+
+func decodeGC(p []byte) kv.GCResult {
+	if len(p) < 48 {
+		return kv.GCResult{}
+	}
+	w := cluster.GetUint64s(p)
+	return kv.GCResult{
+		Supported:        w[0] != 0,
+		Watermark:        w[1],
+		KeysScanned:      w[2],
+		EntriesReclaimed: w[3],
+		SegmentsFreed:    w[4],
+		FreedBytes:       int64(w[5]),
+	}
+}
+
+// combineGC merges two ranks' GC results: Supported ANDs, the watermark
+// takes the minimum, the reclamation counts sum.
+func combineGC(a, b []byte) []byte {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	av, bv := cluster.GetUint64s(a), cluster.GetUint64s(b)
+	wm := av[1]
+	if bv[1] < wm {
+		wm = bv[1]
+	}
+	return cluster.PutUint64s(av[0]&bv[0], wm, av[2]+bv[2], av[3]+bv[3], av[4]+bv[4], av[5]+bv[5])
+}
+
 // HistoryAny returns the key's change log from its owner, with the same
 // degraded-mode contract as Find: ErrRankDown if the owner is down, one
 // retry if its reply was stranded behind a rank that died mid-tree.
@@ -584,6 +718,38 @@ func (c *ClusterStore) TagErr() (uint64, error) {
 	return c.svc.TagAll()
 }
 
+// AcquireTag implements kv.Pinner across the cluster: the snapshot is
+// sealed and pinned on every rank. Collective failures surface as tag 0;
+// use AcquireTagErr when the distinction matters.
+func (c *ClusterStore) AcquireTag() uint64 {
+	v, _ := c.AcquireTagErr()
+	return v
+}
+
+// AcquireTagErr is AcquireTag with collective/transport errors reported
+// (ErrRankDown when any partition is unreachable: a pin must cover the full
+// cluster).
+func (c *ClusterStore) AcquireTagErr() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.AcquirePinAll()
+}
+
+// ReleaseTag implements kv.Pinner across the cluster.
+func (c *ClusterStore) ReleaseTag(tag uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.ReleasePinAll(tag)
+}
+
+// GC implements kv.Collector across the cluster: one pass per reachable
+// rank, totals combined (see Service.GCAll).
+func (c *ClusterStore) GC() (kv.GCResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.GCAll()
+}
+
 // CurrentVersion implements kv.Store (all ranks are in lockstep; rank 0's
 // counter is authoritative).
 func (c *ClusterStore) CurrentVersion() uint64 {
@@ -660,3 +826,5 @@ func (c *ClusterStore) Close() error {
 
 var _ kv.Store = (*ClusterStore)(nil)
 var _ kv.BulkStore = (*ClusterStore)(nil)
+var _ kv.Pinner = (*ClusterStore)(nil)
+var _ kv.Collector = (*ClusterStore)(nil)

@@ -534,6 +534,18 @@ func (s *Service) Serve() error {
 			s.ftReduce(cmd.opSeq, cmd.members, cluster.PutUint64s(uint64(s.store.Len())), combineSum, cmd.timeout)
 		case opHistoryAny:
 			s.ftReduce(cmd.opSeq, cmd.members, s.historyReply(w[0]), combineFind, cmd.timeout)
+		case opAcquirePin:
+			v := kv.AcquireTag(s.store)
+			s.ftReduce(cmd.opSeq, cmd.members, cluster.PutUint64s(v, v), combineMinMax, cmd.timeout)
+		case opReleasePin:
+			var rep []byte
+			if err := kv.ReleaseTag(s.store, w[0]); err != nil {
+				rep = []byte(err.Error())
+			}
+			s.ftReduce(cmd.opSeq, cmd.members, rep, combineFirstErr, cmd.timeout)
+		case opGCAll:
+			res, _ := kv.GC(s.store)
+			s.ftReduce(cmd.opSeq, cmd.members, encodeGC(res), combineGC, cmd.timeout)
 		case opAlign:
 			var rep []byte
 			if err := s.applyAlign(w[0], w[1]); err != nil {

@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mvkv/internal/core"
+	"mvkv/internal/kv"
+	"mvkv/internal/workload"
+)
+
+// SoakSpec configures the sustained-load memory-health figure (not a paper
+// figure): a fixed key set is overwritten for many rounds — the access
+// pattern the paper's version chains handle worst, since every write grows
+// a history — once with periodic tag-watermark GC passes and once without,
+// recording the arena bump-allocator high-water mark at a checkpoint and at
+// the end. With GC on, reclaimed version segments recycle through the pmem
+// free lists and the high-water mark must flatline ("bounded"); with GC off
+// it grows without bound. A second phase measures the hot-key read cache:
+// zipfian-skewed current-version Finds against identical stores with the
+// cache on and off.
+type SoakSpec struct {
+	// Keys is the fixed overwrite set; Rounds rewrites every key once per
+	// round, so Keys*Rounds total overwrites land in Keys version chains.
+	Keys   int
+	Rounds int
+	// GCEvery runs a GC pass every GCEvery rounds on the GC-on store.
+	GCEvery int
+	// CacheN distinct keys are loaded for the hot-read phase and probed
+	// with CacheQueries zipfian Finds (exponent CacheZipfS > 1).
+	CacheN       int
+	CacheQueries int
+	CacheZipfS   float64
+	// Reps repeats the timed read loop and keeps the fastest (the stores
+	// are built once; reads are side-effect-free apart from cache fills).
+	Reps           int
+	PersistLatency time.Duration
+	// ArenaBytes overrides the churn-phase pool size (0 = computed).
+	ArenaBytes int64
+}
+
+// SoakHeap is one churn run's memory-health measurements.
+type SoakHeap struct {
+	CheckpointHeapBytes int64   `json:"checkpoint_heap_bytes"`
+	EndHeapBytes        int64   `json:"end_heap_bytes"`
+	GrowthRatio         float64 `json:"growth_ratio_end_vs_checkpoint"`
+	PersistsPerEntry    float64 `json:"persists_per_entry"`
+	ElapsedNs           int64   `json:"elapsed_ns"`
+	GCPasses            uint64  `json:"gc_passes,omitempty"`
+	EntriesReclaimed    uint64  `json:"entries_reclaimed,omitempty"`
+	SegmentsFreed       uint64  `json:"segments_freed,omitempty"`
+	FreedBytes          uint64  `json:"freed_bytes,omitempty"`
+	FreelistHits        uint64  `json:"freelist_hits,omitempty"`
+}
+
+// SoakCache is the hot-key read-cache phase.
+type SoakCache struct {
+	Keys        int     `json:"keys"`
+	Queries     int     `json:"queries"`
+	ZipfS       float64 `json:"zipf_s"`
+	HitRatio    float64 `json:"hit_ratio"`
+	OnNsPerOp   float64 `json:"cache_on_ns_per_op"`
+	OffNsPerOp  float64 `json:"cache_off_ns_per_op"`
+	FindSpeedup float64 `json:"find_speedup"`
+}
+
+// SoakJSON is the machine-readable soak figure (BENCH_soak.json).
+type SoakJSON struct {
+	Figure     string    `json:"figure"`
+	Keys       int       `json:"keys"`
+	Rounds     int       `json:"rounds"`
+	Overwrites int       `json:"overwrites"`
+	GCEvery    int       `json:"gc_every"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	GoVersion  string    `json:"go_version"`
+	Note       string    `json:"note,omitempty"`
+	GCOn       SoakHeap  `json:"gc_on"`
+	GCOff      SoakHeap  `json:"gc_off"`
+	Bounded    bool      `json:"bounded"`
+	Cache      SoakCache `json:"hot_cache"`
+}
+
+func (s SoakSpec) reps() int {
+	if s.Reps < 1 {
+		return 1
+	}
+	return s.Reps
+}
+
+// soakChurn overwrites the fixed key set for spec.Rounds rounds, sealing a
+// version per round, optionally collecting every GCEvery rounds, and
+// samples HeapUsed a third of the way in and at the end. Both samples are
+// taken right after a GC pass (when enabled) so they compare steady states,
+// not a pass-phase accident.
+func soakChurn(spec SoakSpec, withGC bool) (SoakHeap, time.Duration, error) {
+	var h SoakHeap
+	bytes := spec.ArenaBytes
+	if bytes == 0 {
+		// GC-off keeps every version: chains hold Keys*Rounds entries.
+		bytes = int64(spec.Keys)*int64(spec.Rounds)*48 + (64 << 20)
+	}
+	s, err := core.Create(core.Options{
+		ArenaBytes:     bytes,
+		PersistLatency: spec.PersistLatency,
+	})
+	if err != nil {
+		return h, 0, err
+	}
+	defer s.Close()
+
+	checkpoint := spec.Rounds / 3
+	start := time.Now()
+	for r := 1; r <= spec.Rounds; r++ {
+		for k := 0; k < spec.Keys; k++ {
+			if err := s.Insert(uint64(k), uint64(r)); err != nil {
+				return h, 0, fmt.Errorf("round %d key %d: %w", r, k, err)
+			}
+		}
+		s.Tag()
+		if withGC && r%spec.GCEvery == 0 {
+			if _, err := s.GC(); err != nil {
+				return h, 0, fmt.Errorf("GC at round %d: %w", r, err)
+			}
+		}
+		if r == checkpoint {
+			h.CheckpointHeapBytes = s.Arena().HeapUsed()
+		}
+	}
+	elapsed := time.Since(start)
+
+	h.EndHeapBytes = s.Arena().HeapUsed()
+	if h.CheckpointHeapBytes > 0 {
+		h.GrowthRatio = float64(h.EndHeapBytes) / float64(h.CheckpointHeapBytes)
+	}
+	entries := int64(spec.Keys) * int64(spec.Rounds)
+	h.PersistsPerEntry = float64(s.Arena().PersistCount()) / float64(entries)
+	h.ElapsedNs = elapsed.Nanoseconds()
+	snap := s.ObsSnapshot()
+	h.GCPasses = snap.Counter("store.gc2.passes")
+	h.EntriesReclaimed = snap.Counter("store.gc2.entries_reclaimed")
+	h.SegmentsFreed = snap.Counter("store.gc2.segments_freed")
+	h.FreedBytes = snap.Counter("store.gc2.freed_bytes")
+	h.FreelistHits = snap.Counter("pmem.freelist.hits") + snap.Counter("pmem.freelist.batchhits")
+	return h, elapsed, nil
+}
+
+// soakCacheStore builds one read-phase store (pre-loaded, one sealed
+// version) with the hot cache on or off.
+func soakCacheStore(spec SoakSpec, cacheOn bool) (*core.Store, error) {
+	s, err := core.Create(core.Options{
+		ArenaBytes:      int64(spec.CacheN)*600 + (64 << 20),
+		DisableHotCache: !cacheOn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := workload.Generate(spec.CacheN, 0x50A1C)
+	pairs := make([]kv.KV, spec.CacheN)
+	for i := range pairs {
+		pairs[i] = kv.KV{Key: w.Keys[i], Value: w.Values[i]}
+	}
+	for off := 0; off < len(pairs); off += 4096 {
+		end := off + 4096
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		if err := kv.InsertBatch(s, pairs[off:end]); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	s.Tag()
+	return s, nil
+}
+
+// soakReads times spec.CacheQueries zipfian current-version Finds over the
+// prepared query sequence, repeated spec.Reps times with the fastest kept.
+func soakReads(s *core.Store, keys []uint64, reps int) (time.Duration, error) {
+	cur := s.CurrentVersion()
+	best := time.Duration(0)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for _, k := range keys {
+			if _, ok := s.Find(k, cur); !ok {
+				return 0, fmt.Errorf("loaded key %d not found", k)
+			}
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// RunSoak runs both phases and returns printable rows plus the JSON figure.
+func RunSoak(spec SoakSpec) ([]Result, *SoakJSON, error) {
+	if spec.Keys < 1 || spec.Rounds < 3 {
+		return nil, nil, fmt.Errorf("soak: need at least 1 key and 3 rounds, got %d/%d", spec.Keys, spec.Rounds)
+	}
+	if spec.GCEvery < 1 {
+		spec.GCEvery = 16
+	}
+	if spec.CacheZipfS <= 1 {
+		spec.CacheZipfS = 1.2
+	}
+	overwrites := spec.Keys * spec.Rounds
+	j := &SoakJSON{
+		Figure:     "soak",
+		Keys:       spec.Keys,
+		Rounds:     spec.Rounds,
+		Overwrites: overwrites,
+		GCEvery:    spec.GCEvery,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Note: "heap bytes are the arena bump-allocator high-water mark: flat = " +
+			"reclaimed segments recycling through the pmem free lists",
+	}
+
+	var rows []Result
+	on, onElapsed, err := soakChurn(spec, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gc-on churn: %w", err)
+	}
+	off, offElapsed, err := soakChurn(spec, false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gc-off churn: %w", err)
+	}
+	j.GCOn, j.GCOff = on, off
+	// Bounded: past the checkpoint the GC-on heap must not double again
+	// even though two thirds of all overwrites land after it.
+	j.Bounded = on.EndHeapBytes < 2*on.CheckpointHeapBytes
+	rows = append(rows,
+		Result{Figure: "soak-heap", Approach: "gc-on", Threads: 1, N: overwrites,
+			Elapsed: onElapsed, Ops: overwrites, Persists: int64(float64(overwrites) * on.PersistsPerEntry)},
+		Result{Figure: "soak-heap", Approach: "gc-off", Threads: 1, N: overwrites,
+			Elapsed: offElapsed, Ops: overwrites, Persists: int64(float64(overwrites) * off.PersistsPerEntry)},
+	)
+
+	// Hot-read phase: identical zipfian query sequence against a cache-on
+	// and a cache-off store with identical contents.
+	if spec.CacheN > 0 && spec.CacheQueries > 0 {
+		w := workload.Generate(spec.CacheN, 0x50A1C)
+		rng := rand.New(rand.NewSource(0xCAFE))
+		zipf := rand.NewZipf(rng, spec.CacheZipfS, 1, uint64(spec.CacheN-1))
+		queries := make([]uint64, spec.CacheQueries)
+		for i := range queries {
+			queries[i] = w.Keys[zipf.Uint64()]
+		}
+
+		sOn, err := soakCacheStore(spec, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cache-on store: %w", err)
+		}
+		defer sOn.Close()
+		sOff, err := soakCacheStore(spec, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cache-off store: %w", err)
+		}
+		defer sOff.Close()
+
+		offBest, err := soakReads(sOff, queries, spec.reps())
+		if err != nil {
+			return nil, nil, fmt.Errorf("cache-off reads: %w", err)
+		}
+		onBest, err := soakReads(sOn, queries, spec.reps())
+		if err != nil {
+			return nil, nil, fmt.Errorf("cache-on reads: %w", err)
+		}
+		snap := sOn.ObsSnapshot()
+		hits := snap.Counter("store.cache.hits")
+		lookups := hits + snap.Counter("store.cache.misses") + snap.Counter("store.cache.bypass")
+		c := SoakCache{
+			Keys:       spec.CacheN,
+			Queries:    spec.CacheQueries,
+			ZipfS:      spec.CacheZipfS,
+			OnNsPerOp:  float64(onBest.Nanoseconds()) / float64(len(queries)),
+			OffNsPerOp: float64(offBest.Nanoseconds()) / float64(len(queries)),
+		}
+		if lookups > 0 {
+			c.HitRatio = float64(hits) / float64(lookups)
+		}
+		if onBest > 0 {
+			c.FindSpeedup = float64(offBest) / float64(onBest)
+		}
+		j.Cache = c
+		rows = append(rows,
+			Result{Figure: "soak-cache", Approach: "cache-on", Threads: 1, N: spec.CacheN,
+				Elapsed: onBest, Ops: len(queries)},
+			Result{Figure: "soak-cache", Approach: "cache-off", Threads: 1, N: spec.CacheN,
+				Elapsed: offBest, Ops: len(queries)},
+		)
+	}
+	return rows, j, nil
+}
+
+// WriteSoakJSON renders the soak figure as BENCH_soak.json content.
+func WriteSoakJSON(path string, j *SoakJSON) error {
+	buf, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -151,6 +151,65 @@ func TruncateFrom(s Store, cutoff uint64) error {
 	return fmt.Errorf("kv: store %T does not support version truncation", s)
 }
 
+// Pinner is the optional snapshot-pinning capability: AcquireTag seals a
+// version like Store.Tag but also pins it, protecting every entry the
+// sealed snapshot can reach from the version GC until a matching
+// ReleaseTag. Pins are refcounted per tag. Stores without a GC satisfy the
+// contract trivially (every tag is always stable), so the package helpers
+// fall back to plain Tag and a no-op release.
+type Pinner interface {
+	AcquireTag() uint64
+	ReleaseTag(tag uint64) error
+}
+
+// AcquireTag seals and pins a snapshot via s's Pinner capability, falling
+// back to a plain Tag for stores without one (their tags are never
+// reclaimed, so the pin is implicit).
+func AcquireTag(s Store) uint64 {
+	if p, ok := s.(Pinner); ok {
+		return p.AcquireTag()
+	}
+	return s.Tag()
+}
+
+// ReleaseTag drops a pin taken by AcquireTag. For stores without a Pinner
+// it is a no-op: there is no GC to protect against.
+func ReleaseTag(s Store, tag uint64) error {
+	if p, ok := s.(Pinner); ok {
+		return p.ReleaseTag(tag)
+	}
+	return nil
+}
+
+// GCResult reports one version-GC pass. Supported is false when the store
+// has no collector (the helper's zero-result fallback); the remaining
+// fields mirror core.GCStats.
+type GCResult struct {
+	Supported        bool
+	Watermark        uint64
+	KeysScanned      uint64
+	EntriesReclaimed uint64
+	SegmentsFreed    uint64
+	FreedBytes       int64
+}
+
+// Collector is the optional version-GC capability: one synchronous pass
+// reclaiming history entries below the store's tag watermark (the smallest
+// pinned tag).
+type Collector interface {
+	GC() (GCResult, error)
+}
+
+// GC runs a version-GC pass via s's Collector capability; stores without
+// one return Supported=false and no error (nothing to reclaim, by
+// construction).
+func GC(s Store) (GCResult, error) {
+	if c, ok := s.(Collector); ok {
+		return c.GC()
+	}
+	return GCResult{}, nil
+}
+
 // Store is the multi-version ordered dictionary API of Table 1. All methods
 // are safe for concurrent use unless an implementation documents otherwise
 // (the paper's LockedMap baseline serializes internally; it still satisfies

@@ -738,6 +738,52 @@ func (c *Client) FindBatchErr(keys, versions []uint64) ([]uint64, []bool, error)
 	return values, found, nil
 }
 
+// AcquireTag implements kv.Pinner over the wire: it seals and pins a
+// snapshot on the server. Transport errors surface as tag 0; use
+// AcquireTagErr when the distinction matters. Like every mutation, a lost
+// response is not retried (the pin may be live server-side; AcquireTagErr
+// surfaces ErrUnknownOutcome so the caller can decide).
+func (c *Client) AcquireTag() uint64 {
+	t, _ := c.AcquireTagErr()
+	return t
+}
+
+// AcquireTagErr is AcquireTag with transport errors reported.
+func (c *Client) AcquireTagErr() (uint64, error) {
+	c.met.acquireTag.Inc()
+	return c.oneWord(OpAcquireTag)
+}
+
+// ReleaseTag implements kv.Pinner over the wire: it drops one pin of tag on
+// the server. A tag with no live pin surfaces the server's in-band error.
+func (c *Client) ReleaseTag(tag uint64) error {
+	c.met.releaseTag.Inc()
+	_, err := c.call(OpReleaseTag, putU64s(nil, tag))
+	return err
+}
+
+// GC implements kv.Collector over the wire: it runs one synchronous
+// version-GC pass on the server and returns what it reclaimed. Supported is
+// false when the remote store has no collector.
+func (c *Client) GC() (kv.GCResult, error) {
+	c.met.gc.Inc()
+	resp, err := c.call(OpGC, nil)
+	if err != nil {
+		return kv.GCResult{}, err
+	}
+	if err := wantWords(resp, 6); err != nil {
+		return kv.GCResult{}, err
+	}
+	return kv.GCResult{
+		Supported:        u64at(resp, 0) != 0,
+		Watermark:        u64at(resp, 1),
+		KeysScanned:      u64at(resp, 2),
+		EntriesReclaimed: u64at(resp, 3),
+		SegmentsFreed:    u64at(resp, 4),
+		FreedBytes:       int64(u64at(resp, 5)),
+	}, nil
+}
+
 // Ping round-trips an empty frame, verifying the server is reachable and
 // responsive within the configured deadline.
 func (c *Client) Ping() error {
@@ -783,6 +829,8 @@ func decodePairs(p []byte) ([]kv.KV, error) {
 var _ kv.Store = (*Client)(nil)
 var _ kv.BulkStore = (*Client)(nil)
 var _ kv.SnapshotStreamer = (*Client)(nil)
+var _ kv.Pinner = (*Client)(nil)
+var _ kv.Collector = (*Client)(nil)
 
 // IsTimeout reports whether err is a deadline expiry (a net.Error timeout),
 // as produced by Options.CallTimeout or the server-side deadlines.

@@ -24,6 +24,9 @@ var opNames = map[byte]string{
 	OpSnapshotChunk:  "snapshot_chunk",
 	OpRangeChunk:     "range_chunk",
 	OpStats:          "stats",
+	OpAcquireTag:     "acquire_tag",
+	OpReleaseTag:     "release_tag",
+	OpGC:             "gc",
 }
 
 func opName(op byte) string {
@@ -110,6 +113,9 @@ type clientMetrics struct {
 	insertBatch    obs.Counter
 	findBatch      obs.Counter
 	stats          obs.Counter
+	acquireTag     obs.Counter
+	releaseTag     obs.Counter
+	gc             obs.Counter
 
 	dials            obs.Counter // connection attempts
 	dialFails        obs.Counter // failed connection attempts
@@ -136,6 +142,9 @@ func (c *Client) ObsSnapshot() obs.Snapshot {
 	o.SetCounter("net.client.ops.insert_batch", c.met.insertBatch.Load())
 	o.SetCounter("net.client.ops.find_batch", c.met.findBatch.Load())
 	o.SetCounter("net.client.ops.stats", c.met.stats.Load())
+	o.SetCounter("net.client.ops.acquire_tag", c.met.acquireTag.Load())
+	o.SetCounter("net.client.ops.release_tag", c.met.releaseTag.Load())
+	o.SetCounter("net.client.ops.gc", c.met.gc.Load())
 	o.SetCounter("net.client.dials", c.met.dials.Load())
 	o.SetCounter("net.client.dial_failures", c.met.dialFails.Load())
 	o.SetCounter("net.client.retries", c.met.retries.Load())

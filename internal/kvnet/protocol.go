@@ -86,6 +86,17 @@ const (
 	// obs.Snapshot (the server's wire metrics merged with the store's, when
 	// the store exposes ObsSnapshot). Idempotent; Client.Stats decodes it.
 	OpStats = 15 // () -> JSON obs.Snapshot
+
+	// Snapshot pinning and version GC (kv.Pinner / kv.Collector over the
+	// wire). AcquireTag and ReleaseTag mutate the server's pin table and GC
+	// reclaims storage, so none of the three is in the idempotent retry set:
+	// a lost response surfaces ErrUnknownOutcome rather than risking a
+	// double pin, a double release, or a double pass. Servers dispatch
+	// through the kv helpers, so a store without the capability still
+	// answers (a plain Tag, a no-op release, a Supported=false GC result).
+	OpAcquireTag = 16 // () -> tag
+	OpReleaseTag = 17 // tag -> ()
+	OpGC         = 18 // () -> supported, watermark, keys, entries, segments, freed_bytes
 )
 
 const (

@@ -378,6 +378,30 @@ func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 		return out, nil
 	case opPing:
 		return nil, nil
+	case OpAcquireTag:
+		if len(req) != 0 {
+			return nil, errBadRequest
+		}
+		return putU64s(nil, kv.AcquireTag(s.store)), nil
+	case OpReleaseTag:
+		if len(req) != 8 {
+			return nil, errBadRequest
+		}
+		return nil, kv.ReleaseTag(s.store, u64at(req, 0))
+	case OpGC:
+		if len(req) != 0 {
+			return nil, errBadRequest
+		}
+		res, err := kv.GC(s.store)
+		if err != nil {
+			return nil, err
+		}
+		sup := uint64(0)
+		if res.Supported {
+			sup = 1
+		}
+		return putU64s(nil, sup, res.Watermark, res.KeysScanned,
+			res.EntriesReclaimed, res.SegmentsFreed, uint64(res.FreedBytes)), nil
 	case OpStats:
 		if len(req) != 0 {
 			return nil, errBadRequest

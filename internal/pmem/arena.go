@@ -98,7 +98,8 @@ type arenaMetrics struct {
 	recycledBytes obs.Counter // bytes served from recycled free-list blocks
 	frees         obs.Counter // Free calls
 	freeBytes     obs.Counter // bytes returned to the free lists
-	freelistHits  obs.Counter // Allocs served by a recycled block
+	freelistHits  obs.Counter // allocations served by a recycled block
+	batchHits     obs.Counter // AllocBatch blocks served by a recycled block
 }
 
 // ObsSnapshot captures the arena's metrics under the "pmem." prefix.
@@ -114,6 +115,10 @@ func (a *Arena) ObsSnapshot() obs.Snapshot {
 	s.SetCounter("pmem.free.calls", a.met.frees.Load())
 	s.SetCounter("pmem.free.bytes", a.met.freeBytes.Load())
 	s.SetCounter("pmem.freelist.hits", a.met.freelistHits.Load())
+	s.SetCounter("pmem.freelist.batchhits", a.met.batchHits.Load())
+	s.SetCounter("pmem.freelist.coalesces", a.free.coalesces.Load())
+	s.SetCounter("pmem.freelist.splits", a.free.splits.Load())
+	s.SetGauge("pmem.freelist.resident_bytes", a.free.resident.Load())
 	for i := range a.free.shards {
 		sh := &a.free.shards[i]
 		s.SetCounter(fmt.Sprintf("pmem.freelist.shard%d.puts", i), sh.puts.Load())
@@ -509,38 +514,71 @@ func (a *Arena) Alloc(n int64) (Ptr, error) {
 	return start, nil
 }
 
-// AllocBatch returns one zeroed, 8-byte-aligned block per requested size,
-// carved from a single bump reservation: the heap tail is advanced and
-// persisted once for the whole batch, and the blocks are byte-adjacent in
-// request order — the property the batched append path uses to merge
-// persist fences across objects. AllocBatch bypasses the free lists; on
-// failure nothing is allocated.
+// AllocBatch returns one zeroed, 8-byte-aligned block per requested size.
+// Each block is first offered to the free lists — a recycled block is
+// zeroed and the zeroing persisted, exactly like Alloc's recycled path, so
+// neither durable garbage from its previous life nor stale lazily-written
+// tail words can survive a crash (the batched header protocol relies on
+// unwritten words being durably zero). The remaining sizes are carved from
+// a single bump reservation: the heap tail is advanced and persisted once
+// for all of them, and those blocks are byte-adjacent in request order —
+// the property the batched append path uses to merge persist fences across
+// objects (recycled blocks simply merge fewer spans). On failure nothing is
+// allocated: recycled blocks taken before a failed bump reservation are
+// returned to the free lists.
 func (a *Arena) AllocBatch(sizes []int64) ([]Ptr, error) {
 	if len(sizes) == 0 {
 		return nil, nil
 	}
-	total := int64(0)
-	for _, n := range sizes {
+	rounded := make([]int64, len(sizes))
+	for i, n := range sizes {
 		if n <= 0 {
 			return nil, fmt.Errorf("pmem: AllocBatch of %d bytes", n)
 		}
-		total += (n + wordSize - 1) / wordSize * wordSize
+		rounded[i] = (n + wordSize - 1) / wordSize * wordSize
 	}
-	end := a.AddUint64(Ptr(offHeapTail*wordSize), uint64(total))
-	if end > uint64(a.Size()) {
-		a.AddUint64(Ptr(offHeapTail*wordSize), ^uint64(total-1))
-		return nil, fmt.Errorf("%w: need %d bytes, %d in use of %d",
-			ErrOutOfMemory, total, a.HeapUsed(), a.Size())
-	}
-	a.met.bumpAllocs.Add(uint64(len(sizes)))
-	a.Persist(Ptr(offHeapTail*wordSize), wordSize)
-	start := Ptr(end - uint64(total))
-	a.ZeroWords(start, int(total/wordSize))
 	out := make([]Ptr, len(sizes))
+	total := int64(0)
+	hits := 0
+	for i, n := range rounded {
+		if p := a.free.take(n); p != NullPtr {
+			out[i] = p
+			hits++
+		} else {
+			total += n
+		}
+	}
+	var start Ptr
+	if total > 0 {
+		end := a.AddUint64(Ptr(offHeapTail*wordSize), uint64(total))
+		if end > uint64(a.Size()) {
+			a.AddUint64(Ptr(offHeapTail*wordSize), ^uint64(total-1))
+			for i, p := range out {
+				if p != NullPtr {
+					a.free.put(p, rounded[i])
+					out[i] = NullPtr
+				}
+			}
+			return nil, fmt.Errorf("%w: need %d bytes, %d in use of %d",
+				ErrOutOfMemory, total, a.HeapUsed(), a.Size())
+		}
+		a.met.bumpAllocs.Add(uint64(len(sizes) - hits))
+		a.Persist(Ptr(offHeapTail*wordSize), wordSize)
+		start = Ptr(end - uint64(total))
+		a.ZeroWords(start, int(total/wordSize))
+	}
 	p := start
-	for i, n := range sizes {
+	for i, n := range rounded {
+		if out[i] != NullPtr {
+			a.met.recycledBytes.Add(uint64(n))
+			a.met.freelistHits.Inc()
+			a.met.batchHits.Inc()
+			a.ZeroWords(out[i], int(n/wordSize))
+			a.Persist(out[i], n)
+			continue
+		}
 		out[i] = p
-		p += Ptr((n + wordSize - 1) / wordSize * wordSize)
+		p += Ptr(n)
 	}
 	return out, nil
 }
@@ -575,19 +613,38 @@ func (a *Arena) Free(p Ptr, n int64) {
 	a.free.put(p, n)
 }
 
-// freeLists is a sharded, size-bucketed free list. It is ephemeral: like a
-// PMDK pool's volatile runtime state, it is rebuilt (empty) on restart, so a
-// crash leaks whatever was on it. Shards reduce contention between threads.
+// freeLists is a sharded, coalescing, size-indexed free list. It is
+// ephemeral: like a PMDK pool's volatile runtime state, it is rebuilt
+// (empty) on restart, so a crash leaks whatever was on it — the owner of
+// the freed storage (e.g. the version GC) re-discovers reclaimable blocks
+// idempotently on its next pass. Shards reduce contention between threads;
+// blocks are sharded by address window rather than round-robin so freed
+// neighbors land in the same shard and merge into larger blocks, which a
+// later larger request can be carved from (split). The resident gauge
+// tracks bytes currently parked, so in a crash-free run
+// free.bytes == recycled bytes handed back out + resident bytes.
 type freeLists struct {
 	shards [freeShards]freeShard
 	next   atomic.Uint64
+
+	resident  atomic.Int64 // bytes currently parked across all shards
+	coalesces obs.Counter  // adjacent free blocks merged on put
+	splits    obs.Counter  // larger blocks carved to serve a smaller take
 }
 
 const freeShards = 16
 
+// freeShardWindow groups addresses into windows so that blocks freed from
+// the same region (adjacent history segments, a run of batch blocks) land
+// in the same shard and can coalesce. Merges across a window boundary are
+// missed — an accepted inefficiency, not a correctness issue.
+const freeShardWindow = 1 << 16
+
 type freeShard struct {
 	mu     sync.Mutex
-	bySize map[int64][]Ptr
+	bySize map[int64][]Ptr // size -> starts of free blocks of that size
+	byAddr map[Ptr]int64   // block start -> size (adjacency: right neighbor)
+	byEnd  map[Ptr]Ptr     // block end -> start (adjacency: left neighbor)
 
 	puts  obs.Counter // blocks parked on this shard
 	takes obs.Counter // blocks recycled from this shard
@@ -595,7 +652,7 @@ type freeShard struct {
 
 func (f *freeLists) init() {
 	for i := range f.shards {
-		f.shards[i].bySize = make(map[int64][]Ptr)
+		f.shards[i].clear()
 	}
 }
 
@@ -603,22 +660,72 @@ func (f *freeLists) reset() {
 	for i := range f.shards {
 		s := &f.shards[i]
 		s.mu.Lock()
-		s.bySize = make(map[int64][]Ptr)
+		s.clear()
 		s.mu.Unlock()
 	}
+	f.resident.Store(0)
 }
 
-func (f *freeLists) put(p Ptr, n int64) {
-	s := &f.shards[f.next.Add(1)%freeShards]
-	s.puts.Inc()
-	s.mu.Lock()
+func (s *freeShard) clear() {
+	s.bySize = make(map[int64][]Ptr)
+	s.byAddr = make(map[Ptr]int64)
+	s.byEnd = make(map[Ptr]Ptr)
+}
+
+func (s *freeShard) insert(p Ptr, n int64) {
 	s.bySize[n] = append(s.bySize[n], p)
+	s.byAddr[p] = n
+	s.byEnd[p+Ptr(n)] = p
+}
+
+func (s *freeShard) remove(p Ptr, n int64) {
+	lst := s.bySize[n]
+	for i := len(lst) - 1; i >= 0; i-- {
+		if lst[i] == p {
+			lst[i] = lst[len(lst)-1]
+			lst = lst[:len(lst)-1]
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(s.bySize, n)
+	} else {
+		s.bySize[n] = lst
+	}
+	delete(s.byAddr, p)
+	delete(s.byEnd, p+Ptr(n))
+}
+
+func (f *freeLists) shardFor(p Ptr) *freeShard {
+	return &f.shards[uint64(p)/freeShardWindow%freeShards]
+}
+
+// put parks a block, merging it with free neighbors tracked in the same
+// shard (the common case: blocks freed together were allocated together).
+func (f *freeLists) put(p Ptr, n int64) {
+	s := f.shardFor(p)
+	s.puts.Inc()
+	f.resident.Add(n)
+	s.mu.Lock()
+	if left, ok := s.byEnd[p]; ok {
+		ln := s.byAddr[left]
+		s.remove(left, ln)
+		p, n = left, n+ln
+		f.coalesces.Inc()
+	}
+	if rn, ok := s.byAddr[p+Ptr(n)]; ok {
+		s.remove(p+Ptr(n), rn)
+		n += rn
+		f.coalesces.Inc()
+	}
+	s.insert(p, n)
 	s.mu.Unlock()
 }
 
-// take scans all shards starting at a rotating position for an exact-size
-// block. Exact-size matching is sufficient here: the store's allocation
-// sizes are a small fixed set (history segments, blocks, headers).
+// take serves a block of exactly n bytes: an exact-size hit from any shard
+// if one exists, else the best-fitting larger block is split and its
+// remainder re-parked. Shards are scanned from a rotating start so no
+// single shard is drained preferentially.
 func (f *freeLists) take(n int64) Ptr {
 	start := int(f.next.Add(1) % freeShards)
 	for k := 0; k < freeShards; k++ {
@@ -626,9 +733,34 @@ func (f *freeLists) take(n int64) Ptr {
 		s.mu.Lock()
 		if lst := s.bySize[n]; len(lst) > 0 {
 			p := lst[len(lst)-1]
-			s.bySize[n] = lst[:len(lst)-1]
+			s.remove(p, n)
 			s.mu.Unlock()
 			s.takes.Inc()
+			f.resident.Add(-n)
+			return p
+		}
+		s.mu.Unlock()
+	}
+	for k := 0; k < freeShards; k++ {
+		s := &f.shards[(start+k)%freeShards]
+		s.mu.Lock()
+		best := int64(-1)
+		for sz := range s.bySize {
+			if sz >= n && (best < 0 || sz < best) {
+				best = sz
+			}
+		}
+		if best > 0 {
+			lst := s.bySize[best]
+			p := lst[len(lst)-1]
+			s.remove(p, best)
+			if rest := best - n; rest > 0 {
+				s.insert(p+Ptr(n), rest)
+				f.splits.Inc()
+			}
+			s.mu.Unlock()
+			s.takes.Inc()
+			f.resident.Add(-n)
 			return p
 		}
 		s.mu.Unlock()

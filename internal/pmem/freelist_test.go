@@ -1,0 +1,161 @@
+package pmem
+
+import "testing"
+
+// TestAllocBatchRecyclesFreedBytes is the satellite guarantee of the GC PR:
+// bytes returned through Free must be able to serve a later batched
+// allocation, observable through the pmem.freelist.batchhits counter.
+func TestAllocBatchRecyclesFreedBytes(t *testing.T) {
+	a, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	blocks := make([]Ptr, 4)
+	for i := range blocks {
+		p, err := a.Alloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks[i] = p
+	}
+	for _, p := range blocks {
+		a.Free(p, 128)
+	}
+	if got := a.free.resident.Load(); got != 4*128 {
+		t.Fatalf("resident after frees = %d, want %d", got, 4*128)
+	}
+
+	used := a.HeapUsed()
+	out, err := a.AllocBatch([]int64{128, 128, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := a.met.batchHits.Load(); hits != 3 {
+		t.Fatalf("batchhits = %d, want 3 (every size served from recycled bytes)", hits)
+	}
+	if grew := a.HeapUsed() - used; grew != 0 {
+		t.Fatalf("heap grew %d bytes although the free lists could serve the batch", grew)
+	}
+	// Recycled blocks must come back zeroed (and the zeroing persisted, so
+	// the batch header protocol's durably-zero assumption holds).
+	for _, p := range out {
+		if a.LoadUint64(p) != 0 {
+			t.Fatalf("recycled block at %d not zeroed", p)
+		}
+	}
+	// Reconciliation identity (crash-free): freed == recycled + resident.
+	freed := int64(a.met.freeBytes.Load())
+	recycled := int64(a.met.recycledBytes.Load())
+	if freed != recycled+a.free.resident.Load() {
+		t.Fatalf("free.bytes %d != recycled %d + resident %d",
+			freed, recycled, a.free.resident.Load())
+	}
+}
+
+// TestFreeListCoalescing: adjacent frees merge into one block that can then
+// serve a larger request than any individual freed block.
+func TestFreeListCoalescing(t *testing.T) {
+	a, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Three adjacent 64-byte blocks from one bump reservation.
+	ps, err := a.AllocBatch([]int64{64, 64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		a.Free(p, 64)
+	}
+	if a.free.coalesces.Load() < 2 {
+		t.Fatalf("coalesces = %d, want >= 2 for three adjacent frees", a.free.coalesces.Load())
+	}
+	used := a.HeapUsed()
+	p, err := a.Alloc(192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != ps[0] {
+		t.Fatalf("large alloc at %d, want the coalesced block at %d", p, ps[0])
+	}
+	if grew := a.HeapUsed() - used; grew != 0 {
+		t.Fatalf("heap grew %d bytes although coalesced block fits", grew)
+	}
+}
+
+// TestFreeListSplit: a large free block serves a smaller request; the
+// remainder stays resident and serves the next one.
+func TestFreeListSplit(t *testing.T) {
+	a, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	p, err := a.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(p, 256)
+
+	used := a.HeapUsed()
+	q1, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != p {
+		t.Fatalf("split alloc at %d, want start of free block %d", q1, p)
+	}
+	if a.free.splits.Load() != 1 {
+		t.Fatalf("splits = %d, want 1", a.free.splits.Load())
+	}
+	if got := a.free.resident.Load(); got != 192 {
+		t.Fatalf("resident after split = %d, want 192", got)
+	}
+	q2, err := a.Alloc(192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != p+64 {
+		t.Fatalf("remainder alloc at %d, want %d", q2, p+64)
+	}
+	if grew := a.HeapUsed() - used; grew != 0 {
+		t.Fatalf("heap grew %d bytes although split remainders fit", grew)
+	}
+}
+
+// TestAllocBatchOOMReturnsRecycledBlocks: a failed batch must leave the
+// free lists exactly as they were — nothing allocated, nothing leaked.
+func TestAllocBatchOOMReturnsRecycledBlocks(t *testing.T) {
+	a, err := New(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	p, err := a.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(p, 128)
+	before := a.free.resident.Load()
+
+	if _, err := a.AllocBatch([]int64{128, 1 << 30}); err == nil {
+		t.Fatal("oversized AllocBatch succeeded")
+	}
+	if got := a.free.resident.Load(); got != before {
+		t.Fatalf("resident after failed batch = %d, want %d (recycled block returned)", got, before)
+	}
+	// The returned block must still be takeable.
+	q, err := a.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("post-failure alloc at %d, want recycled %d", q, p)
+	}
+}

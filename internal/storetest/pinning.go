@@ -1,0 +1,102 @@
+package storetest
+
+import (
+	"testing"
+
+	"mvkv/internal/kv"
+)
+
+// testSnapshotPinning exercises the snapshot-pinning + version-GC contract
+// through the kv.Pinner / kv.Collector capability helpers, so it is
+// meaningful for every store: stores with a GC must keep a pinned snapshot
+// byte-exact through arbitrarily many passes; stores without one satisfy
+// the contract trivially (the helpers fall back to plain Tag / no-op) and
+// the assertions double as plain time-travel checks.
+func testSnapshotPinning(t *testing.T, mk Factory) {
+	s := open(t, mk)
+	const keys = 32
+	const rounds = 60
+
+	// Baseline: every key gets a value, then the snapshot is pinned.
+	for k := uint64(0); k < keys; k++ {
+		must(t, s.Insert(k, 1000+k))
+	}
+	pinned := kv.AcquireTag(s)
+	want := s.ExtractSnapshot(pinned)
+	if len(want) != keys {
+		t.Fatalf("pinned snapshot has %d pairs, want %d", len(want), keys)
+	}
+
+	// Hammer overwrites with GC passes interleaved: the pin must keep the
+	// sealed snapshot exact no matter how much newer history churns above
+	// (and below the current watermark, which the pin holds at the tag).
+	for r := 0; r < rounds; r++ {
+		for k := uint64(0); k < keys; k++ {
+			must(t, s.Insert(k, uint64(2000+r)*keys+k))
+		}
+		s.Tag()
+		if r%10 == 9 {
+			if _, err := kv.GC(s); err != nil {
+				t.Fatalf("GC during pinned phase: %v", err)
+			}
+		}
+	}
+
+	got := s.ExtractSnapshot(pinned)
+	if len(got) != len(want) {
+		t.Fatalf("pinned snapshot changed size: %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pinned snapshot drifted at %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for k := uint64(0); k < keys; k += 7 {
+		v, ok := s.Find(k, pinned)
+		if !ok || v != 1000+k {
+			t.Fatalf("Find(%d, pinned %d) = %d,%v; want %d,true", k, pinned, v, ok, 1000+k)
+		}
+	}
+
+	// Current reads must be exact regardless of GC.
+	cur := s.CurrentVersion()
+	for k := uint64(0); k < keys; k++ {
+		wantV := uint64(2000+rounds-1)*keys + k
+		if v, ok := s.Find(k, cur); !ok || v != wantV {
+			t.Fatalf("Find(%d, current) = %d,%v; want %d,true", k, v, ok, wantV)
+		}
+	}
+
+	// Release the pin; a GC pass may now reclaim the old history. Stores
+	// that report a collector must actually reclaim under this much churn.
+	must(t, kv.ReleaseTag(s, pinned))
+	res, err := kv.GC(s)
+	if err != nil {
+		t.Fatalf("GC after release: %v", err)
+	}
+	if res.Supported && res.EntriesReclaimed == 0 {
+		t.Fatalf("post-release GC reclaimed nothing after %d overwrite rounds: %+v", rounds, res)
+	}
+
+	// Double release of a reclaimable pin is an error (refcounted pins; the
+	// tag no longer has one). Gated on the GC capability being live
+	// end-to-end rather than on a static kv.Pinner check: a proxy store
+	// (network client, cluster) always implements the interface but its
+	// backing may have no pin table, in which case release is a no-op.
+	if res.Supported {
+		if err := kv.ReleaseTag(s, pinned); err == nil {
+			t.Fatal("second ReleaseTag of the same tag succeeded")
+		}
+	}
+
+	// Reclamation must not disturb what the live snapshot serves.
+	for k := uint64(0); k < keys; k++ {
+		wantV := uint64(2000+rounds-1)*keys + k
+		if v, ok := s.Find(k, cur); !ok || v != wantV {
+			t.Fatalf("post-GC Find(%d, current) = %d,%v; want %d,true", k, v, ok, wantV)
+		}
+	}
+	if n := s.Len(); n != keys {
+		t.Fatalf("Len = %d after GC, want %d (histories never disappear)", n, keys)
+	}
+}

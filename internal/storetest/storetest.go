@@ -39,6 +39,7 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("ConcurrentMixed", func(t *testing.T) { testConcurrentMixed(t, mk) })
 	t.Run("ConcurrentReaders", func(t *testing.T) { testConcurrentReaders(t, mk) })
 	t.Run("UncoordinatedWriters", func(t *testing.T) { testUncoordinatedWriters(t, mk) })
+	t.Run("SnapshotPinning", func(t *testing.T) { testSnapshotPinning(t, mk) })
 	t.Run("MetricsConformance", func(t *testing.T) { testMetricsConformance(t, mk) })
 }
 

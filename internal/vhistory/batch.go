@@ -69,6 +69,12 @@ func (h *PHistory) UnclaimRun(start uint64, n int) bool {
 // failure can abort the batch with nothing to roll back.
 func (h *PHistory) PendingHint() uint64 { return h.pending.Load() }
 
+// RunFits reports whether a run of n slots starting at start stays within
+// the per-key slot capacity (see ErrHistoryFull). Callers must check it
+// before touching the directory words RunSegments names: past-capacity
+// segment indexes have no directory word.
+func RunFits(start uint64, n int) bool { return start+uint64(n) <= maxSlots }
+
 // RunSegments returns the first and last segment index touched by the run
 // of n slots starting at start.
 func RunSegments(start uint64, n int) (first, last int) {
@@ -98,12 +104,13 @@ func (h *PHistory) DirSpan(seg int) Span {
 }
 
 // HeaderSpan returns the span of header words a fresh key's first run
-// writes: the key word plus the directory words of segments 0..lastSeg.
-// The remaining directory words need no fence — batch headers come from
-// the arena's bump allocator, whose blocks are never re-handed across
-// crashes, so their unwritten words are durably zero already.
+// writes: the key word, the (zero) floor word, and the directory words of
+// segments 0..lastSeg. The remaining directory words need no fence — batch
+// headers come from the arena's bump allocator or its free lists, whose
+// blocks are durably zero when handed out, so their unwritten words are
+// durably zero already.
 func (h *PHistory) HeaderSpan(lastSeg int) Span {
-	return Span{P: h.Head, N: int64(2+lastSeg) * 8}
+	return Span{P: h.Head, N: int64(3+lastSeg) * 8}
 }
 
 // StageRun writes the version and value words of the run's slots without
@@ -112,7 +119,9 @@ func (h *PHistory) HeaderSpan(lastSeg int) Span {
 // run entering a non-empty history waits for its predecessor entry's
 // version and never records a version below it.
 func (h *PHistory) StageRun(a *pmem.Arena, start, version uint64, values []uint64) []Span {
-	if start > 0 {
+	// As in Append, slots below the floor are dead (possibly in freed
+	// segments) and must neither clamp nor order a fresh run.
+	if start > h.floor.Load() {
 		prev := h.loadedEntryPtr(a, start-1)
 		var s spin
 		for {
@@ -157,7 +166,7 @@ func (h *PHistory) FinishRunEntry(a *pmem.Arena, slot uint64, firstOfRun bool, c
 		for !h.published.Load() {
 			s.wait()
 		}
-		if slot > 0 {
+		if slot > h.floor.Load() {
 			prev := h.loadedEntryPtr(a, slot-1)
 			for a.LoadUint64(prev+16) == 0 {
 				s.wait()

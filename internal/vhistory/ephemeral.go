@@ -33,6 +33,9 @@ func (h *EHistory) segment(i int) *[]eslot {
 }
 
 func (h *EHistory) slot(i uint64) *eslot {
+	if i >= maxSlots {
+		panic(ErrHistoryFull)
+	}
 	seg, off := locate(i)
 	return &(*h.segment(seg))[off]
 }

@@ -388,7 +388,7 @@ func TestPersistentRecoverScanAndPrune(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h2 := OpenPHistory(head, 0)
+	h2 := OpenPHistory(a, head, 0)
 	if h2.Key(a) != 42 {
 		t.Fatalf("recovered key = %d", h2.Key(a))
 	}
@@ -404,7 +404,7 @@ func TestPersistentRecoverScanAndPrune(t *testing.T) {
 	}
 	// simulate fc=7: keep 7 entries, prune the rest
 	h2.Prune(a, 7)
-	h3 := OpenPHistory(head, 7)
+	h3 := OpenPHistory(a, head, 7)
 	if got := h3.Len(a, c2(7)); got != 7 {
 		t.Fatalf("after prune Len = %d", got)
 	}
@@ -417,7 +417,7 @@ func TestPersistentRecoverScanAndPrune(t *testing.T) {
 	}
 	// pruned slots must be durably zero: crash again and rescan
 	a.Crash()
-	raw = OpenPHistory(head, 0).RecoverScan(a)
+	raw = OpenPHistory(a, head, 0).RecoverScan(a)
 	complete = 0
 	for _, r := range raw {
 		if r.Complete() {
@@ -461,7 +461,7 @@ func TestPersistentCrashMidAppend(t *testing.T) {
 	head := h.Head
 	a.Crash()
 
-	raw := OpenPHistory(head, 0).RecoverScan(a)
+	raw := OpenPHistory(a, head, 0).RecoverScan(a)
 	if !raw[0].Complete() {
 		t.Fatal("durable entry lost")
 	}

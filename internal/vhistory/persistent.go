@@ -11,7 +11,8 @@ import (
 // Persistent history layout in the arena:
 //
 //	header: word 0            key (for integrity checks)
-//	        words 1..40       segment pointers (the directory)
+//	        word 1            floor: index of the oldest live slot (GC)
+//	        words 2..41       segment pointers (the directory)
 //	segment k: segSize(k) entries of 3 words each:
 //	        word 0: version+1 (0 = entry not yet written)
 //	        word 1: value
@@ -24,10 +25,19 @@ import (
 // data is durable, and per-key commit numbers are strictly increasing in
 // slot order — which is what the recovery procedure in package core relies
 // on to cut each history at the globally contiguous finished prefix.
+//
+// The floor word is the version GC's only mutation of a live history:
+// slots below it are dead — their entries were reclaimed below the tag
+// watermark — and whole segments entirely below it are unlinked (directory
+// word durably zeroed) and freed. Slot numbering stays absolute, so
+// locate() and every surviving entry are untouched; advancing the floor is
+// a single monotonic word persist, and either the old or the new value is
+// a valid image at any crash point.
 const (
 	phKeyWord    = 0
-	phDirStart   = 1 // 40 words of segment pointers
-	PHeaderBytes = (1 + maxSegments) * 8
+	phFloorWord  = 1 // oldest live slot index (all slots below are reclaimed)
+	phDirStart   = 2 // 40 words of segment pointers
+	PHeaderBytes = (2 + maxSegments) * 8
 
 	entryWords = 3
 	EntryBytes = entryWords * 8
@@ -46,8 +56,9 @@ type PHistory struct {
 	pending   atomic.Uint64
 	tail      atomic.Uint64
 	published atomic.Bool
-	firstVer  atomic.Uint64 // cached slot-0 version+1 (0 = not yet known)
-	seg0      atomic.Uint64 // cached segment-0 pointer (immutable once set)
+	firstVer  atomic.Uint64 // cached floor-slot version+1 (0 = not yet known)
+	seg0      atomic.Uint64 // cached segment-0 pointer (reset when GC frees it)
+	floor     atomic.Uint64 // cached copy of the persisted floor word
 }
 
 // NewPHistory allocates a persistent history header for key and returns its
@@ -79,17 +90,91 @@ func (h *PHistory) FreeUnpublished(a *pmem.Arena) {
 }
 
 // OpenPHistory wraps an existing persistent head after restart; pending and
-// tail are set to the recovered entry count (see core's recovery).
-func OpenPHistory(head pmem.Ptr, recovered uint64) *PHistory {
+// tail are set to the recovered absolute slot count (see core's recovery),
+// and the persisted floor is loaded into the handle's cache.
+func OpenPHistory(a *pmem.Arena, head pmem.Ptr, recovered uint64) *PHistory {
 	h := &PHistory{Head: head}
 	h.pending.Store(recovered)
 	h.tail.Store(recovered)
 	h.published.Store(true)
+	h.floor.Store(a.LoadUint64(head + phFloorWord*8))
 	return h
 }
 
 // Key reads the key recorded in the header.
 func (h *PHistory) Key(a *pmem.Arena) uint64 { return a.LoadUint64(h.Head + phKeyWord*8) }
+
+// Floor reads the persisted floor: the absolute index of the oldest live
+// slot. Slots below it were reclaimed by the version GC.
+func (h *PHistory) Floor(a *pmem.Arena) uint64 {
+	return a.LoadUint64(h.Head + phFloorWord*8)
+}
+
+// SetFloor durably advances the floor to the given absolute slot index and
+// refreshes the handle caches. floor must point at a live, finished slot
+// (the retained baseline entry) and never retreat. Only safe with readers
+// and writers excluded (the GC pass holds the store's maintenance lock):
+// the single monotonic word persist means any crash point leaves either the
+// old or the new floor, both of which describe a valid image.
+func (h *PHistory) SetFloor(a *pmem.Arena, floor uint64) {
+	a.StoreUint64(h.Head+phFloorWord*8, floor)
+	a.Persist(h.Head+phFloorWord*8, 8)
+	h.floor.Store(floor)
+	h.firstVer.Store(0) // the oldest live entry changed
+}
+
+// FreeLeadingSegments unlinks and frees every whole segment strictly below
+// the floor (a segment is reclaimable when all its slots are dead). Each
+// directory word is durably zeroed before its block goes to the free lists,
+// so a crash can never leave a reachable pointer to recycled storage.
+// Idempotent: segments a previous (possibly crashed) pass already unlinked
+// are skipped. Only safe with readers and writers excluded.
+func (h *PHistory) FreeLeadingSegments(a *pmem.Arena, floor uint64) (segs int, bytes int64) {
+	for seg := 0; seg < maxSegments; seg++ {
+		if segEnd(seg) > floor {
+			break // segment still holds live slots
+		}
+		dw := h.dirWord(seg)
+		base := a.LoadPtr(dw)
+		if base == pmem.NullPtr {
+			continue // already unlinked by an earlier pass
+		}
+		a.StorePtr(dw, pmem.NullPtr)
+		a.Persist(dw, 8)
+		a.Free(base, PSegBytes(seg))
+		segs++
+		bytes += PSegBytes(seg)
+	}
+	if segs > 0 {
+		h.seg0.Store(0) // the cached segment-0 pointer may now be stale
+	}
+	return segs, bytes
+}
+
+// FloorCandidate returns the absolute slot of the newest finished entry
+// whose version is strictly below w — the baseline the version GC retains:
+// it serves every query at versions >= its own, so everything below it is
+// unreachable from any tag >= w-1 and may be reclaimed. ok is false when
+// the floor is already there (nothing to reclaim). Only meaningful on a
+// quiesced history (the GC pass holds the store's maintenance lock).
+func (h *PHistory) FloorCandidate(a *pmem.Arena, w uint64, c *Clock) (uint64, bool) {
+	n := h.extend(a, MaxVersion, c)
+	fl := h.floor.Load()
+	lo, hi := fl, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		// first slot with version >= w
+		if a.LoadUint64(h.loadedEntryPtr(a, mid)) > w {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo <= fl+1 {
+		return fl, false // floor already at (or adjacent to) the baseline
+	}
+	return lo - 1, true
+}
 
 // SetPublished marks the history reachable from durable state; appends wait
 // for this before claiming commit numbers.
@@ -120,6 +205,9 @@ func (h *PHistory) segment(a *pmem.Arena, i int) (pmem.Ptr, error) {
 // entryPtr returns the base pointer of the given slot, allocating its
 // segment if needed.
 func (h *PHistory) entryPtr(a *pmem.Arena, slot uint64) (pmem.Ptr, error) {
+	if slot >= maxSlots {
+		return pmem.NullPtr, ErrHistoryFull
+	}
 	seg, off := locate(slot)
 	base, err := h.segment(a, seg)
 	if err != nil {
@@ -170,8 +258,16 @@ func (h *PHistory) Append(a *pmem.Arena, version, value uint64, c *Clock) error 
 		return fmt.Errorf("%w: %w", ErrSlotLeaked, err)
 	}
 	a.StoreUint64(ep+8, value)
+	// Predecessor ordering stops at the floor: slots below it are dead —
+	// their segments may already be freed (directory word durably zero), so
+	// probing slot-1 there would read through a wild pointer, and even a
+	// still-linked dead slot carries a stale version that must not clamp a
+	// fresh append (TruncateFrom may have legitimately moved the clock
+	// below it). The floor cache is stable here because SetFloor runs only
+	// under the store's exclusive maintenance lock, which excludes writers.
+	fl := h.floor.Load()
 	var prev pmem.Ptr
-	if slot > 0 {
+	if slot > fl {
 		prev = h.loadedEntryPtr(a, slot-1)
 		var s spin
 		for {
@@ -191,7 +287,7 @@ func (h *PHistory) Append(a *pmem.Arena, version, value uint64, c *Clock) error 
 	for !h.published.Load() {
 		s.wait()
 	}
-	if slot > 0 {
+	if slot > fl {
 		for a.LoadUint64(prev+16) == 0 {
 			s.wait()
 		}
@@ -235,10 +331,26 @@ func (h *PHistory) extend(a *pmem.Arena, version uint64, c *Clock) uint64 {
 	return t
 }
 
-// Find returns the key's value at the given snapshot version.
+// Find returns the key's value at the given snapshot version. The binary
+// search runs over the live window [floor, tail): versions below the
+// retained baseline entry were reclaimed by GC and read as absent.
 func (h *PHistory) Find(a *pmem.Arena, version uint64, c *Clock) (value uint64, ok bool) {
+	value, ok, _, _ = h.FindTail(a, version, c)
+	return value, ok
+}
+
+// FindTail is Find plus the facts a current-version read cache needs:
+// entVer is the matched entry's version and isTail reports whether the
+// match was the newest entry of the whole chain at some instant during the
+// call (no finished or in-flight append above it) — only such a match
+// represents the key's current state and is safe to cache.
+func (h *PHistory) FindTail(a *pmem.Arena, version uint64, c *Clock) (value uint64, ok bool, entVer uint64, isTail bool) {
 	n := h.extend(a, version, c)
-	lo, hi := uint64(0), n
+	fl := h.floor.Load()
+	lo, hi := fl, n
+	if lo > hi {
+		lo = hi
+	}
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if a.LoadUint64(h.loadedEntryPtr(a, mid))-1 > version {
@@ -247,29 +359,42 @@ func (h *PHistory) Find(a *pmem.Arena, version uint64, c *Clock) (value uint64, 
 			lo = mid + 1
 		}
 	}
-	if lo == 0 {
-		return 0, false
+	if lo == fl || lo == 0 {
+		return 0, false, 0, false
 	}
 	ep := h.loadedEntryPtr(a, lo-1)
+	ev := a.LoadUint64(ep) - 1
+	isTail = lo == n && h.pending.Load() == n
 	if v := a.LoadUint64(ep + 8); v != Marker {
-		return v, true
+		return v, true, ev, isTail
 	}
-	return 0, false
+	return 0, false, ev, isTail
 }
 
-// Entries returns every finished entry (extract_history).
+// Entries returns every live finished entry (extract_history). Entries
+// below the GC floor are gone; the retained baseline entry comes first.
 func (h *PHistory) Entries(a *pmem.Arena, c *Clock) []Entry {
 	n := h.extend(a, MaxVersion, c)
-	out := make([]Entry, n)
-	for i := uint64(0); i < n; i++ {
+	fl := h.floor.Load()
+	if n <= fl {
+		return nil
+	}
+	out := make([]Entry, 0, n-fl)
+	for i := fl; i < n; i++ {
 		ep := h.loadedEntryPtr(a, i)
-		out[i] = Entry{Version: a.LoadUint64(ep) - 1, Value: a.LoadUint64(ep + 8)}
+		out = append(out, Entry{Version: a.LoadUint64(ep) - 1, Value: a.LoadUint64(ep + 8)})
 	}
 	return out
 }
 
-// Len returns the number of finished, exposed entries.
-func (h *PHistory) Len(a *pmem.Arena, c *Clock) int { return int(h.extend(a, MaxVersion, c)) }
+// Len returns the number of live finished, exposed entries.
+func (h *PHistory) Len(a *pmem.Arena, c *Clock) int {
+	n := h.extend(a, MaxVersion, c)
+	if fl := h.floor.Load(); n > fl {
+		return int(n - fl)
+	}
+	return 0
+}
 
 // FirstVersion returns the version of the key's oldest exposed entry. It
 // implements the version-filtering extension the paper sketches as future
@@ -283,19 +408,22 @@ func (h *PHistory) FirstVersion(a *pmem.Arena, c *Clock) (uint64, bool) {
 		return v - 1, true
 	}
 	// The lazy tail may still be zero for a key only ever queried below
-	// its first version, so peek slot 0 directly — it is eligible once its
-	// commit is covered by the finished counter.
-	if h.pending.Load() == 0 {
+	// its first version, so peek the floor slot directly — it is eligible
+	// once its commit is covered by the finished counter.
+	fl := h.floor.Load()
+	if h.pending.Load() <= fl {
 		return 0, false
 	}
-	seg := a.LoadPtr(h.dirWord(0))
-	if seg == pmem.NullPtr {
-		return 0, false // first segment still being linked by the appender
+	seg, off := locate(fl)
+	base := a.LoadPtr(h.dirWord(seg))
+	if base == pmem.NullPtr {
+		return 0, false // segment still being linked by the appender
 	}
-	if seq := a.LoadUint64(seg + 16); seq == 0 || !c.Covered(seq) {
+	ep := base + pmem.Ptr(off*EntryBytes)
+	if seq := a.LoadUint64(ep + 16); seq == 0 || !c.Covered(seq) {
 		return 0, false
 	}
-	v := a.LoadUint64(seg)
+	v := a.LoadUint64(ep)
 	h.firstVer.Store(v)
 	return v - 1, true
 }
@@ -318,8 +446,12 @@ func (h *PHistory) CheckIntegrity(a *pmem.Arena, fc uint64) error {
 	if p := h.pending.Load(); n > p {
 		return fmt.Errorf("vhistory: tail %d beyond pending %d", n, p)
 	}
+	fl := h.floor.Load()
+	if n != 0 && n < fl {
+		return fmt.Errorf("vhistory: tail %d below GC floor %d", n, fl)
+	}
 	prevVer, prevSeq := uint64(0), uint64(0)
-	for i := uint64(0); i < n; i++ {
+	for i := fl; i < n; i++ {
 		ep := h.loadedEntryPtr(a, i)
 		verPlus := a.LoadUint64(ep)
 		seq := a.LoadUint64(ep + 16)
@@ -332,7 +464,7 @@ func (h *PHistory) CheckIntegrity(a *pmem.Arena, fc uint64) error {
 		if seq > fc {
 			return fmt.Errorf("vhistory: exposed slot %d commit %d beyond fc %d", i, seq, fc)
 		}
-		if i > 0 {
+		if i > fl {
 			if verPlus-1 < prevVer {
 				return fmt.Errorf("vhistory: slot %d version %d below predecessor %d", i, verPlus-1, prevVer)
 			}
@@ -345,21 +477,31 @@ func (h *PHistory) CheckIntegrity(a *pmem.Arena, fc uint64) error {
 	return nil
 }
 
-// RecoverScan walks every slot of every reachable segment after a restart
-// and returns the per-slot raw contents, in slot order, up to the last
-// reachable segment. It is phase one of crash recovery: the caller combines
-// the commit numbers of all keys to compute the durable prefix fc, then
-// calls Prune. Slots are reported even when partially written (holes), as
-// pruning decisions need the full picture.
+// RecoverScan walks every live slot of every reachable segment after a
+// restart and returns the per-slot raw contents, in slot order, starting at
+// the persisted GC floor — the first element describes absolute slot
+// Floor(a); callers needing absolute indices add that base. Segments wholly
+// below the floor may have been unlinked and freed by GC, so the walk must
+// never dereference them; it starts at the floor's segment. It is phase one
+// of crash recovery: the caller combines the commit numbers of all keys to
+// compute the durable prefix fc, then calls Prune. Slots are reported even
+// when partially written (holes), as pruning decisions need the full
+// picture.
 func (h *PHistory) RecoverScan(a *pmem.Arena) []RawSlot {
+	fl := a.LoadUint64(h.Head + phFloorWord*8)
+	flSeg, flOff := locate(fl)
 	var out []RawSlot
-	for seg := 0; seg < maxSegments; seg++ {
+	for seg := flSeg; seg < maxSegments; seg++ {
 		base := a.LoadPtr(h.dirWord(seg))
 		if base == pmem.NullPtr {
 			break
 		}
 		n := segSize(seg)
-		for off := uint64(0); off < n; off++ {
+		off := uint64(0)
+		if seg == flSeg {
+			off = flOff
+		}
+		for ; off < n; off++ {
 			ep := base + pmem.Ptr(off*EntryBytes)
 			out = append(out, RawSlot{
 				VersionPlus1: a.LoadUint64(ep),
@@ -383,10 +525,15 @@ func (r RawSlot) Complete() bool { return r.VersionPlus1 != 0 && r.Seq != 0 }
 
 // Prune durably zeroes every slot from keep onwards (in every reachable
 // segment) and resets the volatile counters to keep. Phase two of recovery:
-// keep is the length of the durable prefix the caller computed.
+// keep is the absolute slot count of the durable prefix the caller
+// computed; it must be >= the persisted floor (the floor's baseline entry
+// is part of every durable image). Segments below the floor's segment may
+// have been freed by GC and are never touched.
 func (h *PHistory) Prune(a *pmem.Arena, keep uint64) {
-	slot := uint64(0)
-	for seg := 0; seg < maxSegments; seg++ {
+	fl := a.LoadUint64(h.Head + phFloorWord*8)
+	flSeg, _ := locate(fl)
+	slot := segStart(flSeg)
+	for seg := flSeg; seg < maxSegments; seg++ {
 		base := a.LoadPtr(h.dirWord(seg))
 		if base == pmem.NullPtr {
 			break
@@ -413,8 +560,9 @@ func (h *PHistory) Prune(a *pmem.Arena, keep uint64) {
 	h.pending.Store(keep)
 	h.tail.Store(keep)
 	h.published.Store(true)
-	// The cached slot-0 version may describe a zeroed slot now (keep == 0);
-	// drop it so FirstVersion re-reads the arena.
+	h.floor.Store(fl)
+	// The cached floor-slot version may describe a zeroed slot now
+	// (keep == floor); drop it so FirstVersion re-reads the arena.
 	h.firstVer.Store(0)
 }
 

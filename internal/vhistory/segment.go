@@ -1,29 +1,80 @@
 package vhistory
 
-import "math/bits"
+import (
+	"errors"
+	"math/bits"
+)
 
 // Histories grow as a segmented vector: a fixed directory of segments whose
-// sizes double (2, 4, 8, ...). A claimed slot's location never changes, so
-// appends are lock-free and readers are never invalidated by reallocation —
-// the property the paper needs from its "lock-free vector with binary search
-// support". maxSegments = 40 covers ~2^42 entries per key.
+// sizes double (2, 4, 8, ...) up to a cap, after which every further
+// segment has the fixed cap size. A claimed slot's location never changes,
+// so appends are lock-free and readers are never invalidated by
+// reallocation — the property the paper needs from its "lock-free vector
+// with binary search support".
+//
+// The cap is what makes the version GC's reclamation effective under
+// sustained overwrites: with purely doubling segments a fixed key set
+// written forever always lives in an ever-larger tail segment, so the heap
+// grows linearly no matter how much the GC frees (the freed small segments
+// can never serve the next doubling). Capped, the steady state allocates
+// and frees nothing but cap-sized segments, which recycle perfectly
+// through the arena's size-bucketed free lists — the heap stops growing.
+//
+// The price is a finite per-key version capacity, maxSlots (~112k with the
+// constants below), far beyond any workload in this repo; an append past
+// it fails cleanly with ErrHistoryFull, and core.Store.CompactTo renumbers
+// slots from zero, so compaction is the overflow escape hatch. See
+// DESIGN.md for the deviation note.
 const (
-	segBase     = 2 // entries in segment 0
-	maxSegments = 40
+	segBase     = 2  // entries in segment 0
+	capSeg      = 10 // last doubling segment; later segments stay this size
+	maxSegments = 64
+
+	capSize     = segBase << capSeg        // entries per capped segment (2048)
+	capShift    = capSeg + 1               // log2(capSize)
+	capBoundary = 1<<(capSeg+2) - 2        // first slot of the capped zone
 )
+
+// maxSlots is the per-key version capacity of the directory.
+const maxSlots = capBoundary + uint64(maxSegments-capSeg-1)*capSize
+
+// ErrHistoryFull reports an append past a key's slot capacity. The history
+// and every committed entry are untouched; compact the store (CompactTo)
+// to renumber the key's slots from zero.
+var ErrHistoryFull = errors.New("vhistory: key version history is full")
 
 // locate maps a slot index to its (segment, offset within segment).
 func locate(slot uint64) (seg int, off uint64) {
-	// Segment k holds slots [2^(k+1)-2, 2^(k+2)-2), so slot+2 is in
-	// [2^(k+1), 2^(k+2)) and k = bitlen(slot+2) - 2.
-	s := slot + segBase
-	seg = bits.Len64(s) - 2
-	off = s - 1<<(uint(seg)+1)
-	return seg, off
+	if slot < capBoundary {
+		// Doubling zone: segment k holds slots [2^(k+1)-2, 2^(k+2)-2),
+		// so slot+2 is in [2^(k+1), 2^(k+2)) and k = bitlen(slot+2) - 2.
+		s := slot + segBase
+		seg = bits.Len64(s) - 2
+		off = s - 1<<(uint(seg)+1)
+		return seg, off
+	}
+	rest := slot - capBoundary
+	return capSeg + 1 + int(rest>>capShift), rest & (capSize - 1)
 }
 
 // segSize returns the number of entries in segment k.
-func segSize(seg int) uint64 { return segBase << uint(seg) }
+func segSize(seg int) uint64 {
+	if seg <= capSeg {
+		return segBase << uint(seg)
+	}
+	return capSize
+}
+
+// segStart returns the absolute index of segment k's first slot.
+func segStart(seg int) uint64 {
+	if seg <= capSeg {
+		return 1<<(uint(seg)+1) - 2
+	}
+	return capBoundary + uint64(seg-capSeg-1)*capSize
+}
+
+// segEnd returns one past the absolute index of segment k's last slot.
+func segEnd(seg int) uint64 { return segStart(seg) + segSize(seg) }
 
 // Entry is one finished element of a version history: the key held Value
 // from Version onwards (until the next entry). Removed marks removal

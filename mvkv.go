@@ -128,6 +128,18 @@ type Options struct {
 	// writers before flushing a non-full run (default 0: flush greedily).
 	GroupCommitMaxRun        int
 	GroupCommitFlushInterval time.Duration
+	// GCInterval, when positive, runs the tag-watermark version GC
+	// periodically in the background: version-chain entries older than the
+	// oldest pinned tag (see AcquireTag) are reclaimed into the pool's
+	// free lists, bounding memory under sustained overwrites. Zero leaves
+	// collection to explicit GC calls.
+	GCInterval time.Duration
+	// HotCacheSize sets the number of buckets in the hot-key read cache
+	// that short-circuits current-version Finds under skewed traffic
+	// (default 4096, rounded up to a power of two). DisableHotCache turns
+	// the cache off entirely (reads always walk the authoritative index).
+	HotCacheSize    int
+	DisableHotCache bool
 }
 
 func (o Options) core() core.Options {
@@ -140,6 +152,9 @@ func (o Options) core() core.Options {
 		GroupCommit:              o.GroupCommit,
 		GroupCommitMaxRun:        o.GroupCommitMaxRun,
 		GroupCommitFlushInterval: o.GroupCommitFlushInterval,
+		GCInterval:               o.GCInterval,
+		HotCacheSize:             o.HotCacheSize,
+		DisableHotCache:          o.DisableHotCache,
 	}
 }
 
@@ -169,6 +184,36 @@ func NewSQLiteReg(path string) (Store, error) {
 func NewSQLiteMem() (Store, error) {
 	return sqlkv.Open(sqlkv.Options{Mode: sqlkv.ModeMem})
 }
+
+// ---- snapshot pinning and version GC ----
+
+// Pinner is the optional snapshot-pinning capability: AcquireTag seals the
+// current version like Tag but also pins it, protecting every version from
+// the tag onward from the version GC until ReleaseTag. The PSkipList, the
+// TCP client, and the cluster store all implement it.
+type Pinner = kv.Pinner
+
+// Collector is the optional version-GC capability: GC runs one
+// reclamation pass and reports what it freed.
+type Collector = kv.Collector
+
+// GCResult describes one GC pass. Supported is false when the store has no
+// collector (the pass was a no-op).
+type GCResult = kv.GCResult
+
+// AcquireTag seals and pins the current version of s. On stores without a
+// pin table it degrades to a plain Tag (the snapshot stays exact because
+// nothing is ever reclaimed there).
+func AcquireTag(s Store) uint64 { return kv.AcquireTag(s) }
+
+// ReleaseTag drops a pin taken with AcquireTag, allowing later GC passes
+// to reclaim versions below the next-oldest pin.
+func ReleaseTag(s Store, tag uint64) error { return kv.ReleaseTag(s, tag) }
+
+// GC runs one version-GC pass on s, reclaiming version-chain entries older
+// than the oldest pinned tag into the pool's free lists. Stores without a
+// collector report Supported == false.
+func GC(s Store) (GCResult, error) { return kv.GC(s) }
 
 // CompactPSkipList writes a compacted copy of a PSkipList store into a
 // fresh pool described by o, forgetting versions older than keepSince (each

@@ -20,6 +20,11 @@
 #      sweep, SIGKILL recovery, many-connection TCP), then a benchkv smoke —
 #      16 uncoordinated writers through the pipeline must coalesce to under
 #      2.0 persist fences per entry (the unpipelined path pays ~7)
+#  10. version GC + hot cache: race-enabled tag-watermark GC, snapshot
+#      pinning (local, TCP, cluster), hot-key cache and free-list suites,
+#      both GC crash harnesses, then a benchkv soak smoke — 50k overwrites
+#      with GC on must keep the arena high-water mark bounded (< 2x growth
+#      past the one-third checkpoint, BENCH_soak.json "bounded": true)
 #
 # Exits non-zero on the first failing gate.
 set -euo pipefail
@@ -141,5 +146,30 @@ go test -race -short -timeout 300s -run 'GroupCommit' \
     if (onp / ops >= 2.0) { print "FAIL: pipeline did not coalesce fences (persists/entry >= 2.0)"; exit 1 }
     if (onp + 0 >= offp + 0) { print "FAIL: pipelined run persisted no less than unpipelined"; exit 1 }
   }'
+
+echo "== gate 11: version GC + hot cache (race + soak smoke) =="
+# Tag-watermark GC suites, the hot-key cache differential/metrics suites,
+# free-list recycling, both GC crash harnesses (persist-boundary sweep +
+# real SIGKILL mid-pass), the snapshot-pinning contract locally and over
+# the TCP and cluster wire paths, and the CLI pin/unpin/gc plumbing.
+go test -race -short -timeout 300s \
+  -run 'TestGC|TestHotCache|TestFreeList|TestCrashPointSweepGC|TestProcCrashVersionGC|TestConformance/SnapshotPinning' \
+  ./internal/pmem/ ./internal/core/
+go test -race -short -timeout 300s -run 'TestConformanceOverTCP/SnapshotPinning' ./internal/kvnet/
+go test -race -short -timeout 120s -run 'TestClusterStoreConformance/SnapshotPinning' ./internal/dist/
+go test -race -short -run 'TestCLIPinGC' ./cmd/mvkvctl/
+
+# Soak smoke: 50k overwrites on 4 keys. With GC on, the arena high-water
+# mark must grow less than 2x after the one-third checkpoint — freed
+# version segments recycle through the pmem free lists instead of claiming
+# new heap. benchkv writes BENCH_soak.json into its cwd, so run in tmpdir
+# to leave the repo's recorded figure untouched.
+(cd "$tmpdir" && "$tmpbin" -n 50000 -soakkeys 4 -reps 2 soak >/dev/null 2>&1)
+if ! grep -q '"bounded": true' "$tmpdir/BENCH_soak.json"; then
+  echo "FAIL: soak smoke: GC-on arena high-water mark not bounded"
+  cat "$tmpdir/BENCH_soak.json"
+  exit 1
+fi
+echo "soak smoke: GC-on $(grep -o '"growth_ratio_end_vs_checkpoint": [0-9.]*' "$tmpdir/BENCH_soak.json" | head -1 | awk '{print $2}')x growth past checkpoint -> bounded"
 
 echo "verify: all gates passed"
