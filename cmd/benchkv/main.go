@@ -21,6 +21,9 @@
 //	extract      snapshot extraction vs worker count, local + tcp  (new)
 //	groupcommit  persists/entry + throughput vs uncoordinated
 //	             writer count, pipeline off vs on                  (new)
+//	pipeline     single-connection throughput + persists/entry vs
+//	             in-flight depth, one-at-a-time vs pipelined tagged
+//	             frames; always writes BENCH_pipeline.json           (new)
 //	soak         sustained overwrites of a fixed key set, arena
 //	             high-water mark with version GC on vs off, plus
 //	             zipfian hot-key cache hit ratio and Find speedup;
@@ -65,12 +68,13 @@ var (
 	flagJSON     = flag.String("json", "", "also write the extract figure as machine-readable JSON to this path (extract)")
 	flagGCFlush  = flag.Duration("gcflush", 100*time.Microsecond, "group-commit flush interval; on few-core hosts the window is what lets writers queue (groupcommit)")
 	flagSoakKeys = flag.Int("soakkeys", 64, "fixed key-set size for the soak churn; rounds = n/soakkeys, so fewer keys drive each version chain deeper (soak)")
+	flagDepths   = flag.String("depths", "1,8,64", "in-flight window depths to sweep (pipeline)")
 )
 
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|batch|extract|groupcommit|soak|all>")
+		fmt.Fprintln(os.Stderr, "usage: benchkv [flags] <insert|remove|history|find|snapshot|rebuild|restartfind|distfind|distgather|distmerge|batch|extract|groupcommit|pipeline|soak|all>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -132,12 +136,14 @@ func run(cmd string) ([]harness.Result, error) {
 		return runExtract()
 	case "groupcommit":
 		return runGroupCommit()
+	case "pipeline":
+		return runPipeline()
 	case "soak":
 		return runSoak()
 	case "all":
 		var all []harness.Result
 		for _, c := range []string{"insert", "remove", "history", "find", "snapshot",
-			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch", "extract", "groupcommit", "soak"} {
+			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch", "extract", "groupcommit", "pipeline", "soak"} {
 			rows, err := run(c)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", c, err)
@@ -429,6 +435,42 @@ func runGroupCommit() ([]harness.Result, error) {
 			rows = append(rows, r)
 		}
 	}
+	return rows, nil
+}
+
+// runPipeline measures the pipelined multiplexed wire protocol (not a
+// paper figure): -n single inserts pushed into a group-commit PSkipList
+// server by D uncoordinated writer goroutines, for each depth D in -depths,
+// through three clients — the legacy one-request-at-a-time client on ONE
+// connection ("pipe-off"), the same client on the 16-connection pool the
+// pipelined mode replaces ("pipe-pool"), and the pipelined client
+// multiplexing ONE connection at MaxInFlight=D ("pipe-on"). The pipelined
+// rows should pull ahead on throughput (no per-request round-trip
+// serialization) and drive persists/entry down (the in-flight window is
+// what feeds the server's group-commit coalescing from a single socket).
+// Fastest of -reps wins per point; always writes BENCH_pipeline.json.
+func runPipeline() ([]harness.Result, error) {
+	depths, err := intList(*flagDepths)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := harness.RunPipelineSweep(harness.PipelineSpec{
+		N: *flagN, Depths: depths, Reps: *flagReps,
+		PersistLatency: *flagLatency, FlushInterval: *flagGCFlush,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := harness.WritePipelineJSON("BENCH_pipeline.json", *flagN, rows); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if r.Figure == "pipe-on" {
+			fmt.Fprintf(os.Stderr, "pipeline: depth %d pipelined %.0f ops/s, %.2f persists/entry\n",
+				r.Threads, r.Throughput(), float64(r.Persists)/float64(r.Ops))
+		}
+	}
+	fmt.Fprintln(os.Stderr, "pipeline: wrote BENCH_pipeline.json")
 	return rows, nil
 }
 

@@ -19,20 +19,26 @@
 //	mvkvctl history <store> <key>
 //	mvkvctl snapshot <store> [-version v] [-lo k] [-hi k]
 //	mvkvctl stat   <pool>
-//	mvkvctl stats  <store> [-json]
+//	mvkvctl stats  <store> [-json] [-watch interval [-count n]]
 //	mvkvctl verify <pool>
 //	mvkvctl fsck   <pool>
 //	mvkvctl compact <pool> <dstpool> -keep v [-size bytes]
 //
 // stats prints the observability snapshot (operation counters, latency
-// histograms, arena and wire metrics). Against a tcp:// store it fetches
-// the server's snapshot over the wire (the OpStats op — the same payload
-// mvkvd's -debug-addr serves at /debug/mvkv); against a pool path it
-// reports the snapshot of this invocation's freshly recovered store.
-// -json emits the raw snapshot instead of the text rendering.
+// histograms, arena and wire metrics, including the net.pipe.* pipelining
+// counters). Against a tcp:// store it fetches the server's snapshot over
+// the wire (the OpStats op — the same payload mvkvd's -debug-addr serves at
+// /debug/mvkv); against a pool path it reports the snapshot of this
+// invocation's freshly recovered store. -json emits the raw snapshot
+// instead of the text rendering. -watch <interval> keeps the store open and
+// prints a delta snapshot (counters and histogram counts since the previous
+// tick; gauges instantaneous) every interval, forever — or -count N times.
 //
 // Remote flags: -timeout bounds each call (default 5s), -retries bounds
-// reconnect attempts for idempotent operations (default 3; 0 disables).
+// reconnect attempts for idempotent operations (default 3; 0 disables),
+// -pipeline multiplexes calls over pipelined connections when the server
+// supports them (falling back to one-at-a-time against older servers) with
+// up to -inflight requests outstanding per connection.
 //
 // Every local invocation reopens the pool, which exercises the full
 // recovery and parallel index-reconstruction path — except fsck, which
@@ -143,6 +149,10 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-call deadline for tcp:// stores")
 	retries := fs.Int("retries", 3, "reconnect attempts for idempotent ops on tcp:// stores")
 	asJSON := fs.Bool("json", false, "emit the raw JSON snapshot (stats)")
+	pipeline := fs.Bool("pipeline", false, "multiplex calls over pipelined connections to tcp:// stores")
+	inflight := fs.Int("inflight", 0, "max in-flight requests per pipelined connection (0 = default)")
+	watch := fs.Duration("watch", 0, "print a delta snapshot every interval (stats; 0 = one snapshot)")
+	watchCount := fs.Int("count", 0, "stop -watch after this many deltas (0 = forever)")
 
 	// positional arguments come before flags: split them off
 	pos := rest
@@ -169,6 +179,8 @@ func run(args []string, out io.Writer) error {
 			DialTimeout: *timeout,
 			CallTimeout: *timeout,
 			MaxRetries:  r,
+			Pipeline:    *pipeline,
+			MaxInFlight: *inflight,
 		})
 		if err != nil {
 			return err
@@ -424,28 +436,51 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("stats takes no positional arguments")
 		}
 		return withStore(func(s kv.Store) error {
-			var snap obs.Snapshot
-			var err error
-			switch st := s.(type) {
-			case *kvnet.Client:
-				snap, err = st.Stats()
-			case interface{ ObsSnapshot() obs.Snapshot }:
-				snap = st.ObsSnapshot()
-			default:
-				return fmt.Errorf("stats: store exposes no metrics")
+			fetch := func() (obs.Snapshot, error) {
+				switch st := s.(type) {
+				case *kvnet.Client:
+					return st.Stats()
+				case interface{ ObsSnapshot() obs.Snapshot }:
+					return st.ObsSnapshot(), nil
+				}
+				return obs.Snapshot{}, fmt.Errorf("stats: store exposes no metrics")
 			}
+			emit := func(snap obs.Snapshot) error {
+				if *asJSON {
+					body, merr := json.MarshalIndent(snap, "", "  ")
+					if merr != nil {
+						return merr
+					}
+					_, werr := fmt.Fprintf(out, "%s\n", body)
+					return werr
+				}
+				return snap.WriteText(out)
+			}
+			prev, err := fetch()
 			if err != nil {
 				return err
 			}
-			if *asJSON {
-				body, merr := json.MarshalIndent(snap, "", "  ")
-				if merr != nil {
-					return merr
-				}
-				fmt.Fprintf(out, "%s\n", body)
-				return nil
+			if *watch <= 0 {
+				return emit(prev)
 			}
-			return snap.WriteText(out)
+			// Watch mode: the first snapshot is a silent baseline; every
+			// tick prints what changed since the previous one (counters and
+			// histogram counts subtract, gauges read instantaneously).
+			for i := 0; *watchCount <= 0 || i < *watchCount; i++ {
+				time.Sleep(*watch)
+				cur, err := fetch()
+				if err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(out, "--- delta %s ---\n", (*watch)*time.Duration(i+1)); err != nil {
+					return err
+				}
+				if err := emit(cur.Delta(prev)); err != nil {
+					return err
+				}
+				prev = cur
+			}
+			return nil
 		})
 
 	case "verify":

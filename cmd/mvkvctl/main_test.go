@@ -347,6 +347,83 @@ func TestCLIStats(t *testing.T) {
 	}
 }
 
+// TestCLIStatsWatch drives a workload while `stats -watch` ticks and checks
+// that each tick prints a delta block (counters since the previous tick).
+func TestCLIStatsWatch(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	store := "tcp://" + srv.Addr()
+	mustCtl(t, "put", store, "1", "10")
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cl, err := kvnet.Dial(srv.Addr(), 2)
+		if err != nil {
+			return
+		}
+		defer cl.Close()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = cl.Insert(i, i)
+		}
+	}()
+	out := mustCtl(t, "stats", store, "-watch", "50ms", "-count", "2")
+	close(stop)
+	<-done
+
+	if got := strings.Count(out, "--- delta"); got != 2 {
+		t.Fatalf("watch printed %d delta blocks, want 2:\n%s", got, out)
+	}
+	// Delta snapshots keep zero-valued counters, so the frame counter is
+	// present whether or not the background writer landed inside a tick.
+	if !strings.Contains(out, "net.server.frames_in.insert") {
+		t.Fatalf("watch deltas missing net.server.frames_in.insert:\n%s", out)
+	}
+	if !strings.Contains(out, "net.pipe.server.frames_in") {
+		t.Fatalf("watch deltas missing net.pipe.server.frames_in:\n%s", out)
+	}
+}
+
+// TestCLIPipeline runs the data path with -pipeline and verifies the server
+// actually upgraded the connection (net.pipe.server.conns advances).
+func TestCLIPipeline(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	store := "tcp://" + srv.Addr()
+
+	mustCtl(t, "put", store, "5", "50", "6", "60", "-pipeline", "-inflight", "8")
+	mustCtl(t, "tag", store, "-pipeline")
+	if out := mustCtl(t, "get", store, "5", "-version", "0", "-pipeline"); strings.TrimSpace(out) != "50" {
+		t.Fatalf("pipelined get = %q", out)
+	}
+
+	raw := mustCtl(t, "stats", store, "-json")
+	snap, err := obs.DecodeSnapshot([]byte(strings.TrimSpace(raw)))
+	if err != nil {
+		t.Fatalf("stats -json did not decode: %v\n%s", err, raw)
+	}
+	if got := snap.Counter("net.pipe.server.conns"); got == 0 {
+		t.Fatal("net.pipe.server.conns = 0; -pipeline never upgraded a connection")
+	}
+	if got := snap.Counter("net.pipe.server.frames_in"); got == 0 {
+		t.Fatal("net.pipe.server.frames_in = 0; no tagged frames reached the server")
+	}
+}
+
 func TestCLIPinGC(t *testing.T) {
 	if runtime.GOOS != "linux" {
 		t.Skip("file-backed pools are linux-only")

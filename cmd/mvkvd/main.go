@@ -9,11 +9,18 @@
 //	      [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 0]
 //	      [-debug-addr 127.0.0.1:0]
 //	      [-group-commit [-gc-max-run 512] [-gc-flush-interval 0]]
+//	      [-no-pipeline] [-pipeline-workers 64]
 //
 // -group-commit turns on the asynchronous write pipeline: concurrent
 // writes (each arriving on its own connection) are coalesced into shared
 // batched-append runs with merged persist fences; see the store.gc.*
 // metrics for runs, pairs and persists-per-entry.
+//
+// Pipelined clients multiplexing many in-flight requests over one
+// connection are accepted by default (legacy clients are unaffected; the
+// upgrade is negotiated per connection). -no-pipeline refuses the upgrade,
+// -pipeline-workers bounds the concurrent request handlers per pipelined
+// connection; see the net.pipe.* metrics for traffic and dedupe counters.
 //
 // -debug-addr starts an HTTP debug listener exposing /debug/vars (expvar,
 // including the full metric snapshot under "mvkv"), /debug/pprof/*, and
@@ -53,6 +60,8 @@ func main() {
 		gcInterval   = flag.Duration("vgc-interval", 0, "run the tag-watermark version GC this often in the background (0 = only on explicit 'mvkvctl gc')")
 		hotCache     = flag.Int("hot-cache-size", 0, "buckets in the hot-key read cache (0 = default 4096)")
 		noHotCache   = flag.Bool("disable-hot-cache", false, "turn the hot-key read cache off")
+		noPipeline   = flag.Bool("no-pipeline", false, "refuse the pipelined-connection upgrade (serve every client one-at-a-time)")
+		pipeWorkers  = flag.Int("pipeline-workers", 0, "concurrent request handlers per pipelined connection (0 = default 64)")
 	)
 	flag.Parse()
 	if *pool == "" {
@@ -96,10 +105,12 @@ func main() {
 	}
 
 	srv, err := kvnet.ServeOptions(s, *addr, kvnet.ServerOptions{
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		IdleTimeout:  *idleTimeout,
-		Logf:         log.Printf,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		IdleTimeout:     *idleTimeout,
+		DisablePipeline: *noPipeline,
+		PipelineWorkers: *pipeWorkers,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("mvkvd: %v", err)

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mvkv/internal/kv"
+)
+
+// TestChunkPairs pins the chunking geometry the windowed scatter relies on:
+// every pair appears exactly once, in order, and no chunk exceeds the cap.
+func TestChunkPairs(t *testing.T) {
+	for _, n := range []int{1, 2, 511, 512, 513, 1024, 1025, 4096} {
+		sub := make([]kv.KV, n)
+		for i := range sub {
+			sub[i] = kv.KV{Key: uint64(i), Value: uint64(i)}
+		}
+		chunks := chunkPairs(sub, wChunkPairs)
+		want := (n + wChunkPairs - 1) / wChunkPairs
+		if len(chunks) != want {
+			t.Fatalf("n=%d: %d chunks, want %d", n, len(chunks), want)
+		}
+		seen := 0
+		for _, c := range chunks {
+			if len(c) == 0 || len(c) > wChunkPairs {
+				t.Fatalf("n=%d: chunk of %d pairs (cap %d)", n, len(c), wChunkPairs)
+			}
+			for _, p := range c {
+				if p.Key != uint64(seen) {
+					t.Fatalf("n=%d: pair %d out of order (key %d)", n, seen, p.Key)
+				}
+				seen++
+			}
+		}
+		if seen != n {
+			t.Fatalf("n=%d: chunks carry %d pairs", n, seen)
+		}
+	}
+}
+
+// TestWriteReplyCacheEviction pins the worker-side dedupe cache: it retains
+// the newest wReplyCache replies, evicts FIFO, and tracks the max applied
+// sequence number (the stale/duplicate discriminator in ServeWrites).
+func TestWriteReplyCacheEviction(t *testing.T) {
+	s := &Service{}
+	const extra = 10
+	for seq := uint64(0); seq < wReplyCache+extra; seq++ {
+		s.recordReply(seq, "")
+	}
+	if len(s.wReplies) != wReplyCache || len(s.wOrder) != wReplyCache {
+		t.Fatalf("cache holds %d/%d entries, want %d", len(s.wReplies), len(s.wOrder), wReplyCache)
+	}
+	if !s.wSeen || s.wMaxSeq != wReplyCache+extra-1 {
+		t.Fatalf("wSeen=%v wMaxSeq=%d, want true/%d", s.wSeen, s.wMaxSeq, wReplyCache+extra-1)
+	}
+	for seq := uint64(0); seq < extra; seq++ {
+		if _, ok := s.wReplies[seq]; ok {
+			t.Fatalf("seq %d should have been evicted FIFO", seq)
+		}
+	}
+	for seq := uint64(extra); seq < wReplyCache+extra; seq++ {
+		if _, ok := s.wReplies[seq]; !ok {
+			t.Fatalf("seq %d missing from cache", seq)
+		}
+	}
+	// The cache must be able to answer a retry of any chunk that can still
+	// be in flight when the newest one lands.
+	if wReplyCache <= wWindow {
+		t.Fatalf("wReplyCache=%d must exceed wWindow=%d", wReplyCache, wWindow)
+	}
+}
+
+// TestInsertBatchWindowedLargeBatch streams a batch large enough that every
+// owner rank receives several chunk frames (per-rank sub-batches well past
+// wChunkPairs) and verifies the windowed scatter applies every pair exactly
+// once with per-key order preserved.
+func TestInsertBatchWindowedLargeBatch(t *testing.T) {
+	const size = 4
+	cs := launchCluster(t, size)
+	defer cs.Close()
+
+	// ~1024 pairs per owner rank = 2+ chunks per rank; plus a second write
+	// to a subset of keys so per-key order across chunks is observable.
+	const n = 4096
+	pairs := make([]kv.KV, 0, n)
+	for k := 0; k < n; k++ {
+		pairs = append(pairs, kv.KV{Key: uint64(k), Value: uint64(k + 1)})
+	}
+	if err := kv.InsertBatch(cs, pairs); err != nil {
+		t.Fatalf("windowed InsertBatch: %v", err)
+	}
+	second := make([]kv.KV, 0, n/8)
+	for k := 0; k < n; k += 8 {
+		second = append(second, kv.KV{Key: uint64(k), Value: uint64(k + 2)})
+	}
+	if err := kv.InsertBatch(cs, second); err != nil {
+		t.Fatalf("second InsertBatch: %v", err)
+	}
+
+	if got := cs.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	v := cs.Tag()
+	for k := 0; k < n; k += 97 {
+		want := uint64(k + 1)
+		if k%8 == 0 {
+			want = uint64(k + 2)
+		}
+		got, ok := cs.Find(uint64(k), v)
+		if !ok || got != want {
+			t.Fatalf("key %d: (%d,%v), want (%d,true)", k, got, ok, want)
+		}
+	}
+	// A doubly-written key's history must show both values in batch order.
+	evs := cs.ExtractHistory(8)
+	if len(evs) != 2 || evs[0].Value != 9 || evs[1].Value != 10 {
+		t.Fatalf("key 8 history = %v, want [9 10]", evs)
+	}
+}
+
+// TestInsertBatchWindowedRetryLostAck is the regression test for the
+// single-slot dedupe cache: rank 1's ack for its FIRST chunk vanishes while
+// its later chunks are applied and acknowledged behind it. The retry
+// re-sends every unresolved chunk with its original sequence number; with
+// only a last-write slot the owner would stay silent on all but the newest
+// (their wseq is below the slot), the retry would time out, and the batch
+// would be falsely unknown. The bounded reply cache re-acknowledges each one
+// without re-applying, so the batch succeeds and no key double-appends.
+func TestInsertBatchWindowedRetryLostAck(t *testing.T) {
+	const size = 4
+	dropped := &atomic.Int64{}
+	cs := launchAckDropCluster(t, size, 1, dropped)
+	defer cs.Close()
+
+	const n = 4096 // ~1024 pairs -> 2+ chunks per owner rank
+	pairs := make([]kv.KV, 0, n)
+	for k := 0; k < n; k++ {
+		pairs = append(pairs, kv.KV{Key: uint64(k), Value: uint64(1000 + k)})
+	}
+	if err := kv.InsertBatch(cs, pairs); err != nil {
+		t.Fatalf("InsertBatch with one lost chunk ack should succeed via retry, got %v", err)
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("no ack was dropped; the test proved nothing")
+	}
+	if got := cs.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for k := 0; k < n; k += 61 {
+		evs := cs.ExtractHistory(uint64(k))
+		if len(evs) != 1 {
+			t.Fatalf("key %d: history %v; want exactly 1 entry (no double-append, no loss)", k, evs)
+		}
+		if evs[0].Value != uint64(1000+k) {
+			t.Fatalf("key %d: value %d, want %d", k, evs[0].Value, 1000+k)
+		}
+	}
+}

@@ -91,19 +91,21 @@ func (s *Service) ServeWrites() error {
 			continue // malformed frame; nothing to acknowledge
 		}
 		wseq := w[0]
-		if s.wSeen && wseq <= s.wLastSeq {
-			if wseq == s.wLastSeq {
+		if s.wSeen && wseq <= s.wMaxSeq {
+			if reply, ok := s.wReplies[wseq]; ok {
 				// Rank 0 retrying a write whose ack it never saw:
 				// already applied here, so re-send the cached ack
 				// without re-applying (sequence numbers are never
 				// reused, so equal wseq means the identical frame).
-				ack := append(cluster.PutUint64s(wseq), []byte(s.wLastReply)...)
+				ack := append(cluster.PutUint64s(wseq), []byte(reply)...)
 				if err := s.comm.SendCh(0, chWrite, ack); err != nil {
 					return err
 				}
+				continue
 			}
-			// wseq < wLastSeq: stale duplicate of an older write; rank 0
-			// discards its acks by sequence number, so stay silent.
+			// Not cached: stale duplicate older than the reply-cache
+			// window; rank 0 discards its acks by sequence number, so
+			// stay silent.
 			continue
 		}
 		var reply string
@@ -141,11 +143,34 @@ func (s *Service) ServeWrites() error {
 		default:
 			reply = fmt.Sprintf("dist: unknown write opcode %d", w[1])
 		}
-		s.wSeen, s.wLastSeq, s.wLastReply = true, wseq, reply
+		s.recordReply(wseq, reply)
 		ack := append(cluster.PutUint64s(wseq), []byte(reply)...)
 		if err := s.comm.SendCh(0, chWrite, ack); err != nil {
 			return err
 		}
+	}
+}
+
+// wReplyCache bounds the worker-side ack cache consulted above. It must
+// exceed wWindow (the deepest a retried chunk can trail the newest applied
+// one); 4x leaves margin for future window growth without unbounded memory.
+const wReplyCache = 64
+
+// recordReply caches the ack of one applied routed write for duplicate
+// detection, evicting the oldest cached replies beyond wReplyCache.
+func (s *Service) recordReply(wseq uint64, reply string) {
+	if s.wReplies == nil {
+		s.wReplies = make(map[uint64]string, wReplyCache)
+	}
+	s.wReplies[wseq] = reply
+	s.wOrder = append(s.wOrder, wseq)
+	for len(s.wOrder) > wReplyCache {
+		delete(s.wReplies, s.wOrder[0])
+		s.wOrder = s.wOrder[1:]
+	}
+	s.wSeen = true
+	if wseq > s.wMaxSeq {
+		s.wMaxSeq = wseq
 	}
 }
 
@@ -233,17 +258,99 @@ func (s *Service) routeWrite(op, key, value uint64) error {
 	return err
 }
 
-// routeInsertBatch scatters a batch to its owner ranks: one frame per rank
-// carrying that rank's sub-batch (pairs keep their batch order within it,
-// so per-key insertion order is preserved), with the remote round-trips
-// dispatched concurrently while this rank applies its own share through the
-// local bulk path. A sub-batch whose acknowledgement goes missing is retried
-// once with its original sequence number (double-append-safe: the owner
-// detects the duplicate and re-acknowledges without re-applying). A failure
-// on some ranks leaves the others' sub-batches applied; the returned
-// *PartialBatchError reports, per rank, what was applied, what definitely
-// failed, and what has unknown outcome. Caller must serialize (ClusterStore
-// does).
+// wChunkPairs caps the pairs carried by one routed write frame, and wWindow
+// caps how many chunk frames the scatterer keeps in flight to one owner
+// before waiting for the oldest acknowledgement. Together they are the dist
+// analogue of the wire protocol's pipelined in-flight window: a large batch
+// streams to each owner as a pipeline of moderate frames — the owner applies
+// chunk k while k+1..k+wWindow-1 are already queued behind it — instead of
+// one giant frame whose encode/apply/ack latencies serialize end to end.
+// wReplyCache on the worker side must exceed wWindow (see recordReply).
+const (
+	wChunkPairs = 512
+	wWindow     = 16
+)
+
+// chunkPairs splits one owner's sub-batch into chunks of at most n pairs,
+// preserving order. The chunks alias the input slice.
+func chunkPairs(sub []kv.KV, n int) [][]kv.KV {
+	chunks := make([][]kv.KV, 0, (len(sub)+n-1)/n)
+	for len(sub) > n {
+		chunks = append(chunks, sub[:n])
+		sub = sub[n:]
+	}
+	return append(chunks, sub)
+}
+
+// rankScatter is the outcome of streaming one owner's chunked sub-batch.
+type rankScatter struct {
+	applied int   // pairs confirmed applied
+	failed  error // first definite failure reported by the owner
+	unknown error // first unknown outcome (send failed / ack missing)
+	retry   []int // chunk indexes eligible for the bounded retry
+}
+
+// scatterChunks streams one owner rank's chunks with at most wWindow frames
+// in flight, awaiting acks oldest-first (the write channel is FIFO, so acks
+// arrive in send order). On a definite apply error it stops sending new
+// chunks but keeps draining the acks of chunks already in flight — the owner
+// applies those regardless, and the partial report must count them. On a
+// missing ack every unresolved chunk (in flight or never sent) is handed to
+// the retry pass.
+func (s *Service) scatterChunks(r int, seqs []uint64, chunks [][]kv.KV) rankScatter {
+	var res rankScatter
+	sent, acked := 0, 0
+	for acked < len(chunks) {
+		for res.failed == nil && sent < len(chunks) && sent-acked < wWindow {
+			if err := s.comm.SendCh(r, chWrite, batchFrame(seqs[sent], chunks[sent])); err != nil {
+				s.health.MarkDown(r)
+				res.unknown = fmt.Errorf("dist: write to rank %d failed (outcome unknown): %w (%w)",
+					r, err, cluster.ErrRankDown{Rank: r})
+				for i := acked; i < len(chunks); i++ {
+					res.retry = append(res.retry, i)
+				}
+				return res
+			}
+			sent++
+		}
+		if acked == sent {
+			// A definite failure stopped the sends and the window has
+			// drained; the remaining chunks were never dispatched.
+			break
+		}
+		reply, err := s.awaitAck(r, seqs[acked])
+		if err != nil {
+			s.health.MarkDown(r)
+			res.unknown = fmt.Errorf("dist: write to rank %d unacknowledged (outcome unknown): %w (%w)",
+				r, err, cluster.ErrRankDown{Rank: r})
+			for i := acked; i < len(chunks); i++ {
+				res.retry = append(res.retry, i)
+			}
+			return res
+		}
+		s.health.MarkAlive(r)
+		if reply != "" && res.failed == nil {
+			res.failed = fmt.Errorf("%s", reply)
+		} else if reply == "" {
+			res.applied += len(chunks[acked])
+		}
+		acked++
+	}
+	return res
+}
+
+// routeInsertBatch scatters a batch to its owner ranks: each rank's
+// sub-batch (pairs keep their batch order within it, so per-key insertion
+// order is preserved) is split into chunks of at most wChunkPairs pairs and
+// streamed with up to wWindow frames in flight per owner, with the remote
+// streams dispatched concurrently while this rank applies its own share
+// through the local bulk path. A chunk whose acknowledgement goes missing is
+// retried once with its original sequence number (double-append-safe: the
+// owner detects the duplicate in its reply cache and re-acknowledges without
+// re-applying). A failure on some ranks leaves the other ranks' chunks
+// applied; the returned *PartialBatchError reports, per rank, how many pairs
+// were applied, what definitely failed, and what has unknown outcome. Caller
+// must serialize (ClusterStore does).
 func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 	size := s.comm.Size()
 	self := s.comm.Rank()
@@ -259,9 +366,15 @@ func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 		Failed:  make(map[int]error),
 		Unknown: make(map[int]error),
 	}
+	type rankRetry struct {
+		first error // the unknown-outcome error from the first attempt
+		idx   []int // chunk indexes to retry with their original seqs
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	wseqs := make([]uint64, size)
+	seqsByRank := make([][]uint64, size)
+	chunksByRank := make([][][]kv.KV, size)
+	retries := make(map[int]*rankRetry)
 	for r := 0; r < size; r++ {
 		if r == self || len(perRank[r]) == 0 {
 			continue
@@ -274,24 +387,30 @@ func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 		// start, so the caller's serialization covers writeSeq; the
 		// concurrent ack waits are safe because each goroutine receives
 		// from a distinct peer.
-		wseq := s.writeSeq
-		s.writeSeq++
-		wseqs[r] = wseq
+		chunks := chunkPairs(perRank[r], wChunkPairs)
+		seqs := make([]uint64, len(chunks))
+		for i := range seqs {
+			seqs[i] = s.writeSeq
+			s.writeSeq++
+		}
+		seqsByRank[r] = seqs
+		chunksByRank[r] = chunks
 		wg.Add(1)
-		go func(r int, wseq uint64, sub []kv.KV) {
+		go func(r int, seqs []uint64, chunks [][]kv.KV) {
 			defer wg.Done()
-			unknown, err := s.sendWrite(r, wseq, batchFrame(wseq, sub))
+			res := s.scatterChunks(r, seqs, chunks)
 			mu.Lock()
 			defer mu.Unlock()
-			switch {
-			case err == nil:
-				pe.Applied[r] = len(sub)
-			case unknown:
-				pe.Unknown[r] = err
-			default:
-				pe.Failed[r] = err
+			if res.applied > 0 {
+				pe.Applied[r] = res.applied
 			}
-		}(r, wseq, perRank[r])
+			if res.failed != nil {
+				pe.Failed[r] = res.failed
+			}
+			if res.unknown != nil {
+				retries[r] = &rankRetry{first: res.unknown, idx: res.retry}
+			}
+		}(r, seqs, chunks)
 	}
 	// The local share overlaps the remote round-trips.
 	if sub := perRank[self]; len(sub) > 0 {
@@ -306,30 +425,38 @@ func (s *Service) routeInsertBatch(pairs []kv.KV) error {
 		}
 	}
 	wg.Wait()
-	// One bounded retry for sub-batches whose outcome is unknown: the frame
-	// is re-sent with its ORIGINAL sequence number, so an owner that already
-	// applied it recognizes the duplicate and re-acknowledges from its cached
-	// reply without re-applying (see ServeWrites) — the retry can turn
+	// One bounded retry for chunks whose outcome is unknown: each frame is
+	// re-sent with its ORIGINAL sequence number, so an owner that already
+	// applied it recognizes the duplicate and re-acknowledges from its reply
+	// cache without re-applying (see ServeWrites) — the retry can turn
 	// "unknown" into a definite answer but can never double-append. Retrying
 	// a rank just marked down deliberately skips FailFast: the retry itself
 	// is the liveness probe, and a rank that merely dropped one ack (or one
 	// connection) answers it immediately.
-	for r := range pe.Unknown {
-		first := pe.Unknown[r]
-		unknown, err := s.sendWrite(r, wseqs[r], batchFrame(wseqs[r], perRank[r]))
-		switch {
-		case err == nil:
-			delete(pe.Unknown, r)
-			pe.Applied[r] = len(perRank[r])
-		case unknown:
-			pe.Unknown[r] = fmt.Errorf("dist: batch retry also unacknowledged: %w (first attempt: %v)", err, first)
-		default:
-			// The owner answered the retry with a definite error. It either
-			// never applied the frame (and the error is the apply failure)
-			// or is replaying the cached reply of the original attempt —
-			// in both cases the sub-batch definitely did not apply cleanly.
-			delete(pe.Unknown, r)
-			pe.Failed[r] = err
+	for r, rr := range retries {
+		seqs, chunks := seqsByRank[r], chunksByRank[r]
+		for n, i := range rr.idx {
+			unknown, err := s.sendWrite(r, seqs[i], batchFrame(seqs[i], chunks[i]))
+			if err == nil {
+				pe.Applied[r] += len(chunks[i])
+				continue
+			}
+			if unknown {
+				pe.Unknown[r] = fmt.Errorf("dist: batch retry also unacknowledged: %w (first attempt: %v)", err, rr.first)
+			} else {
+				// The owner answered the retry with a definite error. It
+				// either never applied the chunk (and the error is the apply
+				// failure) or is replaying the cached reply of the original
+				// attempt — either way this chunk definitely did not apply
+				// cleanly.
+				pe.Failed[r] = err
+				if n < len(rr.idx)-1 {
+					// Chunks queued behind the failed retry were never
+					// re-sent; their outcome is still the first attempt's.
+					pe.Unknown[r] = rr.first
+				}
+			}
+			break
 		}
 	}
 	if len(pe.Failed) > 0 || len(pe.Unknown) > 0 {

@@ -104,18 +104,22 @@ type Service struct {
 	// rejoin and are discarded (set once by Rejoin before Serve starts).
 	minOp uint64
 
-	// Worker write-dedupe state, owned by the ServeWrites loop: the
-	// sequence number of the last routed write this rank applied and the
-	// ack reply it produced. Rank 0 retries a sub-batch whose first ack
-	// went missing by re-sending the frame with its ORIGINAL sequence
-	// number; recognizing that duplicate here and re-sending the cached
-	// ack — instead of re-applying the sub-batch — is what makes the
-	// retry double-append-safe. One slot suffices because rank 0
-	// serializes its write stream and retries in place, so a duplicate
-	// can only ever be of the most recently applied write.
-	wLastSeq   uint64
-	wLastReply string
-	wSeen      bool
+	// Worker write-dedupe state, owned by the ServeWrites loop: a bounded
+	// cache of recently applied routed-write sequence numbers and the ack
+	// replies they produced. Rank 0 retries a frame whose ack it never
+	// saw by re-sending it with its ORIGINAL sequence number; recognizing
+	// the duplicate here and re-sending the cached ack — instead of
+	// re-applying the frame — is what makes the retry double-append-safe.
+	// One slot used to suffice when rank 0 sent one frame at a time; the
+	// windowed batch scatter (routeInsertBatch) now keeps up to wWindow
+	// chunk frames in flight per rank, so a retried chunk can arrive
+	// after several younger chunks were applied. The cache therefore
+	// retains the last wReplyCache replies (comfortably above the
+	// window), evicted FIFO.
+	wSeen    bool
+	wMaxSeq  uint64            // highest routed-write wseq applied here
+	wReplies map[uint64]string // wseq -> cached ack reply
+	wOrder   []uint64          // insertion order for FIFO eviction
 
 	met svcMetrics
 }

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mvkv/internal/kvnet"
+	"mvkv/internal/workload"
+)
+
+// PipelineSpec configures RunPipelineSweep (the pipeline figure).
+type PipelineSpec struct {
+	// N is the total single-insert count per measured point.
+	N int
+	// Depths sweeps the in-flight window: each depth D runs D uncoordinated
+	// writer goroutines sharing ONE TCP connection.
+	Depths []int
+	// Reps repeats each point on a fresh server; fastest wins.
+	Reps int
+	// PersistLatency is the emulated per-cache-line persist cost on the
+	// server's PSkipList; FlushInterval is its group-commit flush window.
+	PersistLatency time.Duration
+	FlushInterval  time.Duration
+}
+
+// PipelineModes are the three client configurations the figure compares,
+// in row order: the legacy one-request-at-a-time client on ONE connection
+// ("pipe-off", where the writers serialize on the socket and the server's
+// group commit never sees more than one claim at a time from it), the
+// legacy client on the 16-connection pool the pipelined mode replaces
+// ("pipe-pool", parallelism capped at MaxConns), and the pipelined client
+// multiplexing ONE connection at MaxInFlight=D ("pipe-on", where D tagged
+// requests ride the wire concurrently and feed the server's coalesced
+// persist runs).
+var PipelineModes = []string{"pipe-off", "pipe-pool", "pipe-on"}
+
+// RunPipelineSweep measures what request pipelining buys: for each depth D
+// in spec.Depths, D uncoordinated writer goroutines push N single inserts
+// into a group-commit PSkipList server through each client mode in
+// PipelineModes. The Persists column divided by Ops is the durability half
+// of the figure: with serialized traffic every entry pays the full fence
+// schedule; with a deep in-flight window the group-commit dispatcher merges
+// the concurrent claims even though no caller ever batches.
+func RunPipelineSweep(spec PipelineSpec) ([]Result, error) {
+	reps := spec.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	w := workload.Generate(spec.N, 0x919E11)
+
+	point := func(depth int, mode string) (Result, error) {
+		var best Result
+		for rep := 0; rep < reps; rep++ {
+			backing, err := Build(StoreSpec{
+				Approach: PSkipList, N: spec.N,
+				PersistLatency:           spec.PersistLatency,
+				GroupCommit:              true,
+				GroupCommitFlushInterval: spec.FlushInterval,
+			})
+			if err != nil {
+				return best, err
+			}
+			srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+			if err != nil {
+				backing.Close()
+				return best, err
+			}
+			opts := kvnet.Options{MaxConns: 1}
+			switch mode {
+			case "pipe-pool":
+				opts.MaxConns = 16
+			case "pipe-on":
+				opts.Pipeline = true
+				opts.MaxInFlight = depth
+			}
+			cl, err := kvnet.DialOptions(srv.Addr(), opts)
+			if err != nil {
+				srv.Close()
+				backing.Close()
+				return best, err
+			}
+			before := ArenaPersistCount(backing)
+			d, err := RunUncoordinatedInserts(cl, w, depth)
+			persists := ArenaPersistCount(backing) - before
+			cl.Close()
+			srv.Close()
+			if cerr := backing.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			if err != nil {
+				return best, fmt.Errorf("depth=%d mode=%s: %w", depth, mode, err)
+			}
+			r := Result{Figure: mode, Approach: "PSkipList/tcp",
+				Threads: depth, N: spec.N, Ops: spec.N, Elapsed: d, Persists: persists}
+			if rep == 0 || r.Elapsed < best.Elapsed {
+				best = r
+			}
+		}
+		return best, nil
+	}
+
+	var rows []Result
+	for _, depth := range spec.Depths {
+		for _, mode := range PipelineModes {
+			r, err := point(depth, mode)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// PipelineJSON is the machine-readable form of the pipeline figure
+// (BENCH_pipeline.json), carrying the measured environment like the repo's
+// other recorded artifacts.
+type PipelineJSON struct {
+	Figure     string            `json:"figure"`
+	N          int               `json:"n"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	GoVersion  string            `json:"go_version"`
+	Note       string            `json:"note,omitempty"`
+	Rows       []PipelineJSONRow `json:"rows"`
+	// Speedup maps "<depth>" to pipelined ops/sec over one-at-a-time
+	// ops/sec on the same single connection at the same depth.
+	Speedup map[string]float64 `json:"pipelined_speedup_vs_serial,omitempty"`
+	// PersistsPerEntry maps "<depth>" to the pipelined run's persist fences
+	// per inserted entry (the group-commit coalescing the window enables).
+	PersistsPerEntry map[string]float64 `json:"pipelined_persists_per_entry,omitempty"`
+}
+
+// PipelineJSONRow is one measured point of the pipeline figure.
+type PipelineJSONRow struct {
+	Figure    string  `json:"figure"`
+	Approach  string  `json:"approach"`
+	Depth     int     `json:"depth"`
+	N         int     `json:"n"`
+	Ops       int     `json:"ops"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Persists  int64   `json:"persists"`
+}
+
+// WritePipelineJSON renders the pipeline rows as BENCH_pipeline.json.
+func WritePipelineJSON(path string, n int, rows []Result) error {
+	out := PipelineJSON{
+		Figure:     "pipeline",
+		N:          n,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if out.GoMaxProcs == 1 {
+		out.Note = "single-core host: pipelining still removes per-request round-trip serialization, but absolute throughputs understate multi-core hardware; see EXPERIMENTS.md"
+	}
+	serial := map[int]float64{}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, PipelineJSONRow{
+			Figure: r.Figure, Approach: r.Approach, Depth: r.Threads,
+			N: r.N, Ops: r.Ops, ElapsedNs: r.Elapsed.Nanoseconds(),
+			OpsPerSec: r.Throughput(), Persists: r.Persists,
+		})
+		if r.Figure == "pipe-off" {
+			serial[r.Threads] = r.Throughput()
+		}
+	}
+	for _, r := range rows {
+		if r.Figure != "pipe-on" {
+			continue
+		}
+		if s := serial[r.Threads]; s > 0 {
+			if out.Speedup == nil {
+				out.Speedup = map[string]float64{}
+			}
+			out.Speedup[fmt.Sprintf("%d", r.Threads)] = r.Throughput() / s
+		}
+		if r.Ops > 0 {
+			if out.PersistsPerEntry == nil {
+				out.PersistsPerEntry = map[string]float64{}
+			}
+			out.PersistsPerEntry[fmt.Sprintf("%d", r.Threads)] = float64(r.Persists) / float64(r.Ops)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,11 +1,14 @@
 package kvnet
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mvkv/internal/kv"
@@ -35,6 +38,25 @@ type Options struct {
 	// connections through it; TLS or unix-socket dialers also fit). nil =
 	// net.DialTimeout("tcp", addr, DialTimeout).
 	Dial func(addr string) (net.Conn, error)
+	// IdleConnTTL is the maximum age of a pooled idle connection (0 = 60s,
+	// <0 = never expire). Stale connections are evicted on acquire rather
+	// than borrowed: an idle conn can outlive the server's IdleTimeout, and
+	// without the TTL the first call after a quiet period burns a retry on
+	// the server's half-closed socket.
+	IdleConnTTL time.Duration
+	// Pipeline enables the multiplexed wire mode: requests ride tagged
+	// frames with up to MaxInFlight of them outstanding per connection,
+	// writes coalesce into shared flushes, and responses demux by tag —
+	// so one connection carries what used to take a whole pool. Against a
+	// server that predates the handshake the client falls back to the
+	// one-at-a-time path transparently. Chunked extraction streams always
+	// use dedicated one-at-a-time connections. Retry semantics are
+	// unchanged: idempotent-only once a request has been written.
+	Pipeline bool
+	// MaxInFlight bounds the outstanding requests per pipelined connection
+	// (<=0 = 64). Callers past the window block until a slot frees — the
+	// client-side backpressure matching the server's worker pool.
+	MaxInFlight int
 }
 
 // withDefaults normalizes every field to the contract its doc comment
@@ -60,6 +82,14 @@ func (o Options) withDefaults() Options {
 	} else if o.RetryBackoff < 0 {
 		o.RetryBackoff = 0
 	}
+	if o.IdleConnTTL == 0 {
+		o.IdleConnTTL = 60 * time.Second
+	} else if o.IdleConnTTL < 0 {
+		o.IdleConnTTL = 0
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
 	return o
 }
 
@@ -77,7 +107,7 @@ type Client struct {
 	opts Options
 
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   []idleConn
 	nconns int
 	cond   *sync.Cond
 	closed bool
@@ -86,7 +116,32 @@ type Client struct {
 	// immediately instead of re-dialing after the pool is gone.
 	closeCh chan struct{}
 
+	// Pipelined-mode state (Options.Pipeline), guarded by pmu: the live
+	// multiplexed connections, a round-robin cursor, the count of dials in
+	// flight, and the sticky fallback flag set when the server declines
+	// the handshake.
+	pmu      sync.Mutex
+	pcond    *sync.Cond
+	pconns   []*pconn
+	pnext    int
+	pdialing int
+	pipeOff  bool
+
+	// sessionID identifies this client to the server's mutation-dedupe
+	// cache (0 = dedupe unavailable); tagCounter allocates one tag per
+	// logical call, so a retried mutation reuses its tag and the server
+	// recognizes the duplicate.
+	sessionID  uint64
+	tagCounter atomic.Uint32
+
 	met clientMetrics
+}
+
+// idleConn is a pooled connection stamped with when it went idle, so
+// acquire can evict ones that have outlived Options.IdleConnTTL.
+type idleConn struct {
+	conn  net.Conn
+	since time.Time
 }
 
 // Dial connects to a server. maxConns bounds the connection pool
@@ -99,6 +154,17 @@ func Dial(addr string, maxConns int) (*Client, error) {
 func DialOptions(addr string, opts Options) (*Client, error) {
 	c := &Client{addr: addr, opts: opts.withDefaults(), closeCh: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
+	c.pcond = sync.NewCond(&c.pmu)
+	if c.opts.Pipeline {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			c.sessionID = binary.LittleEndian.Uint64(b[:])
+		}
+		// sessionID 0 (rand failure, or one-in-2^64 luck) simply means no
+		// mutation dedupe: the server skips the reply cache and fully-sent
+		// mutations fall back to ErrUnknownOutcome, exactly like the
+		// one-at-a-time path.
+	}
 	// Validate reachability eagerly (retried like any idempotent call).
 	if _, err := c.call(opPing, nil); err != nil {
 		return nil, err
@@ -134,10 +200,20 @@ func (c *Client) acquire() (net.Conn, error) {
 			return nil, ErrClientClosed
 		}
 		if n := len(c.idle); n > 0 {
-			conn := c.idle[n-1]
+			ic := c.idle[n-1]
 			c.idle = c.idle[:n-1]
+			if ttl := c.opts.IdleConnTTL; ttl > 0 && time.Since(ic.since) > ttl {
+				// Evict instead of borrow: past the TTL the server's own
+				// IdleTimeout may already have half-closed the socket, and
+				// handing it out would burn the caller's first attempt.
+				c.nconns--
+				c.met.ttlEvictions.Inc()
+				c.cond.Signal()
+				ic.conn.Close()
+				continue
+			}
 			c.mu.Unlock()
-			return conn, nil
+			return ic.conn, nil
 		}
 		if c.nconns < c.opts.MaxConns {
 			c.nconns++
@@ -173,7 +249,7 @@ func (c *Client) release(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	c.idle = append(c.idle, conn)
+	c.idle = append(c.idle, idleConn{conn: conn, since: time.Now()})
 	c.cond.Signal()
 	c.mu.Unlock()
 }
@@ -227,11 +303,17 @@ func idempotent(op byte) bool {
 }
 
 // call runs one request on a pooled connection, transparently redialing and
-// retrying recoverable failures with exponential backoff.
+// retrying recoverable failures with exponential backoff. In pipelined mode
+// it allocates the call's tag up front so every retry reuses it — the
+// server-side session dedupe keys on it.
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	var tag uint32
+	if c.opts.Pipeline {
+		tag = c.tagCounter.Add(1)
+	}
 	backoff := c.opts.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		resp, err := c.attempt(op, payload)
+		resp, err := c.attempt(op, payload, tag)
 		if err == nil {
 			return resp, nil
 		}
@@ -244,7 +326,7 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 			if IsTimeout(e.err) {
 				c.met.deadlineExpiries.Inc()
 			}
-			retryable = !e.sent || idempotent(op)
+			retryable = !e.sent || idempotent(op) || e.dedupeSafe
 			if !retryable {
 				c.met.unknownOutcomes.Inc()
 				return nil, fmt.Errorf("%w: %w", ErrUnknownOutcome, e.err)
@@ -287,16 +369,28 @@ func (c *Client) sleepBackoff(d time.Duration) error {
 }
 
 // attemptError is a transport failure of one attempt, tagged with whether
-// the request frame had been fully written when it happened.
+// the request frame had been fully written when it happened, and — on the
+// pipelined path — whether the server-side session dedupe makes retrying a
+// fully-written mutation safe anyway.
 type attemptError struct {
-	err  error
-	sent bool
+	err        error
+	sent       bool
+	dedupeSafe bool
 }
 
 func (e *attemptError) Error() string { return e.err.Error() }
 func (e *attemptError) Unwrap() error { return e.err }
 
-func (c *Client) attempt(op byte, payload []byte) ([]byte, error) {
+func (c *Client) attempt(op byte, payload []byte, tag uint32) ([]byte, error) {
+	if c.opts.Pipeline {
+		resp, handled, err := c.pipeAttempt(op, payload, tag)
+		if handled {
+			return resp, err
+		}
+		// The server declined the handshake (or a legacy server answered
+		// the offer with an empty ping): fall through to the one-at-a-time
+		// path for this and every later call.
+	}
 	conn, err := c.acquire()
 	if err != nil {
 		c.mu.Lock()
@@ -806,8 +900,18 @@ func (c *Client) Close() error {
 	c.idle = nil
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	for _, conn := range idle {
-		conn.Close()
+	for _, ic := range idle {
+		ic.conn.Close()
+	}
+	// Tear down the pipelined connections: every pending call fails with
+	// ErrClientClosed via its future.
+	c.pmu.Lock()
+	pconns := c.pconns
+	c.pconns = nil
+	c.pcond.Broadcast()
+	c.pmu.Unlock()
+	for _, p := range pconns {
+		p.teardown(ErrClientClosed)
 	}
 	return nil
 }

@@ -50,6 +50,13 @@ type serverMetrics struct {
 	panics       obs.Counter // store panics caught (unary + stream)
 	connsTotal   obs.Counter // connections ever accepted
 	connsActive  obs.Gauge   // connections currently being served
+
+	pipeConns       obs.Counter   // connections upgraded to pipelined mode
+	pipeFramesIn    obs.Counter   // tagged request frames decoded
+	pipeInflight    obs.Gauge     // tagged requests admitted but not yet answered
+	pipeFlushFrames obs.Histogram // response frames per coalesced flush
+	pipeProtoErrs   obs.Counter   // framing violations after the handshake
+	pipeDedupeHits  obs.Counter   // duplicate mutations answered from session cache
 }
 
 func (m *serverMetrics) countOp(op byte) {
@@ -89,6 +96,12 @@ func (s *Server) ObsSnapshot() obs.Snapshot {
 	o.SetCounter("net.server.panics", s.met.panics.Load())
 	o.SetCounter("net.server.conns_total", s.met.connsTotal.Load())
 	o.SetGauge("net.server.conns_active", s.met.connsActive.Load())
+	o.SetCounter("net.pipe.server.conns", s.met.pipeConns.Load())
+	o.SetCounter("net.pipe.server.frames_in", s.met.pipeFramesIn.Load())
+	o.SetGauge("net.pipe.server.inflight", s.met.pipeInflight.Load())
+	o.SetHist("net.pipe.server.flush_frames", &s.met.pipeFlushFrames)
+	o.SetCounter("net.pipe.server.proto_errors", s.met.pipeProtoErrs.Load())
+	o.SetCounter("net.pipe.server.dedupe_hits", s.met.pipeDedupeHits.Load())
 	if st, ok := s.store.(obsStore); ok {
 		o = o.Merge(st.ObsSnapshot())
 	}
@@ -123,6 +136,14 @@ type clientMetrics struct {
 	deadlineExpiries obs.Counter // attempts that failed with a net timeout
 	unknownOutcomes  obs.Counter // mutations surfaced as ErrUnknownOutcome
 	discards         obs.Counter // pooled connections dropped after an error
+	ttlEvictions     obs.Counter // idle conns evicted past Options.IdleConnTTL
+
+	pipeCalls       obs.Counter   // attempts issued over pipelined connections
+	pipeInflight    obs.Gauge     // pipelined requests awaiting their response
+	pipeFlushFrames obs.Histogram // request frames per coalesced flush
+	pipeDemuxDrops  obs.Counter   // responses the demux could not deliver
+	pipeFallbacks   obs.Counter   // handshakes declined (sticky legacy fallback)
+	pipeConns       obs.Gauge     // live pipelined connections
 }
 
 // ObsSnapshot captures the client's local metrics ("net.client." prefix).
@@ -151,6 +172,13 @@ func (c *Client) ObsSnapshot() obs.Snapshot {
 	o.SetCounter("net.client.deadline_expiries", c.met.deadlineExpiries.Load())
 	o.SetCounter("net.client.unknown_outcomes", c.met.unknownOutcomes.Load())
 	o.SetCounter("net.client.conn_discards", c.met.discards.Load())
+	o.SetCounter("net.client.ttl_evictions", c.met.ttlEvictions.Load())
+	o.SetCounter("net.pipe.calls", c.met.pipeCalls.Load())
+	o.SetGauge("net.pipe.inflight", c.met.pipeInflight.Load())
+	o.SetHist("net.pipe.flush_frames", &c.met.pipeFlushFrames)
+	o.SetCounter("net.pipe.demux_drops", c.met.pipeDemuxDrops.Load())
+	o.SetCounter("net.pipe.fallbacks", c.met.pipeFallbacks.Load())
+	o.SetGauge("net.pipe.conns", c.met.pipeConns.Load())
 	c.mu.Lock()
 	o.SetGauge("net.client.conns", int64(c.nconns))
 	o.SetGauge("net.client.conns_idle", int64(len(c.idle)))

@@ -21,17 +21,21 @@ func TestOptionsDefaultsTable(t *testing.T) {
 		want Options
 	}{
 		{"zero value", Options{},
-			Options{MaxConns: 16, DialTimeout: 5 * time.Second, CallTimeout: 0, MaxRetries: 3, RetryBackoff: 5 * time.Millisecond}},
-		{"negatives mean none", Options{MaxConns: -1, DialTimeout: -1, CallTimeout: -1, MaxRetries: -1, RetryBackoff: -1},
-			Options{MaxConns: 16, DialTimeout: -1, CallTimeout: 0, MaxRetries: 0, RetryBackoff: 0}},
-		{"explicit values kept", Options{MaxConns: 4, DialTimeout: time.Second, CallTimeout: 2 * time.Second, MaxRetries: 7, RetryBackoff: time.Millisecond},
-			Options{MaxConns: 4, DialTimeout: time.Second, CallTimeout: 2 * time.Second, MaxRetries: 7, RetryBackoff: time.Millisecond}},
+			Options{MaxConns: 16, DialTimeout: 5 * time.Second, CallTimeout: 0, MaxRetries: 3, RetryBackoff: 5 * time.Millisecond,
+				IdleConnTTL: 60 * time.Second, MaxInFlight: 64}},
+		{"negatives mean none", Options{MaxConns: -1, DialTimeout: -1, CallTimeout: -1, MaxRetries: -1, RetryBackoff: -1, IdleConnTTL: -1, MaxInFlight: -1},
+			Options{MaxConns: 16, DialTimeout: -1, CallTimeout: 0, MaxRetries: 0, RetryBackoff: 0,
+				IdleConnTTL: 0, MaxInFlight: 64}},
+		{"explicit values kept", Options{MaxConns: 4, DialTimeout: time.Second, CallTimeout: 2 * time.Second, MaxRetries: 7, RetryBackoff: time.Millisecond, IdleConnTTL: time.Minute, MaxInFlight: 8},
+			Options{MaxConns: 4, DialTimeout: time.Second, CallTimeout: 2 * time.Second, MaxRetries: 7, RetryBackoff: time.Millisecond,
+				IdleConnTTL: time.Minute, MaxInFlight: 8}},
 	}
 	for _, tc := range cases {
 		got := tc.in.withDefaults()
 		if got.MaxConns != tc.want.MaxConns || got.DialTimeout != tc.want.DialTimeout ||
 			got.CallTimeout != tc.want.CallTimeout || got.MaxRetries != tc.want.MaxRetries ||
-			got.RetryBackoff != tc.want.RetryBackoff {
+			got.RetryBackoff != tc.want.RetryBackoff || got.IdleConnTTL != tc.want.IdleConnTTL ||
+			got.MaxInFlight != tc.want.MaxInFlight {
 			t.Errorf("%s: withDefaults() = %+v, want %+v", tc.name, got, tc.want)
 		}
 	}
@@ -179,4 +183,3 @@ func FuzzDecodeStats(f *testing.F) {
 		}
 	})
 }
-

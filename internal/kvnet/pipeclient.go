@@ -1,0 +1,430 @@
+package kvnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client half of the pipelined wire mode (Options.Pipeline). One pconn
+// multiplexes up to Options.MaxInFlight requests:
+//
+//   - callers queue their request on the writer channel and park on a
+//     per-call future;
+//   - one writer goroutine drains the queue, coalescing everything already
+//     waiting into a single buffered flush (the flush-coalesce histogram
+//     records how many frames each flush carried);
+//   - one reader goroutine demuxes responses by tag back to the futures —
+//     out-of-order completion is the whole point.
+//
+// The client grows pconns lazily up to Options.MaxConns, preferring a
+// connection with window room; the benchkv pipeline figure compares 1
+// multiplexed connection against the 16-connection pool it replaces.
+
+// errPipeBroken is the generic failure delivered to calls stranded on a
+// pipelined connection that died for a reason other than their own.
+var errPipeBroken = fmt.Errorf("kvnet: pipelined connection failed")
+
+// pcall is one in-flight pipelined request and its completion future.
+type pcall struct {
+	op      byte
+	payload []byte
+	tag     uint32
+	// end is the frame's exclusive end offset in the connection's logical
+	// write stream (0 = never handed to the wire). Compared against the
+	// bytes that actually reached the socket, it classifies a dead call
+	// precisely: a frame not fully on the wire was never applied (the
+	// server cannot decode a partial frame), so it is safe to retry even
+	// for mutations without the session dedupe.
+	end  atomic.Int64
+	done chan pipeResult
+}
+
+// pipeResult is what a pcall's future resolves to.
+type pipeResult struct {
+	resp []byte
+	err  error
+	sent bool
+}
+
+// countingWriter counts the bytes that actually reached the underlying
+// connection, so a failed flush can tell fully-delivered frames (outcome
+// unknown, dedupe or refuse) from partial/unwritten ones (safe to retry).
+type countingWriter struct {
+	w io.Writer
+	n atomic.Int64
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	n, err := cw.w.Write(b)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// pconn is one pipelined connection.
+type pconn struct {
+	c    *Client
+	conn net.Conn
+	wire *countingWriter
+
+	writeCh chan *pcall
+	sem     chan struct{} // in-flight window tokens
+	deadCh  chan struct{} // closed by teardown
+
+	mu      sync.Mutex
+	pending map[uint32]*pcall
+	dead    bool
+	deadErr error
+
+	logicalOff int64 // bytes handed to the buffered writer (writer goroutine only)
+}
+
+// pipeAttempt runs one attempt over the pipelined path. handled is false
+// when the server declined the handshake — the caller falls back to the
+// one-at-a-time path (and keeps falling back: the decline is sticky).
+func (c *Client) pipeAttempt(op byte, payload []byte, tag uint32) (resp []byte, handled bool, err error) {
+	if len(payload)+4 > maxFrame {
+		return nil, true, fmt.Errorf("%w (request of %d bytes)", ErrFrameTooLarge, len(payload))
+	}
+	p, fallback, err := c.getPconn()
+	if fallback {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	resp, err = p.issue(op, payload, tag)
+	if ae, ok := err.(*attemptError); ok && c.sessionID != 0 {
+		// The server dedupes mutations by (session, tag): a retried call
+		// reuses its tag, so a fully-sent mutation whose response was lost
+		// is re-acked from the session's reply cache instead of applied
+		// twice — which is what makes it safe to retry at all.
+		ae.dedupeSafe = true
+	}
+	return resp, true, err
+}
+
+// getPconn picks (or dials) a pipelined connection: round-robin over the
+// live ones preferring window room, growing a new connection only when
+// every existing window is full and the MaxConns budget allows — so a
+// lightly loaded client stays on one multiplexed connection.
+func (c *Client) getPconn() (p *pconn, fallback bool, err error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	for {
+		select {
+		case <-c.closeCh: // c.closed is guarded by c.mu, not pmu
+			return nil, false, ErrClientClosed
+		default:
+		}
+		if c.pipeOff {
+			return nil, true, nil
+		}
+		for i := 0; i < len(c.pconns); i++ {
+			cand := c.pconns[(c.pnext+i)%len(c.pconns)]
+			if len(cand.sem) < cap(cand.sem) {
+				c.pnext = (c.pnext + i + 1) % len(c.pconns)
+				return cand, false, nil
+			}
+		}
+		if len(c.pconns)+c.pdialing < c.opts.MaxConns {
+			c.pdialing++
+			c.pmu.Unlock()
+			np, nerr := c.newPconn()
+			c.pmu.Lock()
+			c.pdialing--
+			c.pcond.Broadcast()
+			if nerr != nil {
+				return nil, false, nerr
+			}
+			if np == nil { // server declined: sticky fallback
+				c.pipeOff = true
+				c.met.pipeFallbacks.Inc()
+				return nil, true, nil
+			}
+			select {
+			case <-c.closeCh:
+				// Close ran while we were dialing: the fresh connection must
+				// not outlive the pool (teardown re-takes pmu, hence the
+				// goroutine).
+				go np.teardown(ErrClientClosed)
+				return nil, false, ErrClientClosed
+			default:
+			}
+			c.pconns = append(c.pconns, np)
+			c.met.pipeConns.Set(int64(len(c.pconns)))
+			return np, false, nil
+		}
+		if len(c.pconns) > 0 {
+			// Every window is full and the budget is spent: queue on one
+			// (its window semaphore provides the backpressure).
+			p := c.pconns[c.pnext%len(c.pconns)]
+			c.pnext = (c.pnext + 1) % len(c.pconns)
+			return p, false, nil
+		}
+		// No connection yet but a dial is in flight: wait for it.
+		c.pcond.Wait()
+	}
+}
+
+// removePconn forgets a dead connection so the next attempt dials afresh.
+func (c *Client) removePconn(p *pconn) {
+	c.pmu.Lock()
+	for i, q := range c.pconns {
+		if q == p {
+			c.pconns = append(c.pconns[:i], c.pconns[i+1:]...)
+			break
+		}
+	}
+	c.met.pipeConns.Set(int64(len(c.pconns)))
+	c.pcond.Broadcast()
+	c.pmu.Unlock()
+}
+
+// newPconn dials and handshakes one pipelined connection. It returns
+// (nil, nil) when the server declined — a legacy peer answered the offer
+// with a plain empty ping — and a transport error (wrapped as a retryable
+// attempt failure: the caller's request was never sent) otherwise.
+func (c *Client) newPconn() (*pconn, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, &attemptError{err: fmt.Errorf("kvnet: dial %s: %w", c.addr, err)}
+	}
+	if t := c.opts.CallTimeout; t > 0 {
+		if err := conn.SetDeadline(time.Now().Add(t)); err != nil {
+			conn.Close()
+			return nil, &attemptError{err: err}
+		}
+	}
+	if err := writeFrame(conn, opPing, pipeHello(c.sessionID)); err != nil {
+		conn.Close()
+		return nil, &attemptError{err: err}
+	}
+	status, resp, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, &attemptError{err: err}
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, &attemptError{err: err}
+	}
+	if status != statusOK || !isPipeHello(resp) {
+		// A legacy server's ping handler ignores the payload and answers
+		// with an empty OK frame; a server with pipelining disabled does
+		// the same. Either way: no upgrade.
+		conn.Close()
+		return nil, nil
+	}
+	p := &pconn{
+		c:       c,
+		conn:    conn,
+		wire:    &countingWriter{w: conn},
+		writeCh: make(chan *pcall, c.opts.MaxInFlight),
+		sem:     make(chan struct{}, c.opts.MaxInFlight),
+		deadCh:  make(chan struct{}),
+		pending: make(map[uint32]*pcall),
+	}
+	go p.writeLoop()
+	go p.readLoop()
+	return p, nil
+}
+
+// issue runs one tagged exchange: reserve a window slot, register the tag,
+// hand the frame to the writer, wait on the future. Options.CallTimeout
+// bounds the whole thing (window wait included); expiry tears the
+// connection down, exactly as the one-at-a-time path discards a timed-out
+// connection.
+func (p *pconn) issue(op byte, payload []byte, tag uint32) ([]byte, error) {
+	c := p.c
+	c.met.pipeCalls.Inc()
+	var timeout <-chan time.Time
+	if t := c.opts.CallTimeout; t > 0 {
+		tm := time.NewTimer(t)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.deadCh:
+		return nil, &attemptError{err: p.deadError()}
+	case <-c.closeCh:
+		return nil, ErrClientClosed
+	case <-timeout:
+		return nil, &attemptError{err: fmt.Errorf("kvnet: pipelined window wait: %w", os.ErrDeadlineExceeded)}
+	}
+	ca := &pcall{op: op, payload: payload, tag: tag, done: make(chan pipeResult, 1)}
+	p.mu.Lock()
+	if p.dead {
+		err := p.deadErr
+		p.mu.Unlock()
+		<-p.sem
+		return nil, &attemptError{err: err}
+	}
+	p.pending[tag] = ca
+	p.mu.Unlock()
+	c.met.pipeInflight.Add(1)
+	p.writeCh <- ca // never blocks: capacity == window size
+	select {
+	case r := <-ca.done:
+		if r.err != nil {
+			if se, ok := r.err.(*serverError); ok {
+				return nil, se
+			}
+			return nil, &attemptError{err: r.err, sent: r.sent}
+		}
+		return r.resp, nil
+	case <-timeout:
+		// This call's own deadline expired. The connection can no longer
+		// be trusted (its response may arrive any time later), so tear it
+		// down; every other pending call fails with its own precise sent
+		// classification and retries if eligible. (call() counts the
+		// deadline expiry when it sees the timeout error.)
+		p.teardown(errPipeBroken)
+		r := <-ca.done
+		return nil, &attemptError{
+			err:  fmt.Errorf("kvnet: pipelined call: %w", os.ErrDeadlineExceeded),
+			sent: r.sent,
+		}
+	case <-c.closeCh:
+		p.teardown(ErrClientClosed)
+		<-ca.done
+		return nil, ErrClientClosed
+	}
+}
+
+// deadError returns the teardown cause (guarded: teardown publishes it
+// under the same lock).
+func (p *pconn) deadError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.deadErr != nil {
+		return p.deadErr
+	}
+	return errPipeBroken
+}
+
+// writeLoop drains queued requests into single coalesced flushes.
+func (p *pconn) writeLoop() {
+	bw := bufio.NewWriter(p.wire)
+	for {
+		var ca *pcall
+		select {
+		case ca = <-p.writeCh:
+		case <-p.deadCh:
+			return
+		}
+		frames := int64(1)
+		err := p.writeOne(bw, ca)
+		// Coalesce: every request already queued rides this flush.
+	coalesce:
+		for err == nil {
+			select {
+			case ca2 := <-p.writeCh:
+				err = p.writeOne(bw, ca2)
+				frames++
+			default:
+				break coalesce
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		p.c.met.pipeFlushFrames.ObserveValue(frames)
+		if err != nil {
+			p.teardown(err)
+			return
+		}
+	}
+}
+
+// writeOne appends one tagged request frame to the buffered writer,
+// recording its logical end offset first so a later failure can classify
+// it against the bytes that actually reached the socket.
+func (p *pconn) writeOne(bw *bufio.Writer, ca *pcall) error {
+	p.logicalOff += int64(9 + len(ca.payload)) // 4B len + 1B op + 4B tag + body
+	ca.end.Store(p.logicalOff)
+	return writeTaggedFrame(bw, ca.op, ca.tag, ca.payload)
+}
+
+// readLoop demuxes responses by tag to their futures. Any framing anomaly —
+// a malformed tagged frame, an unknown tag, a duplicate (already-resolved)
+// tag — kills the connection: per-call state is no longer trustworthy once
+// the stream stops making sense.
+func (p *pconn) readLoop() {
+	for {
+		b, payload, err := readFrame(p.conn)
+		if err != nil {
+			p.teardown(err)
+			return
+		}
+		status, tag, body, derr := decodeTaggedFrame(b, payload)
+		if derr != nil {
+			p.c.met.pipeDemuxDrops.Inc()
+			p.teardown(derr)
+			return
+		}
+		p.mu.Lock()
+		ca := p.pending[tag]
+		delete(p.pending, tag)
+		p.mu.Unlock()
+		if ca == nil {
+			p.c.met.pipeDemuxDrops.Inc()
+			p.teardown(fmt.Errorf("%w: response for unknown tag %d", ErrMalformedResponse, tag))
+			return
+		}
+		switch status {
+		case statusOK:
+			p.finish(ca, pipeResult{resp: body, sent: true})
+		case statusErr:
+			p.finish(ca, pipeResult{err: &serverError{msg: fmt.Sprintf("kvnet: server: %s", body)}, sent: true})
+		default:
+			p.finish(ca, pipeResult{err: fmt.Errorf("%w: status %d on pipelined connection",
+				ErrMalformedResponse, status), sent: true})
+			p.c.met.pipeDemuxDrops.Inc()
+			p.teardown(fmt.Errorf("%w: status %d on pipelined connection", ErrMalformedResponse, status))
+			return
+		}
+	}
+}
+
+// finish resolves one call's future and frees its window slot.
+func (p *pconn) finish(ca *pcall, r pipeResult) {
+	p.c.met.pipeInflight.Add(-1)
+	<-p.sem
+	ca.done <- r
+}
+
+// teardown kills the connection once: every pending call fails with err and
+// a per-call sent classification — a frame that fully reached the socket
+// has unknown outcome (sent=true: retried only if idempotent or
+// session-deduped), anything partial or unwritten was provably never
+// applied (sent=false: always retryable).
+func (p *pconn) teardown(err error) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	p.deadErr = err
+	pending := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	close(p.deadCh)
+	p.conn.Close()
+	if err != ErrClientClosed {
+		p.c.met.discards.Inc()
+	}
+	wire := p.wire.n.Load()
+	for _, ca := range pending {
+		end := ca.end.Load()
+		p.finish(ca, pipeResult{err: err, sent: end > 0 && end <= wire})
+	}
+	p.c.removePconn(p)
+}

@@ -1,0 +1,896 @@
+package kvnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/core"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+	"mvkv/internal/storetest"
+)
+
+// ---- helpers ----
+
+// dialPipelined connects a pipelined client to srv with test-friendly knobs.
+func dialPipelined(t *testing.T, addr string, opts Options) *Client {
+	t.Helper()
+	opts.Pipeline = true
+	if opts.CallTimeout == 0 {
+		opts.CallTimeout = 10 * time.Second
+	}
+	cl, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// taggedFrame builds the raw bytes of one tagged frame (tagBit applied by
+// writeTaggedFrame).
+func taggedFrame(t *testing.T, b byte, tag uint32, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeTaggedFrame(&buf, b, tag, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// rawPipeServer accepts connections, performs the pipeline handshake, then
+// answers each tagged request via respond (returning the raw bytes to write;
+// nil closes the connection). It lets tests feed the pipelined client
+// arbitrary — including malformed — response frames.
+func rawPipeServer(t *testing.T, respond func(op byte, tag uint32, body []byte) []byte) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				op, req, err := readFrame(c)
+				if err != nil || op != opPing || !isPipeHello(req) {
+					return
+				}
+				if _, err := c.Write(okFrame(pipeAccept())); err != nil {
+					return
+				}
+				for {
+					b, payload, err := readFrame(c)
+					if err != nil {
+						return
+					}
+					rop, tag, body, derr := decodeTaggedFrame(b, payload)
+					if derr != nil {
+						return
+					}
+					raw := respond(rop, tag, body)
+					if raw == nil {
+						return
+					}
+					if _, err := c.Write(raw); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// handshakeRaw dials srv directly and performs the pipeline handshake with
+// the given session ID, returning the raw connection.
+func handshakeRaw(t *testing.T, addr string, session uint64) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := writeFrame(conn, opPing, pipeHello(session)); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := readFrame(conn)
+	if err != nil || status != statusOK || !isPipeHello(resp) {
+		t.Fatalf("handshake: status %d, %d bytes, err %v", status, len(resp), err)
+	}
+	return conn
+}
+
+// readTagged reads one tagged frame off conn.
+func readTagged(t *testing.T, conn net.Conn) (status byte, tag uint32, body []byte) {
+	t.Helper()
+	b, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("read tagged frame: %v", err)
+	}
+	status, tag, body, err = decodeTaggedFrame(b, payload)
+	if err != nil {
+		t.Fatalf("decode tagged frame: %v", err)
+	}
+	return status, tag, body
+}
+
+// ---- conformance ----
+
+// TestConformanceOverPipelinedTCP runs the full store conformance suite over
+// a pipelined client: multiplexed tagged frames must be completely invisible
+// to the kv.Store contract, including the concurrent suites that now share
+// one in-flight window instead of one pooled connection each.
+func TestConformanceOverPipelinedTCP(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		backing := eskiplist.New()
+		srv, err := Serve(backing, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close(); backing.Close() })
+		cl, err := DialOptions(srv.Addr(), Options{Pipeline: true, MaxConns: 2, CallTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	})
+}
+
+// TestConformanceOverPipelinedGroupCommit is the same suite against a remote
+// group-commit PSkipList: the acceptance shape of this protocol — many
+// uncoordinated writers multiplexed on few connections feeding the server's
+// write pipeline.
+func TestConformanceOverPipelinedGroupCommit(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		backing, err := core.Create(core.Options{ArenaBytes: 64 << 20, GroupCommit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve(backing, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close(); backing.Close() })
+		cl, err := DialOptions(srv.Addr(), Options{Pipeline: true, MaxConns: 2, CallTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	})
+}
+
+// TestConformanceOverPipelinedFaultyTCP is the pipelined counterpart of
+// TestConformanceOverFaultyTCP: connections drop, truncate and delay writes
+// deterministically. A transport fault now severs a whole in-flight window —
+// including mutations that were already delivered — so this suite is what
+// proves the session dedupe keeps pipelined mutations exactly-once where the
+// one-at-a-time path relied on one-call-per-connection.
+func TestConformanceOverPipelinedFaultyTCP(t *testing.T) {
+	dialer := cluster.NewFaultyDialer(cluster.Faults{
+		Seed:             2022,
+		DropPerMille:     10,
+		TruncatePerMille: 10,
+		DelayPerMille:    5,
+		MaxDelay:         time.Millisecond,
+	})
+	storetest.Run(t, func(t *testing.T) kv.Store {
+		backing := eskiplist.New()
+		srv, err := ServeOptions(backing, "127.0.0.1:0", ServerOptions{
+			ReadTimeout:  time.Second,
+			WriteTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close(); backing.Close() })
+		cl, err := DialOptions(srv.Addr(), Options{
+			Pipeline:     true,
+			MaxConns:     4,
+			MaxRetries:   8,
+			RetryBackoff: time.Millisecond,
+			CallTimeout:  5 * time.Second,
+			Dial:         dialer.Dial,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	})
+	st := dialer.Stats()
+	if st.Drops == 0 || st.Truncates == 0 {
+		t.Fatalf("fault injection never fired: %+v", st)
+	}
+	t.Logf("faults injected: %+v", st)
+}
+
+// ---- mixed versions: handshake fallback in both directions ----
+
+// TestPipelineFallbackToLegacyServer: a pipelined client against a server
+// with the handshake disabled (standing in for a pre-pipeline binary) must
+// transparently fall back to one-at-a-time pooled connections — once,
+// stickily, and without any call failing.
+func TestPipelineFallbackToLegacyServer(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := ServeOptions(backing, "127.0.0.1:0", ServerOptions{DisablePipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cl := dialPipelined(t, srv.Addr(), Options{MaxConns: 4})
+
+	for i := uint64(0); i < 50; i++ {
+		if err := cl.Insert(i, i*2); err != nil {
+			t.Fatalf("insert %d over fallback: %v", i, err)
+		}
+	}
+	v := cl.Tag()
+	if got, ok := cl.Find(25, v); !ok || got != 50 {
+		t.Fatalf("find over fallback: %d,%v", got, ok)
+	}
+
+	local := cl.ObsSnapshot()
+	if got := local.Counter("net.pipe.fallbacks"); got != 1 {
+		t.Errorf("net.pipe.fallbacks = %d, want exactly 1 (sticky)", got)
+	}
+	if got := local.Gauge("net.pipe.conns"); got != 0 {
+		t.Errorf("net.pipe.conns = %d after fallback, want 0", got)
+	}
+	if got := local.Counter("net.pipe.calls"); got != 0 {
+		t.Errorf("net.pipe.calls = %d after fallback, want 0", got)
+	}
+	remote := srv.ObsSnapshot()
+	if got := remote.Counter("net.pipe.server.conns"); got != 0 {
+		t.Errorf("server negotiated %d pipelined conns with pipelining disabled", got)
+	}
+}
+
+// TestLegacyClientAgainstPipelinedServer: a client that never offers the
+// handshake (standing in for a pre-pipeline binary) gets the sequential path
+// from a pipeline-capable server, untouched.
+func TestLegacyClientAgainstPipelinedServer(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cl, err := Dial(srv.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := uint64(0); i < 50; i++ {
+		if err := cl.Insert(i, i+7); err != nil {
+			t.Fatalf("legacy insert %d: %v", i, err)
+		}
+	}
+	if got, ok := cl.Find(10, cl.Tag()); !ok || got != 17 {
+		t.Fatalf("legacy find: %d,%v", got, ok)
+	}
+	if got := srv.ObsSnapshot().Counter("net.pipe.server.conns"); got != 0 {
+		t.Errorf("server counted %d pipelined conns for a legacy client", got)
+	}
+}
+
+// ---- malformed tagged frames: client side ----
+
+// TestPipeClientMalformedResponses feeds the pipelined client a corpus of
+// broken tagged response frames — unknown tag, untagged frame, truncated
+// tagged header, bogus status — and asserts each surfaces as a typed error
+// (with the demux-drop counter ticking) instead of a panic or a misrouted
+// response.
+func TestPipeClientMalformedResponses(t *testing.T) {
+	cases := []struct {
+		name string
+		// resp builds the malformed response for the victim (non-ping) op.
+		resp func(t *testing.T, tag uint32) []byte
+		want error // sentinel the surfaced error must wrap; nil = any error
+	}{
+		{
+			name: "response for unknown tag",
+			resp: func(t *testing.T, tag uint32) []byte {
+				return taggedFrame(t, statusOK, tag+1000000, putU64s(nil, 1))
+			},
+			want: ErrMalformedResponse,
+		},
+		{
+			name: "untagged response on pipelined conn",
+			resp: func(t *testing.T, tag uint32) []byte { return okFrame(putU64s(nil, 1)) },
+			want: ErrNotTagged,
+		},
+		{
+			name: "truncated tagged header",
+			resp: func(t *testing.T, tag uint32) []byte { return rawFrame(2, statusOK|tagBit, []byte{1, 2}) },
+			want: ErrTruncatedTag,
+		},
+		{
+			name: "chunk status on pipelined conn",
+			resp: func(t *testing.T, tag uint32) []byte { return taggedFrame(t, statusChunk, tag, nil) },
+			want: ErrMalformedResponse,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := rawPipeServer(t, func(op byte, tag uint32, body []byte) []byte {
+				if op == opPing {
+					return taggedFrame(t, statusOK, tag, nil)
+				}
+				return tc.resp(t, tag)
+			})
+			cl, err := DialOptions(addr, Options{
+				Pipeline: true, MaxConns: 1, MaxRetries: -1, CallTimeout: 2 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			_, err = cl.TagErr()
+			if err == nil {
+				t.Fatal("malformed tagged response did not surface an error")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not wrap %v", err, tc.want)
+			}
+			if got := cl.ObsSnapshot().Counter("net.pipe.demux_drops"); got == 0 {
+				t.Errorf("net.pipe.demux_drops = 0 after %s", tc.name)
+			}
+		})
+	}
+}
+
+// ---- malformed tagged frames: server side ----
+
+// TestPipeServerTaggedFrameOnLegacyConn: a tagged frame sent WITHOUT the
+// handshake must decode as an unknown opcode (tagBit puts it >= 0x80) and be
+// rejected in-band — never misparsed as the underlying op — leaving the
+// connection usable.
+func TestPipeServerTaggedFrameOnLegacyConn(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := writeTaggedFrame(conn, opInsert, 1, putU64s(nil, 9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusErr || !strings.Contains(string(resp), "unknown opcode") {
+		t.Fatalf("tagged frame on legacy conn: status %d, %q", status, resp)
+	}
+	if backing.Len() != 0 {
+		t.Fatalf("tagged insert was misparsed and applied: len %d", backing.Len())
+	}
+	// The connection survived the in-band rejection.
+	if err := writeFrame(conn, opPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, err := readFrame(conn); err != nil || status != statusOK {
+		t.Fatalf("ping after rejection: status %d, err %v", status, err)
+	}
+}
+
+// TestPipeServerMalformedAfterHandshake: after the handshake, an untagged or
+// tag-truncated frame means the peer's framing is broken — the server must
+// drop the connection (there is no tag to answer on) and count the incident.
+func TestPipeServerMalformedAfterHandshake(t *testing.T) {
+	cases := []struct {
+		name string
+		send func(t *testing.T, conn net.Conn)
+	}{
+		{"untagged frame after handshake", func(t *testing.T, conn net.Conn) {
+			if err := writeFrame(conn, opPing, nil); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated tagged header", func(t *testing.T, conn net.Conn) {
+			if _, err := conn.Write(rawFrame(2, opInsert|tagBit, []byte{1, 2})); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			backing := eskiplist.New()
+			srv, err := Serve(backing, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { srv.Close(); backing.Close() }()
+			conn := handshakeRaw(t, srv.Addr(), 0)
+			tc.send(t, conn)
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			if _, _, err := readFrame(conn); err == nil {
+				t.Fatal("server kept the connection after a framing violation")
+			}
+			if got := srv.ObsSnapshot().Counter("net.pipe.server.proto_errors"); got != 1 {
+				t.Errorf("net.pipe.server.proto_errors = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestPipeServerDuplicateTagDedupe drives the session dedupe directly: the
+// same tagged mutation sent twice on a session-negotiated connection must
+// apply once and be re-acked from the reply cache the second time; with no
+// session (ID 0) the server applies both, because there is no namespace to
+// dedupe in.
+func TestPipeServerDuplicateTagDedupe(t *testing.T) {
+	t.Run("session negotiated", func(t *testing.T) {
+		backing := eskiplist.New()
+		srv, err := Serve(backing, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { srv.Close(); backing.Close() }()
+		conn := handshakeRaw(t, srv.Addr(), 7)
+		for i := 0; i < 2; i++ {
+			if err := writeTaggedFrame(conn, opInsert, 42, putU64s(nil, 5, 11)); err != nil {
+				t.Fatal(err)
+			}
+			status, tag, _ := readTagged(t, conn)
+			if status != statusOK || tag != 42 {
+				t.Fatalf("insert reply %d: status %d tag %d", i, status, tag)
+			}
+		}
+		if evs := backing.ExtractHistory(5); len(evs) != 1 {
+			t.Fatalf("duplicate tag applied %d times, want 1", len(evs))
+		}
+		if got := srv.ObsSnapshot().Counter("net.pipe.server.dedupe_hits"); got != 1 {
+			t.Errorf("net.pipe.server.dedupe_hits = %d, want 1", got)
+		}
+	})
+	t.Run("no session", func(t *testing.T) {
+		backing := eskiplist.New()
+		srv, err := Serve(backing, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { srv.Close(); backing.Close() }()
+		conn := handshakeRaw(t, srv.Addr(), 0)
+		for i := 0; i < 2; i++ {
+			if err := writeTaggedFrame(conn, opInsert, 42, putU64s(nil, 5, 11)); err != nil {
+				t.Fatal(err)
+			}
+			if status, _, _ := readTagged(t, conn); status != statusOK {
+				t.Fatalf("insert reply %d failed", i)
+			}
+		}
+		if evs := backing.ExtractHistory(5); len(evs) != 2 {
+			t.Fatalf("sessionless duplicates applied %d times, want 2 (no dedupe namespace)", len(evs))
+		}
+	})
+}
+
+// TestPipeSessionDedupeAcrossReconnect is the scenario the session exists
+// for: a mutation applied on one connection whose response was lost is
+// retried with the SAME tag on a brand-new connection of the same session —
+// and must be re-acked, not re-applied.
+func TestPipeSessionDedupeAcrossReconnect(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+
+	conn1 := handshakeRaw(t, srv.Addr(), 99)
+	if err := writeTaggedFrame(conn1, opInsert, 7, putU64s(nil, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := readTagged(t, conn1); status != statusOK {
+		t.Fatal("first apply failed")
+	}
+	conn1.Close() // the response was delivered, but pretend the client lost it
+
+	conn2 := handshakeRaw(t, srv.Addr(), 99)
+	if err := writeTaggedFrame(conn2, opInsert, 7, putU64s(nil, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := readTagged(t, conn2); status != statusOK {
+		t.Fatal("retry was not re-acked")
+	}
+	if evs := backing.ExtractHistory(1); len(evs) != 1 {
+		t.Fatalf("retry across reconnect applied %d times, want 1", len(evs))
+	}
+}
+
+// TestPipeServerRefusesChunkStreams: chunked extraction is a documented
+// deviation — it stays on one-at-a-time connections — so a tagged chunk
+// request must get a clean in-band refusal, not a stream.
+func TestPipeServerRefusesChunkStreams(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	conn := handshakeRaw(t, srv.Addr(), 0)
+	if err := writeTaggedFrame(conn, OpSnapshotChunk, 1, putU64s(nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	status, tag, body := readTagged(t, conn)
+	if status != statusErr || tag != 1 || !strings.Contains(string(body), "pipelined") {
+		t.Fatalf("chunk request on pipelined conn: status %d tag %d %q", status, tag, body)
+	}
+}
+
+// ---- session registry bounds ----
+
+// TestPipeSessionRegistryEviction pins the server's session registry cap:
+// creating more sessions than maxPipeSessions evicts the stalest instead of
+// growing without bound.
+func TestPipeSessionRegistryEviction(t *testing.T) {
+	s := &Server{}
+	for id := uint64(1); id <= maxPipeSessions+10; id++ {
+		if s.session(id) == nil {
+			t.Fatalf("session %d: nil for nonzero id", id)
+		}
+	}
+	if len(s.sessions) > maxPipeSessions {
+		t.Fatalf("registry holds %d sessions, cap %d", len(s.sessions), maxPipeSessions)
+	}
+	if s.session(0) != nil {
+		t.Fatal("session 0 must mean no dedupe")
+	}
+}
+
+// TestPipeSessionReplyCacheEviction pins the per-session reply-cache bound:
+// FIFO eviction past sessionReplyCache entries, hits for what remains.
+func TestPipeSessionReplyCacheEviction(t *testing.T) {
+	s := &Server{}
+	sess := s.session(1)
+	for tag := uint32(0); tag < sessionReplyCache+5; tag++ {
+		if dup, _, _ := sess.begin(tag); dup {
+			t.Fatalf("fresh tag %d reported duplicate", tag)
+		}
+		sess.finish(tag, pipeReply{status: statusOK})
+	}
+	if _, ok := sess.lookup(0); ok {
+		t.Fatal("oldest reply survived past the cache bound")
+	}
+	if _, ok := sess.lookup(sessionReplyCache + 4); !ok {
+		t.Fatal("newest reply missing from the cache")
+	}
+	if dup, done, _ := sess.begin(sessionReplyCache + 4); !dup || done != nil {
+		t.Fatalf("cached tag: dup=%v done=%v, want settled duplicate", dup, done)
+	}
+	if len(sess.replies) > sessionReplyCache {
+		t.Fatalf("reply cache holds %d entries, cap %d", len(sess.replies), sessionReplyCache)
+	}
+}
+
+// ---- metrics reconciliation over the pipelined wire ----
+
+// TestPipeStatsReconcile drives a scripted workload through a pipelined
+// client and checks exact accounting on both sides: per-op server counters
+// unchanged by the new mode, pipelined frame counts matching issued calls,
+// in-flight gauges drained, and zero incident counters on a healthy wire.
+func TestPipeStatsReconcile(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cl := dialPipelined(t, srv.Addr(), Options{MaxConns: 1})
+
+	const inserts, finds = 37, 11
+	for i := uint64(0); i < inserts; i++ {
+		if err := cl.Insert(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := cl.TagErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < finds; i++ {
+		if _, ok, err := cl.FindErr(i, v); err != nil || !ok {
+			t.Fatalf("find %d: %v %v", i, ok, err)
+		}
+	}
+
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-op exactness contract survives the transport change.
+	for name, want := range map[string]uint64{
+		"net.server.frames_in.insert":  inserts,
+		"net.server.frames_in.find":    finds,
+		"net.server.frames_in.tag":     1,
+		"net.server.frames_in.stats":   1,
+		"net.pipe.server.conns":        1,
+		"net.pipe.server.proto_errors": 0,
+		"net.pipe.server.dedupe_hits":  0,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("server %s = %d, want %d", name, got, want)
+		}
+	}
+	// Every call the client issued over the pipe arrived as exactly one
+	// tagged frame (healthy wire, no retries): the dial ping, the workload,
+	// and the stats request itself.
+	const calls = 1 + inserts + 1 + finds + 1
+	if got := snap.Counter("net.pipe.server.frames_in"); got != calls {
+		t.Errorf("net.pipe.server.frames_in = %d, want %d", got, calls)
+	}
+	// The stats request was in flight while the snapshot was taken; every
+	// other request had been answered (the client saw their responses).
+	if got := snap.Gauge("net.pipe.server.inflight"); got != 1 {
+		t.Errorf("net.pipe.server.inflight = %d, want 1 (the stats call itself)", got)
+	}
+
+	local := cl.ObsSnapshot()
+	if got := local.Counter("net.pipe.calls"); got != calls {
+		t.Errorf("net.pipe.calls = %d, want %d", got, calls)
+	}
+	for name, want := range map[string]uint64{
+		"net.client.retries":    0,
+		"net.pipe.demux_drops":  0,
+		"net.pipe.fallbacks":    0,
+		"net.client.ops.insert": inserts,
+		"net.client.ops.find":   finds,
+	} {
+		if got := local.Counter(name); got != want {
+			t.Errorf("client %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := local.Gauge("net.pipe.inflight"); got != 0 {
+		t.Errorf("net.pipe.inflight = %d after all calls returned", got)
+	}
+	if got := local.Gauge("net.pipe.conns"); got != 1 {
+		t.Errorf("net.pipe.conns = %d, want 1", got)
+	}
+	if h, ok := local.Histograms["net.pipe.flush_frames"]; !ok || h.Count == 0 {
+		t.Errorf("net.pipe.flush_frames histogram missing or empty: %+v", h)
+	}
+	if h, ok := snap.Histograms["net.pipe.server.flush_frames"]; !ok || h.Count == 0 {
+		t.Errorf("net.pipe.server.flush_frames histogram missing or empty: %+v", h)
+	}
+}
+
+// ---- the tentpole's performance shape ----
+
+// TestPipelinedSingleConnGroupCommit is TestManyConnectionsGroupCommit with
+// the 32 connections replaced by ONE pipelined connection: 64 uncoordinated
+// writer goroutines share a single multiplexed TCP connection, the server's
+// worker pool turns the in-flight window into concurrent store calls, and
+// group commit must amortize the persist fences just as it does across a
+// whole connection pool.
+func TestPipelinedSingleConnGroupCommit(t *testing.T) {
+	const (
+		writers = 64
+		perW    = 100
+	)
+	st, err := core.Create(core.Options{
+		ArenaBytes:               64 << 20,
+		GroupCommit:              true,
+		GroupCommitFlushInterval: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv, err := Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := dialPipelined(t, srv.Addr(), Options{MaxConns: 1, MaxInFlight: writers})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := uint64(w*perW + i)
+				if err := cl.Insert(key, key^0xabcd); err != nil {
+					errs <- fmt.Errorf("writer %d insert %d: %w", w, key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const total = writers * perW
+	if got := st.Len(); got != total {
+		t.Fatalf("store holds %d keys, want %d", got, total)
+	}
+	v := st.CurrentVersion()
+	for key := uint64(0); key < total; key += 89 {
+		got, ok := st.Find(key, v)
+		if !ok || got != key^0xabcd {
+			t.Fatalf("key %d: (%d, %v), want (%d, true)", key, got, ok, key^0xabcd)
+		}
+	}
+
+	// Exactly one TCP connection carried all of it.
+	if got := srv.ObsSnapshot().Counter("net.pipe.server.conns"); got != 1 {
+		t.Fatalf("workload rode %d pipelined connections, want 1", got)
+	}
+	snap := st.ObsSnapshot()
+	if pairs := snap.Counter("store.gc.pairs"); pairs != total {
+		t.Fatalf("pipeline carried %d pairs, want %d", pairs, total)
+	}
+	runs := snap.Counter("store.gc.runs")
+	persists := snap.Counter("store.gc.persists")
+	if runs == 0 || runs >= total {
+		t.Fatalf("%d runs for %d inserts: no coalescing happened", runs, total)
+	}
+	perEntry := float64(persists) / float64(total)
+	// Same bound as the many-connections test: one multiplexed connection
+	// must feed group commit as well as a whole pool does.
+	if perEntry > 4.0 {
+		t.Fatalf("%.2f persists/entry over one pipelined conn; window is not feeding group commit", perEntry)
+	}
+	t.Logf("%d inserts over 1 pipelined conn (%d writers): %d runs, %.2f pairs/run, %.2f persists/entry",
+		total, writers, runs, float64(total)/float64(runs), perEntry)
+}
+
+// ---- pooled-connection idle TTL (legacy path) ----
+
+// TestIdleConnTTLEviction: a pooled connection idle past Options.IdleConnTTL
+// is evicted on acquire and replaced by a fresh dial — no retry burned.
+func TestIdleConnTTLEviction(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cl, err := DialOptions(srv.Addr(), Options{MaxConns: 1, IdleConnTTL: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	time.Sleep(30 * time.Millisecond) // the dial-time ping's conn goes stale
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	snap := cl.ObsSnapshot()
+	if got := snap.Counter("net.client.ttl_evictions"); got != 1 {
+		t.Errorf("ttl_evictions = %d, want 1", got)
+	}
+	if got := snap.Counter("net.client.dials"); got != 2 {
+		t.Errorf("dials = %d, want 2 (initial + post-eviction)", got)
+	}
+	if got := snap.Counter("net.client.retries"); got != 0 {
+		t.Errorf("retries = %d, eviction must not burn retries", got)
+	}
+}
+
+// TestIdleConnTTLNever: a negative TTL disables eviction entirely.
+func TestIdleConnTTLNever(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cl, err := DialOptions(srv.Addr(), Options{MaxConns: 1, IdleConnTTL: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	time.Sleep(30 * time.Millisecond)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	snap := cl.ObsSnapshot()
+	if got := snap.Counter("net.client.ttl_evictions"); got != 0 {
+		t.Errorf("ttl_evictions = %d with TTL disabled", got)
+	}
+	if got := snap.Counter("net.client.dials"); got != 1 {
+		t.Errorf("dials = %d, want 1 (idle conn reused)", got)
+	}
+}
+
+// TestIdleConnTTLBeatsServerIdleTimeout is the regression the TTL exists
+// for: the server reaps idle connections with its own IdleTimeout, and
+// before the TTL the client would borrow the half-closed socket and burn a
+// retry on it. With the TTL under the server's timeout, the stale conn is
+// evicted before it is ever handed out.
+func TestIdleConnTTLBeatsServerIdleTimeout(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := ServeOptions(backing, "127.0.0.1:0", ServerOptions{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); backing.Close() }()
+	cl, err := DialOptions(srv.Addr(), Options{MaxConns: 1, IdleConnTTL: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	time.Sleep(150 * time.Millisecond) // server has reaped the idle conn
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	snap := cl.ObsSnapshot()
+	if got := snap.Counter("net.client.retries"); got != 0 {
+		t.Errorf("retries = %d, want 0: TTL eviction should preempt the dead socket", got)
+	}
+	if got := snap.Counter("net.client.ttl_evictions"); got != 1 {
+		t.Errorf("ttl_evictions = %d, want 1", got)
+	}
+}
+
+// ---- fuzzing ----
+
+// FuzzDecodeTaggedFrame fuzzes the tagged-frame decoder: arbitrary (byte,
+// payload) pairs must decode or be rejected without panicking, accepted
+// frames must re-encode to bytes that decode identically, and the
+// well-formedness boundary (tagBit set, >= 4 payload bytes) must be exact.
+func FuzzDecodeTaggedFrame(f *testing.F) {
+	f.Add(byte(opInsert|tagBit), putU64s([]byte{1, 0, 0, 0}, 5, 11))
+	f.Add(byte(statusOK|tagBit), []byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(byte(statusOK), []byte{1, 2, 3, 4})   // untagged
+	f.Add(byte(opFind|tagBit), []byte{1, 2, 3}) // truncated tag
+	f.Add(byte(tagBit), []byte{})
+	f.Fuzz(func(t *testing.T, b byte, payload []byte) {
+		raw, tag, body, err := decodeTaggedFrame(b, payload)
+		wellFormed := b&tagBit != 0 && len(payload) >= 4
+		if (err == nil) != wellFormed {
+			t.Fatalf("decode(%#x, %d bytes): err=%v, wellFormed=%v", b, len(payload), err, wellFormed)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrNotTagged) && !errors.Is(err, ErrTruncatedTag) {
+				t.Fatalf("rejection not typed: %v", err)
+			}
+			return
+		}
+		if raw&tagBit != 0 {
+			t.Fatalf("decoded op %#x still carries tagBit", raw)
+		}
+		// Round-trip: re-encode and decode back to the same triple.
+		var buf bytes.Buffer
+		if werr := writeTaggedFrame(&buf, raw, tag, body); werr != nil {
+			t.Fatalf("re-encode: %v", werr)
+		}
+		b2, payload2, rerr := readFrame(&buf)
+		if rerr != nil {
+			t.Fatalf("re-read: %v", rerr)
+		}
+		raw2, tag2, body2, derr := decodeTaggedFrame(b2, payload2)
+		if derr != nil || raw2 != raw || tag2 != tag || !bytes.Equal(body2, body) {
+			t.Fatalf("round trip diverged: (%#x,%d,%d bytes,%v) vs (%#x,%d,%d bytes)",
+				raw2, tag2, len(body2), derr, raw, tag, len(body))
+		}
+	})
+}

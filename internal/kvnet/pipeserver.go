@@ -1,0 +1,322 @@
+package kvnet
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server half of the pipelined wire mode (see protocol.go for the frame
+// format and handshake). After the handshake accept, the connection is
+// driven by three kinds of goroutine:
+//
+//   - the reader (the connection's own serve goroutine) decodes tagged
+//     request frames and queues them on a bounded jobs channel — when the
+//     workers are saturated the queue fills and the reader stops reading,
+//     which is the server-side backpressure bounding one connection's
+//     resource use;
+//   - PipelineWorkers workers pull jobs and call the store concurrently —
+//     this is what lets 64 uncoordinated writers on ONE connection feed
+//     core's group-commit coalescing exactly like 64 connections would;
+//   - one writer drains completed responses and writes them out of order,
+//     coalescing whatever is ready into a single buffered flush (the
+//     flush-coalesce histogram records how many frames each flush carried).
+
+// Session-dedupe bounds: how many sessions the server remembers and how
+// many mutation replies each session caches. Both are eviction caps, not
+// correctness requirements — an evicted entry merely means a sufficiently
+// delayed duplicate would re-apply, and the client's retry window (one
+// in-flight window, retried promptly) is far smaller than either cap.
+const (
+	maxPipeSessions   = 256
+	sessionReplyCache = 1024
+)
+
+// pipeSession is one client session's mutation-dedupe state, shared by
+// every connection (including reconnects) that negotiated the same session
+// ID. A mutation is registered before it runs and its reply cached when it
+// finishes; a duplicate tag — a client retrying a mutation whose response
+// was lost when a shared connection died — waits for the original if it is
+// still running, then gets the cached reply instead of a second apply.
+type pipeSession struct {
+	mu       sync.Mutex
+	inflight map[uint32]chan struct{} // tag -> closed when the original finishes
+	replies  map[uint32]pipeReply     // tag -> cached mutation reply
+	order    []uint32                 // FIFO eviction of replies
+	lastUsed int64                    // UnixNano of the last handshake touch
+}
+
+// pipeReply is one cached mutation result.
+type pipeReply struct {
+	status  byte
+	payload []byte
+}
+
+// session returns (creating if needed) the dedupe session for id; id 0
+// means the client did not request dedupe. Sessions are evicted
+// least-recently-handshaken beyond maxPipeSessions.
+func (s *Server) session(id uint64) *pipeSession {
+	if id == 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if s.sessions == nil {
+		s.sessions = make(map[uint64]*pipeSession)
+	}
+	if sess, ok := s.sessions[id]; ok {
+		sess.mu.Lock()
+		sess.lastUsed = now
+		sess.mu.Unlock()
+		return sess
+	}
+	if len(s.sessions) >= maxPipeSessions {
+		// Evict the stalest session (linear scan: handshakes are rare).
+		var oldID uint64
+		oldest := int64(1<<63 - 1)
+		for sid, sess := range s.sessions {
+			sess.mu.Lock()
+			lu := sess.lastUsed
+			sess.mu.Unlock()
+			if lu < oldest {
+				oldest, oldID = lu, sid
+			}
+		}
+		delete(s.sessions, oldID)
+	}
+	sess := &pipeSession{
+		inflight: make(map[uint32]chan struct{}),
+		replies:  make(map[uint32]pipeReply),
+		lastUsed: now,
+	}
+	s.sessions[id] = sess
+	return sess
+}
+
+// begin registers tag as in flight. If the tag was already applied (or is
+// being applied right now) it reports the duplicate: done is non-nil while
+// the original is still running — wait on it, then look the reply up again.
+func (sess *pipeSession) begin(tag uint32) (dup bool, done chan struct{}, cached pipeReply) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if r, ok := sess.replies[tag]; ok {
+		return true, nil, r
+	}
+	if ch, ok := sess.inflight[tag]; ok {
+		return true, ch, pipeReply{}
+	}
+	sess.inflight[tag] = make(chan struct{})
+	return false, nil, pipeReply{}
+}
+
+// finish caches the reply for tag and releases any duplicate waiting on it.
+func (sess *pipeSession) finish(tag uint32, r pipeReply) {
+	sess.mu.Lock()
+	ch := sess.inflight[tag]
+	delete(sess.inflight, tag)
+	sess.replies[tag] = r
+	sess.order = append(sess.order, tag)
+	if len(sess.order) > sessionReplyCache {
+		delete(sess.replies, sess.order[0])
+		sess.order = sess.order[1:]
+	}
+	sess.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// lookup returns the cached reply for tag, if still cached.
+func (sess *pipeSession) lookup(tag uint32) (pipeReply, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	r, ok := sess.replies[tag]
+	return r, ok
+}
+
+// pipeJob is one decoded tagged request awaiting a worker.
+type pipeJob struct {
+	op  byte
+	tag uint32
+	req []byte
+}
+
+// pipeResp is one completed response awaiting the writer. fatal marks a
+// response that must be the connection's last (store panic: the in-band
+// report still reaches the client, then the connection dies, mirroring the
+// sequential path).
+type pipeResp struct {
+	tag     uint32
+	status  byte
+	payload []byte
+	fatal   bool
+}
+
+// servePipelined serves one connection in pipelined mode until the peer
+// hangs up, a frame fails to decode, or the store panics. It owns the
+// connection's read side; the caller's deferred cleanup closes the socket.
+func (s *Server) servePipelined(c net.Conn, bw *bufio.Writer, sess *pipeSession) {
+	s.met.pipeConns.Inc()
+	workers := s.opts.pipelineWorkers()
+	// The jobs queue holds one window beyond the executing workers; a
+	// client that floods past it parks in the TCP receive buffer.
+	jobs := make(chan pipeJob, workers)
+	out := make(chan pipeResp, workers)
+
+	var wwg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for j := range jobs {
+				out <- s.pipeHandle(c, sess, j)
+			}
+		}()
+	}
+	go func() { // close out once every worker has drained
+		wwg.Wait()
+		close(out)
+	}()
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.pipeWriteLoop(c, bw, out)
+	}()
+
+	for {
+		b, payload, err := readFrameConn(c, s.opts.IdleTimeout, s.opts.ReadTimeout)
+		if err != nil {
+			break // closed, broken, oversized or stalled
+		}
+		s.met.framesIn.Inc()
+		op, tag, req, derr := decodeTaggedFrame(b, payload)
+		if derr != nil {
+			// An untagged or truncated frame after the handshake means the
+			// peer's framing is broken: no tag to answer on, so the only
+			// safe move is to drop the connection.
+			s.met.pipeProtoErrs.Inc()
+			break
+		}
+		s.met.countOp(op)
+		s.met.pipeFramesIn.Inc()
+		s.met.pipeInflight.Add(1)
+		jobs <- pipeJob{op: op, tag: tag, req: req}
+	}
+	// Unblock the workers, let them finish what they started, flush their
+	// responses, then let serveConn's deferred cleanup close the socket.
+	close(jobs)
+	<-writerDone
+}
+
+// pipeHandle runs one tagged request through the store with the same panic
+// isolation as the sequential path. Mutations go through the session dedupe
+// when one was negotiated: an already-applied duplicate gets its cached
+// reply, a still-running one is awaited — never applied twice.
+func (s *Server) pipeHandle(c net.Conn, sess *pipeSession, j pipeJob) pipeResp {
+	if j.op == OpSnapshotChunk || j.op == OpRangeChunk {
+		// Chunk streams would monopolize a multiplexed connection; the
+		// client keeps them on dedicated one-at-a-time connections (a
+		// documented deviation, DESIGN.md §13). A peer that sends one
+		// anyway gets a clean in-band refusal.
+		return pipeResp{tag: j.tag, status: statusErr,
+			payload: []byte("kvnet: chunked extraction is not served on a pipelined connection")}
+	}
+	dedupe := sess != nil && !idempotent(j.op)
+	if dedupe {
+		for {
+			dup, done, cached := sess.begin(j.tag)
+			if !dup {
+				break
+			}
+			if done == nil {
+				s.met.pipeDedupeHits.Inc()
+				return pipeResp{tag: j.tag, status: cached.status, payload: cached.payload}
+			}
+			<-done // original still running: wait, then re-check the cache
+		}
+	}
+	resp, err := s.safeHandle(c, j.op, j.req)
+	var r pipeResp
+	switch {
+	case errors.Is(err, ErrStorePanic):
+		r = pipeResp{tag: j.tag, status: statusErr, payload: []byte(err.Error()), fatal: true}
+	case err != nil:
+		r = pipeResp{tag: j.tag, status: statusErr, payload: []byte(err.Error())}
+	default:
+		r = pipeResp{tag: j.tag, status: statusOK, payload: resp}
+	}
+	if dedupe {
+		sess.finish(j.tag, pipeReply{status: r.status, payload: r.payload})
+	}
+	return r
+}
+
+// pipeWriteLoop writes completed responses in completion order, coalescing
+// everything already queued into one buffered flush. After a transport
+// failure (or a fatal response) it closes the connection — which unblocks
+// the reader — and keeps draining so no worker stays stuck on the out
+// channel.
+func (s *Server) pipeWriteLoop(c net.Conn, bw *bufio.Writer, out <-chan pipeResp) {
+	dead := false
+	for r := range out {
+		s.met.pipeInflight.Add(-1)
+		if dead {
+			continue
+		}
+		if t := s.opts.WriteTimeout; t > 0 {
+			if err := c.SetWriteDeadline(time.Now().Add(t)); err != nil {
+				dead = true
+				c.Close()
+				continue
+			}
+		}
+		frames := int64(1)
+		fatal := r.fatal
+		err := s.pipeWriteOne(bw, r)
+		// Coalesce: everything already completed rides this flush.
+	coalesce:
+		for err == nil && !fatal {
+			select {
+			case r2, ok := <-out:
+				if !ok {
+					break coalesce
+				}
+				s.met.pipeInflight.Add(-1)
+				fatal = r2.fatal
+				err = s.pipeWriteOne(bw, r2)
+				frames++
+			default:
+				break coalesce
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		s.met.pipeFlushFrames.ObserveValue(frames)
+		if err != nil || fatal {
+			dead = true
+			c.Close()
+		}
+	}
+}
+
+// pipeWriteOne writes one tagged response into the buffered writer. A
+// response the frame format cannot carry is downgraded to an in-band error,
+// mirroring the sequential path's ErrFrameTooLarge handling.
+func (s *Server) pipeWriteOne(bw *bufio.Writer, r pipeResp) error {
+	err := writeTaggedFrame(bw, r.status, r.tag, r.payload)
+	if errors.Is(err, ErrFrameTooLarge) {
+		err = writeTaggedFrame(bw, statusErr, r.tag, []byte(err.Error()))
+	}
+	if err != nil {
+		return err
+	}
+	s.met.framesOut.Inc()
+	if r.status == statusErr {
+		s.met.errResponses.Inc()
+	}
+	return nil
+}

@@ -16,6 +16,15 @@
 //
 // Payloads are sequences of u64 words except where noted.
 //
+// # Pipelining
+//
+// A connection can be upgraded to a pipelined, multiplexed mode carrying
+// many in-flight requests at once (Options.Pipeline): frames gain a u32
+// request tag (high bit set on the op/status byte, tag prefixed to the
+// payload) and responses may arrive out of order. The mode is negotiated
+// in-band on opPing, so either side may predate it and the conversation
+// silently stays one-at-a-time. See DESIGN.md §13.
+//
 // # Robustness
 //
 // The wire path is hardened against the failures real networks produce:
@@ -104,6 +113,120 @@ const (
 	statusErr   = 1
 	statusChunk = 2 // non-final frame of a chunked extraction stream
 )
+
+// Pipelined multiplexing. A client that wants many in-flight requests on
+// one connection opens with a handshake: an opPing whose payload is
+// (pipeMagic, pipeVersion). A pipeline-capable server answers with the same
+// two words and switches the connection to tagged mode; a legacy server's
+// opPing handler ignores the payload and answers with an empty frame, which
+// the client reads as "not supported" and falls back to the one-at-a-time
+// path (the same in-band downgrade PR 4 used for unknown opcodes — no
+// connection is ever killed by talking to an older peer).
+//
+// After the handshake every frame on the connection is tagged: the op /
+// status byte carries tagBit (0x80) and the payload is prefixed with a
+// u32 request tag the client allocates. Responses may arrive in any order;
+// the tag routes each one to its caller. The high bit doubles as a safety
+// net: a tagged frame reaching a server that never negotiated (a bug, or a
+// hostile client) decodes as an unknown opcode >= 0x80 and gets the usual
+// in-band rejection instead of a misparse.
+// Multiplexing one connection changes the blast radius of a transport
+// fault: a broken write used to fail exactly one call, but now it severs a
+// whole window of in-flight requests, some of which were already fully
+// delivered and applied — their responses are simply lost. Surfacing
+// ErrUnknownOutcome for every mutation caught in a neighbour's crossfire
+// would make the pipelined path strictly less reliable than the pool it
+// replaces. So the handshake also establishes a *session*: the client
+// contributes a random 64-bit session ID, allocates request tags from one
+// session-wide counter (unique across reconnects), and the server keeps a
+// bounded per-session cache of mutation replies keyed by tag. A mutation
+// whose response was lost is then safely retried with its ORIGINAL tag on a
+// fresh connection: a server that already applied it recognizes the
+// duplicate and re-sends the cached reply without re-applying — the same
+// at-most-once construction the dist layer's wseq cache uses for routed
+// writes. Retry policy is otherwise unchanged (idempotent-only once
+// written); the session dedupe is what extends "safe to retry" to written
+// mutations on a negotiated connection.
+const (
+	// pipeMagic marks an opPing payload as a pipeline handshake ("PIPE"
+	// and "MVKV" in LE bytes). A plain Ping has an empty payload, so a
+	// legacy client can never trip the handshake by accident.
+	pipeMagic = uint64(0x50495045_4d564b56)
+	// pipeVersion is the protocol revision offered/accepted. Version 1:
+	// tagged unary ops with session dedupe; chunked extraction streams
+	// stay on dedicated one-at-a-time connections.
+	pipeVersion = uint64(1)
+	// tagBit marks a tagged frame's op/status byte.
+	tagBit = byte(0x80)
+)
+
+// ErrNotTagged reports a frame without tagBit arriving on a connection that
+// negotiated pipelined mode.
+var ErrNotTagged = errors.New("kvnet: untagged frame on a pipelined connection")
+
+// ErrTruncatedTag reports a tagged frame whose payload is too short to hold
+// the u32 request tag.
+var ErrTruncatedTag = errors.New("kvnet: tagged frame truncated before its tag")
+
+// pipeHello encodes the handshake offer: magic, version, and the client's
+// session ID (the dedupe namespace for its request tags).
+func pipeHello(session uint64) []byte { return putU64s(nil, pipeMagic, pipeVersion, session) }
+
+// pipeAccept encodes the server's handshake accept.
+func pipeAccept() []byte { return putU64s(nil, pipeMagic, pipeVersion) }
+
+// isPipeHello reports whether an opPing payload is a pipeline handshake
+// offer or accept: at least the magic and a version this implementation
+// speaks. Offers carry a third word (the session ID, see pipeHelloSession);
+// accepts carry two.
+func isPipeHello(p []byte) bool {
+	return len(p) >= 16 && len(p)%8 == 0 && u64at(p, 0) == pipeMagic && u64at(p, 1) >= 1
+}
+
+// pipeHelloSession extracts the session ID from a handshake offer (0 when
+// the offer predates sessions — dedupe is then simply not armed).
+func pipeHelloSession(p []byte) uint64 {
+	if len(p) >= 24 {
+		return u64at(p, 2)
+	}
+	return 0
+}
+
+// writeTaggedFrame sends one tagged frame: tagBit is set on b (an opcode on
+// the request path, a status on the response path) and the u32 tag prefixes
+// the payload. Oversized payloads are refused before any byte hits the wire,
+// exactly like writeFrame.
+func writeTaggedFrame(w io.Writer, b byte, tag uint32, payload []byte) error {
+	if len(payload)+4 > maxFrame {
+		return fmt.Errorf("%w (writing %d bytes)", ErrFrameTooLarge, len(payload)+4)
+	}
+	hdr := make([]byte, 9)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)+4))
+	hdr[4] = b | tagBit
+	binary.LittleEndian.PutUint32(hdr[5:], tag)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		_, err := w.Write(payload)
+		return err
+	}
+	return nil
+}
+
+// decodeTaggedFrame splits a frame already read off the wire (readFrame's
+// tag byte + payload) into its opcode/status, request tag, and body. It
+// never panics on hostile input: an untagged byte or a payload too short to
+// hold the tag returns a typed error (FuzzDecodeTaggedFrame drives this).
+func decodeTaggedFrame(b byte, payload []byte) (raw byte, tag uint32, body []byte, err error) {
+	if b&tagBit == 0 {
+		return 0, 0, nil, fmt.Errorf("%w (byte %#x)", ErrNotTagged, b)
+	}
+	if len(payload) < 4 {
+		return 0, 0, nil, fmt.Errorf("%w (%d payload bytes)", ErrTruncatedTag, len(payload))
+	}
+	return b &^ tagBit, binary.LittleEndian.Uint32(payload), payload[4:], nil
+}
 
 // SnapChunk is the maximum pairs per chunk frame of a chunked extraction
 // stream: 64k pairs encode to ~1 MiB, big enough to amortize framing and

@@ -34,6 +34,24 @@ type ServerOptions struct {
 	// inject log.Printf (as mvkvd does) to log to stderr. Incidents are
 	// counted in the server's metrics either way.
 	Logf func(format string, args ...any)
+	// DisablePipeline refuses the pipelined-multiplexing handshake, so
+	// every connection stays one-at-a-time (the pre-pipeline behaviour;
+	// mixed-version tests and mvkvd -no-pipeline use it). Clients that
+	// offer the handshake fall back transparently.
+	DisablePipeline bool
+	// PipelineWorkers bounds the concurrent request handlers of one
+	// pipelined connection (<=0 = 64). It is what turns one connection's
+	// in-flight window into concurrent store calls — sized to let a full
+	// default client window feed group commit without client batching.
+	PipelineWorkers int
+}
+
+// pipelineWorkers resolves the PipelineWorkers default.
+func (o ServerOptions) pipelineWorkers() int {
+	if o.PipelineWorkers <= 0 {
+		return 64
+	}
+	return o.PipelineWorkers
 }
 
 // logPanic reports one caught panic through the injected sink. The stack is
@@ -47,9 +65,11 @@ func (s *Server) logPanic(c net.Conn, what string, r any) {
 	s.opts.Logf("kvnet: panic %s from %s: %v\n%s", what, c.RemoteAddr(), r, debug.Stack())
 }
 
-// Server exposes a kv.Store over TCP. Requests on one connection are
-// handled sequentially; clients open several connections for parallelism
-// (the client in this package does so transparently).
+// Server exposes a kv.Store over TCP. Requests on a plain connection are
+// handled sequentially; a connection that negotiates the pipeline handshake
+// is served by a per-connection worker pool with out-of-order tagged
+// responses, so one connection can carry a whole window of in-flight
+// requests (the client in this package uses either mode transparently).
 type Server struct {
 	store    kv.Store
 	listener net.Listener
@@ -59,6 +79,11 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// sessions is the pipelined-mode mutation-dedupe registry (lazily
+	// allocated; guarded by smu). See pipeserver.go.
+	smu      sync.Mutex
+	sessions map[uint64]*pipeSession
 
 	met serverMetrics
 }
@@ -168,6 +193,16 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		s.met.framesIn.Inc()
 		s.met.countOp(op)
+		if op == opPing && !s.opts.DisablePipeline && isPipeHello(req) {
+			// Pipeline handshake: accept in-band, then hand the connection
+			// to the multiplexing dispatcher. Everything after the accept
+			// frame is tagged.
+			if err := sendTimed(statusOK, pipeAccept()); err != nil {
+				return
+			}
+			s.servePipelined(c, bw, s.session(pipeHelloSession(req)))
+			return
+		}
 		if op == OpSnapshotChunk || op == OpRangeChunk {
 			if !s.serveStream(c, op, req, sendTimed) {
 				return

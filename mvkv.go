@@ -260,11 +260,14 @@ func OpenBlobStore(o Options) (*BlobStore, error) {
 // ---- network service ----
 
 // ServerOptions configures the network server's per-connection deadlines
-// (see kvnet.ServerOptions).
+// and its pipelined-connection policy (DisablePipeline, PipelineWorkers);
+// see kvnet.ServerOptions.
 type ServerOptions = kvnet.ServerOptions
 
-// ClientOptions configures the network client's pool size, deadlines and
-// retry policy (see kvnet.Options).
+// ClientOptions configures the network client's pool size, deadlines,
+// retry policy, and request pipelining (Pipeline multiplexes many in-flight
+// calls per connection, bounded by MaxInFlight, with automatic fallback
+// against servers that predate the feature); see kvnet.Options.
 type ClientOptions = kvnet.Options
 
 // ServeStore exposes any Store over TCP (see cmd/mvkvd for the daemon

@@ -25,6 +25,13 @@
 #      both GC crash harnesses, then a benchkv soak smoke — 50k overwrites
 #      with GC on must keep the arena high-water mark bounded (< 2x growth
 #      past the one-third checkpoint, BENCH_soak.json "bounded": true)
+#  11. pipelined wire protocol: race-enabled tagged-frame/multiplexing
+#      suites (handshake fallback both ways, malformed tagged frames,
+#      session dedupe across reconnect, storetest conformance over the
+#      pipelined transport incl. fault injection, net.pipe.* reconciliation)
+#      plus the windowed dist batch scatter, then a benchkv pipeline smoke —
+#      64 writers multiplexed on ONE connection must beat the one-at-a-time
+#      client on throughput and coalesce to under 2.0 persists/entry
 #
 # Exits non-zero on the first failing gate.
 set -euo pipefail
@@ -171,5 +178,35 @@ if ! grep -q '"bounded": true' "$tmpdir/BENCH_soak.json"; then
   exit 1
 fi
 echo "soak smoke: GC-on $(grep -o '"growth_ratio_end_vs_checkpoint": [0-9.]*' "$tmpdir/BENCH_soak.json" | head -1 | awk '{print $2}')x growth past checkpoint -> bounded"
+
+echo "== gate 12: pipelined wire protocol (race + multiplexing smoke) =="
+# Tagged-frame corpus and fuzz seeds, handshake fallback in both mixed-version
+# directions, session mutation dedupe (in-connection and across reconnect),
+# full storetest conformance over the pipelined transport (plain, group-commit
+# and fault-injecting), net.pipe.* metric reconciliation, pooled-connection
+# idle TTL, and the windowed dist batch scatter with its reply cache.
+go test -race -short -timeout 300s \
+  -run 'TestPipe|TestLegacyClient|TestConformanceOverPipelined|TestIdleConn' \
+  ./internal/kvnet/
+go test -race -short -timeout 120s \
+  -run 'TestChunkPairs|TestWriteReplyCache|TestInsertBatchWindowed' ./internal/dist/
+
+# Multiplexing smoke: 64 uncoordinated writers sharing ONE TCP connection
+# into a group-commit server. One-at-a-time, the writers serialize on the
+# socket and every entry pays the full fence schedule; pipelined at
+# MaxInFlight=64 the tagged window must win on throughput and feed the
+# group-commit coalescing to under 2.0 persists/entry. benchkv writes
+# BENCH_pipeline.json into its cwd, so run in tmpdir to leave the repo's
+# recorded figure untouched.
+(cd "$tmpdir" && "$tmpbin" -n 10000 -reps 1 -depths 64 -csv pipeline 2>/dev/null) | awk -F, '
+  $1 == "pipe-off" && $4 == 64 { off = $8 }
+  $1 == "pipe-on"  && $4 == 64 { on = $8; onp = $9; ops = $6 }
+  END {
+    if (off == "" || on == "") { print "FAIL: pipeline rows missing from benchkv output"; exit 1 }
+    printf "pipeline: depth 64 on one conn, %.0f ops/s pipelined vs %.0f one-at-a-time (%.1fx), %.2f persists/entry\n",
+           on, off, on / off, onp / ops
+    if (on + 0 <= off + 0) { print "FAIL: pipelined single connection is not faster than one-at-a-time"; exit 1 }
+    if (onp / ops >= 2.0) { print "FAIL: pipelined window did not coalesce fences (persists/entry >= 2.0)"; exit 1 }
+  }'
 
 echo "verify: all gates passed"
