@@ -28,6 +28,10 @@
 //	             high-water mark with version GC on vs off, plus
 //	             zipfian hot-key cache hit ratio and Find speedup;
 //	             always writes BENCH_soak.json                     (new)
+//	txn          optimistic multi-key transaction commits/sec and
+//	             first-committer-wins abort ratio vs committer
+//	             count, disjoint vs contended write sets; always
+//	             writes BENCH_txn.json                             (new)
 //	all          every experiment at the configured scale
 //
 // Defaults are scaled down from the paper (N=1e6 on 64-core KNL; 512
@@ -69,6 +73,8 @@ var (
 	flagGCFlush  = flag.Duration("gcflush", 100*time.Microsecond, "group-commit flush interval; on few-core hosts the window is what lets writers queue (groupcommit)")
 	flagSoakKeys = flag.Int("soakkeys", 64, "fixed key-set size for the soak churn; rounds = n/soakkeys, so fewer keys drive each version chain deeper (soak)")
 	flagDepths   = flag.String("depths", "1,8,64", "in-flight window depths to sweep (pipeline)")
+	flagTxnT     = flag.String("txnthreads", "1,2,4,8", "concurrent committer counts to sweep (txn)")
+	flagTxnHot   = flag.Int("txnhot", 16, "contended-mode shared keyspace size (txn)")
 )
 
 func main() {
@@ -140,10 +146,12 @@ func run(cmd string) ([]harness.Result, error) {
 		return runPipeline()
 	case "soak":
 		return runSoak()
+	case "txn":
+		return runTxn()
 	case "all":
 		var all []harness.Result
 		for _, c := range []string{"insert", "remove", "history", "find", "snapshot",
-			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch", "extract", "groupcommit", "pipeline", "soak"} {
+			"rebuild", "restartfind", "distfind", "distgather", "distmerge", "batch", "extract", "groupcommit", "pipeline", "soak", "txn"} {
 			rows, err := run(c)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", c, err)
@@ -511,6 +519,38 @@ func runSoak() ([]harness.Result, error) {
 		j.GCOff.CheckpointHeapBytes, j.GCOff.EndHeapBytes,
 		j.Cache.HitRatio, j.Cache.FindSpeedup)
 	return rows, nil
+}
+
+// runTxn measures optimistic multi-key transactions (not a paper figure):
+// -n transactions of 4 buffered writes each, split across -txnthreads
+// concurrent committers on one PSkipList, once with per-worker disjoint key
+// ranges (the abort count must be zero) and once over a -txnhot shared hot
+// set where first-committer-wins aborts every temporal overlap. The figure
+// always writes BENCH_txn.json.
+func runTxn() ([]harness.Result, error) {
+	threads, err := intList(*flagTxnT)
+	if err != nil {
+		return nil, err
+	}
+	spec := harness.TxnSpec{
+		N: *flagN, Threads: threads, HotKeys: *flagTxnHot,
+		Reps: *flagReps, PersistLatency: *flagLatency,
+	}
+	points, err := harness.RunTxnSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := harness.WriteTxnJSON("BENCH_txn.json", spec, points); err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		if p.Figure == "txn-contended" {
+			fmt.Fprintf(os.Stderr, "txn: threads %d contended %.0f commits/s, abort ratio %.3f\n",
+				p.Threads, p.Throughput(), p.AbortRatio())
+		}
+	}
+	fmt.Fprintln(os.Stderr, "txn: wrote BENCH_txn.json")
+	return harness.TxnResults(points), nil
 }
 
 // runExtract measures the parallel snapshot-extraction figure (not a paper

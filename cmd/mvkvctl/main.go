@@ -18,11 +18,19 @@
 //	mvkvctl get    <store> <key> [-version v]
 //	mvkvctl history <store> <key>
 //	mvkvctl snapshot <store> [-version v] [-lo k] [-hi k]
+//	mvkvctl txn    <store> <op>...  (ops: get <k> | put <k> <v> | del <k>;
+//	                                a trailing "abort" discards the writes)
 //	mvkvctl stat   <pool>
 //	mvkvctl stats  <store> [-json] [-watch interval [-count n]]
 //	mvkvctl verify <pool>
 //	mvkvctl fsck   <pool>
 //	mvkvctl compact <pool> <dstpool> -keep v [-size bytes]
+//
+// txn runs the ops as ONE optimistic transaction: gets read a snapshot
+// pinned at the start, puts and dels buffer, and the whole write set commits
+// atomically at the end under a first-committer-wins conflict check — a
+// conflicting concurrent writer aborts the transaction with an error and the
+// store is untouched.
 //
 // stats prints the observability snapshot (operation counters, latency
 // histograms, arena and wire metrics, including the net.pipe.* pipelining
@@ -70,6 +78,17 @@ import (
 // stdin is the putbatch input stream; a variable so tests can inject pairs.
 var stdin io.Reader = os.Stdin
 
+// watch-mode clock hooks; variables so the stats-watch drift regression
+// test can drive the loop with a fake clock and assert the reported elapsed
+// time tracks reality (including fetch latency) instead of interval*ticks.
+var (
+	watchNow  = time.Now
+	watchTick = func(d time.Duration) (<-chan time.Time, func()) {
+		t := time.NewTicker(d)
+		return t.C, t.Stop
+	}
+)
+
 // exitError carries a specific process exit code through run (fsck's
 // clean/repairable/corrupt verdict is the exit status).
 type exitError struct {
@@ -91,7 +110,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|pin|unpin|gc|get|history|snapshot|stat|stats|verify|fsck|compact> <pool|tcp://addr> [args] [flags]")
+	return fmt.Errorf("usage: mvkvctl <init|put|putbatch|rm|tag|pin|unpin|gc|get|history|snapshot|txn|stat|stats|verify|fsck|compact> <pool|tcp://addr> [args] [flags]")
 }
 
 // remotePrefix selects the network data path in place of a local pool.
@@ -416,6 +435,89 @@ func run(args []string, out io.Writer) error {
 			return nil
 		})
 
+	case "txn":
+		if len(pos) == 0 {
+			return fmt.Errorf("txn needs a script: get <k> | put <k> <v> | del <k> ... [abort]")
+		}
+		return withStore(func(s kv.Store) error {
+			t := kv.Begin(s)
+			done := false
+			// The pin taken by Begin must not leak on a script error —
+			// on a remote store it would hold the server's GC watermark
+			// down until the tag is released.
+			defer func() {
+				if !done {
+					_ = t.Abort()
+				}
+			}()
+			for i := 0; i < len(pos); {
+				switch pos[i] {
+				case "get":
+					if i+1 >= len(pos) {
+						return fmt.Errorf("txn: get needs a key")
+					}
+					k, err := parseU64(pos[i+1])
+					if err != nil {
+						return err
+					}
+					if v, ok := t.Get(k); ok {
+						fmt.Fprintf(out, "get %d = %d\n", k, v)
+					} else {
+						fmt.Fprintf(out, "get %d absent\n", k)
+					}
+					i += 2
+				case "put":
+					if i+2 >= len(pos) {
+						return fmt.Errorf("txn: put needs a key and a value")
+					}
+					k, err := parseU64(pos[i+1])
+					if err != nil {
+						return err
+					}
+					v, err := parseU64(pos[i+2])
+					if err != nil {
+						return err
+					}
+					if err := t.Set(k, v); err != nil {
+						return err
+					}
+					i += 3
+				case "del":
+					if i+1 >= len(pos) {
+						return fmt.Errorf("txn: del needs a key")
+					}
+					k, err := parseU64(pos[i+1])
+					if err != nil {
+						return err
+					}
+					if err := t.Delete(k); err != nil {
+						return err
+					}
+					i += 2
+				case "abort":
+					if i != len(pos)-1 {
+						return fmt.Errorf("txn: abort must be the last op")
+					}
+					done = true
+					if err := t.Abort(); err != nil {
+						return err
+					}
+					fmt.Fprintln(out, "aborted")
+					return nil
+				default:
+					return fmt.Errorf("txn: unknown op %q (want get|put|del|abort)", pos[i])
+				}
+			}
+			readTS := t.ReadTS()
+			done = true
+			ts, err := t.Commit()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "committed at version %d (read ts %d)\n", ts, readTS)
+			return nil
+		})
+
 	case "stat":
 		if remote {
 			return localOnly()
@@ -465,14 +567,22 @@ func run(args []string, out io.Writer) error {
 			}
 			// Watch mode: the first snapshot is a silent baseline; every
 			// tick prints what changed since the previous one (counters and
-			// histogram counts subtract, gauges read instantaneously).
+			// histogram counts subtract, gauges read instantaneously). A
+			// ticker keeps the cadence — a slow Stats round-trip eats into
+			// the next interval instead of silently stretching every later
+			// tick — and the header reports real elapsed time since the
+			// baseline, not interval*ticks (which drifts from reality by the
+			// accumulated fetch latency).
+			start := watchNow()
+			tick, stop := watchTick(*watch)
+			defer stop()
 			for i := 0; *watchCount <= 0 || i < *watchCount; i++ {
-				time.Sleep(*watch)
+				<-tick
 				cur, err := fetch()
 				if err != nil {
 					return err
 				}
-				if _, err := fmt.Fprintf(out, "--- delta %s ---\n", (*watch)*time.Duration(i+1)); err != nil {
+				if _, err := fmt.Fprintf(out, "--- delta %s ---\n", watchNow().Sub(start).Round(time.Millisecond)); err != nil {
 					return err
 				}
 				if err := emit(cur.Delta(prev)); err != nil {

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"mvkv/internal/core"
 	"mvkv/internal/eskiplist"
@@ -487,5 +488,124 @@ func TestCLIPinGCRemote(t *testing.T) {
 	t.Cleanup(func() { psrv.Close(); plain.Close() })
 	if out := mustCtl(t, "gc", "tcp://"+psrv.Addr()); !strings.Contains(out, "no version GC") {
 		t.Fatalf("gc on plain store = %q", out)
+	}
+}
+
+// TestCLIStatsWatchElapsed pins the -watch drift fix: delta headers must
+// report real elapsed time since the baseline (per the injected clock), not
+// interval*(tick count), which diverges from reality by the accumulated
+// Stats round-trip latency. The fake clock hands out 80ms/160ms "real"
+// elapsed against a 50ms interval — the old sleep-loop arithmetic would
+// have printed 50ms/100ms.
+func TestCLIStatsWatchElapsed(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	store := "tcp://" + srv.Addr()
+
+	base := time.Unix(1000, 0)
+	elapsed := []time.Duration{0, 80 * time.Millisecond, 160 * time.Millisecond}
+	calls := 0
+	oldNow, oldTick := watchNow, watchTick
+	watchNow = func() time.Time {
+		d := elapsed[len(elapsed)-1]
+		if calls < len(elapsed) {
+			d = elapsed[calls]
+		}
+		calls++
+		return base.Add(d)
+	}
+	watchTick = func(d time.Duration) (<-chan time.Time, func()) {
+		if d != 50*time.Millisecond {
+			t.Errorf("ticker asked for %v, want the -watch interval 50ms", d)
+		}
+		ch := make(chan time.Time, 2)
+		ch <- base
+		ch <- base
+		return ch, func() {}
+	}
+	t.Cleanup(func() { watchNow, watchTick = oldNow, oldTick })
+
+	out := mustCtl(t, "stats", store, "-watch", "50ms", "-count", "2")
+	if !strings.Contains(out, "--- delta 80ms ---") || !strings.Contains(out, "--- delta 160ms ---") {
+		t.Fatalf("watch headers missing real-elapsed deltas 80ms/160ms:\n%s", out)
+	}
+	if strings.Contains(out, "delta 50ms") || strings.Contains(out, "delta 100ms") {
+		t.Fatalf("watch headers show interval multiples instead of real elapsed:\n%s", out)
+	}
+}
+
+// TestCLITxn drives the scripted txn command: read-your-writes inside the
+// script, commit visibility, the abort path, and that a script error does
+// not leak the snapshot pin (a later GC would otherwise stall at the dead
+// transaction's watermark).
+func TestCLITxn(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("file-backed pools are linux-only")
+	}
+	pool := filepath.Join(t.TempDir(), "txn.pool")
+	mustCtl(t, "init", pool, "-size", "33554432")
+	mustCtl(t, "put", pool, "1", "10")
+	mustCtl(t, "tag", pool)
+
+	out := mustCtl(t, "txn", pool, "get", "1", "put", "1", "11", "put", "2", "22", "del", "1", "get", "2")
+	for _, want := range []string{"get 1 = 10", "get 2 = 22", "committed at version"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("txn output %q missing %q", out, want)
+		}
+	}
+	if got := strings.TrimSpace(mustCtl(t, "get", pool, "2")); got != "22" {
+		t.Fatalf("get 2 after commit = %q", got)
+	}
+	if _, err := ctl(t, "get", pool, "1"); err == nil {
+		t.Fatal("key 1 still present after committed del")
+	}
+
+	if out := mustCtl(t, "txn", pool, "put", "3", "33", "abort"); !strings.Contains(out, "aborted") {
+		t.Fatalf("abort output = %q", out)
+	}
+	if _, err := ctl(t, "get", pool, "3"); err == nil {
+		t.Fatal("aborted put visible")
+	}
+
+	// Script errors surface as errors, not partial commits.
+	if _, err := ctl(t, "txn", pool, "put", "3"); err == nil {
+		t.Fatal("ragged put script succeeded")
+	}
+	if _, err := ctl(t, "txn", pool, "frob", "1"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if out := mustCtl(t, "gc", pool); !strings.Contains(out, "watermark") {
+		t.Fatalf("gc after failed scripts = %q", out)
+	}
+
+	// Same script path over the wire, against a core-backed server where a
+	// leaked Begin pin would be observable: PinCount must return to zero
+	// after both clean commits and failed scripts.
+	backing, err := core.Create(core.Options{ArenaBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := kvnet.Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		backing.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	store := "tcp://" + srv.Addr()
+	if out := mustCtl(t, "txn", store, "put", "5", "50"); !strings.Contains(out, "committed at version") {
+		t.Fatalf("remote txn = %q", out)
+	}
+	if got := strings.TrimSpace(mustCtl(t, "get", store, "5")); got != "50" {
+		t.Fatalf("remote get 5 = %q", got)
+	}
+	if _, err := ctl(t, "txn", store, "put", "6"); err == nil {
+		t.Fatal("ragged remote script succeeded")
+	}
+	if n := backing.PinCount(); n != 0 {
+		t.Fatalf("server still holds %d pins after txn scripts (leaked Begin pin)", n)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"mvkv/internal/blockchain"
 	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
 	"mvkv/internal/vhistory"
 )
 
@@ -43,7 +44,7 @@ func (s *Store) InsertBatch(pairs []kv.KV) error {
 	if s.gc != nil {
 		return s.gc.submit(pairs)
 	}
-	return s.appendBatchAt(s.currentVersion(), pairs)
+	return s.appendBatchAt(s.currentVersion(), pairs, false)
 }
 
 // FindBatch answers Find(keys[i], versions[i]) for every i.
@@ -83,7 +84,15 @@ func (s *Store) FindBatch(keys, versions []uint64) ([]uint64, []bool) {
 //  6. claim commit numbers in batch order and store them (volatile);
 //  7. fence the same spans again — now covering every seq word — and only
 //     then announce the commits to the clock.
-func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
+//
+// With txnAtomic set (the transactional commit path, which holds maintmu
+// exclusively so no foreign appender can interleave commit numbers into the
+// batch's contiguous range), phase 7 fences the span holding the batch's
+// LOWEST commit number last: a crash anywhere before that final fence
+// leaves a gap at the bottom of the range, and recovery's contiguity rule
+// prunes every entry above it — the whole batch recovers all-or-nothing
+// (see txn.go and the crash-point sweep).
+func (s *Store) appendBatchAt(version uint64, pairs []kv.KV, txnAtomic bool) error {
 	if s.wedged.Load() {
 		return ErrWedged
 	}
@@ -246,9 +255,27 @@ func (s *Store) appendBatchAt(version uint64, pairs []kv.KV) error {
 		g.next++
 	}
 
-	// The spans cover every seq word; fence them again, then announce.
-	for _, sp := range spans {
-		s.arena.Persist(sp.P, sp.N)
+	// The spans cover every seq word; fence them again, then announce. On
+	// the transactional path the span covering seqs[0] — the lowest number
+	// of the batch's contiguous range — goes last (see the doc comment).
+	seqSpan := -1
+	if txnAtomic {
+		g0 := byKey[pairs[0].Key]
+		w := g0.h.SeqSpan(s.arena, g0.start)
+		for i, sp := range spans {
+			if w.P >= sp.P && w.P+pmem.Ptr(w.N) <= sp.P+pmem.Ptr(sp.N) {
+				seqSpan = i
+				break
+			}
+		}
+	}
+	for i, sp := range spans {
+		if i != seqSpan {
+			s.arena.Persist(sp.P, sp.N)
+		}
+	}
+	if seqSpan >= 0 {
+		s.arena.Persist(spans[seqSpan].P, spans[seqSpan].N)
 	}
 	for _, seq := range seqs {
 		s.clock.Commit(seq)

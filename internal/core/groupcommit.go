@@ -186,7 +186,7 @@ func (gc *groupCommitter) commit(reqs []*writeReq) {
 		// protocol, no grouping bookkeeping.
 		err = s.appendAt(pairs[0].Key, s.currentVersion(), pairs[0].Value)
 	} else {
-		err = s.appendBatchAt(s.currentVersion(), pairs)
+		err = s.appendBatchAt(s.currentVersion(), pairs, false)
 	}
 	s.met.gcPairs.Add(uint64(len(pairs)))
 	s.met.gcPersists.Add(uint64(s.arena.PersistCount() - p0))

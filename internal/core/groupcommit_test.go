@@ -469,7 +469,7 @@ func TestCrashPointSweepCoalesced(t *testing.T) {
 					*log = append(*log, write{p.Key, kv.Event{Version: s.CurrentVersion(), Value: p.Value}})
 				}
 			}
-			s.appendBatchAt(s.currentVersion(), st.pairs)
+			s.appendBatchAt(s.currentVersion(), st.pairs, false)
 		}
 	}
 

@@ -52,6 +52,15 @@ type storeMetrics struct {
 	gc2Bytes    obs.Counter // bytes those segments held
 	gc2Lat      obs.Histogram
 
+	// Transactions (txn.go). commits counts CommitWrites calls (conflicted
+	// ones included); conflicts the first-committer-wins aborts among them;
+	// applies the conflict-check-free ApplyWrites calls (the distributed
+	// commit's apply phase).
+	txnCommits   obs.Counter
+	txnConflicts obs.Counter
+	txnApplies   obs.Counter
+	txnCommitLat obs.Histogram
+
 	// Hot-key read cache (hotcache.go). hits+misses+bypass partition the
 	// cache-enabled find lookups exactly; fills and invalidations count
 	// publish and stale-marking events.
@@ -85,6 +94,10 @@ func (s *Store) ObsSnapshot() obs.Snapshot {
 	o.SetHist("store.batch.size", &s.met.batchSize)
 	o.SetGauge("store.keys", int64(s.index.Len()))
 	o.SetGauge("store.current_version", int64(s.currentVersion()))
+	o.SetCounter("store.txn.commits", s.met.txnCommits.Load())
+	o.SetCounter("store.txn.conflicts", s.met.txnConflicts.Load())
+	o.SetCounter("store.txn.applies", s.met.txnApplies.Load())
+	o.SetHist("store.txn.commit_latency", &s.met.txnCommitLat)
 	o.SetCounter("store.ops.acquire_tag", s.met.acquireTag.Load())
 	o.SetCounter("store.ops.release_tag", s.met.releaseTag.Load())
 	o.SetCounter("store.gc2.passes", s.met.gc2Passes.Load())

@@ -1,0 +1,92 @@
+// Multi-key MVCC transactions (kv.TxnCommitter / kv.WriteApplier).
+//
+// The version counter doubles as the timestamp oracle: a transaction's
+// read timestamp is an AcquireTag-sealed (and pinned) version, and its
+// commit timestamp is the version its write set lands in, sealed on
+// commit. First-committer-wins conflict detection falls out of the version
+// chains: a write-set key whose newest committed entry is younger than the
+// read timestamp means someone committed after the transaction began.
+//
+// Both entry points hold maintmu EXCLUSIVELY. That is what buys multi-key
+// atomicity under crash: with every other writer (including the
+// group-commit dispatcher, whose submitters hold maintmu shared across
+// their round trip) drained, the batch's commit numbers form a contiguous
+// range, and appendBatchAt's txnAtomic mode fences the lowest number's
+// span last — a crash anywhere mid-commit leaves a gap that recovery's
+// contiguity rule prunes the entire range behind. Routing through the
+// dispatcher instead would coalesce foreign writes into the same run and
+// interleave their commit numbers into the range, destroying the gap
+// property, which is why the transactional path bypasses it.
+package core
+
+import (
+	"time"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/vhistory"
+)
+
+// ApplyWrites applies a multi-key write set (Marker values record
+// removals) to the current version with all-or-nothing crash atomicity. It
+// neither checks conflicts nor seals a version: the distributed commit
+// checks conflicts cluster-wide in its prepare phase and seals all ranks
+// collectively afterwards (TagAll asserts version lockstep, so a local
+// seal here would skew the ranks).
+func (s *Store) ApplyWrites(writes []kv.KV) error {
+	s.met.txnApplies.Inc()
+	if len(writes) == 0 {
+		return nil
+	}
+	s.maintmu.Lock()
+	defer s.maintmu.Unlock()
+	return s.appendBatchAt(s.currentVersion(), writes, true)
+}
+
+// CommitWrites is the first-committer-wins transactional commit
+// (kv.TxnCommitter): abort with a kv.ConflictError if any write-set key
+// has a committed version newer than readTS, otherwise apply the whole
+// write set atomically and seal the resulting version as the commit
+// timestamp. readTS == kv.NoConflictCheck skips the check. On conflict the
+// store is untouched.
+func (s *Store) CommitWrites(readTS uint64, writes []kv.KV) (uint64, error) {
+	s.met.txnCommits.Inc()
+	start := time.Now()
+	s.maintmu.Lock()
+	defer s.maintmu.Unlock()
+	if s.wedged.Load() {
+		return 0, ErrWedged
+	}
+	if readTS != kv.NoConflictCheck {
+		for _, w := range writes {
+			h, ok := s.index.Get(w.Key)
+			if !ok {
+				continue
+			}
+			// The newest committed entry's version, markers included (a
+			// removal is a write). FindTail is used directly instead of
+			// ExtractHistory because the latter re-acquires maintmu.
+			_, _, entVer, _ := h.FindTail(s.arena, vhistory.MaxVersion, s.clock)
+			if entVer > readTS {
+				s.met.txnConflicts.Inc()
+				return 0, &kv.ConflictError{Key: w.Key, Latest: entVer, ReadTS: readTS}
+			}
+		}
+	}
+	if len(writes) > 0 {
+		if err := s.appendBatchAt(s.currentVersion(), writes, true); err != nil {
+			return 0, err
+		}
+	}
+	// Seal the version the writes landed in — the commit timestamp. Inline
+	// rather than via Tag() so the operation counters stay exact (a commit
+	// is not a client-issued tag).
+	sealed := s.arena.AddUint64(s.super+supVerOff, 1) - 1
+	s.arena.Persist(s.super+supVerOff, 8)
+	s.met.txnCommitLat.ObserveSince(start)
+	return sealed, nil
+}
+
+var (
+	_ kv.TxnCommitter = (*Store)(nil)
+	_ kv.WriteApplier = (*Store)(nil)
+)

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"mvkv/internal/kv"
+	"mvkv/internal/pmem"
+)
+
+// TestTxnCommitConflictAndMetrics is the core-level contract of
+// CommitWrites: first-committer-wins against the newest committed version,
+// conflicted commits leave the store untouched, the commit seals inline
+// (without inflating the Tag counter), and the txn metrics reconcile with
+// the calls issued.
+func TestTxnCommitConflictAndMetrics(t *testing.T) {
+	s := newVGCStore(t, Options{})
+	if err := s.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	readTS := kv.AcquireTag(s)
+	tagsBefore := s.ObsSnapshot().Counter("store.ops.tag")
+
+	ts, err := s.CommitWrites(readTS, []kv.KV{{Key: 1, Value: 11}, {Key: 2, Value: 22}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= readTS {
+		t.Fatalf("commit ts %d not above read ts %d", ts, readTS)
+	}
+	if v, ok := s.Find(1, ts); !ok || v != 11 {
+		t.Fatalf("Find(1, commit ts) = %d,%v", v, ok)
+	}
+
+	// A second commit at the stale read timestamp must lose to the first.
+	_, err = s.CommitWrites(readTS, []kv.KV{{Key: 1, Value: 99}, {Key: 3, Value: 33}})
+	var ce *kv.ConflictError
+	if !errors.As(err, &ce) || !errors.Is(err, kv.ErrConflict) {
+		t.Fatalf("stale commit error = %v, want a ConflictError", err)
+	}
+	if ce.Key != 1 || ce.Latest <= readTS {
+		t.Fatalf("conflict = %+v, want key 1 with Latest > %d", ce, readTS)
+	}
+	if v, ok := s.Find(1, 1<<62); !ok || v != 11 {
+		t.Fatalf("Find(1) = %d,%v — conflicted commit mutated the store", v, ok)
+	}
+	if _, ok := s.Find(3, 1<<62); ok {
+		t.Fatal("conflicted commit leaked its disjoint write")
+	}
+	if err := kv.ReleaseTag(s, readTS); err != nil {
+		t.Fatal(err)
+	}
+
+	// A Marker value in the write set records a removal atomically with the
+	// rest of the set.
+	ts2, err := s.CommitWrites(kv.NoConflictCheck, []kv.KV{{Key: 1, Value: kv.Marker}, {Key: 4, Value: 44}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Find(1, ts2); ok {
+		t.Fatal("committed removal still present")
+	}
+	if v, ok := s.Find(4, ts2); !ok || v != 44 {
+		t.Fatalf("Find(4) = %d,%v", v, ok)
+	}
+
+	snap := s.ObsSnapshot()
+	if got := snap.Counter("store.txn.commits"); got != 3 {
+		t.Fatalf("store.txn.commits = %d, want 3", got)
+	}
+	if got := snap.Counter("store.txn.conflicts"); got != 1 {
+		t.Fatalf("store.txn.conflicts = %d, want 1", got)
+	}
+	// The inline seal must not masquerade as Tag calls — op counters stay
+	// reconcilable with the ops the caller actually issued.
+	if got := snap.Counter("store.ops.tag"); got != tagsBefore {
+		t.Fatalf("store.ops.tag moved from %d to %d across commits", tagsBefore, got)
+	}
+}
+
+// txnCrashOp is one step of the transactional crash-point workload.
+type txnCrashOp struct {
+	kind   byte    // 'c' CommitWrites, 'a' ApplyWrites, 'i' insert, 'r' remove, 't' tag
+	writes []kv.KV // for 'c' and 'a'
+	key    uint64
+	value  uint64
+}
+
+// txnCrashWorkload mixes multi-key commits over fresh keys, overwrites of
+// existing keys, same-key runs inside one write set, a removal committed
+// atomically with inserts, the seal-free ApplyWrites path, and interleaved
+// single ops — every shape the transactional append handles.
+func txnCrashWorkload() []txnCrashOp {
+	return []txnCrashOp{
+		{kind: 'i', key: 0, value: 1},
+		{kind: 'c', writes: []kv.KV{{Key: 1, Value: 10}, {Key: 2, Value: 11}, {Key: 3, Value: 12}}},
+		{kind: 't'},
+		{kind: 'c', writes: []kv.KV{{Key: 0, Value: 20}, {Key: 1, Value: 21}}},
+		{kind: 'r', key: 2},
+		{kind: 'c', writes: []kv.KV{{Key: 4, Value: 30}, {Key: 4, Value: 31}, {Key: 5, Value: 32}, {Key: 2, Value: kv.Marker}}},
+		{kind: 'i', key: 6, value: 40},
+		{kind: 'a', writes: []kv.KV{{Key: 6, Value: 41}, {Key: 7, Value: 42}}},
+		{kind: 'c', writes: []kv.KV{{Key: 0, Value: 50}, {Key: 1, Value: 51}, {Key: 2, Value: 52}, {Key: 3, Value: 53}, {Key: 4, Value: 54}, {Key: 5, Value: 55}, {Key: 6, Value: 56}, {Key: 7, Value: 57}}},
+	}
+}
+
+// TestCrashPointSweepTxnCommit crashes the store at every persist boundary
+// of a workload of transactional commits and verifies recovery is
+// all-or-nothing per commit: the recovered state is always an exact
+// program-order prefix of the write log, and that prefix NEVER splits a
+// transaction's write set — the property the ordered final fence of the
+// txnAtomic batched append exists to provide.
+func TestCrashPointSweepTxnCommit(t *testing.T) {
+	ops := txnCrashWorkload()
+
+	type write struct {
+		key uint64
+		ev  kv.Event
+	}
+	type span struct{ start, end int } // [start,end) indexes into the write log
+	run := func(s *Store, log *[]write, spans *[]span) {
+		for _, op := range ops {
+			switch op.kind {
+			case 'c', 'a':
+				if log != nil {
+					*spans = append(*spans, span{len(*log), len(*log) + len(op.writes)})
+					for _, w := range op.writes {
+						*log = append(*log, write{w.Key, kv.Event{Version: s.CurrentVersion(), Value: w.Value}})
+					}
+				}
+				if op.kind == 'c' {
+					s.CommitWrites(kv.NoConflictCheck, op.writes)
+				} else {
+					s.ApplyWrites(op.writes)
+				}
+			case 'i':
+				if log != nil {
+					*log = append(*log, write{op.key, kv.Event{Version: s.CurrentVersion(), Value: op.value}})
+				}
+				s.Insert(op.key, op.value)
+			case 'r':
+				if log != nil {
+					*log = append(*log, write{op.key, kv.Event{Version: s.CurrentVersion(), Value: kv.Marker}})
+				}
+				s.Remove(op.key)
+			case 't':
+				s.Tag()
+			}
+		}
+	}
+
+	// Dry run: count persists and build the expected write log.
+	dryArena, err := pmem.New(8<<20, pmem.WithShadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := CreateInArena(dryArena, Options{BlockCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dryArena.LimitPersists(-1) // reset the counter
+	var writes []write
+	var txnSpans []span
+	run(dry, &writes, &txnSpans)
+	total := dryArena.PersistCount()
+	dryArena.Close()
+	if total < 10 {
+		t.Fatalf("suspiciously few persists: %d", total)
+	}
+
+	for k := int64(0); k <= total+1; k++ {
+		arena, err := pmem.New(8<<20, pmem.WithShadow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := CreateInArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena.LimitPersists(k)
+		run(s, nil, nil)
+		arena.Crash()
+		if err := arena.Recover(); err != nil {
+			t.Fatalf("crash point %d: recover: %v", k, err)
+		}
+		s2, err := OpenArena(arena, Options{BlockCapacity: 8})
+		if err != nil {
+			t.Fatalf("crash point %d: open: %v", k, err)
+		}
+		e := int(s2.RecoveryStats().Entries)
+		if e > len(writes) {
+			t.Fatalf("crash point %d: recovered %d entries, only %d written", k, e, len(writes))
+		}
+		// All-or-nothing: the recovered prefix must not end inside any
+		// transaction's write set.
+		for _, sp := range txnSpans {
+			if e > sp.start && e < sp.end {
+				t.Fatalf("crash point %d: recovery split a txn write set: %d entries inside [%d,%d)",
+					k, e, sp.start, sp.end)
+			}
+		}
+		wantHist := map[uint64][]kv.Event{}
+		for _, w := range writes[:e] {
+			wantHist[w.key] = append(wantHist[w.key], w.ev)
+		}
+		for key := uint64(0); key < 8; key++ {
+			got := s2.ExtractHistory(key)
+			want := wantHist[key]
+			if len(got) != len(want) {
+				t.Fatalf("crash point %d (e=%d): key %d history %v, want %v", k, e, key, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("crash point %d: key %d history[%d] = %+v, want %+v", k, key, i, got[i], want[i])
+				}
+			}
+		}
+		// The store stays writable — transactionally and by single op —
+		// after every recovery.
+		if _, err := s2.CommitWrites(kv.NoConflictCheck, []kv.KV{{Key: 99, Value: 99}, {Key: 98, Value: 98}}); err != nil {
+			t.Fatalf("crash point %d: post-recovery commit: %v", k, err)
+		}
+		if err := s2.Insert(97, 97); err != nil {
+			t.Fatalf("crash point %d: post-recovery insert: %v", k, err)
+		}
+		arena.Close()
+	}
+}
+
+// TestTxnCommitGroupCommitStore pins that the transactional paths compose
+// with the group-commit pipeline: CommitWrites bypasses the dispatcher
+// (whose coalescing would interleave foreign commit numbers into the
+// batch's contiguous range) by draining it through the exclusive lock, so
+// commits and uncoordinated single-op writers can run concurrently.
+func TestTxnCommitGroupCommitStore(t *testing.T) {
+	s := newVGCStore(t, Options{GroupCommit: true})
+	const workers = 4
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w+1) << 32
+			for i := uint64(0); i < rounds; i++ {
+				if err := s.Insert(base|i, i); err != nil {
+					t.Errorf("worker %d insert: %v", w, err)
+					return
+				}
+				if _, err := s.CommitWrites(kv.NoConflictCheck,
+					[]kv.KV{{Key: base | 1<<16 | i, Value: i}, {Key: base | 1<<17 | i, Value: i}}); err != nil {
+					t.Errorf("worker %d commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	v := s.Tag()
+	if got, want := len(s.ExtractSnapshot(v)), workers*rounds*3; got != want {
+		t.Fatalf("snapshot has %d pairs, want %d", got, want)
+	}
+}
+
+// TestPinRefcountRace is the AcquireTag/ReleaseTag refcount audit under the
+// race detector: concurrent pin/release cycles (with deliberate double
+// releases) racing a writer and a GC loop must never underflow a pin,
+// never unpin a snapshot another holder still reads, and always answer the
+// duplicate release with ErrNotPinned.
+func TestPinRefcountRace(t *testing.T) {
+	s := newVGCStore(t, Options{})
+	const keys = 16
+	for k := uint64(0); k < keys; k++ {
+		if err := s.Insert(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := uint64(2); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Insert(i%keys, i); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	var gcs sync.WaitGroup
+	gcs.Add(1)
+	go func() {
+		defer gcs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.GC(); err != nil {
+				t.Errorf("gc: %v", err)
+				return
+			}
+		}
+	}()
+	const workers = 4
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tag := s.AcquireTag()
+				// The pinned snapshot must stay stable across GC passes for
+				// as long as the pin is held: two reads at the tag agree.
+				k := uint64((w + i) % keys)
+				v1, ok1 := s.Find(k, tag)
+				v2, ok2 := s.Find(k, tag)
+				if v1 != v2 || ok1 != ok2 {
+					t.Errorf("worker %d: pinned read unstable: (%d,%v) then (%d,%v)", w, v1, ok1, v2, ok2)
+					return
+				}
+				if err := s.ReleaseTag(tag); err != nil {
+					t.Errorf("worker %d: first release: %v", w, err)
+					return
+				}
+				// AcquireTag seals a fresh version per call, so this tag is
+				// exclusively ours: the double release must be rejected, not
+				// underflow into someone else's pin.
+				if err := s.ReleaseTag(tag); !errors.Is(err, ErrNotPinned) {
+					t.Errorf("worker %d: double release = %v, want ErrNotPinned", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
+	gcs.Wait()
+	if n := s.PinCount(); n != 0 {
+		t.Fatalf("leaked pins: %d", n)
+	}
+}
+
+// TestHotCacheTxnDifferential is the satellite regression for cache
+// invalidation on the transactional write paths: an identical workload of
+// commits, applies, and current reads through a cache-enabled and a
+// cache-disabled store must answer identically — a write path that skips
+// hotInvalidate leaves the enabled store serving stale hits and fails the
+// differential.
+func TestHotCacheTxnDifferential(t *testing.T) {
+	on := newVGCStore(t, Options{HotCacheSize: 32}) // tiny: heavy bucket sharing
+	off := newVGCStore(t, Options{DisableHotCache: true})
+	const keys = 12
+	step := func(i int, name string, fn func(s *Store) (uint64, error)) {
+		t.Helper()
+		tsOn, errOn := fn(on)
+		tsOff, errOff := fn(off)
+		if (errOn == nil) != (errOff == nil) || tsOn != tsOff {
+			t.Fatalf("op %d (%s) diverged: (%d,%v) vs (%d,%v)", i, name, tsOn, errOn, tsOff, errOff)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		k := uint64(i % keys)
+		switch i % 4 {
+		case 0:
+			step(i, "insert", func(s *Store) (uint64, error) { return 0, s.Insert(k, uint64(i)) })
+		case 1:
+			step(i, "commit", func(s *Store) (uint64, error) {
+				return s.CommitWrites(kv.NoConflictCheck,
+					[]kv.KV{{Key: k, Value: uint64(i + 1)}, {Key: (k + 1) % keys, Value: uint64(i + 2)}})
+			})
+		case 2:
+			step(i, "apply", func(s *Store) (uint64, error) {
+				return 0, s.ApplyWrites([]kv.KV{{Key: k, Value: uint64(i + 3)}, {Key: (k + 5) % keys, Value: kv.Marker}})
+			})
+		}
+		// Every key read at the current version after every op: a stale
+		// cached tail diverges immediately.
+		cur := on.CurrentVersion()
+		if c2 := off.CurrentVersion(); c2 != cur {
+			t.Fatalf("op %d: current versions diverged: %d vs %d", i, cur, c2)
+		}
+		for k := uint64(0); k < keys; k++ {
+			gv, gok := on.Find(k, cur)
+			wv, wok := off.Find(k, cur)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d: Find(%d, %d) diverged: (%d,%v) vs (%d,%v)", i, k, cur, gv, gok, wv, wok)
+			}
+		}
+	}
+}

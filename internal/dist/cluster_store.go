@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,6 +36,17 @@ const (
 	// kv.InsertBatch, so a rank backed by a PSkipList gets the coalesced
 	// persist fences of the local bulk path.
 	wInsertBatch
+	// wTxnPrepare asks the owner to run the first-committer-wins conflict
+	// check for the write-set keys it owns: (wTxnPrepare, readTS, k1, k2,
+	// ...). A conflict comes back as a parseable ack string (see
+	// txnConflictReply); the empty string means all keys are clean. Prepare
+	// applies nothing, so any failure is a clean cluster-wide abort.
+	wTxnPrepare
+	// wTxnApply lands the owner's share of a committing write set through
+	// kv.ApplyWrites: (wTxnApply, k1, v1, k2, v2, ...). Marker values record
+	// removals. The owner does NOT seal a version — the coordinator seals
+	// collectively via TagAll afterwards so the ranks stay in lockstep.
+	wTxnApply
 )
 
 // additional command opcodes for store-wide operations.
@@ -136,6 +148,31 @@ func (s *Service) ServeWrites() error {
 				pairs[i] = kv.KV{Key: w[2+2*i], Value: w[3+2*i]}
 			}
 			if err := kv.InsertBatch(s.store, pairs); err != nil {
+				reply = err.Error()
+			}
+		case wTxnPrepare:
+			if len(w) < 3 {
+				reply = "dist: short txn prepare frame"
+				break
+			}
+			if err := kv.CheckConflicts(s.store, w[2], w[3:]); err != nil {
+				var ce *kv.ConflictError
+				if errors.As(err, &ce) {
+					reply = txnConflictReply(ce)
+				} else {
+					reply = err.Error()
+				}
+			}
+		case wTxnApply:
+			if len(w)%2 != 0 {
+				reply = "dist: ragged txn apply frame"
+				break
+			}
+			writes := make([]kv.KV, (len(w)-2)/2)
+			for i := range writes {
+				writes[i] = kv.KV{Key: w[2+2*i], Value: w[3+2*i]}
+			}
+			if err := kv.ApplyWrites(s.store, writes); err != nil {
 				reply = err.Error()
 			}
 		case wStop:

@@ -10,6 +10,7 @@ import (
 type svcMetrics struct {
 	collTimeouts obs.Counter // per-child receive deadlines expired in collectives
 	partials     obs.Counter // answers returned with partitions missing
+	txnAborts    obs.Counter // distributed commits aborted by failure (conflicts excluded)
 }
 
 // partial builds a PartialResultError and counts it, so every degraded
@@ -26,5 +27,6 @@ func (s *Service) ObsSnapshot() obs.Snapshot {
 	var o obs.Snapshot
 	o.SetCounter("dist.collective.timeouts", s.met.collTimeouts.Load())
 	o.SetCounter("dist.partial_results", s.met.partials.Load())
+	o.SetCounter("dist.txn.aborts", s.met.txnAborts.Load())
 	return o.Merge(s.health.ObsSnapshot())
 }

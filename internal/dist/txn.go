@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"fmt"
+
+	"mvkv/internal/cluster"
+	"mvkv/internal/kv"
+)
+
+// Distributed transaction commit (first cut). The coordinator (rank 0)
+// partitions the write set by owner and runs a two-phase protocol over the
+// routed-write channel:
+//
+//  1. prepare — every owning rank checks its share of the write-set keys
+//     against readTS (kv.CheckConflicts). Nothing is applied, so a conflict,
+//     a down rank, or a lost ack here is a clean abort: the cluster is
+//     untouched.
+//  2. apply — every owning rank lands its share through kv.ApplyWrites
+//     (atomic per rank on a PSkipList, no version seal), then the
+//     coordinator seals collectively with TagAll so the ranks stay in
+//     version lockstep; the sealed version is the commit timestamp.
+//
+// The window between prepare and apply is covered by ClusterStore's
+// initiator serialization (all mutations flow through rank 0 under c.mu),
+// so no competing write can invalidate a passed conflict check. What the
+// first cut does NOT give is cross-rank crash atomicity: a rank that dies
+// mid-apply leaves the other ranks' shares committed. That outcome is
+// reported as a typed *TxnAbortError naming the stage and the per-rank
+// outcome, mirroring PartialBatchError (see DESIGN.md §14 for the
+// deviation from the paper-adjacent Percolator protocol).
+
+// TxnAbortError reports a distributed commit that did not complete cleanly:
+// which phase broke, which ranks definitely failed, and which have unknown
+// outcome (ack lost — the rank may or may not have applied its share).
+// Stage "prepare" means nothing was applied anywhere; stage "apply" means
+// ranks outside the two maps committed their shares. Match with errors.As.
+type TxnAbortError struct {
+	Stage   string        // "prepare" or "apply"
+	Failed  map[int]error // rank -> definite failure
+	Unknown map[int]error // rank -> unknown outcome
+}
+
+func (e *TxnAbortError) Error() string {
+	return fmt.Sprintf("dist: txn aborted in %s: %d ranks failed, %d unknown",
+		e.Stage, len(e.Failed), len(e.Unknown))
+}
+
+// txnConflictReply flattens a prepare-phase conflict into the routed-write
+// ack string; parseTxnConflict reconstructs it on the coordinator so the
+// caller gets the same typed *kv.ConflictError a local store would return.
+func txnConflictReply(ce *kv.ConflictError) string {
+	return fmt.Sprintf("txnconflict key=%d latest=%d readts=%d", ce.Key, ce.Latest, ce.ReadTS)
+}
+
+func parseTxnConflict(reply string) (*kv.ConflictError, bool) {
+	var ce kv.ConflictError
+	if _, err := fmt.Sscanf(reply, "txnconflict key=%d latest=%d readts=%d",
+		&ce.Key, &ce.Latest, &ce.ReadTS); err != nil {
+		return nil, false
+	}
+	return &ce, true
+}
+
+// routeTxnCommit runs the two-phase distributed commit described above.
+// Caller must serialize (ClusterStore does).
+func (s *Service) routeTxnCommit(readTS uint64, writes []kv.KV) (uint64, error) {
+	size := s.comm.Size()
+	self := s.comm.Rank()
+	perRank := make([][]kv.KV, size)
+	for _, w := range writes {
+		o := Owner(w.Key, size)
+		perRank[o] = append(perRank[o], w)
+	}
+	s.processRejoins()
+
+	// Phase 1: prepare. Sequential per owner — write sets are small and a
+	// conflict on any rank aborts the whole commit anyway.
+	if readTS != kv.NoConflictCheck {
+		for r := 0; r < size; r++ {
+			sub := perRank[r]
+			if len(sub) == 0 {
+				continue
+			}
+			if r == self {
+				keys := make([]uint64, len(sub))
+				for i, w := range sub {
+					keys[i] = w.Key
+				}
+				if err := kv.CheckConflicts(s.store, readTS, keys); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			if s.health.FailFast(r) {
+				s.met.txnAborts.Inc()
+				return 0, &TxnAbortError{Stage: "prepare",
+					Failed: map[int]error{r: cluster.ErrRankDown{Rank: r}}}
+			}
+			vals := make([]uint64, 0, 3+len(sub))
+			wseq := s.writeSeq
+			s.writeSeq++
+			vals = append(vals, wseq, wTxnPrepare, readTS)
+			for _, w := range sub {
+				vals = append(vals, w.Key)
+			}
+			unknown, err := s.sendWrite(r, wseq, cluster.PutUint64s(vals...))
+			if err != nil {
+				if ce, ok := parseTxnConflict(err.Error()); ok {
+					return 0, ce
+				}
+				s.met.txnAborts.Inc()
+				ta := &TxnAbortError{Stage: "prepare", Failed: map[int]error{}, Unknown: map[int]error{}}
+				if unknown {
+					// "Unknown" outcome of a check that applies nothing
+					// is still a clean abort; keep the classification for
+					// the caller's diagnostics.
+					ta.Unknown[r] = err
+				} else {
+					ta.Failed[r] = err
+				}
+				return 0, ta
+			}
+		}
+	}
+
+	// Phase 2: apply. A lost ack is retried once with its ORIGINAL sequence
+	// number — an owner that already applied recognizes the duplicate in its
+	// reply cache and re-acknowledges without re-applying (see ServeWrites).
+	abort := &TxnAbortError{Stage: "apply", Failed: make(map[int]error), Unknown: make(map[int]error)}
+	for r := 0; r < size; r++ {
+		sub := perRank[r]
+		if len(sub) == 0 {
+			continue
+		}
+		if r == self {
+			if err := kv.ApplyWrites(s.store, sub); err != nil {
+				abort.Failed[self] = err
+			}
+			continue
+		}
+		if s.health.FailFast(r) {
+			abort.Failed[r] = cluster.ErrRankDown{Rank: r}
+			continue
+		}
+		vals := make([]uint64, 0, 2+2*len(sub))
+		wseq := s.writeSeq
+		s.writeSeq++
+		vals = append(vals, wseq, wTxnApply)
+		for _, w := range sub {
+			vals = append(vals, w.Key, w.Value)
+		}
+		frame := cluster.PutUint64s(vals...)
+		unknown, err := s.sendWrite(r, wseq, frame)
+		if err != nil && unknown {
+			unknown, err = s.sendWrite(r, wseq, frame)
+		}
+		if err != nil {
+			if unknown {
+				abort.Unknown[r] = err
+			} else {
+				abort.Failed[r] = err
+			}
+		}
+	}
+	if len(abort.Failed) > 0 || len(abort.Unknown) > 0 {
+		s.met.txnAborts.Inc()
+		s.met.partials.Inc()
+		return 0, abort
+	}
+	// Collective seal: the ranks stay in version lockstep and the sealed
+	// version numbers the committed snapshot — it is the commit timestamp.
+	return s.TagAll()
+}
+
+// CommitWrites implements kv.TxnCommitter across the cluster (see the
+// two-phase protocol at the top of this file). On conflict the store is
+// untouched and the error matches kv.ErrConflict; a partial failure during
+// apply surfaces as a *TxnAbortError. readTS == kv.NoConflictCheck skips
+// the prepare phase.
+func (c *ClusterStore) CommitWrites(readTS uint64, writes []kv.KV) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.svc.routeTxnCommit(readTS, writes)
+}
+
+var _ kv.TxnCommitter = (*ClusterStore)(nil)

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvkv/internal/kv"
+)
+
+// TestClusterTxnCommitAndConflict drives the two-phase routed commit on a
+// healthy 4-rank cluster: a cross-rank write set lands atomically behind
+// one TagAll version, a stale read timestamp aborts with the same typed
+// *kv.ConflictError a local store raises (the conflict survives the owner's
+// ack-string round trip), and the aborted write set changes no rank.
+func TestClusterTxnCommitAndConflict(t *testing.T) {
+	cs := launchCluster(t, 4)
+	defer cs.Close()
+
+	// Keys 0..7 spread across every owner rank.
+	txn := kv.Begin(cs)
+	for k := uint64(0); k < 8; k++ {
+		if err := txn.Set(k, 100+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 8; k++ {
+		if v, ok := cs.Find(k, ts); !ok || v != 100+k {
+			t.Fatalf("Find(%d, %d) = %d,%v after cross-rank commit", k, ts, v, ok)
+		}
+	}
+	// Every key carries the same commit version: the coordinator seals
+	// once via TagAll, owners never seal locally.
+	for k := uint64(0); k < 8; k++ {
+		evs := cs.ExtractHistory(k)
+		if len(evs) != 1 || evs[0].Version != ts {
+			t.Fatalf("key %d history %v; want one entry at version %d", k, evs, ts)
+		}
+	}
+
+	stale := kv.Begin(cs)
+	if err := cs.Insert(3, 999); err != nil { // foreign write after the snapshot
+		t.Fatal(err)
+	}
+	if err := stale.Set(3, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Set(4, 400); err != nil { // disjoint key, different owner
+		t.Fatal(err)
+	}
+	_, err = stale.Commit()
+	var ce *kv.ConflictError
+	if !errors.As(err, &ce) || !errors.Is(err, kv.ErrConflict) {
+		t.Fatalf("stale cluster commit error = %v, want a ConflictError", err)
+	}
+	if ce.Key != 3 || ce.Latest <= ce.ReadTS {
+		t.Fatalf("conflict fields mangled by the wire round trip: %+v", ce)
+	}
+	// All-or-nothing across ranks: neither the conflicting nor the
+	// disjoint write landed.
+	if v, ok := cs.Find(3, 1<<62); !ok || v != 999 {
+		t.Fatalf("Find(3) = %d,%v — aborted txn overwrote the foreign write", v, ok)
+	}
+	if evs := cs.ExtractHistory(4); len(evs) != 1 {
+		t.Fatalf("key 4 history %v — aborted txn leaked its disjoint write", evs)
+	}
+
+	// Conflicts are aborts of the optimistic protocol, not cluster faults:
+	// the failure-abort counter must not move.
+	svc := cs.(*clusterHandle).Service()
+	if got := svc.ObsSnapshot().Counter("dist.txn.aborts"); got != 0 {
+		t.Fatalf("dist.txn.aborts = %d after a pure conflict, want 0", got)
+	}
+}
+
+// TestClusterTxnApplyRetriesLostAck loses rank 1's apply-phase ack once: the
+// coordinator retries with the original write sequence number, the owner's
+// reply cache re-acks without re-applying, and the commit succeeds with
+// every key applied exactly once. NoConflictCheck skips the prepare phase so
+// the single dropped ack is guaranteed to hit the apply frame.
+func TestClusterTxnApplyRetriesLostAck(t *testing.T) {
+	const size = 4
+	dropped := &atomic.Int64{}
+	cs := launchAckDropCluster(t, size, 1, dropped)
+	defer cs.Close()
+
+	writes := batchAcross(16, size)
+	ts, err := kv.CommitWrites(cs, kv.NoConflictCheck, writes)
+	if err != nil {
+		t.Fatalf("commit with one lost apply ack should succeed via retry, got %v", err)
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("no ack was dropped; the test proved nothing")
+	}
+	for _, w := range writes {
+		evs := cs.ExtractHistory(w.Key)
+		if len(evs) != 1 || evs[0].Version != ts || evs[0].Value != w.Value {
+			t.Fatalf("key %d: history %v; want exactly one entry %d@%d", w.Key, evs, w.Value, ts)
+		}
+	}
+}
+
+// TestClusterTxnPrepareFailureAborts loses every ack rank 1 owes the
+// coordinator: the prepare phase cannot hear back, so the commit must abort
+// with a typed TxnAbortError that classifies rank 1 as unknown — and since
+// prepare applies nothing, the abort is clean: no rank holds any of the
+// write set. The failure-abort counter moves; a later commit (drops spent)
+// succeeds.
+func TestClusterTxnPrepareFailureAborts(t *testing.T) {
+	const size = 4
+	dropped := &atomic.Int64{}
+	cs := launchAckDropCluster(t, size, 1, dropped)
+	defer cs.Close()
+
+	writes := batchAcross(16, size)
+	txn := kv.Begin(cs)
+	for _, w := range writes {
+		if err := txn.Set(w.Key, w.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := txn.Commit()
+	var ab *TxnAbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("commit with prepare acks lost: got %v, want *TxnAbortError", err)
+	}
+	if ab.Stage != "prepare" {
+		t.Fatalf("abort stage %q, want prepare", ab.Stage)
+	}
+	if _, ok := ab.Unknown[1]; !ok {
+		t.Fatalf("rank 1's prepare outcome should be unknown, got %+v", ab)
+	}
+	if errors.Is(err, kv.ErrConflict) {
+		t.Fatal("a cluster fault must not masquerade as a conflict")
+	}
+
+	// Clean abort: nothing was applied anywhere. Give the failure detector
+	// a beat past ProbeBackoff so the verifying queries reprobe rank 1.
+	time.Sleep(5 * time.Millisecond)
+	for _, w := range writes {
+		if evs := cs.ExtractHistory(w.Key); len(evs) != 0 {
+			t.Fatalf("key %d: history %v after prepare-stage abort, want empty", w.Key, evs)
+		}
+	}
+	svc := cs.(*clusterHandle).Service()
+	if got := svc.ObsSnapshot().Counter("dist.txn.aborts"); got == 0 {
+		t.Fatal("dist.txn.aborts did not move on a failure abort")
+	}
+
+	// The drop budget is exhausted: the retried transaction commits.
+	retry := kv.Begin(cs)
+	for _, w := range writes {
+		if err := retry.Set(w.Key, w.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := retry.Commit(); err != nil {
+		t.Fatalf("retry after exhausted drops: %v", err)
+	}
+}

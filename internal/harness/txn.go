@@ -1,0 +1,256 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"mvkv/internal/kv"
+)
+
+// TxnSpec configures RunTxnSweep (the txn figure).
+type TxnSpec struct {
+	// N is the total transaction count per measured point.
+	N int
+	// Threads sweeps the number of concurrent committers.
+	Threads []int
+	// WritesPerTxn is the write-set size of every transaction (default 4).
+	WritesPerTxn int
+	// HotKeys is the shared keyspace of the contended mode (default 16);
+	// every contended transaction also writes key 0, so any two
+	// transactions whose windows overlap in time conflict.
+	HotKeys int
+	// Reps repeats each point on a fresh store; fastest wins.
+	Reps int
+	// PersistLatency is the emulated per-cache-line persist cost.
+	PersistLatency time.Duration
+}
+
+// TxnModes are the two workloads the figure compares: write sets drawn from
+// per-worker private key ranges (no transaction can ever conflict — the
+// abort count here must be zero, which verify.sh gate 13 asserts) and write
+// sets over a small shared hot set (first-committer-wins aborts the loser
+// of every temporal overlap).
+var TxnModes = []string{"txn-disjoint", "txn-contended"}
+
+// TxnPoint is one measured point of the txn figure: Result carries the
+// committed-transaction throughput (Ops = commits so Throughput() is
+// commits/sec); Attempts and Aborts record the optimistic-concurrency cost.
+type TxnPoint struct {
+	Result
+	Attempts int
+	Aborts   int
+}
+
+// AbortRatio is aborted attempts over all attempts.
+func (p TxnPoint) AbortRatio() float64 {
+	if p.Attempts == 0 {
+		return 0
+	}
+	return float64(p.Aborts) / float64(p.Attempts)
+}
+
+// RunTxnSweep measures optimistic multi-key transactions on a PSkipList
+// store: for each thread count T, T workers each run N/T transactions of
+// WritesPerTxn buffered writes through kv.Begin/Commit. Aborted attempts
+// (kv.ErrConflict) are counted, not retried, so the abort ratio is the raw
+// first-committer-wins loss rate at that contention level. The contended
+// mode yields between snapshot and commit to force the overlap a real
+// read-modify-write window has; without it a single-core host can serialize
+// entire transactions and underreport conflicts.
+func RunTxnSweep(spec TxnSpec) ([]TxnPoint, error) {
+	reps := spec.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	writes := spec.WritesPerTxn
+	if writes < 1 {
+		writes = 4
+	}
+	hot := spec.HotKeys
+	if hot < 2 {
+		hot = 16
+	}
+
+	point := func(threads int, mode string) (TxnPoint, error) {
+		var best TxnPoint
+		for rep := 0; rep < reps; rep++ {
+			store, err := Build(StoreSpec{
+				Approach: PSkipList, N: spec.N * writes,
+				PersistLatency: spec.PersistLatency,
+			})
+			if err != nil {
+				return best, err
+			}
+			perWorker := spec.N / threads
+			if perWorker < 1 {
+				perWorker = 1
+			}
+			var (
+				wg      sync.WaitGroup
+				mu      sync.Mutex
+				commits int
+				aborts  int
+				werr    error
+			)
+			startGate := make(chan struct{})
+			begin := time.Now()
+			for w := 0; w < threads; w++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					<-startGate
+					myCommits, myAborts := 0, 0
+					for i := 0; i < perWorker; i++ {
+						txn := kv.Begin(store)
+						for j := 0; j < writes; j++ {
+							var key uint64
+							if mode == "txn-disjoint" {
+								// Worker-private key range: no overlap possible.
+								key = uint64(worker)<<32 | uint64(i*writes+j)
+							} else if j == 0 {
+								key = 0 // shared hot key: overlap guarantees conflict
+							} else {
+								key = 1 + uint64((worker*perWorker+i*writes+j)%(hot-1))
+							}
+							if err := txn.Set(key, uint64(i)); err != nil {
+								mu.Lock()
+								if werr == nil {
+									werr = err
+								}
+								mu.Unlock()
+								return
+							}
+						}
+						if mode == "txn-contended" {
+							runtime.Gosched() // model the read-modify-write window
+						}
+						switch _, err := txn.Commit(); {
+						case err == nil:
+							myCommits++
+						case errors.Is(err, kv.ErrConflict):
+							myAborts++
+						default:
+							mu.Lock()
+							if werr == nil {
+								werr = err
+							}
+							mu.Unlock()
+							return
+						}
+					}
+					mu.Lock()
+					commits += myCommits
+					aborts += myAborts
+					mu.Unlock()
+				}(w)
+			}
+			close(startGate)
+			wg.Wait()
+			elapsed := time.Since(begin)
+			if cerr := store.Close(); werr == nil && cerr != nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return best, fmt.Errorf("threads=%d mode=%s: %w", threads, mode, werr)
+			}
+			p := TxnPoint{
+				Result: Result{Figure: mode, Approach: "PSkipList",
+					Threads: threads, N: spec.N, Ops: commits, Elapsed: elapsed},
+				Attempts: commits + aborts,
+				Aborts:   aborts,
+			}
+			if rep == 0 || p.Elapsed < best.Elapsed {
+				best = p
+			}
+		}
+		return best, nil
+	}
+
+	var points []TxnPoint
+	for _, threads := range spec.Threads {
+		for _, mode := range TxnModes {
+			p, err := point(threads, mode)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// TxnResults projects the sweep's points onto the table/CSV row type.
+func TxnResults(points []TxnPoint) []Result {
+	rows := make([]Result, len(points))
+	for i, p := range points {
+		rows[i] = p.Result
+	}
+	return rows
+}
+
+// TxnJSON is the machine-readable form of the txn figure (BENCH_txn.json).
+type TxnJSON struct {
+	Figure       string       `json:"figure"`
+	N            int          `json:"n"`
+	WritesPerTxn int          `json:"writes_per_txn"`
+	HotKeys      int          `json:"hot_keys"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	NumCPU       int          `json:"num_cpu"`
+	GoVersion    string       `json:"go_version"`
+	Note         string       `json:"note,omitempty"`
+	Rows         []TxnJSONRow `json:"rows"`
+}
+
+// TxnJSONRow is one measured point of the txn figure.
+type TxnJSONRow struct {
+	Mode          string  `json:"mode"`
+	Threads       int     `json:"threads"`
+	Attempts      int     `json:"attempts"`
+	Commits       int     `json:"commits"`
+	Aborts        int     `json:"aborts"`
+	AbortRatio    float64 `json:"abort_ratio"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// WriteTxnJSON renders the sweep as BENCH_txn.json.
+func WriteTxnJSON(path string, spec TxnSpec, points []TxnPoint) error {
+	writes := spec.WritesPerTxn
+	if writes < 1 {
+		writes = 4
+	}
+	hot := spec.HotKeys
+	if hot < 2 {
+		hot = 16
+	}
+	out := TxnJSON{
+		Figure:       "txn",
+		N:            spec.N,
+		WritesPerTxn: writes,
+		HotKeys:      hot,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		GoVersion:    runtime.Version(),
+	}
+	if out.GoMaxProcs == 1 {
+		out.Note = "single-core host: the contended abort ratio depends on goroutine interleaving, not true parallel commits; see EXPERIMENTS.md"
+	}
+	for _, p := range points {
+		out.Rows = append(out.Rows, TxnJSONRow{
+			Mode: p.Figure, Threads: p.Threads,
+			Attempts: p.Attempts, Commits: p.Ops, Aborts: p.Aborts,
+			AbortRatio: p.AbortRatio(), ElapsedNs: p.Elapsed.Nanoseconds(),
+			CommitsPerSec: p.Throughput(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// TestRunTxnSweep smoke-runs the txn figure at tiny scale and pins its two
+// invariants: per-worker-disjoint write sets never abort, and the shared
+// hot-key workload aborts some nonzero fraction once commits overlap.
+func TestRunTxnSweep(t *testing.T) {
+	spec := TxnSpec{N: 800, Threads: []int{1, 4}, HotKeys: 8, Reps: 1}
+	points, err := RunTxnSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(spec.Threads)*len(TxnModes) {
+		t.Fatalf("got %d points, want %d", len(points), len(spec.Threads)*len(TxnModes))
+	}
+	var contendedAborts int
+	for _, p := range points {
+		if p.Attempts != p.Ops+p.Aborts {
+			t.Fatalf("%s T=%d: attempts %d != commits %d + aborts %d",
+				p.Figure, p.Threads, p.Attempts, p.Ops, p.Aborts)
+		}
+		switch p.Figure {
+		case "txn-disjoint":
+			if p.Aborts != 0 {
+				t.Fatalf("disjoint write sets aborted %d times at T=%d", p.Aborts, p.Threads)
+			}
+			if p.Ops != spec.N {
+				t.Fatalf("disjoint commits %d, want %d", p.Ops, spec.N)
+			}
+		case "txn-contended":
+			if p.Threads > 1 {
+				contendedAborts += p.Aborts
+			}
+		}
+	}
+	if contendedAborts == 0 {
+		t.Fatal("contended workload with 4 committers produced zero aborts")
+	}
+}

@@ -1,0 +1,221 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConflict is the sentinel all transaction conflicts match via
+// errors.Is; the concrete error carries the losing key (ConflictError).
+var ErrConflict = errors.New("kv: transaction conflict")
+
+// ErrTxnDone is returned by Txn methods after Commit or Abort.
+var ErrTxnDone = errors.New("kv: transaction already committed or aborted")
+
+// ConflictError reports a first-committer-wins abort: Key has a committed
+// version Latest newer than the transaction's ReadTS. It matches
+// ErrConflict under errors.Is.
+type ConflictError struct {
+	Key    uint64 // write-set key that lost the race
+	Latest uint64 // newest committed version observed for Key
+	ReadTS uint64 // the transaction's read timestamp
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("kv: transaction conflict on key %d (committed version %d > read ts %d)", e.Key, e.Latest, e.ReadTS)
+}
+
+// Is makes errors.Is(err, ErrConflict) true for every ConflictError.
+func (e *ConflictError) Is(target error) bool { return target == ErrConflict }
+
+// NoConflictCheck is the readTS value that makes CommitWrites skip the
+// conflict check and apply unconditionally (the distributed apply phase
+// uses it after conflicts were checked cluster-wide in the prepare phase).
+const NoConflictCheck = ^uint64(0)
+
+// TxnCommitter is the optional transactional-commit capability: atomically
+// apply a multi-key write set after a first-committer-wins conflict check
+// against readTS, then seal the resulting version and return it as the
+// commit timestamp. Any write-set key with a committed version newer than
+// readTS aborts the whole commit with a ConflictError and applies nothing.
+// readTS == NoConflictCheck skips the check. A value of Marker in the
+// write set records a removal.
+type TxnCommitter interface {
+	CommitWrites(readTS uint64, writes []KV) (uint64, error)
+}
+
+// WriteApplier is the optional atomic multi-key apply capability:
+// ApplyWrites lands every pair (Marker values record removals) in the
+// current version with all-or-nothing crash atomicity, without sealing a
+// version or checking conflicts. The distributed commit uses it on each
+// owner so the cluster seals collectively afterwards.
+type WriteApplier interface {
+	ApplyWrites(writes []KV) error
+}
+
+// CommitWrites commits a write set against s via its TxnCommitter
+// capability. Stores without one get a best-effort fallback: conflicts are
+// checked via ExtractHistory, the writes applied one by one, and the
+// version sealed — correct for the single-client tests the baselines run
+// under, but without the atomic-under-crash and atomic-under-concurrency
+// guarantees the native path provides (documented deviation; the paper's
+// baselines have no transactional machinery to inherit).
+func CommitWrites(s Store, readTS uint64, writes []KV) (uint64, error) {
+	if t, ok := s.(TxnCommitter); ok {
+		return t.CommitWrites(readTS, writes)
+	}
+	if readTS != NoConflictCheck {
+		keys := make([]uint64, len(writes))
+		for i, w := range writes {
+			keys[i] = w.Key
+		}
+		if err := CheckConflicts(s, readTS, keys); err != nil {
+			return 0, err
+		}
+	}
+	if err := ApplyWrites(s, writes); err != nil {
+		return 0, err
+	}
+	return s.Tag(), nil
+}
+
+// ApplyWrites applies a write set to s via its WriteApplier capability,
+// falling back to the bulk insert path (no markers) or a single-op loop.
+func ApplyWrites(s Store, writes []KV) error {
+	if a, ok := s.(WriteApplier); ok {
+		return a.ApplyWrites(writes)
+	}
+	hasMarker := false
+	for _, w := range writes {
+		if w.Value == Marker {
+			hasMarker = true
+			break
+		}
+	}
+	if !hasMarker {
+		return InsertBatch(s, writes)
+	}
+	for _, w := range writes {
+		var err error
+		if w.Value == Marker {
+			err = s.Remove(w.Key)
+		} else {
+			err = s.Insert(w.Key, w.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConflicts reports the first write-set key whose newest committed
+// version exceeds readTS, as a ConflictError; nil means every key's latest
+// committed write is visible at readTS. The distributed prepare phase runs
+// it on each owning rank.
+func CheckConflicts(s Store, readTS uint64, keys []uint64) error {
+	for _, k := range keys {
+		ev := s.ExtractHistory(k)
+		if len(ev) == 0 {
+			continue
+		}
+		if last := ev[len(ev)-1]; last.Version > readTS {
+			return &ConflictError{Key: k, Latest: last.Version, ReadTS: readTS}
+		}
+	}
+	return nil
+}
+
+// Txn is an optimistic multi-key transaction over any Store. Begin pins a
+// read snapshot (AcquireTag, so a version GC cannot reclaim it while the
+// transaction is live); Get reads through that snapshot, overlaid by the
+// transaction's own buffered writes; Set and Delete buffer into the write
+// set; Commit runs the first-committer-wins protocol of CommitWrites and
+// releases the pin. A Txn is not safe for concurrent use by multiple
+// goroutines (each goroutine begins its own).
+type Txn struct {
+	s      Store
+	readTS uint64
+	writes map[uint64]uint64 // key -> value (Marker records a delete)
+	order  []uint64          // keys in first-write order
+	done   bool
+}
+
+// Begin starts a transaction reading at a freshly sealed, pinned snapshot.
+func Begin(s Store) *Txn {
+	return &Txn{s: s, readTS: AcquireTag(s), writes: make(map[uint64]uint64)}
+}
+
+// ReadTS returns the transaction's pinned read timestamp.
+func (t *Txn) ReadTS() uint64 { return t.readTS }
+
+// Get returns key's value as this transaction sees it: its own buffered
+// write if any (a buffered delete reads as absent), else the pinned
+// snapshot at the read timestamp.
+func (t *Txn) Get(key uint64) (uint64, bool) {
+	if v, ok := t.writes[key]; ok {
+		if v == Marker {
+			return 0, false
+		}
+		return v, true
+	}
+	return t.s.Find(key, t.readTS)
+}
+
+// Set buffers key=value into the write set (last write per key wins).
+func (t *Txn) Set(key, value uint64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if value == Marker {
+		return fmt.Errorf("kv: Set value is the reserved removal marker (use Delete)")
+	}
+	t.put(key, value)
+	return nil
+}
+
+// Delete buffers key's removal into the write set.
+func (t *Txn) Delete(key uint64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.put(key, Marker)
+	return nil
+}
+
+func (t *Txn) put(key, value uint64) {
+	if _, seen := t.writes[key]; !seen {
+		t.order = append(t.order, key)
+	}
+	t.writes[key] = value
+}
+
+// Commit applies the write set atomically after the first-committer-wins
+// conflict check and returns the commit timestamp. On conflict it returns
+// a ConflictError (matching ErrConflict) and the store is untouched. The
+// snapshot pin is released either way; the transaction is done either way.
+// An empty write set commits trivially at the read timestamp.
+func (t *Txn) Commit() (uint64, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	t.done = true
+	defer ReleaseTag(t.s, t.readTS)
+	if len(t.writes) == 0 {
+		return t.readTS, nil
+	}
+	ws := make([]KV, 0, len(t.order))
+	for _, k := range t.order {
+		ws = append(ws, KV{Key: k, Value: t.writes[k]})
+	}
+	return CommitWrites(t.s, t.readTS, ws)
+}
+
+// Abort discards the write set and releases the snapshot pin.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	return ReleaseTag(t.s, t.readTS)
+}

@@ -878,6 +878,31 @@ func (c *Client) GC() (kv.GCResult, error) {
 	}, nil
 }
 
+// CommitWrites implements kv.TxnCommitter over the wire (OpTxnCommit): a
+// first-committer-wins abort comes back as a reconstructed
+// *kv.ConflictError (matching kv.ErrConflict), exactly as a local store
+// would return it. A commit is a mutation, so it is not retried once fully
+// written — except on a pipelined session, where the tag-keyed mutation
+// dedupe makes an unknown-outcome retry exactly-once.
+func (c *Client) CommitWrites(readTS uint64, writes []kv.KV) (uint64, error) {
+	c.met.txnCommit.Inc()
+	payload := putU64s(make([]byte, 0, 16+16*len(writes)), readTS, uint64(len(writes)))
+	for _, w := range writes {
+		payload = putU64s(payload, w.Key, w.Value)
+	}
+	resp, err := c.call(OpTxnCommit, payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := wantWords(resp, 4); err != nil {
+		return 0, err
+	}
+	if u64at(resp, 0) == 0 {
+		return 0, &kv.ConflictError{Key: u64at(resp, 1), Latest: u64at(resp, 2), ReadTS: u64at(resp, 3)}
+	}
+	return u64at(resp, 1), nil
+}
+
 // Ping round-trips an empty frame, verifying the server is reachable and
 // responsive within the configured deadline.
 func (c *Client) Ping() error {
@@ -935,6 +960,7 @@ var _ kv.BulkStore = (*Client)(nil)
 var _ kv.SnapshotStreamer = (*Client)(nil)
 var _ kv.Pinner = (*Client)(nil)
 var _ kv.Collector = (*Client)(nil)
+var _ kv.TxnCommitter = (*Client)(nil)
 
 // IsTimeout reports whether err is a deadline expiry (a net.Error timeout),
 // as produced by Options.CallTimeout or the server-side deadlines.

@@ -27,6 +27,7 @@ var opNames = map[byte]string{
 	OpAcquireTag:     "acquire_tag",
 	OpReleaseTag:     "release_tag",
 	OpGC:             "gc",
+	OpTxnCommit:      "txn_commit",
 }
 
 func opName(op byte) string {
@@ -129,6 +130,7 @@ type clientMetrics struct {
 	acquireTag     obs.Counter
 	releaseTag     obs.Counter
 	gc             obs.Counter
+	txnCommit      obs.Counter
 
 	dials            obs.Counter // connection attempts
 	dialFails        obs.Counter // failed connection attempts
@@ -166,6 +168,7 @@ func (c *Client) ObsSnapshot() obs.Snapshot {
 	o.SetCounter("net.client.ops.acquire_tag", c.met.acquireTag.Load())
 	o.SetCounter("net.client.ops.release_tag", c.met.releaseTag.Load())
 	o.SetCounter("net.client.ops.gc", c.met.gc.Load())
+	o.SetCounter("net.client.ops.txn_commit", c.met.txnCommit.Load())
 	o.SetCounter("net.client.dials", c.met.dials.Load())
 	o.SetCounter("net.client.dial_failures", c.met.dialFails.Load())
 	o.SetCounter("net.client.retries", c.met.retries.Load())

@@ -860,6 +860,12 @@ func TestIdleConnTTLBeatsServerIdleTimeout(t *testing.T) {
 func FuzzDecodeTaggedFrame(f *testing.F) {
 	f.Add(byte(opInsert|tagBit), putU64s([]byte{1, 0, 0, 0}, 5, 11))
 	f.Add(byte(statusOK|tagBit), []byte{0xff, 0xff, 0xff, 0xff})
+	// Txn commit frames: well-formed two-pair write set, a truncated commit
+	// frame (count promises two pairs, body carries half of one), and a
+	// count word lying far above the payload.
+	f.Add(byte(OpTxnCommit|tagBit), putU64s([]byte{9, 0, 0, 0}, 0, 2, 1, 11, 2, 22))
+	f.Add(byte(OpTxnCommit|tagBit), putU64s([]byte{9, 0, 0, 0}, 0, 2, 1))
+	f.Add(byte(OpTxnCommit|tagBit), putU64s([]byte{9, 0, 0, 0}, 0, 1<<60))
 	f.Add(byte(statusOK), []byte{1, 2, 3, 4})   // untagged
 	f.Add(byte(opFind|tagBit), []byte{1, 2, 3}) // truncated tag
 	f.Add(byte(tagBit), []byte{})

@@ -106,6 +106,18 @@ const (
 	OpAcquireTag = 16 // () -> tag
 	OpReleaseTag = 17 // tag -> ()
 	OpGC         = 18 // () -> supported, watermark, keys, entries, segments, freed_bytes
+
+	// OpTxnCommit is the transactional commit (kv.TxnCommitter over the
+	// wire): the request carries the read timestamp, the write-set count,
+	// and the pairs (Marker values record removals); the server dispatches
+	// kv.CommitWrites. The response is always four words: committed(1),
+	// commitTS, 0, 0 on success, or committed(0), conflictKey, latest,
+	// readTS on a first-committer-wins abort — a conflict is a normal
+	// protocol outcome, not a statusErr, so the client can reconstruct the
+	// typed kv.ConflictError exactly. A commit mutates, so it is NOT in the
+	// idempotent retry set; on a pipelined session the tag-keyed mutation
+	// dedupe cache makes an unknown-outcome retry exactly-once.
+	OpTxnCommit = 19 // readTS, n, then n*(key,value) -> committed, a, b, c (see above)
 )
 
 const (

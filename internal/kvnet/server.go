@@ -437,6 +437,32 @@ func (s *Server) handle(op byte, req []byte) ([]byte, error) {
 		}
 		return putU64s(nil, sup, res.Watermark, res.KeysScanned,
 			res.EntriesReclaimed, res.SegmentsFreed, uint64(res.FreedBytes)), nil
+	case OpTxnCommit:
+		// readTS, n, then n pairs. The count sits at word 1 (after the
+		// read timestamp), so countedRequest does not apply; the same
+		// lying-count guard is inlined before any allocation.
+		if len(req) < 16 {
+			return nil, errBadRequest
+		}
+		n := u64at(req, 1)
+		if n > uint64(maxFrame)/16 || uint64(len(req)) != 16+16*n {
+			return nil, errBadRequest
+		}
+		writes := make([]kv.KV, n)
+		for i := range writes {
+			writes[i] = kv.KV{Key: u64at(req, 2+2*i), Value: u64at(req, 3+2*i)}
+		}
+		ts, err := kv.CommitWrites(s.store, u64at(req, 0), writes)
+		var ce *kv.ConflictError
+		if errors.As(err, &ce) {
+			// A first-committer-wins abort is a normal protocol outcome:
+			// encode it so the client can rebuild the typed error.
+			return putU64s(nil, 0, ce.Key, ce.Latest, ce.ReadTS), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return putU64s(nil, 1, ts, 0, 0), nil
 	case OpStats:
 		if len(req) != 0 {
 			return nil, errBadRequest

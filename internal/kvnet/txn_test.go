@@ -1,0 +1,236 @@
+package kvnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mvkv/internal/core"
+	"mvkv/internal/eskiplist"
+	"mvkv/internal/kv"
+)
+
+// newCoreBacked serves a PSkipList store (the native TxnCommitter) over TCP.
+func newCoreBacked(t *testing.T) (*Server, *core.Store) {
+	t.Helper()
+	backing, err := core.Create(core.Options{ArenaBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		backing.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+	return srv, backing
+}
+
+// TestTxnCommitOverTCP drives OpTxnCommit end to end on both transports:
+// a clean commit returns the server's commit timestamp, and a stale read
+// timestamp reconstructs the same typed *kv.ConflictError a local caller
+// would see — the conflict rides a statusOK payload, not a statusErr, so
+// retry machinery never mistakes a legitimate abort for a transport fault.
+func TestTxnCommitOverTCP(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		dial func(t *testing.T, addr string) *Client
+	}{
+		{"legacy", func(t *testing.T, addr string) *Client {
+			cl, err := Dial(addr, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cl.Close() })
+			return cl
+		}},
+		{"pipelined", func(t *testing.T, addr string) *Client {
+			return dialPipelined(t, addr, Options{})
+		}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			srv, _ := newCoreBacked(t)
+			cl := mode.dial(t, srv.Addr())
+
+			if err := cl.Insert(1, 10); err != nil {
+				t.Fatal(err)
+			}
+			readTS, err := cl.AcquireTagErr()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts, err := cl.CommitWrites(readTS, []kv.KV{{Key: 1, Value: 11}, {Key: 2, Value: 22}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts <= readTS {
+				t.Fatalf("commit ts %d not above read ts %d", ts, readTS)
+			}
+			if v, ok := cl.Find(1, ts); !ok || v != 11 {
+				t.Fatalf("Find(1, commit ts) = %d,%v", v, ok)
+			}
+
+			_, err = cl.CommitWrites(readTS, []kv.KV{{Key: 1, Value: 99}})
+			var ce *kv.ConflictError
+			if !errors.As(err, &ce) || !errors.Is(err, kv.ErrConflict) {
+				t.Fatalf("stale commit error = %v, want a ConflictError", err)
+			}
+			if ce.Key != 1 || ce.ReadTS != readTS || ce.Latest <= readTS {
+				t.Fatalf("conflict fields lost in transit: %+v (read ts %d)", ce, readTS)
+			}
+			if v, ok := cl.Find(1, 1<<62); !ok || v != 11 {
+				t.Fatalf("Find(1) = %d,%v — conflicted commit mutated the store", v, ok)
+			}
+			if err := cl.ReleaseTag(readTS); err != nil {
+				t.Fatal(err)
+			}
+
+			// A whole Txn over the wire, for good measure.
+			txn := kv.Begin(cl)
+			if err := txn.Set(5, 50); err != nil {
+				t.Fatal(err)
+			}
+			if err := txn.Delete(2); err != nil {
+				t.Fatal(err)
+			}
+			cts, err := txn.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := cl.Find(5, cts); !ok || v != 50 {
+				t.Fatalf("Find(5) = %d,%v after txn commit", v, ok)
+			}
+			if _, ok := cl.Find(2, cts); ok {
+				t.Fatal("txn delete did not land")
+			}
+		})
+	}
+}
+
+// TestServerMalformedTxnRequests is the txn slice of the malformed-frame
+// corpus: truncated commit frames and write-set counts that lie about the
+// payload must be refused in band, on the legacy transport and on the
+// pipelined one, without wedging the server.
+func TestServerMalformedTxnRequests(t *testing.T) {
+	backing := eskiplist.New()
+	srv, err := Serve(backing, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); backing.Close() })
+
+	corpus := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"truncated header", putU64s(nil, 42)},                   // readTS only, no count
+		{"astronomical count", putU64s(nil, 0, 1<<60, 1, 2)},     // count claims ~exabytes
+		{"count above payload", putU64s(nil, 0, 3, 1, 2)},        // says 3 pairs, carries 1
+		{"count below payload", putU64s(nil, 0, 1, 1, 2, 3, 4)},  // says 1 pair, carries 2
+		{"ragged pair", append(putU64s(nil, 0, 1, 1, 2), 0xff)},  // torn trailing byte
+		{"truncated mid-pair", putU64s(nil, 0, 2, 1, 2, 3)},      // second pair half there
+		{"count word only", putU64s(nil, kv.NoConflictCheck, 1)}, // pairs missing entirely
+	}
+
+	t.Run("legacy", func(t *testing.T) {
+		for _, tc := range corpus {
+			t.Run(tc.name, func(t *testing.T) {
+				c, err := net.Dial("tcp", srv.Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				b := make([]byte, 5+len(tc.payload))
+				binary.LittleEndian.PutUint32(b, uint32(len(tc.payload)))
+				b[4] = OpTxnCommit
+				copy(b[5:], tc.payload)
+				if _, err := c.Write(b); err != nil {
+					t.Fatal(err)
+				}
+				c.SetReadDeadline(time.Now().Add(2 * time.Second))
+				status, resp, err := readFrame(c)
+				if err != nil || status != statusErr || !strings.Contains(string(resp), "malformed") {
+					t.Fatalf("status=%d resp=%q err=%v", status, resp, err)
+				}
+			})
+		}
+	})
+
+	t.Run("pipelined", func(t *testing.T) {
+		conn := handshakeRaw(t, srv.Addr(), 0)
+		for i, tc := range corpus {
+			if err := writeTaggedFrame(conn, OpTxnCommit, uint32(i+1), tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			status, tag, body := readTagged(t, conn)
+			if status != statusErr || tag != uint32(i+1) || !strings.Contains(string(body), "malformed") {
+				t.Fatalf("%s: status=%d tag=%d body=%q", tc.name, status, tag, body)
+			}
+		}
+	})
+
+	// The server still commits for a healthy client after the whole corpus.
+	cl, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.CommitWrites(kv.NoConflictCheck, []kv.KV{{Key: 1, Value: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := cl.Find(1, 1<<62); !ok || v != 10 {
+		t.Fatalf("post-corpus commit invisible: %d,%v", v, ok)
+	}
+}
+
+// TestTxnCommitDedupeAcrossReconnect is exactly-once for unknown-outcome
+// commit retries: a commit applied on one connection whose response was
+// lost is retried with the SAME session tag on a fresh connection — the
+// server must re-ack the cached reply (same commit timestamp included), not
+// run the commit again. OpTxnCommit is deliberately not in idempotent();
+// this session dedupe is what makes its retry safe.
+func TestTxnCommitDedupeAcrossReconnect(t *testing.T) {
+	srv, backing := newCoreBacked(t)
+
+	payload := putU64s(nil, kv.NoConflictCheck, 2, 1, 11, 2, 22)
+	commit := func(conn net.Conn) []byte {
+		t.Helper()
+		if err := writeTaggedFrame(conn, OpTxnCommit, 7, payload); err != nil {
+			t.Fatal(err)
+		}
+		status, tag, body := readTagged(t, conn)
+		if status != statusOK || tag != 7 {
+			t.Fatalf("commit reply: status %d tag %d", status, tag)
+		}
+		if err := wantWords(body, 4); err != nil {
+			t.Fatal(err)
+		}
+		if u64at(body, 0) != 1 {
+			t.Fatalf("commit reported conflict: %v", body)
+		}
+		return body
+	}
+
+	conn1 := handshakeRaw(t, srv.Addr(), 99)
+	first := commit(conn1)
+	conn1.Close() // response delivered, but pretend the client lost it
+
+	conn2 := handshakeRaw(t, srv.Addr(), 99)
+	second := commit(conn2)
+
+	if u64at(first, 1) != u64at(second, 1) {
+		t.Fatalf("retry got a different commit ts: %d vs %d", u64at(second, 1), u64at(first, 1))
+	}
+	for _, key := range []uint64{1, 2} {
+		if evs := backing.ExtractHistory(key); len(evs) != 1 {
+			t.Fatalf("retried commit applied key %d %d times, want 1", key, len(evs))
+		}
+	}
+	if got := srv.ObsSnapshot().Counter("net.pipe.server.dedupe_hits"); got != 1 {
+		t.Errorf("net.pipe.server.dedupe_hits = %d, want 1", got)
+	}
+}

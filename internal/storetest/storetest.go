@@ -40,6 +40,7 @@ func Run(t *testing.T, mk Factory) {
 	t.Run("ConcurrentReaders", func(t *testing.T) { testConcurrentReaders(t, mk) })
 	t.Run("UncoordinatedWriters", func(t *testing.T) { testUncoordinatedWriters(t, mk) })
 	t.Run("SnapshotPinning", func(t *testing.T) { testSnapshotPinning(t, mk) })
+	t.Run("Transactions", func(t *testing.T) { testTransactions(t, mk) })
 	t.Run("MetricsConformance", func(t *testing.T) { testMetricsConformance(t, mk) })
 }
 

@@ -1,0 +1,185 @@
+package storetest
+
+import (
+	"errors"
+	"testing"
+
+	"mvkv/internal/kv"
+)
+
+// futureVer is a version far above anything these tests seal; Find at it
+// reads the latest committed state.
+const futureVer = uint64(1) << 62
+
+// testTransactions exercises the optimistic multi-key transaction contract
+// (kv.Begin / kv.CommitWrites): read-your-writes over a pinned snapshot,
+// invisibility of uncommitted and aborted write sets, first-committer-wins
+// conflict detection with the typed error, and all-or-nothing aborts. The
+// stores with a native TxnCommitter (PSkipList, the TCP client, the cluster
+// store) take their capability path; the rest take the documented helper
+// fallback — the observable semantics here must be identical.
+func testTransactions(t *testing.T, mk Factory) {
+	t.Run("ReadYourWrites", func(t *testing.T) {
+		s := open(t, mk)
+		must(t, s.Insert(1, 10))
+		txn := kv.Begin(s)
+		rts := txn.ReadTS()
+		if v, ok := txn.Get(1); !ok || v != 10 {
+			t.Fatalf("Get(1) = %d,%v before any write", v, ok)
+		}
+		must(t, txn.Set(1, 11))
+		must(t, txn.Set(2, 22))
+		must(t, txn.Delete(1))
+		if _, ok := txn.Get(1); ok {
+			t.Fatal("buffered delete still reads as present")
+		}
+		if v, ok := txn.Get(2); !ok || v != 22 {
+			t.Fatalf("Get(2) = %d,%v after buffered write", v, ok)
+		}
+		// Buffered writes must be invisible outside the transaction.
+		if _, ok := s.Find(2, futureVer); ok {
+			t.Fatal("uncommitted write visible to a plain Find")
+		}
+		ts, err := txn.Commit()
+		must(t, err)
+		if ts <= rts {
+			t.Fatalf("commit ts %d not above read ts %d", ts, rts)
+		}
+		if _, ok := s.Find(1, ts); ok {
+			t.Fatal("committed delete still present")
+		}
+		if v, ok := s.Find(2, ts); !ok || v != 22 {
+			t.Fatalf("Find(2) at commit ts = %d,%v", v, ok)
+		}
+		// The pinned snapshot itself must be untouched.
+		if v, ok := s.Find(1, rts); !ok || v != 10 {
+			t.Fatalf("Find(1) at read ts = %d,%v", v, ok)
+		}
+	})
+
+	t.Run("SnapshotIsolation", func(t *testing.T) {
+		s := open(t, mk)
+		must(t, s.Insert(5, 50))
+		txn := kv.Begin(s)
+		must(t, s.Insert(5, 51)) // foreign write after the snapshot
+		if v, ok := txn.Get(5); !ok || v != 50 {
+			t.Fatalf("Get(5) = %d,%v — transaction saw a write newer than its snapshot", v, ok)
+		}
+		must(t, txn.Abort())
+	})
+
+	t.Run("AbortInvisible", func(t *testing.T) {
+		s := open(t, mk)
+		must(t, s.Insert(5, 50))
+		txn := kv.Begin(s)
+		must(t, txn.Set(5, 55))
+		must(t, txn.Set(6, 66))
+		must(t, txn.Delete(5))
+		must(t, txn.Abort())
+		if v, ok := s.Find(5, futureVer); !ok || v != 50 {
+			t.Fatalf("Find(5) = %d,%v after abort", v, ok)
+		}
+		if _, ok := s.Find(6, futureVer); ok {
+			t.Fatal("aborted write set leaked key 6")
+		}
+		if _, err := txn.Commit(); !errors.Is(err, kv.ErrTxnDone) {
+			t.Fatalf("Commit after Abort = %v, want ErrTxnDone", err)
+		}
+	})
+
+	t.Run("FirstCommitterWins", func(t *testing.T) {
+		s := open(t, mk)
+		must(t, s.Insert(7, 70))
+		must(t, s.Insert(8, 80))
+		t1 := kv.Begin(s)
+		t2 := kv.Begin(s)
+		must(t, t2.Set(7, 71))
+		if _, err := t2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		must(t, t1.Set(7, 72)) // overlaps t2's committed write
+		must(t, t1.Set(8, 82)) // disjoint key — must not land either
+		_, err := t1.Commit()
+		if err == nil {
+			t.Fatal("conflicting commit succeeded")
+		}
+		if !errors.Is(err, kv.ErrConflict) {
+			t.Fatalf("conflict error %v does not match kv.ErrConflict", err)
+		}
+		var ce *kv.ConflictError
+		if !errors.As(err, &ce) {
+			t.Fatalf("conflict error %T carries no *kv.ConflictError", err)
+		}
+		if ce.Key != 7 {
+			t.Fatalf("conflict blamed key %d, want 7", ce.Key)
+		}
+		if ce.Latest <= ce.ReadTS {
+			t.Fatalf("conflict with Latest %d <= ReadTS %d", ce.Latest, ce.ReadTS)
+		}
+		// All-or-nothing: the aborted transaction changed neither key.
+		if v, ok := s.Find(7, futureVer); !ok || v != 71 {
+			t.Fatalf("Find(7) = %d,%v — aborted txn overwrote the winner", v, ok)
+		}
+		if v, ok := s.Find(8, futureVer); !ok || v != 80 {
+			t.Fatalf("Find(8) = %d,%v — aborted txn leaked its disjoint write", v, ok)
+		}
+		// With the conflict settled, a fresh transaction commits cleanly.
+		t3 := kv.Begin(s)
+		must(t, t3.Set(7, 73))
+		if _, err := t3.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := s.Find(7, futureVer); !ok || v != 73 {
+			t.Fatalf("Find(7) = %d,%v after retry commit", v, ok)
+		}
+	})
+
+	t.Run("DisjointCommits", func(t *testing.T) {
+		s := open(t, mk)
+		t1 := kv.Begin(s)
+		t2 := kv.Begin(s)
+		must(t, t1.Set(201, 1))
+		must(t, t2.Set(202, 2))
+		if _, err := t1.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t2.Commit(); err != nil {
+			t.Fatalf("disjoint write set aborted: %v", err)
+		}
+		if v, ok := s.Find(201, futureVer); !ok || v != 1 {
+			t.Fatalf("Find(201) = %d,%v", v, ok)
+		}
+		if v, ok := s.Find(202, futureVer); !ok || v != 2 {
+			t.Fatalf("Find(202) = %d,%v", v, ok)
+		}
+	})
+
+	t.Run("EmptyCommit", func(t *testing.T) {
+		s := open(t, mk)
+		txn := kv.Begin(s)
+		rts := txn.ReadTS()
+		ts, err := txn.Commit()
+		must(t, err)
+		if ts != rts {
+			t.Fatalf("empty commit ts %d, want read ts %d", ts, rts)
+		}
+		if _, err := txn.Commit(); !errors.Is(err, kv.ErrTxnDone) {
+			t.Fatalf("double Commit = %v, want ErrTxnDone", err)
+		}
+		if err := txn.Set(1, 1); !errors.Is(err, kv.ErrTxnDone) {
+			t.Fatalf("Set after Commit = %v, want ErrTxnDone", err)
+		}
+	})
+
+	t.Run("LastWritePerKeyWins", func(t *testing.T) {
+		s := open(t, mk)
+		txn := kv.Begin(s)
+		must(t, txn.Set(9, 1))
+		must(t, txn.Set(9, 2))
+		ts, err := txn.Commit()
+		must(t, err)
+		if v, ok := s.Find(9, ts); !ok || v != 2 {
+			t.Fatalf("Find(9) = %d,%v, want the last buffered write", v, ok)
+		}
+	})
+}

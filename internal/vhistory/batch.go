@@ -153,6 +153,15 @@ func (h *PHistory) StageRun(a *pmem.Arena, start, version uint64, values []uint6
 	return append(spans, Span{P: spanStart, N: int64(spanEnd - spanStart)})
 }
 
+// SeqSpan returns the byte span of a staged slot's commit-number word. The
+// transactional commit path persists the span holding the batch's lowest
+// commit number last, so a crash anywhere earlier leaves a sequence gap
+// that recovery's contiguity rule prunes the whole batch behind
+// (all-or-nothing; see core.Store.ApplyWrites).
+func (h *PHistory) SeqSpan(a *pmem.Arena, slot uint64) Span {
+	return Span{P: h.loadedEntryPtr(a, slot) + 16, N: 8}
+}
+
 // FinishRunEntry claims the commit number for one staged slot and stores
 // it without persisting; the caller persists the run's spans (which cover
 // every seq word) and only then announces the numbers with Clock.Commit.

@@ -215,6 +215,40 @@ func ReleaseTag(s Store, tag uint64) error { return kv.ReleaseTag(s, tag) }
 // collector report Supported == false.
 func GC(s Store) (GCResult, error) { return kv.GC(s) }
 
+// ---- transactions ----
+
+// Txn is an optimistic multi-key transaction over any Store: Begin pins a
+// read snapshot, Get/Set/Delete read through it and buffer writes, Commit
+// applies the whole write set atomically after a first-committer-wins
+// conflict check (ErrConflict on abort) and returns the commit timestamp.
+type Txn = kv.Txn
+
+// ErrConflict is the sentinel every transaction-conflict abort matches via
+// errors.Is; the concrete *ConflictError names the losing key.
+var ErrConflict = kv.ErrConflict
+
+// ErrTxnDone is returned by Txn methods after Commit or Abort.
+var ErrTxnDone = kv.ErrTxnDone
+
+// ConflictError reports which write-set key lost the first-committer-wins
+// race, its newest committed version, and the transaction's read timestamp.
+type ConflictError = kv.ConflictError
+
+// TxnCommitter is the optional transactional-commit capability (the
+// PSkipList, the TCP client, and the cluster store implement it natively;
+// CommitWrites degrades gracefully on the rest).
+type TxnCommitter = kv.TxnCommitter
+
+// Begin starts a transaction on s reading at a freshly pinned snapshot.
+func Begin(s Store) *Txn { return kv.Begin(s) }
+
+// CommitWrites commits a prepared write set against s in one call: conflict
+// check against readTS, atomic apply, version seal. Most callers want the
+// Txn API; this is the building block it rides.
+func CommitWrites(s Store, readTS uint64, writes []KV) (uint64, error) {
+	return kv.CommitWrites(s, readTS, writes)
+}
+
 // CompactPSkipList writes a compacted copy of a PSkipList store into a
 // fresh pool described by o, forgetting versions older than keepSince (each
 // key keeps its state as of keepSince plus all later changes). Queries at
@@ -365,3 +399,8 @@ type PartialResultError = dist.PartialResultError
 // partitions but not others: Applied counts per rank, Failed maps rank to
 // cause.
 type PartialBatchError = dist.PartialBatchError
+
+// TxnAbortError reports a distributed transaction commit that failed in
+// prepare (clean abort, nothing applied) or apply (partial: ranks outside
+// the maps committed their shares). Match with errors.As.
+type TxnAbortError = dist.TxnAbortError

@@ -32,6 +32,15 @@
 #      plus the windowed dist batch scatter, then a benchkv pipeline smoke —
 #      64 writers multiplexed on ONE connection must beat the one-at-a-time
 #      client on throughput and coalesce to under 2.0 persists/entry
+#  13. transactions: race-enabled txn suites — storetest
+#      Transactions over all five stores, TCP (legacy + pipelined) and the
+#      4-rank cluster, the all-or-nothing commit crash-point sweep, the
+#      pin-refcount race and hot-cache differential regressions, the
+#      malformed-commit-frame corpus and commit dedupe across reconnect,
+#      the two-phase cluster commit fault suite and the CLI txn/watch
+#      plumbing — then a benchkv txn smoke: first-committer-wins must
+#      abort a nonzero fraction of contended commits and exactly zero
+#      disjoint ones
 #
 # Exits non-zero on the first failing gate.
 set -euo pipefail
@@ -208,5 +217,42 @@ go test -race -short -timeout 120s \
     if (on + 0 <= off + 0) { print "FAIL: pipelined single connection is not faster than one-at-a-time"; exit 1 }
     if (onp / ops >= 2.0) { print "FAIL: pipelined window did not coalesce fences (persists/entry >= 2.0)"; exit 1 }
   }'
+
+echo "== gate 13: transactions (race + conflict-rate smoke) =="
+# The optimistic multi-key txn surface end to end: conflict matrix and
+# aborted-txn invisibility over every store (storetest Transactions runs
+# inside each conformance suite), the commit path's all-or-nothing
+# crash-point sweep and group-commit composition, the pin-refcount race and
+# hot-cache invalidation regressions, the malformed txn frame corpus plus
+# exactly-once commit retry over reconnect, the two-phase cluster commit
+# (conflict, lost-ack retry, prepare-stage abort), and the CLI txn script /
+# stats-watch elapsed fixes.
+go test -race -short -timeout 300s \
+  -run 'TestTxn|TestCrashPointSweepTxnCommit|TestPinRefcountRace|TestHotCacheTxnDifferential|TestConformance/Transactions' \
+  ./internal/core/
+go test -race -short -timeout 300s \
+  -run 'TestTxnCommitOverTCP|TestServerMalformedTxnRequests|TestTxnCommitDedupeAcrossReconnect|TestConformanceOverTCP/Transactions|TestConformanceOverPipelinedTCP/Transactions' \
+  ./internal/kvnet/
+go test -race -short -timeout 120s \
+  -run 'TestClusterTxn|TestClusterStoreConformance/Transactions' ./internal/dist/
+go test -race -short -run 'TestCLITxn|TestCLIStatsWatchElapsed' ./cmd/mvkvctl/
+go test -race -short -run 'TestRunTxnSweep' ./internal/harness/
+
+# Conflict-rate smoke: at 4 concurrent committers, the contended hot-set
+# workload must see first-committer-wins aborts (nonzero abort count) while
+# per-worker disjoint write sets must never abort. benchkv writes
+# BENCH_txn.json into its cwd, so run in tmpdir to leave the repo's
+# recorded figure untouched.
+(cd "$tmpdir" && "$tmpbin" -n 4000 -reps 1 -txnthreads 4 txn >/dev/null 2>&1)
+awk '
+  /"mode": "txn-contended"/ { mode = "c" }
+  /"mode": "txn-disjoint"/  { mode = "d" }
+  /"aborts":/ { gsub(/[^0-9]/, ""); if (mode == "c") ca += $0; else da += $0; seen = 1 }
+  END {
+    if (!seen) { print "FAIL: BENCH_txn.json has no abort rows"; exit 1 }
+    printf "txn smoke: contended aborts %d, disjoint aborts %d\n", ca, da
+    if (ca == 0) { print "FAIL: contended txn workload produced zero aborts"; exit 1 }
+    if (da != 0) { print "FAIL: disjoint txn workload aborted"; exit 1 }
+  }' "$tmpdir/BENCH_txn.json"
 
 echo "verify: all gates passed"
